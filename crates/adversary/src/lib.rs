@@ -1,0 +1,68 @@
+//! Adversary models for the security evaluation (Sections 4.1 and 6.2).
+//!
+//! The threat model assumes the adversary ("Alice") has compromised the index
+//! server: she sees merged posting lists, the plaintext scores attached to
+//! posting elements (raw relevance in the ablations, TRS in Zerber+R), the
+//! group tags, and the stream of queries and responses.  Three attacks are
+//! implemented:
+//!
+//! * [`fingerprint`] — match observed score distributions against per-term
+//!   background knowledge to identify which term a set of elements belongs to
+//!   (attack 1 of Section 4.1),
+//! * [`unmerge`] — attribute individual elements of a merged list to their
+//!   terms from their visible scores, attempting to undo the merging
+//!   (Section 3.3 / Figure 3),
+//! * [`requests`] — distinguish rare from frequent merged terms by counting
+//!   follow-up requests (attack 2 of Section 4.1).
+//!
+//! Each attack reports the adversary's accuracy together with the prior
+//! (chance-level) baseline, so experiments can quantify the *probability
+//! amplification* that r-confidentiality is supposed to bound.
+
+pub mod fingerprint;
+pub mod requests;
+pub mod unmerge;
+
+use std::fmt;
+
+pub use fingerprint::{identification_experiment, Background, FingerprintReport};
+pub use requests::{request_counting_attack, RequestCountingReport};
+pub use unmerge::{unmerge_attack, HistogramDensity, ObservedElement, UnmergeReport};
+
+/// Errors produced by the attack harnesses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdversaryError {
+    /// An invalid parameter was supplied.
+    InvalidParameter(String),
+    /// An error bubbled up from the Zerber+R core.
+    Core(String),
+}
+
+impl fmt::Display for AdversaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdversaryError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            AdversaryError::Core(msg) => write!(f, "core error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AdversaryError {}
+
+impl From<zerber_r::ZerberRError> for AdversaryError {
+    fn from(e: zerber_r::ZerberRError) -> Self {
+        AdversaryError::Core(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_conversion() {
+        assert!(AdversaryError::InvalidParameter("k".into()).to_string().contains('k'));
+        let e: AdversaryError = zerber_r::ZerberRError::UnknownList(3).into();
+        assert!(matches!(e, AdversaryError::Core(_)));
+    }
+}

@@ -1,0 +1,222 @@
+//! Query-observation attack: counting follow-up requests (Section 4.1,
+//! attack 2).
+//!
+//! "In case of a merged ordered posting list, the number of requests required
+//! for obtaining top-k elements for a rare or a frequent term may differ ...
+//! Alice could guess the term by observing the number of follow-up requests."
+//!
+//! Zerber+R's counter-measure is the BFM merge: terms sharing a list have
+//! similar document frequencies, so the request counts observed by the server
+//! are (nearly) the same whichever of the merged terms was queried.  This
+//! module measures how well an adversary can tell the rarest from the most
+//! frequent member of each merged list purely from request counts, for any
+//! merge scheme — the ablation of BFM against the frequency-spanning
+//! `MixedMerge` is one of the security experiments.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use zerber_corpus::{CorpusStats, GroupId};
+use zerber_crypto::GroupKeys;
+use zerber_r::{retrieve_topk, OrderedIndex, RetrievalConfig};
+
+use crate::AdversaryError;
+
+/// Result of the request-counting experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestCountingReport {
+    /// Number of merged lists with at least two terms that were probed.
+    pub lists_tested: usize,
+    /// Lists where the rare term needed strictly more requests than the
+    /// frequent one (i.e. the adversary's guess succeeds).
+    pub distinguishable_lists: usize,
+    /// Mean absolute difference in request counts between the rarest and the
+    /// most frequent merged term.
+    pub mean_request_spread: f64,
+    /// Mean request count over all probed terms (context for the spread).
+    pub mean_requests: f64,
+}
+
+impl RequestCountingReport {
+    /// Probability that observing the request count identifies the rare term.
+    /// 0.5 would be expected by chance if ties are broken by a coin flip; the
+    /// value reported here counts ties as indistinguishable (success rate of
+    /// the deterministic "more requests ⇒ rare" rule).
+    pub fn success_rate(&self) -> f64 {
+        if self.lists_tested == 0 {
+            return 0.0;
+        }
+        self.distinguishable_lists as f64 / self.lists_tested as f64
+    }
+}
+
+/// Probes up to `max_lists` merged lists: for each, queries the most frequent
+/// and the least frequent member term with `top-k`, `b = k`, and records
+/// whether their request counts differ.
+pub fn request_counting_attack(
+    index: &OrderedIndex,
+    stats: &CorpusStats,
+    memberships: &HashMap<GroupId, GroupKeys>,
+    k: usize,
+    max_lists: usize,
+) -> Result<RequestCountingReport, AdversaryError> {
+    if k == 0 {
+        return Err(AdversaryError::InvalidParameter("k must be greater than 0".into()));
+    }
+    let config = RetrievalConfig::for_k(k);
+    let mut lists_tested = 0usize;
+    let mut distinguishable = 0usize;
+    let mut spread_sum = 0.0;
+    let mut request_sum = 0.0;
+    let mut request_count = 0usize;
+    for (_, terms) in index.plan().iter() {
+        if lists_tested >= max_lists {
+            break;
+        }
+        if terms.len() < 2 {
+            continue;
+        }
+        // Identify the most frequent and the rarest merged terms.
+        let mut best = None;
+        let mut worst = None;
+        for &t in terms {
+            let df = stats.doc_freq(t).unwrap_or(0);
+            if best.map_or(true, |(_, b)| df > b) {
+                best = Some((t, df));
+            }
+            if worst.map_or(true, |(_, w)| df < w) {
+                worst = Some((t, df));
+            }
+        }
+        let (frequent, df_f) = best.expect("list has terms");
+        let (rare, df_r) = worst.expect("list has terms");
+        if frequent == rare || df_f == df_r {
+            continue;
+        }
+        let frequent_outcome = retrieve_topk(index, frequent, memberships, &config)?;
+        let rare_outcome = retrieve_topk(index, rare, memberships, &config)?;
+        lists_tested += 1;
+        let fr = frequent_outcome.requests as f64;
+        let rr = rare_outcome.requests as f64;
+        spread_sum += (rr - fr).abs();
+        request_sum += fr + rr;
+        request_count += 2;
+        if rare_outcome.requests > frequent_outcome.requests {
+            distinguishable += 1;
+        }
+    }
+    Ok(RequestCountingReport {
+        lists_tested,
+        distinguishable_lists: distinguishable,
+        mean_request_spread: if lists_tested == 0 {
+            0.0
+        } else {
+            spread_sum / lists_tested as f64
+        },
+        mean_requests: if request_count == 0 {
+            0.0
+        } else {
+            request_sum / request_count as f64
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerber_base::{BfmMerge, ConfidentialityParam, MergeScheme, MixedMerge};
+    use zerber_corpus::{
+        sample_split, CorpusGenerator, CustomProfile, DatasetProfile, SplitConfig, SynthConfig,
+    };
+    use zerber_crypto::MasterKey;
+    use zerber_r::{RstfConfig, RstfModel};
+
+    struct Setup {
+        stats: CorpusStats,
+        bfm_index: OrderedIndex,
+        mixed_index: OrderedIndex,
+        memberships: HashMap<GroupId, GroupKeys>,
+    }
+
+    fn setup() -> Setup {
+        let config = SynthConfig {
+            profile: DatasetProfile::Custom(CustomProfile {
+                num_docs: 400,
+                num_groups: 2,
+                vocab_size: 900,
+                general_vocab_fraction: 1.0,
+                topic_mix: 0.0,
+                zipf_exponent: 1.1,
+                doc_length_median: 70.0,
+                doc_length_sigma: 0.7,
+                min_doc_length: 20,
+                max_doc_length: 400,
+            }),
+            scale: 1.0,
+            seed: 31,
+        };
+        let corpus = CorpusGenerator::new(config).generate().unwrap();
+        let stats = CorpusStats::compute(&corpus);
+        let split = sample_split(&corpus, SplitConfig::default()).unwrap();
+        let model = RstfModel::train(&corpus, &split, &RstfConfig::default()).unwrap();
+        let r = ConfidentialityParam::new(3.0).unwrap();
+        let master = MasterKey::new([3u8; 32]);
+        let bfm_plan = BfmMerge.plan(&stats, r).unwrap();
+        let mixed_plan = MixedMerge.plan(&stats, r).unwrap();
+        let bfm_index = OrderedIndex::build(&corpus, bfm_plan, &model, &master, 1).unwrap();
+        let mixed_index = OrderedIndex::build(&corpus, mixed_plan, &model, &master, 2).unwrap();
+        let memberships: HashMap<GroupId, GroupKeys> = (0..corpus.num_groups() as u32)
+            .map(|g| (GroupId(g), master.group_keys(g)))
+            .collect();
+        Setup {
+            stats,
+            bfm_index,
+            mixed_index,
+            memberships,
+        }
+    }
+
+    #[test]
+    fn bfm_keeps_request_counts_similar_mixed_does_not() {
+        let s = setup();
+        let bfm = request_counting_attack(&s.bfm_index, &s.stats, &s.memberships, 10, 40).unwrap();
+        let mixed =
+            request_counting_attack(&s.mixed_index, &s.stats, &s.memberships, 10, 40).unwrap();
+        assert!(bfm.lists_tested > 5);
+        assert!(mixed.lists_tested > 5);
+        // The frequency-spanning merge leaks more through request counts than
+        // BFM, both in how often the rare term is identifiable and in the
+        // average spread of request counts.
+        assert!(
+            mixed.mean_request_spread >= bfm.mean_request_spread,
+            "mixed spread {} vs bfm spread {}",
+            mixed.mean_request_spread,
+            bfm.mean_request_spread
+        );
+        assert!(
+            mixed.success_rate() >= bfm.success_rate(),
+            "mixed success {} vs bfm success {}",
+            mixed.success_rate(),
+            bfm.success_rate()
+        );
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let s = setup();
+        let report = request_counting_attack(&s.bfm_index, &s.stats, &s.memberships, 5, 20).unwrap();
+        assert!(report.distinguishable_lists <= report.lists_tested);
+        assert!(report.mean_requests >= 1.0);
+        assert!(report.mean_request_spread >= 0.0);
+        assert!((0.0..=1.0).contains(&report.success_rate()));
+    }
+
+    #[test]
+    fn zero_k_is_rejected_and_zero_lists_is_neutral() {
+        let s = setup();
+        assert!(request_counting_attack(&s.bfm_index, &s.stats, &s.memberships, 0, 10).is_err());
+        let none = request_counting_attack(&s.bfm_index, &s.stats, &s.memberships, 5, 0).unwrap();
+        assert_eq!(none.lists_tested, 0);
+        assert_eq!(none.success_rate(), 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Criterion benchmarks for the headline systems comparison: server-side
+//! top-k over the Zerber+R ordered index versus (a) the plaintext inverted
+//! index and (b) base Zerber's download-the-whole-list client-side top-k.
+//! Also covers index construction (plaintext vs encrypted ordered).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashMap;
+use zerber_base::build_bfm_index;
+use zerber_corpus::{DatasetProfile, GroupId};
+use zerber_crypto::MasterKey;
+use zerber_index::InvertedIndex;
+use zerber_r::{retrieve_topk, OrderedIndex, RetrievalConfig};
+use zerber_workload::{TestBed, TestBedConfig};
+
+fn bed() -> TestBed {
+    TestBed::build(TestBedConfig {
+        scale: 0.02,
+        ..TestBedConfig::small(DatasetProfile::StudIp)
+    })
+    .expect("test bed builds")
+}
+
+fn bench_topk_paths(c: &mut Criterion) {
+    let bed = bed();
+    let master = MasterKey::new([1u8; 32]);
+    let (zerber_index, _) = build_bfm_index(&bed.corpus, bed.config.r, &master, 5).unwrap();
+    let zerber_memberships: HashMap<GroupId, _> = (0..bed.corpus.num_groups() as u32)
+        .map(|g| (GroupId(g), master.group_keys(g)))
+        .collect();
+    let term = bed.stats.terms_by_doc_freq()[2];
+    let config = RetrievalConfig::for_k(10);
+
+    let mut group = c.benchmark_group("top10_single_term");
+    group.sample_size(30);
+    group.bench_function("plaintext_inverted_index", |b| {
+        b.iter(|| bed.plain_index.query_term(std::hint::black_box(term), 10).unwrap())
+    });
+    group.bench_function("zerber_r_server_side", |b| {
+        b.iter(|| {
+            retrieve_topk(
+                &bed.index,
+                std::hint::black_box(term),
+                &bed.all_memberships,
+                &config,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("zerber_base_client_side_whole_list", |b| {
+        b.iter(|| {
+            zerber_index
+                .client_topk(std::hint::black_box(term), 10, &zerber_memberships)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let bed = bed();
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.bench_function("plaintext_inverted_index", |b| {
+        b.iter(|| InvertedIndex::build(std::hint::black_box(&bed.corpus)))
+    });
+    group.bench_function("zerber_r_ordered_encrypted", |b| {
+        b.iter(|| {
+            OrderedIndex::build(
+                std::hint::black_box(&bed.corpus),
+                bed.plan.clone(),
+                &bed.model,
+                &bed.master,
+                9,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk_paths, bench_index_build);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Figure 5: log-log plot of the *normalized* term frequency distributions
+//! (`TF/|d|`, Equation 4) of the same frequent and less frequent terms as
+//! Figure 4.
+//!
+//! The point of the figure: even after length normalization the distributions
+//! stay term specific — which is exactly why raw relevance scores cannot be
+//! stored in the clear and the RSTF is needed.
+
+use zerber_bench::{fmt, heading, print_table, HarnessOptions};
+use zerber_corpus::DatasetProfile;
+use zerber_r::math::ks_two_sample;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let bed = options.build_bed(DatasetProfile::StudIp);
+    heading("Figure 5 — normalized TF distributions (StudIP stand-in)");
+
+    let order = bed.stats.terms_by_doc_freq();
+    let frequent = order[0];
+    let less_frequent = order
+        .iter()
+        .copied()
+        .find(|&t| {
+            let df = bed.stats.doc_freq(t).unwrap_or(0);
+            df >= 10 && df * 8 <= bed.stats.doc_freq(frequent).unwrap_or(0)
+        })
+        .unwrap_or(order[order.len() / 20]);
+
+    let mut rows = Vec::new();
+    let mut distributions = Vec::new();
+    for (label, term) in [("frequent", frequent), ("less-frequent", less_frequent)] {
+        let stats = bed.stats.term(term).unwrap();
+        let norm = stats.normalized_tf_distribution();
+        distributions.push(norm.clone());
+        let mut rank = 1usize;
+        while rank <= norm.len() {
+            rows.push(vec![
+                label.to_string(),
+                rank.to_string(),
+                fmt(norm[rank - 1]),
+                fmt((rank as f64).log10()),
+                fmt(norm[rank - 1].max(1e-9).log10()),
+            ]);
+            rank = (rank as f64 * 1.6).ceil() as usize;
+        }
+    }
+    print_table(
+        "normalized TF by document rank",
+        &["term", "rank", "tf/|d|", "log10(rank)", "log10(tf/|d|)"],
+        &rows,
+    );
+    let ks = ks_two_sample(&distributions[0], &distributions[1]);
+    println!(
+        "\nterm-specificity check: two-sample KS distance between the two normalized-TF\n\
+         distributions = {:.3} (the paper's claim: distributions are still term specific,\n\
+         so an attacker could identify terms from them; compare with the TRS columns of\n\
+         tab_security_guarantees where this distance collapses).",
+        ks
+    );
+}

@@ -1,0 +1,51 @@
+//! Figure 11: average bandwidth overhead (Equation 13) as a function of the
+//! initial response size `b`, for k = 1, 10, 50, on both test collections.
+//!
+//! The paper's finding: the minimal bandwidth overhead for a top-k query is
+//! achieved around b = k; enlarging the initial response further only
+//! increases the overhead.
+
+use zerber_bench::{fmt, print_table, HarnessOptions};
+use zerber_r::GrowthPolicy;
+use zerber_workload::{average_bandwidth_overhead, QueryLogConfig};
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let ks = [1usize, 10, 50];
+    let bs = [1usize, 2, 5, 10, 20, 50, 100, 200];
+    for dataset in HarnessOptions::datasets() {
+        let bed = options.build_bed(dataset.clone());
+        let log = bed
+            .query_log(&QueryLogConfig {
+                distinct_terms: 800,
+                total_queries: 500_000,
+                sample_queries: 0,
+                ..QueryLogConfig::default()
+            })
+            .expect("query log");
+        let mut rows = Vec::new();
+        for &b in &bs {
+            let mut row = vec![b.to_string()];
+            for &k in &ks {
+                let samples = bed
+                    .run_workload(&log, k, b, GrowthPolicy::Doubling)
+                    .expect("workload runs");
+                row.push(fmt(average_bandwidth_overhead(&samples, k)));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!(
+                "Figure 11 — average bandwidth overhead AvBO vs initial response size b ({}, scale {})",
+                dataset.name(),
+                options.scale
+            ),
+            &["b", "AvBO k=1", "AvBO k=10", "AvBO k=50"],
+            &rows,
+        );
+    }
+    println!(
+        "\nExpected shape (paper): for each k the overhead is lowest around b = k and grows\n\
+         once b exceeds k (returning around k elements per round is the sweet spot)."
+    );
+}

@@ -1,0 +1,64 @@
+//! Figure 12: average number of requests needed to obtain the top-k elements
+//! as a function of the initial response size `b`, for k = 1, 10, 50, on both
+//! test collections.
+//!
+//! The paper's finding: with an initial response of about 10 elements most
+//! query terms obtain their top-10 within 2 requests; pushing the request
+//! count further down requires a much larger initial response, which is not
+//! worth the bandwidth (Figure 11).
+
+use zerber_bench::{fmt, print_table, HarnessOptions};
+use zerber_r::GrowthPolicy;
+use zerber_workload::{average_requests, single_request_fraction, QueryLogConfig};
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let ks = [1usize, 10, 50];
+    let bs = [1usize, 2, 5, 10, 20, 50, 100, 200];
+    for dataset in HarnessOptions::datasets() {
+        let bed = options.build_bed(dataset.clone());
+        let log = bed
+            .query_log(&QueryLogConfig {
+                distinct_terms: 800,
+                total_queries: 500_000,
+                sample_queries: 0,
+                ..QueryLogConfig::default()
+            })
+            .expect("query log");
+        let mut rows = Vec::new();
+        for &b in &bs {
+            let mut row = vec![b.to_string()];
+            for &k in &ks {
+                let samples = bed
+                    .run_workload(&log, k, b, GrowthPolicy::Doubling)
+                    .expect("workload runs");
+                row.push(fmt(average_requests(&samples)));
+            }
+            // Extra column: share of the k=10 workload answered in one round.
+            let samples = bed
+                .run_workload(&log, 10, b, GrowthPolicy::Doubling)
+                .expect("workload runs");
+            row.push(fmt(single_request_fraction(&samples) * 100.0));
+            rows.push(row);
+        }
+        print_table(
+            &format!(
+                "Figure 12 — average number of requests vs initial response size b ({}, scale {})",
+                dataset.name(),
+                options.scale
+            ),
+            &[
+                "b",
+                "requests k=1",
+                "requests k=10",
+                "requests k=50",
+                "% of k=10 workload in 1 request",
+            ],
+            &rows,
+        );
+    }
+    println!(
+        "\nExpected shape (paper): request counts fall as b grows; at b ≈ 10 most of the\n\
+         top-10 workload completes within 2 requests (≈30 elements in total)."
+    );
+}

@@ -1,0 +1,54 @@
+//! Section 6.3 — storage overhead.
+//!
+//! The paper's claim: Zerber+R attaches one transformed relevance score per
+//! posting element, which is exactly what an ordinary inverted index stores
+//! for ranking, so it introduces **no storage overhead** compared to the
+//! ordinary index.  The harness measures both indexes over both collections
+//! using (a) the paper's 64-bit-per-element accounting and (b) the real
+//! on-disk byte counts of this implementation (which additionally carries the
+//! encryption overhead of the Zerber substrate).
+
+use zerber_bench::{fmt, print_table, HarnessOptions};
+use zerber_r::TRS_BYTES;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let mut rows = Vec::new();
+    for dataset in HarnessOptions::datasets() {
+        let bed = options.build_bed(dataset.clone());
+        let plain = bed.plain_index.size_report();
+        let ordered = bed.index.size_report();
+        rows.push(vec![
+            dataset.name().to_string(),
+            plain.num_postings.to_string(),
+            plain.plain_bytes.to_string(),
+            ordered.plain_bytes.to_string(),
+            fmt(ordered.overhead_vs(&plain) * 100.0),
+            plain.compressed_bytes.to_string(),
+            bed.index.stored_bytes().to_string(),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Section 6.3 — storage per index (scale {}, 64-bit score per element as in the paper)",
+            options.scale
+        ),
+        &[
+            "collection",
+            "posting elements",
+            "ordinary bytes (8 B/elem)",
+            "Zerber+R bytes (8 B TRS/elem)",
+            "ranking-info overhead %",
+            "ordinary compressed bytes",
+            "Zerber+R stored bytes (incl. encryption)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nRanking information: both indexes store exactly one {TRS_BYTES}-byte score per posting\n\
+         element, so the overhead attributable to Zerber+R's ranking support is 0% — the\n\
+         paper's claim.  The last column shows the full cost of this implementation's\n\
+         encrypted elements (nonce + ciphertext + MAC), which is inherited from the Zerber\n\
+         substrate and exists with or without server-side top-k."
+    );
+}

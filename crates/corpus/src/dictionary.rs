@@ -1,0 +1,140 @@
+//! Term dictionary: interns term strings into dense [`TermId`]s.
+//!
+//! Dense ids let every other crate store per-term data in flat vectors
+//! (posting directories, RSTF tables, merge assignments) instead of hash maps
+//! keyed by strings.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a term inside one corpus / index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for TermId {
+    fn from(v: u32) -> Self {
+        TermId(v)
+    }
+}
+
+impl std::fmt::Display for TermId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Bidirectional mapping between term strings and dense [`TermId`]s.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TermDictionary {
+    terms: Vec<String>,
+    ids: HashMap<String, TermId>,
+}
+
+impl TermDictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        TermDictionary::default()
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` if the dictionary holds no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Interns `term`, returning its id.  Existing terms keep their id.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.ids.get(term) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(term.to_string());
+        self.ids.insert(term.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing term without interning it.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// Returns the string of a term id, if it exists.
+    pub fn term(&self, id: TermId) -> Option<&str> {
+        self.terms.get(id.index()).map(String::as_str)
+    }
+
+    /// Iterates over `(TermId, &str)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (TermId(i as u32), s.as_str()))
+    }
+
+    /// Returns all term ids, in id order.
+    pub fn ids(&self) -> impl Iterator<Item = TermId> + '_ {
+        (0..self.terms.len() as u32).map(TermId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut d = TermDictionary::new();
+        let a = d.intern("alpha");
+        let b = d.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(d.intern("alpha"), a);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_in_insertion_order() {
+        let mut d = TermDictionary::new();
+        for (i, w) in ["a", "b", "c", "d"].iter().enumerate() {
+            assert_eq!(d.intern(w), TermId(i as u32));
+        }
+    }
+
+    #[test]
+    fn lookup_of_unknown_term_is_none() {
+        let d = TermDictionary::new();
+        assert!(d.get("missing").is_none());
+        assert!(d.term(TermId(0)).is_none());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_between_term_and_id() {
+        let mut d = TermDictionary::new();
+        let id = d.intern("vergütung");
+        assert_eq!(d.term(id), Some("vergütung"));
+        assert_eq!(d.get("vergütung"), Some(id));
+    }
+
+    #[test]
+    fn iteration_yields_all_terms() {
+        let mut d = TermDictionary::new();
+        d.intern("x");
+        d.intern("y");
+        let all: Vec<_> = d.iter().map(|(id, s)| (id.0, s.to_string())).collect();
+        assert_eq!(all, vec![(0, "x".to_string()), (1, "y".to_string())]);
+        assert_eq!(d.ids().count(), 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Document model: identifiers, access-control groups and raw documents.
+//!
+//! The paper's scenario (Section 2) indexes access-controlled documents shared
+//! inside collaboration groups.  Every document therefore carries a
+//! [`GroupId`]; the index server later uses the group to decide whether a
+//! querying user may receive a posting element referencing the document.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a document inside one corpus.
+///
+/// Document ids are dense (`0..corpus.num_docs()`); they are assigned in
+/// insertion order by [`crate::CorpusBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for DocId {
+    fn from(v: u32) -> Self {
+        DocId(v)
+    }
+}
+
+impl std::fmt::Display for DocId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// Identifier of a collaboration group (access-control unit).
+///
+/// In the Stud IP dataset a group corresponds to a course; in the ODP dataset
+/// a group corresponds to a topic (Section 6.1.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for GroupId {
+    fn from(v: u32) -> Self {
+        GroupId(v)
+    }
+}
+
+impl std::fmt::Display for GroupId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// A raw (untokenized) document as handed to the corpus builder.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Document {
+    /// External name, e.g. a file name (`"1.txt"`, `"2.doc"`); must be unique
+    /// within a corpus.
+    pub name: String,
+    /// The access-control group the document is shared with.
+    pub group: GroupId,
+    /// The document body.  The tokenizer decides what counts as a term.
+    pub body: String,
+}
+
+impl Document {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, group: GroupId, body: impl Into<String>) -> Self {
+        Document {
+            name: name.into(),
+            group,
+            body: body.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_id_roundtrip_and_display() {
+        let id = DocId::from(42u32);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "d42");
+        assert_eq!(id, DocId(42));
+    }
+
+    #[test]
+    fn group_id_roundtrip_and_display() {
+        let g = GroupId::from(7u32);
+        assert_eq!(g.index(), 7);
+        assert_eq!(g.to_string(), "g7");
+    }
+
+    #[test]
+    fn doc_ids_are_ordered_by_value() {
+        let mut ids = vec![DocId(3), DocId(1), DocId(2)];
+        ids.sort();
+        assert_eq!(ids, vec![DocId(1), DocId(2), DocId(3)]);
+    }
+
+    #[test]
+    fn document_constructor_stores_fields() {
+        let d = Document::new("report.txt", GroupId(2), "imclone and synthesis");
+        assert_eq!(d.name, "report.txt");
+        assert_eq!(d.group, GroupId(2));
+        assert!(d.body.contains("imclone"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type shared by the corpus substrate.
+
+use std::fmt;
+
+/// Errors produced while building or querying a corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorpusError {
+    /// A document id was used that does not exist in the corpus.
+    UnknownDocument(u32),
+    /// A term id was used that does not exist in the dictionary.
+    UnknownTerm(u32),
+    /// A group id was used that does not exist in the corpus.
+    UnknownGroup(u32),
+    /// A document with the same external name was added twice.
+    DuplicateDocument(String),
+    /// A configuration value was out of its valid range.
+    InvalidConfig(String),
+    /// A document contained no indexable terms after tokenization.
+    EmptyDocument(String),
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::UnknownDocument(id) => write!(f, "unknown document id {id}"),
+            CorpusError::UnknownTerm(id) => write!(f, "unknown term id {id}"),
+            CorpusError::UnknownGroup(id) => write!(f, "unknown group id {id}"),
+            CorpusError::DuplicateDocument(name) => {
+                write!(f, "document {name:?} was added more than once")
+            }
+            CorpusError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CorpusError::EmptyDocument(name) => {
+                write!(f, "document {name:?} contains no indexable terms")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_the_offending_value() {
+        assert!(CorpusError::UnknownDocument(7).to_string().contains('7'));
+        assert!(CorpusError::UnknownTerm(9).to_string().contains('9'));
+        assert!(CorpusError::UnknownGroup(3).to_string().contains('3'));
+        assert!(CorpusError::DuplicateDocument("a.txt".into())
+            .to_string()
+            .contains("a.txt"));
+        assert!(CorpusError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        assert!(CorpusError::EmptyDocument("e.txt".into())
+            .to_string()
+            .contains("e.txt"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let err: Box<dyn std::error::Error> = Box::new(CorpusError::UnknownTerm(1));
+        assert!(err.source().is_none());
+    }
+}

@@ -1,0 +1,38 @@
+//! Document corpus substrate for the Zerber+R reproduction.
+//!
+//! The crate provides everything the paper's evaluation needs *below* the
+//! index layer:
+//!
+//! * a document model with access-control groups ([`doc::Document`],
+//!   [`doc::GroupId`]),
+//! * a deterministic [`tokenize::Tokenizer`] with stopword handling,
+//! * a string-interning [`dictionary::TermDictionary`],
+//! * an in-memory [`corpus::Corpus`] with per-document term counts,
+//! * corpus-wide statistics ([`stats::CorpusStats`]): term frequencies,
+//!   normalized term frequencies, document frequencies and the term
+//!   probabilities `p_t` used by the r-confidentiality condition (Definition 2
+//!   of the paper),
+//! * synthetic dataset generators ([`synth`]) calibrated to the two
+//!   collections used in the paper's evaluation (Stud IP and the Open
+//!   Directory Project crawl), and
+//! * training / control / evaluation splits ([`split`]) used to fit the RSTF.
+//!
+//! Everything is deterministic given a seed; no global RNG state is used.
+
+pub mod corpus;
+pub mod dictionary;
+pub mod doc;
+pub mod error;
+pub mod split;
+pub mod stats;
+pub mod synth;
+pub mod tokenize;
+
+pub use corpus::{Corpus, CorpusBuilder, DocumentEntry};
+pub use dictionary::{TermDictionary, TermId};
+pub use doc::{DocId, Document, GroupId};
+pub use error::CorpusError;
+pub use split::{sample_split, SplitConfig, TrainControlSplit};
+pub use stats::{CorpusStats, TermStats};
+pub use synth::{CorpusGenerator, CustomProfile, DatasetProfile, SynthConfig};
+pub use tokenize::{TokenizeConfig, Tokenizer};

@@ -1,0 +1,201 @@
+//! Training / control splits for RSTF initialization.
+//!
+//! Section 6.1.2 of the paper: "To obtain a representative sample for the
+//! RSTF initialization we randomly selected 30% of the documents from each
+//! data set as a training set.  We randomly chose about one third from the
+//! initial sample for the control set and used the rest as training data and
+//! minimized variance among the TRS values using cross-validation."
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::corpus::Corpus;
+use crate::doc::DocId;
+use crate::error::CorpusError;
+
+/// Configuration of [`sample_split`].
+#[derive(Debug, Clone, Copy)]
+pub struct SplitConfig {
+    /// Fraction of the corpus sampled for RSTF initialization (paper: 0.30).
+    pub sample_fraction: f64,
+    /// Fraction of the sample held out as the cross-validation control set
+    /// (paper: one third).
+    pub control_fraction: f64,
+    /// RNG seed; the split is fully determined by `(corpus, config)`.
+    pub seed: u64,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        SplitConfig {
+            sample_fraction: 0.30,
+            control_fraction: 1.0 / 3.0,
+            seed: 0x5eedb,
+        }
+    }
+}
+
+/// Result of [`sample_split`].
+#[derive(Debug, Clone)]
+pub struct TrainControlSplit {
+    /// Documents used to fit the per-term score distributions (the "training
+    /// data" of Section 5.1.1).
+    pub training: Vec<DocId>,
+    /// Documents used to evaluate TRS uniformity when selecting σ
+    /// (Section 5.1.3).
+    pub control: Vec<DocId>,
+    /// Documents outside the sample; they are indexed normally and their TRS
+    /// values exercise the generalization of the RSTF.
+    pub remainder: Vec<DocId>,
+}
+
+impl TrainControlSplit {
+    /// Total number of documents across the three parts.
+    pub fn len(&self) -> usize {
+        self.training.len() + self.control.len() + self.remainder.len()
+    }
+
+    /// Returns `true` if the split contains no documents at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Randomly splits the corpus into training / control / remainder documents.
+///
+/// The sample (training + control) contains `ceil(sample_fraction * |D|)`
+/// documents, of which `round(control_fraction * sample)` form the control
+/// set.  With fewer than three documents the whole corpus becomes training
+/// data so that callers always have something to fit an RSTF on.
+pub fn sample_split(corpus: &Corpus, config: SplitConfig) -> Result<TrainControlSplit, CorpusError> {
+    if !(0.0..=1.0).contains(&config.sample_fraction) {
+        return Err(CorpusError::InvalidConfig(format!(
+            "sample_fraction must be in [0,1], got {}",
+            config.sample_fraction
+        )));
+    }
+    if !(0.0..1.0).contains(&config.control_fraction) {
+        return Err(CorpusError::InvalidConfig(format!(
+            "control_fraction must be in [0,1), got {}",
+            config.control_fraction
+        )));
+    }
+    let mut ids: Vec<DocId> = corpus.doc_ids().collect();
+    if ids.len() < 3 {
+        return Ok(TrainControlSplit {
+            training: ids,
+            control: Vec::new(),
+            remainder: Vec::new(),
+        });
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    ids.shuffle(&mut rng);
+    let sample_size = ((ids.len() as f64) * config.sample_fraction).ceil() as usize;
+    let sample_size = sample_size.clamp(1, ids.len());
+    let control_size = ((sample_size as f64) * config.control_fraction).round() as usize;
+    let control_size = control_size.min(sample_size.saturating_sub(1));
+
+    let control: Vec<DocId> = ids[..control_size].to_vec();
+    let training: Vec<DocId> = ids[control_size..sample_size].to_vec();
+    let remainder: Vec<DocId> = ids[sample_size..].to_vec();
+    Ok(TrainControlSplit {
+        training,
+        control,
+        remainder,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusBuilder;
+    use crate::doc::{Document, GroupId};
+
+    fn corpus(n: usize) -> Corpus {
+        let mut b = CorpusBuilder::new();
+        for i in 0..n {
+            b.add_document(Document::new(
+                format!("doc-{i}"),
+                GroupId(0),
+                format!("term{} alpha beta", i % 7),
+            ))
+            .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn split_partitions_all_documents_exactly_once() {
+        let c = corpus(100);
+        let s = sample_split(&c, SplitConfig::default()).unwrap();
+        assert_eq!(s.len(), 100);
+        let mut all: Vec<DocId> = s
+            .training
+            .iter()
+            .chain(s.control.iter())
+            .chain(s.remainder.iter())
+            .copied()
+            .collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn split_sizes_follow_the_paper_fractions() {
+        let c = corpus(1000);
+        let s = sample_split(&c, SplitConfig::default()).unwrap();
+        let sample = s.training.len() + s.control.len();
+        assert_eq!(sample, 300);
+        assert!((s.control.len() as i64 - 100).abs() <= 1);
+        assert_eq!(s.remainder.len(), 700);
+    }
+
+    #[test]
+    fn split_is_deterministic_for_a_seed_and_differs_across_seeds() {
+        let c = corpus(50);
+        let a = sample_split(&c, SplitConfig::default()).unwrap();
+        let b = sample_split(&c, SplitConfig::default()).unwrap();
+        assert_eq!(a.training, b.training);
+        assert_eq!(a.control, b.control);
+        let other = sample_split(
+            &c,
+            SplitConfig {
+                seed: 123,
+                ..SplitConfig::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(a.training, other.training);
+    }
+
+    #[test]
+    fn tiny_corpora_become_pure_training_data() {
+        let c = corpus(2);
+        let s = sample_split(&c, SplitConfig::default()).unwrap();
+        assert_eq!(s.training.len(), 2);
+        assert!(s.control.is_empty());
+        assert!(s.remainder.is_empty());
+    }
+
+    #[test]
+    fn invalid_fractions_are_rejected() {
+        let c = corpus(10);
+        assert!(sample_split(
+            &c,
+            SplitConfig {
+                sample_fraction: 1.5,
+                ..SplitConfig::default()
+            }
+        )
+        .is_err());
+        assert!(sample_split(
+            &c,
+            SplitConfig {
+                control_fraction: 1.0,
+                ..SplitConfig::default()
+            }
+        )
+        .is_err());
+    }
+}

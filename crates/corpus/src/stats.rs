@@ -1,0 +1,270 @@
+//! Corpus-wide term statistics.
+//!
+//! These statistics are exactly the quantities the paper reasons about:
+//!
+//! * the term frequency distribution of a term over the documents containing
+//!   it (Figure 4, power-law on a log-log plot),
+//! * the **normalized** term frequency distribution `TF/|d|` (Figure 5), which
+//!   is the relevance score of Equation 4 and the input of the RSTF,
+//! * the document frequency `n_d(t)` and the term probability
+//!   `p_t = n_d(t) / |D|` ("normalized document frequency", Section 3.1) used
+//!   by the r-confidentiality condition of Definition 2 and by the response
+//!   size heuristics of Section 5.2.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::corpus::Corpus;
+use crate::dictionary::TermId;
+use crate::doc::DocId;
+use crate::error::CorpusError;
+
+/// Per-term statistics extracted from a corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TermStats {
+    /// The term.
+    pub term: TermId,
+    /// Document frequency `n_d(t)`: number of documents containing the term.
+    pub doc_freq: u32,
+    /// Total number of occurrences of the term in the corpus.
+    pub collection_freq: u64,
+    /// `(doc, tf, relevance)` for every document containing the term, in
+    /// document-id order.  `relevance = tf / |d|` (Equation 4).
+    pub postings: Vec<(DocId, u32, f64)>,
+}
+
+impl TermStats {
+    /// Term probability `p_t = n_d(t) / |D|` (Section 3.1 of the paper).
+    pub fn probability(&self, num_docs: usize) -> f64 {
+        if num_docs == 0 {
+            return 0.0;
+        }
+        f64::from(self.doc_freq) / num_docs as f64
+    }
+
+    /// Term frequencies sorted in descending order — the series plotted in
+    /// Figure 4 of the paper (rank on the x axis, TF on the y axis, log-log).
+    pub fn tf_distribution(&self) -> Vec<u32> {
+        let mut tfs: Vec<u32> = self.postings.iter().map(|&(_, tf, _)| tf).collect();
+        tfs.sort_unstable_by(|a, b| b.cmp(a));
+        tfs
+    }
+
+    /// Normalized term frequencies (`TF/|d|`, Equation 4) sorted in descending
+    /// order — the series plotted in Figure 5.
+    pub fn normalized_tf_distribution(&self) -> Vec<f64> {
+        let mut rel: Vec<f64> = self.postings.iter().map(|&(_, _, r)| r).collect();
+        rel.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        rel
+    }
+
+    /// All raw relevance scores (unsorted, document-id order).
+    pub fn relevance_scores(&self) -> Vec<f64> {
+        self.postings.iter().map(|&(_, _, r)| r).collect()
+    }
+}
+
+/// Statistics for every term of a corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusStats {
+    num_docs: usize,
+    total_tokens: u64,
+    terms: Vec<TermStats>,
+}
+
+impl CorpusStats {
+    /// Computes statistics for every term of `corpus`.
+    pub fn compute(corpus: &Corpus) -> Self {
+        let mut per_term: HashMap<TermId, TermStats> = HashMap::new();
+        for (doc_id, doc) in corpus.docs() {
+            for &(term, tf) in &doc.term_counts {
+                let entry = per_term.entry(term).or_insert_with(|| TermStats {
+                    term,
+                    doc_freq: 0,
+                    collection_freq: 0,
+                    postings: Vec::new(),
+                });
+                entry.doc_freq += 1;
+                entry.collection_freq += u64::from(tf);
+                let relevance = if doc.length == 0 {
+                    0.0
+                } else {
+                    f64::from(tf) / f64::from(doc.length)
+                };
+                entry.postings.push((doc_id, tf, relevance));
+            }
+        }
+        let mut terms: Vec<TermStats> = per_term.into_values().collect();
+        terms.sort_unstable_by_key(|t| t.term);
+        CorpusStats {
+            num_docs: corpus.num_docs(),
+            total_tokens: corpus.total_tokens(),
+            terms,
+        }
+    }
+
+    /// Number of documents in the underlying corpus.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Total number of term occurrences in the corpus.
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// Number of distinct terms that occur at least once.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Statistics for a single term.
+    pub fn term(&self, term: TermId) -> Result<&TermStats, CorpusError> {
+        self.terms
+            .binary_search_by_key(&term, |t| t.term)
+            .map(|i| &self.terms[i])
+            .map_err(|_| CorpusError::UnknownTerm(term.0))
+    }
+
+    /// Iterates over all term statistics in term-id order.
+    pub fn terms(&self) -> impl Iterator<Item = &TermStats> {
+        self.terms.iter()
+    }
+
+    /// Term probability `p_t` (Section 3.1).
+    pub fn probability(&self, term: TermId) -> Result<f64, CorpusError> {
+        Ok(self.term(term)?.probability(self.num_docs))
+    }
+
+    /// Document frequency `n_d(t)`.
+    pub fn doc_freq(&self, term: TermId) -> Result<u32, CorpusError> {
+        Ok(self.term(term)?.doc_freq)
+    }
+
+    /// Inverse document frequency `log(|D| / n_d(t))` (the factor of
+    /// Equation 3 that Zerber+R deliberately leaves out of the confidential
+    /// score; exposed for the ordinary-index baseline).
+    pub fn idf(&self, term: TermId) -> Result<f64, CorpusError> {
+        let df = self.doc_freq(term)?;
+        if df == 0 {
+            return Ok(0.0);
+        }
+        Ok((self.num_docs as f64 / f64::from(df)).ln())
+    }
+
+    /// Terms sorted by descending document frequency; useful for picking the
+    /// "frequent" and "rare" example terms of Figures 4/5/8.
+    pub fn terms_by_doc_freq(&self) -> Vec<TermId> {
+        let mut ids: Vec<(TermId, u32)> = self.terms.iter().map(|t| (t.term, t.doc_freq)).collect();
+        ids.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ids.into_iter().map(|(t, _)| t).collect()
+    }
+
+    /// Mean document length in terms.
+    pub fn avg_doc_length(&self) -> f64 {
+        if self.num_docs == 0 {
+            return 0.0;
+        }
+        self.total_tokens as f64 / self.num_docs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusBuilder;
+    use crate::doc::{Document, GroupId};
+
+    fn corpus() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        b.add_document(Document::new("1", GroupId(0), "and imclone and compound"))
+            .unwrap();
+        b.add_document(Document::new("2", GroupId(0), "and and process"))
+            .unwrap();
+        b.add_document(Document::new("3", GroupId(1), "compound process synthesis"))
+            .unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn doc_freq_and_collection_freq_are_counted() {
+        let c = corpus();
+        let s = CorpusStats::compute(&c);
+        let and = c.dictionary().get("and").unwrap();
+        let t = s.term(and).unwrap();
+        assert_eq!(t.doc_freq, 2);
+        assert_eq!(t.collection_freq, 4);
+        assert_eq!(s.num_terms(), c.num_terms());
+        assert_eq!(s.num_docs(), 3);
+    }
+
+    #[test]
+    fn probability_is_normalized_document_frequency() {
+        let c = corpus();
+        let s = CorpusStats::compute(&c);
+        let and = c.dictionary().get("and").unwrap();
+        let synthesis = c.dictionary().get("synthesis").unwrap();
+        assert!((s.probability(and).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.probability(synthesis).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tf_distribution_is_sorted_descending() {
+        let c = corpus();
+        let s = CorpusStats::compute(&c);
+        let and = c.dictionary().get("and").unwrap();
+        assert_eq!(s.term(and).unwrap().tf_distribution(), vec![2, 2]);
+        let norm = s.term(and).unwrap().normalized_tf_distribution();
+        assert!(norm.windows(2).all(|w| w[0] >= w[1]));
+        assert!((norm[0] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relevance_in_postings_matches_equation_4() {
+        let c = corpus();
+        let s = CorpusStats::compute(&c);
+        let imclone = c.dictionary().get("imclone").unwrap();
+        let t = s.term(imclone).unwrap();
+        assert_eq!(t.postings.len(), 1);
+        let (_, tf, rel) = t.postings[0];
+        assert_eq!(tf, 1);
+        assert!((rel - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idf_is_larger_for_rarer_terms() {
+        let c = corpus();
+        let s = CorpusStats::compute(&c);
+        let and = c.dictionary().get("and").unwrap();
+        let imclone = c.dictionary().get("imclone").unwrap();
+        assert!(s.idf(imclone).unwrap() > s.idf(and).unwrap());
+    }
+
+    #[test]
+    fn terms_by_doc_freq_puts_frequent_terms_first() {
+        let c = corpus();
+        let s = CorpusStats::compute(&c);
+        let order = s.terms_by_doc_freq();
+        let and = c.dictionary().get("and").unwrap();
+        assert_eq!(order[0], and);
+    }
+
+    #[test]
+    fn unknown_term_is_an_error() {
+        let c = corpus();
+        let s = CorpusStats::compute(&c);
+        assert!(matches!(
+            s.term(TermId(9999)),
+            Err(CorpusError::UnknownTerm(9999))
+        ));
+    }
+
+    #[test]
+    fn avg_doc_length_matches_totals() {
+        let c = corpus();
+        let s = CorpusStats::compute(&c);
+        assert!((s.avg_doc_length() - (4.0 + 3.0 + 3.0) / 3.0).abs() < 1e-12);
+        assert_eq!(s.total_tokens(), 10);
+    }
+}

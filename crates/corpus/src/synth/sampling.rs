@@ -1,0 +1,112 @@
+//! Small numeric samplers used by the synthetic corpus generators.
+//!
+//! Only `rand`'s uniform primitives are used; the normal and log-normal
+//! transformations are implemented here (Box–Muller) to avoid an extra
+//! dependency on `rand_distr`.
+
+use rand::Rng;
+
+/// Draws one standard-normal variate using the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 which would make ln(u1) = -inf.
+    let u1: f64 = loop {
+        let v: f64 = rng.gen();
+        if v > f64::MIN_POSITIVE {
+            break v;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a normal variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Draws a log-normal variate parameterized by the *median* of the resulting
+/// distribution and the log-space standard deviation `sigma`.
+///
+/// Document lengths in real collections are heavily right-skewed; a log-normal
+/// model reproduces the mix of short e-mails and long project documentation
+/// described in the paper's scenario (Section 2).
+pub fn log_normal_by_median<R: Rng + ?Sized>(rng: &mut R, median: f64, sigma: f64) -> f64 {
+    assert!(median > 0.0, "median must be positive");
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    (median.ln() + sigma * standard_normal(rng)).exp()
+}
+
+/// Draws a document length from a clamped log-normal distribution.
+pub fn doc_length<R: Rng + ?Sized>(
+    rng: &mut R,
+    median: f64,
+    sigma: f64,
+    min_len: u32,
+    max_len: u32,
+) -> u32 {
+    let raw = log_normal_by_median(rng, median, sigma);
+    let len = raw.round();
+    let len = if len.is_finite() { len } else { f64::from(max_len) };
+    (len as i64).clamp(i64::from(min_len), i64::from(max_len)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_has_zero_mean_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn normal_is_shifted_and_scaled() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn log_normal_median_is_respected() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 50_001;
+        let mut samples: Vec<f64> = (0..n)
+            .map(|_| log_normal_by_median(&mut rng, 150.0, 1.0))
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        assert!(
+            (median - 150.0).abs() / 150.0 < 0.05,
+            "empirical median {median}"
+        );
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn doc_length_respects_clamping() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..10_000 {
+            let len = doc_length(&mut rng, 100.0, 2.0, 20, 400);
+            assert!((20..=400).contains(&len));
+        }
+    }
+
+    #[test]
+    fn zero_sigma_log_normal_is_degenerate_at_the_median() {
+        let mut rng = StdRng::seed_from_u64(15);
+        for _ in 0..100 {
+            let v = log_normal_by_median(&mut rng, 42.0, 0.0);
+            assert!((v - 42.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Zipf-distributed sampling over term ranks.
+//!
+//! Term frequency in natural-language collections follows a power law
+//! (Section 3.4, Figure 4 of the paper).  The synthetic generators therefore
+//! draw term ranks from a Zipf distribution: rank `i` (1-based) is chosen with
+//! probability proportional to `1 / i^s`.
+//!
+//! The sampler precomputes the cumulative distribution once and samples by
+//! binary search, so a single draw is `O(log N)` with no rejection loop.
+
+use rand::Rng;
+
+/// Zipf sampler over `{0, 1, ..., n-1}` with exponent `s`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with exponent `s` (`s >= 0`).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative or not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfSampler requires at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating point drift: the last entry must be exactly 1.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        ZipfSampler { cdf, exponent: s }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if the sampler has no ranks (never happens after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability mass of rank `i` (0-based).
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i >= self.cdf.len() {
+            return 0.0;
+        }
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Draws one rank (0-based: 0 is the most probable rank).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen::<f64>();
+        // partition_point returns the first index whose cdf value is >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = ZipfSampler::new(100, 1.1);
+        let total: f64 = (0..100).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_ranks_are_more_probable() {
+        let z = ZipfSampler::new(1000, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+        assert!(z.pmf(10) > z.pmf(500));
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.pmf(i) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_follow_the_pmf() {
+        let z = ZipfSampler::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let mut counts = vec![0u32; 50];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for i in [0usize, 1, 5, 20] {
+            let emp = f64::from(counts[i]) / n as f64;
+            let expected = z.pmf(i);
+            assert!(
+                (emp - expected).abs() < 0.01,
+                "rank {i}: empirical {emp}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_are_always_in_range() {
+        let z = ZipfSampler::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ranks_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    fn ratio_of_head_ranks_matches_power_law() {
+        let z = ZipfSampler::new(10_000, 1.0);
+        // p(0)/p(1) should be 2 for s=1.
+        assert!((z.pmf(0) / z.pmf(1) - 2.0).abs() < 1e-9);
+        let z2 = ZipfSampler::new(10_000, 2.0);
+        assert!((z2.pmf(0) / z2.pmf(1) - 4.0).abs() < 1e-9);
+    }
+}

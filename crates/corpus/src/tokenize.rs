@@ -1,0 +1,207 @@
+//! Tokenization of document bodies into terms.
+//!
+//! The paper does not prescribe a particular analyzer; what matters for the
+//! evaluation is that term statistics (term frequency, document frequency)
+//! are computed over a consistent term universe.  The tokenizer here performs
+//! the standard pipeline used by the original Zerber prototype's Lucene-based
+//! indexer: Unicode-aware lowercasing, alphanumeric token extraction, optional
+//! stopword removal and optional length filtering.
+
+use std::collections::HashSet;
+
+/// Configuration of the [`Tokenizer`].
+#[derive(Debug, Clone)]
+pub struct TokenizeConfig {
+    /// Drop tokens shorter than this many characters (default 1 = keep all).
+    pub min_len: usize,
+    /// Drop tokens longer than this many characters (default 64).
+    pub max_len: usize,
+    /// Remove stopwords (default true).  The built-in list contains the most
+    /// frequent English and German function words; the paper's example terms
+    /// ("nicht", "and", …) are frequent function words, so generators that
+    /// want to *keep* them can disable stopword removal.
+    pub remove_stopwords: bool,
+    /// Additional stopwords supplied by the caller.
+    pub extra_stopwords: Vec<String>,
+}
+
+impl Default for TokenizeConfig {
+    fn default() -> Self {
+        TokenizeConfig {
+            min_len: 1,
+            max_len: 64,
+            remove_stopwords: false,
+            extra_stopwords: Vec::new(),
+        }
+    }
+}
+
+/// The default English/German stopword list used when
+/// [`TokenizeConfig::remove_stopwords`] is enabled.
+pub const DEFAULT_STOPWORDS: &[&str] = &[
+    // English
+    "the", "a", "an", "and", "or", "of", "to", "in", "is", "are", "was", "were", "it", "this",
+    "that", "for", "on", "with", "as", "by", "at", "be", "from", "not", "but", "we", "you",
+    "they", "he", "she", "his", "her", "its", "our", "their",
+    // German
+    "der", "die", "das", "und", "oder", "nicht", "ein", "eine", "ist", "sind", "war", "waren",
+    "zu", "in", "im", "auf", "mit", "von", "fuer", "für", "als", "bei", "aus", "dass", "wir",
+    "sie", "er", "es", "ich", "du",
+];
+
+/// A deterministic, allocation-conscious tokenizer.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    config: TokenizeConfig,
+    stopwords: HashSet<String>,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Tokenizer::new(TokenizeConfig::default())
+    }
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer from a configuration.
+    pub fn new(config: TokenizeConfig) -> Self {
+        let mut stopwords = HashSet::new();
+        if config.remove_stopwords {
+            for w in DEFAULT_STOPWORDS {
+                stopwords.insert((*w).to_string());
+            }
+            for w in &config.extra_stopwords {
+                stopwords.insert(w.to_lowercase());
+            }
+        }
+        Tokenizer { config, stopwords }
+    }
+
+    /// Returns the active configuration.
+    pub fn config(&self) -> &TokenizeConfig {
+        &self.config
+    }
+
+    /// Returns `true` if `token` (already lowercased) is filtered out.
+    fn is_filtered(&self, token: &str) -> bool {
+        let n = token.chars().count();
+        if n < self.config.min_len || n > self.config.max_len {
+            return true;
+        }
+        if self.config.remove_stopwords && self.stopwords.contains(token) {
+            return true;
+        }
+        false
+    }
+
+    /// Tokenizes `text` into lowercase terms, in document order.
+    ///
+    /// A token is a maximal run of alphanumeric characters; everything else is
+    /// a separator.  Digits are kept (document identifiers such as `1.txt`
+    /// contribute the token `1` and `txt`), matching a plain full-text
+    /// indexer.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut current = String::new();
+        for ch in text.chars() {
+            if ch.is_alphanumeric() {
+                for lc in ch.to_lowercase() {
+                    current.push(lc);
+                }
+            } else if !current.is_empty() {
+                if !self.is_filtered(&current) {
+                    out.push(std::mem::take(&mut current));
+                } else {
+                    current.clear();
+                }
+            }
+        }
+        if !current.is_empty() && !self.is_filtered(&current) {
+            out.push(current);
+        }
+        out
+    }
+
+    /// Tokenizes and counts terms in a single pass, returning `(term, count)`
+    /// pairs sorted by term.  The sum of the counts is the document length
+    /// `|d|` used by Equation 4 of the paper.
+    pub fn term_counts(&self, text: &str) -> Vec<(String, u32)> {
+        let mut counts: std::collections::BTreeMap<String, u32> = std::collections::BTreeMap::new();
+        for tok in self.tokenize(text) {
+            *counts.entry(tok).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_non_alphanumeric_and_lowercases() {
+        let t = Tokenizer::default();
+        assert_eq!(
+            t.tokenize("ImClone AND synthesis, 2.doc!"),
+            vec!["imclone", "and", "synthesis", "2", "doc"]
+        );
+    }
+
+    #[test]
+    fn empty_input_produces_no_tokens() {
+        let t = Tokenizer::default();
+        assert!(t.tokenize("").is_empty());
+        assert!(t.tokenize("   .,;!?").is_empty());
+    }
+
+    #[test]
+    fn stopwords_are_removed_when_enabled() {
+        let t = Tokenizer::new(TokenizeConfig {
+            remove_stopwords: true,
+            ..TokenizeConfig::default()
+        });
+        let toks = t.tokenize("the compound and the process nicht management");
+        assert_eq!(toks, vec!["compound", "process", "management"]);
+    }
+
+    #[test]
+    fn extra_stopwords_are_case_insensitive() {
+        let t = Tokenizer::new(TokenizeConfig {
+            remove_stopwords: true,
+            extra_stopwords: vec!["Betreff".into()],
+            ..TokenizeConfig::default()
+        });
+        assert!(t.tokenize("Betreff: Projektplan").contains(&"projektplan".to_string()));
+        assert!(!t.tokenize("Betreff: Projektplan").contains(&"betreff".to_string()));
+    }
+
+    #[test]
+    fn length_filters_apply_to_character_counts() {
+        let t = Tokenizer::new(TokenizeConfig {
+            min_len: 3,
+            max_len: 5,
+            ..TokenizeConfig::default()
+        });
+        assert_eq!(t.tokenize("ab abc abcde abcdef"), vec!["abc", "abcde"]);
+    }
+
+    #[test]
+    fn term_counts_sum_to_document_length() {
+        let t = Tokenizer::default();
+        let text = "alpha beta alpha gamma beta alpha";
+        let counts = t.term_counts(text);
+        let total: u32 = counts.iter().map(|(_, c)| *c).sum();
+        assert_eq!(total as usize, t.tokenize(text).len());
+        assert_eq!(
+            counts,
+            vec![("alpha".into(), 3), ("beta".into(), 2), ("gamma".into(), 1)]
+        );
+    }
+
+    #[test]
+    fn unicode_text_is_handled() {
+        let t = Tokenizer::default();
+        let toks = t.tokenize("Vergütung für Müller");
+        assert_eq!(toks, vec!["vergütung", "für", "müller"]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Group key hierarchy.
+//!
+//! The collaboration scenario of Section 2 assigns every document to a group;
+//! only members of the group may decrypt its posting elements.  This module
+//! derives per-group keys from a master secret with HKDF:
+//!
+//! * an AEAD key pair used to seal posting-element payloads,
+//! * a term-token key used as a PRF to map term strings to opaque tokens
+//!   (so the server can address posting lists without learning the term).
+//!
+//! A compromised index server therefore sees only ciphertexts and PRF
+//! outputs; group members holding the group secret can decrypt and filter.
+
+use crate::aead::AeadKey;
+use crate::hkdf::derive_key32;
+use crate::hmac::HmacSha256;
+
+/// Length in bytes of a term token.
+pub const TERM_TOKEN_LEN: usize = 16;
+
+/// An opaque, deterministic per-group token identifying a term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermToken(pub [u8; TERM_TOKEN_LEN]);
+
+impl TermToken {
+    /// Renders the token as hex (used in protocol messages and logs).
+    pub fn to_hex(&self) -> String {
+        crate::sha256::to_hex(&self.0)
+    }
+}
+
+/// The master secret of an enterprise deployment.
+#[derive(Clone)]
+pub struct MasterKey {
+    secret: [u8; 32],
+}
+
+impl std::fmt::Debug for MasterKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MasterKey(..)")
+    }
+}
+
+impl MasterKey {
+    /// Wraps raw key material.
+    pub fn new(secret: [u8; 32]) -> Self {
+        MasterKey { secret }
+    }
+
+    /// Derives a master key from a passphrase (iterated, salted hashing; this
+    /// reproduction does not aim for password-hardening guarantees, only for
+    /// deterministic key material).
+    pub fn from_passphrase(passphrase: &str, salt: &[u8]) -> Self {
+        let mut state = derive_key32(salt, passphrase.as_bytes(), b"zerber/master/v1");
+        for _ in 0..1024 {
+            state = derive_key32(salt, &state, b"zerber/master/stretch");
+        }
+        MasterKey { secret: state }
+    }
+
+    /// Derives the key set of one collaboration group.
+    pub fn group_keys(&self, group: u32) -> GroupKeys {
+        let ctx_enc = format!("zerber/group/{group}/enc");
+        let ctx_mac = format!("zerber/group/{group}/mac");
+        let ctx_term = format!("zerber/group/{group}/term");
+        GroupKeys {
+            group,
+            aead: AeadKey::new(
+                derive_key32(b"zerber-salt", &self.secret, ctx_enc.as_bytes()),
+                derive_key32(b"zerber-salt", &self.secret, ctx_mac.as_bytes()),
+            ),
+            term_key: derive_key32(b"zerber-salt", &self.secret, ctx_term.as_bytes()),
+        }
+    }
+}
+
+/// Key material shared by the members of one group.
+#[derive(Clone)]
+pub struct GroupKeys {
+    group: u32,
+    aead: AeadKey,
+    term_key: [u8; 32],
+}
+
+impl std::fmt::Debug for GroupKeys {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GroupKeys(group={}, ..)", self.group)
+    }
+}
+
+impl GroupKeys {
+    /// The group these keys belong to.
+    pub fn group(&self) -> u32 {
+        self.group
+    }
+
+    /// The AEAD key pair for sealing posting-element payloads.
+    pub fn aead(&self) -> &AeadKey {
+        &self.aead
+    }
+
+    /// Deterministically maps a term string to an opaque token.
+    ///
+    /// The same term always maps to the same token within a group, so clients
+    /// can address posting lists; different groups produce unrelated tokens.
+    pub fn term_token(&self, term: &str) -> TermToken {
+        let mac = HmacSha256::mac(&self.term_key, term.as_bytes());
+        let mut token = [0u8; TERM_TOKEN_LEN];
+        token.copy_from_slice(&mac[..TERM_TOKEN_LEN]);
+        TermToken(token)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn master() -> MasterKey {
+        MasterKey::new([0xA5; 32])
+    }
+
+    #[test]
+    fn group_keys_are_deterministic_and_distinct() {
+        let m = master();
+        let g0a = m.group_keys(0);
+        let g0b = m.group_keys(0);
+        let g1 = m.group_keys(1);
+        let sealed_a = g0a.aead().seal(&[0u8; 12], b"x", b"").unwrap();
+        let sealed_b = g0b.aead().seal(&[0u8; 12], b"x", b"").unwrap();
+        assert_eq!(sealed_a, sealed_b, "same group, same keys");
+        assert!(g1.aead().open(&sealed_a, b"").is_err(), "other group cannot decrypt");
+        assert_eq!(g0a.group(), 0);
+        assert_eq!(g1.group(), 1);
+    }
+
+    #[test]
+    fn term_tokens_are_stable_within_a_group() {
+        let g = master().group_keys(3);
+        assert_eq!(g.term_token("imclone"), g.term_token("imclone"));
+        assert_ne!(g.term_token("imclone"), g.term_token("and"));
+    }
+
+    #[test]
+    fn term_tokens_differ_across_groups() {
+        let m = master();
+        assert_ne!(
+            m.group_keys(0).term_token("imclone"),
+            m.group_keys(1).term_token("imclone")
+        );
+    }
+
+    #[test]
+    fn passphrase_derivation_is_deterministic_and_salted() {
+        let a = MasterKey::from_passphrase("pcc advisory board", b"salt-1");
+        let b = MasterKey::from_passphrase("pcc advisory board", b"salt-1");
+        let c = MasterKey::from_passphrase("pcc advisory board", b"salt-2");
+        assert_eq!(a.group_keys(0).term_token("x"), b.group_keys(0).term_token("x"));
+        assert_ne!(a.group_keys(0).term_token("x"), c.group_keys(0).term_token("x"));
+    }
+
+    #[test]
+    fn debug_output_hides_secrets() {
+        let m = master();
+        assert_eq!(format!("{m:?}"), "MasterKey(..)");
+        let g = m.group_keys(9);
+        assert!(format!("{g:?}").contains("group=9"));
+        assert!(!format!("{g:?}").contains("a5"));
+    }
+
+    #[test]
+    fn token_hex_has_expected_length() {
+        let g = master().group_keys(0);
+        assert_eq!(g.term_token("alpha").to_hex().len(), TERM_TOKEN_LEN * 2);
+    }
+}

@@ -1,0 +1,190 @@
+//! Posting-list compression: delta + variable-byte (varint) encoding.
+//!
+//! The evaluation of Section 6.6 reasons about the size of query responses
+//! and index storage (Section 6.3).  To report realistic byte counts for the
+//! ordinary-index baseline, posting lists can be serialized with the standard
+//! IR compression pipeline: document ids are delta-encoded (they are stored in
+//! ascending id order for compression, independent of the score order used at
+//! query time) and all integers use LEB128-style variable-byte encoding.
+//! Scores are quantized to a fixed-point `u32` before encoding.
+
+use zerber_corpus::DocId;
+
+use crate::error::IndexError;
+use crate::posting::{Posting, PostingList};
+
+/// Score quantization factor: scores in `[0, 1]` keep ~6 significant decimal
+/// digits, which is far below the ranking granularity the experiments need.
+const SCORE_SCALE: f64 = 1_000_000.0;
+
+/// Appends `value` in variable-byte (LEB128) encoding.
+pub fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads one varint starting at `pos`, returning `(value, next_pos)`.
+pub fn read_varint(buf: &[u8], mut pos: usize) -> Result<(u64, usize), IndexError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf
+            .get(pos)
+            .ok_or_else(|| IndexError::CorruptPostings("truncated varint".into()))?;
+        pos += 1;
+        if shift >= 64 {
+            return Err(IndexError::CorruptPostings("varint overflow".into()));
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok((value, pos));
+        }
+        shift += 7;
+    }
+}
+
+/// Encodes a posting list into a compact byte buffer.
+///
+/// Layout: varint count, then for each posting (in ascending doc-id order)
+/// varint delta(doc id), varint tf, varint quantized score.
+pub fn encode_posting_list(list: &PostingList) -> Vec<u8> {
+    let mut by_doc: Vec<&Posting> = list.postings().iter().collect();
+    by_doc.sort_unstable_by_key(|p| p.doc);
+    let mut out = Vec::with_capacity(by_doc.len() * 4 + 4);
+    write_varint(&mut out, by_doc.len() as u64);
+    let mut prev = 0u64;
+    for p in by_doc {
+        let id = u64::from(p.doc.0);
+        write_varint(&mut out, id - prev);
+        prev = id;
+        write_varint(&mut out, u64::from(p.tf));
+        let q = (p.score.clamp(0.0, u32::MAX as f64 / SCORE_SCALE) * SCORE_SCALE).round() as u64;
+        write_varint(&mut out, q);
+    }
+    out
+}
+
+/// Decodes a posting list produced by [`encode_posting_list`].
+pub fn decode_posting_list(buf: &[u8]) -> Result<PostingList, IndexError> {
+    let (count, mut pos) = read_varint(buf, 0)?;
+    let mut postings = Vec::with_capacity(count as usize);
+    let mut doc = 0u64;
+    for _ in 0..count {
+        let (delta, p1) = read_varint(buf, pos)?;
+        let (tf, p2) = read_varint(buf, p1)?;
+        let (q, p3) = read_varint(buf, p2)?;
+        pos = p3;
+        doc += delta;
+        if doc > u64::from(u32::MAX) || tf > u64::from(u32::MAX) {
+            return Err(IndexError::CorruptPostings("value out of range".into()));
+        }
+        postings.push(Posting::new(
+            DocId(doc as u32),
+            tf as u32,
+            q as f64 / SCORE_SCALE,
+        ));
+    }
+    if pos != buf.len() {
+        return Err(IndexError::CorruptPostings(format!(
+            "{} trailing bytes after postings",
+            buf.len() - pos
+        )));
+    }
+    Ok(PostingList::from_postings(postings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(items: &[(u32, u32, f64)]) -> PostingList {
+        PostingList::from_postings(
+            items
+                .iter()
+                .map(|&(d, tf, s)| Posting::new(DocId(d), tf, s))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn varint_roundtrips_boundary_values() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let (back, pos) = read_varint(&buf, 0).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_small_values_use_one_byte() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 100);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_varint(&mut buf, 300);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn truncated_varint_is_an_error() {
+        // 0x80 has the continuation bit set but nothing follows.
+        assert!(read_varint(&[0x80], 0).is_err());
+        assert!(read_varint(&[], 0).is_err());
+    }
+
+    #[test]
+    fn posting_list_roundtrips() {
+        let original = list(&[(3, 2, 0.4), (17, 5, 0.125), (4000, 1, 0.033333)]);
+        let buf = encode_posting_list(&original);
+        let decoded = decode_posting_list(&buf).unwrap();
+        assert_eq!(decoded.len(), 3);
+        for (a, b) in original.iter().zip(decoded.iter()) {
+            // Same order because quantization keeps 6 decimal digits.
+            assert_eq!(a.doc, b.doc);
+            assert_eq!(a.tf, b.tf);
+            assert!((a.score - b.score).abs() < 2.0 / SCORE_SCALE);
+        }
+    }
+
+    #[test]
+    fn empty_posting_list_roundtrips() {
+        let buf = encode_posting_list(&PostingList::new());
+        assert_eq!(buf, vec![0]);
+        assert!(decode_posting_list(&buf).unwrap().is_empty());
+    }
+
+    #[test]
+    fn delta_encoding_shrinks_dense_doc_ids() {
+        let dense = list(&(0..1000u32).map(|d| (d, 1, 0.5)).collect::<Vec<_>>());
+        let sparse = list(&(0..1000u32).map(|d| (d * 50_000, 1, 0.5)).collect::<Vec<_>>());
+        let dense_bytes = encode_posting_list(&dense).len();
+        let sparse_bytes = encode_posting_list(&sparse).len();
+        assert!(
+            dense_bytes < sparse_bytes,
+            "dense {dense_bytes} should be smaller than sparse {sparse_bytes}"
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_is_detected() {
+        let mut buf = encode_posting_list(&list(&[(1, 1, 0.5)]));
+        buf.push(0x00);
+        assert!(decode_posting_list(&buf).is_err());
+    }
+
+    #[test]
+    fn corrupt_count_is_detected() {
+        // Claim 5 postings but provide none.
+        let buf = vec![5u8];
+        assert!(decode_posting_list(&buf).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for the ordinary inverted index substrate.
+
+use std::fmt;
+
+/// Errors produced by the inverted index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// The queried term does not occur in the index.
+    TermNotIndexed(String),
+    /// A corpus-level error bubbled up during index construction.
+    Corpus(String),
+    /// A compressed posting list could not be decoded.
+    CorruptPostings(String),
+    /// `k = 0` or another invalid query parameter was supplied.
+    InvalidQuery(String),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::TermNotIndexed(t) => write!(f, "term {t:?} is not indexed"),
+            IndexError::Corpus(msg) => write!(f, "corpus error: {msg}"),
+            IndexError::CorruptPostings(msg) => write!(f, "corrupt posting list: {msg}"),
+            IndexError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+impl From<zerber_corpus::CorpusError> for IndexError {
+    fn from(e: zerber_corpus::CorpusError) -> Self {
+        IndexError::Corpus(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_the_term_or_message() {
+        assert!(IndexError::TermNotIndexed("imclone".into())
+            .to_string()
+            .contains("imclone"));
+        assert!(IndexError::InvalidQuery("k must be > 0".into())
+            .to_string()
+            .contains("k must be > 0"));
+        assert!(IndexError::CorruptPostings("truncated varint".into())
+            .to_string()
+            .contains("truncated"));
+    }
+
+    #[test]
+    fn corpus_errors_convert() {
+        let e: IndexError = zerber_corpus::CorpusError::UnknownTerm(5).into();
+        assert!(matches!(e, IndexError::Corpus(_)));
+    }
+}

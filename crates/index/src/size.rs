@@ -1,0 +1,126 @@
+//! Index size accounting for the storage-overhead experiment (Section 6.3).
+//!
+//! The paper's argument is that Zerber+R attaches one transformed relevance
+//! score (TRS) per posting element and therefore introduces **no storage
+//! overhead** compared to an ordinary inverted index, which also stores one
+//! relevance score per element.  To verify this quantitatively the harness
+//! needs byte-level size reports for both index types; the conventions here
+//! follow Section 6.6, which encodes one posting element in 64 bits.
+
+use serde::{Deserialize, Serialize};
+
+use crate::compress::encode_posting_list;
+use crate::posting::PostingList;
+
+/// Bytes used by one plain (uncompressed) posting element: 64 bits, the
+/// encoding assumed in Section 6.6 of the paper.
+pub const PLAIN_POSTING_BYTES: usize = 8;
+
+/// Size report of an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexSizeReport {
+    /// Number of posting lists.
+    pub num_lists: usize,
+    /// Total number of posting elements.
+    pub num_postings: usize,
+    /// Size with the paper's fixed 64-bit element encoding.
+    pub plain_bytes: usize,
+    /// Size with delta + varint compression (what a production index would
+    /// actually store for the plaintext baseline).
+    pub compressed_bytes: usize,
+}
+
+impl IndexSizeReport {
+    /// Measures a collection of posting lists.
+    pub fn measure<'a, I>(lists: I) -> Self
+    where
+        I: IntoIterator<Item = &'a PostingList>,
+    {
+        let mut report = IndexSizeReport {
+            num_lists: 0,
+            num_postings: 0,
+            plain_bytes: 0,
+            compressed_bytes: 0,
+        };
+        for list in lists {
+            report.num_lists += 1;
+            report.num_postings += list.len();
+            report.plain_bytes += list.len() * PLAIN_POSTING_BYTES;
+            report.compressed_bytes += encode_posting_list(list).len();
+        }
+        report
+    }
+
+    /// Average bytes per posting element under the plain encoding.
+    pub fn plain_bytes_per_posting(&self) -> f64 {
+        if self.num_postings == 0 {
+            0.0
+        } else {
+            self.plain_bytes as f64 / self.num_postings as f64
+        }
+    }
+
+    /// Relative overhead of this report against a baseline
+    /// (`self / baseline - 1`), using the plain encoding.
+    pub fn overhead_vs(&self, baseline: &IndexSizeReport) -> f64 {
+        if baseline.plain_bytes == 0 {
+            return 0.0;
+        }
+        self.plain_bytes as f64 / baseline.plain_bytes as f64 - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::posting::Posting;
+    use zerber_corpus::DocId;
+
+    fn list(n: u32) -> PostingList {
+        PostingList::from_postings(
+            (0..n)
+                .map(|d| Posting::new(DocId(d), d + 1, f64::from(d + 1) / 100.0))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn measure_counts_lists_and_postings() {
+        let lists = vec![list(3), list(5)];
+        let r = IndexSizeReport::measure(lists.iter());
+        assert_eq!(r.num_lists, 2);
+        assert_eq!(r.num_postings, 8);
+        assert_eq!(r.plain_bytes, 8 * PLAIN_POSTING_BYTES);
+        assert!(r.compressed_bytes > 0);
+    }
+
+    #[test]
+    fn plain_bytes_per_posting_is_the_constant() {
+        let lists = vec![list(10)];
+        let r = IndexSizeReport::measure(lists.iter());
+        assert!((r.plain_bytes_per_posting() - PLAIN_POSTING_BYTES as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_indexes_have_zero_overhead() {
+        let a = IndexSizeReport::measure(vec![list(4)].iter());
+        let b = IndexSizeReport::measure(vec![list(4)].iter());
+        assert!(a.overhead_vs(&b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_index_has_positive_overhead() {
+        let small = IndexSizeReport::measure(vec![list(4)].iter());
+        let large = IndexSizeReport::measure(vec![list(8)].iter());
+        assert!(large.overhead_vs(&small) > 0.9);
+        assert!(small.overhead_vs(&large) < 0.0);
+    }
+
+    #[test]
+    fn empty_measurement_is_all_zero() {
+        let r = IndexSizeReport::measure(std::iter::empty());
+        assert_eq!(r.num_postings, 0);
+        assert_eq!(r.plain_bytes_per_posting(), 0.0);
+        assert_eq!(r.overhead_vs(&r), 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Top-k selection utilities.
+//!
+//! Top-k is the standard IR technique the paper builds on (Section 1): only
+//! the `k` highest-ranked documents are returned.  This module provides a
+//! bounded min-heap accumulator shared by the ordinary index (multi-term
+//! queries) and by the evaluation harness.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use zerber_corpus::DocId;
+
+/// A `(doc, score)` result entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredDoc {
+    /// The document.
+    pub doc: DocId,
+    /// Its (possibly aggregated) relevance score.
+    pub score: f64,
+}
+
+impl ScoredDoc {
+    /// Creates an entry.
+    pub fn new(doc: DocId, score: f64) -> Self {
+        ScoredDoc { doc, score }
+    }
+}
+
+/// Ordering used throughout: higher score first, ties broken by lower doc id.
+fn better(a: &ScoredDoc, b: &ScoredDoc) -> Ordering {
+    a.score
+        .partial_cmp(&b.score)
+        .unwrap_or(Ordering::Equal)
+        .then(b.doc.cmp(&a.doc))
+}
+
+/// Wrapper giving `BinaryHeap` min-heap semantics over [`better`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MinEntry(ScoredDoc);
+
+impl Eq for MinEntry {}
+
+impl PartialOrd for MinEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MinEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: the heap's max is the *worst* kept result.
+        better(&other.0, &self.0)
+    }
+}
+
+/// Bounded accumulator that keeps the `k` best [`ScoredDoc`] entries.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<MinEntry>,
+}
+
+impl TopK {
+    /// Creates an accumulator for `k` results.  `k = 0` keeps nothing.
+    pub fn new(k: usize) -> Self {
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// The configured `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of entries currently held (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no entry has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Offers an entry; it is kept only if it ranks among the best `k` so far.
+    pub fn push(&mut self, entry: ScoredDoc) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(MinEntry(entry));
+            return;
+        }
+        if let Some(worst) = self.heap.peek() {
+            if better(&entry, &worst.0) == Ordering::Greater {
+                self.heap.pop();
+                self.heap.push(MinEntry(entry));
+            }
+        }
+    }
+
+    /// The score of the worst kept entry, or `None` if fewer than `k` entries
+    /// are held.  Useful as a pruning threshold.
+    pub fn threshold(&self) -> Option<f64> {
+        if self.heap.len() < self.k {
+            None
+        } else {
+            self.heap.peek().map(|e| e.0.score)
+        }
+    }
+
+    /// Consumes the accumulator, returning the results in ranked order
+    /// (best first).
+    pub fn into_sorted(self) -> Vec<ScoredDoc> {
+        let mut v: Vec<ScoredDoc> = self.heap.into_iter().map(|e| e.0).collect();
+        v.sort_unstable_by(|a, b| better(b, a));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sd(doc: u32, score: f64) -> ScoredDoc {
+        ScoredDoc::new(DocId(doc), score)
+    }
+
+    #[test]
+    fn keeps_only_the_best_k() {
+        let mut acc = TopK::new(3);
+        for (d, s) in [(0, 0.1), (1, 0.9), (2, 0.4), (3, 0.7), (4, 0.2)] {
+            acc.push(sd(d, s));
+        }
+        let out = acc.into_sorted();
+        let docs: Vec<u32> = out.iter().map(|e| e.doc.0).collect();
+        assert_eq!(docs, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn results_are_sorted_best_first() {
+        let mut acc = TopK::new(10);
+        for (d, s) in [(5, 0.3), (6, 0.8), (7, 0.5)] {
+            acc.push(sd(d, s));
+        }
+        let out = acc.into_sorted();
+        assert!(out.windows(2).all(|w| w[0].score >= w[1].score));
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn ties_prefer_lower_doc_ids() {
+        let mut acc = TopK::new(2);
+        for d in [9, 1, 5] {
+            acc.push(sd(d, 0.5));
+        }
+        let out = acc.into_sorted();
+        let docs: Vec<u32> = out.iter().map(|e| e.doc.0).collect();
+        assert_eq!(docs, vec![1, 5]);
+    }
+
+    #[test]
+    fn threshold_is_the_worst_kept_score() {
+        let mut acc = TopK::new(2);
+        assert_eq!(acc.threshold(), None);
+        acc.push(sd(0, 0.9));
+        assert_eq!(acc.threshold(), None);
+        acc.push(sd(1, 0.4));
+        assert_eq!(acc.threshold(), Some(0.4));
+        acc.push(sd(2, 0.6));
+        assert_eq!(acc.threshold(), Some(0.6));
+    }
+
+    #[test]
+    fn k_zero_keeps_nothing() {
+        let mut acc = TopK::new(0);
+        acc.push(sd(0, 1.0));
+        assert!(acc.is_empty());
+        assert!(acc.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_input_returns_everything() {
+        let mut acc = TopK::new(100);
+        for d in 0..5u32 {
+            acc.push(sd(d, f64::from(d)));
+        }
+        assert_eq!(acc.len(), 5);
+        assert_eq!(acc.k(), 100);
+    }
+}

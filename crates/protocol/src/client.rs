@@ -1,0 +1,470 @@
+//! The querying / inserting client.
+//!
+//! A client holds the group keys of the groups she belongs to, the published
+//! merge plan (term → merged list) and the published RSTF model.  For a
+//! query she addresses the merged list of her term, asks for the top-`b`
+//! elements, decrypts and filters locally, and sends doubling follow-up
+//! requests until she has `k` results (Section 5.2).  All exchanged bytes are
+//! accounted so the harness can reproduce the bandwidth figures.
+
+use std::collections::HashMap;
+
+use zerber_base::{EncryptedElement, MergePlan, PostingPayload};
+use zerber_corpus::{DocId, GroupId, TermId};
+use zerber_crypto::{DeterministicRng, GroupKeys};
+use zerber_r::{GrowthPolicy, RetrievalConfig, RstfModel};
+
+use crate::acl::AuthToken;
+use crate::error::ProtocolError;
+use crate::message::QueryRequest;
+use crate::server::{IndexServer, InsertRequest};
+
+/// Byte/traffic outcome of one client-side query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientQueryOutcome {
+    /// Ranked `(doc, raw relevance)` results, best first, at most `k`.
+    pub results: Vec<(DocId, f64)>,
+    /// Requests sent (initial + follow-ups).
+    pub requests: usize,
+    /// Posting elements received.
+    pub elements_received: usize,
+    /// Bytes sent to the server.
+    pub bytes_sent: usize,
+    /// Bytes received from the server.
+    pub bytes_received: usize,
+    /// Whether `k` results were collected before the list was exhausted.
+    pub satisfied: bool,
+}
+
+impl ClientQueryOutcome {
+    /// Query efficiency `k / TRes` (Equation 14).
+    pub fn efficiency(&self, k: usize) -> f64 {
+        if self.elements_received == 0 {
+            return 1.0;
+        }
+        (k as f64 / self.elements_received as f64).min(1.0)
+    }
+}
+
+/// A collaboration-group member interacting with the index server.
+#[derive(Debug)]
+pub struct Client {
+    user: String,
+    token: AuthToken,
+    keys: HashMap<GroupId, GroupKeys>,
+    rng: DeterministicRng,
+}
+
+impl Client {
+    /// Creates a client for `user` holding keys for `keys` groups.
+    pub fn new(user: impl Into<String>, token: AuthToken, keys: HashMap<GroupId, GroupKeys>) -> Self {
+        Client {
+            user: user.into(),
+            token,
+            keys,
+            rng: DeterministicRng::from_u64(0xc11e47),
+        }
+    }
+
+    /// The user name.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// The groups this client can decrypt.
+    pub fn groups(&self) -> Vec<GroupId> {
+        let mut g: Vec<GroupId> = self.keys.keys().copied().collect();
+        g.sort();
+        g
+    }
+
+    /// Executes a single-term top-k query against `server`.
+    pub fn query(
+        &self,
+        server: &IndexServer,
+        plan: &MergePlan,
+        term: TermId,
+        config: &RetrievalConfig,
+    ) -> Result<ClientQueryOutcome, ProtocolError> {
+        if config.k == 0 || config.initial_response == 0 {
+            return Err(ProtocolError::InvalidRequest(
+                "k and b must be greater than 0".into(),
+            ));
+        }
+        let list = plan
+            .list_of(term)
+            .map_err(|e| ProtocolError::InvalidRequest(e.to_string()))?;
+        let mut results: Vec<(DocId, f64)> = Vec::with_capacity(config.k);
+        let mut offset = 0u64;
+        let mut requests = 0usize;
+        let mut elements_received = 0usize;
+        let mut bytes_sent = 0usize;
+        let mut bytes_received = 0usize;
+        let mut visible_total = u64::MAX;
+
+        while results.len() < config.k && offset < visible_total {
+            let count = match config.growth {
+                GrowthPolicy::Doubling => config.initial_response << requests.min(30),
+                GrowthPolicy::Constant => config.initial_response,
+            } as u32;
+            let request = QueryRequest {
+                user: self.user.clone(),
+                list: list.0,
+                offset,
+                count,
+                k: config.k as u32,
+            };
+            bytes_sent += request.encoded_bytes();
+            let response = server.handle_query(&request, &self.token)?;
+            requests += 1;
+            bytes_received += response.encoded_bytes();
+            elements_received += response.elements.len();
+            visible_total = response.visible_total;
+            for wire in &response.elements {
+                let Some(keys) = self.keys.get(&wire.group) else {
+                    // The server should not have sent this; skip defensively.
+                    continue;
+                };
+                let sealed = EncryptedElement {
+                    group: wire.group,
+                    ciphertext: wire.ciphertext.clone(),
+                };
+                let payload = sealed
+                    .open(keys, list)
+                    .map_err(|e| ProtocolError::Core(e.to_string()))?;
+                if payload.term == term {
+                    results.push((payload.doc, payload.relevance()));
+                    if results.len() == config.k {
+                        break;
+                    }
+                }
+            }
+            offset += response.elements.len() as u64;
+            if response.elements.is_empty() {
+                break;
+            }
+        }
+        results.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        let satisfied = results.len() >= config.k;
+        Ok(ClientQueryOutcome {
+            results,
+            requests,
+            elements_received,
+            bytes_sent,
+            bytes_received,
+            satisfied,
+        })
+    }
+
+    /// Executes a multi-term query as a sequence of single-term queries
+    /// (Section 3.2) and merges rankings by summed relevance.
+    pub fn query_multi(
+        &self,
+        server: &IndexServer,
+        plan: &MergePlan,
+        terms: &[TermId],
+        config: &RetrievalConfig,
+    ) -> Result<(Vec<(DocId, f64)>, Vec<ClientQueryOutcome>), ProtocolError> {
+        if terms.is_empty() {
+            return Err(ProtocolError::InvalidRequest("empty query".into()));
+        }
+        let mut acc: HashMap<DocId, f64> = HashMap::new();
+        let mut per_term = Vec::with_capacity(terms.len());
+        for &t in terms {
+            let outcome = self.query(server, plan, t, config)?;
+            for &(doc, rel) in &outcome.results {
+                *acc.entry(doc).or_insert(0.0) += rel;
+            }
+            per_term.push(outcome);
+        }
+        let mut merged: Vec<(DocId, f64)> = acc.into_iter().collect();
+        merged.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        merged.truncate(config.k);
+        Ok((merged, per_term))
+    }
+
+    /// Indexes one document the way Section 5 describes: for every term the
+    /// owner builds the posting element, seals it, computes the TRS with the
+    /// published RSTF and sends everything to the server.
+    ///
+    /// Returns the number of posting elements inserted.
+    pub fn insert_document(
+        &mut self,
+        server: &IndexServer,
+        plan: &MergePlan,
+        model: &RstfModel,
+        doc: DocId,
+        group: GroupId,
+        term_counts: &[(TermId, u32)],
+    ) -> Result<usize, ProtocolError> {
+        let keys = self
+            .keys
+            .get(&group)
+            .ok_or(ProtocolError::AccessDenied {
+                user: self.user.clone(),
+                group: group.0,
+            })?
+            .clone();
+        let doc_len: u32 = term_counts.iter().map(|&(_, c)| c).sum();
+        let mut inserted = 0usize;
+        for &(term, tf) in term_counts {
+            let list = plan
+                .list_of(term)
+                .map_err(|e| ProtocolError::InvalidRequest(e.to_string()))?;
+            let payload = PostingPayload {
+                term,
+                doc,
+                tf,
+                doc_len,
+            };
+            let sealed = EncryptedElement::seal(&payload, group, &keys, list, &mut self.rng)
+                .map_err(|e| ProtocolError::Core(e.to_string()))?;
+            let trs = model.transform(term, doc, payload.relevance());
+            server.handle_insert(
+                &InsertRequest {
+                    user: self.user.clone(),
+                    list: list.0,
+                    group,
+                    trs,
+                    ciphertext: sealed.ciphertext,
+                },
+                &self.token,
+            )?;
+            inserted += 1;
+        }
+        Ok(inserted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acl::AccessControl;
+    use zerber_base::{BfmMerge, ConfidentialityParam, MergeScheme};
+    use zerber_corpus::{
+        sample_split, Corpus, CorpusGenerator, CorpusStats, CustomProfile, DatasetProfile,
+        SplitConfig, SynthConfig,
+    };
+    use zerber_crypto::MasterKey;
+    use zerber_index::InvertedIndex;
+    use zerber_r::{OrderedIndex, RstfConfig};
+
+    struct Fixture {
+        corpus: Corpus,
+        stats: CorpusStats,
+        plan: MergePlan,
+        model: RstfModel,
+        server: IndexServer,
+        master: MasterKey,
+    }
+
+    fn fixture() -> Fixture {
+        let config = SynthConfig {
+            profile: DatasetProfile::Custom(CustomProfile {
+                num_docs: 200,
+                num_groups: 2,
+                vocab_size: 500,
+                general_vocab_fraction: 0.6,
+                topic_mix: 0.25,
+                zipf_exponent: 1.0,
+                doc_length_median: 60.0,
+                doc_length_sigma: 0.6,
+                min_doc_length: 15,
+                max_doc_length: 250,
+            }),
+            scale: 1.0,
+            seed: 321,
+        };
+        let corpus = CorpusGenerator::new(config).generate().unwrap();
+        let stats = CorpusStats::compute(&corpus);
+        let split = sample_split(&corpus, SplitConfig::default()).unwrap();
+        let model = RstfModel::train(&corpus, &split, &RstfConfig::default()).unwrap();
+        let plan = BfmMerge
+            .plan(&stats, ConfidentialityParam::new(3.0).unwrap())
+            .unwrap();
+        let master = MasterKey::new([6u8; 32]);
+        let index = OrderedIndex::build(&corpus, plan.clone(), &model, &master, 9).unwrap();
+        let mut acl = AccessControl::new(b"s3");
+        acl.register_user("john", &[GroupId(0), GroupId(1)]);
+        acl.register_user("alice", &[GroupId(1)]);
+        let server = IndexServer::new(index, acl);
+        Fixture {
+            corpus,
+            stats,
+            plan,
+            model,
+            server,
+            master,
+        }
+    }
+
+    fn client(f: &Fixture, user: &str, groups: &[u32]) -> Client {
+        let token = f.server.acl().issue_token(user);
+        let keys: HashMap<GroupId, GroupKeys> = groups
+            .iter()
+            .map(|&g| (GroupId(g), f.master.group_keys(g)))
+            .collect();
+        Client::new(user, token, keys)
+    }
+
+    #[test]
+    fn full_member_query_matches_plaintext_ranking() {
+        let f = fixture();
+        let john = client(&f, "john", &[0, 1]);
+        let plain = InvertedIndex::build(&f.corpus);
+        let k = 10;
+        for &term in f.stats.terms_by_doc_freq().iter().take(10) {
+            let outcome = john
+                .query(&f.server, &f.plan, term, &RetrievalConfig::for_k(k))
+                .unwrap();
+            let reference = plain.query_term(term, k).unwrap();
+            let got: Vec<f64> = outcome.results.iter().map(|r| r.1).collect();
+            let want: Vec<f64> = reference.iter().map(|p| p.score).collect();
+            assert_eq!(got.len(), want.len().min(k));
+            for (g, w) in got.iter().zip(want.iter()) {
+                assert!((g - w).abs() < 1e-9);
+            }
+            assert!(outcome.bytes_received > 0);
+            assert!(outcome.bytes_sent > 0);
+            assert!(outcome.requests >= 1);
+        }
+    }
+
+    #[test]
+    fn restricted_member_only_sees_her_groups() {
+        let f = fixture();
+        let alice = client(&f, "alice", &[1]);
+        let term = f.stats.terms_by_doc_freq()[0];
+        let outcome = alice
+            .query(&f.server, &f.plan, term, &RetrievalConfig::for_k(10))
+            .unwrap();
+        for &(doc, _) in &outcome.results {
+            assert_eq!(f.corpus.doc(doc).unwrap().group, GroupId(1));
+        }
+        assert_eq!(alice.groups(), vec![GroupId(1)]);
+        assert_eq!(alice.user(), "alice");
+    }
+
+    #[test]
+    fn frequent_term_top_10_needs_few_requests_with_b_10() {
+        // Section 6.4: with b = k = 10, most frequent query terms finish
+        // within two requests.
+        let f = fixture();
+        let john = client(&f, "john", &[0, 1]);
+        let term = f.stats.terms_by_doc_freq()[0];
+        let outcome = john
+            .query(&f.server, &f.plan, term, &RetrievalConfig::for_k(10))
+            .unwrap();
+        assert!(outcome.satisfied);
+        assert!(outcome.requests <= 2, "got {} requests", outcome.requests);
+    }
+
+    #[test]
+    fn server_traffic_counters_match_client_accounting() {
+        let f = fixture();
+        f.server.reset_stats();
+        let john = client(&f, "john", &[0, 1]);
+        let term = f.stats.terms_by_doc_freq()[3];
+        let outcome = john
+            .query(&f.server, &f.plan, term, &RetrievalConfig::for_k(5))
+            .unwrap();
+        let stats = f.server.stats();
+        assert_eq!(stats.requests_served as usize, outcome.requests);
+        assert_eq!(stats.elements_sent as usize, outcome.elements_received);
+        assert_eq!(stats.bytes_out as usize, outcome.bytes_received);
+        assert_eq!(stats.bytes_in as usize, outcome.bytes_sent);
+    }
+
+    #[test]
+    fn client_insert_roundtrips_through_a_query() {
+        let f = fixture();
+        let mut john = client(&f, "john", &[0, 1]);
+        let term = f.stats.terms_by_doc_freq()[0];
+        // A short new document where the term dominates: relevance 0.8.
+        let new_doc = DocId(90_000);
+        let inserted = john
+            .insert_document(
+                &f.server,
+                &f.plan,
+                &f.model,
+                new_doc,
+                GroupId(0),
+                &[(term, 8), (f.stats.terms_by_doc_freq()[1], 2)],
+            )
+            .unwrap();
+        assert_eq!(inserted, 2);
+        let outcome = john
+            .query(&f.server, &f.plan, term, &RetrievalConfig::for_k(3))
+            .unwrap();
+        assert!(
+            outcome.results.iter().any(|&(d, _)| d == new_doc),
+            "newly inserted high-relevance document should reach the top-3"
+        );
+    }
+
+    #[test]
+    fn insert_into_foreign_group_is_denied() {
+        let f = fixture();
+        let mut alice = client(&f, "alice", &[1]);
+        let term = f.stats.terms_by_doc_freq()[0];
+        let err = alice.insert_document(
+            &f.server,
+            &f.plan,
+            &f.model,
+            DocId(91_000),
+            GroupId(0),
+            &[(term, 1)],
+        );
+        assert!(matches!(err, Err(ProtocolError::AccessDenied { .. })));
+    }
+
+    #[test]
+    fn multi_term_queries_and_invalid_parameters() {
+        let f = fixture();
+        let john = client(&f, "john", &[0, 1]);
+        let terms = [
+            f.stats.terms_by_doc_freq()[0],
+            f.stats.terms_by_doc_freq()[1],
+        ];
+        let (merged, per_term) = john
+            .query_multi(&f.server, &f.plan, &terms, &RetrievalConfig::for_k(5))
+            .unwrap();
+        assert_eq!(per_term.len(), 2);
+        assert!(merged.len() <= 5);
+        assert!(john
+            .query_multi(&f.server, &f.plan, &[], &RetrievalConfig::for_k(5))
+            .is_err());
+        assert!(john
+            .query(
+                &f.server,
+                &f.plan,
+                terms[0],
+                &RetrievalConfig {
+                    k: 0,
+                    initial_response: 1,
+                    growth: GrowthPolicy::Doubling
+                }
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn efficiency_metric_is_bounded() {
+        let f = fixture();
+        let john = client(&f, "john", &[0, 1]);
+        let term = f.stats.terms_by_doc_freq()[2];
+        let outcome = john
+            .query(&f.server, &f.plan, term, &RetrievalConfig::for_k(10))
+            .unwrap();
+        let eff = outcome.efficiency(10);
+        assert!((0.0..=1.0).contains(&eff));
+    }
+}

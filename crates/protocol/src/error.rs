@@ -1,0 +1,77 @@
+//! Error type for the client/server query protocol.
+
+use std::fmt;
+
+/// Errors produced by the protocol layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// The user failed authentication.
+    AuthenticationFailed(String),
+    /// The user is authenticated but not a member of the required group.
+    AccessDenied { user: String, group: u32 },
+    /// The requested merged list does not exist on the server.
+    UnknownList(u64),
+    /// An invalid request parameter (k = 0, empty query, ...).
+    InvalidRequest(String),
+    /// An error bubbled up from the Zerber+R core.
+    Core(String),
+    /// A message could not be decoded.
+    Codec(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::AuthenticationFailed(user) => {
+                write!(f, "authentication failed for user {user:?}")
+            }
+            ProtocolError::AccessDenied { user, group } => {
+                write!(f, "user {user:?} is not a member of group {group}")
+            }
+            ProtocolError::UnknownList(id) => write!(f, "unknown merged posting list {id}"),
+            ProtocolError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            ProtocolError::Core(msg) => write!(f, "core error: {msg}"),
+            ProtocolError::Codec(msg) => write!(f, "message codec error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<zerber_r::ZerberRError> for ProtocolError {
+    fn from(e: zerber_r::ZerberRError) -> Self {
+        ProtocolError::Core(e.to_string())
+    }
+}
+
+impl From<zerber_base::ZerberError> for ProtocolError {
+    fn from(e: zerber_base::ZerberError) -> Self {
+        ProtocolError::Core(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ProtocolError::AuthenticationFailed("john".into())
+            .to_string()
+            .contains("john"));
+        let e = ProtocolError::AccessDenied {
+            user: "john".into(),
+            group: 4,
+        };
+        assert!(e.to_string().contains('4'));
+        assert!(ProtocolError::UnknownList(2).to_string().contains('2'));
+    }
+
+    #[test]
+    fn conversions_work() {
+        let e: ProtocolError = zerber_r::ZerberRError::UnknownList(1).into();
+        assert!(matches!(e, ProtocolError::Core(_)));
+        let e: ProtocolError = zerber_base::ZerberError::UnknownList(1).into();
+        assert!(matches!(e, ProtocolError::Core(_)));
+    }
+}

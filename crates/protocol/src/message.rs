@@ -1,0 +1,219 @@
+//! Wire messages exchanged between client and index server, with exact byte
+//! accounting.
+//!
+//! The bandwidth experiments of Sections 6.4–6.6 reason in posting elements
+//! and bytes.  To report faithful numbers the protocol serializes every
+//! message to a concrete byte layout; the encoded sizes are what the network
+//! model charges for.
+
+use serde::{Deserialize, Serialize};
+use zerber_corpus::GroupId;
+use zerber_r::OrderedElement;
+
+use crate::error::ProtocolError;
+
+/// Fixed size of the per-element header on the wire: 8-byte TRS + 4-byte
+/// group + 2-byte payload length.
+pub const ELEMENT_HEADER_BYTES: usize = 14;
+
+/// Size of a query request message: list id (8) + offset (8) + count (4) +
+/// k (4) + user-name length prefix (2).
+pub const REQUEST_FIXED_BYTES: usize = 26;
+
+/// A top-k query request (initial or follow-up).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryRequest {
+    /// Authenticated user issuing the request.
+    pub user: String,
+    /// The merged posting list addressed by the client.
+    pub list: u64,
+    /// Number of already received elements (0 for the initial request).
+    pub offset: u64,
+    /// Number of elements requested in this round.
+    pub count: u32,
+    /// The k the client ultimately wants (the server may log it; Section 4.1
+    /// assumes the adversary knows it).
+    pub k: u32,
+}
+
+impl QueryRequest {
+    /// Size of the encoded request in bytes.
+    pub fn encoded_bytes(&self) -> usize {
+        REQUEST_FIXED_BYTES + self.user.len()
+    }
+}
+
+/// One posting element as shipped to the client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireElement {
+    /// Transformed relevance score (visible to everyone).
+    pub trs: f64,
+    /// Access-control group of the element.
+    pub group: GroupId,
+    /// The sealed posting payload.
+    pub ciphertext: Vec<u8>,
+}
+
+impl WireElement {
+    /// Builds the wire representation of an index element.
+    pub fn from_element(e: &OrderedElement) -> Self {
+        WireElement {
+            trs: e.trs,
+            group: e.group,
+            ciphertext: e.sealed.ciphertext.clone(),
+        }
+    }
+
+    /// Size of the encoded element in bytes.
+    pub fn encoded_bytes(&self) -> usize {
+        ELEMENT_HEADER_BYTES + self.ciphertext.len()
+    }
+}
+
+/// A query response (one round).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResponse {
+    /// Elements in descending TRS order.
+    pub elements: Vec<WireElement>,
+    /// Total number of elements of the list visible to this user; lets the
+    /// client know when the list is exhausted.
+    pub visible_total: u64,
+}
+
+impl QueryResponse {
+    /// Size of the encoded response in bytes (4-byte count + 8-byte total +
+    /// the elements).
+    pub fn encoded_bytes(&self) -> usize {
+        12 + self
+            .elements
+            .iter()
+            .map(WireElement::encoded_bytes)
+            .sum::<usize>()
+    }
+
+    /// Serializes the response to a flat byte buffer (length-prefixed
+    /// elements).  Provided so tests can confirm the byte accounting matches
+    /// a real encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_bytes());
+        out.extend_from_slice(&(self.elements.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.visible_total.to_le_bytes());
+        for e in &self.elements {
+            out.extend_from_slice(&e.trs.to_le_bytes());
+            out.extend_from_slice(&e.group.0.to_le_bytes());
+            out.extend_from_slice(&(e.ciphertext.len() as u16).to_le_bytes());
+            out.extend_from_slice(&e.ciphertext);
+        }
+        out
+    }
+
+    /// Decodes a buffer produced by [`QueryResponse::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Self, ProtocolError> {
+        let need = |cond: bool| {
+            if cond {
+                Ok(())
+            } else {
+                Err(ProtocolError::Codec("truncated response".into()))
+            }
+        };
+        need(buf.len() >= 12)?;
+        let count = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+        let visible_total = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+        let mut pos = 12usize;
+        let mut elements = Vec::with_capacity(count);
+        for _ in 0..count {
+            need(buf.len() >= pos + 14)?;
+            let trs = f64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
+            let group = u32::from_le_bytes(buf[pos + 8..pos + 12].try_into().unwrap());
+            let len = u16::from_le_bytes(buf[pos + 12..pos + 14].try_into().unwrap()) as usize;
+            pos += 14;
+            need(buf.len() >= pos + len)?;
+            let ciphertext = buf[pos..pos + len].to_vec();
+            pos += len;
+            elements.push(WireElement {
+                trs,
+                group: GroupId(group),
+                ciphertext,
+            });
+        }
+        if pos != buf.len() {
+            return Err(ProtocolError::Codec("trailing bytes".into()));
+        }
+        Ok(QueryResponse {
+            elements,
+            visible_total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn element(trs: f64, group: u32, len: usize) -> WireElement {
+        WireElement {
+            trs,
+            group: GroupId(group),
+            ciphertext: vec![0xAB; len],
+        }
+    }
+
+    #[test]
+    fn request_size_includes_user_name() {
+        let r = QueryRequest {
+            user: "john".into(),
+            list: 1,
+            offset: 0,
+            count: 10,
+            k: 10,
+        };
+        assert_eq!(r.encoded_bytes(), REQUEST_FIXED_BYTES + 4);
+    }
+
+    #[test]
+    fn response_roundtrips_through_encode_decode() {
+        let resp = QueryResponse {
+            elements: vec![element(0.9, 1, 44), element(0.7, 2, 44)],
+            visible_total: 123,
+        };
+        let buf = resp.encode();
+        assert_eq!(buf.len(), resp.encoded_bytes());
+        let back = QueryResponse::decode(&buf).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn empty_response_is_valid() {
+        let resp = QueryResponse {
+            elements: vec![],
+            visible_total: 0,
+        };
+        let buf = resp.encode();
+        assert_eq!(buf.len(), 12);
+        assert_eq!(QueryResponse::decode(&buf).unwrap(), resp);
+    }
+
+    #[test]
+    fn truncated_or_padded_buffers_are_rejected() {
+        let resp = QueryResponse {
+            elements: vec![element(0.5, 0, 44)],
+            visible_total: 5,
+        };
+        let mut buf = resp.encode();
+        assert!(QueryResponse::decode(&buf[..buf.len() - 1]).is_err());
+        buf.push(0);
+        assert!(QueryResponse::decode(&buf).is_err());
+        assert!(QueryResponse::decode(&[0u8; 3]).is_err());
+    }
+
+    #[test]
+    fn encoded_bytes_matches_encode_for_various_sizes() {
+        for n in [0usize, 1, 7, 50] {
+            let resp = QueryResponse {
+                elements: (0..n).map(|i| element(i as f64 / 10.0, i as u32, 44)).collect(),
+                visible_total: n as u64,
+            };
+            assert_eq!(resp.encode().len(), resp.encoded_bytes());
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! The untrusted index server.
+//!
+//! The server holds the ordered confidential index, authenticates users,
+//! enforces group-level access control and answers ranged top-k requests by
+//! TRS order (Section 5.2).  It never holds decryption keys.  All traffic is
+//! metered so the bandwidth experiments can read exact byte counts.
+
+use parking_lot::Mutex;
+use zerber_base::MergedListId;
+use zerber_corpus::GroupId;
+use zerber_r::{OrderedElement, OrderedIndex};
+
+use crate::acl::{AccessControl, AuthToken};
+use crate::error::ProtocolError;
+use crate::message::{QueryRequest, QueryResponse, WireElement, ELEMENT_HEADER_BYTES};
+
+/// Cumulative traffic and request counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Number of query requests served (including follow-ups).
+    pub requests_served: u64,
+    /// Number of posting elements shipped to clients.
+    pub elements_sent: u64,
+    /// Bytes received from clients (requests + inserts).
+    pub bytes_in: u64,
+    /// Bytes sent to clients (responses).
+    pub bytes_out: u64,
+    /// Number of insert operations accepted.
+    pub inserts_accepted: u64,
+}
+
+/// An insert request: the client has already sealed the payload and computed
+/// the TRS with the published RSTF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertRequest {
+    /// The inserting user.
+    pub user: String,
+    /// Target merged posting list.
+    pub list: u64,
+    /// Group of the underlying document.
+    pub group: GroupId,
+    /// Transformed relevance score computed by the client.
+    pub trs: f64,
+    /// Sealed posting payload.
+    pub ciphertext: Vec<u8>,
+}
+
+impl InsertRequest {
+    /// Encoded size in bytes: user-name length + fixed header (8 list + 4
+    /// group + 8 trs + 2 length prefix + 2 name prefix) + ciphertext.
+    pub fn encoded_bytes(&self) -> usize {
+        self.user.len() + 24 + self.ciphertext.len()
+    }
+}
+
+/// The index server.
+#[derive(Debug)]
+pub struct IndexServer {
+    index: Mutex<OrderedIndex>,
+    acl: AccessControl,
+    stats: Mutex<ServerStats>,
+}
+
+impl IndexServer {
+    /// Creates a server from a built index and a user directory.
+    pub fn new(index: OrderedIndex, acl: AccessControl) -> Self {
+        IndexServer {
+            index: Mutex::new(index),
+            acl,
+            stats: Mutex::new(ServerStats::default()),
+        }
+    }
+
+    /// Read-only access to the user directory.
+    pub fn acl(&self) -> &AccessControl {
+        &self.acl
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> ServerStats {
+        *self.stats.lock()
+    }
+
+    /// Resets the traffic counters (used between experiment phases).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = ServerStats::default();
+    }
+
+    /// Number of merged posting lists hosted.
+    pub fn num_lists(&self) -> usize {
+        self.index.lock().num_lists()
+    }
+
+    /// Total number of posting elements hosted.
+    pub fn num_elements(&self) -> usize {
+        self.index.lock().num_elements()
+    }
+
+    /// Total bytes the server stores for the index.
+    pub fn stored_bytes(&self) -> usize {
+        self.index.lock().stored_bytes()
+    }
+
+    /// Handles one (initial or follow-up) query request.
+    ///
+    /// The response contains up to `request.count` elements of the list in
+    /// descending TRS order, starting at `request.offset`, restricted to the
+    /// groups the user belongs to.
+    pub fn handle_query(
+        &self,
+        request: &QueryRequest,
+        token: &AuthToken,
+    ) -> Result<QueryResponse, ProtocolError> {
+        if request.count == 0 || request.k == 0 {
+            return Err(ProtocolError::InvalidRequest(
+                "count and k must be greater than 0".into(),
+            ));
+        }
+        let groups = self.acl.authenticate(&request.user, token)?;
+        let list_id = MergedListId(request.list);
+        let index = self.index.lock();
+        let visible_total = index
+            .visible_len(list_id, Some(&groups))
+            .map_err(|_| ProtocolError::UnknownList(request.list))?;
+        let batch = index.fetch(
+            list_id,
+            request.offset as usize,
+            request.count as usize,
+            Some(&groups),
+        )?;
+        let elements: Vec<WireElement> = batch.iter().map(|e| WireElement::from_element(e)).collect();
+        drop(index);
+        let response = QueryResponse {
+            elements,
+            visible_total: visible_total as u64,
+        };
+        let mut stats = self.stats.lock();
+        stats.requests_served += 1;
+        stats.elements_sent += response.elements.len() as u64;
+        stats.bytes_in += request.encoded_bytes() as u64;
+        stats.bytes_out += response.encoded_bytes() as u64;
+        Ok(response)
+    }
+
+    /// Handles an insert: checks the user may write to the document's group,
+    /// then places the sealed element at its TRS position.
+    pub fn handle_insert(
+        &self,
+        request: &InsertRequest,
+        token: &AuthToken,
+    ) -> Result<(), ProtocolError> {
+        self.acl.check_member(&request.user, token, request.group)?;
+        if !(0.0..=1.0).contains(&request.trs) || !request.trs.is_finite() {
+            return Err(ProtocolError::InvalidRequest(format!(
+                "TRS must lie in [0,1], got {}",
+                request.trs
+            )));
+        }
+        let element = OrderedElement {
+            trs: request.trs,
+            group: request.group,
+            sealed: zerber_base::EncryptedElement {
+                group: request.group,
+                ciphertext: request.ciphertext.clone(),
+            },
+        };
+        self.index
+            .lock()
+            .insert_sealed(MergedListId(request.list), element)?;
+        let mut stats = self.stats.lock();
+        stats.inserts_accepted += 1;
+        stats.bytes_in += request.encoded_bytes() as u64;
+        Ok(())
+    }
+
+    /// Average bytes per element on the wire (header + sealed payload);
+    /// useful for the Section 6.6 style bandwidth table.
+    pub fn avg_wire_element_bytes(&self) -> f64 {
+        let index = self.index.lock();
+        let n = index.num_elements();
+        if n == 0 {
+            return 0.0;
+        }
+        let mut total = 0usize;
+        for (list_id, _) in index.plan().iter() {
+            for e in index.list(list_id).expect("list exists") {
+                total += ELEMENT_HEADER_BYTES + e.sealed.ciphertext.len();
+            }
+        }
+        total as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerber_base::{BfmMerge, ConfidentialityParam, MergeScheme, PostingPayload};
+    use zerber_corpus::{
+        sample_split, Corpus, CorpusBuilder, CorpusStats, Document, SplitConfig,
+    };
+    use zerber_crypto::{DeterministicRng, GroupKeys, MasterKey};
+    use zerber_r::{RstfConfig, RstfModel};
+
+    fn corpus() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        for i in 0..60 {
+            let group = GroupId((i % 2) as u32);
+            b.add_document(Document::new(
+                format!("d{i}"),
+                group,
+                format!(
+                    "shared term{} report imclone {} filler words here",
+                    i % 9,
+                    "data ".repeat(i % 5 + 1)
+                ),
+            ))
+            .unwrap();
+        }
+        b.build()
+    }
+
+    fn server_fixture() -> (Corpus, IndexServer, MasterKey, RstfModel) {
+        let c = corpus();
+        let stats = CorpusStats::compute(&c);
+        let split = sample_split(&c, SplitConfig::default()).unwrap();
+        let model = RstfModel::train(&c, &split, &RstfConfig::default()).unwrap();
+        let plan = BfmMerge
+            .plan(&stats, ConfidentialityParam::new(3.0).unwrap())
+            .unwrap();
+        let master = MasterKey::new([5u8; 32]);
+        let index = zerber_r::OrderedIndex::build(&c, plan, &model, &master, 7).unwrap();
+        let mut acl = AccessControl::new(b"srv");
+        acl.register_user("john", &[GroupId(0), GroupId(1)]);
+        acl.register_user("alice", &[GroupId(1)]);
+        (c, IndexServer::new(index, acl), master, model)
+    }
+
+    fn list_for(c: &Corpus, server: &IndexServer, term_name: &str) -> u64 {
+        let term = c.dictionary().get(term_name).unwrap();
+        let index = server.index.lock();
+        index.plan().list_of(term).unwrap().0
+    }
+
+    #[test]
+    fn authenticated_query_returns_ordered_accessible_elements() {
+        let (c, server, _, _) = server_fixture();
+        let token = server.acl().issue_token("john");
+        let list = list_for(&c, &server, "imclone");
+        let resp = server
+            .handle_query(
+                &QueryRequest {
+                    user: "john".into(),
+                    list,
+                    offset: 0,
+                    count: 10,
+                    k: 10,
+                },
+                &token,
+            )
+            .unwrap();
+        assert!(!resp.elements.is_empty());
+        assert!(resp.elements.windows(2).all(|w| w[0].trs >= w[1].trs));
+        let stats = server.stats();
+        assert_eq!(stats.requests_served, 1);
+        assert_eq!(stats.elements_sent, resp.elements.len() as u64);
+        assert!(stats.bytes_out > 0);
+    }
+
+    #[test]
+    fn acl_restricts_which_groups_are_returned() {
+        let (c, server, _, _) = server_fixture();
+        let token = server.acl().issue_token("alice");
+        let list = list_for(&c, &server, "imclone");
+        let resp = server
+            .handle_query(
+                &QueryRequest {
+                    user: "alice".into(),
+                    list,
+                    offset: 0,
+                    count: 1000,
+                    k: 10,
+                },
+                &token,
+            )
+            .unwrap();
+        assert!(resp.elements.iter().all(|e| e.group == GroupId(1)));
+    }
+
+    #[test]
+    fn bad_tokens_and_bad_requests_are_rejected() {
+        let (c, server, _, _) = server_fixture();
+        let list = list_for(&c, &server, "imclone");
+        let forged = AuthToken([9u8; 32]);
+        let req = QueryRequest {
+            user: "john".into(),
+            list,
+            offset: 0,
+            count: 10,
+            k: 10,
+        };
+        assert!(server.handle_query(&req, &forged).is_err());
+        let token = server.acl().issue_token("john");
+        assert!(server
+            .handle_query(&QueryRequest { count: 0, ..req.clone() }, &token)
+            .is_err());
+        assert!(server
+            .handle_query(&QueryRequest { list: 99_999, ..req }, &token)
+            .is_err());
+        assert_eq!(server.stats().requests_served, 0);
+    }
+
+    #[test]
+    fn insert_requires_group_membership_and_valid_trs() {
+        let (c, server, master, model) = server_fixture();
+        let term = c.dictionary().get("imclone").unwrap();
+        let list = list_for(&c, &server, "imclone");
+        let payload = PostingPayload {
+            term,
+            doc: zerber_corpus::DocId(7_000),
+            tf: 5,
+            doc_len: 10,
+        };
+        let keys: GroupKeys = master.group_keys(1);
+        let mut rng = DeterministicRng::from_u64(3);
+        let sealed = zerber_base::EncryptedElement::seal(
+            &payload,
+            GroupId(1),
+            &keys,
+            MergedListId(list),
+            &mut rng,
+        )
+        .unwrap();
+        let trs = model.transform(term, payload.doc, payload.relevance());
+        let req = InsertRequest {
+            user: "alice".into(),
+            list,
+            group: GroupId(1),
+            trs,
+            ciphertext: sealed.ciphertext.clone(),
+        };
+        let alice = server.acl().issue_token("alice");
+        let before = server.num_elements();
+        server.handle_insert(&req, &alice).unwrap();
+        assert_eq!(server.num_elements(), before + 1);
+        assert_eq!(server.stats().inserts_accepted, 1);
+
+        // Alice is not in group 0: inserting there must fail.
+        let denied = InsertRequest {
+            group: GroupId(0),
+            ..req.clone()
+        };
+        assert!(matches!(
+            server.handle_insert(&denied, &alice),
+            Err(ProtocolError::AccessDenied { .. })
+        ));
+        // Out-of-range TRS is rejected.
+        let bad_trs = InsertRequest { trs: 1.5, ..req };
+        assert!(server.handle_insert(&bad_trs, &alice).is_err());
+    }
+
+    #[test]
+    fn inserted_elements_are_visible_to_subsequent_queries() {
+        let (c, server, master, model) = server_fixture();
+        let term = c.dictionary().get("imclone").unwrap();
+        let list = list_for(&c, &server, "imclone");
+        let keys = master.group_keys(0);
+        let mut rng = DeterministicRng::from_u64(4);
+        let payload = PostingPayload {
+            term,
+            doc: zerber_corpus::DocId(8_000),
+            tf: 9,
+            doc_len: 10,
+        };
+        let sealed = zerber_base::EncryptedElement::seal(
+            &payload,
+            GroupId(0),
+            &keys,
+            MergedListId(list),
+            &mut rng,
+        )
+        .unwrap();
+        let trs = model.transform(term, payload.doc, payload.relevance());
+        let john = server.acl().issue_token("john");
+        server
+            .handle_insert(
+                &InsertRequest {
+                    user: "john".into(),
+                    list,
+                    group: GroupId(0),
+                    trs,
+                    ciphertext: sealed.ciphertext,
+                },
+                &john,
+            )
+            .unwrap();
+        // A very high relevance (0.9) should appear in the head of the list.
+        let resp = server
+            .handle_query(
+                &QueryRequest {
+                    user: "john".into(),
+                    list,
+                    offset: 0,
+                    count: 5,
+                    k: 5,
+                },
+                &john,
+            )
+            .unwrap();
+        let mut found = false;
+        for e in &resp.elements {
+            if e.group == GroupId(0) {
+                let opened = zerber_base::EncryptedElement {
+                    group: e.group,
+                    ciphertext: e.ciphertext.clone(),
+                }
+                .open(&keys, MergedListId(list));
+                if let Ok(p) = opened {
+                    if p.doc == zerber_corpus::DocId(8_000) {
+                        found = true;
+                    }
+                }
+            }
+        }
+        assert!(found, "freshly inserted high-score element should be in the top-5");
+    }
+
+    #[test]
+    fn stats_reset_and_size_accessors_work() {
+        let (c, server, _, _) = server_fixture();
+        let token = server.acl().issue_token("john");
+        let list = list_for(&c, &server, "imclone");
+        server
+            .handle_query(
+                &QueryRequest {
+                    user: "john".into(),
+                    list,
+                    offset: 0,
+                    count: 3,
+                    k: 3,
+                },
+                &token,
+            )
+            .unwrap();
+        assert!(server.stats().bytes_out > 0);
+        server.reset_stats();
+        assert_eq!(server.stats(), ServerStats::default());
+        assert!(server.num_lists() > 0);
+        assert!(server.stored_bytes() > 0);
+        assert!(server.avg_wire_element_bytes() > 40.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Analytical workload-cost model (Equations 9–12 of the paper).
+//!
+//! Inside an ordered merged posting list the elements of every term are
+//! (by design of the RSTF) uniformly spread over the list.  For a term `t`
+//! with document frequency `n_d(t)` in a list of `T = Σ_{t_i∈L} n_d(t_i)`
+//! elements, the expected position of its highest-ranked element is about
+//! `T / (n_d(t) + 1)` and the expected number of elements that must be
+//! retrieved to cover its top-k is about `k · T / n_d(t)` (capped by `T`).
+//! The total workload cost of a query log is the query-frequency-weighted sum
+//! of those retrieval counts (Equation 9).
+
+use serde::{Deserialize, Serialize};
+use zerber_corpus::{CorpusStats, TermId};
+use zerber_base::MergePlan;
+
+use crate::error::WorkloadError;
+use crate::querylog::QueryLog;
+
+/// Expected position (1-based) of the first element of `term` inside its
+/// merged list, assuming TRS-uniform placement (Equation 10).
+pub fn expected_first_position(
+    stats: &CorpusStats,
+    plan: &MergePlan,
+    term: TermId,
+) -> Result<f64, WorkloadError> {
+    let list = plan.list_of(term)?;
+    let members = plan.list_terms(list)?;
+    let total: f64 = members
+        .iter()
+        .map(|&t| stats.doc_freq(t).map(f64::from))
+        .collect::<Result<Vec<_>, _>>()?
+        .iter()
+        .sum();
+    let df = f64::from(stats.doc_freq(term)?);
+    if df == 0.0 {
+        return Ok(total + 1.0);
+    }
+    Ok((total + 1.0) / (df + 1.0))
+}
+
+/// Expected number of elements that must be retrieved from the merged list to
+/// obtain the top-k elements of `term` (Equation 11), capped at the list
+/// length.
+pub fn expected_retrieval_count(
+    stats: &CorpusStats,
+    plan: &MergePlan,
+    term: TermId,
+    k: usize,
+) -> Result<f64, WorkloadError> {
+    let list = plan.list_of(term)?;
+    let members = plan.list_terms(list)?;
+    let total: f64 = members
+        .iter()
+        .map(|&t| stats.doc_freq(t).map(f64::from))
+        .collect::<Result<Vec<_>, _>>()?
+        .iter()
+        .sum();
+    let df = f64::from(stats.doc_freq(term)?);
+    if df == 0.0 {
+        return Ok(total);
+    }
+    Ok((k as f64 * total / df).min(total))
+}
+
+/// Total response size after `n` follow-up requests with initial size `b` and
+/// doubling growth: `TRes = b · Σ_{i=0..n} 2^i` (Equation 12).
+pub fn total_response_size(b: usize, follow_ups: usize) -> usize {
+    let mut total = 0usize;
+    for i in 0..=follow_ups {
+        total = total.saturating_add(b.saturating_mul(1usize << i.min(62)));
+    }
+    total
+}
+
+/// Number of requests (initial + follow-ups) needed to retrieve `needed`
+/// elements with initial response size `b` and doubling growth.
+pub fn requests_for(needed: usize, b: usize) -> usize {
+    if b == 0 {
+        return 0;
+    }
+    let mut served = 0usize;
+    let mut requests = 0usize;
+    while served < needed {
+        let this = b.saturating_mul(1usize << requests.min(62));
+        served = served.saturating_add(this);
+        requests += 1;
+    }
+    requests.max(1)
+}
+
+/// One term's contribution to the analytical workload cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TermCost {
+    /// The query term.
+    pub term: TermId,
+    /// Its query frequency in the log.
+    pub query_freq: u64,
+    /// Expected elements retrieved per query of this term.
+    pub elements_per_query: f64,
+    /// `query_freq * elements_per_query` (the inner product of Equation 9).
+    pub weighted_cost: f64,
+}
+
+/// Analytical total workload cost `Q ≈ Σ_L Σ_{j∈L} N(L_j) · q_j` (Equation 9).
+pub fn workload_cost(
+    stats: &CorpusStats,
+    plan: &MergePlan,
+    log: &QueryLog,
+    k: usize,
+) -> Result<(f64, Vec<TermCost>), WorkloadError> {
+    if k == 0 {
+        return Err(WorkloadError::InvalidConfig("k must be greater than 0".into()));
+    }
+    let mut per_term = Vec::with_capacity(log.distinct_terms());
+    let mut total = 0.0;
+    for &(term, freq) in log.term_frequencies() {
+        // Terms that are queried but do not occur in the corpus cost one
+        // empty round trip; model that as zero elements.
+        let elements = if stats.doc_freq(term).is_ok() && plan.list_of(term).is_ok() {
+            expected_retrieval_count(stats, plan, term, k)?
+        } else {
+            0.0
+        };
+        let weighted = elements * freq as f64;
+        total += weighted;
+        per_term.push(TermCost {
+            term,
+            query_freq: freq,
+            elements_per_query: elements,
+            weighted_cost: weighted,
+        });
+    }
+    Ok((total, per_term))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::querylog::QueryLogConfig;
+    use zerber_base::{BfmMerge, ConfidentialityParam, MergeScheme};
+    use zerber_corpus::{CorpusGenerator, CustomProfile, DatasetProfile, SynthConfig};
+
+    fn fixture() -> (CorpusStats, MergePlan, QueryLog) {
+        let config = SynthConfig {
+            profile: DatasetProfile::Custom(CustomProfile {
+                num_docs: 300,
+                num_groups: 3,
+                vocab_size: 1_000,
+                general_vocab_fraction: 0.5,
+                topic_mix: 0.3,
+                zipf_exponent: 1.0,
+                doc_length_median: 60.0,
+                doc_length_sigma: 0.6,
+                min_doc_length: 15,
+                max_doc_length: 300,
+            }),
+            scale: 1.0,
+            seed: 7,
+        };
+        let corpus = CorpusGenerator::new(config).generate().unwrap();
+        let stats = CorpusStats::compute(&corpus);
+        let plan = BfmMerge
+            .plan(&stats, ConfidentialityParam::new(3.0).unwrap())
+            .unwrap();
+        let log = QueryLog::generate(
+            &stats,
+            &QueryLogConfig {
+                distinct_terms: 300,
+                total_queries: 50_000,
+                sample_queries: 100,
+                ..QueryLogConfig::default()
+            },
+        )
+        .unwrap();
+        (stats, plan, log)
+    }
+
+    #[test]
+    fn first_position_is_earlier_for_frequent_terms() {
+        let (stats, plan, _) = fixture();
+        let order = stats.terms_by_doc_freq();
+        let frequent = order[0];
+        let rare = *order.last().unwrap();
+        let p_freq = expected_first_position(&stats, &plan, frequent).unwrap();
+        let p_rare = expected_first_position(&stats, &plan, rare).unwrap();
+        assert!(p_freq >= 1.0);
+        // Within its list, a frequent term's first element appears very early.
+        assert!(p_freq < 20.0, "frequent first position {p_freq}");
+        assert!(p_rare >= 1.0);
+    }
+
+    #[test]
+    fn retrieval_count_scales_with_k_and_is_capped() {
+        let (stats, plan, _) = fixture();
+        let term = stats.terms_by_doc_freq()[5];
+        let n1 = expected_retrieval_count(&stats, &plan, term, 1).unwrap();
+        let n10 = expected_retrieval_count(&stats, &plan, term, 10).unwrap();
+        assert!(n10 >= n1);
+        let list = plan.list_of(term).unwrap();
+        let list_total: f64 = plan
+            .list_terms(list)
+            .unwrap()
+            .iter()
+            .map(|&t| f64::from(stats.doc_freq(t).unwrap()))
+            .sum();
+        let huge = expected_retrieval_count(&stats, &plan, term, 1_000_000).unwrap();
+        assert!((huge - list_total).abs() < 1e-9, "capped at the list length");
+    }
+
+    #[test]
+    fn total_response_size_matches_equation_12() {
+        assert_eq!(total_response_size(10, 0), 10);
+        assert_eq!(total_response_size(10, 1), 30);
+        assert_eq!(total_response_size(10, 2), 70);
+        assert_eq!(total_response_size(1, 3), 15);
+        assert_eq!(total_response_size(0, 5), 0);
+    }
+
+    #[test]
+    fn requests_for_matches_doubling_schedule() {
+        assert_eq!(requests_for(1, 10), 1);
+        assert_eq!(requests_for(10, 10), 1);
+        assert_eq!(requests_for(11, 10), 2);
+        assert_eq!(requests_for(30, 10), 2);
+        assert_eq!(requests_for(31, 10), 3);
+        assert_eq!(requests_for(0, 10), 1);
+        assert_eq!(requests_for(5, 0), 0);
+    }
+
+    #[test]
+    fn workload_cost_is_dominated_by_frequent_queries() {
+        let (stats, plan, log) = fixture();
+        let (total, per_term) = workload_cost(&stats, &plan, &log, 10).unwrap();
+        assert!(total > 0.0);
+        assert_eq!(per_term.len(), log.distinct_terms());
+        // The most frequent query terms should account for a disproportionate
+        // share of the cost (Figure 10's "most frequent queries constitute
+        // nearly the whole workload"): the top 10% of terms must carry far
+        // more than 10% of the cost, and the top 30% the majority of it.
+        let head = |frac: f64| -> f64 {
+            per_term
+                .iter()
+                .take((per_term.len() as f64 * frac) as usize)
+                .map(|t| t.weighted_cost)
+                .sum::<f64>()
+                / total
+        };
+        assert!(head(0.1) > 0.3, "top-10% fraction {}", head(0.1));
+        assert!(head(0.3) > 0.5, "top-30% fraction {}", head(0.3));
+    }
+
+    #[test]
+    fn zero_k_is_rejected() {
+        let (stats, plan, log) = fixture();
+        assert!(workload_cost(&stats, &plan, &log, 0).is_err());
+    }
+}

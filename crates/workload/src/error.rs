@@ -1,0 +1,75 @@
+//! Error type for the workload crate.
+
+use std::fmt;
+
+/// Errors produced by query-log generation, cost modelling and experiment
+/// orchestration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// Invalid generator or experiment configuration.
+    InvalidConfig(String),
+    /// A corpus-level error bubbled up.
+    Corpus(String),
+    /// An error bubbled up from the Zerber substrate.
+    Base(String),
+    /// An error bubbled up from the Zerber+R core.
+    Core(String),
+    /// An error bubbled up from the protocol layer.
+    Protocol(String),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            WorkloadError::Corpus(msg) => write!(f, "corpus error: {msg}"),
+            WorkloadError::Base(msg) => write!(f, "zerber substrate error: {msg}"),
+            WorkloadError::Core(msg) => write!(f, "zerber+r error: {msg}"),
+            WorkloadError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl From<zerber_corpus::CorpusError> for WorkloadError {
+    fn from(e: zerber_corpus::CorpusError) -> Self {
+        WorkloadError::Corpus(e.to_string())
+    }
+}
+
+impl From<zerber_base::ZerberError> for WorkloadError {
+    fn from(e: zerber_base::ZerberError) -> Self {
+        WorkloadError::Base(e.to_string())
+    }
+}
+
+impl From<zerber_r::ZerberRError> for WorkloadError {
+    fn from(e: zerber_r::ZerberRError) -> Self {
+        WorkloadError::Core(e.to_string())
+    }
+}
+
+impl From<zerber_protocol::ProtocolError> for WorkloadError {
+    fn from(e: zerber_protocol::ProtocolError) -> Self {
+        WorkloadError::Protocol(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(WorkloadError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        let e: WorkloadError = zerber_corpus::CorpusError::UnknownTerm(1).into();
+        assert!(matches!(e, WorkloadError::Corpus(_)));
+        let e: WorkloadError = zerber_base::ZerberError::UnknownList(1).into();
+        assert!(matches!(e, WorkloadError::Base(_)));
+        let e: WorkloadError = zerber_r::ZerberRError::UnknownList(1).into();
+        assert!(matches!(e, WorkloadError::Core(_)));
+        let e: WorkloadError = zerber_protocol::ProtocolError::UnknownList(1).into();
+        assert!(matches!(e, WorkloadError::Protocol(_)));
+    }
+}

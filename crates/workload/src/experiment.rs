@@ -1,0 +1,272 @@
+//! Experiment orchestration: builds the complete Zerber+R deployment
+//! (corpus → split → RSTF model → merge plan → ordered index → server) from a
+//! single configuration and runs query workloads against it.
+//!
+//! Every figure binary in `zerber-bench` and several integration tests use
+//! this test bed so that experiment setup is defined exactly once.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use zerber_base::{BfmMerge, ConfidentialityParam, MergePlan, MergeScheme, MixedMerge, RandomMerge};
+use zerber_corpus::{
+    sample_split, Corpus, CorpusGenerator, CorpusStats, DatasetProfile, GroupId, SplitConfig,
+    SynthConfig, TrainControlSplit,
+};
+use zerber_crypto::{GroupKeys, MasterKey};
+use zerber_index::InvertedIndex;
+use zerber_r::{
+    retrieve_topk, GrowthPolicy, OrderedIndex, RetrievalConfig, RstfConfig, RstfModel,
+};
+
+use crate::error::WorkloadError;
+use crate::metrics::QuerySample;
+use crate::querylog::{QueryLog, QueryLogConfig};
+
+/// Which merging scheme the test bed uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MergeKind {
+    /// Breadth-first merging (the paper's scheme).
+    Bfm,
+    /// Frequency-spanning ablation.
+    Mixed,
+    /// Random grouping ablation.
+    Random,
+}
+
+impl Default for MergeKind {
+    fn default() -> Self {
+        MergeKind::Bfm
+    }
+}
+
+/// Configuration of a complete experiment deployment.
+#[derive(Debug, Clone)]
+pub struct TestBedConfig {
+    /// Which dataset profile to synthesize.
+    pub dataset: DatasetProfile,
+    /// Scale factor relative to the paper's corpus sizes.
+    pub scale: f64,
+    /// r-confidentiality parameter.
+    pub r: f64,
+    /// Merging scheme.
+    pub merge: MergeKind,
+    /// RSTF training configuration.
+    pub rstf: RstfConfig,
+    /// Training/control split configuration.
+    pub split: SplitConfig,
+    /// Master RNG seed (corpus, index placement, keys derive from it).
+    pub seed: u64,
+}
+
+impl TestBedConfig {
+    /// A small, fast configuration for the given dataset (used by tests and
+    /// the quick modes of the figure binaries).
+    pub fn small(dataset: DatasetProfile) -> Self {
+        TestBedConfig {
+            dataset,
+            scale: 0.02,
+            r: 3.0,
+            merge: MergeKind::Bfm,
+            rstf: RstfConfig::default(),
+            split: SplitConfig::default(),
+            seed: 0xbed,
+        }
+    }
+}
+
+/// A fully built experiment deployment.
+pub struct TestBed {
+    /// The synthetic corpus.
+    pub corpus: Corpus,
+    /// Its term statistics.
+    pub stats: CorpusStats,
+    /// The training/control split used for the RSTF.
+    pub split: TrainControlSplit,
+    /// The trained RSTF model.
+    pub model: RstfModel,
+    /// The merge plan.
+    pub plan: MergePlan,
+    /// The Zerber+R ordered confidential index.
+    pub index: OrderedIndex,
+    /// An ordinary plaintext index over the same corpus (baseline).
+    pub plain_index: InvertedIndex,
+    /// The deployment master key.
+    pub master: MasterKey,
+    /// Group keys for every group (an all-groups member's key ring).
+    pub all_memberships: HashMap<GroupId, GroupKeys>,
+    /// The configuration the bed was built from.
+    pub config: TestBedConfig,
+}
+
+impl TestBed {
+    /// Builds the full deployment.
+    pub fn build(config: TestBedConfig) -> Result<Self, WorkloadError> {
+        let synth = SynthConfig {
+            profile: config.dataset.clone(),
+            scale: config.scale,
+            seed: config.seed,
+        };
+        let corpus = CorpusGenerator::new(synth).generate()?;
+        let stats = CorpusStats::compute(&corpus);
+        let split = sample_split(&corpus, config.split)?;
+        let model = RstfModel::train(&corpus, &split, &config.rstf)?;
+        let r = ConfidentialityParam::new(config.r)?;
+        let plan = match config.merge {
+            MergeKind::Bfm => BfmMerge.plan(&stats, r)?,
+            MergeKind::Mixed => MixedMerge.plan(&stats, r)?,
+            MergeKind::Random => RandomMerge { seed: config.seed }.plan(&stats, r)?,
+        };
+        let master = MasterKey::new(master_key_bytes(config.seed));
+        let index = OrderedIndex::build(&corpus, plan.clone(), &model, &master, config.seed ^ 0xabc)?;
+        let plain_index = InvertedIndex::build(&corpus);
+        let all_memberships: HashMap<GroupId, GroupKeys> = (0..corpus.num_groups() as u32)
+            .map(|g| (GroupId(g), master.group_keys(g)))
+            .collect();
+        Ok(TestBed {
+            corpus,
+            stats,
+            split,
+            model,
+            plan,
+            index,
+            plain_index,
+            master,
+            all_memberships,
+            config,
+        })
+    }
+
+    /// Generates a query log matched to this corpus.
+    pub fn query_log(&self, config: &QueryLogConfig) -> Result<QueryLog, WorkloadError> {
+        QueryLog::generate(&self.stats, config)
+    }
+
+    /// Executes the retrieval protocol once per distinct query term of the
+    /// log (as a member of all groups) and returns the per-term samples
+    /// weighted by query frequency, ready for the Section 6.4–6.5 metrics.
+    pub fn run_workload(
+        &self,
+        log: &QueryLog,
+        k: usize,
+        initial_response: usize,
+        growth: GrowthPolicy,
+    ) -> Result<Vec<QuerySample>, WorkloadError> {
+        let config = RetrievalConfig {
+            k,
+            initial_response,
+            growth,
+        };
+        let mut samples = Vec::with_capacity(log.distinct_terms());
+        for &(term, freq) in log.term_frequencies() {
+            // Terms that never made it into the corpus vocabulary (possible at
+            // small scales) cost one empty round trip.
+            let Ok(_) = self.plan.list_of(term) else {
+                samples.push(QuerySample {
+                    term,
+                    query_freq: freq,
+                    requests: 1,
+                    elements_transferred: 0,
+                    bytes_received: 0,
+                    satisfied: false,
+                });
+                continue;
+            };
+            let outcome = retrieve_topk(&self.index, term, &self.all_memberships, &config)?;
+            samples.push(QuerySample {
+                term,
+                query_freq: freq,
+                requests: outcome.requests,
+                elements_transferred: outcome.elements_transferred,
+                bytes_received: outcome.elements_transferred
+                    * (zerber_base::SEALED_PAYLOAD_BYTES + 12),
+                satisfied: outcome.satisfied,
+            });
+        }
+        Ok(samples)
+    }
+}
+
+fn master_key_bytes(seed: u64) -> [u8; 32] {
+    let mut key = [0u8; 32];
+    for (i, chunk) in key.chunks_mut(8).enumerate() {
+        chunk.copy_from_slice(&(seed.wrapping_mul(i as u64 + 1).wrapping_add(17)).to_le_bytes());
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{average_bandwidth_overhead, average_requests};
+
+    fn bed() -> TestBed {
+        TestBed::build(TestBedConfig::small(DatasetProfile::StudIp)).unwrap()
+    }
+
+    #[test]
+    fn small_studip_bed_builds_consistently() {
+        let bed = bed();
+        assert!(bed.corpus.num_docs() > 100);
+        assert_eq!(bed.index.num_lists(), bed.plan.num_lists());
+        assert!(bed.index.verify_ordering());
+        assert_eq!(
+            bed.index.num_elements(),
+            bed.corpus
+                .docs()
+                .map(|(_, d)| d.distinct_terms())
+                .sum::<usize>()
+        );
+        assert_eq!(bed.all_memberships.len(), bed.corpus.num_groups());
+    }
+
+    #[test]
+    fn workload_execution_produces_weighted_samples() {
+        let bed = bed();
+        let log = bed
+            .query_log(&QueryLogConfig {
+                distinct_terms: 100,
+                total_queries: 10_000,
+                sample_queries: 50,
+                ..QueryLogConfig::default()
+            })
+            .unwrap();
+        let samples = bed
+            .run_workload(&log, 10, 10, GrowthPolicy::Doubling)
+            .unwrap();
+        assert_eq!(samples.len(), log.distinct_terms());
+        let avbo = average_bandwidth_overhead(&samples, 10);
+        let reqs = average_requests(&samples);
+        assert!(avbo >= 0.5, "AvBO {avbo}");
+        assert!(reqs >= 1.0, "requests {reqs}");
+        // With b = k most of the (frequency-weighted) workload should be
+        // satisfied quickly (Section 6.5).
+        assert!(reqs < 6.0, "requests {reqs}");
+    }
+
+    #[test]
+    fn mixed_and_random_merges_also_build() {
+        for merge in [MergeKind::Mixed, MergeKind::Random] {
+            let config = TestBedConfig {
+                merge,
+                ..TestBedConfig::small(DatasetProfile::StudIp)
+            };
+            let bed = TestBed::build(config).unwrap();
+            assert!(bed.index.num_lists() > 0);
+        }
+    }
+
+    #[test]
+    fn impossible_r_fails_to_build() {
+        let config = TestBedConfig {
+            r: 1.0,
+            ..TestBedConfig::small(DatasetProfile::StudIp)
+        };
+        assert!(TestBed::build(config).is_err());
+    }
+
+    #[test]
+    fn default_merge_kind_is_bfm() {
+        assert_eq!(MergeKind::default(), MergeKind::Bfm);
+    }
+}

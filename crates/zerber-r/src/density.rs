@@ -1,0 +1,160 @@
+//! Gaussian-sum model of a term's relevance score distribution (Equation 5).
+//!
+//! Every relevance score observed in the training set is treated as a sample
+//! mean; the probability density of the term's scores over the whole corpus is
+//! modelled as the average of Gaussian bells centred on the training values
+//! (Figure 7 of the paper).  The bells' width is controlled by the σ
+//! parameter; following the paper's convention (Section 5.1.3) σ acts as a
+//! *rate*: a **smaller σ means a broader bell** (more general model), a larger
+//! σ a narrower bell (risk of overfitting).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ZerberRError;
+use crate::math::std_normal_pdf;
+
+/// Probability-density model `f(x) = (1/N) Σ_i N(x; μ_i, 1/σ)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussianSum {
+    mus: Vec<f64>,
+    sigma: f64,
+}
+
+impl GaussianSum {
+    /// Creates the model from training relevance scores and rate `sigma > 0`.
+    pub fn new(training: &[f64], sigma: f64) -> Result<Self, ZerberRError> {
+        if training.is_empty() {
+            return Err(ZerberRError::InvalidParameter(
+                "Gaussian sum needs at least one training value".into(),
+            ));
+        }
+        if !(sigma.is_finite() && sigma > 0.0) {
+            return Err(ZerberRError::InvalidParameter(format!(
+                "sigma must be finite and positive, got {sigma}"
+            )));
+        }
+        if training.iter().any(|v| !v.is_finite()) {
+            return Err(ZerberRError::InvalidParameter(
+                "training values must be finite".into(),
+            ));
+        }
+        let mut mus = training.to_vec();
+        mus.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Ok(GaussianSum { mus, sigma })
+    }
+
+    /// The training values (sorted ascending).
+    pub fn training_values(&self) -> &[f64] {
+        &self.mus
+    }
+
+    /// The rate parameter σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Number of training values `N`.
+    pub fn len(&self) -> usize {
+        self.mus.len()
+    }
+
+    /// Returns `true` if the model has no components (never after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.mus.is_empty()
+    }
+
+    /// Evaluates the density at `x` (Equation 5 with scale `1/σ`).
+    pub fn pdf(&self, x: f64) -> f64 {
+        let n = self.mus.len() as f64;
+        let sum: f64 = self
+            .mus
+            .iter()
+            .map(|&mu| self.sigma * std_normal_pdf(self.sigma * (x - mu)))
+            .sum();
+        sum / n
+    }
+
+    /// Samples the density on a uniform grid of `points` values across
+    /// `[lo, hi]`; used to print Figure 7.
+    pub fn sample_curve(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        if points < 2 || hi <= lo {
+            return Vec::new();
+        }
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.pdf(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_inputs() {
+        assert!(GaussianSum::new(&[], 1.0).is_err());
+        assert!(GaussianSum::new(&[0.1], 0.0).is_err());
+        assert!(GaussianSum::new(&[0.1], -2.0).is_err());
+        assert!(GaussianSum::new(&[f64::NAN], 1.0).is_err());
+        let g = GaussianSum::new(&[0.3, 0.1, 0.2], 5.0).unwrap();
+        assert_eq!(g.training_values(), &[0.1, 0.2, 0.3]);
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+        assert!((g.sigma() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let g = GaussianSum::new(&[0.2, 0.5, 0.8], 10.0).unwrap();
+        // Trapezoidal integration over a wide interval.
+        let n = 20_000;
+        let (lo, hi) = (-2.0, 3.0);
+        let h = (hi - lo) / n as f64;
+        let mut integral = 0.0;
+        for i in 0..n {
+            let x0 = lo + h * i as f64;
+            integral += 0.5 * (g.pdf(x0) + g.pdf(x0 + h)) * h;
+        }
+        assert!((integral - 1.0).abs() < 1e-3, "integral {integral}");
+    }
+
+    #[test]
+    fn density_peaks_near_training_values() {
+        let g = GaussianSum::new(&[0.2, 0.8], 30.0).unwrap();
+        assert!(g.pdf(0.2) > g.pdf(0.5));
+        assert!(g.pdf(0.8) > g.pdf(0.5));
+        assert!(g.pdf(0.5) > g.pdf(2.0));
+    }
+
+    #[test]
+    fn more_training_mass_means_higher_density_figure_7() {
+        // Figure 7: regions with more training points have higher accumulated
+        // density.
+        let g = GaussianSum::new(&[0.30, 0.32, 0.34, 0.36, 0.90], 50.0).unwrap();
+        assert!(g.pdf(0.33) > g.pdf(0.90));
+    }
+
+    #[test]
+    fn smaller_sigma_gives_broader_bells() {
+        let narrow = GaussianSum::new(&[0.5], 100.0).unwrap();
+        let broad = GaussianSum::new(&[0.5], 2.0).unwrap();
+        // Far from the training point the broad model keeps more mass.
+        assert!(broad.pdf(1.5) > narrow.pdf(1.5));
+        // At the training point the narrow model is higher.
+        assert!(narrow.pdf(0.5) > broad.pdf(0.5));
+    }
+
+    #[test]
+    fn sample_curve_has_requested_shape() {
+        let g = GaussianSum::new(&[0.4], 10.0).unwrap();
+        let curve = g.sample_curve(0.0, 1.0, 11);
+        assert_eq!(curve.len(), 11);
+        assert!((curve[0].0 - 0.0).abs() < 1e-12);
+        assert!((curve[10].0 - 1.0).abs() < 1e-12);
+        assert!(g.sample_curve(1.0, 0.0, 10).is_empty());
+        assert!(g.sample_curve(0.0, 1.0, 1).is_empty());
+    }
+}

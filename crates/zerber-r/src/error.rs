@@ -1,0 +1,72 @@
+//! Error type for the Zerber+R core crate.
+
+use std::fmt;
+
+/// Errors produced by RSTF construction and the ordered confidential index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZerberRError {
+    /// An RSTF was requested for a term with no training data and no fallback.
+    NoTrainingData(u32),
+    /// σ selection was attempted with an empty candidate grid or empty
+    /// control set.
+    InvalidSigmaSearch(String),
+    /// An invalid parameter was supplied (k = 0, b = 0, σ <= 0, ...).
+    InvalidParameter(String),
+    /// The requested merged posting list does not exist.
+    UnknownList(u64),
+    /// An error bubbled up from the Zerber substrate.
+    Base(String),
+    /// An error bubbled up from the corpus substrate.
+    Corpus(String),
+}
+
+impl fmt::Display for ZerberRError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZerberRError::NoTrainingData(t) => {
+                write!(f, "no training data available for term {t}")
+            }
+            ZerberRError::InvalidSigmaSearch(msg) => write!(f, "invalid sigma search: {msg}"),
+            ZerberRError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ZerberRError::UnknownList(id) => write!(f, "unknown merged posting list {id}"),
+            ZerberRError::Base(msg) => write!(f, "zerber substrate error: {msg}"),
+            ZerberRError::Corpus(msg) => write!(f, "corpus error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ZerberRError {}
+
+impl From<zerber_base::ZerberError> for ZerberRError {
+    fn from(e: zerber_base::ZerberError) -> Self {
+        ZerberRError::Base(e.to_string())
+    }
+}
+
+impl From<zerber_corpus::CorpusError> for ZerberRError {
+    fn from(e: zerber_corpus::CorpusError) -> Self {
+        ZerberRError::Corpus(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ZerberRError::NoTrainingData(3).to_string().contains('3'));
+        assert!(ZerberRError::UnknownList(8).to_string().contains('8'));
+        assert!(ZerberRError::InvalidParameter("b must be > 0".into())
+            .to_string()
+            .contains("b must be > 0"));
+    }
+
+    #[test]
+    fn conversions_work() {
+        let e: ZerberRError = zerber_base::ZerberError::UnknownList(2).into();
+        assert!(matches!(e, ZerberRError::Base(_)));
+        let e: ZerberRError = zerber_corpus::CorpusError::UnknownDocument(2).into();
+        assert!(matches!(e, ZerberRError::Corpus(_)));
+    }
+}

@@ -1,0 +1,407 @@
+//! The ordered confidential index (Section 5): merged posting lists whose
+//! elements carry a plaintext TRS and are kept sorted by it, so the untrusted
+//! server can answer top-k requests without decrypting anything.
+
+use std::collections::HashMap;
+
+use zerber_base::{EncryptedElement, MergePlan, MergedListId, PostingPayload};
+use zerber_corpus::{Corpus, GroupId};
+use zerber_crypto::{DeterministicRng, GroupKeys, MasterKey};
+use zerber_index::IndexSizeReport;
+
+use crate::error::ZerberRError;
+use crate::train::RstfModel;
+
+/// One element of an ordered merged posting list.
+///
+/// The TRS and the group tag are visible to the index server (the TRS is what
+/// lets it rank, the group is what lets it enforce access control); the term,
+/// document id and raw score stay encrypted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderedElement {
+    /// Transformed relevance score, in `[0, 1]`.
+    pub trs: f64,
+    /// Access-control group of the underlying document.
+    pub group: GroupId,
+    /// The sealed posting payload.
+    pub sealed: EncryptedElement,
+}
+
+/// Bytes the server stores per element beyond the sealed payload: the 8-byte
+/// TRS.  (The group tag is already accounted inside
+/// [`EncryptedElement::stored_bytes`].)
+pub const TRS_BYTES: usize = 8;
+
+/// The Zerber+R ordered index.
+#[derive(Debug, Clone)]
+pub struct OrderedIndex {
+    lists: Vec<Vec<OrderedElement>>,
+    plan: MergePlan,
+}
+
+impl OrderedIndex {
+    /// Builds the ordered index: every posting element is sealed under its
+    /// document's group key, tagged with its TRS and inserted into its merged
+    /// list, which is kept sorted by descending TRS.
+    pub fn build(
+        corpus: &Corpus,
+        plan: MergePlan,
+        model: &RstfModel,
+        master: &MasterKey,
+        seed: u64,
+    ) -> Result<Self, ZerberRError> {
+        let mut rng = DeterministicRng::from_u64(seed);
+        let mut group_keys: HashMap<GroupId, GroupKeys> = HashMap::new();
+        let mut lists: Vec<Vec<OrderedElement>> = vec![Vec::new(); plan.num_lists()];
+        for (doc_id, doc) in corpus.docs() {
+            let keys = group_keys
+                .entry(doc.group)
+                .or_insert_with(|| master.group_keys(doc.group.0));
+            for &(term, tf) in &doc.term_counts {
+                let list = plan.list_of(term)?;
+                let payload = PostingPayload {
+                    term,
+                    doc: doc_id,
+                    tf,
+                    doc_len: doc.length,
+                };
+                let trs = model.transform(term, doc_id, payload.relevance());
+                let sealed = EncryptedElement::seal(&payload, doc.group, keys, list, &mut rng)?;
+                lists[list.0 as usize].push(OrderedElement {
+                    trs,
+                    group: doc.group,
+                    sealed,
+                });
+            }
+        }
+        for list in &mut lists {
+            sort_by_trs(list);
+        }
+        Ok(OrderedIndex { lists, plan })
+    }
+
+    /// The merge plan underlying the index.
+    pub fn plan(&self) -> &MergePlan {
+        &self.plan
+    }
+
+    /// Number of merged posting lists.
+    pub fn num_lists(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Total number of posting elements.
+    pub fn num_elements(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+
+    /// Length of one merged list.
+    pub fn list_len(&self, id: MergedListId) -> Result<usize, ZerberRError> {
+        self.lists
+            .get(id.0 as usize)
+            .map(Vec::len)
+            .ok_or(ZerberRError::UnknownList(id.0))
+    }
+
+    /// The full ordered list (used by audits and tests; a real server would
+    /// never ship it wholesale unless asked).
+    pub fn list(&self, id: MergedListId) -> Result<&[OrderedElement], ZerberRError> {
+        self.lists
+            .get(id.0 as usize)
+            .map(Vec::as_slice)
+            .ok_or(ZerberRError::UnknownList(id.0))
+    }
+
+    /// Server-side fetch: returns up to `count` elements of the merged list
+    /// starting at `offset` in descending-TRS order, optionally filtered to
+    /// the groups the requesting user may access.
+    ///
+    /// This is the primitive the query protocol builds on: the server can
+    /// evaluate it using only public information (TRS order, group tags).
+    pub fn fetch(
+        &self,
+        id: MergedListId,
+        offset: usize,
+        count: usize,
+        accessible: Option<&[GroupId]>,
+    ) -> Result<Vec<&OrderedElement>, ZerberRError> {
+        let list = self.list(id)?;
+        let filtered = list.iter().filter(|e| match accessible {
+            None => true,
+            Some(groups) => groups.contains(&e.group),
+        });
+        Ok(filtered.skip(offset).take(count).collect())
+    }
+
+    /// Number of elements of the list visible to a user with access to
+    /// `accessible` groups.
+    pub fn visible_len(
+        &self,
+        id: MergedListId,
+        accessible: Option<&[GroupId]>,
+    ) -> Result<usize, ZerberRError> {
+        let list = self.list(id)?;
+        Ok(match accessible {
+            None => list.len(),
+            Some(groups) => list.iter().filter(|e| groups.contains(&e.group)).count(),
+        })
+    }
+
+    /// Inserts one new posting element, keeping the list ordered by TRS.
+    ///
+    /// This is the online insertion path of Section 5: the inserting client
+    /// computes the TRS with the published RSTF and sends `(list id, group,
+    /// TRS, sealed payload)`; the server only has to binary-search the
+    /// insertion position.  No other element moves, so concurrent updates by
+    /// other group members stay valid.
+    pub fn insert(
+        &mut self,
+        payload: &PostingPayload,
+        group: GroupId,
+        keys: &GroupKeys,
+        model: &RstfModel,
+        rng: &mut DeterministicRng,
+    ) -> Result<MergedListId, ZerberRError> {
+        let list_id = self.plan.list_of(payload.term)?;
+        let trs = model.transform(payload.term, payload.doc, payload.relevance());
+        let sealed = EncryptedElement::seal(payload, group, keys, list_id, rng)?;
+        let element = OrderedElement { trs, group, sealed };
+        let list = &mut self.lists[list_id.0 as usize];
+        let pos = list.partition_point(|e| e.trs > trs);
+        list.insert(pos, element);
+        Ok(list_id)
+    }
+
+    /// Server-side insertion of an already sealed element (what the index
+    /// server does when it receives an insert request from a client that
+    /// computed the TRS itself, Section 5).  The server only needs the merged
+    /// list id and the public TRS to find the position; it never sees the
+    /// plaintext.
+    pub fn insert_sealed(
+        &mut self,
+        list_id: MergedListId,
+        element: OrderedElement,
+    ) -> Result<(), ZerberRError> {
+        let list = self
+            .lists
+            .get_mut(list_id.0 as usize)
+            .ok_or(ZerberRError::UnknownList(list_id.0))?;
+        let pos = list.partition_point(|e| e.trs > element.trs);
+        list.insert(pos, element);
+        Ok(())
+    }
+
+    /// Storage size report (Section 6.3): per element the server stores the
+    /// sealed payload, the group tag and an 8-byte TRS — the same "one score
+    /// per posting element" budget as the ordinary inverted index.
+    pub fn stored_bytes(&self) -> usize {
+        self.lists
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(|e| e.sealed.stored_bytes() + TRS_BYTES)
+            .sum()
+    }
+
+    /// Size report in the same shape as the plaintext index's report, for
+    /// side-by-side comparison in the Section 6.3 harness.
+    pub fn size_report(&self) -> IndexSizeReport {
+        IndexSizeReport {
+            num_lists: self.num_lists(),
+            num_postings: self.num_elements(),
+            plain_bytes: self.num_elements() * zerber_index::PLAIN_POSTING_BYTES,
+            compressed_bytes: self.stored_bytes(),
+        }
+    }
+
+    /// Checks the ordering invariant of every list (used by tests and the
+    /// audit example).
+    pub fn verify_ordering(&self) -> bool {
+        self.lists
+            .iter()
+            .all(|l| l.windows(2).all(|w| w[0].trs >= w[1].trs))
+    }
+}
+
+fn sort_by_trs(list: &mut [OrderedElement]) {
+    list.sort_by(|a, b| {
+        b.trs
+            .partial_cmp(&a.trs)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{RstfConfig, RstfModel};
+    use zerber_base::{BfmMerge, ConfidentialityParam, MergeScheme};
+    use zerber_corpus::{
+        sample_split, CorpusGenerator, CorpusStats, CustomProfile, DatasetProfile, DocId,
+        SplitConfig, SynthConfig,
+    };
+
+    fn corpus() -> Corpus {
+        let config = SynthConfig {
+            profile: DatasetProfile::Custom(CustomProfile {
+                num_docs: 250,
+                num_groups: 3,
+                vocab_size: 600,
+                general_vocab_fraction: 0.5,
+                topic_mix: 0.3,
+                zipf_exponent: 1.0,
+                doc_length_median: 60.0,
+                doc_length_sigma: 0.6,
+                min_doc_length: 15,
+                max_doc_length: 300,
+            }),
+            scale: 1.0,
+            seed: 900,
+        };
+        CorpusGenerator::new(config).generate().unwrap()
+    }
+
+    fn build() -> (Corpus, OrderedIndex, RstfModel, MasterKey, CorpusStats) {
+        let c = corpus();
+        let stats = CorpusStats::compute(&c);
+        let split = sample_split(&c, SplitConfig::default()).unwrap();
+        let model = RstfModel::train(&c, &split, &RstfConfig::default()).unwrap();
+        let plan = BfmMerge
+            .plan(&stats, ConfidentialityParam::new(3.0).unwrap())
+            .unwrap();
+        let master = MasterKey::new([4u8; 32]);
+        let index = OrderedIndex::build(&c, plan, &model, &master, 77).unwrap();
+        (c, index, model, master, stats)
+    }
+
+    #[test]
+    fn build_preserves_element_count_and_ordering() {
+        let (c, index, _, _, _) = build();
+        let expected: usize = c.docs().map(|(_, d)| d.distinct_terms()).sum();
+        assert_eq!(index.num_elements(), expected);
+        assert!(index.verify_ordering());
+        assert_eq!(index.num_lists(), index.plan().num_lists());
+    }
+
+    #[test]
+    fn fetch_returns_descending_trs_and_respects_offsets() {
+        let (_, index, _, _, _) = build();
+        let (list_id, _) = index.plan().iter().max_by_key(|(id, _)| {
+            index.list_len(*id).unwrap()
+        }).unwrap();
+        let len = index.list_len(list_id).unwrap();
+        assert!(len >= 4);
+        let first = index.fetch(list_id, 0, 3, None).unwrap();
+        let next = index.fetch(list_id, 3, 3, None).unwrap();
+        assert_eq!(first.len(), 3);
+        assert!(first.windows(2).all(|w| w[0].trs >= w[1].trs));
+        if let (Some(last_first), Some(first_next)) = (first.last(), next.first()) {
+            assert!(last_first.trs >= first_next.trs);
+        }
+        // Fetch beyond the end returns what is left.
+        let tail = index.fetch(list_id, len - 1, 10, None).unwrap();
+        assert_eq!(tail.len(), 1);
+        let beyond = index.fetch(list_id, len + 5, 10, None).unwrap();
+        assert!(beyond.is_empty());
+    }
+
+    #[test]
+    fn group_filtering_limits_visibility() {
+        let (_, index, _, _, _) = build();
+        let (list_id, _) = index
+            .plan()
+            .iter()
+            .max_by_key(|(id, _)| index.list_len(*id).unwrap())
+            .unwrap();
+        let all = index.visible_len(list_id, None).unwrap();
+        let only_g0 = index.visible_len(list_id, Some(&[GroupId(0)])).unwrap();
+        assert!(only_g0 <= all);
+        let fetched = index
+            .fetch(list_id, 0, all, Some(&[GroupId(0)]))
+            .unwrap();
+        assert_eq!(fetched.len(), only_g0);
+        assert!(fetched.iter().all(|e| e.group == GroupId(0)));
+    }
+
+    #[test]
+    fn decrypted_order_matches_raw_relevance_order_per_term() {
+        // The monotone RSTF must keep each term's elements ranked identically
+        // to the plaintext relevance ranking.
+        let (c, index, _, master, stats) = build();
+        let frequent = stats.terms_by_doc_freq()[0];
+        let list_id = index.plan().list_of(frequent).unwrap();
+        let list = index.list(list_id).unwrap();
+        let keys: HashMap<GroupId, GroupKeys> = (0..c.num_groups() as u32)
+            .map(|g| (GroupId(g), master.group_keys(g)))
+            .collect();
+        let mut rels = Vec::new();
+        for e in list {
+            let payload = e.sealed.open(&keys[&e.group], list_id).unwrap();
+            if payload.term == frequent {
+                rels.push(payload.relevance());
+            }
+        }
+        assert!(rels.len() >= 2, "need at least two elements to check order");
+        for w in rels.windows(2) {
+            assert!(
+                w[0] >= w[1] - 1e-12,
+                "scanning by TRS must visit a term's elements in relevance order"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_keeps_ordering_and_is_retrievable() {
+        let (c, mut index, model, master, stats) = build();
+        let term = stats.terms_by_doc_freq()[0];
+        let keys = master.group_keys(0);
+        let mut rng = DeterministicRng::from_u64(123);
+        let payload = PostingPayload {
+            term,
+            doc: DocId(50_000),
+            tf: 30,
+            doc_len: 40,
+        };
+        let list_id = index
+            .insert(&payload, GroupId(0), &keys, &model, &mut rng)
+            .unwrap();
+        assert!(index.verify_ordering());
+        // The inserted element has very high raw relevance (0.75), so it
+        // should appear near the head of the list.
+        let head = index.fetch(list_id, 0, 10, None).unwrap();
+        let mut found = false;
+        for e in head {
+            if e.group == GroupId(0) {
+                if let Ok(p) = e.sealed.open(&keys, list_id) {
+                    if p.doc == DocId(50_000) {
+                        found = true;
+                        break;
+                    }
+                }
+            }
+        }
+        assert!(found, "high-relevance insert should surface near the list head");
+        let _ = c;
+    }
+
+    #[test]
+    fn unknown_list_is_an_error() {
+        let (_, index, _, _, _) = build();
+        let bad = MergedListId(9_999_999);
+        assert!(index.list(bad).is_err());
+        assert!(index.fetch(bad, 0, 1, None).is_err());
+        assert!(index.list_len(bad).is_err());
+        assert!(index.visible_len(bad, None).is_err());
+    }
+
+    #[test]
+    fn size_report_accounts_one_score_per_element() {
+        let (_, index, _, _, _) = build();
+        let report = index.size_report();
+        assert_eq!(report.num_postings, index.num_elements());
+        assert_eq!(
+            report.plain_bytes,
+            index.num_elements() * zerber_index::PLAIN_POSTING_BYTES
+        );
+        assert!(index.stored_bytes() > report.plain_bytes);
+    }
+}

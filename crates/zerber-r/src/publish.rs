@@ -1,0 +1,256 @@
+//! Publishing and loading the RSTF model.
+//!
+//! Section 5 of the paper: "Zerber+R initializes and **publishes** the RSTF
+//! for each term in the training document set, such that in the online
+//! insertion phase this function can be used by an inserting client."  The
+//! model therefore needs a stable serialized form that the index
+//! administrator can hand to every group member (and that can live next to
+//! the index configuration).
+//!
+//! The format is a small self-describing binary layout (magic, version,
+//! varint-length-prefixed records); it does not depend on any serialization
+//! crate and is covered by round-trip and corruption tests.
+
+use std::collections::HashMap;
+
+use zerber_corpus::TermId;
+
+use crate::error::ZerberRError;
+use crate::rstf::{Rstf, RstfKernel};
+use crate::train::RstfModel;
+
+/// Magic bytes identifying a published model file.
+pub const MAGIC: &[u8; 8] = b"ZERBERR\x01";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, ZerberRError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf
+            .get(*pos)
+            .ok_or_else(|| ZerberRError::InvalidParameter("truncated model data".into()))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(ZerberRError::InvalidParameter("varint overflow in model data".into()));
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+fn write_f64(out: &mut Vec<u8>, value: f64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+fn read_f64(buf: &[u8], pos: &mut usize) -> Result<f64, ZerberRError> {
+    let end = *pos + 8;
+    let bytes = buf
+        .get(*pos..end)
+        .ok_or_else(|| ZerberRError::InvalidParameter("truncated model data".into()))?;
+    *pos = end;
+    Ok(f64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+}
+
+fn kernel_tag(kernel: RstfKernel) -> u8 {
+    match kernel {
+        RstfKernel::Logistic => 0,
+        RstfKernel::Erf => 1,
+    }
+}
+
+fn kernel_from_tag(tag: u8) -> Result<RstfKernel, ZerberRError> {
+    match tag {
+        0 => Ok(RstfKernel::Logistic),
+        1 => Ok(RstfKernel::Erf),
+        other => Err(ZerberRError::InvalidParameter(format!(
+            "unknown RSTF kernel tag {other}"
+        ))),
+    }
+}
+
+/// Serializes a trained model into the published byte format.
+pub fn publish_model(model: &RstfModel) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(kernel_tag(model.kernel()));
+    write_f64(&mut out, model.global_sigma());
+    write_varint(&mut out, model.unseen_seed());
+    // Deterministic term order so the published artifact is reproducible.
+    let mut terms: Vec<(TermId, &Rstf)> = model.terms().collect();
+    terms.sort_by_key(|&(t, _)| t);
+    write_varint(&mut out, terms.len() as u64);
+    for (term, rstf) in terms {
+        write_varint(&mut out, u64::from(term.0));
+        out.push(kernel_tag(rstf.kernel()));
+        write_f64(&mut out, rstf.sigma());
+        let mus = rstf.density().training_values();
+        write_varint(&mut out, mus.len() as u64);
+        for &mu in mus {
+            write_f64(&mut out, mu);
+        }
+    }
+    out
+}
+
+/// Loads a model previously produced by [`publish_model`].
+pub fn load_model(bytes: &[u8]) -> Result<RstfModel, ZerberRError> {
+    if bytes.len() < MAGIC.len() + 2 || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(ZerberRError::InvalidParameter(
+            "not a published Zerber+R model (bad magic)".into(),
+        ));
+    }
+    let mut pos = MAGIC.len();
+    let version = u16::from_le_bytes([bytes[pos], bytes[pos + 1]]);
+    pos += 2;
+    if version != VERSION {
+        return Err(ZerberRError::InvalidParameter(format!(
+            "unsupported model version {version}"
+        )));
+    }
+    let model_kernel = kernel_from_tag(
+        *bytes
+            .get(pos)
+            .ok_or_else(|| ZerberRError::InvalidParameter("truncated model data".into()))?,
+    )?;
+    pos += 1;
+    let global_sigma = read_f64(bytes, &mut pos)?;
+    let unseen_seed = read_varint(bytes, &mut pos)?;
+    let num_terms = read_varint(bytes, &mut pos)? as usize;
+    let mut per_term: HashMap<TermId, Rstf> = HashMap::with_capacity(num_terms);
+    for _ in 0..num_terms {
+        let term = TermId(read_varint(bytes, &mut pos)? as u32);
+        let kernel = kernel_from_tag(
+            *bytes
+                .get(pos)
+                .ok_or_else(|| ZerberRError::InvalidParameter("truncated model data".into()))?,
+        )?;
+        pos += 1;
+        let sigma = read_f64(bytes, &mut pos)?;
+        let count = read_varint(bytes, &mut pos)? as usize;
+        let mut mus = Vec::with_capacity(count);
+        for _ in 0..count {
+            mus.push(read_f64(bytes, &mut pos)?);
+        }
+        per_term.insert(term, Rstf::fit(&mus, sigma, kernel)?);
+    }
+    if pos != bytes.len() {
+        return Err(ZerberRError::InvalidParameter(format!(
+            "{} trailing bytes after model data",
+            bytes.len() - pos
+        )));
+    }
+    Ok(RstfModel::from_parts(
+        per_term,
+        model_kernel,
+        global_sigma,
+        unseen_seed,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::RstfConfig;
+    use zerber_corpus::{
+        sample_split, CorpusGenerator, CustomProfile, DatasetProfile, DocId, SplitConfig,
+        SynthConfig,
+    };
+
+    fn model() -> (zerber_corpus::Corpus, RstfModel) {
+        let config = SynthConfig {
+            profile: DatasetProfile::Custom(CustomProfile {
+                num_docs: 150,
+                num_groups: 2,
+                vocab_size: 300,
+                general_vocab_fraction: 1.0,
+                topic_mix: 0.0,
+                zipf_exponent: 1.0,
+                doc_length_median: 50.0,
+                doc_length_sigma: 0.5,
+                min_doc_length: 15,
+                max_doc_length: 200,
+            }),
+            scale: 1.0,
+            seed: 77,
+        };
+        let corpus = CorpusGenerator::new(config).generate().unwrap();
+        let split = sample_split(&corpus, SplitConfig::default()).unwrap();
+        let model = RstfModel::train(&corpus, &split, &RstfConfig::default()).unwrap();
+        (corpus, model)
+    }
+
+    #[test]
+    fn publish_and_load_roundtrip_preserves_every_transformation() {
+        let (corpus, model) = model();
+        let bytes = publish_model(&model);
+        assert!(bytes.len() > 100);
+        let loaded = load_model(&bytes).unwrap();
+        assert_eq!(loaded.num_trained_terms(), model.num_trained_terms());
+        assert_eq!(loaded.kernel(), model.kernel());
+        assert!((loaded.global_sigma() - model.global_sigma()).abs() < 1e-12);
+        let stats = zerber_corpus::CorpusStats::compute(&corpus);
+        for t in stats.terms().take(200) {
+            for &(doc, _, rel) in t.postings.iter().take(3) {
+                let a = model.transform(t.term, doc, rel);
+                let b = loaded.transform(t.term, doc, rel);
+                assert!((a - b).abs() < 1e-12, "transform mismatch for {:?}", t.term);
+            }
+        }
+        // Unseen-term fallback must also be identical (same seed).
+        let unseen = TermId(9_999_999);
+        assert_eq!(
+            model.transform(unseen, DocId(5), 0.4),
+            loaded.transform(unseen, DocId(5), 0.4)
+        );
+    }
+
+    #[test]
+    fn publishing_is_deterministic() {
+        let (_, model) = model();
+        assert_eq!(publish_model(&model), publish_model(&model));
+    }
+
+    #[test]
+    fn bad_magic_version_and_truncation_are_rejected() {
+        let (_, model) = model();
+        let bytes = publish_model(&model);
+        assert!(load_model(&bytes[..bytes.len() - 1]).is_err());
+        assert!(load_model(b"not a model").is_err());
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] ^= 0xff;
+        assert!(load_model(&wrong_magic).is_err());
+        let mut wrong_version = bytes.clone();
+        wrong_version[8] = 0xfe;
+        assert!(load_model(&wrong_version).is_err());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(load_model(&trailing).is_err());
+    }
+
+    #[test]
+    fn empty_model_roundtrips() {
+        let model = RstfModel::from_parts(HashMap::new(), RstfKernel::Erf, 50.0, 123);
+        let loaded = load_model(&publish_model(&model)).unwrap();
+        assert_eq!(loaded.num_trained_terms(), 0);
+        assert_eq!(loaded.kernel(), RstfKernel::Erf);
+        assert_eq!(loaded.unseen_seed(), 123);
+    }
+}

@@ -1,0 +1,432 @@
+//! Top-k query answering over the ordered index (Section 5.2).
+//!
+//! The client asks the server for the merged posting list containing the
+//! queried term together with `k`.  The server returns the `b` highest-TRS
+//! elements the user may access (initial response size).  The client decrypts
+//! them, keeps those matching the queried term, and — if it still has fewer
+//! than `k` — issues follow-up requests.  Zerber+R doubles the response size
+//! with every follow-up so the number of round trips stays small and leaks
+//! little about the queried term's rarity.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use zerber_corpus::{DocId, GroupId, TermId};
+use zerber_crypto::GroupKeys;
+
+use crate::error::ZerberRError;
+use crate::index::OrderedIndex;
+
+/// How the response size evolves over follow-up requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GrowthPolicy {
+    /// Zerber+R's policy: request `b`, then `2b`, then `4b`, ... (Equation 12).
+    Doubling,
+    /// Ablation baseline: every request returns exactly `b` elements.
+    Constant,
+}
+
+impl Default for GrowthPolicy {
+    fn default() -> Self {
+        GrowthPolicy::Doubling
+    }
+}
+
+/// Parameters of a top-k retrieval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetrievalConfig {
+    /// Number of results the user wants.
+    pub k: usize,
+    /// Initial response size `b` (the paper's sweet spot is `b = k`,
+    /// Section 6.4).
+    pub initial_response: usize,
+    /// Follow-up growth policy.
+    pub growth: GrowthPolicy,
+}
+
+impl RetrievalConfig {
+    /// Creates a configuration with the paper's default `b = k` and doubling
+    /// follow-ups.
+    pub fn for_k(k: usize) -> Self {
+        RetrievalConfig {
+            k,
+            initial_response: k,
+            growth: GrowthPolicy::Doubling,
+        }
+    }
+
+    fn validate(&self) -> Result<(), ZerberRError> {
+        if self.k == 0 {
+            return Err(ZerberRError::InvalidParameter("k must be greater than 0".into()));
+        }
+        if self.initial_response == 0 {
+            return Err(ZerberRError::InvalidParameter(
+                "initial response size b must be greater than 0".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Size of the `i`-th request (0 = initial request).
+    pub fn request_size(&self, i: usize) -> usize {
+        match self.growth {
+            GrowthPolicy::Doubling => self.initial_response << i.min(62),
+            GrowthPolicy::Constant => self.initial_response,
+        }
+    }
+}
+
+/// Outcome of one top-k retrieval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrievalOutcome {
+    /// Ranked `(doc, raw relevance)` results of the queried term, best first,
+    /// at most `k` entries.
+    pub results: Vec<(DocId, f64)>,
+    /// Total number of requests sent (initial + follow-ups).
+    pub requests: usize,
+    /// Total number of posting elements transferred to the client
+    /// (`TRes` of Equation 12).
+    pub elements_transferred: usize,
+    /// Whether the full `k` results were found before the list was exhausted.
+    pub satisfied: bool,
+}
+
+impl RetrievalOutcome {
+    /// Query efficiency ratio `QRatio_eff = k / TRes` (Equation 14).
+    pub fn efficiency(&self, k: usize) -> f64 {
+        if self.elements_transferred == 0 {
+            return 1.0;
+        }
+        (k as f64 / self.elements_transferred as f64).min(1.0)
+    }
+
+    /// Bandwidth overhead versus an ordinary index that would have returned
+    /// exactly `k` elements (the per-query term inside Equation 13).
+    pub fn bandwidth_overhead(&self, k: usize) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        self.elements_transferred as f64 / k as f64
+    }
+}
+
+/// Executes a single-term top-k query against the ordered index.
+///
+/// `memberships` holds the group keys of the querying user; the server only
+/// returns elements of those groups (access control), and the client uses the
+/// same set to decrypt.
+pub fn retrieve_topk(
+    index: &OrderedIndex,
+    term: TermId,
+    memberships: &HashMap<GroupId, GroupKeys>,
+    config: &RetrievalConfig,
+) -> Result<RetrievalOutcome, ZerberRError> {
+    config.validate()?;
+    let list_id = index.plan().list_of(term)?;
+    let accessible: Vec<GroupId> = memberships.keys().copied().collect();
+    let visible_total = index.visible_len(list_id, Some(&accessible))?;
+
+    let mut results: Vec<(DocId, f64)> = Vec::with_capacity(config.k);
+    let mut offset = 0usize;
+    let mut requests = 0usize;
+    let mut transferred = 0usize;
+
+    while results.len() < config.k && offset < visible_total {
+        let want = config.request_size(requests);
+        let batch = index.fetch(list_id, offset, want, Some(&accessible))?;
+        requests += 1;
+        transferred += batch.len();
+        for element in &batch {
+            let keys = memberships
+                .get(&element.group)
+                .expect("server only returns accessible groups");
+            let payload = element.sealed.open(keys, list_id)?;
+            if payload.term == term {
+                results.push((payload.doc, payload.relevance()));
+                if results.len() == config.k {
+                    break;
+                }
+            }
+        }
+        offset += batch.len();
+        if batch.is_empty() {
+            break;
+        }
+    }
+    // Elements of one term arrive in TRS order, which is relevance order, but
+    // make the contract explicit for consumers.
+    results.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    let satisfied = results.len() >= config.k;
+    Ok(RetrievalOutcome {
+        results,
+        requests: requests.max(1),
+        elements_transferred: transferred,
+        satisfied,
+    })
+}
+
+/// Executes a multi-term query as a sequence of single-term queries and
+/// merges the per-term rankings by summed normalized TF (Section 3.2:
+/// Zerber+R deliberately omits IDF, trading a little multi-term accuracy for
+/// confidentiality of collection statistics).
+pub fn retrieve_multi_term(
+    index: &OrderedIndex,
+    terms: &[TermId],
+    memberships: &HashMap<GroupId, GroupKeys>,
+    config: &RetrievalConfig,
+) -> Result<(Vec<(DocId, f64)>, Vec<RetrievalOutcome>), ZerberRError> {
+    if terms.is_empty() {
+        return Err(ZerberRError::InvalidParameter("empty query".into()));
+    }
+    let mut per_term = Vec::with_capacity(terms.len());
+    let mut acc: HashMap<DocId, f64> = HashMap::new();
+    for &term in terms {
+        let outcome = retrieve_topk(index, term, memberships, config)?;
+        for &(doc, rel) in &outcome.results {
+            *acc.entry(doc).or_insert(0.0) += rel;
+        }
+        per_term.push(outcome);
+    }
+    let mut merged: Vec<(DocId, f64)> = acc.into_iter().collect();
+    merged.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    merged.truncate(config.k);
+    Ok((merged, per_term))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::OrderedIndex;
+    use crate::train::{RstfConfig, RstfModel};
+    use zerber_base::{BfmMerge, ConfidentialityParam, MergeScheme};
+    use zerber_corpus::{
+        sample_split, Corpus, CorpusGenerator, CorpusStats, CustomProfile, DatasetProfile,
+        SplitConfig, SynthConfig,
+    };
+    use zerber_crypto::MasterKey;
+    use zerber_index::InvertedIndex;
+
+    struct Fixture {
+        corpus: Corpus,
+        stats: CorpusStats,
+        index: OrderedIndex,
+        plain: InvertedIndex,
+        memberships: HashMap<GroupId, GroupKeys>,
+    }
+
+    fn fixture() -> Fixture {
+        let config = SynthConfig {
+            profile: DatasetProfile::Custom(CustomProfile {
+                num_docs: 300,
+                num_groups: 3,
+                vocab_size: 700,
+                general_vocab_fraction: 0.5,
+                topic_mix: 0.3,
+                zipf_exponent: 1.0,
+                doc_length_median: 70.0,
+                doc_length_sigma: 0.6,
+                min_doc_length: 15,
+                max_doc_length: 350,
+            }),
+            scale: 1.0,
+            seed: 1234,
+        };
+        let corpus = CorpusGenerator::new(config).generate().unwrap();
+        let stats = CorpusStats::compute(&corpus);
+        let split = sample_split(&corpus, SplitConfig::default()).unwrap();
+        let model = RstfModel::train(&corpus, &split, &RstfConfig::default()).unwrap();
+        let plan = BfmMerge
+            .plan(&stats, ConfidentialityParam::new(3.0).unwrap())
+            .unwrap();
+        let master = MasterKey::new([8u8; 32]);
+        let index = OrderedIndex::build(&corpus, plan, &model, &master, 55).unwrap();
+        let plain = InvertedIndex::build(&corpus);
+        let memberships: HashMap<GroupId, GroupKeys> = (0..corpus.num_groups() as u32)
+            .map(|g| (GroupId(g), master.group_keys(g)))
+            .collect();
+        Fixture {
+            corpus,
+            stats,
+            index,
+            plain,
+            memberships,
+        }
+    }
+
+    #[test]
+    fn retrieval_matches_the_plaintext_ranking() {
+        let f = fixture();
+        let k = 10;
+        let config = RetrievalConfig::for_k(k);
+        for &term in f.stats.terms_by_doc_freq().iter().take(20) {
+            let outcome = retrieve_topk(&f.index, term, &f.memberships, &config).unwrap();
+            let reference = f.plain.query_term(term, k).unwrap();
+            assert_eq!(outcome.results.len(), reference.len().min(k), "term {term}");
+            // Scores must match pairwise (document ties may reorder equal
+            // scores, so compare the score multiset).
+            let got: Vec<f64> = outcome.results.iter().map(|r| r.1).collect();
+            let want: Vec<f64> = reference.iter().map(|p| p.score).collect();
+            for (g, w) in got.iter().zip(want.iter()) {
+                assert!((g - w).abs() < 1e-9, "term {term}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn frequent_terms_are_satisfied_by_the_initial_response() {
+        let f = fixture();
+        let config = RetrievalConfig::for_k(10);
+        let frequent = f.stats.terms_by_doc_freq()[0];
+        let outcome = retrieve_topk(&f.index, frequent, &f.memberships, &config).unwrap();
+        assert!(outcome.satisfied);
+        assert!(
+            outcome.requests <= 3,
+            "a very frequent term should need few requests, got {}",
+            outcome.requests
+        );
+    }
+
+    #[test]
+    fn rare_terms_need_more_requests_but_terminate() {
+        let f = fixture();
+        let config = RetrievalConfig::for_k(10);
+        let order = f.stats.terms_by_doc_freq();
+        let rare = *order.last().unwrap();
+        let outcome = retrieve_topk(&f.index, rare, &f.memberships, &config).unwrap();
+        // The rare term has fewer than k postings: the retrieval must stop
+        // after exhausting the visible list without looping forever.
+        assert!(!outcome.results.is_empty() || outcome.elements_transferred > 0);
+        assert!(outcome.results.len() <= 10);
+        if (f.stats.doc_freq(rare).unwrap() as usize) < 10 {
+            assert!(!outcome.satisfied);
+        }
+    }
+
+    #[test]
+    fn doubling_growth_reduces_request_count_versus_constant() {
+        let f = fixture();
+        let order = f.stats.terms_by_doc_freq();
+        // Pick a mid-frequency term so several follow-ups are needed.
+        let term = order[order.len() / 3];
+        let doubling = retrieve_topk(
+            &f.index,
+            term,
+            &f.memberships,
+            &RetrievalConfig {
+                k: 10,
+                initial_response: 2,
+                growth: GrowthPolicy::Doubling,
+            },
+        )
+        .unwrap();
+        let constant = retrieve_topk(
+            &f.index,
+            term,
+            &f.memberships,
+            &RetrievalConfig {
+                k: 10,
+                initial_response: 2,
+                growth: GrowthPolicy::Constant,
+            },
+        )
+        .unwrap();
+        assert!(doubling.requests <= constant.requests);
+        // Both find the same results.
+        assert_eq!(doubling.results, constant.results);
+    }
+
+    #[test]
+    fn efficiency_and_overhead_metrics_are_consistent() {
+        let f = fixture();
+        let config = RetrievalConfig::for_k(10);
+        let term = f.stats.terms_by_doc_freq()[5];
+        let outcome = retrieve_topk(&f.index, term, &f.memberships, &config).unwrap();
+        let eff = outcome.efficiency(10);
+        let bo = outcome.bandwidth_overhead(10);
+        assert!((0.0..=1.0).contains(&eff));
+        assert!(bo >= 1.0 || !outcome.satisfied);
+        if outcome.elements_transferred >= 10 {
+            assert!((eff * bo - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn membership_restriction_limits_results() {
+        let f = fixture();
+        let config = RetrievalConfig::for_k(10);
+        let term = f.stats.terms_by_doc_freq()[0];
+        let only_g0: HashMap<GroupId, GroupKeys> = f
+            .memberships
+            .iter()
+            .filter(|(g, _)| g.0 == 0)
+            .map(|(g, k)| (*g, k.clone()))
+            .collect();
+        let all = retrieve_topk(&f.index, term, &f.memberships, &config).unwrap();
+        let restricted = retrieve_topk(&f.index, term, &only_g0, &config).unwrap();
+        assert!(restricted.elements_transferred <= all.elements_transferred + 20);
+        // Every restricted result must come from a group-0 document.
+        for &(doc, _) in &restricted.results {
+            assert_eq!(f.corpus.doc(doc).unwrap().group, GroupId(0));
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let f = fixture();
+        let term = f.stats.terms_by_doc_freq()[0];
+        assert!(retrieve_topk(
+            &f.index,
+            term,
+            &f.memberships,
+            &RetrievalConfig { k: 0, initial_response: 5, growth: GrowthPolicy::Doubling }
+        )
+        .is_err());
+        assert!(retrieve_topk(
+            &f.index,
+            term,
+            &f.memberships,
+            &RetrievalConfig { k: 5, initial_response: 0, growth: GrowthPolicy::Doubling }
+        )
+        .is_err());
+        assert!(retrieve_multi_term(&f.index, &[], &f.memberships, &RetrievalConfig::for_k(5)).is_err());
+    }
+
+    #[test]
+    fn multi_term_queries_merge_single_term_results() {
+        let f = fixture();
+        let order = f.stats.terms_by_doc_freq();
+        let terms = [order[0], order[1]];
+        let config = RetrievalConfig::for_k(10);
+        let (merged, per_term) = retrieve_multi_term(&f.index, &terms, &f.memberships, &config).unwrap();
+        assert_eq!(per_term.len(), 2);
+        assert!(merged.len() <= 10);
+        assert!(merged.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn request_size_grows_as_configured() {
+        let c = RetrievalConfig {
+            k: 10,
+            initial_response: 10,
+            growth: GrowthPolicy::Doubling,
+        };
+        assert_eq!(c.request_size(0), 10);
+        assert_eq!(c.request_size(1), 20);
+        assert_eq!(c.request_size(2), 40);
+        let c = RetrievalConfig {
+            growth: GrowthPolicy::Constant,
+            ..c
+        };
+        assert_eq!(c.request_size(5), 10);
+        assert_eq!(RetrievalConfig::for_k(7).initial_response, 7);
+        assert_eq!(GrowthPolicy::default(), GrowthPolicy::Doubling);
+    }
+}

@@ -1,0 +1,219 @@
+//! The Relevance Score Transformation Function (RSTF), Sections 4.2 and 5.1.
+//!
+//! The RSTF of a term maps its raw relevance scores (normalized TF,
+//! Equation 4) to Transformed Relevance Scores (TRS) such that
+//!
+//! 1. the output range `[0, 1]` is the same for every term,
+//! 2. TRS values are (approximately) uniformly distributed over that range,
+//! 3. the order of scores belonging to the same term is preserved.
+//!
+//! The function is the CDF of the Gaussian-sum density of Equation 5; the
+//! paper evaluates it either exactly via the error function (Equations 6–7)
+//! or with the logistic approximation of Equation 8.  Both kernels are
+//! implemented; the logistic kernel is the default because it is what the
+//! paper reports and it is cheaper to evaluate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::density::GaussianSum;
+use crate::error::ZerberRError;
+use crate::math::{logistic, std_normal_cdf};
+
+/// Which CDF kernel evaluates the RSTF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RstfKernel {
+    /// Equation 8: `RSTF(x) = (1/N) Σ_i 1 / (1 + e^{-σ(x-μ_i)})`.
+    Logistic,
+    /// Equations 6–7: `RSTF(x) = (1/N) Σ_i Φ(σ (x - μ_i))`.
+    Erf,
+}
+
+impl Default for RstfKernel {
+    fn default() -> Self {
+        RstfKernel::Logistic
+    }
+}
+
+/// A trained RSTF for one term.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rstf {
+    density: GaussianSum,
+    kernel: RstfKernel,
+}
+
+impl Rstf {
+    /// Fits an RSTF from the term's training relevance scores.
+    pub fn fit(training: &[f64], sigma: f64, kernel: RstfKernel) -> Result<Self, ZerberRError> {
+        Ok(Rstf {
+            density: GaussianSum::new(training, sigma)?,
+            kernel,
+        })
+    }
+
+    /// The σ (rate) parameter.
+    pub fn sigma(&self) -> f64 {
+        self.density.sigma()
+    }
+
+    /// The kernel in use.
+    pub fn kernel(&self) -> RstfKernel {
+        self.kernel
+    }
+
+    /// Number of training values.
+    pub fn training_len(&self) -> usize {
+        self.density.len()
+    }
+
+    /// The underlying density model (Equation 5).
+    pub fn density(&self) -> &GaussianSum {
+        &self.density
+    }
+
+    /// Transforms a raw relevance score into its TRS (Equation 8 / 6).
+    pub fn transform(&self, x: f64) -> f64 {
+        let sigma = self.density.sigma();
+        let n = self.density.len() as f64;
+        let sum: f64 = self
+            .density
+            .training_values()
+            .iter()
+            .map(|&mu| match self.kernel {
+                RstfKernel::Logistic => logistic(sigma * (x - mu)),
+                RstfKernel::Erf => std_normal_cdf(sigma * (x - mu)),
+            })
+            .sum();
+        (sum / n).clamp(0.0, 1.0)
+    }
+
+    /// Transforms a batch of scores.
+    pub fn transform_all(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.transform(x)).collect()
+    }
+
+    /// Samples the RSTF curve on `[lo, hi]` (used to print Figure 8).
+    pub fn sample_curve(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        if points < 2 || hi <= lo {
+            return Vec::new();
+        }
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.transform(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn training_scores(n: usize, seed: u64) -> Vec<f64> {
+        // Skewed scores resembling normalized TF values: mostly small with a
+        // heavier tail, in (0, 1].
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                (u.powi(3) * 0.5 + 0.01).min(1.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn output_stays_in_unit_range() {
+        let rstf = Rstf::fit(&training_scores(200, 1), 40.0, RstfKernel::Logistic).unwrap();
+        for x in [-10.0, -0.5, 0.0, 0.01, 0.3, 0.999, 1.0, 5.0, 100.0] {
+            let y = rstf.transform(x);
+            assert!((0.0..=1.0).contains(&y), "transform({x}) = {y}");
+        }
+    }
+
+    #[test]
+    fn transformation_is_monotone_non_decreasing() {
+        for kernel in [RstfKernel::Logistic, RstfKernel::Erf] {
+            let rstf = Rstf::fit(&training_scores(100, 2), 60.0, kernel).unwrap();
+            let mut prev = f64::MIN;
+            for i in 0..=1000 {
+                let x = f64::from(i) / 1000.0;
+                let y = rstf.transform(x);
+                assert!(y >= prev - 1e-12, "kernel {kernel:?} not monotone at {x}");
+                prev = y;
+            }
+        }
+    }
+
+    #[test]
+    fn order_of_distinct_scores_is_strictly_preserved() {
+        // Property 3 of Section 4.2: the relative order of a term's posting
+        // elements must survive the transformation.
+        let rstf = Rstf::fit(&training_scores(150, 3), 80.0, RstfKernel::Logistic).unwrap();
+        let scores = [0.02, 0.05, 0.1, 0.15, 0.3, 0.45];
+        let trs = rstf.transform_all(&scores);
+        for w in trs.windows(2) {
+            assert!(w[1] > w[0], "strictly increasing on distinct inputs");
+        }
+    }
+
+    #[test]
+    fn logistic_and_erf_kernels_agree_roughly() {
+        let train = training_scores(100, 4);
+        let log = Rstf::fit(&train, 50.0, RstfKernel::Logistic).unwrap();
+        let erf = Rstf::fit(&train, 50.0, RstfKernel::Erf).unwrap();
+        for i in 0..=20 {
+            let x = f64::from(i) * 0.05;
+            assert!(
+                (log.transform(x) - erf.transform(x)).abs() < 0.08,
+                "kernels diverge at {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn training_values_map_to_spread_out_quantiles() {
+        // Evaluating the CDF at the training values themselves should give
+        // approximately their quantile positions — the essence of the
+        // uniformization requirement.
+        let train = training_scores(500, 5);
+        let rstf = Rstf::fit(&train, 300.0, RstfKernel::Logistic).unwrap();
+        let mut sorted = train.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q10 = rstf.transform(sorted[50]);
+        let q50 = rstf.transform(sorted[250]);
+        let q90 = rstf.transform(sorted[450]);
+        assert!((q10 - 0.1).abs() < 0.08, "10% quantile mapped to {q10}");
+        assert!((q50 - 0.5).abs() < 0.08, "50% quantile mapped to {q50}");
+        assert!((q90 - 0.9).abs() < 0.08, "90% quantile mapped to {q90}");
+    }
+
+    #[test]
+    fn extreme_scores_map_near_the_range_ends() {
+        let rstf = Rstf::fit(&training_scores(100, 6), 100.0, RstfKernel::Erf).unwrap();
+        assert!(rstf.transform(-1.0) < 0.01);
+        assert!(rstf.transform(2.0) > 0.99);
+    }
+
+    #[test]
+    fn curve_sampling_matches_direct_evaluation() {
+        let rstf = Rstf::fit(&[0.2, 0.4, 0.6], 20.0, RstfKernel::Logistic).unwrap();
+        let curve = rstf.sample_curve(0.0, 1.0, 5);
+        assert_eq!(curve.len(), 5);
+        for (x, y) in curve {
+            assert!((rstf.transform(x) - y).abs() < 1e-12);
+        }
+        assert!(rstf.sample_curve(0.5, 0.5, 5).is_empty());
+    }
+
+    #[test]
+    fn accessors_report_configuration() {
+        let rstf = Rstf::fit(&[0.1, 0.2], 7.5, RstfKernel::Erf).unwrap();
+        assert_eq!(rstf.training_len(), 2);
+        assert_eq!(rstf.kernel(), RstfKernel::Erf);
+        assert!((rstf.sigma() - 7.5).abs() < 1e-12);
+        assert_eq!(rstf.density().len(), 2);
+        assert_eq!(RstfKernel::default(), RstfKernel::Logistic);
+    }
+}

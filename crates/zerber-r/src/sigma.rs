@@ -1,0 +1,203 @@
+//! σ selection by cross-validation (Section 5.1.3, Figure 9).
+//!
+//! The σ (rate) parameter controls how general the RSTF is: too small and all
+//! TRS values cluster around 0.5 (underfitting); too large and the RSTF
+//! becomes a staircase over the training points, so control values collapse
+//! onto a few discrete levels (overfitting).  The paper selects σ by
+//! minimizing, over a candidate grid, the deviation of the control-set TRS
+//! distribution from the uniform distribution; the resulting curve is
+//! U-shaped (Figure 9) and a good σ reaches a variance below `2e-5`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ZerberRError;
+use crate::rstf::{Rstf, RstfKernel};
+
+/// Deviation of a TRS sample from uniformity.
+///
+/// The sorted sample is compared against the expected uniform order
+/// statistics `i / (n + 1)`; the measure is the mean squared deviation.  A
+/// perfectly uniform sample scores 0; the paper's "variance with respect to a
+/// uniform distribution".
+pub fn uniformity_variance(trs: &[f64]) -> f64 {
+    if trs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = trs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len();
+    let mut acc = 0.0;
+    for (i, &v) in sorted.iter().enumerate() {
+        let expected = (i + 1) as f64 / (n + 1) as f64;
+        acc += (v - expected).powi(2);
+    }
+    acc / n as f64
+}
+
+/// One point of the σ sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SigmaPoint {
+    /// Candidate σ.
+    pub sigma: f64,
+    /// Uniformity variance of the control-set TRS values under this σ.
+    pub variance: f64,
+}
+
+/// Result of cross-validating σ.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SigmaSelection {
+    /// The σ with the smallest control-set variance.
+    pub best_sigma: f64,
+    /// The variance achieved by `best_sigma`.
+    pub best_variance: f64,
+    /// The full sweep, in grid order (this is the series of Figure 9).
+    pub curve: Vec<SigmaPoint>,
+}
+
+/// Default logarithmic candidate grid.
+///
+/// Relevance scores live in `(0, 1]` and typical per-term spreads are on the
+/// order of `10^-2`..`10^-1`, so useful rates range from a few units to a few
+/// thousand.
+pub fn default_sigma_grid() -> Vec<f64> {
+    let mut grid = Vec::new();
+    let mut v: f64 = 1.0;
+    while v <= 50_000.0 {
+        grid.push(v);
+        v *= 1.7;
+    }
+    grid
+}
+
+/// Sweeps `sigmas`, fitting an RSTF on `training` and measuring TRS
+/// uniformity on `control`; returns the best σ and the whole curve.
+pub fn cross_validate(
+    training: &[f64],
+    control: &[f64],
+    sigmas: &[f64],
+    kernel: RstfKernel,
+) -> Result<SigmaSelection, ZerberRError> {
+    if training.is_empty() {
+        return Err(ZerberRError::InvalidSigmaSearch("empty training set".into()));
+    }
+    if control.is_empty() {
+        return Err(ZerberRError::InvalidSigmaSearch("empty control set".into()));
+    }
+    if sigmas.is_empty() {
+        return Err(ZerberRError::InvalidSigmaSearch("empty sigma grid".into()));
+    }
+    let mut curve = Vec::with_capacity(sigmas.len());
+    let mut best: Option<SigmaPoint> = None;
+    for &sigma in sigmas {
+        let rstf = Rstf::fit(training, sigma, kernel)?;
+        let trs = rstf.transform_all(control);
+        let variance = uniformity_variance(&trs);
+        let point = SigmaPoint { sigma, variance };
+        curve.push(point);
+        let better = match best {
+            None => true,
+            Some(b) => variance < b.variance,
+        };
+        if better {
+            best = Some(point);
+        }
+    }
+    let best = best.expect("grid is non-empty");
+    Ok(SigmaSelection {
+        best_sigma: best.sigma,
+        best_variance: best.variance,
+        curve,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn skewed_scores(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                u.powi(3) * 0.4 + 0.005
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uniform_sample_has_tiny_variance() {
+        let uniform: Vec<f64> = (1..=999).map(|i| f64::from(i) / 1000.0).collect();
+        assert!(uniformity_variance(&uniform) < 1e-6);
+        assert_eq!(uniformity_variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn clustered_sample_has_large_variance() {
+        let clustered = vec![0.5; 100];
+        assert!(uniformity_variance(&clustered) > 0.05);
+        let half = vec![0.1; 50].into_iter().chain(vec![0.9; 50]).collect::<Vec<_>>();
+        assert!(uniformity_variance(&half) > 0.02);
+    }
+
+    #[test]
+    fn cross_validation_finds_an_interior_optimum() {
+        // Figure 9: the variance curve is U-shaped, so the best σ should not
+        // be at either end of a sufficiently wide grid.
+        let train = skewed_scores(400, 10);
+        let control = skewed_scores(200, 11);
+        let grid = default_sigma_grid();
+        let sel = cross_validate(&train, &control, &grid, RstfKernel::Logistic).unwrap();
+        assert!(sel.best_sigma > grid[0]);
+        assert!(sel.best_sigma < *grid.last().unwrap());
+        assert_eq!(sel.curve.len(), grid.len());
+        // Ends of the curve should be worse than the optimum.
+        assert!(sel.curve.first().unwrap().variance > sel.best_variance);
+        assert!(sel.curve.last().unwrap().variance > sel.best_variance);
+    }
+
+    #[test]
+    fn a_good_sigma_reaches_paper_level_uniformity() {
+        // Section 5.1.3: "a good selection of σ provides a variance of
+        // smaller than 0.00002".  The attainable floor of our order-statistic
+        // measure scales with the control-set size: even a *perfectly*
+        // uniform sample of n values has an expected variance of about
+        // 1/(6(n+2)).  A good σ should land within a small factor of that
+        // floor (the paper's 2e-5 corresponds to its larger control sets).
+        let train = skewed_scores(2_000, 12);
+        let control = skewed_scores(800, 13);
+        let sel =
+            cross_validate(&train, &control, &default_sigma_grid(), RstfKernel::Logistic).unwrap();
+        let floor = 1.0 / (6.0 * (control.len() as f64 + 2.0));
+        assert!(
+            sel.best_variance < 3.0 * floor,
+            "best variance {} should be within 3x the uniform floor {floor}",
+            sel.best_variance
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        let data = skewed_scores(10, 1);
+        assert!(cross_validate(&[], &data, &[1.0], RstfKernel::Logistic).is_err());
+        assert!(cross_validate(&data, &[], &[1.0], RstfKernel::Logistic).is_err());
+        assert!(cross_validate(&data, &data, &[], RstfKernel::Logistic).is_err());
+    }
+
+    #[test]
+    fn erf_kernel_also_selects_a_reasonable_sigma() {
+        let train = skewed_scores(300, 20);
+        let control = skewed_scores(150, 21);
+        let sel = cross_validate(&train, &control, &default_sigma_grid(), RstfKernel::Erf).unwrap();
+        assert!(sel.best_variance < 0.01);
+    }
+
+    #[test]
+    fn default_grid_is_increasing_and_positive() {
+        let grid = default_sigma_grid();
+        assert!(grid.len() > 10);
+        assert!(grid[0] >= 1.0);
+        assert!(grid.windows(2).all(|w| w[1] > w[0]));
+    }
+}

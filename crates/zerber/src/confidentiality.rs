@@ -1,0 +1,210 @@
+//! r-confidentiality (Definitions 1 and 2 of the paper).
+//!
+//! r-confidentiality bounds how much an adversary's probability estimate
+//! about "term t is in document d" may be amplified by observing the index:
+//! `P(X | I, B) / P(X | B) <= r` (Definition 1).  For a merged posting list
+//! the operational condition (Definition 2) is
+//!
+//! ```text
+//!     Σ_{t ∈ S} p_t  >=  1 / r
+//! ```
+//!
+//! where `S` is the set of terms merged into the list and `p_t` the term's
+//! probability of occurrence in the corpus (its normalized document
+//! frequency).  Intuitively: when the adversary sees a posting element of the
+//! merged list, the probability that it belongs to a particular term `t` is at
+//! most `p_t / Σ p_t <= r * p_t`, i.e. amplified by at most `r`.
+
+use serde::{Deserialize, Serialize};
+use zerber_corpus::{CorpusStats, TermId};
+
+use crate::error::ZerberError;
+
+/// The confidentiality parameter `r` (> 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidentialityParam(f64);
+
+impl ConfidentialityParam {
+    /// Creates a parameter; `r` must be strictly greater than 1 (r = 1 would
+    /// require a single posting list holding the whole corpus).
+    pub fn new(r: f64) -> Result<Self, ZerberError> {
+        if !(r.is_finite() && r > 1.0) {
+            return Err(ZerberError::InvalidParameter(format!(
+                "confidentiality parameter r must be finite and > 1, got {r}"
+            )));
+        }
+        Ok(ConfidentialityParam(r))
+    }
+
+    /// The raw value of `r`.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+
+    /// The probability mass `1 / r` that every merged list must reach.
+    pub fn required_mass(&self) -> f64 {
+        1.0 / self.0
+    }
+}
+
+/// Report about one merged list's confidentiality.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ListConfidentiality {
+    /// Achieved probability mass `Σ_{t∈S} p_t`.
+    pub mass: f64,
+    /// Required mass `1/r`.
+    pub required: f64,
+    /// Worst-case amplification over the terms of the list:
+    /// `max_t (p_t / Σ p_t) / p_t = 1 / Σ p_t`.
+    pub amplification: f64,
+    /// Whether the list satisfies Definition 2.
+    pub satisfied: bool,
+}
+
+/// Checks Definition 2 for one set of merged terms.
+pub fn check_merged_terms(
+    stats: &CorpusStats,
+    terms: &[TermId],
+    r: ConfidentialityParam,
+) -> Result<ListConfidentiality, ZerberError> {
+    let mut mass = 0.0;
+    for &t in terms {
+        mass += stats.probability(t)?;
+    }
+    let required = r.required_mass();
+    let amplification = if mass > 0.0 { 1.0 / mass } else { f64::INFINITY };
+    Ok(ListConfidentiality {
+        mass,
+        required,
+        amplification,
+        satisfied: mass + 1e-12 >= required,
+    })
+}
+
+/// Probability that a posting element of the merged list belongs to `term`,
+/// as estimated by an adversary who knows corpus statistics: the element's
+/// term is `t` with probability proportional to `p_t * n` — but since the
+/// number of elements contributed by `t` is itself `p_t * |D|`, the posterior
+/// simplifies to `p_t / Σ_{s∈S} p_s`.
+pub fn element_term_posterior(
+    stats: &CorpusStats,
+    terms: &[TermId],
+    term: TermId,
+) -> Result<f64, ZerberError> {
+    let mut mass = 0.0;
+    let mut target = None;
+    for &t in terms {
+        let p = stats.probability(t)?;
+        mass += p;
+        if t == term {
+            target = Some(p);
+        }
+    }
+    let target = target.ok_or(ZerberError::UnmergedTerm(term.0))?;
+    if mass == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(target / mass)
+}
+
+/// Empirical probability amplification for `term` inside a merged list:
+/// posterior probability divided by the prior `p_t`.  Definition 1 requires
+/// this to stay below `r`.
+pub fn amplification(
+    stats: &CorpusStats,
+    terms: &[TermId],
+    term: TermId,
+) -> Result<f64, ZerberError> {
+    let prior = stats.probability(term)?;
+    if prior == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(element_term_posterior(stats, terms, term)? / prior)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerber_corpus::{CorpusBuilder, CorpusStats, Document, GroupId};
+
+    fn stats() -> (zerber_corpus::Corpus, CorpusStats) {
+        let mut b = CorpusBuilder::new();
+        // "common" appears in 4 of 4 docs, "mid" in 2, "rare" in 1.
+        b.add_document(Document::new("1", GroupId(0), "common mid rare")).unwrap();
+        b.add_document(Document::new("2", GroupId(0), "common mid")).unwrap();
+        b.add_document(Document::new("3", GroupId(0), "common")).unwrap();
+        b.add_document(Document::new("4", GroupId(0), "common")).unwrap();
+        let c = b.build();
+        let s = CorpusStats::compute(&c);
+        (c, s)
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(ConfidentialityParam::new(1.0).is_err());
+        assert!(ConfidentialityParam::new(0.5).is_err());
+        assert!(ConfidentialityParam::new(f64::NAN).is_err());
+        let r = ConfidentialityParam::new(4.0).unwrap();
+        assert!((r.value() - 4.0).abs() < 1e-12);
+        assert!((r.required_mass() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_list_satisfying_definition_2() {
+        let (c, s) = stats();
+        let common = c.dictionary().get("common").unwrap();
+        let rare = c.dictionary().get("rare").unwrap();
+        let r = ConfidentialityParam::new(2.0).unwrap();
+        // p_common = 1.0, p_rare = 0.25: mass 1.25 >= 0.5.
+        let rep = check_merged_terms(&s, &[common, rare], r).unwrap();
+        assert!(rep.satisfied);
+        assert!((rep.mass - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_rare_list_violates_small_r() {
+        let (c, s) = stats();
+        let rare = c.dictionary().get("rare").unwrap();
+        let r = ConfidentialityParam::new(2.0).unwrap();
+        // p_rare = 0.25 < 1/2.
+        let rep = check_merged_terms(&s, &[rare], r).unwrap();
+        assert!(!rep.satisfied);
+        // With a laxer r = 5 the same list is fine (0.25 >= 0.2).
+        let rep = check_merged_terms(&s, &[rare], ConfidentialityParam::new(5.0).unwrap()).unwrap();
+        assert!(rep.satisfied);
+    }
+
+    #[test]
+    fn posterior_is_proportional_to_prior_within_a_list() {
+        let (c, s) = stats();
+        let common = c.dictionary().get("common").unwrap();
+        let mid = c.dictionary().get("mid").unwrap();
+        let post_common = element_term_posterior(&s, &[common, mid], common).unwrap();
+        let post_mid = element_term_posterior(&s, &[common, mid], mid).unwrap();
+        assert!((post_common + post_mid - 1.0).abs() < 1e-12);
+        assert!((post_common / post_mid - 2.0).abs() < 1e-12); // 1.0 vs 0.5
+    }
+
+    #[test]
+    fn amplification_is_bounded_by_one_over_mass() {
+        let (c, s) = stats();
+        let common = c.dictionary().get("common").unwrap();
+        let rare = c.dictionary().get("rare").unwrap();
+        let amp_rare = amplification(&s, &[common, rare], rare).unwrap();
+        let amp_common = amplification(&s, &[common, rare], common).unwrap();
+        // Both amplifications equal 1 / Σ p_t = 1 / 1.25 = 0.8.
+        assert!((amp_rare - 0.8).abs() < 1e-12);
+        assert!((amp_common - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unmerged_term_is_rejected() {
+        let (c, s) = stats();
+        let common = c.dictionary().get("common").unwrap();
+        let rare = c.dictionary().get("rare").unwrap();
+        assert!(matches!(
+            element_term_posterior(&s, &[common], rare),
+            Err(ZerberError::UnmergedTerm(_))
+        ));
+    }
+}

@@ -1,0 +1,206 @@
+//! Encrypted posting elements.
+//!
+//! Zerber stores "ranking information as well as term and document
+//! identifiers within each posting element in an encrypted form"
+//! (Section 3.1).  The plaintext payload is a fixed-size record so that every
+//! sealed element has the same length — element sizes therefore leak nothing
+//! about the term or the document.
+
+use serde::{Deserialize, Serialize};
+use zerber_corpus::{DocId, GroupId, TermId};
+use zerber_crypto::{DeterministicRng, GroupKeys, OVERHEAD};
+
+use crate::error::ZerberError;
+use crate::merge::MergedListId;
+
+/// Plaintext size of a posting payload in bytes.
+pub const PAYLOAD_BYTES: usize = 16;
+/// Sealed (encrypted + authenticated) size of a posting payload in bytes.
+pub const SEALED_PAYLOAD_BYTES: usize = PAYLOAD_BYTES + OVERHEAD;
+
+/// The confidential content of one posting element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PostingPayload {
+    /// The term this element belongs to.
+    pub term: TermId,
+    /// The document containing the term.
+    pub doc: DocId,
+    /// Raw term frequency.
+    pub tf: u32,
+    /// Document length `|d|`.
+    pub doc_len: u32,
+}
+
+impl PostingPayload {
+    /// Relevance score `TF / |d|` (Equation 4).
+    pub fn relevance(&self) -> f64 {
+        if self.doc_len == 0 {
+            0.0
+        } else {
+            f64::from(self.tf) / f64::from(self.doc_len)
+        }
+    }
+
+    /// Fixed-size little-endian encoding.
+    pub fn encode(&self) -> [u8; PAYLOAD_BYTES] {
+        let mut out = [0u8; PAYLOAD_BYTES];
+        out[0..4].copy_from_slice(&self.term.0.to_le_bytes());
+        out[4..8].copy_from_slice(&self.doc.0.to_le_bytes());
+        out[8..12].copy_from_slice(&self.tf.to_le_bytes());
+        out[12..16].copy_from_slice(&self.doc_len.to_le_bytes());
+        out
+    }
+
+    /// Decodes a payload produced by [`PostingPayload::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, ZerberError> {
+        if bytes.len() != PAYLOAD_BYTES {
+            return Err(ZerberError::Crypto(format!(
+                "payload must be {PAYLOAD_BYTES} bytes, got {}",
+                bytes.len()
+            )));
+        }
+        let word = |i: usize| u32::from_le_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
+        Ok(PostingPayload {
+            term: TermId(word(0)),
+            doc: DocId(word(4)),
+            tf: word(8),
+            doc_len: word(12),
+        })
+    }
+}
+
+/// One encrypted posting element as stored on the (untrusted) index server.
+///
+/// The access-control group is visible to the server — it must be, because
+/// the server enforces group membership before returning elements
+/// (Section 4.1) — but term, document and score are sealed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncryptedElement {
+    /// The group whose members may decrypt the payload.
+    pub group: GroupId,
+    /// AEAD-sealed [`PostingPayload`], bound to the merged list id.
+    pub ciphertext: Vec<u8>,
+}
+
+impl EncryptedElement {
+    /// Seals a payload for storage in `list` under the group's keys.
+    pub fn seal(
+        payload: &PostingPayload,
+        group: GroupId,
+        keys: &GroupKeys,
+        list: MergedListId,
+        rng: &mut DeterministicRng,
+    ) -> Result<Self, ZerberError> {
+        let nonce = rng.nonce();
+        let aad = list.0.to_le_bytes();
+        let ciphertext = keys.aead().seal(&nonce, &payload.encode(), &aad)?;
+        Ok(EncryptedElement { group, ciphertext })
+    }
+
+    /// Opens the element with the group's keys, verifying it belongs to
+    /// `list`.
+    pub fn open(&self, keys: &GroupKeys, list: MergedListId) -> Result<PostingPayload, ZerberError> {
+        let aad = list.0.to_le_bytes();
+        let plain = keys.aead().open(&self.ciphertext, &aad)?;
+        PostingPayload::decode(&plain)
+    }
+
+    /// Size of the element on the wire / on disk, in bytes (ciphertext plus
+    /// the 4-byte group tag).
+    pub fn stored_bytes(&self) -> usize {
+        self.ciphertext.len() + 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerber_crypto::MasterKey;
+
+    fn keys() -> GroupKeys {
+        MasterKey::new([9u8; 32]).group_keys(2)
+    }
+
+    fn payload() -> PostingPayload {
+        PostingPayload {
+            term: TermId(7),
+            doc: DocId(42),
+            tf: 3,
+            doc_len: 12,
+        }
+    }
+
+    #[test]
+    fn payload_encoding_roundtrips() {
+        let p = payload();
+        let enc = p.encode();
+        assert_eq!(enc.len(), PAYLOAD_BYTES);
+        assert_eq!(PostingPayload::decode(&enc).unwrap(), p);
+    }
+
+    #[test]
+    fn payload_decode_rejects_wrong_length() {
+        assert!(PostingPayload::decode(&[0u8; 15]).is_err());
+        assert!(PostingPayload::decode(&[0u8; 17]).is_err());
+    }
+
+    #[test]
+    fn relevance_matches_equation_4() {
+        assert!((payload().relevance() - 0.25).abs() < 1e-12);
+        let zero = PostingPayload {
+            doc_len: 0,
+            ..payload()
+        };
+        assert_eq!(zero.relevance(), 0.0);
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let keys = keys();
+        let mut rng = DeterministicRng::from_u64(5);
+        let e = EncryptedElement::seal(&payload(), GroupId(2), &keys, MergedListId(3), &mut rng).unwrap();
+        assert_eq!(e.ciphertext.len(), SEALED_PAYLOAD_BYTES);
+        assert_eq!(e.stored_bytes(), SEALED_PAYLOAD_BYTES + 4);
+        assert_eq!(e.open(&keys, MergedListId(3)).unwrap(), payload());
+    }
+
+    #[test]
+    fn opening_with_wrong_list_or_key_fails() {
+        let keys = keys();
+        let other_keys = MasterKey::new([9u8; 32]).group_keys(3);
+        let mut rng = DeterministicRng::from_u64(6);
+        let e = EncryptedElement::seal(&payload(), GroupId(2), &keys, MergedListId(3), &mut rng).unwrap();
+        assert!(e.open(&keys, MergedListId(4)).is_err());
+        assert!(e.open(&other_keys, MergedListId(3)).is_err());
+    }
+
+    #[test]
+    fn all_sealed_elements_have_identical_size() {
+        let keys = keys();
+        let mut rng = DeterministicRng::from_u64(7);
+        let sizes: Vec<usize> = (0..20)
+            .map(|i| {
+                let p = PostingPayload {
+                    term: TermId(i),
+                    doc: DocId(i * 17),
+                    tf: i + 1,
+                    doc_len: 100 + i,
+                };
+                EncryptedElement::seal(&p, GroupId(2), &keys, MergedListId(0), &mut rng)
+                    .unwrap()
+                    .ciphertext
+                    .len()
+            })
+            .collect();
+        assert!(sizes.iter().all(|&s| s == SEALED_PAYLOAD_BYTES));
+    }
+
+    #[test]
+    fn ciphertexts_of_identical_payloads_differ() {
+        let keys = keys();
+        let mut rng = DeterministicRng::from_u64(8);
+        let a = EncryptedElement::seal(&payload(), GroupId(2), &keys, MergedListId(0), &mut rng).unwrap();
+        let b = EncryptedElement::seal(&payload(), GroupId(2), &keys, MergedListId(0), &mut rng).unwrap();
+        assert_ne!(a.ciphertext, b.ciphertext, "fresh nonces must randomize ciphertexts");
+    }
+}

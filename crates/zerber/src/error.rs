@@ -1,0 +1,85 @@
+//! Error type for the Zerber confidential-index substrate.
+
+use std::fmt;
+
+/// Errors produced by the Zerber index and its merging schemes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZerberError {
+    /// The requested merged posting list does not exist.
+    UnknownList(u64),
+    /// The term is not covered by the merge plan.
+    UnmergedTerm(u32),
+    /// The merge plan violates the r-confidentiality condition.
+    ConfidentialityViolation {
+        /// The offending merged list.
+        list: u64,
+        /// Achieved probability-mass sum `Σ p_t`.
+        mass: f64,
+        /// Required minimum `1 / r`.
+        required: f64,
+    },
+    /// A cryptographic operation failed (wrong key, tampered element, ...).
+    Crypto(String),
+    /// An invalid parameter was supplied (r <= 1, k == 0, ...).
+    InvalidParameter(String),
+    /// A corpus-level error bubbled up.
+    Corpus(String),
+}
+
+impl fmt::Display for ZerberError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZerberError::UnknownList(id) => write!(f, "unknown merged posting list {id}"),
+            ZerberError::UnmergedTerm(t) => write!(f, "term {t} is not covered by the merge plan"),
+            ZerberError::ConfidentialityViolation { list, mass, required } => write!(
+                f,
+                "merged list {list} violates r-confidentiality: probability mass {mass:.6} < required {required:.6}"
+            ),
+            ZerberError::Crypto(msg) => write!(f, "cryptographic failure: {msg}"),
+            ZerberError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ZerberError::Corpus(msg) => write!(f, "corpus error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ZerberError {}
+
+impl From<zerber_crypto::CryptoError> for ZerberError {
+    fn from(e: zerber_crypto::CryptoError) -> Self {
+        ZerberError::Crypto(e.to_string())
+    }
+}
+
+impl From<zerber_corpus::CorpusError> for ZerberError {
+    fn from(e: zerber_corpus::CorpusError) -> Self {
+        ZerberError::Corpus(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let e = ZerberError::ConfidentialityViolation {
+            list: 3,
+            mass: 0.1,
+            required: 0.5,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3'));
+        assert!(s.contains("0.1"));
+        assert!(s.contains("0.5"));
+        assert!(ZerberError::UnknownList(9).to_string().contains('9'));
+        assert!(ZerberError::UnmergedTerm(4).to_string().contains('4'));
+    }
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let c: ZerberError = zerber_crypto::CryptoError::AuthenticationFailed.into();
+        assert!(matches!(c, ZerberError::Crypto(_)));
+        let k: ZerberError = zerber_corpus::CorpusError::UnknownTerm(1).into();
+        assert!(matches!(k, ZerberError::Corpus(_)));
+    }
+}

@@ -1,0 +1,205 @@
+//! μ-Serv-style probabilistic index protection (Bawa et al., VLDB 2003).
+//!
+//! Section 3 of the paper contrasts Zerber with probabilistic index
+//! protection, which "suppresses statistical data introducing a controlled
+//! amount of uncertainty by including false positive elements in the index".
+//! The price is precision: query results contain documents that do not in
+//! fact contain the term.  This module implements that baseline so the
+//! evaluation can compare result quality and response sizes across the three
+//! designs (ordinary index, false-positive index, Zerber/Zerber+R).
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zerber_corpus::{Corpus, DocId, TermId};
+
+use crate::error::ZerberError;
+
+/// A term query result together with ground-truth bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzyResult {
+    /// All document ids the index returns for the term (true + false
+    /// positives, unranked — the scheme does not support server-side
+    /// ranking).
+    pub docs: Vec<DocId>,
+    /// How many of them actually contain the term.
+    pub true_positives: usize,
+}
+
+impl FuzzyResult {
+    /// Precision of the response (`1.0` when no false positives exist).
+    pub fn precision(&self) -> f64 {
+        if self.docs.is_empty() {
+            return 1.0;
+        }
+        self.true_positives as f64 / self.docs.len() as f64
+    }
+}
+
+/// Inverted index with injected false positives and no ranking information.
+#[derive(Debug, Clone)]
+pub struct FalsePositiveIndex {
+    lists: HashMap<TermId, Vec<DocId>>,
+    truth: HashMap<TermId, HashSet<DocId>>,
+    fp_ratio: f64,
+}
+
+impl FalsePositiveIndex {
+    /// Builds the index: for every true posting, `fp_ratio` false postings
+    /// (documents *not* containing the term) are added in expectation.
+    pub fn build(corpus: &Corpus, fp_ratio: f64, seed: u64) -> Result<Self, ZerberError> {
+        if !(fp_ratio.is_finite() && fp_ratio >= 0.0) {
+            return Err(ZerberError::InvalidParameter(format!(
+                "fp_ratio must be finite and non-negative, got {fp_ratio}"
+            )));
+        }
+        let num_docs = corpus.num_docs() as u32;
+        if num_docs == 0 {
+            return Err(ZerberError::InvalidParameter("corpus is empty".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut truth: HashMap<TermId, HashSet<DocId>> = HashMap::new();
+        for (doc_id, doc) in corpus.docs() {
+            for &(term, _) in &doc.term_counts {
+                truth.entry(term).or_default().insert(doc_id);
+            }
+        }
+        let mut lists: HashMap<TermId, Vec<DocId>> = HashMap::new();
+        for (&term, docs) in &truth {
+            let mut list: Vec<DocId> = docs.iter().copied().collect();
+            let fp_target = (docs.len() as f64 * fp_ratio).round() as usize;
+            let mut added = 0usize;
+            let mut attempts = 0usize;
+            while added < fp_target && attempts < fp_target * 20 + 20 {
+                attempts += 1;
+                let candidate = DocId(rng.gen_range(0..num_docs));
+                if !docs.contains(&candidate) && !list.contains(&candidate) {
+                    list.push(candidate);
+                    added += 1;
+                }
+            }
+            list.sort_unstable();
+            lists.insert(term, list);
+        }
+        Ok(FalsePositiveIndex {
+            lists,
+            truth,
+            fp_ratio,
+        })
+    }
+
+    /// The configured false-positive ratio.
+    pub fn fp_ratio(&self) -> f64 {
+        self.fp_ratio
+    }
+
+    /// Number of posting entries including false positives.
+    pub fn num_entries(&self) -> usize {
+        self.lists.values().map(Vec::len).sum()
+    }
+
+    /// Queries a term, returning all (true and false) matches.
+    pub fn query(&self, term: TermId) -> Result<FuzzyResult, ZerberError> {
+        let docs = self
+            .lists
+            .get(&term)
+            .cloned()
+            .ok_or(ZerberError::UnmergedTerm(term.0))?;
+        let truth = &self.truth[&term];
+        let true_positives = docs.iter().filter(|d| truth.contains(d)).count();
+        Ok(FuzzyResult {
+            docs,
+            true_positives,
+        })
+    }
+
+    /// Mean precision over every indexed term.
+    pub fn mean_precision(&self) -> f64 {
+        if self.lists.is_empty() {
+            return 1.0;
+        }
+        let total: f64 = self
+            .lists
+            .keys()
+            .map(|&t| self.query(t).map(|r| r.precision()).unwrap_or(0.0))
+            .sum();
+        total / self.lists.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerber_corpus::{CorpusBuilder, Document, GroupId};
+
+    fn corpus() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        for i in 0..30 {
+            let body = if i % 3 == 0 {
+                "alpha beta common"
+            } else if i % 3 == 1 {
+                "beta gamma common"
+            } else {
+                "gamma delta common"
+            };
+            b.add_document(Document::new(format!("d{i}"), GroupId(0), body)).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn zero_ratio_gives_exact_results() {
+        let c = corpus();
+        let idx = FalsePositiveIndex::build(&c, 0.0, 1).unwrap();
+        let alpha = c.dictionary().get("alpha").unwrap();
+        let r = idx.query(alpha).unwrap();
+        assert!((r.precision() - 1.0).abs() < 1e-12);
+        assert_eq!(r.docs.len(), r.true_positives);
+        assert!((idx.mean_precision() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn false_positives_reduce_precision() {
+        let c = corpus();
+        let exact = FalsePositiveIndex::build(&c, 0.0, 1).unwrap();
+        let fuzzy = FalsePositiveIndex::build(&c, 1.0, 1).unwrap();
+        assert!(fuzzy.num_entries() > exact.num_entries());
+        assert!(fuzzy.mean_precision() < 1.0);
+        assert!(fuzzy.mean_precision() > 0.2);
+        assert!((fuzzy.fp_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn true_documents_are_always_contained() {
+        let c = corpus();
+        let idx = FalsePositiveIndex::build(&c, 2.0, 7).unwrap();
+        let alpha = c.dictionary().get("alpha").unwrap();
+        let r = idx.query(alpha).unwrap();
+        for (doc_id, doc) in c.docs() {
+            if doc.term_counts.iter().any(|&(t, _)| t == alpha) {
+                assert!(r.docs.contains(&doc_id), "true posting for {doc_id} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_terms_and_bad_ratios_are_rejected() {
+        let c = corpus();
+        let idx = FalsePositiveIndex::build(&c, 0.5, 3).unwrap();
+        assert!(idx.query(TermId(9999)).is_err());
+        assert!(FalsePositiveIndex::build(&c, -1.0, 3).is_err());
+        assert!(FalsePositiveIndex::build(&c, f64::NAN, 3).is_err());
+    }
+
+    #[test]
+    fn ubiquitous_terms_cannot_gain_false_positives() {
+        let c = corpus();
+        let idx = FalsePositiveIndex::build(&c, 1.0, 3).unwrap();
+        let common = c.dictionary().get("common").unwrap();
+        let r = idx.query(common).unwrap();
+        // "common" is in every document: there is no document left to add.
+        assert_eq!(r.docs.len(), c.num_docs());
+        assert!((r.precision() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,374 @@
+//! The base Zerber index: r-confidential merged posting lists with randomly
+//! placed, encrypted posting elements and **client-side** top-k.
+//!
+//! This is the system of the 2008 Zerber paper that Zerber+R extends.  The
+//! server cannot rank because ranking information is encrypted and elements
+//! are deliberately placed in random order inside each merged list
+//! (Definition 2); a querying client must download the complete merged list,
+//! decrypt the elements of groups it belongs to, filter by the queried term
+//! and rank locally.  The bandwidth cost of exactly this procedure is what
+//! Zerber+R's server-side top-k is later compared against.
+
+use std::collections::HashMap;
+
+use zerber_corpus::{Corpus, CorpusStats, DocId, GroupId, TermId};
+use zerber_crypto::{DeterministicRng, GroupKeys, MasterKey};
+
+use crate::element::{EncryptedElement, PostingPayload};
+use crate::error::ZerberError;
+use crate::merge::{MergePlan, MergedListId};
+
+/// Result of a client-side top-k evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientTopK {
+    /// Ranked `(doc, relevance)` results, best first, at most `k` entries.
+    pub results: Vec<(DocId, f64)>,
+    /// Number of encrypted elements transferred to the client (the whole
+    /// merged list for base Zerber).
+    pub elements_transferred: usize,
+    /// Number of elements the client could decrypt (accessible groups).
+    pub elements_decrypted: usize,
+    /// Number of decrypted elements that actually matched the queried term.
+    pub elements_matching: usize,
+}
+
+/// The base Zerber index.
+#[derive(Debug, Clone)]
+pub struct ZerberIndex {
+    lists: Vec<Vec<EncryptedElement>>,
+    plan: MergePlan,
+}
+
+impl ZerberIndex {
+    /// Builds the index from a corpus and a merge plan.
+    ///
+    /// Every posting element is sealed under the key of the document's group
+    /// and appended to its term's merged list; afterwards each list is
+    /// shuffled so element positions carry no rank information.
+    pub fn build(
+        corpus: &Corpus,
+        plan: MergePlan,
+        master: &MasterKey,
+        seed: u64,
+    ) -> Result<Self, ZerberError> {
+        let mut rng = DeterministicRng::from_u64(seed);
+        let mut group_keys: HashMap<GroupId, GroupKeys> = HashMap::new();
+        let mut lists: Vec<Vec<EncryptedElement>> = vec![Vec::new(); plan.num_lists()];
+        for (doc_id, doc) in corpus.docs() {
+            let keys = group_keys
+                .entry(doc.group)
+                .or_insert_with(|| master.group_keys(doc.group.0));
+            for &(term, tf) in &doc.term_counts {
+                let list = plan.list_of(term)?;
+                let payload = PostingPayload {
+                    term,
+                    doc: doc_id,
+                    tf,
+                    doc_len: doc.length,
+                };
+                let element = EncryptedElement::seal(&payload, doc.group, keys, list, &mut rng)?;
+                lists[list.0 as usize].push(element);
+            }
+        }
+        // Random placement inside each merged list (Fisher-Yates with the
+        // deterministic RNG).
+        for list in &mut lists {
+            let n = list.len();
+            for i in (1..n).rev() {
+                let j = rng.next_below((i + 1) as u64) as usize;
+                list.swap(i, j);
+            }
+        }
+        Ok(ZerberIndex { lists, plan })
+    }
+
+    /// The merge plan underlying the index.
+    pub fn plan(&self) -> &MergePlan {
+        &self.plan
+    }
+
+    /// Number of merged posting lists.
+    pub fn num_lists(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Total number of encrypted posting elements.
+    pub fn num_elements(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+
+    /// Total stored size in bytes.
+    pub fn stored_bytes(&self) -> usize {
+        self.lists
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(EncryptedElement::stored_bytes)
+            .sum()
+    }
+
+    /// The encrypted elements of one merged list (what the server would ship
+    /// to a client querying any term of that list).
+    pub fn list(&self, id: MergedListId) -> Result<&[EncryptedElement], ZerberError> {
+        self.lists
+            .get(id.0 as usize)
+            .map(Vec::as_slice)
+            .ok_or(ZerberError::UnknownList(id.0))
+    }
+
+    /// Inserts a single new posting element at a random position of its list
+    /// (collaborative index update, Section 3.3: no re-sorting is possible
+    /// because other users' elements cannot be rearranged).
+    pub fn insert(
+        &mut self,
+        payload: &PostingPayload,
+        group: GroupId,
+        keys: &GroupKeys,
+        rng: &mut DeterministicRng,
+    ) -> Result<MergedListId, ZerberError> {
+        let list = self.plan.list_of(payload.term)?;
+        let element = EncryptedElement::seal(payload, group, keys, list, rng)?;
+        let slot = &mut self.lists[list.0 as usize];
+        let pos = rng.next_below((slot.len() + 1) as u64) as usize;
+        slot.insert(pos, element);
+        Ok(list)
+    }
+
+    /// Executes a single-term top-k query the way a base-Zerber client must:
+    /// download the whole merged list, decrypt what the user's group keys can
+    /// open, filter by term, rank by relevance locally.
+    pub fn client_topk(
+        &self,
+        term: TermId,
+        k: usize,
+        memberships: &HashMap<GroupId, GroupKeys>,
+    ) -> Result<ClientTopK, ZerberError> {
+        if k == 0 {
+            return Err(ZerberError::InvalidParameter("k must be greater than 0".into()));
+        }
+        let list_id = self.plan.list_of(term)?;
+        let list = self.list(list_id)?;
+        let mut decrypted = 0usize;
+        let mut matching: Vec<(DocId, f64)> = Vec::new();
+        for element in list {
+            let Some(keys) = memberships.get(&element.group) else {
+                continue;
+            };
+            let payload = element.open(keys, list_id)?;
+            decrypted += 1;
+            if payload.term == term {
+                matching.push((payload.doc, payload.relevance()));
+            }
+        }
+        matching.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        let elements_matching = matching.len();
+        matching.truncate(k);
+        Ok(ClientTopK {
+            results: matching,
+            elements_transferred: list.len(),
+            elements_decrypted: decrypted,
+            elements_matching,
+        })
+    }
+
+    /// Derives the group-key map a user needs given the groups she belongs to.
+    pub fn memberships(master: &MasterKey, groups: &[GroupId]) -> HashMap<GroupId, GroupKeys> {
+        groups
+            .iter()
+            .map(|&g| (g, master.group_keys(g.0)))
+            .collect()
+    }
+}
+
+/// Convenience: builds stats, a BFM plan and the index in one call.
+pub fn build_bfm_index(
+    corpus: &Corpus,
+    r: f64,
+    master: &MasterKey,
+    seed: u64,
+) -> Result<(ZerberIndex, CorpusStats), ZerberError> {
+    use crate::confidentiality::ConfidentialityParam;
+    use crate::merge::{BfmMerge, MergeScheme};
+    let stats = CorpusStats::compute(corpus);
+    let plan = BfmMerge.plan(&stats, ConfidentialityParam::new(r)?)?;
+    let index = ZerberIndex::build(corpus, plan, master, seed)?;
+    Ok((index, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confidentiality::ConfidentialityParam;
+    use crate::merge::{BfmMerge, MergeScheme};
+    use zerber_corpus::{CorpusBuilder, Document};
+    use zerber_index::InvertedIndex;
+
+    fn corpus() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        b.add_document(Document::new("1.txt", GroupId(0), "imclone and imclone and no"))
+            .unwrap();
+        b.add_document(Document::new("2.doc", GroupId(0), "and and and and process"))
+            .unwrap();
+        b.add_document(Document::new("3.txt", GroupId(1), "process imclone process and"))
+            .unwrap();
+        b.add_document(Document::new("4.txt", GroupId(1), "no and process"))
+            .unwrap();
+        b.build()
+    }
+
+    fn index(corpus: &Corpus) -> (ZerberIndex, CorpusStats, MasterKey) {
+        let master = MasterKey::new([1u8; 32]);
+        let (idx, stats) = build_bfm_index(corpus, 3.0, &master, 11).unwrap();
+        (idx, stats, master)
+    }
+
+    #[test]
+    fn every_posting_becomes_exactly_one_element() {
+        let c = corpus();
+        let (idx, _, _) = index(&c);
+        let expected: usize = c.docs().map(|(_, d)| d.distinct_terms()).sum();
+        assert_eq!(idx.num_elements(), expected);
+        assert!(idx.stored_bytes() > 0);
+        assert_eq!(idx.num_lists(), idx.plan().num_lists());
+    }
+
+    #[test]
+    fn client_topk_matches_the_plaintext_index() {
+        let c = corpus();
+        let (idx, _, master) = index(&c);
+        let plain = InvertedIndex::build(&c);
+        let memberships = ZerberIndex::memberships(&master, &[GroupId(0), GroupId(1)]);
+        for (name, k) in [("and", 3usize), ("imclone", 2), ("process", 2), ("no", 1)] {
+            let term = c.dictionary().get(name).unwrap();
+            let confidential = idx.client_topk(term, k, &memberships).unwrap();
+            let reference = plain.query_term(term, k).unwrap();
+            assert_eq!(
+                confidential.results.len(),
+                reference.len(),
+                "result count for {name}"
+            );
+            for (got, want) in confidential.results.iter().zip(reference.iter()) {
+                assert_eq!(got.0, want.doc, "ranking for {name}");
+                assert!((got.1 - want.score).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn client_without_group_keys_sees_nothing_from_that_group() {
+        let c = corpus();
+        let (idx, _, master) = index(&c);
+        let only_g0 = ZerberIndex::memberships(&master, &[GroupId(0)]);
+        let process = c.dictionary().get("process").unwrap();
+        let res = idx.client_topk(process, 10, &only_g0).unwrap();
+        // "process" occurs in 2.doc (g0), 3.txt (g1), 4.txt (g1): only one is visible.
+        assert_eq!(res.results.len(), 1);
+        assert_eq!(res.results[0].0, DocId(1));
+        assert!(res.elements_decrypted < res.elements_transferred);
+    }
+
+    #[test]
+    fn whole_list_is_transferred_for_any_query() {
+        let c = corpus();
+        let (idx, _, master) = index(&c);
+        let memberships = ZerberIndex::memberships(&master, &[GroupId(0), GroupId(1)]);
+        let imclone = c.dictionary().get("imclone").unwrap();
+        let list_id = idx.plan().list_of(imclone).unwrap();
+        let res = idx.client_topk(imclone, 1, &memberships).unwrap();
+        assert_eq!(res.elements_transferred, idx.list(list_id).unwrap().len());
+        assert!(res.elements_transferred >= res.elements_matching);
+    }
+
+    #[test]
+    fn element_positions_do_not_follow_score_order() {
+        // With random placement, the sequence of relevance scores inside a
+        // merged list should not be monotonically decreasing (that is the
+        // whole point of Figure 2 vs Figure 3).
+        let config = zerber_corpus::SynthConfig {
+            profile: zerber_corpus::DatasetProfile::Custom(zerber_corpus::synth::CustomProfile {
+                num_docs: 150,
+                num_groups: 1,
+                vocab_size: 300,
+                general_vocab_fraction: 1.0,
+                topic_mix: 0.0,
+                zipf_exponent: 1.0,
+                doc_length_median: 50.0,
+                doc_length_sigma: 0.5,
+                min_doc_length: 10,
+                max_doc_length: 200,
+            }),
+            scale: 1.0,
+            seed: 3,
+        };
+        let c = zerber_corpus::CorpusGenerator::new(config).generate().unwrap();
+        let master = MasterKey::new([2u8; 32]);
+        let (idx, _) = build_bfm_index(&c, 2.0, &master, 17).unwrap();
+        let memberships = ZerberIndex::memberships(&master, &[GroupId(0)]);
+        let keys = &memberships[&GroupId(0)];
+        let mut found_unsorted_list = false;
+        for (list_id, _) in idx.plan().iter() {
+            let list = idx.list(list_id).unwrap();
+            if list.len() < 10 {
+                continue;
+            }
+            let scores: Vec<f64> = list
+                .iter()
+                .map(|e| e.open(keys, list_id).unwrap().relevance())
+                .collect();
+            let sorted = scores.windows(2).all(|w| w[0] >= w[1]);
+            if !sorted {
+                found_unsorted_list = true;
+                break;
+            }
+        }
+        assert!(found_unsorted_list, "random placement should break score order");
+    }
+
+    #[test]
+    fn insert_adds_a_decryptable_element() {
+        let c = corpus();
+        let (mut idx, _, master) = index(&c);
+        let imclone = c.dictionary().get("imclone").unwrap();
+        let memberships = ZerberIndex::memberships(&master, &[GroupId(0), GroupId(1)]);
+        let keys = master.group_keys(0);
+        let mut rng = DeterministicRng::from_u64(99);
+        let before = idx.client_topk(imclone, 10, &memberships).unwrap().results.len();
+        let payload = PostingPayload {
+            term: imclone,
+            doc: DocId(1000),
+            tf: 9,
+            doc_len: 10,
+        };
+        idx.insert(&payload, GroupId(0), &keys, &mut rng).unwrap();
+        let after = idx.client_topk(imclone, 10, &memberships).unwrap();
+        assert_eq!(after.results.len(), before + 1);
+        // The new element has relevance 0.9 and should rank first.
+        assert_eq!(after.results[0].0, DocId(1000));
+    }
+
+    #[test]
+    fn zero_k_and_unknown_terms_are_rejected() {
+        let c = corpus();
+        let (idx, _, master) = index(&c);
+        let memberships = ZerberIndex::memberships(&master, &[GroupId(0)]);
+        let and = c.dictionary().get("and").unwrap();
+        assert!(idx.client_topk(and, 0, &memberships).is_err());
+        assert!(idx.client_topk(TermId(12345), 5, &memberships).is_err());
+    }
+
+    #[test]
+    fn merge_plan_round_trips_through_the_index() {
+        let c = corpus();
+        let stats = CorpusStats::compute(&c);
+        let plan = BfmMerge
+            .plan(&stats, ConfidentialityParam::new(2.0).unwrap())
+            .unwrap();
+        let n = plan.num_lists();
+        let master = MasterKey::new([3u8; 32]);
+        let idx = ZerberIndex::build(&c, plan, &master, 1).unwrap();
+        assert_eq!(idx.num_lists(), n);
+    }
+}

@@ -1,0 +1,31 @@
+//! The Zerber substrate: an r-confidential inverted index over encrypted,
+//! randomly placed posting elements (Zerr et al., EDBT 2008), which the
+//! Zerber+R paper extends with server-side top-k.
+//!
+//! Modules:
+//!
+//! * [`confidentiality`] — Definitions 1 and 2: the r-confidentiality
+//!   parameter, per-list probability mass checks, probability amplification.
+//! * [`merge`] — term-merging schemes producing r-confidential merged posting
+//!   lists: the paper's BFM scheme plus two ablation baselines.
+//! * [`element`] — fixed-size encrypted posting elements.
+//! * [`index`] — the base Zerber index with random element placement and
+//!   client-side top-k (download the whole merged list).
+//! * [`false_positive`] — the μ-Serv probabilistic baseline of Section 3.
+
+pub mod confidentiality;
+pub mod element;
+pub mod error;
+pub mod false_positive;
+pub mod index;
+pub mod merge;
+
+pub use confidentiality::{
+    amplification, check_merged_terms, element_term_posterior, ConfidentialityParam,
+    ListConfidentiality,
+};
+pub use element::{EncryptedElement, PostingPayload, PAYLOAD_BYTES, SEALED_PAYLOAD_BYTES};
+pub use error::ZerberError;
+pub use false_positive::{FalsePositiveIndex, FuzzyResult};
+pub use index::{build_bfm_index, ClientTopK, ZerberIndex};
+pub use merge::{BfmMerge, MergePlan, MergeScheme, MergedListId, MixedMerge, RandomMerge};

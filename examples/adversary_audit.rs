@@ -1,0 +1,161 @@
+//! Adversary audit — what a compromised index server can learn (Section 6.2).
+//!
+//! The audit builds the same corpus twice: once as an ordinary index exposing
+//! raw normalized-TF scores, and once as a Zerber+R ordered index exposing
+//! only TRS values.  It then runs the three attacks of the threat model
+//! (distribution fingerprinting, element attribution / unmerging, and
+//! follow-up request counting) against both and prints the adversary's
+//! accuracy next to the chance-level baseline.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example adversary_audit
+//! ```
+
+use std::collections::HashMap;
+
+use zerber_suite::adversary::{
+    identification_experiment, request_counting_attack, unmerge_attack, Background, ObservedElement,
+};
+use zerber_suite::corpus::{DatasetProfile, TermId};
+use zerber_suite::workload::{MergeKind, TestBed, TestBedConfig};
+
+fn main() {
+    let bed = TestBed::build(TestBedConfig {
+        scale: 0.03,
+        ..TestBedConfig::small(DatasetProfile::StudIp)
+    })
+    .expect("test bed builds");
+    println!(
+        "audited deployment: {} docs, {} merged lists, r = {}",
+        bed.corpus.num_docs(),
+        bed.index.num_lists(),
+        bed.config.r
+    );
+
+    // ---- Attack 1: score-distribution fingerprinting -----------------------
+    let background = Background::from_stats(&bed.stats);
+    let min_df = 15u32;
+    let raw_observations: HashMap<TermId, Vec<f64>> = bed
+        .stats
+        .terms()
+        .filter(|t| t.doc_freq >= min_df)
+        .map(|t| (t.term, t.relevance_scores()))
+        .collect();
+    let trs_observations: HashMap<TermId, Vec<f64>> = bed
+        .stats
+        .terms()
+        .filter(|t| t.doc_freq >= min_df)
+        .map(|t| {
+            let values = t
+                .postings
+                .iter()
+                .map(|&(doc, _, rel)| bed.model.transform(t.term, doc, rel))
+                .collect();
+            (t.term, values)
+        })
+        .collect();
+    let raw_report = identification_experiment(&background, &raw_observations, 4, min_df as usize, 1);
+    let trs_report = identification_experiment(&background, &trs_observations, 4, min_df as usize, 1);
+    println!("\n[1] distribution fingerprinting (5 candidates, chance = 20%):");
+    println!(
+        "    ordinary index (raw scores): {:>5.1}% identification accuracy over {} terms",
+        raw_report.accuracy() * 100.0,
+        raw_report.trials
+    );
+    println!(
+        "    Zerber+R index (TRS)       : {:>5.1}% identification accuracy over {} terms",
+        trs_report.accuracy() * 100.0,
+        trs_report.trials
+    );
+
+    // ---- Attack 2: unmerging an ordered posting list ------------------------
+    // The dangerous case of Figure 3 is a list that merges a very frequent
+    // function-word-like term with a rare content term ("and" + "imClone").
+    // Build exactly that merged view: all posting elements of the most
+    // frequent corpus term plus those of a rare one, and attribute each
+    // element once with the raw score visible and once with only the TRS.
+    let order = bed.stats.terms_by_doc_freq();
+    let frequent = order[0];
+    let rare = *order
+        .iter()
+        .find(|&&t| {
+            let df = bed.stats.doc_freq(t).unwrap_or(0);
+            (8..=25).contains(&df)
+        })
+        .expect("a moderately rare term exists");
+    let pair = [frequent, rare];
+    let priors: HashMap<TermId, f64> = pair
+        .iter()
+        .map(|&t| (t, bed.stats.probability(t).unwrap_or(0.0)))
+        .collect();
+    let raw_background: HashMap<TermId, Vec<f64>> = pair
+        .iter()
+        .map(|&t| (t, bed.stats.term(t).map(|s| s.relevance_scores()).unwrap_or_default()))
+        .collect();
+    let mut raw_observed = Vec::new();
+    let mut trs_observed = Vec::new();
+    for &t in &pair {
+        for &(doc, _, rel) in &bed.stats.term(t).expect("term exists").postings {
+            raw_observed.push(ObservedElement {
+                truth: t,
+                visible_score: rel,
+            });
+            trs_observed.push(ObservedElement {
+                truth: t,
+                visible_score: bed.model.transform(t, doc, rel),
+            });
+        }
+    }
+    let raw_unmerge = unmerge_attack(&raw_observed, &raw_background, &priors);
+    let trs_unmerge = unmerge_attack(&trs_observed, &raw_background, &priors);
+    println!(
+        "\n[2] element attribution on a frequent+rare merged list ({} elements, {} terms):",
+        raw_observed.len(),
+        pair.len()
+    );
+    // Mixed-merge ablation bed, also used by attack 3 below.
+    let mixed_bed = TestBed::build(TestBedConfig {
+        merge: MergeKind::Mixed,
+        scale: 0.03,
+        ..TestBedConfig::small(DatasetProfile::StudIp)
+    })
+    .expect("mixed bed");
+    println!(
+        "    raw scores visible: {:>5.1}% correct (prior baseline {:>5.1}%, amplification {:.2}x)",
+        raw_unmerge.accuracy() * 100.0,
+        raw_unmerge.prior_accuracy() * 100.0,
+        raw_unmerge.amplification()
+    );
+    println!(
+        "    TRS visible       : {:>5.1}% correct (prior baseline {:>5.1}%, amplification {:.2}x, bound r = {})",
+        trs_unmerge.accuracy() * 100.0,
+        trs_unmerge.prior_accuracy() * 100.0,
+        trs_unmerge.amplification(),
+        bed.config.r
+    );
+
+    // ---- Attack 3: follow-up request counting -------------------------------
+    let bfm_report =
+        request_counting_attack(&bed.index, &bed.stats, &bed.all_memberships, 10, 30).expect("attack runs");
+    let mixed_report = request_counting_attack(
+        &mixed_bed.index,
+        &mixed_bed.stats,
+        &mixed_bed.all_memberships,
+        10,
+        30,
+    )
+    .expect("attack runs");
+    println!("\n[3] follow-up request counting (top-10, b = 10):");
+    println!(
+        "    BFM merging   : rare term identifiable in {:>5.1}% of lists, request spread {:.2}",
+        bfm_report.success_rate() * 100.0,
+        bfm_report.mean_request_spread
+    );
+    println!(
+        "    mixed merging : rare term identifiable in {:>5.1}% of lists, request spread {:.2}",
+        mixed_report.success_rate() * 100.0,
+        mixed_report.mean_request_spread
+    );
+    println!("\n(the Zerber+R / BFM rows should stay near the chance baselines)");
+}

@@ -1,0 +1,93 @@
+//! Quickstart: build a confidential index over a small document collection
+//! and run a server-side top-k query as a group member.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::collections::HashMap;
+
+use zerber_suite::corpus::{sample_split, CorpusBuilder, CorpusStats, Document, GroupId, SplitConfig};
+use zerber_suite::crypto::MasterKey;
+use zerber_suite::zerber::{BfmMerge, ConfidentialityParam, MergeScheme};
+use zerber_suite::zerber_r::{
+    retrieve_topk, OrderedIndex, RetrievalConfig, RstfConfig, RstfModel,
+};
+
+fn main() {
+    // 1. A small access-controlled document collection (one project group).
+    let mut builder = CorpusBuilder::new();
+    let reports = [
+        "imclone compound synthesis protocol for the reactor line",
+        "meeting notes about the new compound and the delivery schedule",
+        "imclone imclone test results summary for the compound trial",
+        "travel reimbursement form and expense report",
+        "production control software update and reactor calibration notes",
+        "quarterly report about production output and staff planning",
+        "compound storage guidelines and safety instructions for the lab",
+        "email about the customer visit and the reactor demonstration",
+        "imclone patent draft with synthesis details and prior art survey",
+        "weekly status report for the production control project",
+    ];
+    for (i, body) in reports.iter().enumerate() {
+        builder
+            .add_document(Document::new(format!("doc-{i}.txt"), GroupId(0), *body))
+            .expect("documents are non-empty and uniquely named");
+    }
+    let corpus = builder.build();
+    let stats = CorpusStats::compute(&corpus);
+    println!(
+        "corpus: {} documents, {} distinct terms, {} tokens",
+        corpus.num_docs(),
+        corpus.num_terms(),
+        corpus.total_tokens()
+    );
+
+    // 2. Offline phase: fit the RSTF model from a training sample and build
+    //    the r-confidential ordered index.
+    let split = sample_split(&corpus, SplitConfig::default()).expect("valid split");
+    let model = RstfModel::train(&corpus, &split, &RstfConfig::default()).expect("training data");
+    let plan = BfmMerge
+        .plan(&stats, ConfidentialityParam::new(3.0).expect("r > 1"))
+        .expect("corpus is mergeable");
+    println!(
+        "merge plan: {} merged posting lists for r = 3 (avg {:.1} terms/list)",
+        plan.num_lists(),
+        plan.avg_terms_per_list()
+    );
+    let master = MasterKey::from_passphrase("pcc advisory board", b"quickstart-salt");
+    let index = OrderedIndex::build(&corpus, plan, &model, &master, 42).expect("index build");
+    println!(
+        "ordered index: {} encrypted posting elements, {} bytes stored server-side",
+        index.num_elements(),
+        index.stored_bytes()
+    );
+
+    // 3. Online phase: a member of group 0 asks for the top-3 documents for
+    //    the term "imclone"; the untrusted server ranks by TRS only.
+    let term = corpus
+        .dictionary()
+        .get("imclone")
+        .expect("'imclone' occurs in the corpus");
+    let memberships: HashMap<_, _> = [(GroupId(0), master.group_keys(0))].into();
+    let outcome = retrieve_topk(&index, term, &memberships, &RetrievalConfig::for_k(3))
+        .expect("retrieval succeeds");
+
+    println!("\ntop-{} documents for 'imclone':", outcome.results.len());
+    for (rank, (doc, relevance)) in outcome.results.iter().enumerate() {
+        let entry = corpus.doc(*doc).expect("doc exists");
+        println!(
+            "  {}. {:<12} relevance {:.3} (group {})",
+            rank + 1,
+            entry.name,
+            relevance,
+            entry.group
+        );
+    }
+    println!(
+        "\nprotocol cost: {} request(s), {} posting elements transferred",
+        outcome.requests, outcome.elements_transferred
+    );
+    println!("satisfied: {}", outcome.satisfied);
+}

@@ -1,0 +1,115 @@
+//! Concurrency integration test: several group members query and insert
+//! against one shared index server at the same time (the collaborative
+//! setting of Section 2).  The server's internal locking must keep the
+//! ordered-index invariant intact and every client must still receive exactly
+//! the results it is entitled to.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use zerber_suite::corpus::{DatasetProfile, DocId, GroupId};
+use zerber_suite::protocol::{AccessControl, Client, IndexServer};
+use zerber_suite::workload::{TestBed, TestBedConfig};
+use zerber_suite::zerber_r::RetrievalConfig;
+
+#[test]
+fn concurrent_queries_and_inserts_preserve_invariants() {
+    let bed = TestBed::build(TestBedConfig::small(DatasetProfile::StudIp)).expect("bed builds");
+    let mut acl = AccessControl::new(b"concurrency-secret");
+    let all_groups: Vec<GroupId> = (0..bed.corpus.num_groups() as u32).map(GroupId).collect();
+    for i in 0..4 {
+        acl.register_user(&format!("user-{i}"), &all_groups);
+    }
+    let elements_before = bed.index.num_elements();
+    let server = Arc::new(IndexServer::new(bed.index.clone(), acl));
+    let plan = Arc::new(bed.plan.clone());
+    let model = Arc::new(bed.model.clone());
+    let order = bed.stats.terms_by_doc_freq();
+    let query_terms: Vec<_> = order.iter().copied().take(12).collect();
+    let insert_term = order[0];
+
+    let mut handles = Vec::new();
+    for worker in 0..4u32 {
+        let server = Arc::clone(&server);
+        let plan = Arc::clone(&plan);
+        let model = Arc::clone(&model);
+        let memberships: HashMap<GroupId, _> = bed
+            .all_memberships
+            .iter()
+            .map(|(g, k)| (*g, k.clone()))
+            .collect();
+        let query_terms = query_terms.clone();
+        handles.push(std::thread::spawn(move || {
+            let user = format!("user-{worker}");
+            let token = server.acl().issue_token(&user);
+            let mut client = Client::new(user, token, memberships);
+            let mut total_results = 0usize;
+            let mut inserted = 0usize;
+            for round in 0..5usize {
+                // Query a rotating subset of terms.
+                for (i, &term) in query_terms.iter().enumerate() {
+                    if (i + round) % 3 == worker as usize % 3 {
+                        let outcome = client
+                            .query(&server, &plan, term, &RetrievalConfig::for_k(5))
+                            .expect("query succeeds");
+                        total_results += outcome.results.len();
+                    }
+                }
+                // Insert one small document per round into the worker's group.
+                let group = GroupId(worker % 2);
+                let doc = DocId(500_000 + worker * 1_000 + round as u32);
+                inserted += client
+                    .insert_document(
+                        &server,
+                        &plan,
+                        &model,
+                        doc,
+                        group,
+                        &[(term_for_round(&query_terms, round), 2), (insert_term_copy(insert_term), 1)],
+                    )
+                    .expect("insert succeeds");
+            }
+            (total_results, inserted)
+        }));
+    }
+    let mut total_results = 0usize;
+    let mut total_inserted = 0usize;
+    for h in handles {
+        let (results, inserted) = h.join().expect("worker thread did not panic");
+        total_results += results;
+        total_inserted += inserted;
+    }
+    assert!(total_results > 0, "queries must return results");
+    assert_eq!(total_inserted, 4 * 5 * 2, "every insert round adds two posting elements");
+    assert_eq!(
+        server.num_elements(),
+        elements_before + total_inserted,
+        "server must hold exactly the original plus the inserted elements"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.inserts_accepted as usize, total_inserted);
+    assert!(stats.requests_served > 0);
+    assert!(stats.bytes_out > 0);
+
+    // After the concurrent phase, a fresh query must still see a consistent,
+    // TRS-ordered view: results of the insert term include the new documents.
+    let token = server.acl().issue_token("user-0");
+    let auditor = Client::new("user-0", token, bed.all_memberships.clone());
+    let outcome = auditor
+        .query(&server, &plan, insert_term, &RetrievalConfig::for_k(50))
+        .expect("audit query succeeds");
+    assert!(outcome.results.len() >= 20);
+    // Ranked output must be non-increasing in relevance.
+    assert!(outcome
+        .results
+        .windows(2)
+        .all(|w| w[0].1 >= w[1].1 - 1e-12));
+}
+
+fn term_for_round(terms: &[zerber_suite::corpus::TermId], round: usize) -> zerber_suite::corpus::TermId {
+    terms[round % terms.len()]
+}
+
+fn insert_term_copy(t: zerber_suite::corpus::TermId) -> zerber_suite::corpus::TermId {
+    t
+}

@@ -1,0 +1,207 @@
+//! End-to-end integration test: the complete Zerber+R pipeline (synthetic
+//! corpus → RSTF training → BFM merge → encrypted ordered index → untrusted
+//! server → client retrieval) must return exactly the documents an ordinary
+//! plaintext inverted index would return for single-term top-k queries, while
+//! keeping the confidentiality invariants.
+
+use std::collections::HashMap;
+
+use zerber_suite::corpus::{DatasetProfile, GroupId};
+use zerber_suite::protocol::{AccessControl, Client, IndexServer};
+use zerber_suite::workload::{QueryLogConfig, TestBed, TestBedConfig};
+use zerber_suite::zerber_r::{GrowthPolicy, RetrievalConfig};
+
+fn bed() -> &'static TestBed {
+    use std::sync::OnceLock;
+    static BED: OnceLock<TestBed> = OnceLock::new();
+    BED.get_or_init(|| {
+        TestBed::build(TestBedConfig::small(DatasetProfile::StudIp)).expect("test bed builds")
+    })
+}
+
+#[test]
+fn confidential_topk_matches_plaintext_topk_for_many_terms() {
+    let bed = bed();
+    let k = 10usize;
+    let order = bed.stats.terms_by_doc_freq();
+    // Frequent, mid-frequency and rare terms.
+    let picks: Vec<_> = order
+        .iter()
+        .step_by((order.len() / 60).max(1))
+        .copied()
+        .take(60)
+        .collect();
+    let mut trained_terms = 0usize;
+    for term in picks {
+        let confidential = zerber_suite::zerber_r::retrieve_topk(
+            &bed.index,
+            term,
+            &bed.all_memberships,
+            &RetrievalConfig::for_k(k),
+        )
+        .expect("retrieval succeeds");
+        let plaintext = bed.plain_index.query_term(term, k).expect("term indexed");
+        assert_eq!(
+            confidential.results.len(),
+            plaintext.len().min(k),
+            "result count for term {term}"
+        );
+        if bed.model.rstf(term).is_some() {
+            // Terms seen during RSTF training: the monotone transformation
+            // preserves the exact plaintext ranking.
+            trained_terms += 1;
+            for (got, want) in confidential.results.iter().zip(plaintext.iter()) {
+                assert!(
+                    (got.1 - want.score).abs() < 1e-9,
+                    "score mismatch for term {term}: {} vs {}",
+                    got.1,
+                    want.score
+                );
+            }
+        } else {
+            // Terms unseen during training carry a random TRS (Section 5.1.1:
+            // "assumed to be rare"): every returned result must still be a
+            // genuine posting of the term.
+            let valid: std::collections::HashSet<_> =
+                bed.plain_index.posting_list(term).unwrap().iter().map(|p| p.doc).collect();
+            for &(doc, _) in &confidential.results {
+                assert!(valid.contains(&doc), "spurious result for untrained term {term}");
+            }
+        }
+    }
+    assert!(
+        trained_terms >= 20,
+        "most sampled terms should have a trained RSTF, got {trained_terms}"
+    );
+}
+
+#[test]
+fn index_storage_matches_one_score_per_element_budget() {
+    let bed = bed();
+    let plain_report = bed.plain_index.size_report();
+    let ordered_report = bed.index.size_report();
+    // Section 6.3: Zerber+R stores exactly one ranking value (the TRS) per
+    // posting element, like the ordinary index — same element counts, zero
+    // overhead in the paper's 64-bit-per-element accounting.
+    assert_eq!(plain_report.num_postings, ordered_report.num_postings);
+    assert_eq!(plain_report.plain_bytes, ordered_report.plain_bytes);
+    assert!((ordered_report.overhead_vs(&plain_report)).abs() < 1e-12);
+}
+
+#[test]
+fn ordering_and_confidentiality_invariants_hold_after_build() {
+    let bed = bed();
+    assert!(bed.index.verify_ordering(), "lists must stay TRS-sorted");
+    let r = zerber_suite::zerber::ConfidentialityParam::new(bed.config.r).unwrap();
+    let reports = bed.plan.verify(&bed.stats, r).expect("plan is r-confidential");
+    assert_eq!(reports.len(), bed.plan.num_lists());
+    for report in reports {
+        assert!(report.satisfied);
+        assert!(report.mass + 1e-12 >= report.required);
+    }
+}
+
+#[test]
+fn server_protocol_preserves_results_and_access_control() {
+    let bed = bed();
+    let mut acl = AccessControl::new(b"it-dept");
+    let all_groups: Vec<GroupId> = (0..bed.corpus.num_groups() as u32).map(GroupId).collect();
+    acl.register_user("john", &all_groups);
+    acl.register_user("intern", &[GroupId(0)]);
+    let server = IndexServer::new(bed.index.clone(), acl);
+
+    let john = Client::new(
+        "john",
+        server.acl().issue_token("john"),
+        bed.all_memberships.clone(),
+    );
+    let intern_keys: HashMap<GroupId, _> = [(GroupId(0), bed.master.group_keys(0))].into();
+    let intern = Client::new("intern", server.acl().issue_token("intern"), intern_keys);
+
+    let term = bed.stats.terms_by_doc_freq()[1];
+    let config = RetrievalConfig::for_k(10);
+    let john_out = john.query(&server, &bed.plan, term, &config).expect("john queries");
+    let intern_out = intern.query(&server, &bed.plan, term, &config).expect("intern queries");
+
+    // John sees the same ranking the core retrieval produces.
+    let reference = zerber_suite::zerber_r::retrieve_topk(
+        &bed.index,
+        term,
+        &bed.all_memberships,
+        &config,
+    )
+    .unwrap();
+    assert_eq!(john_out.results, reference.results);
+
+    // The intern only ever receives group-0 documents.
+    for &(doc, _) in &intern_out.results {
+        assert_eq!(bed.corpus.doc(doc).unwrap().group, GroupId(0));
+    }
+    // And the server's byte counters reflect both sessions.
+    let stats = server.stats();
+    assert_eq!(
+        stats.requests_served as usize,
+        john_out.requests + intern_out.requests
+    );
+    assert_eq!(
+        stats.bytes_out as usize,
+        john_out.bytes_received + intern_out.bytes_received
+    );
+}
+
+#[test]
+fn workload_replay_reproduces_the_b_equals_k_sweet_spot_shape() {
+    // Figures 11/12 at integration-test scale: the average number of requests
+    // falls as b grows, while the bandwidth overhead is minimal for b <= k
+    // and grows once b exceeds k.
+    let bed = bed();
+    let log = bed
+        .query_log(&QueryLogConfig {
+            distinct_terms: 150,
+            total_queries: 20_000,
+            sample_queries: 50,
+            ..QueryLogConfig::default()
+        })
+        .expect("query log");
+    let k = 10;
+    let mut avbo = Vec::new();
+    let mut requests = Vec::new();
+    for b in [k, 5 * k, 10 * k] {
+        let samples = bed
+            .run_workload(&log, k, b, GrowthPolicy::Doubling)
+            .expect("workload runs");
+        avbo.push(zerber_suite::workload::average_bandwidth_overhead(&samples, k));
+        requests.push(zerber_suite::workload::average_requests(&samples));
+    }
+    assert!(
+        avbo[0] < avbo[1] && avbo[1] < avbo[2],
+        "bandwidth overhead must grow once b exceeds k: {avbo:?}"
+    );
+    assert!(
+        requests[0] >= requests[1] && requests[1] >= requests[2],
+        "request counts must not increase with larger b: {requests:?}"
+    );
+}
+
+#[test]
+fn multi_term_queries_split_into_single_term_queries() {
+    let bed = bed();
+    let order = bed.stats.terms_by_doc_freq();
+    let terms = [order[0], order[2], order[4]];
+    let (merged, per_term) = zerber_suite::zerber_r::retrieve_multi_term(
+        &bed.index,
+        &terms,
+        &bed.all_memberships,
+        &RetrievalConfig::for_k(10),
+    )
+    .expect("multi-term query");
+    assert_eq!(per_term.len(), 3);
+    assert!(merged.len() <= 10);
+    assert!(merged.windows(2).all(|w| w[0].1 >= w[1].1));
+    // Every merged result must appear in at least one per-term result list.
+    for &(doc, _) in &merged {
+        assert!(per_term
+            .iter()
+            .any(|o| o.results.iter().any(|&(d, _)| d == doc)));
+    }
+}
