@@ -81,10 +81,10 @@ pub fn request_counting_attack(
         let mut worst = None;
         for &t in terms {
             let df = stats.doc_freq(t).unwrap_or(0);
-            if best.map_or(true, |(_, b)| df > b) {
+            if best.is_none_or(|(_, b)| df > b) {
                 best = Some((t, df));
             }
-            if worst.map_or(true, |(_, w)| df < w) {
+            if worst.is_none_or(|(_, w)| df < w) {
                 worst = Some((t, df));
             }
         }

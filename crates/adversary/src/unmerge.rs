@@ -189,14 +189,13 @@ mod tests {
     /// Builds a two-term scenario: a "frequent" term whose scores concentrate
     /// at low values and a "rare" term with clearly higher scores — the
     /// "and" / "imclone" example of Figure 3.
-    fn two_term_scenario(
-        transform_to_uniform: bool,
-        seed: u64,
-    ) -> (
+    type TwoTermScenario = (
         Vec<ObservedElement>,
         HashMap<TermId, Vec<f64>>,
         HashMap<TermId, f64>,
-    ) {
+    );
+
+    fn two_term_scenario(transform_to_uniform: bool, seed: u64) -> TwoTermScenario {
         let mut rng = StdRng::seed_from_u64(seed);
         let frequent = TermId(0);
         let rare = TermId(1);

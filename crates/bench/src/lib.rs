@@ -147,7 +147,7 @@ mod tests {
     fn fmt_uses_compact_representations() {
         assert_eq!(fmt(0.0), "0");
         assert_eq!(fmt(1234.6), "1235");
-        assert_eq!(fmt(3.14159), "3.142");
+        assert_eq!(fmt(2.34559), "2.346");
         assert_eq!(fmt(0.000123456), "0.000123");
     }
 

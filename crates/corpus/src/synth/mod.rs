@@ -201,11 +201,7 @@ impl CorpusGenerator {
         let general_size = ((p.vocab_size as f64) * p.general_vocab_fraction).round() as usize;
         let general_size = general_size.clamp(1, p.vocab_size);
         let topic_pool = p.vocab_size - general_size;
-        let per_topic = if p.num_groups == 0 {
-            0
-        } else {
-            topic_pool / p.num_groups
-        };
+        let per_topic = topic_pool.checked_div(p.num_groups).unwrap_or(0);
 
         let general_zipf = ZipfSampler::new(general_size, p.zipf_exponent);
         let topic_zipf = if per_topic > 0 {
@@ -237,9 +233,13 @@ impl CorpusGenerator {
                 };
                 *counts.entry(term_index).or_insert(0) += 1;
             }
-            let pairs: Vec<(String, u32)> = counts
-                .iter()
-                .map(|(&idx, &c)| (format!("w{idx}"), c))
+            // Sort by term index: HashMap iteration order would otherwise
+            // leak into TermId assignment and break seed-reproducibility.
+            let mut items: Vec<(usize, u32)> = counts.iter().map(|(&i, &c)| (i, c)).collect();
+            items.sort_unstable_by_key(|&(i, _)| i);
+            let pairs: Vec<(String, u32)> = items
+                .into_iter()
+                .map(|(idx, c)| (format!("w{idx}"), c))
                 .collect();
             name_buf.clear();
             name_buf.push_str("doc-");
@@ -281,6 +281,16 @@ mod tests {
         assert_eq!(a.num_docs(), b.num_docs());
         assert_eq!(a.num_terms(), b.num_terms());
         assert_eq!(a.total_tokens(), b.total_tokens());
+        // Term-id assignment must also be reproducible, not just aggregate
+        // counts: identical seeds give identical per-document term vectors.
+        for ((id_a, doc_a), (id_b, doc_b)) in a.docs().zip(b.docs()) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(doc_a.term_counts, doc_b.term_counts);
+        }
+        assert_eq!(
+            CorpusStats::compute(&a).terms_by_doc_freq(),
+            CorpusStats::compute(&b).terms_by_doc_freq()
+        );
         let c = CorpusGenerator::new(tiny_config(43)).generate().unwrap();
         assert_ne!(a.total_tokens(), c.total_tokens());
     }

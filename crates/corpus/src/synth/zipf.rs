@@ -111,7 +111,7 @@ mod tests {
         let z = ZipfSampler::new(50, 1.0);
         let mut rng = StdRng::seed_from_u64(7);
         let n = 200_000;
-        let mut counts = vec![0u32; 50];
+        let mut counts = [0u32; 50];
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }

@@ -1,12 +1,16 @@
-//! Posting-list compression: delta + variable-byte (varint) encoding.
+//! Posting-list compression: impact-ordered delta + variable-byte (varint)
+//! encoding.
 //!
 //! The evaluation of Section 6.6 reasons about the size of query responses
 //! and index storage (Section 6.3).  To report realistic byte counts for the
-//! ordinary-index baseline, posting lists can be serialized with the standard
-//! IR compression pipeline: document ids are delta-encoded (they are stored in
-//! ascending id order for compression, independent of the score order used at
-//! query time) and all integers use LEB128-style variable-byte encoding.
-//! Scores are quantized to a fixed-point `u32` before encoding.
+//! ordinary-index baseline, posting lists are serialized in their canonical
+//! descending-score ("impact") order — the order top-k queries consume — with
+//! the non-increasing quantized scores delta-encoded, document ids stored as
+//! plain varints, and all integers in LEB128-style variable-byte encoding.
+//! Scores are quantized to a fixed-point `u32` before encoding.  Keeping the
+//! wire order identical to the list order makes the codec order-exact: a
+//! decode reproduces the posting sequence element for element even when the
+//! quantization collapses near-equal scores.
 
 use zerber_corpus::DocId;
 
@@ -50,23 +54,32 @@ pub fn read_varint(buf: &[u8], mut pos: usize) -> Result<(u64, usize), IndexErro
     }
 }
 
+/// Quantizes a score to the fixed-point wire representation.
+fn quantize(score: f64) -> u64 {
+    (score.clamp(0.0, u32::MAX as f64 / SCORE_SCALE) * SCORE_SCALE).round() as u64
+}
+
 /// Encodes a posting list into a compact byte buffer.
 ///
-/// Layout: varint count, then for each posting (in ascending doc-id order)
-/// varint delta(doc id), varint tf, varint quantized score.
+/// Layout: varint count, then for each posting in the list's descending-score
+/// order: varint doc id, varint tf, varint score delta (previous quantized
+/// score minus this one; the first posting stores its quantized score
+/// directly).
 pub fn encode_posting_list(list: &PostingList) -> Vec<u8> {
-    let mut by_doc: Vec<&Posting> = list.postings().iter().collect();
-    by_doc.sort_unstable_by_key(|p| p.doc);
-    let mut out = Vec::with_capacity(by_doc.len() * 4 + 4);
-    write_varint(&mut out, by_doc.len() as u64);
-    let mut prev = 0u64;
-    for p in by_doc {
-        let id = u64::from(p.doc.0);
-        write_varint(&mut out, id - prev);
-        prev = id;
+    let postings = list.postings();
+    let mut out = Vec::with_capacity(postings.len() * 4 + 4);
+    write_varint(&mut out, postings.len() as u64);
+    let mut prev_q: Option<u64> = None;
+    for p in postings {
+        write_varint(&mut out, u64::from(p.doc.0));
         write_varint(&mut out, u64::from(p.tf));
-        let q = (p.score.clamp(0.0, u32::MAX as f64 / SCORE_SCALE) * SCORE_SCALE).round() as u64;
-        write_varint(&mut out, q);
+        let q = quantize(p.score);
+        match prev_q {
+            None => write_varint(&mut out, q),
+            // The list is score-descending, so quantized deltas are >= 0.
+            Some(prev) => write_varint(&mut out, prev - q),
+        }
+        prev_q = Some(q);
     }
     out
 }
@@ -74,17 +87,27 @@ pub fn encode_posting_list(list: &PostingList) -> Vec<u8> {
 /// Decodes a posting list produced by [`encode_posting_list`].
 pub fn decode_posting_list(buf: &[u8]) -> Result<PostingList, IndexError> {
     let (count, mut pos) = read_varint(buf, 0)?;
-    let mut postings = Vec::with_capacity(count as usize);
-    let mut doc = 0u64;
+    // Don't trust the untrusted count for allocation: every posting takes at
+    // least 3 bytes, so a corrupt header can't trigger a huge pre-allocation
+    // before validation fails on the truncated body.
+    let plausible = (count as usize).min(buf.len() / 3 + 1);
+    let mut postings = Vec::with_capacity(plausible);
+    let mut prev_q: Option<u64> = None;
     for _ in 0..count {
-        let (delta, p1) = read_varint(buf, pos)?;
+        let (doc, p1) = read_varint(buf, pos)?;
         let (tf, p2) = read_varint(buf, p1)?;
-        let (q, p3) = read_varint(buf, p2)?;
+        let (raw, p3) = read_varint(buf, p2)?;
         pos = p3;
-        doc += delta;
         if doc > u64::from(u32::MAX) || tf > u64::from(u32::MAX) {
             return Err(IndexError::CorruptPostings("value out of range".into()));
         }
+        let q = match prev_q {
+            None => raw,
+            Some(prev) => prev.checked_sub(raw).ok_or_else(|| {
+                IndexError::CorruptPostings("score delta exceeds previous score".into())
+            })?,
+        };
+        prev_q = Some(q);
         postings.push(Posting::new(
             DocId(doc as u32),
             tf as u32,
@@ -97,7 +120,7 @@ pub fn decode_posting_list(buf: &[u8]) -> Result<PostingList, IndexError> {
             buf.len() - pos
         )));
     }
-    Ok(PostingList::from_postings(postings))
+    Ok(PostingList::from_sorted_postings(postings))
 }
 
 #[cfg(test)]
@@ -175,6 +198,18 @@ mod tests {
     }
 
     #[test]
+    fn quantization_ties_keep_their_order() {
+        // Two scores closer than the quantization step collapse to the same
+        // wire value; the impact-ordered codec must reproduce the original
+        // sequence regardless.
+        let original = list(&[(9, 1, 0.500_000_4), (2, 1, 0.500_000_1), (5, 1, 0.25)]);
+        let decoded = decode_posting_list(&encode_posting_list(&original)).unwrap();
+        let docs: Vec<u32> = decoded.iter().map(|p| p.doc.0).collect();
+        let original_docs: Vec<u32> = original.iter().map(|p| p.doc.0).collect();
+        assert_eq!(docs, original_docs);
+    }
+
+    #[test]
     fn trailing_garbage_is_detected() {
         let mut buf = encode_posting_list(&list(&[(1, 1, 0.5)]));
         buf.push(0x00);
@@ -185,6 +220,15 @@ mod tests {
     fn corrupt_count_is_detected() {
         // Claim 5 postings but provide none.
         let buf = vec![5u8];
+        assert!(decode_posting_list(&buf).is_err());
+    }
+
+    #[test]
+    fn huge_claimed_count_errors_without_allocating() {
+        // A count varint of ~2^62 in a 10-byte buffer must come back as a
+        // codec error, not a capacity-overflow abort from pre-allocation.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1u64 << 62);
         assert!(decode_posting_list(&buf).is_err());
     }
 }

@@ -48,6 +48,23 @@ impl PostingList {
         PostingList { postings }
     }
 
+    /// Creates a posting list from elements already in descending-score
+    /// order, preserving their exact sequence (ties keep the given order).
+    ///
+    /// Used by the order-exact codec in [`crate::compress`], where re-sorting
+    /// could reshuffle postings whose scores became equal under quantization.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the elements are not score-descending.
+    pub fn from_sorted_postings(postings: Vec<Posting>) -> Self {
+        debug_assert!(
+            postings.windows(2).all(|w| w[0].score >= w[1].score),
+            "postings must be in descending-score order"
+        );
+        PostingList { postings }
+    }
+
     /// Number of posting elements (the document frequency of the term).
     pub fn len(&self) -> usize {
         self.postings.len()

@@ -86,7 +86,7 @@ mod tests {
 
     #[test]
     fn measure_counts_lists_and_postings() {
-        let lists = vec![list(3), list(5)];
+        let lists = [list(3), list(5)];
         let r = IndexSizeReport::measure(lists.iter());
         assert_eq!(r.num_lists, 2);
         assert_eq!(r.num_postings, 8);
@@ -96,22 +96,22 @@ mod tests {
 
     #[test]
     fn plain_bytes_per_posting_is_the_constant() {
-        let lists = vec![list(10)];
+        let lists = [list(10)];
         let r = IndexSizeReport::measure(lists.iter());
         assert!((r.plain_bytes_per_posting() - PLAIN_POSTING_BYTES as f64).abs() < 1e-12);
     }
 
     #[test]
     fn identical_indexes_have_zero_overhead() {
-        let a = IndexSizeReport::measure(vec![list(4)].iter());
-        let b = IndexSizeReport::measure(vec![list(4)].iter());
+        let a = IndexSizeReport::measure([list(4)].iter());
+        let b = IndexSizeReport::measure([list(4)].iter());
         assert!(a.overhead_vs(&b).abs() < 1e-12);
     }
 
     #[test]
     fn larger_index_has_positive_overhead() {
-        let small = IndexSizeReport::measure(vec![list(4)].iter());
-        let large = IndexSizeReport::measure(vec![list(8)].iter());
+        let small = IndexSizeReport::measure([list(4)].iter());
+        let large = IndexSizeReport::measure([list(8)].iter());
         assert!(large.overhead_vs(&small) > 0.9);
         assert!(small.overhead_vs(&large) < 0.0);
     }

@@ -36,6 +36,9 @@ pub struct ClientQueryOutcome {
     pub satisfied: bool,
 }
 
+/// Merged multi-term ranking plus the per-term query outcomes behind it.
+pub type MultiQueryOutcome = (Vec<(DocId, f64)>, Vec<ClientQueryOutcome>);
+
 impl ClientQueryOutcome {
     /// Query efficiency `k / TRes` (Equation 14).
     pub fn efficiency(&self, k: usize) -> f64 {
@@ -168,7 +171,7 @@ impl Client {
         plan: &MergePlan,
         terms: &[TermId],
         config: &RetrievalConfig,
-    ) -> Result<(Vec<(DocId, f64)>, Vec<ClientQueryOutcome>), ProtocolError> {
+    ) -> Result<MultiQueryOutcome, ProtocolError> {
         if terms.is_empty() {
             return Err(ProtocolError::InvalidRequest("empty query".into()));
         }

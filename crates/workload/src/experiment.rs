@@ -24,20 +24,15 @@ use crate::metrics::QuerySample;
 use crate::querylog::{QueryLog, QueryLogConfig};
 
 /// Which merging scheme the test bed uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MergeKind {
     /// Breadth-first merging (the paper's scheme).
+    #[default]
     Bfm,
     /// Frequency-spanning ablation.
     Mixed,
     /// Random grouping ablation.
     Random,
-}
-
-impl Default for MergeKind {
-    fn default() -> Self {
-        MergeKind::Bfm
-    }
 }
 
 /// Configuration of a complete experiment deployment.

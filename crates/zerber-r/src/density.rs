@@ -7,16 +7,37 @@
 //! parameter; following the paper's convention (Section 5.1.3) σ acts as a
 //! *rate*: a **smaller σ means a broader bell** (more general model), a larger
 //! σ a narrower bell (risk of overfitting).
+//!
+//! Relevance scores (normalized TF, Figures 4–5) are heavily skewed: most
+//! mass sits just above zero with a long sparse tail.  A single global
+//! bandwidth cannot serve both regions — wide bells smear the dense head
+//! (bias), narrow bells turn the tail into a staircase — and with a global
+//! bandwidth the cross-validation curve of Figure 9 loses its U shape: the
+//! control variance decreases monotonically towards the training-ECDF limit
+//! and σ-selection runs off the end of the grid.  The bells therefore carry a
+//! per-component scale following Abramson's square-root law: each width is
+//! `c_i / σ` where `c_i ∝ sqrt(local spacing of the training values)`
+//! (normalized so uniformly spread training data reproduces the constant
+//! `1/σ` width).  σ remains the single rate knob that cross-validation tunes.
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::ZerberRError;
 use crate::math::std_normal_pdf;
 
-/// Probability-density model `f(x) = (1/N) Σ_i N(x; μ_i, 1/σ)`.
+/// Smallest / largest per-component scale, guarding duplicated training
+/// values (zero local spacing) and degenerate one-sided gaps.
+const MIN_COMPONENT_SCALE: f64 = 1e-3;
+const MAX_COMPONENT_SCALE: f64 = 1e3;
+
+/// Probability-density model `f(x) = (1/N) Σ_i N(x; μ_i, c_i/σ)`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GaussianSum {
     mus: Vec<f64>,
+    // Derived from `mus` by `component_scales()`; if this type ever gains a
+    // real wire format, recompute on load instead of trusting the payload
+    // (a mismatched length would silently truncate the zips in `pdf`).
+    scales: Vec<f64>,
     sigma: f64,
 }
 
@@ -40,12 +61,19 @@ impl GaussianSum {
         }
         let mut mus = training.to_vec();
         mus.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        Ok(GaussianSum { mus, sigma })
+        let scales = component_scales(&mus);
+        Ok(GaussianSum { mus, scales, sigma })
     }
 
     /// The training values (sorted ascending).
     pub fn training_values(&self) -> &[f64] {
         &self.mus
+    }
+
+    /// The per-component dimensionless scales `c_i`; bell `i` has width
+    /// `c_i / σ`.  Same length and order as [`Self::training_values`].
+    pub fn component_scales(&self) -> &[f64] {
+        &self.scales
     }
 
     /// The rate parameter σ.
@@ -63,13 +91,19 @@ impl GaussianSum {
         self.mus.is_empty()
     }
 
-    /// Evaluates the density at `x` (Equation 5 with scale `1/σ`).
+    /// Evaluates the density at `x` (Equation 5 with per-component scale
+    /// `c_i/σ`).
     pub fn pdf(&self, x: f64) -> f64 {
+        debug_assert_eq!(self.mus.len(), self.scales.len());
         let n = self.mus.len() as f64;
         let sum: f64 = self
             .mus
             .iter()
-            .map(|&mu| self.sigma * std_normal_pdf(self.sigma * (x - mu)))
+            .zip(self.scales.iter())
+            .map(|(&mu, &c)| {
+                let rate = self.sigma / c;
+                rate * std_normal_pdf(rate * (x - mu))
+            })
             .sum();
         sum / n
     }
@@ -87,6 +121,30 @@ impl GaussianSum {
             })
             .collect()
     }
+}
+
+/// Abramson square-root-law scales from sorted training values.
+///
+/// The local spacing around `μ_i` is estimated over a `±k` neighbourhood
+/// (`k ≈ √N`, clamped to the slice); `c_i = sqrt(N · spacing_i)` so that
+/// uniformly spread values on a unit-length support give `c_i ≈ 1`,
+/// reproducing the paper's constant `1/σ` bell width in the unskewed case.
+fn component_scales(sorted_mus: &[f64]) -> Vec<f64> {
+    let n = sorted_mus.len();
+    if n < 2 {
+        return vec![1.0; n];
+    }
+    let k = ((n as f64).sqrt().round() as usize).clamp(1, n - 1);
+    (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(k);
+            let hi = (i + k).min(n - 1);
+            let spacing = (sorted_mus[hi] - sorted_mus[lo]) / (hi - lo) as f64;
+            (spacing * n as f64)
+                .sqrt()
+                .clamp(MIN_COMPONENT_SCALE, MAX_COMPONENT_SCALE)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -145,6 +203,29 @@ mod tests {
         assert!(broad.pdf(1.5) > narrow.pdf(1.5));
         // At the training point the narrow model is higher.
         assert!(narrow.pdf(0.5) > broad.pdf(0.5));
+    }
+
+    #[test]
+    fn component_scales_track_local_spacing() {
+        // Dense head, sparse tail: head components must get smaller scales
+        // (narrower bells) than tail components.
+        let mut values: Vec<f64> = (0..80).map(|i| 0.01 + i as f64 * 1e-4).collect();
+        values.extend((0..20).map(|i| 0.2 + i as f64 * 0.04));
+        let g = GaussianSum::new(&values, 10.0).unwrap();
+        let scales = g.component_scales();
+        assert_eq!(scales.len(), values.len());
+        assert!(scales[10] < scales[90], "head {} vs tail {}", scales[10], scales[90]);
+        // Uniformly spread values on a unit support give scales near 1.
+        let uniform: Vec<f64> = (0..200).map(|i| (i as f64 + 0.5) / 200.0).collect();
+        let gu = GaussianSum::new(&uniform, 10.0).unwrap();
+        for &c in gu.component_scales() {
+            assert!((0.5..2.0).contains(&c), "uniform scale {c}");
+        }
+        // Duplicated training values stay finite and positive.
+        let tied = GaussianSum::new(&[0.3; 50], 10.0).unwrap();
+        for &c in tied.component_scales() {
+            assert!(c >= MIN_COMPONENT_SCALE);
+        }
     }
 
     #[test]

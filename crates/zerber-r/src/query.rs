@@ -18,18 +18,13 @@ use crate::error::ZerberRError;
 use crate::index::OrderedIndex;
 
 /// How the response size evolves over follow-up requests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum GrowthPolicy {
     /// Zerber+R's policy: request `b`, then `2b`, then `4b`, ... (Equation 12).
+    #[default]
     Doubling,
     /// Ablation baseline: every request returns exactly `b` elements.
     Constant,
-}
-
-impl Default for GrowthPolicy {
-    fn default() -> Self {
-        GrowthPolicy::Doubling
-    }
 }
 
 /// Parameters of a top-k retrieval.
@@ -75,6 +70,9 @@ impl RetrievalConfig {
         }
     }
 }
+
+/// Merged multi-term ranking plus the per-term outcomes it was built from.
+pub type MultiTermRetrieval = (Vec<(DocId, f64)>, Vec<RetrievalOutcome>);
 
 /// Outcome of one top-k retrieval.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -178,7 +176,7 @@ pub fn retrieve_multi_term(
     terms: &[TermId],
     memberships: &HashMap<GroupId, GroupKeys>,
     config: &RetrievalConfig,
-) -> Result<(Vec<(DocId, f64)>, Vec<RetrievalOutcome>), ZerberRError> {
+) -> Result<MultiTermRetrieval, ZerberRError> {
     if terms.is_empty() {
         return Err(ZerberRError::InvalidParameter("empty query".into()));
     }

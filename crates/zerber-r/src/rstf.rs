@@ -20,18 +20,13 @@ use crate::error::ZerberRError;
 use crate::math::{logistic, std_normal_cdf};
 
 /// Which CDF kernel evaluates the RSTF.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RstfKernel {
     /// Equation 8: `RSTF(x) = (1/N) Σ_i 1 / (1 + e^{-σ(x-μ_i)})`.
+    #[default]
     Logistic,
     /// Equations 6–7: `RSTF(x) = (1/N) Σ_i Φ(σ (x - μ_i))`.
     Erf,
-}
-
-impl Default for RstfKernel {
-    fn default() -> Self {
-        RstfKernel::Logistic
-    }
 }
 
 /// A trained RSTF for one term.
@@ -78,9 +73,13 @@ impl Rstf {
             .density
             .training_values()
             .iter()
-            .map(|&mu| match self.kernel {
-                RstfKernel::Logistic => logistic(sigma * (x - mu)),
-                RstfKernel::Erf => std_normal_cdf(sigma * (x - mu)),
+            .zip(self.density.component_scales().iter())
+            .map(|(&mu, &c)| {
+                let z = sigma * (x - mu) / c;
+                match self.kernel {
+                    RstfKernel::Logistic => logistic(z),
+                    RstfKernel::Erf => std_normal_cdf(z),
+                }
             })
             .sum();
         (sum / n).clamp(0.0, 1.0)

@@ -206,30 +206,30 @@ impl RstfModel {
             let scores = &train_scores[term];
             return cross_validate(scores, scores, grid, kernel);
         }
-        // Average the per-term variance curves so every pooled term gets equal
-        // weight regardless of its document frequency.
+        // Average the per-term variance curves, weighting each term by its
+        // control-score count (inverse-variance weighting): a uniformity
+        // variance measured on a handful of control values is mostly noise,
+        // and giving such terms the same weight as well-measured frequent
+        // terms biases the pooled minimum towards under-smoothed σ.
         let mut sums = vec![0.0f64; grid.len()];
-        let mut used = 0usize;
-        let mut best_single: Option<SigmaSelection> = None;
+        let mut total_weight = 0.0f64;
         for (term, _) in &candidates {
             let train = &train_scores[*term];
             let control = &control_scores[*term];
             let sel = cross_validate(train, control, grid, kernel)?;
+            let weight = control.len() as f64;
             for (i, p) in sel.curve.iter().enumerate() {
-                sums[i] += p.variance;
+                sums[i] += weight * p.variance;
             }
-            used += 1;
-            if best_single.is_none() {
-                best_single = Some(sel);
-            }
+            total_weight += weight;
         }
-        let used = used.max(1);
+        let total_weight = if total_weight > 0.0 { total_weight } else { 1.0 };
         let curve: Vec<crate::sigma::SigmaPoint> = grid
             .iter()
             .zip(sums.iter())
             .map(|(&sigma, &s)| crate::sigma::SigmaPoint {
                 sigma,
-                variance: s / used as f64,
+                variance: s / total_weight,
             })
             .collect();
         let best = curve

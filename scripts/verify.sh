@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for the Zerber+R workspace.
+#
+# Mirrors .github/workflows/ci.yml so the same checks run locally and in
+# CI: release build, full test suite, bench compilation, and clippy with
+# warnings denied.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo bench --no-run"
+cargo bench --no-run
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

@@ -43,7 +43,7 @@ fn trs_distributions_are_far_more_uniform_than_raw_scores() {
             continue;
         }
         let raw: Vec<f64> = stats.relevance_scores();
-        let trs = trs_values(&bed, term);
+        let trs = trs_values(bed, term);
         let raw_var = uniformity_variance(&raw);
         let trs_var = uniformity_variance(&trs);
         tested += 1;
@@ -76,8 +76,8 @@ fn trs_distributions_of_different_terms_are_mutually_indistinguishable() {
     let mut max_raw_distance: f64 = 0.0;
     for i in 0..frequent.len() {
         for j in (i + 1)..frequent.len() {
-            let a_trs = trs_values(&bed, frequent[i]);
-            let b_trs = trs_values(&bed, frequent[j]);
+            let a_trs = trs_values(bed, frequent[i]);
+            let b_trs = trs_values(bed, frequent[j]);
             let a_raw = bed.stats.term(frequent[i]).unwrap().relevance_scores();
             let b_raw = bed.stats.term(frequent[j]).unwrap().relevance_scores();
             max_trs_distance =
@@ -109,7 +109,7 @@ fn fingerprinting_accuracy_collapses_from_raw_to_trs() {
         .collect();
     let trs: HashMap<TermId, Vec<f64>> = raw
         .keys()
-        .map(|&t| (t, trs_values(&bed, t)))
+        .map(|&t| (t, trs_values(bed, t)))
         .collect();
     let raw_report = identification_experiment(&background, &raw, 4, min_df as usize, 11);
     let trs_report = identification_experiment(&background, &trs, 4, min_df as usize, 11);
