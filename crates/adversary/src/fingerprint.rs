@@ -172,8 +172,8 @@ pub fn identification_experiment(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use zerber_corpus::{CorpusGenerator, CustomProfile, DatasetProfile, SynthConfig};
     use zerber_corpus::{sample_split, SplitConfig};
+    use zerber_corpus::{CorpusGenerator, CustomProfile, DatasetProfile, SynthConfig};
     use zerber_r::{RstfConfig, RstfModel};
 
     fn stats() -> (zerber_corpus::Corpus, CorpusStats) {

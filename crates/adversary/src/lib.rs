@@ -61,7 +61,9 @@ mod tests {
 
     #[test]
     fn error_display_and_conversion() {
-        assert!(AdversaryError::InvalidParameter("k".into()).to_string().contains('k'));
+        assert!(AdversaryError::InvalidParameter("k".into())
+            .to_string()
+            .contains('k'));
         let e: AdversaryError = zerber_r::ZerberRError::UnknownList(3).into();
         assert!(matches!(e, AdversaryError::Core(_)));
     }

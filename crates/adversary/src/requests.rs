@@ -61,7 +61,9 @@ pub fn request_counting_attack(
     max_lists: usize,
 ) -> Result<RequestCountingReport, AdversaryError> {
     if k == 0 {
-        return Err(AdversaryError::InvalidParameter("k must be greater than 0".into()));
+        return Err(AdversaryError::InvalidParameter(
+            "k must be greater than 0".into(),
+        ));
     }
     let config = RetrievalConfig::for_k(k);
     let mut lists_tested = 0usize;
@@ -204,7 +206,8 @@ mod tests {
     #[test]
     fn report_fields_are_consistent() {
         let s = setup();
-        let report = request_counting_attack(&s.bfm_index, &s.stats, &s.memberships, 5, 20).unwrap();
+        let report =
+            request_counting_attack(&s.bfm_index, &s.stats, &s.memberships, 5, 20).unwrap();
         assert!(report.distinguishable_lists <= report.lists_tested);
         assert!(report.mean_requests >= 1.0);
         assert!(report.mean_request_spread >= 0.0);

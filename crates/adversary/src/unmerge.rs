@@ -103,7 +103,11 @@ impl UnmergeReport {
     pub fn amplification(&self) -> f64 {
         let prior = self.prior_accuracy();
         if prior == 0.0 {
-            return if self.accuracy() > 0.0 { f64::INFINITY } else { 1.0 };
+            return if self.accuracy() > 0.0 {
+                f64::INFINITY
+            } else {
+                1.0
+            };
         }
         self.accuracy() / prior
     }
@@ -210,11 +214,14 @@ mod tests {
                 truth: frequent,
                 visible_score: visible,
             });
-            background.entry(frequent).or_default().push(if transform_to_uniform {
-                rng.gen()
-            } else {
-                draw_frequent(&mut rng)
-            });
+            background
+                .entry(frequent)
+                .or_default()
+                .push(if transform_to_uniform {
+                    rng.gen()
+                } else {
+                    draw_frequent(&mut rng)
+                });
         }
         for _ in 0..100 {
             let raw = draw_rare(&mut rng);
@@ -223,11 +230,14 @@ mod tests {
                 truth: rare,
                 visible_score: visible,
             });
-            background.entry(rare).or_default().push(if transform_to_uniform {
-                rng.gen()
-            } else {
-                draw_rare(&mut rng)
-            });
+            background
+                .entry(rare)
+                .or_default()
+                .push(if transform_to_uniform {
+                    rng.gen()
+                } else {
+                    draw_rare(&mut rng)
+                });
         }
         let priors: HashMap<TermId, f64> = [(frequent, 0.9), (rare, 0.1)].into();
         (observed, background, priors)

@@ -28,7 +28,11 @@ fn bench_hmac_and_chacha(c: &mut Criterion) {
     });
     let cipher = ChaCha20::new(&[7u8; 32]).unwrap();
     group.bench_function("chacha20_1KiB", |b| {
-        b.iter(|| cipher.encrypt(&[1u8; 12], 0, std::hint::black_box(&data)).unwrap())
+        b.iter(|| {
+            cipher
+                .encrypt(&[1u8; 12], 0, std::hint::black_box(&data))
+                .unwrap()
+        })
     });
     group.finish();
 }

@@ -33,7 +33,11 @@ fn bench_topk_paths(c: &mut Criterion) {
     let mut group = c.benchmark_group("top10_single_term");
     group.sample_size(30);
     group.bench_function("plaintext_inverted_index", |b| {
-        b.iter(|| bed.plain_index.query_term(std::hint::black_box(term), 10).unwrap())
+        b.iter(|| {
+            bed.plain_index
+                .query_term(std::hint::black_box(term), 10)
+                .unwrap()
+        })
     });
     group.bench_function("zerber_r_server_side", |b| {
         b.iter(|| {

@@ -1,0 +1,139 @@
+//! Serving-engine throughput: queries/sec sustained by the sharded store
+//! versus the single-global-mutex baseline at 1, 2, 4 and 8 client threads.
+//!
+//! Besides the criterion timings, the bench writes a machine-readable
+//! `BENCH_server_throughput.json` to the repository root with the measured
+//! queries/sec per (engine, thread-count) point and the sharded-over-mutex
+//! speedup per thread count.  On a multi-core machine the sharded engine
+//! should reach >= 2x the mutex baseline at 4+ threads; on a single
+//! hardware thread the two degenerate to the same serial throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zerber_corpus::DatasetProfile;
+use zerber_protocol::{drive_raw_queries, IndexServer, LoadConfig};
+use zerber_workload::{throughput_speedup, TestBed, TestBedConfig, ThroughputPoint};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const TOTAL_QUERIES: usize = 240;
+const SHARDS: usize = 8;
+const USERS: usize = 8;
+
+fn bed() -> TestBed {
+    TestBed::build(TestBedConfig {
+        scale: 0.02,
+        ..TestBedConfig::small(DatasetProfile::StudIp)
+    })
+    .expect("test bed builds")
+}
+
+fn load(threads: usize) -> LoadConfig {
+    LoadConfig {
+        threads,
+        queries_per_thread: TOTAL_QUERIES / threads,
+        k: 10,
+    }
+}
+
+fn busiest_lists(server: &IndexServer, n: usize) -> Vec<u64> {
+    let mut lists: Vec<u64> = (0..server.num_lists() as u64).collect();
+    lists.sort_by_key(|&l| {
+        std::cmp::Reverse(
+            server
+                .store()
+                .list_len(zerber_base::MergedListId(l))
+                .unwrap_or(0),
+        )
+    });
+    lists.truncate(n);
+    lists
+}
+
+fn measure(server: &IndexServer, users: &[String], lists: &[u64], threads: usize) -> f64 {
+    let report =
+        drive_raw_queries(server, users, lists, &load(threads)).expect("load run succeeds");
+    report.queries_per_second
+}
+
+fn bench_server_throughput(c: &mut Criterion) {
+    let bed = bed();
+    let users = TestBed::server_users(USERS);
+    let sharded = bed.build_server(SHARDS, USERS);
+    let single = bed.build_single_mutex_server(USERS);
+    let lists = busiest_lists(&sharded, 16);
+
+    let mut group = c.benchmark_group("server_throughput");
+    group.sample_size(5);
+    let mut sharded_points = Vec::new();
+    let mut single_points = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("sharded", threads),
+            &threads,
+            |b, &threads| b.iter(|| measure(&sharded, &users, &lists, threads)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("single_mutex", threads),
+            &threads,
+            |b, &threads| b.iter(|| measure(&single, &users, &lists, threads)),
+        );
+        sharded_points.push(ThroughputPoint {
+            shards: SHARDS,
+            threads,
+            queries_per_second: measure(&sharded, &users, &lists, threads),
+        });
+        single_points.push(ThroughputPoint {
+            shards: 0,
+            threads,
+            queries_per_second: measure(&single, &users, &lists, threads),
+        });
+    }
+    group.finish();
+
+    let speedup = throughput_speedup(&sharded_points, &single_points);
+    write_report(&sharded_points, &single_points, &speedup);
+}
+
+fn json_points(points: &[ThroughputPoint], engine: &str) -> String {
+    points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"engine\":\"{engine}\",\"shards\":{},\"threads\":{},\"queries_per_second\":{:.1}}}",
+                p.shards, p.threads, p.queries_per_second
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn write_report(sharded: &[ThroughputPoint], single: &[ThroughputPoint], speedup: &[(usize, f64)]) {
+    let speedup_json = speedup
+        .iter()
+        .map(|(threads, s)| format!("{{\"threads\":{threads},\"speedup\":{s:.3}}}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let json = format!(
+        "{{\n  \"bench\": \"server_throughput\",\n  \"total_queries_per_run\": {},\n  \
+         \"hardware_threads\": {},\n  \"points\": [{},{}],\n  \
+         \"speedup_sharded_vs_single_mutex\": [{}]\n}}\n",
+        TOTAL_QUERIES,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        json_points(sharded, "sharded"),
+        json_points(single, "single_mutex"),
+        speedup_json,
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_server_throughput.json"
+    );
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, bench_server_throughput);
+criterion_main!(benches);

@@ -32,7 +32,9 @@ fn main() {
     }
     print_table(
         "density curve (accumulated + per-training-value bells)",
-        &["score x", "sum f(x)", "bell_1", "bell_2", "bell_3", "bell_4", "bell_5"],
+        &[
+            "score x", "sum f(x)", "bell_1", "bell_2", "bell_3", "bell_4", "bell_5",
+        ],
         &rows,
     );
     println!(

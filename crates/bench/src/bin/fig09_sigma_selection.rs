@@ -62,14 +62,21 @@ fn main() {
         .collect();
     print_table(
         "control-set TRS variance per candidate sigma",
-        &["sigma", "variance (logistic kernel)", "variance (erf kernel)"],
+        &[
+            "sigma",
+            "variance (logistic kernel)",
+            "variance (erf kernel)",
+        ],
         &rows,
     );
 
     let floor = 1.0 / (6.0 * (control.len() as f64 + 2.0));
     println!(
         "\nselected sigma (logistic) = {:.1} with variance {:.2e}  (erf: {:.1} / {:.2e})",
-        selection.best_sigma, selection.best_variance, erf_selection.best_sigma, erf_selection.best_variance
+        selection.best_sigma,
+        selection.best_variance,
+        erf_selection.best_sigma,
+        erf_selection.best_variance
     );
     println!(
         "uniform-sample variance floor for {} control values: {:.2e}",

@@ -59,7 +59,8 @@ fn main() {
     let paper_total_bytes =
         (terms_per_query * paper_per_term.posting_bytes as f64) + (k * SNIPPET_BYTES) as f64;
     // This implementation's wire format (encrypted elements + headers).
-    let impl_per_element = zerber_base::SEALED_PAYLOAD_BYTES + zerber_protocol::ELEMENT_HEADER_BYTES;
+    let impl_per_element =
+        zerber_base::SEALED_PAYLOAD_BYTES + zerber_protocol::ELEMENT_HEADER_BYTES;
     let impl_per_term = ResponseBreakdown::new(avg_elements.round() as usize, impl_per_element, 0);
     let impl_total_bytes =
         (terms_per_query * impl_per_term.posting_bytes as f64) + (k * SNIPPET_BYTES) as f64;
@@ -75,11 +76,7 @@ fn main() {
             "~700 B (0.7 KB)".into(),
             format!("{} B", paper_per_term.posting_bytes),
         ],
-        vec![
-            "terms per query".into(),
-            "2.4".into(),
-            fmt(terms_per_query),
-        ],
+        vec!["terms per query".into(), "2.4".into(), fmt(terms_per_query)],
         vec![
             "snippet bytes for top-10".into(),
             "2500 B".into(),

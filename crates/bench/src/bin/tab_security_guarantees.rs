@@ -10,7 +10,9 @@
 
 use std::collections::HashMap;
 
-use zerber_adversary::{identification_experiment, request_counting_attack, unmerge_attack, Background, ObservedElement};
+use zerber_adversary::{
+    identification_experiment, request_counting_attack, unmerge_attack, Background, ObservedElement,
+};
 use zerber_bench::{fmt, print_table, HarnessOptions};
 use zerber_corpus::{DatasetProfile, TermId};
 use zerber_r::uniformity_variance;
@@ -40,7 +42,12 @@ fn main() {
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     print_table(
         "TRS uniformity (variance w.r.t. the uniform distribution, terms with df >= 15)",
-        &["score exposed to the server", "mean variance", "max variance", "terms"],
+        &[
+            "score exposed to the server",
+            "mean variance",
+            "max variance",
+            "terms",
+        ],
         &[
             vec![
                 "raw normalized TF".into(),
@@ -121,7 +128,10 @@ fn main() {
     let mut trs_elems = Vec::new();
     for &t in &pair {
         for &(doc, _, rel) in &bed.stats.term(t).unwrap().postings {
-            raw_elems.push(ObservedElement { truth: t, visible_score: rel });
+            raw_elems.push(ObservedElement {
+                truth: t,
+                visible_score: rel,
+            });
             trs_elems.push(ObservedElement {
                 truth: t,
                 visible_score: bed.model.transform(t, doc, rel),
@@ -132,7 +142,13 @@ fn main() {
     let trs_um = unmerge_attack(&trs_elems, &background_scores, &priors);
     print_table(
         "attack 2 — element attribution in a frequent+rare merged list",
-        &["score exposed", "accuracy", "prior baseline", "amplification", "bound r"],
+        &[
+            "score exposed",
+            "accuracy",
+            "prior baseline",
+            "amplification",
+            "bound r",
+        ],
         &[
             vec![
                 "raw normalized TF".into(),
@@ -161,11 +177,18 @@ fn main() {
     .expect("mixed bed");
     let bfm_rc = request_counting_attack(&bed.index, &bed.stats, &bed.all_memberships, 10, 40)
         .expect("attack runs");
-    let mixed_rc = request_counting_attack(&mixed.index, &mixed.stats, &mixed.all_memberships, 10, 40)
-        .expect("attack runs");
+    let mixed_rc =
+        request_counting_attack(&mixed.index, &mixed.stats, &mixed.all_memberships, 10, 40)
+            .expect("attack runs");
     print_table(
         "attack 3 — identifying the rare merged term from follow-up request counts (k = b = 10)",
-        &["merging scheme", "rare term identified", "mean request spread", "mean requests", "lists"],
+        &[
+            "merging scheme",
+            "rare term identified",
+            "mean request spread",
+            "mean requests",
+            "lists",
+        ],
         &[
             vec![
                 "BFM (paper)".into(),

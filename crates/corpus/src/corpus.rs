@@ -252,8 +252,12 @@ mod tests {
             "imclone and imclone synthesis and",
         ))
         .unwrap();
-        b.add_document(Document::new("2.doc", GroupId(1), "and and and and process"))
-            .unwrap();
+        b.add_document(Document::new(
+            "2.doc",
+            GroupId(1),
+            "and and and and process",
+        ))
+        .unwrap();
         b.add_document(Document::new("3.txt", GroupId(0), "management synthesis"))
             .unwrap();
         b.build()
@@ -265,9 +269,7 @@ mod tests {
         let a = b
             .add_document(Document::new("a", GroupId(0), "x y"))
             .unwrap();
-        let c = b
-            .add_document(Document::new("b", GroupId(0), "z"))
-            .unwrap();
+        let c = b.add_document(Document::new("b", GroupId(0), "z")).unwrap();
         assert_eq!(a, DocId(0));
         assert_eq!(c, DocId(1));
     }
@@ -276,7 +278,9 @@ mod tests {
     fn duplicate_names_are_rejected() {
         let mut b = CorpusBuilder::new();
         b.add_document(Document::new("a", GroupId(0), "x")).unwrap();
-        let err = b.add_document(Document::new("a", GroupId(0), "y")).unwrap_err();
+        let err = b
+            .add_document(Document::new("a", GroupId(0), "y"))
+            .unwrap_err();
         assert_eq!(err, CorpusError::DuplicateDocument("a".into()));
     }
 
@@ -318,7 +322,10 @@ mod tests {
     #[test]
     fn unknown_document_lookup_fails() {
         let c = small_corpus();
-        assert!(matches!(c.doc(DocId(99)), Err(CorpusError::UnknownDocument(99))));
+        assert!(matches!(
+            c.doc(DocId(99)),
+            Err(CorpusError::UnknownDocument(99))
+        ));
     }
 
     #[test]

@@ -50,7 +50,9 @@ mod tests {
         assert!(CorpusError::DuplicateDocument("a.txt".into())
             .to_string()
             .contains("a.txt"));
-        assert!(CorpusError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        assert!(CorpusError::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
         assert!(CorpusError::EmptyDocument("e.txt".into())
             .to_string()
             .contains("e.txt"));

@@ -67,7 +67,10 @@ impl TrainControlSplit {
 /// documents, of which `round(control_fraction * sample)` form the control
 /// set.  With fewer than three documents the whole corpus becomes training
 /// data so that callers always have something to fit an RSTF on.
-pub fn sample_split(corpus: &Corpus, config: SplitConfig) -> Result<TrainControlSplit, CorpusError> {
+pub fn sample_split(
+    corpus: &Corpus,
+    config: SplitConfig,
+) -> Result<TrainControlSplit, CorpusError> {
     if !(0.0..=1.0).contains(&config.sample_fraction) {
         return Err(CorpusError::InvalidConfig(format!(
             "sample_fraction must be in [0,1], got {}",

@@ -164,7 +164,8 @@ impl SynthConfig {
         let scale = self.scale;
         Ok(CustomProfile {
             num_docs: ((base.num_docs as f64 * scale).round() as usize).max(4),
-            num_groups: ((base.num_groups as f64 * scale).round() as usize).clamp(1, base.num_groups.max(1)),
+            num_groups: ((base.num_groups as f64 * scale).round() as usize)
+                .clamp(1, base.num_groups.max(1)),
             vocab_size: ((base.vocab_size as f64 * scale).round() as usize).max(50),
             ..base
         })
@@ -372,7 +373,11 @@ mod tests {
                         .iter()
                         .map(|&(d, _, _)| corpus.doc(d).unwrap().group)
                         .collect();
-                    assert_eq!(groups.len(), 1, "topic term {name} appears in multiple groups");
+                    assert_eq!(
+                        groups.len(),
+                        1,
+                        "topic term {name} appears in multiple groups"
+                    );
                     checked += 1;
                     if checked > 20 {
                         break;

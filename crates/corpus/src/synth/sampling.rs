@@ -46,7 +46,11 @@ pub fn doc_length<R: Rng + ?Sized>(
 ) -> u32 {
     let raw = log_normal_by_median(rng, median, sigma);
     let len = raw.round();
-    let len = if len.is_finite() { len } else { f64::from(max_len) };
+    let len = if len.is_finite() {
+        len
+    } else {
+        f64::from(max_len)
+    };
     (len as i64).clamp(i64::from(min_len), i64::from(max_len)) as u32
 }
 

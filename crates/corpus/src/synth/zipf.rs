@@ -24,7 +24,10 @@ impl ZipfSampler {
     /// Panics if `n == 0` or `s` is negative or not finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "ZipfSampler requires at least one rank");
-        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "Zipf exponent must be finite and non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0f64;
         for i in 1..=n {

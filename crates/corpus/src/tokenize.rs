@@ -41,9 +41,8 @@ impl Default for TokenizeConfig {
 pub const DEFAULT_STOPWORDS: &[&str] = &[
     // English
     "the", "a", "an", "and", "or", "of", "to", "in", "is", "are", "was", "were", "it", "this",
-    "that", "for", "on", "with", "as", "by", "at", "be", "from", "not", "but", "we", "you",
-    "they", "he", "she", "his", "her", "its", "our", "their",
-    // German
+    "that", "for", "on", "with", "as", "by", "at", "be", "from", "not", "but", "we", "you", "they",
+    "he", "she", "his", "her", "its", "our", "their", // German
     "der", "die", "das", "und", "oder", "nicht", "ein", "eine", "ist", "sind", "war", "waren",
     "zu", "in", "im", "auf", "mit", "von", "fuer", "für", "als", "bei", "aus", "dass", "wir",
     "sie", "er", "es", "ich", "du",
@@ -171,8 +170,12 @@ mod tests {
             extra_stopwords: vec!["Betreff".into()],
             ..TokenizeConfig::default()
         });
-        assert!(t.tokenize("Betreff: Projektplan").contains(&"projektplan".to_string()));
-        assert!(!t.tokenize("Betreff: Projektplan").contains(&"betreff".to_string()));
+        assert!(t
+            .tokenize("Betreff: Projektplan")
+            .contains(&"projektplan".to_string()));
+        assert!(!t
+            .tokenize("Betreff: Projektplan")
+            .contains(&"betreff".to_string()));
     }
 
     #[test]

@@ -93,7 +93,9 @@ mod tests {
     #[test]
     fn roundtrip_restores_plaintext() {
         let k = key();
-        let sealed = k.seal(&[1u8; 12], b"term=imclone doc=7 score=0.4", b"list-3").unwrap();
+        let sealed = k
+            .seal(&[1u8; 12], b"term=imclone doc=7 score=0.4", b"list-3")
+            .unwrap();
         let opened = k.open(&sealed, b"list-3").unwrap();
         assert_eq!(opened, b"term=imclone doc=7 score=0.4");
         assert_eq!(sealed.len(), 28 + OVERHEAD);
@@ -105,7 +107,10 @@ mod tests {
         let mut sealed = k.seal(&[2u8; 12], b"secret", b"").unwrap();
         let mid = sealed.len() / 2;
         sealed[mid] ^= 0x01;
-        assert_eq!(k.open(&sealed, b"").unwrap_err(), CryptoError::AuthenticationFailed);
+        assert_eq!(
+            k.open(&sealed, b"").unwrap_err(),
+            CryptoError::AuthenticationFailed
+        );
     }
 
     #[test]
@@ -114,7 +119,10 @@ mod tests {
         let mut sealed = k.seal(&[3u8; 12], b"secret", b"").unwrap();
         let last = sealed.len() - 1;
         sealed[last] ^= 0x80;
-        assert_eq!(k.open(&sealed, b"").unwrap_err(), CryptoError::AuthenticationFailed);
+        assert_eq!(
+            k.open(&sealed, b"").unwrap_err(),
+            CryptoError::AuthenticationFailed
+        );
     }
 
     #[test]
@@ -135,7 +143,10 @@ mod tests {
     #[test]
     fn truncated_input_is_rejected() {
         let k = key();
-        assert_eq!(k.open(&[0u8; 10], b"").unwrap_err(), CryptoError::CiphertextTooShort);
+        assert_eq!(
+            k.open(&[0u8; 10], b"").unwrap_err(),
+            CryptoError::CiphertextTooShort
+        );
         let sealed = k.seal(&[6u8; 12], b"", b"").unwrap();
         // Empty plaintext still produces a full-sized sealed box.
         assert_eq!(sealed.len(), OVERHEAD);

@@ -190,12 +190,18 @@ only one tip for the future, sunscreen would be it.";
     fn wrong_key_or_nonce_length_is_rejected() {
         assert!(matches!(
             ChaCha20::new(&[0u8; 16]),
-            Err(CryptoError::InvalidKeyLength { expected: 32, got: 16 })
+            Err(CryptoError::InvalidKeyLength {
+                expected: 32,
+                got: 16
+            })
         ));
         let cipher = ChaCha20::new(&[0u8; 32]).unwrap();
         assert!(matches!(
             cipher.block(0, &[0u8; 8]),
-            Err(CryptoError::InvalidNonceLength { expected: 12, got: 8 })
+            Err(CryptoError::InvalidNonceLength {
+                expected: 12,
+                got: 8
+            })
         ));
     }
 

@@ -24,10 +24,16 @@ impl fmt::Display for CryptoError {
             CryptoError::AuthenticationFailed => write!(f, "authentication tag mismatch"),
             CryptoError::CiphertextTooShort => write!(f, "ciphertext too short"),
             CryptoError::InvalidKeyLength { expected, got } => {
-                write!(f, "invalid key length: expected {expected} bytes, got {got}")
+                write!(
+                    f,
+                    "invalid key length: expected {expected} bytes, got {got}"
+                )
             }
             CryptoError::InvalidNonceLength { expected, got } => {
-                write!(f, "invalid nonce length: expected {expected} bytes, got {got}")
+                write!(
+                    f,
+                    "invalid nonce length: expected {expected} bytes, got {got}"
+                )
             }
             CryptoError::OutputTooLong => write!(f, "requested HKDF output is too long"),
         }
@@ -42,8 +48,13 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(CryptoError::AuthenticationFailed.to_string().contains("tag"));
-        let e = CryptoError::InvalidKeyLength { expected: 32, got: 16 };
+        assert!(CryptoError::AuthenticationFailed
+            .to_string()
+            .contains("tag"));
+        let e = CryptoError::InvalidKeyLength {
+            expected: 32,
+            got: 16,
+        };
         assert!(e.to_string().contains("32"));
         assert!(e.to_string().contains("16"));
         assert!(CryptoError::OutputTooLong.to_string().contains("HKDF"));

@@ -128,7 +128,10 @@ mod tests {
         let sealed_a = g0a.aead().seal(&[0u8; 12], b"x", b"").unwrap();
         let sealed_b = g0b.aead().seal(&[0u8; 12], b"x", b"").unwrap();
         assert_eq!(sealed_a, sealed_b, "same group, same keys");
-        assert!(g1.aead().open(&sealed_a, b"").is_err(), "other group cannot decrypt");
+        assert!(
+            g1.aead().open(&sealed_a, b"").is_err(),
+            "other group cannot decrypt"
+        );
         assert_eq!(g0a.group(), 0);
         assert_eq!(g1.group(), 1);
     }
@@ -154,8 +157,14 @@ mod tests {
         let a = MasterKey::from_passphrase("pcc advisory board", b"salt-1");
         let b = MasterKey::from_passphrase("pcc advisory board", b"salt-1");
         let c = MasterKey::from_passphrase("pcc advisory board", b"salt-2");
-        assert_eq!(a.group_keys(0).term_token("x"), b.group_keys(0).term_token("x"));
-        assert_ne!(a.group_keys(0).term_token("x"), c.group_keys(0).term_token("x"));
+        assert_eq!(
+            a.group_keys(0).term_token("x"),
+            b.group_keys(0).term_token("x")
+        );
+        assert_ne!(
+            a.group_keys(0).term_token("x"),
+            c.group_keys(0).term_token("x")
+        );
     }
 
     #[test]

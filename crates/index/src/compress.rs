@@ -188,7 +188,11 @@ mod tests {
     #[test]
     fn delta_encoding_shrinks_dense_doc_ids() {
         let dense = list(&(0..1000u32).map(|d| (d, 1, 0.5)).collect::<Vec<_>>());
-        let sparse = list(&(0..1000u32).map(|d| (d * 50_000, 1, 0.5)).collect::<Vec<_>>());
+        let sparse = list(
+            &(0..1000u32)
+                .map(|d| (d * 50_000, 1, 0.5))
+                .collect::<Vec<_>>(),
+        );
         let dense_bytes = encode_posting_list(&dense).len();
         let sparse_bytes = encode_posting_list(&sparse).len();
         assert!(
@@ -230,5 +234,84 @@ mod tests {
         let mut buf = Vec::new();
         write_varint(&mut buf, 1u64 << 62);
         assert!(decode_posting_list(&buf).is_err());
+    }
+}
+
+#[cfg(test)]
+mod fuzz {
+    //! Property-based round-trip and corrupt-input tests: the decoder faces
+    //! untrusted bytes, so it must reject every truncation and never panic on
+    //! arbitrary input.
+
+    use proptest::prelude::*;
+
+    use super::*;
+
+    fn arbitrary_list(items: Vec<(u32, u32, f64)>) -> PostingList {
+        let mut seen = std::collections::HashSet::new();
+        PostingList::from_postings(
+            items
+                .into_iter()
+                .filter(|(d, _, _)| seen.insert(*d))
+                .map(|(d, tf, s)| Posting::new(DocId(d), tf, s))
+                .collect(),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn roundtrip_is_order_exact(
+            items in proptest::collection::vec((any::<u32>(), 1u32..5_000, 0.0f64..1.0), 0..120)
+        ) {
+            let list = arbitrary_list(items);
+            let decoded = decode_posting_list(&encode_posting_list(&list)).unwrap();
+            prop_assert_eq!(decoded.len(), list.len());
+            for (a, b) in list.iter().zip(decoded.iter()) {
+                // Order-exact: the decoded sequence reproduces the original
+                // element for element, even across quantization ties.
+                prop_assert_eq!(a.doc, b.doc);
+                prop_assert_eq!(a.tf, b.tf);
+                prop_assert!((a.score - b.score).abs() < 2.0 / 1_000_000.0);
+            }
+        }
+
+        #[test]
+        fn every_truncation_is_rejected(
+            items in proptest::collection::vec((any::<u32>(), 1u32..5_000, 0.0f64..1.0), 1..40),
+            cut in any::<usize>()
+        ) {
+            let buf = encode_posting_list(&arbitrary_list(items));
+            let cut = cut % buf.len();
+            // A strict prefix (including the empty one: a truncated header)
+            // must decode to an error, never to a shorter list or a panic.
+            prop_assert!(decode_posting_list(&buf[..cut]).is_err());
+        }
+
+        #[test]
+        fn arbitrary_bytes_never_panic_the_decoder(
+            bytes in proptest::collection::vec(any::<u8>(), 0..512)
+        ) {
+            if let Ok(list) = decode_posting_list(&bytes) {
+                // If arbitrary bytes happen to decode, the claimed element
+                // count was backed by real bytes (>= 3 per posting), so a
+                // corrupt header can never fabricate a huge list.
+                prop_assert!(list.len() <= bytes.len() / 3);
+            }
+        }
+
+        #[test]
+        fn bit_flips_never_panic_the_decoder(
+            items in proptest::collection::vec((any::<u32>(), 1u32..5_000, 0.0f64..1.0), 1..40),
+            flip in any::<(usize, u8)>()
+        ) {
+            let mut buf = encode_posting_list(&arbitrary_list(items));
+            let pos = flip.0 % buf.len();
+            buf[pos] ^= flip.1 | 1;
+            // Either a clean error or a differently-valued list; just must
+            // not panic or loop.
+            let _ = decode_posting_list(&buf);
+        }
     }
 }

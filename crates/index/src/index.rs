@@ -7,7 +7,7 @@
 //! point used throughout Section 6 (storage overhead, bandwidth, response
 //! sizes).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use zerber_corpus::{Corpus, CorpusStats, DocId, TermId};
 
@@ -18,9 +18,15 @@ use crate::size::IndexSizeReport;
 use crate::topk::{ScoredDoc, TopK};
 
 /// An immutable-by-default, updatable inverted index.
+///
+/// Posting lists are kept in a `BTreeMap` so every iteration — size reports,
+/// [`InvertedIndex::lists`], storage-overhead tables — visits terms in
+/// ascending `TermId` order and the reported output is identical across runs
+/// (a `HashMap` here leaked its random iteration order into the harness
+/// output).
 #[derive(Debug, Clone, Default)]
 pub struct InvertedIndex {
-    lists: HashMap<TermId, PostingList>,
+    lists: BTreeMap<TermId, PostingList>,
     doc_lengths: HashMap<DocId, u32>,
 }
 
@@ -78,7 +84,7 @@ impl InvertedIndex {
         self.lists.get(&term)
     }
 
-    /// Iterates over `(TermId, &PostingList)` pairs in unspecified order.
+    /// Iterates over `(TermId, &PostingList)` pairs in ascending term order.
     pub fn lists(&self) -> impl Iterator<Item = (TermId, &PostingList)> {
         self.lists.iter().map(|(&t, l)| (t, l))
     }
@@ -142,7 +148,9 @@ impl InvertedIndex {
         if terms.is_empty() {
             return Err(IndexError::InvalidQuery("empty query".into()));
         }
-        let mut acc: HashMap<DocId, f64> = HashMap::new();
+        // Accumulate in doc-id order: pushing ties into the top-k heap in
+        // HashMap order made equal-score results flip between runs.
+        let mut acc: BTreeMap<DocId, f64> = BTreeMap::new();
         for &term in terms {
             if let Some(list) = self.lists.get(&term) {
                 for p in list.iter() {
@@ -177,12 +185,24 @@ mod tests {
     fn corpus() -> Corpus {
         let mut b = CorpusBuilder::new();
         // Mirrors the example of Figures 1-3: "and" is frequent, "imclone" rare.
-        b.add_document(Document::new("1.txt", GroupId(0), "imclone and imclone and no"))
-            .unwrap();
-        b.add_document(Document::new("2.doc", GroupId(0), "and and and and process"))
-            .unwrap();
-        b.add_document(Document::new("3.txt", GroupId(1), "process imclone process"))
-            .unwrap();
+        b.add_document(Document::new(
+            "1.txt",
+            GroupId(0),
+            "imclone and imclone and no",
+        ))
+        .unwrap();
+        b.add_document(Document::new(
+            "2.doc",
+            GroupId(0),
+            "and and and and process",
+        ))
+        .unwrap();
+        b.add_document(Document::new(
+            "3.txt",
+            GroupId(1),
+            "process imclone process",
+        ))
+        .unwrap();
         b.build()
     }
 
@@ -272,6 +292,22 @@ mod tests {
         idx.remove_document(DocId(0));
         assert_eq!(idx.doc_freq(no), 0);
         assert!(idx.posting_list(no).is_none());
+    }
+
+    #[test]
+    fn lists_iterate_in_ascending_term_order() {
+        let c = corpus();
+        let idx = InvertedIndex::build(&c);
+        let order: Vec<TermId> = idx.lists().map(|(t, _)| t).collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(
+            order, sorted,
+            "size reports must visit terms in a fixed order"
+        );
+        // Rebuilding yields the identical traversal (no hash-order leakage).
+        let again: Vec<TermId> = InvertedIndex::build(&c).lists().map(|(t, _)| t).collect();
+        assert_eq!(order, again);
     }
 
     #[test]

@@ -91,9 +91,9 @@ impl PostingList {
     /// collaborative scenario (Section 5 of the paper) where single posting
     /// elements arrive as documents are added.
     pub fn insert(&mut self, p: Posting) {
-        let pos = self
-            .postings
-            .partition_point(|q| (q.score, std::cmp::Reverse(q.doc)) > (p.score, std::cmp::Reverse(p.doc)));
+        let pos = self.postings.partition_point(|q| {
+            (q.score, std::cmp::Reverse(q.doc)) > (p.score, std::cmp::Reverse(p.doc))
+        });
         self.postings.insert(pos, p);
     }
 

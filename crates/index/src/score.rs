@@ -112,10 +112,16 @@ mod tests {
 
     fn stats() -> (zerber_corpus::Corpus, CorpusStats) {
         let mut b = CorpusBuilder::new();
-        b.add_document(Document::new("1", GroupId(0), "and imclone and and compound"))
+        b.add_document(Document::new(
+            "1",
+            GroupId(0),
+            "and imclone and and compound",
+        ))
+        .unwrap();
+        b.add_document(Document::new("2", GroupId(0), "and process"))
             .unwrap();
-        b.add_document(Document::new("2", GroupId(0), "and process")).unwrap();
-        b.add_document(Document::new("3", GroupId(0), "compound process")).unwrap();
+        b.add_document(Document::new("3", GroupId(0), "compound process"))
+            .unwrap();
         let c = b.build();
         let s = CorpusStats::compute(&c);
         (c, s)

@@ -41,7 +41,10 @@ impl AccessControl {
 
     /// Adds a user to an additional group.
     pub fn grant(&mut self, user: &str, group: GroupId) {
-        self.memberships.entry(user.to_string()).or_default().insert(group);
+        self.memberships
+            .entry(user.to_string())
+            .or_default()
+            .insert(group);
     }
 
     /// Removes a user from a group.

@@ -4,8 +4,11 @@
 //! merge plan (term → merged list) and the published RSTF model.  For a
 //! query she addresses the merged list of her term, asks for the top-`b`
 //! elements, decrypts and filters locally, and sends doubling follow-up
-//! requests until she has `k` results (Section 5.2).  All exchanged bytes are
-//! accounted so the harness can reproduce the bandwidth figures.
+//! requests until she has `k` results (Section 5.2).  Follow-ups resume the
+//! server-side cursor session opened by the initial request; multi-term
+//! queries send their initial round as one batch so the server visits each
+//! shard once.  All exchanged bytes are accounted so the harness can
+//! reproduce the bandwidth figures.
 
 use std::collections::HashMap;
 
@@ -16,7 +19,7 @@ use zerber_r::{GrowthPolicy, RetrievalConfig, RstfModel};
 
 use crate::acl::AuthToken;
 use crate::error::ProtocolError;
-use crate::message::QueryRequest;
+use crate::message::{QueryRequest, QueryResponse};
 use crate::server::{IndexServer, InsertRequest};
 
 /// Byte/traffic outcome of one client-side query.
@@ -49,6 +52,140 @@ impl ClientQueryOutcome {
     }
 }
 
+/// Client-side progress of one single-term retrieval: what has been received,
+/// decrypted and accounted so far, plus the cursor session to resume.
+#[derive(Debug)]
+struct TermRun {
+    term: TermId,
+    list: u64,
+    config: RetrievalConfig,
+    results: Vec<(DocId, f64)>,
+    offset: u64,
+    cursor: u64,
+    requests: usize,
+    elements_received: usize,
+    bytes_sent: usize,
+    bytes_received: usize,
+    visible_total: u64,
+    done: bool,
+}
+
+impl TermRun {
+    fn new(
+        plan: &MergePlan,
+        term: TermId,
+        config: &RetrievalConfig,
+    ) -> Result<Self, ProtocolError> {
+        if config.k == 0 || config.initial_response == 0 {
+            return Err(ProtocolError::InvalidRequest(
+                "k and b must be greater than 0".into(),
+            ));
+        }
+        let list = plan
+            .list_of(term)
+            .map_err(|e| ProtocolError::InvalidRequest(e.to_string()))?;
+        Ok(TermRun {
+            term,
+            list: list.0,
+            config: *config,
+            results: Vec::with_capacity(config.k),
+            offset: 0,
+            cursor: 0,
+            requests: 0,
+            elements_received: 0,
+            bytes_sent: 0,
+            bytes_received: 0,
+            visible_total: u64::MAX,
+            done: false,
+        })
+    }
+
+    fn finished(&self) -> bool {
+        self.done || self.results.len() >= self.config.k || self.offset >= self.visible_total
+    }
+
+    fn next_request(&self, user: &str) -> QueryRequest {
+        let count = match self.config.growth {
+            GrowthPolicy::Doubling => self.config.initial_response << self.requests.min(30),
+            GrowthPolicy::Constant => self.config.initial_response,
+        } as u32;
+        QueryRequest {
+            user: user.to_string(),
+            list: self.list,
+            offset: self.offset,
+            cursor: self.cursor,
+            count,
+            k: self.config.k as u32,
+        }
+    }
+
+    /// Accounts one request/response exchange and decrypts the batch.
+    fn absorb(
+        &mut self,
+        request: &QueryRequest,
+        response: &QueryResponse,
+        keys: &HashMap<GroupId, GroupKeys>,
+    ) -> Result<(), ProtocolError> {
+        let list = zerber_base::MergedListId(self.list);
+        self.bytes_sent += request.encoded_bytes();
+        self.bytes_received += response.encoded_bytes();
+        self.requests += 1;
+        self.elements_received += response.elements.len();
+        self.visible_total = response.visible_total;
+        self.cursor = response.cursor;
+        for wire in &response.elements {
+            let Some(keys) = keys.get(&wire.group) else {
+                // The server should not have sent this; skip defensively.
+                continue;
+            };
+            let sealed = EncryptedElement {
+                group: wire.group,
+                ciphertext: wire.ciphertext.clone(),
+            };
+            let payload = sealed
+                .open(keys, list)
+                .map_err(|e| ProtocolError::Core(e.to_string()))?;
+            if payload.term == self.term {
+                self.results.push((payload.doc, payload.relevance()));
+                if self.results.len() == self.config.k {
+                    break;
+                }
+            }
+        }
+        self.offset += response.elements.len() as u64;
+        if response.elements.is_empty() {
+            self.done = true;
+        }
+        Ok(())
+    }
+
+    /// Releases the server-side session if the run stopped before the list
+    /// was exhausted.
+    fn release(&mut self, server: &IndexServer, user: &str) {
+        if self.cursor != 0 {
+            server.close_cursor(self.cursor, user);
+            self.cursor = 0;
+        }
+    }
+
+    fn finish(mut self) -> ClientQueryOutcome {
+        self.results.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        let satisfied = self.results.len() >= self.config.k;
+        ClientQueryOutcome {
+            results: self.results,
+            requests: self.requests,
+            elements_received: self.elements_received,
+            bytes_sent: self.bytes_sent,
+            bytes_received: self.bytes_received,
+            satisfied,
+        }
+    }
+}
+
 /// A collaboration-group member interacting with the index server.
 #[derive(Debug)]
 pub struct Client {
@@ -60,7 +197,11 @@ pub struct Client {
 
 impl Client {
     /// Creates a client for `user` holding keys for `keys` groups.
-    pub fn new(user: impl Into<String>, token: AuthToken, keys: HashMap<GroupId, GroupKeys>) -> Self {
+    pub fn new(
+        user: impl Into<String>,
+        token: AuthToken,
+        keys: HashMap<GroupId, GroupKeys>,
+    ) -> Self {
         Client {
             user: user.into(),
             token,
@@ -81,6 +222,22 @@ impl Client {
         g
     }
 
+    /// Drives one term run to completion with individual requests.  The
+    /// server-side session is released on every exit path — a failed
+    /// follow-up must not leak an open cursor.
+    fn drive(&self, server: &IndexServer, run: &mut TermRun) -> Result<(), ProtocolError> {
+        let result = (|| {
+            while !run.finished() {
+                let request = run.next_request(&self.user);
+                let response = server.handle_query(&request, &self.token)?;
+                run.absorb(&request, &response, &self.keys)?;
+            }
+            Ok(())
+        })();
+        run.release(server, &self.user);
+        result
+    }
+
     /// Executes a single-term top-k query against `server`.
     pub fn query(
         &self,
@@ -89,82 +246,15 @@ impl Client {
         term: TermId,
         config: &RetrievalConfig,
     ) -> Result<ClientQueryOutcome, ProtocolError> {
-        if config.k == 0 || config.initial_response == 0 {
-            return Err(ProtocolError::InvalidRequest(
-                "k and b must be greater than 0".into(),
-            ));
-        }
-        let list = plan
-            .list_of(term)
-            .map_err(|e| ProtocolError::InvalidRequest(e.to_string()))?;
-        let mut results: Vec<(DocId, f64)> = Vec::with_capacity(config.k);
-        let mut offset = 0u64;
-        let mut requests = 0usize;
-        let mut elements_received = 0usize;
-        let mut bytes_sent = 0usize;
-        let mut bytes_received = 0usize;
-        let mut visible_total = u64::MAX;
-
-        while results.len() < config.k && offset < visible_total {
-            let count = match config.growth {
-                GrowthPolicy::Doubling => config.initial_response << requests.min(30),
-                GrowthPolicy::Constant => config.initial_response,
-            } as u32;
-            let request = QueryRequest {
-                user: self.user.clone(),
-                list: list.0,
-                offset,
-                count,
-                k: config.k as u32,
-            };
-            bytes_sent += request.encoded_bytes();
-            let response = server.handle_query(&request, &self.token)?;
-            requests += 1;
-            bytes_received += response.encoded_bytes();
-            elements_received += response.elements.len();
-            visible_total = response.visible_total;
-            for wire in &response.elements {
-                let Some(keys) = self.keys.get(&wire.group) else {
-                    // The server should not have sent this; skip defensively.
-                    continue;
-                };
-                let sealed = EncryptedElement {
-                    group: wire.group,
-                    ciphertext: wire.ciphertext.clone(),
-                };
-                let payload = sealed
-                    .open(keys, list)
-                    .map_err(|e| ProtocolError::Core(e.to_string()))?;
-                if payload.term == term {
-                    results.push((payload.doc, payload.relevance()));
-                    if results.len() == config.k {
-                        break;
-                    }
-                }
-            }
-            offset += response.elements.len() as u64;
-            if response.elements.is_empty() {
-                break;
-            }
-        }
-        results.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
-        let satisfied = results.len() >= config.k;
-        Ok(ClientQueryOutcome {
-            results,
-            requests,
-            elements_received,
-            bytes_sent,
-            bytes_received,
-            satisfied,
-        })
+        let mut run = TermRun::new(plan, term, config)?;
+        self.drive(server, &mut run)?;
+        Ok(run.finish())
     }
 
-    /// Executes a multi-term query as a sequence of single-term queries
-    /// (Section 3.2) and merges rankings by summed relevance.
+    /// Executes a multi-term query (Section 3.2) and merges rankings by
+    /// summed relevance.  The initial round of all terms is sent as one
+    /// batch — the server authenticates once and visits each storage shard
+    /// once — and each term then continues with its own follow-up requests.
     pub fn query_multi(
         &self,
         server: &IndexServer,
@@ -175,14 +265,57 @@ impl Client {
         if terms.is_empty() {
             return Err(ProtocolError::InvalidRequest("empty query".into()));
         }
+        let mut runs = terms
+            .iter()
+            .map(|&t| TermRun::new(plan, t, config))
+            .collect::<Result<Vec<_>, _>>()?;
+        let initial: Vec<QueryRequest> = runs
+            .iter()
+            .map(|run| run.next_request(&self.user))
+            .collect();
+        let responses = server.handle_query_batch(&initial, &self.token)?;
+        let mut error = None;
+        for ((run, request), response) in runs.iter_mut().zip(&initial).zip(responses) {
+            match response {
+                Ok(response) => {
+                    // Record the session id unconditionally: after an
+                    // earlier error the response is not absorbed, but the
+                    // release pass below must still close its cursor.
+                    run.cursor = response.cursor;
+                    if error.is_none() {
+                        if let Err(e) = run.absorb(request, &response, &self.keys) {
+                            error = Some(e);
+                        }
+                    }
+                }
+                Err(e) => {
+                    if error.is_none() {
+                        error = Some(e);
+                    }
+                }
+            }
+        }
         let mut acc: HashMap<DocId, f64> = HashMap::new();
         let mut per_term = Vec::with_capacity(terms.len());
-        for &t in terms {
-            let outcome = self.query(server, plan, t, config)?;
-            for &(doc, rel) in &outcome.results {
-                *acc.entry(doc).or_insert(0.0) += rel;
+        for mut run in runs {
+            // After a failure, only release the sessions of the remaining
+            // runs instead of abandoning them server-side.
+            if error.is_none() {
+                if let Err(e) = self.drive(server, &mut run) {
+                    error = Some(e);
+                    continue;
+                }
+                let outcome = run.finish();
+                for &(doc, rel) in &outcome.results {
+                    *acc.entry(doc).or_insert(0.0) += rel;
+                }
+                per_term.push(outcome);
+            } else {
+                run.release(server, &self.user);
             }
-            per_term.push(outcome);
+        }
+        if let Some(e) = error {
+            return Err(e);
         }
         let mut merged: Vec<(DocId, f64)> = acc.into_iter().collect();
         merged.sort_by(|a, b| {
@@ -387,6 +520,20 @@ mod tests {
     }
 
     #[test]
+    fn queries_release_their_cursor_sessions() {
+        let f = fixture();
+        let john = client(&f, "john", &[0, 1]);
+        // A mid-frequency term needs follow-ups (cursor opened) and a rare
+        // term exhausts its list (cursor closed by the server).
+        let order = f.stats.terms_by_doc_freq();
+        for &term in [order[0], order[order.len() / 2], *order.last().unwrap()].iter() {
+            john.query(&f.server, &f.plan, term, &RetrievalConfig::for_k(7))
+                .unwrap();
+            assert_eq!(f.server.open_cursors(), 0, "term {term} leaked a session");
+        }
+    }
+
+    #[test]
     fn client_insert_roundtrips_through_a_query() {
         let f = fixture();
         let mut john = client(&f, "john", &[0, 1]);
@@ -457,6 +604,26 @@ mod tests {
                 }
             )
             .is_err());
+    }
+
+    #[test]
+    fn batched_multi_term_query_equals_sequential_single_term_queries() {
+        let f = fixture();
+        let john = client(&f, "john", &[0, 1]);
+        let order = f.stats.terms_by_doc_freq();
+        let terms = [order[0], order[3], order[order.len() / 4]];
+        let config = RetrievalConfig::for_k(8);
+        f.server.reset_stats();
+        let (_, per_term) = john
+            .query_multi(&f.server, &f.plan, &terms, &config)
+            .unwrap();
+        let multi_stats = f.server.stats();
+        f.server.reset_stats();
+        for (term, batched) in terms.iter().zip(&per_term) {
+            let single = john.query(&f.server, &f.plan, *term, &config).unwrap();
+            assert_eq!(&single, batched, "term {term}");
+        }
+        assert_eq!(multi_stats, f.server.stats());
     }
 
     #[test]

@@ -7,13 +7,16 @@
 //! * [`message`] — the wire format of query/insert requests and responses
 //!   with exact byte accounting,
 //! * [`server`] — the untrusted [`server::IndexServer`]: hosts the ordered
-//!   confidential index, answers ranged TRS-ordered fetches, accepts inserts,
-//!   and meters all traffic,
+//!   confidential index behind a pluggable `zerber_store::ListStore` engine
+//!   (sharded by default), serves ranged TRS-ordered fetches with resumable
+//!   cursor sessions, accepts inserts, and meters all traffic in lock-free
+//!   counters,
 //! * [`client`] — the group member: issues the initial request of size `b`,
-//!   decrypts and filters, sends doubling follow-up requests, and inserts new
-//!   documents using the published RSTF,
-//! * [`netsim`] — the 56 Kb/s-client / 100 Mb/s-server network model and the
-//!   snippet/competitor constants of Section 6.6.
+//!   decrypts and filters, resumes the server-side cursor with doubling
+//!   follow-up requests, and inserts new documents using the published RSTF,
+//! * [`netsim`] — the 56 Kb/s-client / 100 Mb/s-server network model, the
+//!   snippet/competitor constants of Section 6.6, and the thread-pool load
+//!   generator for serving-engine throughput experiments.
 
 pub mod acl;
 pub mod client;
@@ -27,7 +30,8 @@ pub use client::{Client, ClientQueryOutcome};
 pub use error::ProtocolError;
 pub use message::{QueryRequest, QueryResponse, WireElement, ELEMENT_HEADER_BYTES};
 pub use netsim::{
-    NetworkModel, ResponseBreakdown, ALTAVISTA_TOP10_BYTES, GOOGLE_TOP10_BYTES, PAPER_POSTING_BITS,
-    SNIPPET_BYTES, YAHOO_TOP10_BYTES,
+    drive_client_queries, drive_raw_queries, LoadConfig, NetworkModel, ResponseBreakdown,
+    ThroughputReport, ALTAVISTA_TOP10_BYTES, GOOGLE_TOP10_BYTES, PAPER_POSTING_BITS, SNIPPET_BYTES,
+    YAHOO_TOP10_BYTES,
 };
 pub use server::{IndexServer, InsertRequest, ServerStats};

@@ -16,9 +16,9 @@ use crate::error::ProtocolError;
 /// group + 2-byte payload length.
 pub const ELEMENT_HEADER_BYTES: usize = 14;
 
-/// Size of a query request message: list id (8) + offset (8) + count (4) +
-/// k (4) + user-name length prefix (2).
-pub const REQUEST_FIXED_BYTES: usize = 26;
+/// Size of a query request message: list id (8) + offset (8) + cursor (8) +
+/// count (4) + k (4) + user-name length prefix (2).
+pub const REQUEST_FIXED_BYTES: usize = 34;
 
 /// A top-k query request (initial or follow-up).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -29,6 +29,10 @@ pub struct QueryRequest {
     pub list: u64,
     /// Number of already received elements (0 for the initial request).
     pub offset: u64,
+    /// Cursor session to resume (0 = none; the server opens one on the
+    /// initial request and returns its id in the response).  A server that
+    /// evicted the session falls back to the stateless `offset` scan.
+    pub cursor: u64,
     /// Number of elements requested in this round.
     pub count: u32,
     /// The k the client ultimately wants (the server may log it; Section 4.1
@@ -78,13 +82,15 @@ pub struct QueryResponse {
     /// Total number of elements of the list visible to this user; lets the
     /// client know when the list is exhausted.
     pub visible_total: u64,
+    /// Cursor id for follow-up requests (0 once the list is exhausted).
+    pub cursor: u64,
 }
 
 impl QueryResponse {
     /// Size of the encoded response in bytes (4-byte count + 8-byte total +
-    /// the elements).
+    /// 8-byte cursor + the elements).
     pub fn encoded_bytes(&self) -> usize {
-        12 + self
+        20 + self
             .elements
             .iter()
             .map(WireElement::encoded_bytes)
@@ -98,6 +104,7 @@ impl QueryResponse {
         let mut out = Vec::with_capacity(self.encoded_bytes());
         out.extend_from_slice(&(self.elements.len() as u32).to_le_bytes());
         out.extend_from_slice(&self.visible_total.to_le_bytes());
+        out.extend_from_slice(&self.cursor.to_le_bytes());
         for e in &self.elements {
             out.extend_from_slice(&e.trs.to_le_bytes());
             out.extend_from_slice(&e.group.0.to_le_bytes());
@@ -116,11 +123,16 @@ impl QueryResponse {
                 Err(ProtocolError::Codec("truncated response".into()))
             }
         };
-        need(buf.len() >= 12)?;
+        need(buf.len() >= 20)?;
         let count = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
         let visible_total = u64::from_le_bytes(buf[4..12].try_into().unwrap());
-        let mut pos = 12usize;
-        let mut elements = Vec::with_capacity(count);
+        let cursor = u64::from_le_bytes(buf[12..20].try_into().unwrap());
+        let mut pos = 20usize;
+        // Don't trust the untrusted count for allocation: every element
+        // takes at least 14 header bytes, so a corrupt count can't trigger a
+        // huge pre-allocation before the per-element bounds checks fail.
+        let plausible = count.min((buf.len() - pos) / ELEMENT_HEADER_BYTES + 1);
+        let mut elements = Vec::with_capacity(plausible);
         for _ in 0..count {
             need(buf.len() >= pos + 14)?;
             let trs = f64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
@@ -142,6 +154,7 @@ impl QueryResponse {
         Ok(QueryResponse {
             elements,
             visible_total,
+            cursor,
         })
     }
 }
@@ -164,6 +177,7 @@ mod tests {
             user: "john".into(),
             list: 1,
             offset: 0,
+            cursor: 0,
             count: 10,
             k: 10,
         };
@@ -175,6 +189,7 @@ mod tests {
         let resp = QueryResponse {
             elements: vec![element(0.9, 1, 44), element(0.7, 2, 44)],
             visible_total: 123,
+            cursor: 0x1f00,
         };
         let buf = resp.encode();
         assert_eq!(buf.len(), resp.encoded_bytes());
@@ -187,10 +202,20 @@ mod tests {
         let resp = QueryResponse {
             elements: vec![],
             visible_total: 0,
+            cursor: 0,
         };
         let buf = resp.encode();
-        assert_eq!(buf.len(), 12);
+        assert_eq!(buf.len(), 20);
         assert_eq!(QueryResponse::decode(&buf).unwrap(), resp);
+    }
+
+    #[test]
+    fn huge_claimed_count_errors_without_allocating() {
+        // A header claiming u32::MAX elements over an empty body must come
+        // back as a codec error, not an allocation abort.
+        let mut buf = vec![0u8; 20];
+        buf[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(QueryResponse::decode(&buf).is_err());
     }
 
     #[test]
@@ -198,6 +223,7 @@ mod tests {
         let resp = QueryResponse {
             elements: vec![element(0.5, 0, 44)],
             visible_total: 5,
+            cursor: 7 << 8,
         };
         let mut buf = resp.encode();
         assert!(QueryResponse::decode(&buf[..buf.len() - 1]).is_err());
@@ -210,8 +236,11 @@ mod tests {
     fn encoded_bytes_matches_encode_for_various_sizes() {
         for n in [0usize, 1, 7, 50] {
             let resp = QueryResponse {
-                elements: (0..n).map(|i| element(i as f64 / 10.0, i as u32, 44)).collect(),
+                elements: (0..n)
+                    .map(|i| element(i as f64 / 10.0, i as u32, 44))
+                    .collect(),
                 visible_total: n as u64,
+                cursor: n as u64,
             };
             assert_eq!(resp.encode().len(), resp.encoded_bytes());
         }

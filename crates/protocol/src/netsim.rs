@@ -1,4 +1,6 @@
-//! Network and presentation model for the bandwidth analysis of Section 6.6.
+//! Network and presentation model for the bandwidth analysis of Section 6.6,
+//! plus the thread-pool load generator that drives the index server for the
+//! serving-engine throughput experiments.
 //!
 //! The paper's intranet setup: "users connect over a mobile device with a
 //! 56 Kb/s modem, while servers use 100 Mb/s LAN connections"; document
@@ -6,7 +8,18 @@
 //! 250 B including XML formatting"; Google/Altavista/Yahoo top-10 responses
 //! are quoted at 15 KB / 37 KB / 59 KB for comparison.
 
+use std::collections::HashMap;
+use std::time::Instant;
+
 use serde::{Deserialize, Serialize};
+use zerber_corpus::{GroupId, TermId};
+use zerber_crypto::GroupKeys;
+use zerber_r::RetrievalConfig;
+
+use crate::client::Client;
+use crate::error::ProtocolError;
+use crate::message::QueryRequest;
+use crate::server::IndexServer;
 
 /// Average size of one result snippet including XML framing (bytes).
 pub const SNIPPET_BYTES: usize = 250;
@@ -120,6 +133,166 @@ impl ResponseBreakdown {
     }
 }
 
+/// Configuration of one load-generation run against an [`IndexServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadConfig {
+    /// Number of worker threads in the pool.
+    pub threads: usize,
+    /// Queries each worker issues.
+    pub queries_per_thread: usize,
+    /// The `k` of every query (also used as the initial response size `b`).
+    pub k: usize,
+}
+
+impl LoadConfig {
+    /// A load of `threads` workers with paper-default `k = b = 10`.
+    pub fn for_threads(threads: usize) -> Self {
+        LoadConfig {
+            threads: threads.max(1),
+            queries_per_thread: 100,
+            k: 10,
+        }
+    }
+}
+
+/// Aggregate outcome of one load-generation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total queries completed across all workers.
+    pub queries: u64,
+    /// Wall-clock duration of the run in seconds.
+    pub elapsed_seconds: f64,
+    /// Completed queries per wall-clock second.
+    pub queries_per_second: f64,
+    /// Posting elements shipped by the server during the run.
+    pub elements_sent: u64,
+}
+
+fn report(
+    threads: usize,
+    queries: u64,
+    elapsed_seconds: f64,
+    elements_sent: u64,
+) -> ThroughputReport {
+    ThroughputReport {
+        threads,
+        queries,
+        elapsed_seconds,
+        queries_per_second: if elapsed_seconds > 0.0 {
+            queries as f64 / elapsed_seconds
+        } else {
+            f64::INFINITY
+        },
+        elements_sent,
+    }
+}
+
+/// Drives raw ranged queries against the server from a pool of
+/// `config.threads` worker threads, measuring server-side serving throughput
+/// (no client-side decryption).  Every worker authenticates as one of
+/// `users` (which must be registered in the server's ACL) and rotates
+/// through `lists`.
+pub fn drive_raw_queries(
+    server: &IndexServer,
+    users: &[String],
+    lists: &[u64],
+    config: &LoadConfig,
+) -> Result<ThroughputReport, ProtocolError> {
+    if users.is_empty() || lists.is_empty() {
+        return Err(ProtocolError::InvalidRequest(
+            "load generation needs at least one user and one list".into(),
+        ));
+    }
+    let elements_before = server.stats().elements_sent;
+    let start = Instant::now();
+    let queries: u64 = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..config.threads)
+            .map(|w| {
+                scope.spawn(move || -> Result<u64, ProtocolError> {
+                    let user = &users[w % users.len()];
+                    let token = server.acl().issue_token(user);
+                    let mut served = 0u64;
+                    for i in 0..config.queries_per_thread {
+                        // Unit stride with a per-worker offset: every worker
+                        // cycles through all lists regardless of their count
+                        // (a fixed non-unit stride degenerates whenever it
+                        // divides `lists.len()`).
+                        let list = lists[(w.wrapping_mul(31) + i) % lists.len()];
+                        let request = QueryRequest {
+                            user: user.clone(),
+                            list,
+                            offset: 0,
+                            cursor: 0,
+                            count: config.k as u32,
+                            k: config.k as u32,
+                        };
+                        let response = server.handle_query(&request, &token)?;
+                        server.close_cursor(response.cursor, user);
+                        served += 1;
+                    }
+                    Ok(served)
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("load worker must not panic"))
+            .sum::<Result<u64, ProtocolError>>()
+    })?;
+    let elapsed = start.elapsed().as_secs_f64();
+    let elements = server.stats().elements_sent - elements_before;
+    Ok(report(config.threads, queries, elapsed, elements))
+}
+
+/// Drives complete client-side retrievals (decryption included) from a pool
+/// of worker threads.  Worker `w` authenticates as `users[w % len]` with the
+/// shared `keyring` and executes top-k queries over `terms` via the full
+/// follow-up protocol.
+pub fn drive_client_queries(
+    server: &IndexServer,
+    plan: &zerber_base::MergePlan,
+    users: &[String],
+    keyring: &HashMap<GroupId, GroupKeys>,
+    terms: &[TermId],
+    config: &LoadConfig,
+) -> Result<ThroughputReport, ProtocolError> {
+    if users.is_empty() || terms.is_empty() {
+        return Err(ProtocolError::InvalidRequest(
+            "load generation needs at least one user and one term".into(),
+        ));
+    }
+    let elements_before = server.stats().elements_sent;
+    let start = Instant::now();
+    let queries: u64 = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..config.threads)
+            .map(|w| {
+                scope.spawn(move || -> Result<u64, ProtocolError> {
+                    let user = &users[w % users.len()];
+                    let token = server.acl().issue_token(user);
+                    let client = Client::new(user.clone(), token, keyring.clone());
+                    let retrieval = RetrievalConfig::for_k(config.k);
+                    let mut served = 0u64;
+                    for i in 0..config.queries_per_thread {
+                        let term = terms[(w.wrapping_mul(31) + i) % terms.len()];
+                        client.query(server, plan, term, &retrieval)?;
+                        served += 1;
+                    }
+                    Ok(served)
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("load worker must not panic"))
+            .sum::<Result<u64, ProtocolError>>()
+    })?;
+    let elapsed = start.elapsed().as_secs_f64();
+    let elements = server.stats().elements_sent - elements_before;
+    Ok(report(config.threads, queries, elapsed, elements))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,7 +313,11 @@ mod tests {
         // rounds the sum to "about 3.5 KB" (the exact arithmetic gives ~4 KB).
         let per_term = ResponseBreakdown::with_paper_elements(85, 0).posting_bytes;
         let total = (2.4 * per_term as f64) + (10 * SNIPPET_BYTES) as f64;
-        assert!((total / 1024.0 - 3.5).abs() < 0.75, "total {} KB", total / 1024.0);
+        assert!(
+            (total / 1024.0 - 3.5).abs() < 0.75,
+            "total {} KB",
+            total / 1024.0
+        );
         // And it is far below the quoted competitor responses.
         assert!(total < GOOGLE_TOP10_BYTES as f64);
         assert!(total < ALTAVISTA_TOP10_BYTES as f64);
@@ -162,7 +339,9 @@ mod tests {
         let one = net.query_latency_seconds(1, 30, 700);
         let two = net.query_latency_seconds(2, 60, 700);
         assert!(two > one);
-        assert!((two - one - 0.3 - NetworkModel::transfer_seconds(30, net.client_up_bps)).abs() < 1e-9);
+        assert!(
+            (two - one - 0.3 - NetworkModel::transfer_seconds(30, net.client_up_bps)).abs() < 1e-9
+        );
     }
 
     #[test]

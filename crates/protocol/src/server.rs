@@ -1,20 +1,43 @@
 //! The untrusted index server.
 //!
-//! The server holds the ordered confidential index, authenticates users,
-//! enforces group-level access control and answers ranged top-k requests by
-//! TRS order (Section 5.2).  It never holds decryption keys.  All traffic is
-//! metered so the bandwidth experiments can read exact byte counts.
+//! The server hosts the ordered confidential index behind a pluggable
+//! [`ListStore`] storage engine, authenticates users, enforces group-level
+//! access control and answers ranged top-k requests by TRS order
+//! (Section 5.2).  It never holds decryption keys.  All traffic is metered so
+//! the bandwidth experiments can read exact byte counts.
+//!
+//! Serving architecture (this layer, on top of the storage engine):
+//!
+//! * **Sharded storage** — the default engine is a
+//!   [`ShardedStore`](zerber_store::ShardedStore): merged lists partitioned
+//!   across per-`RwLock` shards, so queries on different lists never contend
+//!   and an insert write-locks a single shard.  Traffic counters are
+//!   lock-free atomics.
+//! * **Cursor sessions** — the first ranged request of a query opens a
+//!   per-list cursor (a physical position in TRS order).  Follow-up requests
+//!   (Section 5.2's doubling protocol) resume from the cursor instead of
+//!   re-scanning the list from the top; the server closes the session when
+//!   the list is exhausted.  Evicted or foreign cursors fall back to the
+//!   stateless offset scan, so the responses are element-for-element
+//!   identical either way.
+//! * **Batched multi-term queries** — [`IndexServer::handle_query_batch`]
+//!   authenticates once and serves all sub-requests through
+//!   [`ListStore::fetch_ranged_many`], which visits each shard exactly once.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use zerber_base::MergedListId;
 use zerber_corpus::GroupId;
 use zerber_r::{OrderedElement, OrderedIndex};
+use zerber_store::{
+    CursorId, ListStore, RangedBatch, RangedFetch, ShardedStore, SingleMutexStore, StoreError,
+};
 
 use crate::acl::{AccessControl, AuthToken};
 use crate::error::ProtocolError;
 use crate::message::{QueryRequest, QueryResponse, WireElement, ELEMENT_HEADER_BYTES};
 
-/// Cumulative traffic and request counters.
+/// Cumulative traffic and request counters (a point-in-time snapshot).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Number of query requests served (including follow-ups).
@@ -27,6 +50,47 @@ pub struct ServerStats {
     pub bytes_out: u64,
     /// Number of insert operations accepted.
     pub inserts_accepted: u64,
+}
+
+/// Lock-free counters behind [`ServerStats`]: every worker thread bumps them
+/// without serializing on a stats mutex.
+#[derive(Debug, Default)]
+struct AtomicStats {
+    requests_served: AtomicU64,
+    elements_sent: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    inserts_accepted: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            elements_sent: self.elements_sent.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            inserts_accepted: self.inserts_accepted.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.requests_served.store(0, Ordering::Relaxed);
+        self.elements_sent.store(0, Ordering::Relaxed);
+        self.bytes_in.store(0, Ordering::Relaxed);
+        self.bytes_out.store(0, Ordering::Relaxed);
+        self.inserts_accepted.store(0, Ordering::Relaxed);
+    }
+
+    fn record_query(&self, request: &QueryRequest, response: &QueryResponse) {
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+        self.elements_sent
+            .fetch_add(response.elements.len() as u64, Ordering::Relaxed);
+        self.bytes_in
+            .fetch_add(request.encoded_bytes() as u64, Ordering::Relaxed);
+        self.bytes_out
+            .fetch_add(response.encoded_bytes() as u64, Ordering::Relaxed);
+    }
 }
 
 /// An insert request: the client has already sealed the payload and computed
@@ -56,19 +120,52 @@ impl InsertRequest {
 /// The index server.
 #[derive(Debug)]
 pub struct IndexServer {
-    index: Mutex<OrderedIndex>,
+    store: Box<dyn ListStore>,
     acl: AccessControl,
-    stats: Mutex<ServerStats>,
+    stats: AtomicStats,
+}
+
+/// Opaque per-user session tag binding cursors to the user who opened them
+/// (FNV-1a over the user name; never 0 so it cannot collide with "no owner").
+fn owner_tag(user: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in user.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash.max(1)
 }
 
 impl IndexServer {
-    /// Creates a server from a built index and a user directory.
+    /// Creates a server from a built index and a user directory, using the
+    /// default sharded storage engine.
     pub fn new(index: OrderedIndex, acl: AccessControl) -> Self {
+        Self::with_store(Box::new(ShardedStore::new(index)), acl)
+    }
+
+    /// Creates a server over an explicit storage engine.
+    pub fn with_store(store: Box<dyn ListStore>, acl: AccessControl) -> Self {
         IndexServer {
-            index: Mutex::new(index),
+            store,
             acl,
-            stats: Mutex::new(ServerStats::default()),
+            stats: AtomicStats::default(),
         }
+    }
+
+    /// Creates a server serializing every operation on one global mutex —
+    /// the pre-sharding architecture, kept as the contention baseline.
+    pub fn single_mutex(index: OrderedIndex, acl: AccessControl) -> Self {
+        Self::with_store(Box::new(SingleMutexStore::new(index)), acl)
+    }
+
+    /// The storage engine serving this server.
+    pub fn store(&self) -> &dyn ListStore {
+        self.store.as_ref()
+    }
+
+    /// The merge plan of the hosted index.
+    pub fn plan(&self) -> &zerber_base::MergePlan {
+        self.store.plan()
     }
 
     /// Read-only access to the user directory.
@@ -78,72 +175,210 @@ impl IndexServer {
 
     /// Snapshot of the traffic counters.
     pub fn stats(&self) -> ServerStats {
-        *self.stats.lock()
+        self.stats.snapshot()
     }
 
     /// Resets the traffic counters (used between experiment phases).
     pub fn reset_stats(&self) {
-        *self.stats.lock() = ServerStats::default();
+        self.stats.reset();
     }
 
     /// Number of merged posting lists hosted.
     pub fn num_lists(&self) -> usize {
-        self.index.lock().num_lists()
+        self.store.num_lists()
     }
 
     /// Total number of posting elements hosted.
     pub fn num_elements(&self) -> usize {
-        self.index.lock().num_elements()
+        self.store.num_elements()
     }
 
     /// Total bytes the server stores for the index.
     pub fn stored_bytes(&self) -> usize {
-        self.index.lock().stored_bytes()
+        self.store.stored_bytes()
     }
 
-    /// Handles one (initial or follow-up) query request.
-    ///
-    /// The response contains up to `request.count` elements of the list in
-    /// descending TRS order, starting at `request.offset`, restricted to the
-    /// groups the user belongs to.
-    pub fn handle_query(
-        &self,
-        request: &QueryRequest,
-        token: &AuthToken,
-    ) -> Result<QueryResponse, ProtocolError> {
+    /// Number of currently open cursor sessions.
+    pub fn open_cursors(&self) -> usize {
+        self.store.open_cursors()
+    }
+
+    fn validate(request: &QueryRequest) -> Result<(), ProtocolError> {
         if request.count == 0 || request.k == 0 {
             return Err(ProtocolError::InvalidRequest(
                 "count and k must be greater than 0".into(),
             ));
         }
-        let groups = self.acl.authenticate(&request.user, token)?;
-        let list_id = MergedListId(request.list);
-        let index = self.index.lock();
-        let visible_total = index
-            .visible_len(list_id, Some(&groups))
-            .map_err(|_| ProtocolError::UnknownList(request.list))?;
-        let batch = index.fetch(
-            list_id,
-            request.offset as usize,
-            request.count as usize,
-            Some(&groups),
-        )?;
-        let elements: Vec<WireElement> = batch.iter().map(|e| WireElement::from_element(e)).collect();
-        drop(index);
+        Ok(())
+    }
+
+    /// Serves one validated, authenticated request against the store.
+    fn serve(
+        &self,
+        request: &QueryRequest,
+        groups: &[GroupId],
+        prefetched: Option<RangedBatch>,
+    ) -> Result<QueryResponse, ProtocolError> {
+        let list = MergedListId(request.list);
+        let owner = owner_tag(&request.user);
+        let count = request.count as usize;
+
+        // Resume the cursor session if the client presents a live one;
+        // unknown / evicted / foreign cursors fall back to the offset scan.
+        let resumed = if request.cursor != 0 && prefetched.is_none() {
+            self.store
+                .cursor_fetch(CursorId(request.cursor), owner, count, Some(groups))
+                .ok()
+        } else {
+            None
+        };
+
+        let (batch, session) = match resumed {
+            Some(batch) => (batch, CursorId(request.cursor)),
+            None => {
+                let batch = match prefetched {
+                    Some(batch) => batch,
+                    None => self
+                        .store
+                        .fetch_ranged(
+                            &RangedFetch {
+                                list,
+                                offset: request.offset as usize,
+                                count,
+                            },
+                            Some(groups),
+                        )
+                        .map_err(map_store_error)?,
+                };
+                // Sessions open lazily, on the first follow-up (a non-zero
+                // offset, or a cursor the store evicted): one-shot initial
+                // queries — the common case — stay entirely on the shard
+                // read lock and never touch the session table.
+                let follow_up = request.offset > 0 || request.cursor != 0;
+                let session = if batch.exhausted || !follow_up {
+                    CursorId::NONE
+                } else {
+                    // `delivered` lets the store re-derive the position if a
+                    // concurrent insert moved the list between the fetch and
+                    // this open (generation mismatch).
+                    let delivered = request.offset as usize + batch.elements.len();
+                    self.store
+                        .open_cursor(list, owner, &batch, delivered, Some(groups))
+                        .unwrap_or(CursorId::NONE)
+                };
+                (batch, session)
+            }
+        };
+
+        let cursor = if batch.exhausted {
+            if session.is_some() {
+                self.store.close_cursor(session, owner);
+            }
+            0
+        } else {
+            session.0
+        };
+        let elements: Vec<WireElement> = batch
+            .elements
+            .iter()
+            .map(WireElement::from_element)
+            .collect();
         let response = QueryResponse {
             elements,
-            visible_total: visible_total as u64,
+            visible_total: batch.visible_total as u64,
+            cursor,
         };
-        let mut stats = self.stats.lock();
-        stats.requests_served += 1;
-        stats.elements_sent += response.elements.len() as u64;
-        stats.bytes_in += request.encoded_bytes() as u64;
-        stats.bytes_out += response.encoded_bytes() as u64;
+        self.stats.record_query(request, &response);
         Ok(response)
     }
 
+    /// Handles one (initial or follow-up) query request.
+    ///
+    /// The response contains up to `request.count` elements of the list in
+    /// descending TRS order, restricted to the groups the user belongs to,
+    /// starting at the cursor position (if a session is presented) or at
+    /// `request.offset`.
+    pub fn handle_query(
+        &self,
+        request: &QueryRequest,
+        token: &AuthToken,
+    ) -> Result<QueryResponse, ProtocolError> {
+        Self::validate(request)?;
+        let groups = self.acl.authenticate(&request.user, token)?;
+        self.serve(request, &groups, None)
+    }
+
+    /// Handles a batch of query requests from one user (the initial round of
+    /// a multi-term query).  Authentication happens once and the storage
+    /// engine visits each shard exactly once for the whole batch.
+    ///
+    /// The outer `Result` covers whole-batch failures (empty or mixed-user
+    /// batches, malformed parameters, authentication); the inner results
+    /// align with the input order and carry per-request errors, so one stale
+    /// list id degrades that request alone — exactly as if every request had
+    /// been served (and metered) individually.
+    pub fn handle_query_batch(
+        &self,
+        requests: &[QueryRequest],
+        token: &AuthToken,
+    ) -> Result<Vec<Result<QueryResponse, ProtocolError>>, ProtocolError> {
+        let first = requests
+            .first()
+            .ok_or_else(|| ProtocolError::InvalidRequest("empty batch".into()))?;
+        for request in requests {
+            Self::validate(request)?;
+            if request.user != first.user {
+                return Err(ProtocolError::InvalidRequest(
+                    "batch requests must come from one user".into(),
+                ));
+            }
+        }
+        let groups = self.acl.authenticate(&first.user, token)?;
+        // Cursor-less requests go through the shard-batched path; resumptions
+        // (unusual inside a batch) are served individually.
+        let plain: Vec<usize> = (0..requests.len())
+            .filter(|&i| requests[i].cursor == 0)
+            .collect();
+        let plain_fetches: Vec<RangedFetch> = plain
+            .iter()
+            .map(|&i| RangedFetch {
+                list: MergedListId(requests[i].list),
+                offset: requests[i].offset as usize,
+                count: requests[i].count as usize,
+            })
+            .collect();
+        let mut prefetched: Vec<Option<Result<RangedBatch, StoreError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        for (&i, result) in plain
+            .iter()
+            .zip(self.store.fetch_ranged_many(&plain_fetches, Some(&groups)))
+        {
+            prefetched[i] = Some(result);
+        }
+        Ok(requests
+            .iter()
+            .zip(prefetched)
+            .map(|(request, prefetched)| match prefetched {
+                Some(Ok(batch)) => self.serve(request, &groups, Some(batch)),
+                Some(Err(e)) => Err(map_store_error(e)),
+                None => self.serve(request, &groups, None),
+            })
+            .collect())
+    }
+
+    /// Closes a cursor session early (a client that got its `k` results
+    /// before exhausting the list releases the session).  Only the session's
+    /// own user can close it — cursor ids are sequential and guessable, so
+    /// the owner check stops one user from tearing down another's session.
+    pub fn close_cursor(&self, cursor: u64, user: &str) {
+        if cursor != 0 {
+            self.store.close_cursor(CursorId(cursor), owner_tag(user));
+        }
+    }
+
     /// Handles an insert: checks the user may write to the document's group,
-    /// then places the sealed element at its TRS position.
+    /// then places the sealed element at its TRS position.  Open cursors on
+    /// the list are shifted so follow-ups neither skip nor repeat elements.
     pub fn handle_insert(
         &self,
         request: &InsertRequest,
@@ -164,30 +399,34 @@ impl IndexServer {
                 ciphertext: request.ciphertext.clone(),
             },
         };
-        self.index
-            .lock()
-            .insert_sealed(MergedListId(request.list), element)?;
-        let mut stats = self.stats.lock();
-        stats.inserts_accepted += 1;
-        stats.bytes_in += request.encoded_bytes() as u64;
+        self.store
+            .insert(MergedListId(request.list), element)
+            .map_err(map_store_error)?;
+        self.stats.inserts_accepted.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_in
+            .fetch_add(request.encoded_bytes() as u64, Ordering::Relaxed);
         Ok(())
     }
 
     /// Average bytes per element on the wire (header + sealed payload);
     /// useful for the Section 6.6 style bandwidth table.
     pub fn avg_wire_element_bytes(&self) -> f64 {
-        let index = self.index.lock();
-        let n = index.num_elements();
+        let n = self.store.num_elements();
         if n == 0 {
             return 0.0;
         }
-        let mut total = 0usize;
-        for (list_id, _) in index.plan().iter() {
-            for e in index.list(list_id).expect("list exists") {
-                total += ELEMENT_HEADER_BYTES + e.sealed.ciphertext.len();
-            }
-        }
+        let total = n * ELEMENT_HEADER_BYTES + self.store.ciphertext_bytes();
         total as f64 / n as f64
+    }
+}
+
+fn map_store_error(e: StoreError) -> ProtocolError {
+    match e {
+        StoreError::UnknownList(id) => ProtocolError::UnknownList(id),
+        StoreError::UnknownCursor(id) => {
+            ProtocolError::InvalidRequest(format!("unknown cursor {id}"))
+        }
     }
 }
 
@@ -195,9 +434,7 @@ impl IndexServer {
 mod tests {
     use super::*;
     use zerber_base::{BfmMerge, ConfidentialityParam, MergeScheme, PostingPayload};
-    use zerber_corpus::{
-        sample_split, Corpus, CorpusBuilder, CorpusStats, Document, SplitConfig,
-    };
+    use zerber_corpus::{sample_split, Corpus, CorpusBuilder, CorpusStats, Document, SplitConfig};
     use zerber_crypto::{DeterministicRng, GroupKeys, MasterKey};
     use zerber_r::{RstfConfig, RstfModel};
 
@@ -237,8 +474,18 @@ mod tests {
 
     fn list_for(c: &Corpus, server: &IndexServer, term_name: &str) -> u64 {
         let term = c.dictionary().get(term_name).unwrap();
-        let index = server.index.lock();
-        index.plan().list_of(term).unwrap().0
+        server.plan().list_of(term).unwrap().0
+    }
+
+    fn request(user: &str, list: u64, offset: u64, count: u32, k: u32) -> QueryRequest {
+        QueryRequest {
+            user: user.into(),
+            list,
+            offset,
+            cursor: 0,
+            count,
+            k,
+        }
     }
 
     #[test]
@@ -247,16 +494,7 @@ mod tests {
         let token = server.acl().issue_token("john");
         let list = list_for(&c, &server, "imclone");
         let resp = server
-            .handle_query(
-                &QueryRequest {
-                    user: "john".into(),
-                    list,
-                    offset: 0,
-                    count: 10,
-                    k: 10,
-                },
-                &token,
-            )
+            .handle_query(&request("john", list, 0, 10, 10), &token)
             .unwrap();
         assert!(!resp.elements.is_empty());
         assert!(resp.elements.windows(2).all(|w| w[0].trs >= w[1].trs));
@@ -272,16 +510,7 @@ mod tests {
         let token = server.acl().issue_token("alice");
         let list = list_for(&c, &server, "imclone");
         let resp = server
-            .handle_query(
-                &QueryRequest {
-                    user: "alice".into(),
-                    list,
-                    offset: 0,
-                    count: 1000,
-                    k: 10,
-                },
-                &token,
-            )
+            .handle_query(&request("alice", list, 0, 1000, 10), &token)
             .unwrap();
         assert!(resp.elements.iter().all(|e| e.group == GroupId(1)));
     }
@@ -291,22 +520,151 @@ mod tests {
         let (c, server, _, _) = server_fixture();
         let list = list_for(&c, &server, "imclone");
         let forged = AuthToken([9u8; 32]);
-        let req = QueryRequest {
-            user: "john".into(),
-            list,
-            offset: 0,
-            count: 10,
-            k: 10,
-        };
+        let req = request("john", list, 0, 10, 10);
         assert!(server.handle_query(&req, &forged).is_err());
         let token = server.acl().issue_token("john");
         assert!(server
-            .handle_query(&QueryRequest { count: 0, ..req.clone() }, &token)
+            .handle_query(
+                &QueryRequest {
+                    count: 0,
+                    ..req.clone()
+                },
+                &token
+            )
             .is_err());
         assert!(server
-            .handle_query(&QueryRequest { list: 99_999, ..req }, &token)
+            .handle_query(
+                &QueryRequest {
+                    list: 99_999,
+                    ..req
+                },
+                &token
+            )
             .is_err());
         assert_eq!(server.stats().requests_served, 0);
+    }
+
+    #[test]
+    fn cursor_sessions_resume_follow_ups_and_close_on_exhaustion() {
+        let (c, server, _, _) = server_fixture();
+        let token = server.acl().issue_token("john");
+        let list = list_for(&c, &server, "imclone");
+        // Stateless reference: scan the whole list by offsets.
+        let all = server
+            .handle_query(&request("john", list, 0, 10_000, 10), &token)
+            .unwrap();
+        assert_eq!(all.cursor, 0, "an exhausting response carries no cursor");
+        // Cursor walk in steps of 3 must deliver the same sequence.  The
+        // session opens lazily on the first follow-up; once open it keeps
+        // its id until exhaustion closes it.
+        let mut collected = Vec::new();
+        let mut cursor = 0u64;
+        let mut visible = u64::MAX;
+        let mut session_seen = 0u64;
+        while (collected.len() as u64) < visible {
+            let req = QueryRequest {
+                cursor,
+                ..request("john", list, collected.len() as u64, 3, 10)
+            };
+            let resp = server.handle_query(&req, &token).unwrap();
+            visible = resp.visible_total;
+            if collected.is_empty() {
+                assert_eq!(resp.cursor, 0, "initial requests open no session");
+            }
+            if cursor != 0 && resp.cursor != 0 {
+                assert_eq!(resp.cursor, cursor, "sessions keep their id");
+            }
+            if resp.cursor != 0 {
+                session_seen = resp.cursor;
+            }
+            if resp.elements.is_empty() {
+                break;
+            }
+            collected.extend(resp.elements.iter().cloned());
+            cursor = resp.cursor;
+        }
+        assert_eq!(collected, all.elements);
+        assert_ne!(session_seen, 0, "follow-ups open a session");
+        assert_eq!(server.open_cursors(), 0, "exhausted sessions are closed");
+    }
+
+    #[test]
+    fn foreign_cursors_fall_back_to_the_offset_scan() {
+        let (c, server, _, _) = server_fixture();
+        let john = server.acl().issue_token("john");
+        let list = list_for(&c, &server, "imclone");
+        let initial = server
+            .handle_query(&request("john", list, 0, 2, 10), &john)
+            .unwrap();
+        assert_eq!(initial.cursor, 0, "sessions open lazily");
+        let follow = server
+            .handle_query(&request("john", list, 2, 2, 10), &john)
+            .unwrap();
+        assert_ne!(follow.cursor, 0, "the first follow-up opens the session");
+        // Alice presents John's cursor: the server must not resume his
+        // session, but serve her offset scan (with her ACL view).
+        let alice = server.acl().issue_token("alice");
+        let resp = server
+            .handle_query(
+                &QueryRequest {
+                    cursor: follow.cursor,
+                    ..request("alice", list, 0, 2, 10)
+                },
+                &alice,
+            )
+            .unwrap();
+        assert!(resp.elements.iter().all(|e| e.group == GroupId(1)));
+        // The fallback opened a session of Alice's own; release it.
+        server.close_cursor(resp.cursor, "alice");
+        // Alice cannot close John's session either.
+        server.close_cursor(follow.cursor, "alice");
+        assert_eq!(server.open_cursors(), 1);
+        server.close_cursor(follow.cursor, "john");
+        assert_eq!(server.open_cursors(), 0);
+        // Closing is idempotent and unknown cursors are ignored.
+        server.close_cursor(follow.cursor, "john");
+        server.close_cursor(0, "john");
+    }
+
+    #[test]
+    fn batch_queries_match_individual_queries_and_meter_identically() {
+        let (_c, server, _, _) = server_fixture();
+        let token = server.acl().issue_token("john");
+        let lists: Vec<u64> = (0..server.num_lists() as u64).take(5).collect();
+        let requests: Vec<QueryRequest> =
+            lists.iter().map(|&l| request("john", l, 0, 4, 4)).collect();
+        let batched: Vec<QueryResponse> = server
+            .handle_query_batch(&requests, &token)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        let batched_stats = server.stats();
+        server.reset_stats();
+        let individual: Vec<QueryResponse> = requests
+            .iter()
+            .map(|r| server.handle_query(r, &token).unwrap())
+            .collect();
+        for (a, b) in batched.iter().zip(&individual) {
+            assert_eq!(a.elements, b.elements);
+            assert_eq!(a.visible_total, b.visible_total);
+        }
+        assert_eq!(batched_stats, server.stats());
+        // Error paths: empty batches and mixed users are rejected outright.
+        assert!(server.handle_query_batch(&[], &token).is_err());
+        let mixed = vec![
+            request("john", lists[0], 0, 4, 4),
+            request("alice", lists[0], 0, 4, 4),
+        ];
+        assert!(server.handle_query_batch(&mixed, &token).is_err());
+        // A stale list id degrades only its own sub-request.
+        let partial = vec![
+            request("john", lists[0], 0, 4, 4),
+            request("john", 99_999, 0, 4, 4),
+        ];
+        let results = server.handle_query_batch(&partial, &token).unwrap();
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(ProtocolError::UnknownList(_))));
     }
 
     #[test]
@@ -395,16 +753,7 @@ mod tests {
             .unwrap();
         // A very high relevance (0.9) should appear in the head of the list.
         let resp = server
-            .handle_query(
-                &QueryRequest {
-                    user: "john".into(),
-                    list,
-                    offset: 0,
-                    count: 5,
-                    k: 5,
-                },
-                &john,
-            )
+            .handle_query(&request("john", list, 0, 5, 5), &john)
             .unwrap();
         let mut found = false;
         for e in &resp.elements {
@@ -421,7 +770,10 @@ mod tests {
                 }
             }
         }
-        assert!(found, "freshly inserted high-score element should be in the top-5");
+        assert!(
+            found,
+            "freshly inserted high-score element should be in the top-5"
+        );
     }
 
     #[test]
@@ -430,16 +782,7 @@ mod tests {
         let token = server.acl().issue_token("john");
         let list = list_for(&c, &server, "imclone");
         server
-            .handle_query(
-                &QueryRequest {
-                    user: "john".into(),
-                    list,
-                    offset: 0,
-                    count: 3,
-                    k: 3,
-                },
-                &token,
-            )
+            .handle_query(&request("john", list, 0, 3, 3), &token)
             .unwrap();
         assert!(server.stats().bytes_out > 0);
         server.reset_stats();
@@ -447,5 +790,37 @@ mod tests {
         assert!(server.num_lists() > 0);
         assert!(server.stored_bytes() > 0);
         assert!(server.avg_wire_element_bytes() > 40.0);
+    }
+
+    #[test]
+    fn sharded_and_single_mutex_servers_answer_identically() {
+        let c = corpus();
+        let stats = CorpusStats::compute(&c);
+        let split = sample_split(&c, SplitConfig::default()).unwrap();
+        let model = RstfModel::train(&c, &split, &RstfConfig::default()).unwrap();
+        let plan = BfmMerge
+            .plan(&stats, ConfidentialityParam::new(3.0).unwrap())
+            .unwrap();
+        let master = MasterKey::new([5u8; 32]);
+        let index = zerber_r::OrderedIndex::build(&c, plan, &model, &master, 7).unwrap();
+        let mut acl = AccessControl::new(b"srv");
+        acl.register_user("john", &[GroupId(0), GroupId(1)]);
+        let sharded = IndexServer::with_store(
+            Box::new(ShardedStore::with_shards(index.clone(), 4)),
+            acl.clone(),
+        );
+        let single = IndexServer::single_mutex(index, acl);
+        let token = sharded.acl().issue_token("john");
+        for list in 0..sharded.num_lists() as u64 {
+            for offset in [0u64, 2, 7] {
+                let req = request("john", list, offset, 5, 5);
+                let a = sharded.handle_query(&req, &token).unwrap();
+                let b = single.handle_query(&req, &token).unwrap();
+                // Session ids may differ; the payload must not.
+                assert_eq!(a.elements, b.elements);
+                assert_eq!(a.visible_total, b.visible_total);
+            }
+        }
+        assert_eq!(sharded.stats(), single.stats());
     }
 }

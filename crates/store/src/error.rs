@@ -1,0 +1,34 @@
+//! Error type of the storage engine.
+
+use std::fmt;
+
+/// Errors produced by a [`crate::ListStore`] implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The addressed merged posting list does not exist.
+    UnknownList(u64),
+    /// The cursor does not exist, was closed, or belongs to another session.
+    UnknownCursor(u64),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownList(id) => write!(f, "unknown merged posting list {id}"),
+            StoreError::UnknownCursor(id) => write!(f, "unknown cursor {id}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_id() {
+        assert!(StoreError::UnknownList(7).to_string().contains('7'));
+        assert!(StoreError::UnknownCursor(9).to_string().contains('9'));
+    }
+}

@@ -1,0 +1,303 @@
+//! # Storage engine for the untrusted index server
+//!
+//! The layer between the query protocol (`zerber_protocol`) and the ordered
+//! confidential index (`zerber_r`).  The paper's server answers ranged top-k
+//! fetches over merged posting lists; the lists are independent by
+//! construction (BFM, Section 5.2), so the index is embarrassingly shardable
+//! by `MergedListId`.
+//!
+//! * [`ListStore`] — the storage contract: ranged fetches in TRS order,
+//!   resumable cursor sessions for follow-up requests (Section 4.1/5.2),
+//!   position-preserving inserts.  The trait is the seam for future backends
+//!   (compressed segments, on-disk shards).
+//! * [`ShardedStore`] — lists partitioned across N shards, each behind its
+//!   own `RwLock`; queries on different lists never contend and an insert
+//!   write-locks exactly one shard.
+//! * [`SingleMutexStore`] — the pre-sharding architecture (one global mutex),
+//!   kept as the contention baseline for the throughput experiments.
+
+pub mod error;
+pub mod sharded;
+pub mod single;
+pub mod store;
+
+pub use error::StoreError;
+pub use sharded::{ShardedStore, MAX_SHARDS};
+pub use single::SingleMutexStore;
+pub use store::{CursorId, ListStore, RangedBatch, RangedFetch};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerber_base::{BfmMerge, ConfidentialityParam, MergeScheme, MergedListId};
+    use zerber_corpus::{
+        sample_split, Corpus, CorpusGenerator, CorpusStats, CustomProfile, DatasetProfile, GroupId,
+        SplitConfig, SynthConfig,
+    };
+    use zerber_crypto::MasterKey;
+    use zerber_r::{OrderedElement, OrderedIndex, RstfConfig, RstfModel};
+
+    fn index() -> OrderedIndex {
+        let config = SynthConfig {
+            profile: DatasetProfile::Custom(CustomProfile {
+                num_docs: 200,
+                num_groups: 3,
+                vocab_size: 500,
+                general_vocab_fraction: 0.5,
+                topic_mix: 0.3,
+                zipf_exponent: 1.0,
+                doc_length_median: 50.0,
+                doc_length_sigma: 0.6,
+                min_doc_length: 10,
+                max_doc_length: 200,
+            }),
+            scale: 1.0,
+            seed: 4242,
+        };
+        let corpus: Corpus = CorpusGenerator::new(config).generate().unwrap();
+        let stats = CorpusStats::compute(&corpus);
+        let split = sample_split(&corpus, SplitConfig::default()).unwrap();
+        let model = RstfModel::train(&corpus, &split, &RstfConfig::default()).unwrap();
+        let plan = BfmMerge
+            .plan(&stats, ConfidentialityParam::new(3.0).unwrap())
+            .unwrap();
+        let master = MasterKey::new([3u8; 32]);
+        OrderedIndex::build(&corpus, plan, &model, &master, 11).unwrap()
+    }
+
+    fn stores() -> (ShardedStore, SingleMutexStore) {
+        let idx = index();
+        (
+            ShardedStore::with_shards(idx.clone(), 4),
+            SingleMutexStore::new(idx),
+        )
+    }
+
+    fn busiest_list(store: &dyn ListStore) -> MergedListId {
+        (0..store.num_lists() as u64)
+            .map(MergedListId)
+            .max_by_key(|&l| store.list_len(l).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn sharded_partitions_preserve_every_element() {
+        let idx = index();
+        let expected = idx.num_elements();
+        let by_plan: Vec<usize> = (0..idx.num_lists() as u64)
+            .map(|l| idx.list_len(MergedListId(l)).unwrap())
+            .collect();
+        let store = ShardedStore::with_shards(idx, 5);
+        assert_eq!(store.num_elements(), expected);
+        assert_eq!(store.num_shards(), 5);
+        for (l, &len) in by_plan.iter().enumerate() {
+            let id = MergedListId(l as u64);
+            assert_eq!(store.list_len(id).unwrap(), len);
+            assert_eq!(store.shard_of(id), l % 5);
+        }
+        assert!(store.verify_ordering());
+    }
+
+    #[test]
+    fn both_stores_serve_identical_ranged_batches() {
+        let (sharded, single) = stores();
+        let list = busiest_list(&sharded);
+        let groups = [GroupId(0), GroupId(2)];
+        for offset in [0usize, 3, 10] {
+            let fetch = RangedFetch {
+                list,
+                offset,
+                count: 7,
+            };
+            let a = sharded.fetch_ranged(&fetch, Some(&groups)).unwrap();
+            let b = single.fetch_ranged(&fetch, Some(&groups)).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn batched_fetches_match_individual_fetches() {
+        let (sharded, _) = stores();
+        let fetches: Vec<RangedFetch> = (0..sharded.num_lists().min(9) as u64)
+            .map(|l| RangedFetch {
+                list: MergedListId(l),
+                offset: 1,
+                count: 5,
+            })
+            .chain(std::iter::once(RangedFetch {
+                list: MergedListId(999_999),
+                offset: 0,
+                count: 5,
+            }))
+            .collect();
+        let batched = sharded.fetch_ranged_many(&fetches, None);
+        assert_eq!(batched.len(), fetches.len());
+        for (fetch, result) in fetches.iter().zip(&batched) {
+            match sharded.fetch_ranged(fetch, None) {
+                Ok(expected) => assert_eq!(result.as_ref().unwrap(), &expected),
+                Err(e) => assert_eq!(result.as_ref().unwrap_err(), &e),
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_resumes_exactly_where_the_scan_stopped() {
+        let (sharded, _) = stores();
+        let list = busiest_list(&sharded);
+        let len = sharded.list_len(list).unwrap();
+        assert!(len > 6, "busiest list must be non-trivial");
+        let whole = sharded.snapshot_list(list).unwrap();
+
+        let first = sharded
+            .fetch_ranged(
+                &RangedFetch {
+                    list,
+                    offset: 0,
+                    count: 3,
+                },
+                None,
+            )
+            .unwrap();
+        let cursor = sharded
+            .open_cursor(list, 77, &first, first.elements.len(), None)
+            .unwrap();
+        let mut collected = first.elements.clone();
+        loop {
+            let batch = sharded.cursor_fetch(cursor, 77, 3, None).unwrap();
+            collected.extend(batch.elements.iter().cloned());
+            if batch.exhausted {
+                break;
+            }
+        }
+        assert_eq!(collected, whole);
+        // A foreign owner cannot close the session.
+        sharded.close_cursor(cursor, 78);
+        assert_eq!(sharded.open_cursors(), 1);
+        sharded.close_cursor(cursor, 77);
+        assert_eq!(sharded.open_cursors(), 0);
+    }
+
+    #[test]
+    fn cursor_owner_mismatch_and_unknown_cursor_are_rejected() {
+        let (sharded, _) = stores();
+        let list = busiest_list(&sharded);
+        let head = sharded
+            .fetch_ranged(
+                &RangedFetch {
+                    list,
+                    offset: 0,
+                    count: 1,
+                },
+                None,
+            )
+            .unwrap();
+        let cursor = sharded.open_cursor(list, 1, &head, 1, None).unwrap();
+        assert!(matches!(
+            sharded.cursor_fetch(cursor, 2, 3, None),
+            Err(StoreError::UnknownCursor(_))
+        ));
+        assert!(matches!(
+            sharded.cursor_fetch(CursorId(0), 1, 3, None),
+            Err(StoreError::UnknownCursor(_))
+        ));
+        assert!(sharded.cursor_fetch(cursor, 1, 3, None).is_ok());
+    }
+
+    #[test]
+    fn insert_shifts_cursors_past_the_insertion_point() {
+        let (sharded, _) = stores();
+        let list = busiest_list(&sharded);
+        let before = sharded.snapshot_list(list).unwrap();
+        // Cursor positioned after the first 4 elements.
+        let four = sharded
+            .fetch_ranged(
+                &RangedFetch {
+                    list,
+                    offset: 0,
+                    count: 4,
+                },
+                None,
+            )
+            .unwrap();
+        let cursor = sharded.open_cursor(list, 9, &four, 4, None).unwrap();
+        // Insert an element with the highest possible TRS: lands at 0.
+        let mut element = before[0].clone();
+        element.trs = 2.0;
+        let pos = sharded.insert(list, element).unwrap();
+        assert_eq!(pos, 0);
+        // The cursor must now deliver the same element it would have next.
+        let batch = sharded.cursor_fetch(cursor, 9, 1, None).unwrap();
+        assert_eq!(batch.elements[0], before[4]);
+        // A tail insert does not disturb a cursor at the front.  The list
+        // now starts with the freshly inserted 2.0 element, so a cursor
+        // opened after one delivered element points at the original head.
+        let one = sharded
+            .fetch_ranged(
+                &RangedFetch {
+                    list,
+                    offset: 0,
+                    count: 1,
+                },
+                None,
+            )
+            .unwrap();
+        let front = sharded.open_cursor(list, 9, &one, 1, None).unwrap();
+        let mut low = before[0].clone();
+        low.trs = -1.0;
+        sharded.insert(list, low).unwrap();
+        let batch = sharded.cursor_fetch(front, 9, 1, None).unwrap();
+        assert_eq!(batch.elements[0], before[0]);
+    }
+
+    #[test]
+    fn unknown_lists_error_on_every_accessor() {
+        let (sharded, single) = stores();
+        let bad = MergedListId(10_000_000);
+        for store in [&sharded as &dyn ListStore, &single as &dyn ListStore] {
+            assert!(store.list_len(bad).is_err());
+            assert!(store.visible_len(bad, None).is_err());
+            assert!(store.snapshot_list(bad).is_err());
+            assert!(store
+                .fetch_ranged(
+                    &RangedFetch {
+                        list: bad,
+                        offset: 0,
+                        count: 1
+                    },
+                    None
+                )
+                .is_err());
+            let dummy = RangedBatch {
+                elements: Vec::new(),
+                next_physical: 0,
+                visible_total: 0,
+                exhausted: false,
+                generation: 0,
+            };
+            assert!(store.open_cursor(bad, 1, &dummy, 0, None).is_err());
+            assert!(store
+                .insert(
+                    bad,
+                    OrderedElement {
+                        trs: 0.5,
+                        group: GroupId(0),
+                        sealed: zerber_base::EncryptedElement {
+                            group: GroupId(0),
+                            ciphertext: vec![1, 2, 3],
+                        },
+                    }
+                )
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn stores_agree_on_sizes() {
+        let (sharded, single) = stores();
+        assert_eq!(sharded.num_elements(), single.num_elements());
+        assert_eq!(sharded.stored_bytes(), single.stored_bytes());
+        assert_eq!(sharded.ciphertext_bytes(), single.ciphertext_bytes());
+        assert_eq!(sharded.num_lists(), single.num_lists());
+        assert_eq!(single.num_shards(), 1);
+    }
+}

@@ -1,0 +1,230 @@
+//! The concurrent sharded store.
+//!
+//! Merged posting lists are partitioned across N shards by `MergedListId`
+//! (lists are dense `0..num_lists`, so `id % N` is a perfect hash).  Each
+//! shard is a [`ListTable`] behind its own `RwLock`: queries on different
+//! lists never contend, concurrent queries on the same shard share a read
+//! lock, and an insert write-locks exactly one shard.
+//!
+//! Cursor sessions live *inside* the shard that owns their list, so the
+//! position adjustment an insert must apply to open cursors happens under
+//! the same write lock as the insert itself — no separate session lock, no
+//! position races.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+use zerber_base::{MergePlan, MergedListId};
+use zerber_corpus::GroupId;
+use zerber_r::{OrderedElement, OrderedIndex, TRS_BYTES};
+
+use crate::error::StoreError;
+use crate::store::{CursorId, ListStore, ListTable, RangedBatch, RangedFetch};
+
+/// Upper bound on shards: cursor ids embed the shard index in their low byte.
+pub const MAX_SHARDS: usize = 256;
+
+/// The sharded, concurrently accessible list store.
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<RwLock<ListTable>>,
+    plan: MergePlan,
+    next_cursor: AtomicU64,
+}
+
+impl ShardedStore {
+    /// Builds a store from an ordered index with a shard count matched to the
+    /// machine (`available_parallelism`, clamped to `[1, 64]`).
+    pub fn new(index: OrderedIndex) -> Self {
+        let shards = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, 64);
+        Self::with_shards(index, shards)
+    }
+
+    /// Builds a store partitioned across exactly `num_shards` shards.
+    pub fn with_shards(index: OrderedIndex, num_shards: usize) -> Self {
+        let num_shards = num_shards.clamp(1, MAX_SHARDS);
+        let (lists, plan) = index.into_parts();
+        let mut shards: Vec<ListTable> = (0..num_shards).map(|_| ListTable::default()).collect();
+        for (id, list) in lists.into_iter().enumerate() {
+            shards[id % num_shards].push_list(list);
+        }
+        ShardedStore {
+            shards: shards.into_iter().map(RwLock::new).collect(),
+            plan,
+            next_cursor: AtomicU64::new(1),
+        }
+    }
+
+    fn slot(&self, list: MergedListId) -> (usize, usize) {
+        let id = list.0 as usize;
+        (id % self.shards.len(), id / self.shards.len())
+    }
+
+    fn known(&self, list: MergedListId) -> Result<(usize, usize), StoreError> {
+        if (list.0 as usize) < self.plan.num_lists() {
+            Ok(self.slot(list))
+        } else {
+            Err(StoreError::UnknownList(list.0))
+        }
+    }
+
+    fn cursor_shard(&self, cursor: CursorId) -> Result<usize, StoreError> {
+        let shard = (cursor.0 & 0xff) as usize;
+        if cursor.is_some() && shard < self.shards.len() {
+            Ok(shard)
+        } else {
+            Err(StoreError::UnknownCursor(cursor.0))
+        }
+    }
+}
+
+impl ListStore for ShardedStore {
+    fn plan(&self) -> &MergePlan {
+        &self.plan
+    }
+
+    fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, list: MergedListId) -> usize {
+        self.slot(list).0
+    }
+
+    fn num_elements(&self) -> usize {
+        self.shards.iter().map(|s| s.read().num_elements()).sum()
+    }
+
+    fn stored_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .sum_over_elements(|e| e.sealed.stored_bytes() + TRS_BYTES)
+            })
+            .sum()
+    }
+
+    fn ciphertext_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().sum_over_elements(|e| e.sealed.ciphertext.len()))
+            .sum()
+    }
+
+    fn list_len(&self, list: MergedListId) -> Result<usize, StoreError> {
+        let (shard, slot) = self.known(list)?;
+        Ok(self.shards[shard].read().list(slot).len())
+    }
+
+    fn visible_len(
+        &self,
+        list: MergedListId,
+        accessible: Option<&[GroupId]>,
+    ) -> Result<usize, StoreError> {
+        let (shard, slot) = self.known(list)?;
+        Ok(crate::store::visible_count(
+            self.shards[shard].read().list(slot),
+            accessible,
+        ))
+    }
+
+    fn snapshot_list(&self, list: MergedListId) -> Result<Vec<OrderedElement>, StoreError> {
+        let (shard, slot) = self.known(list)?;
+        Ok(self.shards[shard].read().list(slot).to_vec())
+    }
+
+    fn fetch_ranged(
+        &self,
+        fetch: &RangedFetch,
+        accessible: Option<&[GroupId]>,
+    ) -> Result<RangedBatch, StoreError> {
+        let (shard, slot) = self.known(fetch.list)?;
+        Ok(self.shards[shard]
+            .read()
+            .fetch(slot, fetch.offset, fetch.count, accessible))
+    }
+
+    fn fetch_ranged_many(
+        &self,
+        fetches: &[RangedFetch],
+        accessible: Option<&[GroupId]>,
+    ) -> Vec<Result<RangedBatch, StoreError>> {
+        let mut results: Vec<Option<Result<RangedBatch, StoreError>>> = vec![None; fetches.len()];
+        // Group request indices by shard so every shard lock is taken once.
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, fetch) in fetches.iter().enumerate() {
+            match self.known(fetch.list) {
+                Ok((shard, _)) => by_shard[shard].push(i),
+                Err(e) => results[i] = Some(Err(e)),
+            }
+        }
+        for (shard, indices) in by_shard.into_iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let guard = self.shards[shard].read();
+            for i in indices {
+                let fetch = &fetches[i];
+                let (_, slot) = self.slot(fetch.list);
+                results[i] = Some(Ok(guard.fetch(slot, fetch.offset, fetch.count, accessible)));
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every fetch is answered"))
+            .collect()
+    }
+
+    fn open_cursor(
+        &self,
+        list: MergedListId,
+        owner: u64,
+        batch: &RangedBatch,
+        delivered: usize,
+        accessible: Option<&[GroupId]>,
+    ) -> Result<CursorId, StoreError> {
+        let (shard, slot) = self.known(list)?;
+        let seq = self.next_cursor.fetch_add(1, Ordering::Relaxed);
+        let raw = (seq << 8) | shard as u64;
+        self.shards[shard]
+            .write()
+            .open_cursor(raw, slot, owner, batch, delivered, accessible);
+        Ok(CursorId(raw))
+    }
+
+    fn cursor_fetch(
+        &self,
+        cursor: CursorId,
+        owner: u64,
+        count: usize,
+        accessible: Option<&[GroupId]>,
+    ) -> Result<RangedBatch, StoreError> {
+        let shard = self.cursor_shard(cursor)?;
+        self.shards[shard]
+            .read()
+            .cursor_fetch(cursor.0, owner, count, accessible)
+    }
+
+    fn close_cursor(&self, cursor: CursorId, owner: u64) {
+        if let Ok(shard) = self.cursor_shard(cursor) {
+            self.shards[shard].write().close_cursor(cursor.0, owner);
+        }
+    }
+
+    fn open_cursors(&self) -> usize {
+        self.shards.iter().map(|s| s.read().open_cursors()).sum()
+    }
+
+    fn insert(&self, list: MergedListId, element: OrderedElement) -> Result<usize, StoreError> {
+        let (shard, slot) = self.known(list)?;
+        Ok(self.shards[shard].write().insert(slot, element))
+    }
+
+    fn verify_ordering(&self) -> bool {
+        self.shards.iter().all(|s| s.read().ordering_ok())
+    }
+}

@@ -1,0 +1,179 @@
+//! The single-global-mutex store: the pre-sharding serving architecture,
+//! kept as the contention baseline for the throughput experiments.
+//!
+//! Every operation — including read-only fetches — serializes on one
+//! `Mutex` around a single [`ListTable`], exactly like the original server
+//! that wrapped the whole `OrderedIndex` in a global lock.  Results are
+//! element-for-element identical to [`crate::ShardedStore`] (both delegate
+//! to the same table logic); only the concurrency model differs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use zerber_base::{MergePlan, MergedListId};
+use zerber_corpus::GroupId;
+use zerber_r::{OrderedElement, OrderedIndex, TRS_BYTES};
+
+use crate::error::StoreError;
+use crate::store::{CursorId, ListStore, ListTable, RangedBatch, RangedFetch};
+
+/// A store serializing every operation on one global mutex.
+#[derive(Debug)]
+pub struct SingleMutexStore {
+    inner: Mutex<ListTable>,
+    plan: MergePlan,
+    next_cursor: AtomicU64,
+}
+
+impl SingleMutexStore {
+    /// Builds the store from an ordered index.
+    pub fn new(index: OrderedIndex) -> Self {
+        let (lists, plan) = index.into_parts();
+        let mut table = ListTable::default();
+        for list in lists {
+            table.push_list(list);
+        }
+        SingleMutexStore {
+            inner: Mutex::new(table),
+            plan,
+            next_cursor: AtomicU64::new(1),
+        }
+    }
+
+    fn check(&self, list: MergedListId) -> Result<usize, StoreError> {
+        let slot = list.0 as usize;
+        if slot < self.plan.num_lists() {
+            Ok(slot)
+        } else {
+            Err(StoreError::UnknownList(list.0))
+        }
+    }
+}
+
+impl ListStore for SingleMutexStore {
+    fn plan(&self) -> &MergePlan {
+        &self.plan
+    }
+
+    fn num_shards(&self) -> usize {
+        1
+    }
+
+    fn shard_of(&self, _list: MergedListId) -> usize {
+        0
+    }
+
+    fn num_elements(&self) -> usize {
+        self.inner.lock().num_elements()
+    }
+
+    fn stored_bytes(&self) -> usize {
+        self.inner
+            .lock()
+            .sum_over_elements(|e| e.sealed.stored_bytes() + TRS_BYTES)
+    }
+
+    fn ciphertext_bytes(&self) -> usize {
+        self.inner
+            .lock()
+            .sum_over_elements(|e| e.sealed.ciphertext.len())
+    }
+
+    fn list_len(&self, list: MergedListId) -> Result<usize, StoreError> {
+        let slot = self.check(list)?;
+        Ok(self.inner.lock().list(slot).len())
+    }
+
+    fn visible_len(
+        &self,
+        list: MergedListId,
+        accessible: Option<&[GroupId]>,
+    ) -> Result<usize, StoreError> {
+        let slot = self.check(list)?;
+        Ok(crate::store::visible_count(
+            self.inner.lock().list(slot),
+            accessible,
+        ))
+    }
+
+    fn snapshot_list(&self, list: MergedListId) -> Result<Vec<OrderedElement>, StoreError> {
+        let slot = self.check(list)?;
+        Ok(self.inner.lock().list(slot).to_vec())
+    }
+
+    fn fetch_ranged(
+        &self,
+        fetch: &RangedFetch,
+        accessible: Option<&[GroupId]>,
+    ) -> Result<RangedBatch, StoreError> {
+        let slot = self.check(fetch.list)?;
+        Ok(self
+            .inner
+            .lock()
+            .fetch(slot, fetch.offset, fetch.count, accessible))
+    }
+
+    fn fetch_ranged_many(
+        &self,
+        fetches: &[RangedFetch],
+        accessible: Option<&[GroupId]>,
+    ) -> Vec<Result<RangedBatch, StoreError>> {
+        // One shard: take the lock once and serve the whole batch.
+        let guard = self.inner.lock();
+        fetches
+            .iter()
+            .map(|fetch| {
+                let slot = self.check(fetch.list)?;
+                Ok(guard.fetch(slot, fetch.offset, fetch.count, accessible))
+            })
+            .collect()
+    }
+
+    fn open_cursor(
+        &self,
+        list: MergedListId,
+        owner: u64,
+        batch: &RangedBatch,
+        delivered: usize,
+        accessible: Option<&[GroupId]>,
+    ) -> Result<CursorId, StoreError> {
+        let slot = self.check(list)?;
+        let raw = self.next_cursor.fetch_add(1, Ordering::Relaxed) << 8;
+        self.inner
+            .lock()
+            .open_cursor(raw, slot, owner, batch, delivered, accessible);
+        Ok(CursorId(raw))
+    }
+
+    fn cursor_fetch(
+        &self,
+        cursor: CursorId,
+        owner: u64,
+        count: usize,
+        accessible: Option<&[GroupId]>,
+    ) -> Result<RangedBatch, StoreError> {
+        if !cursor.is_some() {
+            return Err(StoreError::UnknownCursor(cursor.0));
+        }
+        self.inner
+            .lock()
+            .cursor_fetch(cursor.0, owner, count, accessible)
+    }
+
+    fn close_cursor(&self, cursor: CursorId, owner: u64) {
+        self.inner.lock().close_cursor(cursor.0, owner);
+    }
+
+    fn open_cursors(&self) -> usize {
+        self.inner.lock().open_cursors()
+    }
+
+    fn insert(&self, list: MergedListId, element: OrderedElement) -> Result<usize, StoreError> {
+        let slot = self.check(list)?;
+        Ok(self.inner.lock().insert(slot, element))
+    }
+
+    fn verify_ordering(&self) -> bool {
+        self.inner.lock().ordering_ok()
+    }
+}

@@ -1,0 +1,561 @@
+//! The `ListStore` trait: the seam between the query protocol and the
+//! physical representation of the ordered merged posting lists.
+//!
+//! The untrusted server of the paper answers two operations: ranged top-k
+//! fetches in TRS order (Section 5.2) and position-preserving inserts of
+//! sealed elements (Section 5).  Both are per-merged-list operations, and
+//! merged lists are independent by construction — which is exactly what makes
+//! the index shardable.  This trait captures the contract; implementations
+//! decide the concurrency model ([`crate::ShardedStore`],
+//! [`crate::SingleMutexStore`]) and, in the future, the physical layout
+//! (compressed segments, on-disk shards).
+
+use zerber_base::{MergePlan, MergedListId};
+use zerber_corpus::GroupId;
+use zerber_r::OrderedElement;
+
+use crate::error::StoreError;
+
+/// Identifier of an open cursor session.  `CursorId(0)` means "no cursor".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CursorId(pub u64);
+
+impl CursorId {
+    /// The sentinel "no cursor" value.
+    pub const NONE: CursorId = CursorId(0);
+
+    /// Whether this is a real cursor (non-zero id).
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// One ranged fetch request against a merged list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangedFetch {
+    /// The merged posting list to read.
+    pub list: MergedListId,
+    /// Number of *visible* elements to skip from the top of the list.
+    pub offset: usize,
+    /// Maximum number of visible elements to return.
+    pub count: usize,
+}
+
+/// Result of one ranged or cursor fetch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangedBatch {
+    /// Up to `count` accessible elements in descending TRS order.
+    pub elements: Vec<OrderedElement>,
+    /// Physical list position just past the last scanned element; a cursor
+    /// resuming here continues the scan without re-walking the prefix.
+    pub next_physical: usize,
+    /// Total number of elements of the list visible to the caller.
+    pub visible_total: usize,
+    /// Whether the scan reached the physical end of the list.
+    pub exhausted: bool,
+    /// Insert generation of the list when the batch was served.  Opening a
+    /// cursor from this batch compares generations: if an insert moved the
+    /// list in between, the position is re-derived instead of trusted.
+    pub generation: u64,
+}
+
+/// Storage engine interface of the untrusted index server.
+///
+/// All methods take `&self`: implementations provide interior mutability and
+/// are safe to share across server worker threads.
+pub trait ListStore: Send + Sync + std::fmt::Debug {
+    /// The merge plan (term → merged list) underlying the stored index.
+    fn plan(&self) -> &MergePlan;
+
+    /// Number of independent shards (1 for unsharded implementations).
+    fn num_shards(&self) -> usize;
+
+    /// The shard a merged list is assigned to.
+    fn shard_of(&self, list: MergedListId) -> usize;
+
+    /// Number of merged posting lists hosted.
+    fn num_lists(&self) -> usize {
+        self.plan().num_lists()
+    }
+
+    /// Total number of posting elements hosted.
+    fn num_elements(&self) -> usize;
+
+    /// Total bytes stored for the index (sealed payloads + TRS).
+    fn stored_bytes(&self) -> usize;
+
+    /// Total ciphertext bytes across all elements (for wire-size accounting).
+    fn ciphertext_bytes(&self) -> usize;
+
+    /// Physical length of one merged list.
+    fn list_len(&self, list: MergedListId) -> Result<usize, StoreError>;
+
+    /// Number of elements of the list visible to a user with access to
+    /// `accessible` groups (`None` = unrestricted).
+    fn visible_len(
+        &self,
+        list: MergedListId,
+        accessible: Option<&[GroupId]>,
+    ) -> Result<usize, StoreError>;
+
+    /// A full copy of one ordered list (audits and tests only).
+    fn snapshot_list(&self, list: MergedListId) -> Result<Vec<OrderedElement>, StoreError>;
+
+    /// Serves one ranged fetch: skips `offset` visible elements from the top
+    /// of the list, then returns up to `count` visible elements.
+    fn fetch_ranged(
+        &self,
+        fetch: &RangedFetch,
+        accessible: Option<&[GroupId]>,
+    ) -> Result<RangedBatch, StoreError>;
+
+    /// Serves a batch of ranged fetches.  Implementations group the fetches
+    /// by shard and acquire each shard lock only once, so a multi-term query
+    /// visits each shard a single time.  Results align with the input order.
+    fn fetch_ranged_many(
+        &self,
+        fetches: &[RangedFetch],
+        accessible: Option<&[GroupId]>,
+    ) -> Vec<Result<RangedBatch, StoreError>>;
+
+    /// Opens a cursor session continuing after `batch` (previously obtained
+    /// from a ranged fetch on `list`).  `owner` is an opaque session tag;
+    /// subsequent [`ListStore::cursor_fetch`] calls must present the same
+    /// tag.  `delivered` is the number of visible elements (under
+    /// `accessible`) the session has received so far: if inserts moved the
+    /// list between the fetch and this call (detected via
+    /// [`RangedBatch::generation`]), the implementation re-derives the
+    /// position from `delivered` instead of trusting the stale
+    /// `next_physical`, so follow-ups neither skip nor repeat elements.
+    fn open_cursor(
+        &self,
+        list: MergedListId,
+        owner: u64,
+        batch: &RangedBatch,
+        delivered: usize,
+        accessible: Option<&[GroupId]>,
+    ) -> Result<CursorId, StoreError>;
+
+    /// Resumes a cursor: scans from the stored physical position, returns up
+    /// to `count` visible elements and advances the cursor past the scanned
+    /// range.
+    fn cursor_fetch(
+        &self,
+        cursor: CursorId,
+        owner: u64,
+        count: usize,
+        accessible: Option<&[GroupId]>,
+    ) -> Result<RangedBatch, StoreError>;
+
+    /// Closes a cursor session (idempotent).  The caller must present the
+    /// session's `owner` tag: a foreign tag leaves the session untouched, so
+    /// one user cannot tear down another user's session by guessing its id.
+    fn close_cursor(&self, cursor: CursorId, owner: u64);
+
+    /// Number of currently open cursors.
+    fn open_cursors(&self) -> usize;
+
+    /// Inserts a sealed element at its TRS position, returning the physical
+    /// insertion index.  Open cursors on the list positioned after the
+    /// insertion point are shifted so they neither skip nor repeat elements.
+    fn insert(&self, list: MergedListId, element: OrderedElement) -> Result<usize, StoreError>;
+
+    /// Checks the descending-TRS invariant of every list.
+    fn verify_ordering(&self) -> bool;
+}
+
+/// Open cursors a session table holds before the oldest is evicted
+/// (abandoned sessions must not grow the table without bound).  Applied per
+/// shard by the sharded store and to the whole table by the single-mutex
+/// store.
+pub(crate) const MAX_CURSORS_PER_TABLE: usize = 1024;
+
+/// One cursor session: the local slot of its list and the physical position
+/// of the next element to scan.  The position is atomic so a follow-up can
+/// advance its own cursor under a shared read lock; inserts adjust positions
+/// under the exclusive lock.
+#[derive(Debug)]
+struct Cursor {
+    slot: usize,
+    owner: u64,
+    position: std::sync::atomic::AtomicUsize,
+}
+
+/// The storage state owned by one lock domain — a shard of the sharded
+/// store, or the whole single-mutex store: the ordered lists, their insert
+/// generations, and the cursor sessions bound to them.  Keeping cursors in
+/// the same lock domain as their lists means the position adjustment an
+/// insert must apply happens under the same exclusive lock as the insert.
+#[derive(Debug, Default)]
+pub(crate) struct ListTable {
+    lists: Vec<Vec<OrderedElement>>,
+    generations: Vec<u64>,
+    cursors: std::collections::HashMap<u64, Cursor>,
+}
+
+impl ListTable {
+    /// Appends one list (used while partitioning an index into tables).
+    pub fn push_list(&mut self, list: Vec<OrderedElement>) {
+        self.lists.push(list);
+        self.generations.push(0);
+    }
+
+    /// The list stored at a local slot.
+    pub fn list(&self, slot: usize) -> &[OrderedElement] {
+        &self.lists[slot]
+    }
+
+    /// Total elements across the table's lists.
+    pub fn num_elements(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+
+    /// Sum of `f` over every element of the table.
+    pub fn sum_over_elements(&self, f: impl Fn(&OrderedElement) -> usize) -> usize {
+        self.lists.iter().flat_map(|l| l.iter()).map(f).sum()
+    }
+
+    /// Serves one ranged fetch against a slot.
+    pub fn fetch(
+        &self,
+        slot: usize,
+        offset: usize,
+        count: usize,
+        accessible: Option<&[GroupId]>,
+    ) -> RangedBatch {
+        batch_from_scan(
+            &self.lists[slot],
+            self.generations[slot],
+            0,
+            offset,
+            count,
+            accessible,
+        )
+    }
+
+    /// Opens a cursor session with the caller-allocated id `raw`, continuing
+    /// after `batch`.  If inserts moved the list since the batch was served
+    /// (generation mismatch), the position is re-derived by skipping the
+    /// `delivered` visible elements the session has already received.
+    pub fn open_cursor(
+        &mut self,
+        raw: u64,
+        slot: usize,
+        owner: u64,
+        batch: &RangedBatch,
+        delivered: usize,
+        accessible: Option<&[GroupId]>,
+    ) {
+        if self.cursors.len() >= MAX_CURSORS_PER_TABLE {
+            // Evict the oldest (smallest-id) abandoned session.
+            if let Some(&oldest) = self.cursors.keys().min() {
+                self.cursors.remove(&oldest);
+            }
+        }
+        let list = &self.lists[slot];
+        let position = if batch.generation == self.generations[slot] {
+            batch.next_physical.min(list.len())
+        } else {
+            position_after_visible(list, delivered, accessible)
+        };
+        self.cursors.insert(
+            raw,
+            Cursor {
+                slot,
+                owner,
+                position: std::sync::atomic::AtomicUsize::new(position),
+            },
+        );
+    }
+
+    /// Resumes a cursor: scans from its stored physical position and
+    /// advances it past the scanned range.  A compare-exchange loop makes a
+    /// concurrent fetch of the same cursor (a retried follow-up) re-scan
+    /// from the freshly observed position instead of rewinding or
+    /// duplicating elements.
+    pub fn cursor_fetch(
+        &self,
+        raw: u64,
+        owner: u64,
+        count: usize,
+        accessible: Option<&[GroupId]>,
+    ) -> Result<RangedBatch, StoreError> {
+        use std::sync::atomic::Ordering;
+        let cursor = self
+            .cursors
+            .get(&raw)
+            .filter(|c| c.owner == owner)
+            .ok_or(StoreError::UnknownCursor(raw))?;
+        let list = &self.lists[cursor.slot];
+        let generation = self.generations[cursor.slot];
+        let mut start = cursor.position.load(Ordering::Acquire);
+        loop {
+            let batch = batch_from_scan(list, generation, start, 0, count, accessible);
+            match cursor.position.compare_exchange(
+                start,
+                batch.next_physical,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(batch),
+                Err(current) => start = current,
+            }
+        }
+    }
+
+    /// Closes a session if `owner` matches its tag (idempotent; a foreign
+    /// tag is a no-op).
+    pub fn close_cursor(&mut self, raw: u64, owner: u64) {
+        if self.cursors.get(&raw).is_some_and(|c| c.owner == owner) {
+            self.cursors.remove(&raw);
+        }
+    }
+
+    /// Number of open sessions.
+    pub fn open_cursors(&self) -> usize {
+        self.cursors.len()
+    }
+
+    /// Inserts an element at its TRS position, bumps the list generation and
+    /// shifts cursors that already scanned past the insertion point so they
+    /// neither repeat the shifted element nor skip one.  A cursor exactly at
+    /// the insertion point stays: the new element is its next in TRS order.
+    pub fn insert(&mut self, slot: usize, element: OrderedElement) -> usize {
+        use std::sync::atomic::Ordering;
+        let pos = insertion_point(&self.lists[slot], element.trs);
+        self.lists[slot].insert(pos, element);
+        self.generations[slot] += 1;
+        for cursor in self.cursors.values() {
+            if cursor.slot == slot && cursor.position.load(Ordering::Relaxed) > pos {
+                cursor.position.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        pos
+    }
+
+    /// Descending-TRS invariant over every list of the table.
+    pub fn ordering_ok(&self) -> bool {
+        self.lists
+            .iter()
+            .all(|l| l.windows(2).all(|w| w[0].trs >= w[1].trs))
+    }
+}
+
+/// The physical index just past the first `delivered` visible elements —
+/// where a session that has received `delivered` elements resumes.
+fn position_after_visible(
+    list: &[OrderedElement],
+    delivered: usize,
+    accessible: Option<&[GroupId]>,
+) -> usize {
+    let mut seen = 0usize;
+    for (i, element) in list.iter().enumerate() {
+        if seen == delivered {
+            return i;
+        }
+        if is_visible(element, accessible) {
+            seen += 1;
+        }
+    }
+    list.len()
+}
+
+/// Whether an element is visible to a user restricted to `accessible` groups.
+pub(crate) fn is_visible(element: &OrderedElement, accessible: Option<&[GroupId]>) -> bool {
+    match accessible {
+        None => true,
+        Some(groups) => groups.contains(&element.group),
+    }
+}
+
+/// Counts the elements of `list` visible under `accessible`.
+pub(crate) fn visible_count(list: &[OrderedElement], accessible: Option<&[GroupId]>) -> usize {
+    match accessible {
+        None => list.len(),
+        Some(_) => list.iter().filter(|e| is_visible(e, accessible)).count(),
+    }
+}
+
+/// Scans `list` from physical index `start`, skipping `skip` visible
+/// elements, then collecting up to `count` visible elements.  Returns the
+/// collected elements and the physical index just past the last scanned
+/// element.
+pub(crate) fn scan(
+    list: &[OrderedElement],
+    start: usize,
+    skip: usize,
+    count: usize,
+    accessible: Option<&[GroupId]>,
+) -> (Vec<OrderedElement>, usize) {
+    let mut elements = Vec::with_capacity(count.min(list.len().saturating_sub(start)));
+    let mut skipped = 0usize;
+    let mut next = list.len().max(start);
+    for (i, element) in list.iter().enumerate().skip(start) {
+        if !is_visible(element, accessible) {
+            continue;
+        }
+        if skipped < skip {
+            skipped += 1;
+            continue;
+        }
+        elements.push(element.clone());
+        if elements.len() == count {
+            next = i + 1;
+            break;
+        }
+    }
+    (elements, next)
+}
+
+/// Builds a [`RangedBatch`] for a scan over `list` at insert generation
+/// `generation`.
+pub(crate) fn batch_from_scan(
+    list: &[OrderedElement],
+    generation: u64,
+    start: usize,
+    skip: usize,
+    count: usize,
+    accessible: Option<&[GroupId]>,
+) -> RangedBatch {
+    let visible_total = visible_count(list, accessible);
+    let (elements, next_physical) = scan(list, start, skip, count, accessible);
+    RangedBatch {
+        elements,
+        exhausted: next_physical >= list.len(),
+        next_physical,
+        visible_total,
+        generation,
+    }
+}
+
+/// The TRS insertion position: after every element with a strictly larger
+/// TRS, before equal ones (the binary search of Section 5, identical to
+/// `OrderedIndex::insert_sealed`).
+pub(crate) fn insertion_point(list: &[OrderedElement], trs: f64) -> usize {
+    list.partition_point(|e| e.trs > trs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerber_base::EncryptedElement;
+
+    fn element(trs: f64, group: u32) -> OrderedElement {
+        OrderedElement {
+            trs,
+            group: GroupId(group),
+            sealed: EncryptedElement {
+                group: GroupId(group),
+                ciphertext: vec![0u8; 4],
+            },
+        }
+    }
+
+    fn list() -> Vec<OrderedElement> {
+        vec![
+            element(0.9, 0),
+            element(0.8, 1),
+            element(0.7, 0),
+            element(0.6, 1),
+            element(0.5, 0),
+        ]
+    }
+
+    #[test]
+    fn scan_skips_visible_elements_only() {
+        let l = list();
+        let only_g0 = [GroupId(0)];
+        let (elements, next) = scan(&l, 0, 1, 1, Some(&only_g0));
+        // Skips the first group-0 element (0.9), returns the second (0.7).
+        assert_eq!(elements.len(), 1);
+        assert!((elements[0].trs - 0.7).abs() < 1e-12);
+        assert_eq!(next, 3);
+    }
+
+    #[test]
+    fn scan_from_start_resumes_mid_list() {
+        let l = list();
+        let (elements, next) = scan(&l, 2, 0, 2, None);
+        assert_eq!(elements.len(), 2);
+        assert!((elements[0].trs - 0.7).abs() < 1e-12);
+        assert_eq!(next, 4);
+        // Past the end: empty batch, next clamps to the list length.
+        let (rest, end) = scan(&l, next, 0, 10, None);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(end, l.len());
+    }
+
+    #[test]
+    fn batch_reports_visibility_and_exhaustion() {
+        let l = list();
+        let only_g1 = [GroupId(1)];
+        let batch = batch_from_scan(&l, 7, 0, 0, 10, Some(&only_g1));
+        assert_eq!(batch.visible_total, 2);
+        assert_eq!(batch.elements.len(), 2);
+        assert!(batch.exhausted);
+        assert_eq!(batch.generation, 7);
+        let partial = batch_from_scan(&l, 0, 0, 0, 2, None);
+        assert!(!partial.exhausted);
+        assert_eq!(partial.next_physical, 2);
+    }
+
+    #[test]
+    fn stale_batches_rederive_the_cursor_position() {
+        // A table with one list; serve a batch, then let an insert land
+        // before the cursor is opened — the TOCTOU the generation guards.
+        let mut table = ListTable::default();
+        table.push_list(list());
+        let batch = table.fetch(0, 0, 2, None);
+        assert_eq!(batch.generation, 0);
+        // Insert at the head (TRS 1.0): every physical index shifts by one.
+        assert_eq!(table.insert(0, element(1.0, 0)), 0);
+        // Opening from the stale batch re-derives offset semantics: with 2
+        // elements delivered the session resumes after the first 2 visible
+        // elements of the *current* list ([1.0, 0.9, 0.8, ...] -> index 2).
+        table.open_cursor(42, 0, 9, &batch, 2, None);
+        let resumed = table.cursor_fetch(42, 9, 1, None).unwrap();
+        assert!((resumed.elements[0].trs - 0.8).abs() < 1e-12);
+        // A fresh batch (matching generation) is trusted as-is: it delivered
+        // [1.0, 0.9] and resumes exactly at 0.8.
+        let fresh = table.fetch(0, 0, 2, None);
+        assert_eq!(fresh.generation, 1);
+        table.open_cursor(43, 0, 9, &fresh, 2, None);
+        let resumed = table.cursor_fetch(43, 9, 1, None).unwrap();
+        assert!((resumed.elements[0].trs - 0.8).abs() < 1e-12);
+        assert_eq!(table.open_cursors(), 2);
+        // A foreign owner tag cannot close the session; the real one can.
+        table.close_cursor(42, 1234);
+        assert_eq!(table.open_cursors(), 2);
+        table.close_cursor(42, 9);
+        table.close_cursor(43, 9);
+        assert_eq!(table.open_cursors(), 0);
+    }
+
+    #[test]
+    fn position_after_visible_respects_group_filters() {
+        let l = list();
+        let only_g0 = [GroupId(0)];
+        // After 1 delivered group-0 element the session resumes at index 1
+        // (the first index past the 0.9 element); after 2, at index 3.
+        assert_eq!(position_after_visible(&l, 0, Some(&only_g0)), 0);
+        assert_eq!(position_after_visible(&l, 1, Some(&only_g0)), 1);
+        assert_eq!(position_after_visible(&l, 2, Some(&only_g0)), 3);
+        assert_eq!(position_after_visible(&l, 3, Some(&only_g0)), 5);
+        assert_eq!(position_after_visible(&l, 99, None), 5);
+    }
+
+    #[test]
+    fn insertion_point_is_stable_for_ties() {
+        let l = list();
+        // Equal TRS inserts before the existing element.
+        assert_eq!(insertion_point(&l, 0.7), 2);
+        assert_eq!(insertion_point(&l, 0.95), 0);
+        assert_eq!(insertion_point(&l, 0.1), 5);
+    }
+
+    #[test]
+    fn cursor_id_sentinel() {
+        assert!(!CursorId::NONE.is_some());
+        assert!(CursorId(3).is_some());
+    }
+}

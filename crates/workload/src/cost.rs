@@ -10,8 +10,8 @@
 //! of those retrieval counts (Equation 9).
 
 use serde::{Deserialize, Serialize};
-use zerber_corpus::{CorpusStats, TermId};
 use zerber_base::MergePlan;
+use zerber_corpus::{CorpusStats, TermId};
 
 use crate::error::WorkloadError;
 use crate::querylog::QueryLog;
@@ -109,7 +109,9 @@ pub fn workload_cost(
     k: usize,
 ) -> Result<(f64, Vec<TermCost>), WorkloadError> {
     if k == 0 {
-        return Err(WorkloadError::InvalidConfig("k must be greater than 0".into()));
+        return Err(WorkloadError::InvalidConfig(
+            "k must be greater than 0".into(),
+        ));
     }
     let mut per_term = Vec::with_capacity(log.distinct_terms());
     let mut total = 0.0;
@@ -204,7 +206,10 @@ mod tests {
             .map(|&t| f64::from(stats.doc_freq(t).unwrap()))
             .sum();
         let huge = expected_retrieval_count(&stats, &plan, term, 1_000_000).unwrap();
-        assert!((huge - list_total).abs() < 1e-9, "capped at the list length");
+        assert!(
+            (huge - list_total).abs() < 1e-9,
+            "capped at the list length"
+        );
     }
 
     #[test]

@@ -62,7 +62,9 @@ mod tests {
 
     #[test]
     fn display_and_conversions() {
-        assert!(WorkloadError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        assert!(WorkloadError::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
         let e: WorkloadError = zerber_corpus::CorpusError::UnknownTerm(1).into();
         assert!(matches!(e, WorkloadError::Corpus(_)));
         let e: WorkloadError = zerber_base::ZerberError::UnknownList(1).into();

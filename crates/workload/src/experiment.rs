@@ -8,16 +8,18 @@
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
-use zerber_base::{BfmMerge, ConfidentialityParam, MergePlan, MergeScheme, MixedMerge, RandomMerge};
+use zerber_base::{
+    BfmMerge, ConfidentialityParam, MergePlan, MergeScheme, MixedMerge, RandomMerge,
+};
 use zerber_corpus::{
     sample_split, Corpus, CorpusGenerator, CorpusStats, DatasetProfile, GroupId, SplitConfig,
     SynthConfig, TrainControlSplit,
 };
 use zerber_crypto::{GroupKeys, MasterKey};
 use zerber_index::InvertedIndex;
-use zerber_r::{
-    retrieve_topk, GrowthPolicy, OrderedIndex, RetrievalConfig, RstfConfig, RstfModel,
-};
+use zerber_protocol::{AccessControl, IndexServer};
+use zerber_r::{retrieve_topk, GrowthPolicy, OrderedIndex, RetrievalConfig, RstfConfig, RstfModel};
+use zerber_store::ShardedStore;
 
 use crate::error::WorkloadError;
 use crate::metrics::QuerySample;
@@ -113,7 +115,8 @@ impl TestBed {
             MergeKind::Random => RandomMerge { seed: config.seed }.plan(&stats, r)?,
         };
         let master = MasterKey::new(master_key_bytes(config.seed));
-        let index = OrderedIndex::build(&corpus, plan.clone(), &model, &master, config.seed ^ 0xabc)?;
+        let index =
+            OrderedIndex::build(&corpus, plan.clone(), &model, &master, config.seed ^ 0xabc)?;
         let plain_index = InvertedIndex::build(&corpus);
         let all_memberships: HashMap<GroupId, GroupKeys> = (0..corpus.num_groups() as u32)
             .map(|g| (GroupId(g), master.group_keys(g)))
@@ -135,6 +138,40 @@ impl TestBed {
     /// Generates a query log matched to this corpus.
     pub fn query_log(&self, config: &QueryLogConfig) -> Result<QueryLog, WorkloadError> {
         QueryLog::generate(&self.stats, config)
+    }
+
+    /// The user directory used by [`TestBed::build_server`]: `num_users`
+    /// all-group members named `user-0`, `user-1`, ...
+    fn server_acl(&self, num_users: usize) -> AccessControl {
+        let mut acl = AccessControl::new(b"testbed-server");
+        let groups: Vec<GroupId> = (0..self.corpus.num_groups() as u32).map(GroupId).collect();
+        for i in 0..num_users.max(1) {
+            acl.register_user(&format!("user-{i}"), &groups);
+        }
+        acl
+    }
+
+    /// Builds an index server over a copy of the ordered index, partitioned
+    /// across `num_shards` storage shards, with `num_users` registered
+    /// all-group users (`user-0`, ...).  Used by the concurrency tests and
+    /// the server-throughput benchmarks.
+    pub fn build_server(&self, num_shards: usize, num_users: usize) -> IndexServer {
+        IndexServer::with_store(
+            Box::new(ShardedStore::with_shards(self.index.clone(), num_shards)),
+            self.server_acl(num_users),
+        )
+    }
+
+    /// Builds the single-global-mutex baseline server (the pre-sharding
+    /// architecture) over a copy of the ordered index.
+    pub fn build_single_mutex_server(&self, num_users: usize) -> IndexServer {
+        IndexServer::single_mutex(self.index.clone(), self.server_acl(num_users))
+    }
+
+    /// The names registered by [`TestBed::build_server`], ready to hand to
+    /// the `netsim` load generator.
+    pub fn server_users(num_users: usize) -> Vec<String> {
+        (0..num_users.max(1)).map(|i| format!("user-{i}")).collect()
     }
 
     /// Executes the retrieval protocol once per distinct query term of the
@@ -237,6 +274,31 @@ mod tests {
         // With b = k most of the (frequency-weighted) workload should be
         // satisfied quickly (Section 6.5).
         assert!(reqs < 6.0, "requests {reqs}");
+    }
+
+    #[test]
+    fn built_servers_serve_the_workload_from_a_thread_pool() {
+        let bed = bed();
+        let sharded = bed.build_server(4, 2);
+        let single = bed.build_single_mutex_server(2);
+        assert_eq!(sharded.num_elements(), bed.index.num_elements());
+        assert_eq!(sharded.store().num_shards(), 4);
+        assert_eq!(single.store().num_shards(), 1);
+        let users = TestBed::server_users(2);
+        let lists: Vec<u64> = (0..sharded.num_lists() as u64).take(8).collect();
+        let config = zerber_protocol::LoadConfig {
+            threads: 2,
+            queries_per_thread: 20,
+            k: 5,
+        };
+        let a = zerber_protocol::drive_raw_queries(&sharded, &users, &lists, &config).unwrap();
+        let b = zerber_protocol::drive_raw_queries(&single, &users, &lists, &config).unwrap();
+        assert_eq!(a.queries, 40);
+        assert_eq!(a.queries, b.queries);
+        assert!(a.queries_per_second > 0.0);
+        // Both engines ship identical element counts for the same workload.
+        assert_eq!(a.elements_sent, b.elements_sent);
+        assert_eq!(sharded.open_cursors(), 0);
     }
 
     #[test]

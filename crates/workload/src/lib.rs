@@ -25,7 +25,8 @@ pub use cost::{
 pub use error::WorkloadError;
 pub use experiment::{MergeKind, TestBed, TestBedConfig};
 pub use metrics::{
-    average_bandwidth_overhead, average_requests, cumulative_workload_curve, efficiency_at_percentiles,
-    efficiency_curve, single_request_fraction, EfficiencyPoint, QuerySample, WorkloadPoint,
+    average_bandwidth_overhead, average_requests, cumulative_workload_curve,
+    efficiency_at_percentiles, efficiency_curve, single_request_fraction, throughput_speedup,
+    EfficiencyPoint, QuerySample, ThroughputPoint, WorkloadPoint,
 };
 pub use querylog::{QueryLog, QueryLogConfig};

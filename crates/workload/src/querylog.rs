@@ -251,10 +251,16 @@ mod tests {
         let s = stats();
         let log = QueryLog::generate(&s, &QueryLogConfig::default()).unwrap();
         let freqs = log.term_frequencies();
-        assert!(freqs.windows(2).all(|w| w[0].1 >= w[1].1), "sorted descending");
+        assert!(
+            freqs.windows(2).all(|w| w[0].1 >= w[1].1),
+            "sorted descending"
+        );
         let top = freqs[0].1 as f64;
         let mid = freqs[freqs.len() / 2].1 as f64;
-        assert!(top > 20.0 * mid, "head {top} should dominate the median {mid}");
+        assert!(
+            top > 20.0 * mid,
+            "head {top} should dominate the median {mid}"
+        );
     }
 
     #[test]
@@ -272,11 +278,8 @@ mod tests {
         // the 50 most queried terms; it should be far better (smaller) than
         // the corpus average but not exactly 0..50.
         let by_df = s.terms_by_doc_freq();
-        let rank_of: std::collections::HashMap<TermId, usize> = by_df
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| (t, i))
-            .collect();
+        let rank_of: std::collections::HashMap<TermId, usize> =
+            by_df.iter().enumerate().map(|(i, &t)| (t, i)).collect();
         let top50: Vec<usize> = log
             .term_frequencies()
             .iter()

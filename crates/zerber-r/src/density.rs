@@ -214,7 +214,12 @@ mod tests {
         let g = GaussianSum::new(&values, 10.0).unwrap();
         let scales = g.component_scales();
         assert_eq!(scales.len(), values.len());
-        assert!(scales[10] < scales[90], "head {} vs tail {}", scales[10], scales[90]);
+        assert!(
+            scales[10] < scales[90],
+            "head {} vs tail {}",
+            scales[10],
+            scales[90]
+        );
         // Uniformly spread values on a unit support give scales near 1.
         let uniform: Vec<f64> = (0..200).map(|i| (i as f64 + 0.5) / 200.0).collect();
         let gu = GaussianSum::new(&uniform, 10.0).unwrap();

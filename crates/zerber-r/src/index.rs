@@ -85,6 +85,20 @@ impl OrderedIndex {
         &self.plan
     }
 
+    /// Decomposes the index into its raw ordered lists and the merge plan.
+    ///
+    /// This is the hand-off point to a serving-side storage engine (e.g. the
+    /// sharded store), which re-partitions the lists under its own locking
+    /// discipline without copying the elements.
+    pub fn into_parts(self) -> (Vec<Vec<OrderedElement>>, MergePlan) {
+        (self.lists, self.plan)
+    }
+
+    /// Rebuilds an index from parts produced by [`OrderedIndex::into_parts`].
+    pub fn from_parts(lists: Vec<Vec<OrderedElement>>, plan: MergePlan) -> Self {
+        OrderedIndex { lists, plan }
+    }
+
     /// Number of merged posting lists.
     pub fn num_lists(&self) -> usize {
         self.lists.len()
@@ -285,9 +299,11 @@ mod tests {
     #[test]
     fn fetch_returns_descending_trs_and_respects_offsets() {
         let (_, index, _, _, _) = build();
-        let (list_id, _) = index.plan().iter().max_by_key(|(id, _)| {
-            index.list_len(*id).unwrap()
-        }).unwrap();
+        let (list_id, _) = index
+            .plan()
+            .iter()
+            .max_by_key(|(id, _)| index.list_len(*id).unwrap())
+            .unwrap();
         let len = index.list_len(list_id).unwrap();
         assert!(len >= 4);
         let first = index.fetch(list_id, 0, 3, None).unwrap();
@@ -315,9 +331,7 @@ mod tests {
         let all = index.visible_len(list_id, None).unwrap();
         let only_g0 = index.visible_len(list_id, Some(&[GroupId(0)])).unwrap();
         assert!(only_g0 <= all);
-        let fetched = index
-            .fetch(list_id, 0, all, Some(&[GroupId(0)]))
-            .unwrap();
+        let fetched = index.fetch(list_id, 0, all, Some(&[GroupId(0)])).unwrap();
         assert_eq!(fetched.len(), only_g0);
         assert!(fetched.iter().all(|e| e.group == GroupId(0)));
     }
@@ -379,7 +393,10 @@ mod tests {
                 }
             }
         }
-        assert!(found, "high-relevance insert should surface near the list head");
+        assert!(
+            found,
+            "high-relevance insert should surface near the list head"
+        );
         let _ = c;
     }
 

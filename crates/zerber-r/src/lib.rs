@@ -77,5 +77,7 @@ pub use query::{
     retrieve_multi_term, retrieve_topk, GrowthPolicy, RetrievalConfig, RetrievalOutcome,
 };
 pub use rstf::{Rstf, RstfKernel};
-pub use sigma::{cross_validate, default_sigma_grid, uniformity_variance, SigmaPoint, SigmaSelection};
+pub use sigma::{
+    cross_validate, default_sigma_grid, uniformity_variance, SigmaPoint, SigmaSelection,
+};
 pub use train::{RstfConfig, RstfModel, SigmaStrategy};

@@ -87,7 +87,11 @@ pub fn ks_uniform_statistic(values: &[f64]) -> f64 {
 /// fingerprinting attack.
 pub fn ks_two_sample(a: &[f64], b: &[f64]) -> f64 {
     if a.is_empty() || b.is_empty() {
-        return if a.is_empty() && b.is_empty() { 0.0 } else { 1.0 };
+        return if a.is_empty() && b.is_empty() {
+            0.0
+        } else {
+            1.0
+        };
     }
     let mut sa = a.to_vec();
     let mut sb = b.to_vec();
@@ -168,7 +172,9 @@ mod tests {
     #[test]
     fn ks_uniform_detects_non_uniform_samples() {
         let uniform: Vec<f64> = (0..1000).map(|i| (f64::from(i) + 0.5) / 1000.0).collect();
-        let clustered: Vec<f64> = (0..1000).map(|i| 0.4 + 0.2 * f64::from(i) / 1000.0).collect();
+        let clustered: Vec<f64> = (0..1000)
+            .map(|i| 0.4 + 0.2 * f64::from(i) / 1000.0)
+            .collect();
         assert!(ks_uniform_statistic(&uniform) < 0.01);
         assert!(ks_uniform_statistic(&clustered) > 0.3);
         assert_eq!(ks_uniform_statistic(&[]), 0.0);

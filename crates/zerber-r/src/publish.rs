@@ -45,7 +45,9 @@ fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, ZerberRError> {
             .ok_or_else(|| ZerberRError::InvalidParameter("truncated model data".into()))?;
         *pos += 1;
         if shift >= 64 {
-            return Err(ZerberRError::InvalidParameter("varint overflow in model data".into()));
+            return Err(ZerberRError::InvalidParameter(
+                "varint overflow in model data".into(),
+            ));
         }
         value |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {

@@ -52,7 +52,9 @@ impl RetrievalConfig {
 
     fn validate(&self) -> Result<(), ZerberRError> {
         if self.k == 0 {
-            return Err(ZerberRError::InvalidParameter("k must be greater than 0".into()));
+            return Err(ZerberRError::InvalidParameter(
+                "k must be greater than 0".into(),
+            ));
         }
         if self.initial_response == 0 {
             return Err(ZerberRError::InvalidParameter(
@@ -384,17 +386,27 @@ mod tests {
             &f.index,
             term,
             &f.memberships,
-            &RetrievalConfig { k: 0, initial_response: 5, growth: GrowthPolicy::Doubling }
+            &RetrievalConfig {
+                k: 0,
+                initial_response: 5,
+                growth: GrowthPolicy::Doubling
+            }
         )
         .is_err());
         assert!(retrieve_topk(
             &f.index,
             term,
             &f.memberships,
-            &RetrievalConfig { k: 5, initial_response: 0, growth: GrowthPolicy::Doubling }
+            &RetrievalConfig {
+                k: 5,
+                initial_response: 0,
+                growth: GrowthPolicy::Doubling
+            }
         )
         .is_err());
-        assert!(retrieve_multi_term(&f.index, &[], &f.memberships, &RetrievalConfig::for_k(5)).is_err());
+        assert!(
+            retrieve_multi_term(&f.index, &[], &f.memberships, &RetrievalConfig::for_k(5)).is_err()
+        );
     }
 
     #[test]
@@ -403,7 +415,8 @@ mod tests {
         let order = f.stats.terms_by_doc_freq();
         let terms = [order[0], order[1]];
         let config = RetrievalConfig::for_k(10);
-        let (merged, per_term) = retrieve_multi_term(&f.index, &terms, &f.memberships, &config).unwrap();
+        let (merged, per_term) =
+            retrieve_multi_term(&f.index, &terms, &f.memberships, &config).unwrap();
         assert_eq!(per_term.len(), 2);
         assert!(merged.len() <= 10);
         assert!(merged.windows(2).all(|w| w[0].1 >= w[1].1));

@@ -78,7 +78,9 @@ pub fn cross_validate(
     kernel: RstfKernel,
 ) -> Result<SigmaSelection, ZerberRError> {
     if training.is_empty() {
-        return Err(ZerberRError::InvalidSigmaSearch("empty training set".into()));
+        return Err(ZerberRError::InvalidSigmaSearch(
+            "empty training set".into(),
+        ));
     }
     if control.is_empty() {
         return Err(ZerberRError::InvalidSigmaSearch("empty control set".into()));
@@ -137,7 +139,10 @@ mod tests {
     fn clustered_sample_has_large_variance() {
         let clustered = vec![0.5; 100];
         assert!(uniformity_variance(&clustered) > 0.05);
-        let half = vec![0.1; 50].into_iter().chain(vec![0.9; 50]).collect::<Vec<_>>();
+        let half = vec![0.1; 50]
+            .into_iter()
+            .chain(vec![0.9; 50])
+            .collect::<Vec<_>>();
         assert!(uniformity_variance(&half) > 0.02);
     }
 
@@ -167,8 +172,13 @@ mod tests {
         // floor (the paper's 2e-5 corresponds to its larger control sets).
         let train = skewed_scores(2_000, 12);
         let control = skewed_scores(800, 13);
-        let sel =
-            cross_validate(&train, &control, &default_sigma_grid(), RstfKernel::Logistic).unwrap();
+        let sel = cross_validate(
+            &train,
+            &control,
+            &default_sigma_grid(),
+            RstfKernel::Logistic,
+        )
+        .unwrap();
         let floor = 1.0 / (6.0 * (control.len() as f64 + 2.0));
         assert!(
             sel.best_variance < 3.0 * floor,

@@ -223,7 +223,11 @@ impl RstfModel {
             }
             total_weight += weight;
         }
-        let total_weight = if total_weight > 0.0 { total_weight } else { 1.0 };
+        let total_weight = if total_weight > 0.0 {
+            total_weight
+        } else {
+            1.0
+        };
         let curve: Vec<crate::sigma::SigmaPoint> = grid
             .iter()
             .zip(sums.iter())
@@ -235,7 +239,11 @@ impl RstfModel {
         let best = curve
             .iter()
             .copied()
-            .min_by(|a, b| a.variance.partial_cmp(&b.variance).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| {
+                a.variance
+                    .partial_cmp(&b.variance)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .expect("grid is non-empty");
         Ok(SigmaSelection {
             best_sigma: best.sigma,

@@ -72,7 +72,11 @@ pub fn check_merged_terms(
         mass += stats.probability(t)?;
     }
     let required = r.required_mass();
-    let amplification = if mass > 0.0 { 1.0 / mass } else { f64::INFINITY };
+    let amplification = if mass > 0.0 {
+        1.0 / mass
+    } else {
+        f64::INFINITY
+    };
     Ok(ListConfidentiality {
         mass,
         required,
@@ -130,10 +134,14 @@ mod tests {
     fn stats() -> (zerber_corpus::Corpus, CorpusStats) {
         let mut b = CorpusBuilder::new();
         // "common" appears in 4 of 4 docs, "mid" in 2, "rare" in 1.
-        b.add_document(Document::new("1", GroupId(0), "common mid rare")).unwrap();
-        b.add_document(Document::new("2", GroupId(0), "common mid")).unwrap();
-        b.add_document(Document::new("3", GroupId(0), "common")).unwrap();
-        b.add_document(Document::new("4", GroupId(0), "common")).unwrap();
+        b.add_document(Document::new("1", GroupId(0), "common mid rare"))
+            .unwrap();
+        b.add_document(Document::new("2", GroupId(0), "common mid"))
+            .unwrap();
+        b.add_document(Document::new("3", GroupId(0), "common"))
+            .unwrap();
+        b.add_document(Document::new("4", GroupId(0), "common"))
+            .unwrap();
         let c = b.build();
         let s = CorpusStats::compute(&c);
         (c, s)

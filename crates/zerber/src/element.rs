@@ -59,7 +59,8 @@ impl PostingPayload {
                 bytes.len()
             )));
         }
-        let word = |i: usize| u32::from_le_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
+        let word =
+            |i: usize| u32::from_le_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
         Ok(PostingPayload {
             term: TermId(word(0)),
             doc: DocId(word(4)),
@@ -99,7 +100,11 @@ impl EncryptedElement {
 
     /// Opens the element with the group's keys, verifying it belongs to
     /// `list`.
-    pub fn open(&self, keys: &GroupKeys, list: MergedListId) -> Result<PostingPayload, ZerberError> {
+    pub fn open(
+        &self,
+        keys: &GroupKeys,
+        list: MergedListId,
+    ) -> Result<PostingPayload, ZerberError> {
         let aad = list.0.to_le_bytes();
         let plain = keys.aead().open(&self.ciphertext, &aad)?;
         PostingPayload::decode(&plain)
@@ -158,7 +163,8 @@ mod tests {
     fn seal_open_roundtrip() {
         let keys = keys();
         let mut rng = DeterministicRng::from_u64(5);
-        let e = EncryptedElement::seal(&payload(), GroupId(2), &keys, MergedListId(3), &mut rng).unwrap();
+        let e = EncryptedElement::seal(&payload(), GroupId(2), &keys, MergedListId(3), &mut rng)
+            .unwrap();
         assert_eq!(e.ciphertext.len(), SEALED_PAYLOAD_BYTES);
         assert_eq!(e.stored_bytes(), SEALED_PAYLOAD_BYTES + 4);
         assert_eq!(e.open(&keys, MergedListId(3)).unwrap(), payload());
@@ -169,7 +175,8 @@ mod tests {
         let keys = keys();
         let other_keys = MasterKey::new([9u8; 32]).group_keys(3);
         let mut rng = DeterministicRng::from_u64(6);
-        let e = EncryptedElement::seal(&payload(), GroupId(2), &keys, MergedListId(3), &mut rng).unwrap();
+        let e = EncryptedElement::seal(&payload(), GroupId(2), &keys, MergedListId(3), &mut rng)
+            .unwrap();
         assert!(e.open(&keys, MergedListId(4)).is_err());
         assert!(e.open(&other_keys, MergedListId(3)).is_err());
     }
@@ -199,8 +206,13 @@ mod tests {
     fn ciphertexts_of_identical_payloads_differ() {
         let keys = keys();
         let mut rng = DeterministicRng::from_u64(8);
-        let a = EncryptedElement::seal(&payload(), GroupId(2), &keys, MergedListId(0), &mut rng).unwrap();
-        let b = EncryptedElement::seal(&payload(), GroupId(2), &keys, MergedListId(0), &mut rng).unwrap();
-        assert_ne!(a.ciphertext, b.ciphertext, "fresh nonces must randomize ciphertexts");
+        let a = EncryptedElement::seal(&payload(), GroupId(2), &keys, MergedListId(0), &mut rng)
+            .unwrap();
+        let b = EncryptedElement::seal(&payload(), GroupId(2), &keys, MergedListId(0), &mut rng)
+            .unwrap();
+        assert_ne!(
+            a.ciphertext, b.ciphertext,
+            "fresh nonces must randomize ciphertexts"
+        );
     }
 }

@@ -143,7 +143,8 @@ mod tests {
             } else {
                 "gamma delta common"
             };
-            b.add_document(Document::new(format!("d{i}"), GroupId(0), body)).unwrap();
+            b.add_document(Document::new(format!("d{i}"), GroupId(0), body))
+                .unwrap();
         }
         b.build()
     }
@@ -178,7 +179,10 @@ mod tests {
         let r = idx.query(alpha).unwrap();
         for (doc_id, doc) in c.docs() {
             if doc.term_counts.iter().any(|&(t, _)| t == alpha) {
-                assert!(r.docs.contains(&doc_id), "true posting for {doc_id} missing");
+                assert!(
+                    r.docs.contains(&doc_id),
+                    "true posting for {doc_id} missing"
+                );
             }
         }
     }

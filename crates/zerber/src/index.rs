@@ -143,7 +143,9 @@ impl ZerberIndex {
         memberships: &HashMap<GroupId, GroupKeys>,
     ) -> Result<ClientTopK, ZerberError> {
         if k == 0 {
-            return Err(ZerberError::InvalidParameter("k must be greater than 0".into()));
+            return Err(ZerberError::InvalidParameter(
+                "k must be greater than 0".into(),
+            ));
         }
         let list_id = self.plan.list_of(term)?;
         let list = self.list(list_id)?;
@@ -208,12 +210,24 @@ mod tests {
 
     fn corpus() -> Corpus {
         let mut b = CorpusBuilder::new();
-        b.add_document(Document::new("1.txt", GroupId(0), "imclone and imclone and no"))
-            .unwrap();
-        b.add_document(Document::new("2.doc", GroupId(0), "and and and and process"))
-            .unwrap();
-        b.add_document(Document::new("3.txt", GroupId(1), "process imclone process and"))
-            .unwrap();
+        b.add_document(Document::new(
+            "1.txt",
+            GroupId(0),
+            "imclone and imclone and no",
+        ))
+        .unwrap();
+        b.add_document(Document::new(
+            "2.doc",
+            GroupId(0),
+            "and and and and process",
+        ))
+        .unwrap();
+        b.add_document(Document::new(
+            "3.txt",
+            GroupId(1),
+            "process imclone process and",
+        ))
+        .unwrap();
         b.add_document(Document::new("4.txt", GroupId(1), "no and process"))
             .unwrap();
         b.build()
@@ -303,7 +317,9 @@ mod tests {
             scale: 1.0,
             seed: 3,
         };
-        let c = zerber_corpus::CorpusGenerator::new(config).generate().unwrap();
+        let c = zerber_corpus::CorpusGenerator::new(config)
+            .generate()
+            .unwrap();
         let master = MasterKey::new([2u8; 32]);
         let (idx, _) = build_bfm_index(&c, 2.0, &master, 17).unwrap();
         let memberships = ZerberIndex::memberships(&master, &[GroupId(0)]);
@@ -324,7 +340,10 @@ mod tests {
                 break;
             }
         }
-        assert!(found_unsorted_list, "random placement should break score order");
+        assert!(
+            found_unsorted_list,
+            "random placement should break score order"
+        );
     }
 
     #[test]
@@ -335,7 +354,11 @@ mod tests {
         let memberships = ZerberIndex::memberships(&master, &[GroupId(0), GroupId(1)]);
         let keys = master.group_keys(0);
         let mut rng = DeterministicRng::from_u64(99);
-        let before = idx.client_topk(imclone, 10, &memberships).unwrap().results.len();
+        let before = idx
+            .client_topk(imclone, 10, &memberships)
+            .unwrap()
+            .results
+            .len();
         let payload = PostingPayload {
             term: imclone,
             doc: DocId(1000),

@@ -279,7 +279,11 @@ impl MergeScheme for RandomMerge {
         ordered.sort_unstable_by_key(|&(t, _)| t);
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
         ordered.shuffle(&mut rng);
-        Ok(MergePlan::from_lists(group_by_mass(&ordered, r)?, "random", r))
+        Ok(MergePlan::from_lists(
+            group_by_mass(&ordered, r)?,
+            "random",
+            r,
+        ))
     }
 
     fn name(&self) -> &'static str {
@@ -349,10 +353,7 @@ mod tests {
             let min = freqs.iter().cloned().fold(f64::MAX, f64::min);
             worst_ratio = worst_ratio.max(max / min);
         }
-        let global: Vec<f64> = s
-            .terms()
-            .map(|t| f64::from(t.doc_freq).max(1.0))
-            .collect();
+        let global: Vec<f64> = s.terms().map(|t| f64::from(t.doc_freq).max(1.0)).collect();
         let global_ratio = global.iter().cloned().fold(f64::MIN, f64::max)
             / global.iter().cloned().fold(f64::MAX, f64::min);
         assert!(
@@ -381,7 +382,10 @@ mod tests {
                 break;
             }
         }
-        assert!(found_spanning, "mixed merging should create frequency-spanning lists");
+        assert!(
+            found_spanning,
+            "mixed merging should create frequency-spanning lists"
+        );
     }
 
     #[test]
@@ -433,7 +437,10 @@ mod tests {
             .sum();
         assert!(total <= 1.0);
         let err = BfmMerge
-            .plan(&sparse, ConfidentialityParam::new(1.0 / (total * 0.5)).unwrap())
+            .plan(
+                &sparse,
+                ConfidentialityParam::new(1.0 / (total * 0.5)).unwrap(),
+            )
             .map(|_| ());
         assert!(err.is_ok() || matches!(err, Err(ZerberError::InvalidParameter(_))));
         // And a definitely impossible r on the tiny corpus (mass 1.0 needed, have 1.0

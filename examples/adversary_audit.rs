@@ -55,8 +55,10 @@ fn main() {
             (t.term, values)
         })
         .collect();
-    let raw_report = identification_experiment(&background, &raw_observations, 4, min_df as usize, 1);
-    let trs_report = identification_experiment(&background, &trs_observations, 4, min_df as usize, 1);
+    let raw_report =
+        identification_experiment(&background, &raw_observations, 4, min_df as usize, 1);
+    let trs_report =
+        identification_experiment(&background, &trs_observations, 4, min_df as usize, 1);
     println!("\n[1] distribution fingerprinting (5 candidates, chance = 20%):");
     println!(
         "    ordinary index (raw scores): {:>5.1}% identification accuracy over {} terms",
@@ -91,7 +93,15 @@ fn main() {
         .collect();
     let raw_background: HashMap<TermId, Vec<f64>> = pair
         .iter()
-        .map(|&t| (t, bed.stats.term(t).map(|s| s.relevance_scores()).unwrap_or_default()))
+        .map(|&t| {
+            (
+                t,
+                bed.stats
+                    .term(t)
+                    .map(|s| s.relevance_scores())
+                    .unwrap_or_default(),
+            )
+        })
         .collect();
     let mut raw_observed = Vec::new();
     let mut trs_observed = Vec::new();
@@ -136,8 +146,8 @@ fn main() {
     );
 
     // ---- Attack 3: follow-up request counting -------------------------------
-    let bfm_report =
-        request_counting_attack(&bed.index, &bed.stats, &bed.all_memberships, 10, 30).expect("attack runs");
+    let bfm_report = request_counting_attack(&bed.index, &bed.stats, &bed.all_memberships, 10, 30)
+        .expect("attack runs");
     let mixed_report = request_counting_attack(
         &mixed_bed.index,
         &mixed_bed.stats,

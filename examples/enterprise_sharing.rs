@@ -14,11 +14,11 @@
 
 use std::collections::HashMap;
 
+use zerber_suite::corpus::CorpusGenerator;
 use zerber_suite::corpus::{
     sample_split, CorpusStats, CustomProfile, DatasetProfile, DocId, GroupId, SplitConfig,
     SynthConfig,
 };
-use zerber_suite::corpus::CorpusGenerator;
 use zerber_suite::crypto::{GroupKeys, MasterKey};
 use zerber_suite::protocol::{AccessControl, Client, IndexServer};
 use zerber_suite::zerber::{BfmMerge, ConfidentialityParam, MergeScheme};
@@ -50,7 +50,9 @@ fn main() {
         scale: 1.0,
         seed: 2_009,
     };
-    let corpus = CorpusGenerator::new(synth).generate().expect("generation succeeds");
+    let corpus = CorpusGenerator::new(synth)
+        .generate()
+        .expect("generation succeeds");
     let stats = CorpusStats::compute(&corpus);
     println!(
         "PCC document base: {} documents in {} project groups, {} distinct terms",
@@ -82,7 +84,11 @@ fn main() {
 
     // 3. Both users search for the same frequent project term.
     let term = stats.terms_by_doc_freq()[3];
-    let term_name = corpus.dictionary().term(term).unwrap_or("<unknown>").to_string();
+    let term_name = corpus
+        .dictionary()
+        .term(term)
+        .unwrap_or("<unknown>")
+        .to_string();
     let john = Client::new(
         "john",
         server.acl().issue_token("john"),
@@ -123,7 +129,8 @@ fn main() {
 
     // 4. John indexes a fresh trip report for project 0 from his PDA.
     let mut john = john;
-    let trip_terms: Vec<(zerber_suite::corpus::TermId, u32)> = vec![(term, 6), (stats.terms_by_doc_freq()[10], 2)];
+    let trip_terms: Vec<(zerber_suite::corpus::TermId, u32)> =
+        vec![(term, 6), (stats.terms_by_doc_freq()[10], 2)];
     let inserted = john
         .insert_document(
             &server,

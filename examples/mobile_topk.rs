@@ -11,12 +11,12 @@
 //! cargo run --release --example mobile_topk
 //! ```
 
+use zerber_suite::corpus::DatasetProfile;
 use zerber_suite::protocol::{NetworkModel, ResponseBreakdown, GOOGLE_TOP10_BYTES, SNIPPET_BYTES};
 use zerber_suite::workload::{
-    average_bandwidth_overhead, average_requests, single_request_fraction, MergeKind, QueryLogConfig,
-    TestBed, TestBedConfig,
+    average_bandwidth_overhead, average_requests, single_request_fraction, MergeKind,
+    QueryLogConfig, TestBed, TestBedConfig,
 };
-use zerber_suite::corpus::DatasetProfile;
 use zerber_suite::zerber_r::GrowthPolicy;
 
 fn main() {
@@ -98,8 +98,12 @@ fn main() {
         ..TestBedConfig::small(DatasetProfile::StudIp)
     })
     .expect("mixed bed");
-    let samples_bfm = bed.run_workload(&log, k, k, GrowthPolicy::Doubling).unwrap();
-    let samples_mixed = mixed.run_workload(&log, k, k, GrowthPolicy::Doubling).unwrap();
+    let samples_bfm = bed
+        .run_workload(&log, k, k, GrowthPolicy::Doubling)
+        .unwrap();
+    let samples_mixed = mixed
+        .run_workload(&log, k, k, GrowthPolicy::Doubling)
+        .unwrap();
     println!(
         "\nmerge-scheme ablation (b = k): avg requests BFM = {:.2}, mixed = {:.2}",
         average_requests(&samples_bfm),

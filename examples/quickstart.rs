@@ -8,12 +8,12 @@
 
 use std::collections::HashMap;
 
-use zerber_suite::corpus::{sample_split, CorpusBuilder, CorpusStats, Document, GroupId, SplitConfig};
+use zerber_suite::corpus::{
+    sample_split, CorpusBuilder, CorpusStats, Document, GroupId, SplitConfig,
+};
 use zerber_suite::crypto::MasterKey;
 use zerber_suite::zerber::{BfmMerge, ConfidentialityParam, MergeScheme};
-use zerber_suite::zerber_r::{
-    retrieve_topk, OrderedIndex, RetrievalConfig, RstfConfig, RstfModel,
-};
+use zerber_suite::zerber_r::{retrieve_topk, OrderedIndex, RetrievalConfig, RstfConfig, RstfModel};
 
 fn main() {
     // 1. A small access-controlled document collection (one project group).

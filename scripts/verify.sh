@@ -2,11 +2,14 @@
 # Tier-1 verification gate for the Zerber+R workspace.
 #
 # Mirrors .github/workflows/ci.yml so the same checks run locally and in
-# CI: release build, full test suite, bench compilation, and clippy with
-# warnings denied.
+# CI: rustfmt, release build, full test suite, bench compilation, and
+# clippy with warnings denied.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
 
 echo "==> cargo build --release"
 cargo build --release

@@ -10,6 +10,8 @@
 //! * [`zerber`] — the r-confidential merged index substrate (EDBT 2008),
 //! * [`zerber_r`] — the Zerber+R ranking model: RSTF, TRS, ordered index,
 //!   server-side top-k (this paper's contribution),
+//! * [`store`] — the serving-side storage engine: the `ListStore` trait, the
+//!   sharded concurrent store and resumable cursor sessions,
 //! * [`protocol`] — the untrusted-server / client query protocol with byte
 //!   accounting and the network model of Section 6.6,
 //! * [`adversary`] — the attack simulations behind the security evaluation,
@@ -24,4 +26,5 @@ pub use zerber_index as index;
 pub use zerber_protocol as protocol;
 pub use zerber_r;
 pub use zerber_r as core;
+pub use zerber_store as store;
 pub use zerber_workload as workload;

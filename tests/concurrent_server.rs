@@ -5,11 +5,12 @@
 //! the results it is entitled to.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 
 use zerber_suite::corpus::{DatasetProfile, DocId, GroupId};
-use zerber_suite::protocol::{AccessControl, Client, IndexServer};
+use zerber_suite::protocol::{AccessControl, Client, IndexServer, QueryRequest, WireElement};
 use zerber_suite::workload::{TestBed, TestBedConfig};
+use zerber_suite::zerber::MergedListId;
 use zerber_suite::zerber_r::RetrievalConfig;
 
 #[test]
@@ -65,7 +66,10 @@ fn concurrent_queries_and_inserts_preserve_invariants() {
                         &model,
                         doc,
                         group,
-                        &[(term_for_round(&query_terms, round), 2), (insert_term_copy(insert_term), 1)],
+                        &[
+                            (term_for_round(&query_terms, round), 2),
+                            (insert_term_copy(insert_term), 1),
+                        ],
                     )
                     .expect("insert succeeds");
             }
@@ -80,7 +84,11 @@ fn concurrent_queries_and_inserts_preserve_invariants() {
         total_inserted += inserted;
     }
     assert!(total_results > 0, "queries must return results");
-    assert_eq!(total_inserted, 4 * 5 * 2, "every insert round adds two posting elements");
+    assert_eq!(
+        total_inserted,
+        4 * 5 * 2,
+        "every insert round adds two posting elements"
+    );
     assert_eq!(
         server.num_elements(),
         elements_before + total_inserted,
@@ -100,16 +108,133 @@ fn concurrent_queries_and_inserts_preserve_invariants() {
         .expect("audit query succeeds");
     assert!(outcome.results.len() >= 20);
     // Ranked output must be non-increasing in relevance.
-    assert!(outcome
-        .results
-        .windows(2)
-        .all(|w| w[0].1 >= w[1].1 - 1e-12));
+    assert!(outcome.results.windows(2).all(|w| w[0].1 >= w[1].1 - 1e-12));
 }
 
-fn term_for_round(terms: &[zerber_suite::corpus::TermId], round: usize) -> zerber_suite::corpus::TermId {
+fn term_for_round(
+    terms: &[zerber_suite::corpus::TermId],
+    round: usize,
+) -> zerber_suite::corpus::TermId {
     terms[round % terms.len()]
 }
 
 fn insert_term_copy(t: zerber_suite::corpus::TermId) -> zerber_suite::corpus::TermId {
     t
+}
+
+/// Walks one merged list to exhaustion as `user` via cursor follow-ups of
+/// size `step`, returning the exact element sequence received.
+fn cursor_walk(server: &IndexServer, user: &str, list: u64, step: u32) -> Vec<WireElement> {
+    let token = server.acl().issue_token(user);
+    let mut elements = Vec::new();
+    let mut cursor = 0u64;
+    let mut visible = u64::MAX;
+    while (elements.len() as u64) < visible {
+        let response = server
+            .handle_query(
+                &QueryRequest {
+                    user: user.to_string(),
+                    list,
+                    offset: elements.len() as u64,
+                    cursor,
+                    count: step,
+                    k: step,
+                },
+                &token,
+            )
+            .expect("cursor walk request succeeds");
+        cursor = response.cursor;
+        visible = response.visible_total;
+        if response.elements.is_empty() {
+            break;
+        }
+        elements.extend(response.elements);
+    }
+    elements
+}
+
+fn busiest_list(server: &IndexServer) -> u64 {
+    (0..server.num_lists() as u64)
+        .max_by_key(|&l| server.store().list_len(MergedListId(l)).unwrap())
+        .unwrap()
+}
+
+/// Satellite check for the cursor-session engine: two clients interleave
+/// follow-up requests on the *same* merged list — concurrently and in strict
+/// alternation — and each must receive exactly the element sequence a
+/// sequential, single-client run produces.  Sessions are per-client, so
+/// neither walk may disturb the other's position.
+#[test]
+fn interleaved_cursor_follow_ups_match_a_sequential_run() {
+    let bed = TestBed::build(TestBedConfig::small(DatasetProfile::StudIp)).expect("bed builds");
+    let server = Arc::new(bed.build_server(4, 2));
+    let list = busiest_list(&server);
+    let list_len = server.store().list_len(MergedListId(list)).unwrap();
+    assert!(list_len > 10, "need a non-trivial list, got {list_len}");
+
+    // Sequential references (queries do not mutate, so the same server can
+    // serve them): one walk per step size.
+    let reference_a = cursor_walk(&server, "user-0", list, 3);
+    let reference_b = cursor_walk(&server, "user-1", list, 5);
+    assert_eq!(reference_a.len(), list_len);
+    assert_eq!(reference_b.len(), list_len);
+
+    // Concurrent interleaving: both clients start together on the same list.
+    let barrier = Arc::new(Barrier::new(2));
+    let handles: Vec<_> = [("user-0", 3u32), ("user-1", 5u32)]
+        .into_iter()
+        .map(|(user, step)| {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                cursor_walk(&server, user, list, step)
+            })
+        })
+        .collect();
+    let concurrent: Vec<Vec<WireElement>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("walker did not panic"))
+        .collect();
+    assert_eq!(concurrent[0], reference_a);
+    assert_eq!(concurrent[1], reference_b);
+
+    // Deterministic strict alternation: one request for A, one for B, ...
+    let token_a = server.acl().issue_token("user-0");
+    let token_b = server.acl().issue_token("user-1");
+    let mut walks = [
+        ("user-0", &token_a, 3u32, Vec::new(), 0u64, false),
+        ("user-1", &token_b, 5u32, Vec::new(), 0u64, false),
+    ];
+    while walks.iter().any(|w| !w.5) {
+        for (user, token, step, elements, cursor, done) in walks.iter_mut() {
+            if *done {
+                continue;
+            }
+            let response = server
+                .handle_query(
+                    &QueryRequest {
+                        user: user.to_string(),
+                        list,
+                        offset: elements.len() as u64,
+                        cursor: *cursor,
+                        count: *step,
+                        k: *step,
+                    },
+                    token,
+                )
+                .expect("alternating request succeeds");
+            *cursor = response.cursor;
+            let received = elements.len() + response.elements.len();
+            *done = response.elements.is_empty() || received as u64 >= response.visible_total;
+            elements.extend(response.elements);
+        }
+    }
+    assert_eq!(walks[0].3, reference_a);
+    assert_eq!(walks[1].3, reference_b);
+    assert_eq!(
+        server.open_cursors(),
+        0,
+        "exhausted walks close their sessions"
+    );
 }

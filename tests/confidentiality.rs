@@ -107,14 +107,15 @@ fn fingerprinting_accuracy_collapses_from_raw_to_trs() {
         .filter(|t| t.doc_freq >= min_df)
         .map(|t| (t.term, t.relevance_scores()))
         .collect();
-    let trs: HashMap<TermId, Vec<f64>> = raw
-        .keys()
-        .map(|&t| (t, trs_values(bed, t)))
-        .collect();
+    let trs: HashMap<TermId, Vec<f64>> = raw.keys().map(|&t| (t, trs_values(bed, t))).collect();
     let raw_report = identification_experiment(&background, &raw, 4, min_df as usize, 11);
     let trs_report = identification_experiment(&background, &trs, 4, min_df as usize, 11);
     assert!(raw_report.trials >= 20);
-    assert!(raw_report.accuracy() > 0.9, "raw accuracy {}", raw_report.accuracy());
+    assert!(
+        raw_report.accuracy() > 0.9,
+        "raw accuracy {}",
+        raw_report.accuracy()
+    );
     assert!(
         trs_report.accuracy() < raw_report.accuracy() / 2.0,
         "TRS accuracy {} should collapse relative to raw {}",
@@ -151,15 +152,27 @@ fn unseen_term_fallback_is_uniform_and_deterministic() {
     let bed = bed();
     let unseen = TermId(3_000_000);
     let values: Vec<f64> = (0..500)
-        .map(|i| bed.model.transform(unseen, zerber_suite::corpus::DocId(i), 0.3))
+        .map(|i| {
+            bed.model
+                .transform(unseen, zerber_suite::corpus::DocId(i), 0.3)
+        })
         .collect();
     // Deterministic per (term, doc).
     let again: Vec<f64> = (0..500)
-        .map(|i| bed.model.transform(unseen, zerber_suite::corpus::DocId(i), 0.9))
+        .map(|i| {
+            bed.model
+                .transform(unseen, zerber_suite::corpus::DocId(i), 0.9)
+        })
         .collect();
-    assert_eq!(values, again, "fallback TRS ignores the raw score and is stable");
+    assert_eq!(
+        values, again,
+        "fallback TRS ignores the raw score and is stable"
+    );
     // And the fallback population is spread over [0,1) rather than clustered.
     let var = uniformity_variance(&values);
-    assert!(var < 5e-3, "fallback TRS should look uniform, variance {var}");
+    assert!(
+        var < 5e-3,
+        "fallback TRS should look uniform, variance {var}"
+    );
     assert!(values.iter().all(|v| (0.0..1.0).contains(v)));
 }

@@ -62,10 +62,18 @@ fn confidential_topk_matches_plaintext_topk_for_many_terms() {
             // Terms unseen during training carry a random TRS (Section 5.1.1:
             // "assumed to be rare"): every returned result must still be a
             // genuine posting of the term.
-            let valid: std::collections::HashSet<_> =
-                bed.plain_index.posting_list(term).unwrap().iter().map(|p| p.doc).collect();
+            let valid: std::collections::HashSet<_> = bed
+                .plain_index
+                .posting_list(term)
+                .unwrap()
+                .iter()
+                .map(|p| p.doc)
+                .collect();
             for &(doc, _) in &confidential.results {
-                assert!(valid.contains(&doc), "spurious result for untrained term {term}");
+                assert!(
+                    valid.contains(&doc),
+                    "spurious result for untrained term {term}"
+                );
             }
         }
     }
@@ -93,7 +101,10 @@ fn ordering_and_confidentiality_invariants_hold_after_build() {
     let bed = bed();
     assert!(bed.index.verify_ordering(), "lists must stay TRS-sorted");
     let r = zerber_suite::zerber::ConfidentialityParam::new(bed.config.r).unwrap();
-    let reports = bed.plan.verify(&bed.stats, r).expect("plan is r-confidential");
+    let reports = bed
+        .plan
+        .verify(&bed.stats, r)
+        .expect("plan is r-confidential");
     assert_eq!(reports.len(), bed.plan.num_lists());
     for report in reports {
         assert!(report.satisfied);
@@ -120,17 +131,17 @@ fn server_protocol_preserves_results_and_access_control() {
 
     let term = bed.stats.terms_by_doc_freq()[1];
     let config = RetrievalConfig::for_k(10);
-    let john_out = john.query(&server, &bed.plan, term, &config).expect("john queries");
-    let intern_out = intern.query(&server, &bed.plan, term, &config).expect("intern queries");
+    let john_out = john
+        .query(&server, &bed.plan, term, &config)
+        .expect("john queries");
+    let intern_out = intern
+        .query(&server, &bed.plan, term, &config)
+        .expect("intern queries");
 
     // John sees the same ranking the core retrieval produces.
-    let reference = zerber_suite::zerber_r::retrieve_topk(
-        &bed.index,
-        term,
-        &bed.all_memberships,
-        &config,
-    )
-    .unwrap();
+    let reference =
+        zerber_suite::zerber_r::retrieve_topk(&bed.index, term, &bed.all_memberships, &config)
+            .unwrap();
     assert_eq!(john_out.results, reference.results);
 
     // The intern only ever receives group-0 documents.
@@ -170,7 +181,9 @@ fn workload_replay_reproduces_the_b_equals_k_sweet_spot_shape() {
         let samples = bed
             .run_workload(&log, k, b, GrowthPolicy::Doubling)
             .expect("workload runs");
-        avbo.push(zerber_suite::workload::average_bandwidth_overhead(&samples, k));
+        avbo.push(zerber_suite::workload::average_bandwidth_overhead(
+            &samples, k,
+        ));
         requests.push(zerber_suite::workload::average_requests(&samples));
     }
     assert!(

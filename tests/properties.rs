@@ -149,7 +149,8 @@ proptest! {
     #[test]
     fn query_response_codec_roundtrips(
         elements in proptest::collection::vec((0.0f64..1.0, 0u32..16, 0usize..80), 0..40),
-        total in any::<u64>()
+        total in any::<u64>(),
+        cursor in any::<u64>()
     ) {
         let response = QueryResponse {
             elements: elements
@@ -161,6 +162,7 @@ proptest! {
                 })
                 .collect(),
             visible_total: total,
+            cursor,
         };
         let encoded = response.encode();
         prop_assert_eq!(encoded.len(), response.encoded_bytes());

@@ -16,7 +16,10 @@ use zerber_suite::zerber_r::RetrievalConfig;
 #[test]
 fn single_query_roundtrip_returns_entitled_results() {
     let bed = TestBed::build(TestBedConfig::small(DatasetProfile::StudIp)).expect("bed builds");
-    assert!(bed.corpus.num_groups() >= 2, "need a second group to test filtering");
+    assert!(
+        bed.corpus.num_groups() >= 2,
+        "need a second group to test filtering"
+    );
 
     let member_group = GroupId(0);
     let mut acl = AccessControl::new(b"smoke-secret");
@@ -30,7 +33,11 @@ fn single_query_roundtrip_returns_entitled_results() {
         .filter(|(g, _)| **g == member_group)
         .map(|(g, k)| (*g, k.clone()))
         .collect();
-    assert_eq!(memberships.len(), 1, "client holds keys for exactly one group");
+    assert_eq!(
+        memberships.len(),
+        1,
+        "client holds keys for exactly one group"
+    );
     let client = Client::new("smoke-user", token, memberships);
 
     // The most frequent term occurs in documents of every group, so the
@@ -40,13 +47,19 @@ fn single_query_roundtrip_returns_entitled_results() {
         .query(&server, &bed.plan, term, &RetrievalConfig::for_k(10))
         .expect("query succeeds");
 
-    assert!(!outcome.results.is_empty(), "frequent term must return results");
+    assert!(
+        !outcome.results.is_empty(),
+        "frequent term must return results"
+    );
     assert!(outcome.results.len() <= 10);
     assert!(outcome.requests >= 1);
     assert!(outcome.bytes_received > 0);
     for &(doc, score) in &outcome.results {
         assert!(score >= 0.0, "relevance scores are non-negative");
-        let entry = bed.corpus.doc(doc).expect("result references a corpus document");
+        let entry = bed
+            .corpus
+            .doc(doc)
+            .expect("result references a corpus document");
         assert_eq!(
             entry.group, member_group,
             "doc {doc:?} from group {:?} leaked to a client entitled only to {member_group:?}",

@@ -164,7 +164,10 @@ fn run_one(
     let per_iter = bencher.mean_ns;
     let rate = match throughput {
         Some(Throughput::Bytes(bytes)) if per_iter > 0.0 => {
-            format!(" ({:.1} MiB/s)", bytes as f64 / per_iter * 1e9 / (1 << 20) as f64)
+            format!(
+                " ({:.1} MiB/s)",
+                bytes as f64 / per_iter * 1e9 / (1 << 20) as f64
+            )
         }
         Some(Throughput::Elements(n)) if per_iter > 0.0 => {
             format!(" ({:.0} elem/s)", n as f64 / per_iter * 1e9)

@@ -142,7 +142,7 @@ impl<S: Strategy + ?Sized> Strategy for &S {
 }
 
 pub mod collection {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use rand::Rng;
     use std::ops::Range;
 

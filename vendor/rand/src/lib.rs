@@ -176,9 +176,7 @@ pub mod rngs {
             for chunk in seed.chunks(8) {
                 let mut word = [0u8; 8];
                 word[..chunk.len()].copy_from_slice(chunk);
-                state = state
-                    .rotate_left(23)
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                state = state.rotate_left(23).wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     ^ u64::from_le_bytes(word);
             }
             Self { state }
