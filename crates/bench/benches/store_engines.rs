@@ -1,0 +1,184 @@
+//! Storage-engine comparison: resident memory and serving throughput of the
+//! compressed `SegmentStore` versus the plain-`Vec` `ShardedStore` on a
+//! fig10-style (query-log-weighted) workload.
+//!
+//! Besides the criterion timings, the bench writes a machine-readable
+//! `BENCH_store_engines.json` to the repository root recording, per engine,
+//! the resident bytes of the physical index representation and the measured
+//! queries/sec per thread count, plus the segment/sharded ratios the
+//! acceptance targets read: resident bytes <= 60% of the `Vec` layout at
+//! queries/sec within 0.8x of `ShardedStore`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zerber_corpus::DatasetProfile;
+use zerber_protocol::{drive_raw_queries, IndexServer, LoadConfig, StoreEngine};
+use zerber_workload::{QueryLogConfig, TestBed, TestBedConfig};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+const TOTAL_QUERIES: usize = 240;
+const SHARDS: usize = 8;
+const USERS: usize = 8;
+
+fn bed() -> TestBed {
+    TestBed::build(TestBedConfig {
+        scale: 0.02,
+        ..TestBedConfig::small(DatasetProfile::StudIp)
+    })
+    .expect("test bed builds")
+}
+
+fn load(threads: usize) -> LoadConfig {
+    LoadConfig {
+        threads,
+        queries_per_thread: TOTAL_QUERIES / threads,
+        k: 10,
+    }
+}
+
+/// The fig10-style query workload: merged lists of the query-log's most
+/// frequent terms, frequency order (duplicates dropped, misses skipped).
+fn workload_lists(bed: &TestBed) -> Vec<u64> {
+    let log = bed
+        .query_log(&QueryLogConfig {
+            distinct_terms: 200,
+            total_queries: 100_000,
+            sample_queries: 0,
+            ..QueryLogConfig::default()
+        })
+        .expect("query log generates");
+    let mut lists = Vec::new();
+    for &(term, _freq) in log.term_frequencies() {
+        if let Ok(list) = bed.plan.list_of(term) {
+            if !lists.contains(&list.0) {
+                lists.push(list.0);
+            }
+        }
+    }
+    lists.truncate(32);
+    assert!(!lists.is_empty(), "workload must cover some merged lists");
+    lists
+}
+
+fn measure(server: &IndexServer, users: &[String], lists: &[u64], threads: usize) -> f64 {
+    let report =
+        drive_raw_queries(server, users, lists, &load(threads)).expect("load run succeeds");
+    report.queries_per_second
+}
+
+struct EnginePoint {
+    engine: &'static str,
+    threads: usize,
+    queries_per_second: f64,
+}
+
+fn bench_store_engines(c: &mut Criterion) {
+    let bed = bed();
+    let users = TestBed::server_users(USERS);
+    let sharded = bed.build_engine_server(StoreEngine::Sharded, SHARDS, USERS);
+    let segment = bed.build_engine_server(StoreEngine::Segment, SHARDS, USERS);
+    let lists = workload_lists(&bed);
+
+    let sharded_resident = sharded.store().resident_bytes();
+    let segment_resident = segment.store().resident_bytes();
+
+    let mut group = c.benchmark_group("store_engines");
+    group.sample_size(5);
+    let mut points = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("sharded_vec", threads),
+            &threads,
+            |b, &threads| b.iter(|| measure(&sharded, &users, &lists, threads)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("segment", threads),
+            &threads,
+            |b, &threads| b.iter(|| measure(&segment, &users, &lists, threads)),
+        );
+        points.push(EnginePoint {
+            engine: "sharded_vec",
+            threads,
+            queries_per_second: measure(&sharded, &users, &lists, threads),
+        });
+        points.push(EnginePoint {
+            engine: "segment",
+            threads,
+            queries_per_second: measure(&segment, &users, &lists, threads),
+        });
+    }
+    group.finish();
+
+    write_report(
+        &points,
+        sharded_resident,
+        segment_resident,
+        sharded.stored_bytes(),
+        sharded.num_elements(),
+        lists.len(),
+    );
+}
+
+fn write_report(
+    points: &[EnginePoint],
+    sharded_resident: usize,
+    segment_resident: usize,
+    stored_bytes: usize,
+    elements: usize,
+    workload_lists: usize,
+) {
+    let points_json = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"engine\":\"{}\",\"threads\":{},\"queries_per_second\":{:.1}}}",
+                p.engine, p.threads, p.queries_per_second
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let qps_ratio = THREAD_COUNTS
+        .iter()
+        .map(|&t| {
+            let of = |engine: &str| {
+                points
+                    .iter()
+                    .find(|p| p.engine == engine && p.threads == t)
+                    .map(|p| p.queries_per_second)
+                    .unwrap_or(0.0)
+            };
+            let sharded = of("sharded_vec");
+            let ratio = if sharded > 0.0 {
+                of("segment") / sharded
+            } else {
+                0.0
+            };
+            format!("{{\"threads\":{t},\"segment_over_sharded\":{ratio:.3}}}")
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let json = format!(
+        "{{\n  \"bench\": \"store_engines\",\n  \"workload\": \"fig10-style query-log lists\",\n  \
+         \"workload_lists\": {workload_lists},\n  \"total_queries_per_run\": {TOTAL_QUERIES},\n  \
+         \"hardware_threads\": {},\n  \"elements\": {elements},\n  \
+         \"stored_bytes_logical\": {stored_bytes},\n  \
+         \"resident_bytes\": {{\"sharded_vec\": {sharded_resident}, \"segment\": {segment_resident}, \
+         \"segment_over_sharded\": {:.3}}},\n  \"points\": [{points_json}],\n  \
+         \"qps_ratio\": [{qps_ratio}]\n}}\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        segment_resident as f64 / sharded_resident as f64,
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_store_engines.json"
+    );
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, bench_store_engines);
+criterion_main!(benches);

@@ -59,6 +59,53 @@ fn quantize(score: f64) -> u64 {
     (score.clamp(0.0, u32::MAX as f64 / SCORE_SCALE) * SCORE_SCALE).round() as u64
 }
 
+/// Maps an `f64` to a `u64` whose unsigned order matches the float total
+/// order (for all non-NaN values): positive floats get their sign bit set,
+/// negative floats are bitwise inverted.  The mapping is a bijection, so a
+/// round trip through [`from_sortable_bits`] is bit-exact — which lets
+/// order-sorted float sequences be delta-encoded with non-negative varint
+/// deltas *without* any quantization loss (the segment codec of the storage
+/// engine needs exact TRS values back).
+pub fn sortable_bits(value: f64) -> u64 {
+    let bits = value.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// Inverse of [`sortable_bits`]: recovers the exact `f64` bit pattern.
+pub fn from_sortable_bits(bits: u64) -> f64 {
+    f64::from_bits(if bits >> 63 == 1 {
+        bits & !(1 << 63)
+    } else {
+        !bits
+    })
+}
+
+/// Appends a byte slice with a varint length prefix.
+pub fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    write_varint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Reads a length-prefixed byte slice written by [`write_bytes`], returning
+/// the slice and the position just past it.  Truncations are errors, and the
+/// untrusted length can never address past the end of the buffer.
+pub fn read_bytes(buf: &[u8], pos: usize) -> Result<(&[u8], usize), IndexError> {
+    let (len, start) = read_varint(buf, pos)?;
+    let len = usize::try_from(len)
+        .map_err(|_| IndexError::CorruptPostings("byte-slice length overflow".into()))?;
+    let end = start
+        .checked_add(len)
+        .ok_or_else(|| IndexError::CorruptPostings("byte-slice length overflow".into()))?;
+    let slice = buf
+        .get(start..end)
+        .ok_or_else(|| IndexError::CorruptPostings("truncated byte slice".into()))?;
+    Ok((slice, end))
+}
+
 /// Encodes a posting list into a compact byte buffer.
 ///
 /// Layout: varint count, then for each posting in the list's descending-score
@@ -225,6 +272,56 @@ mod tests {
         // Claim 5 postings but provide none.
         let buf = vec![5u8];
         assert!(decode_posting_list(&buf).is_err());
+    }
+
+    #[test]
+    fn sortable_bits_preserve_order_and_roundtrip() {
+        let values = [
+            -f64::INFINITY,
+            -1.5,
+            -1e-300,
+            -0.0,
+            0.0,
+            1e-300,
+            0.25,
+            0.2500000001,
+            1.0,
+            f64::INFINITY,
+        ];
+        for w in values.windows(2) {
+            assert!(
+                sortable_bits(w[0]) <= sortable_bits(w[1]),
+                "{} should sort before {}",
+                w[0],
+                w[1]
+            );
+        }
+        for v in values {
+            assert_eq!(from_sortable_bits(sortable_bits(v)).to_bits(), v.to_bits());
+        }
+        // The mapping is a bijection even on NaN payloads.
+        let nan_bits = f64::NAN.to_bits() | 7;
+        assert_eq!(
+            from_sortable_bits(sortable_bits(f64::from_bits(nan_bits))).to_bits(),
+            nan_bits
+        );
+    }
+
+    #[test]
+    fn byte_slices_roundtrip_and_reject_truncation() {
+        let mut buf = Vec::new();
+        write_bytes(&mut buf, b"hello");
+        write_bytes(&mut buf, b"");
+        let (first, pos) = read_bytes(&buf, 0).unwrap();
+        assert_eq!(first, b"hello");
+        let (second, end) = read_bytes(&buf, pos).unwrap();
+        assert!(second.is_empty());
+        assert_eq!(end, buf.len());
+        // A length prefix pointing past the end is an error, not a panic.
+        assert!(read_bytes(&buf[..buf.len() - 2], 0).is_err());
+        let mut huge = Vec::new();
+        write_varint(&mut huge, u64::MAX);
+        assert!(read_bytes(&huge, 0).is_err());
     }
 
     #[test]

@@ -34,4 +34,4 @@ pub use netsim::{
     ThroughputReport, ALTAVISTA_TOP10_BYTES, GOOGLE_TOP10_BYTES, PAPER_POSTING_BITS, SNIPPET_BYTES,
     YAHOO_TOP10_BYTES,
 };
-pub use server::{IndexServer, InsertRequest, ServerStats};
+pub use server::{IndexServer, InsertRequest, ServerStats, StoreEngine};

@@ -30,7 +30,8 @@ use zerber_base::MergedListId;
 use zerber_corpus::GroupId;
 use zerber_r::{OrderedElement, OrderedIndex};
 use zerber_store::{
-    CursorId, ListStore, RangedBatch, RangedFetch, ShardedStore, SingleMutexStore, StoreError,
+    CursorId, ListStore, RangedBatch, RangedFetch, SegmentStore, ShardedStore, SingleMutexStore,
+    StoreError,
 };
 
 use crate::acl::{AccessControl, AuthToken};
@@ -117,6 +118,23 @@ impl InsertRequest {
     }
 }
 
+/// Which storage engine a server is built on.
+///
+/// All engines answer element-for-element identically (they share one
+/// cursor-session implementation); they differ in concurrency model and
+/// physical layout, which is what the serving experiments compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreEngine {
+    /// Lists sharded across per-`RwLock` tables, plain `Vec` layout (the
+    /// default).
+    Sharded,
+    /// One global mutex around a single table (the contention baseline).
+    SingleMutex,
+    /// Sharded tables over compressed block-encoded segments with per-block
+    /// skip entries (the memory-footprint engine).
+    Segment,
+}
+
 /// The index server.
 #[derive(Debug)]
 pub struct IndexServer {
@@ -156,6 +174,27 @@ impl IndexServer {
     /// the pre-sharding architecture, kept as the contention baseline.
     pub fn single_mutex(index: OrderedIndex, acl: AccessControl) -> Self {
         Self::with_store(Box::new(SingleMutexStore::new(index)), acl)
+    }
+
+    /// Creates a server over the compressed segment engine.
+    pub fn segmented(index: OrderedIndex, acl: AccessControl) -> Self {
+        Self::with_store(Box::new(SegmentStore::new(index)), acl)
+    }
+
+    /// Creates a server over the selected engine, sharded across
+    /// `num_shards` storage shards where the engine supports sharding.
+    pub fn with_engine(
+        index: OrderedIndex,
+        acl: AccessControl,
+        engine: StoreEngine,
+        num_shards: usize,
+    ) -> Self {
+        let store: Box<dyn ListStore> = match engine {
+            StoreEngine::Sharded => Box::new(ShardedStore::with_shards(index, num_shards)),
+            StoreEngine::SingleMutex => Box::new(SingleMutexStore::new(index)),
+            StoreEngine::Segment => Box::new(SegmentStore::with_shards(index, num_shards)),
+        };
+        Self::with_store(store, acl)
     }
 
     /// The storage engine serving this server.
@@ -426,6 +465,11 @@ fn map_store_error(e: StoreError) -> ProtocolError {
         StoreError::UnknownList(id) => ProtocolError::UnknownList(id),
         StoreError::UnknownCursor(id) => {
             ProtocolError::InvalidRequest(format!("unknown cursor {id}"))
+        }
+        // A segment failing validation is a server-side integrity fault,
+        // not client misuse.
+        StoreError::CorruptSegment(reason) => {
+            ProtocolError::Core(format!("corrupt segment: {reason}"))
         }
     }
 }

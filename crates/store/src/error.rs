@@ -9,6 +9,9 @@ pub enum StoreError {
     UnknownList(u64),
     /// The cursor does not exist, was closed, or belongs to another session.
     UnknownCursor(u64),
+    /// A serialized segment failed validation (truncated, bit-flipped or
+    /// otherwise inconsistent bytes).
+    CorruptSegment(String),
 }
 
 impl fmt::Display for StoreError {
@@ -16,6 +19,7 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::UnknownList(id) => write!(f, "unknown merged posting list {id}"),
             StoreError::UnknownCursor(id) => write!(f, "unknown cursor {id}"),
+            StoreError::CorruptSegment(reason) => write!(f, "corrupt segment: {reason}"),
         }
     }
 }

@@ -13,18 +13,32 @@
 //! * [`ShardedStore`] — lists partitioned across N shards, each behind its
 //!   own `RwLock`; queries on different lists never contend and an insert
 //!   write-locks exactly one shard.
+//! * [`SegmentStore`] — the same sharded concurrency machinery over the
+//!   compressed segment layout of [`segment`]: immutable block-encoded
+//!   segments with per-block skip entries (first/last TRS, element count,
+//!   per-group visible counts) plus a small mutable tail absorbing inserts.
 //! * [`SingleMutexStore`] — the pre-sharding architecture (one global mutex),
 //!   kept as the contention baseline for the throughput experiments.
+//!
+//! All engines share one generic cursor-session table
+//! ([`store::OrderedList`]), so sessions, insert generations, owner checks,
+//! TTL expiry and eviction behave identically and the engines answer
+//! element-for-element the same.
 
 pub mod error;
+pub mod segment;
 pub mod sharded;
 pub mod single;
 pub mod store;
 
 pub use error::StoreError;
-pub use sharded::{ShardedStore, MAX_SHARDS};
+pub use segment::{Segment, SegmentConfig, SegmentList};
+pub use sharded::{SegmentStore, ShardedStore, MAX_SHARDS};
 pub use single::SingleMutexStore;
-pub use store::{CursorId, ListStore, RangedBatch, RangedFetch};
+pub use store::{
+    CursorId, ListStore, OrderedList, RangedBatch, RangedFetch, SessionStats, VecList,
+    SESSION_TTL_TICKS,
+};
 
 #[cfg(test)]
 mod tests {
@@ -73,6 +87,21 @@ mod tests {
         )
     }
 
+    fn segment_store() -> SegmentStore {
+        // Small blocks/tail so the fixture exercises block and segment
+        // boundaries, sealing and compaction.
+        SegmentStore::with_config(
+            index(),
+            4,
+            SegmentConfig {
+                block_len: 4,
+                tail_threshold: 3,
+                max_segment_elems: 64,
+                max_segments: 4,
+            },
+        )
+    }
+
     fn busiest_list(store: &dyn ListStore) -> MergedListId {
         (0..store.num_lists() as u64)
             .map(MergedListId)
@@ -99,8 +128,9 @@ mod tests {
     }
 
     #[test]
-    fn both_stores_serve_identical_ranged_batches() {
+    fn all_stores_serve_identical_ranged_batches() {
         let (sharded, single) = stores();
+        let segmented = segment_store();
         let list = busiest_list(&sharded);
         let groups = [GroupId(0), GroupId(2)];
         for offset in [0usize, 3, 10] {
@@ -111,8 +141,98 @@ mod tests {
             };
             let a = sharded.fetch_ranged(&fetch, Some(&groups)).unwrap();
             let b = single.fetch_ranged(&fetch, Some(&groups)).unwrap();
+            let c = segmented.fetch_ranged(&fetch, Some(&groups)).unwrap();
             assert_eq!(a, b);
+            assert_eq!(a, c);
         }
+    }
+
+    #[test]
+    fn segment_store_matches_snapshots_and_compresses_the_index() {
+        let (sharded, _) = stores();
+        let segmented = segment_store();
+        for l in 0..sharded.num_lists() as u64 {
+            let id = MergedListId(l);
+            assert_eq!(
+                sharded.snapshot_list(id).unwrap(),
+                segmented.snapshot_list(id).unwrap()
+            );
+            assert_eq!(
+                sharded.visible_len(id, Some(&[GroupId(1)])).unwrap(),
+                segmented.visible_len(id, Some(&[GroupId(1)])).unwrap()
+            );
+        }
+        assert!(segmented.verify_ordering());
+        assert_eq!(segmented.num_elements(), sharded.num_elements());
+        assert_eq!(segmented.stored_bytes(), sharded.stored_bytes());
+        assert_eq!(segmented.ciphertext_bytes(), sharded.ciphertext_bytes());
+        let ratio = segmented.resident_bytes() as f64 / sharded.resident_bytes() as f64;
+        assert!(
+            ratio < 1.0,
+            "segments must be smaller than the vec layout, got {ratio:.3}"
+        );
+        // The group-filtered visible_len calls above were answered from the
+        // per-block skip entries: the segment engine examined only tail
+        // elements (none here), the vec engine walked every list in full.
+        assert_eq!(segmented.visibility_scan_cost(), 0);
+        assert!(sharded.visibility_scan_cost() > 0);
+    }
+
+    #[test]
+    fn cursor_follow_ups_skip_the_visibility_count() {
+        for store in [
+            Box::new(stores().0) as Box<dyn ListStore>,
+            Box::new(segment_store()) as Box<dyn ListStore>,
+        ] {
+            let list = busiest_list(store.as_ref());
+            let groups = [GroupId(0), GroupId(2)];
+            let first = store
+                .fetch_ranged(
+                    &RangedFetch {
+                        list,
+                        offset: 0,
+                        count: 2,
+                    },
+                    Some(&groups),
+                )
+                .unwrap();
+            let cursor = store
+                .open_cursor(list, 5, &first, first.elements.len(), Some(&groups))
+                .unwrap();
+            let counted = store.visibility_scan_cost();
+            // Follow-ups are answered from the per-session cached count: no
+            // O(list-length) visibility scan, whatever the engine.
+            for _ in 0..4 {
+                let batch = store.cursor_fetch(cursor, 5, 2, Some(&groups)).unwrap();
+                assert_eq!(batch.visible_total, first.visible_total);
+            }
+            assert_eq!(store.visibility_scan_cost(), counted);
+            store.close_cursor(cursor, 5);
+        }
+    }
+
+    #[test]
+    fn session_stats_track_openings() {
+        let (sharded, _) = stores();
+        let list = busiest_list(&sharded);
+        let head = sharded
+            .fetch_ranged(
+                &RangedFetch {
+                    list,
+                    offset: 0,
+                    count: 1,
+                },
+                None,
+            )
+            .unwrap();
+        let cursor = sharded.open_cursor(list, 3, &head, 1, None).unwrap();
+        let stats = sharded.session_stats();
+        assert_eq!(stats.open, 1);
+        assert_eq!(stats.opened_total, 1);
+        assert_eq!(stats.capacity_evictions + stats.ttl_evictions, 0);
+        assert!(stats.clock > 0);
+        sharded.close_cursor(cursor, 3);
+        assert_eq!(sharded.session_stats().open, 0);
     }
 
     #[test]
@@ -252,8 +372,13 @@ mod tests {
     #[test]
     fn unknown_lists_error_on_every_accessor() {
         let (sharded, single) = stores();
+        let segmented = segment_store();
         let bad = MergedListId(10_000_000);
-        for store in [&sharded as &dyn ListStore, &single as &dyn ListStore] {
+        for store in [
+            &sharded as &dyn ListStore,
+            &single as &dyn ListStore,
+            &segmented as &dyn ListStore,
+        ] {
             assert!(store.list_len(bad).is_err());
             assert!(store.visible_len(bad, None).is_err());
             assert!(store.snapshot_list(bad).is_err());

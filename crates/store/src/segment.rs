@@ -1,0 +1,1170 @@
+//! The compressed segment layout: each merged list is a stack of immutable
+//! block-encoded segments plus a small mutable uncompressed tail.
+//!
+//! The paper's server holds merged posting lists as sealed elements in TRS
+//! order; its economics hinge on how cheaply that ordered store can be held
+//! and scanned.  The plain `Vec<OrderedElement>` layout pays the full struct
+//! width (plus one heap allocation) per element.  A [`SegmentList`] instead
+//! keeps the elements in compressed **blocks**:
+//!
+//! * TRS values are delta-encoded through the order-preserving
+//!   [`sortable_bits`] mapping — bit-exact, so decoded elements compare
+//!   identically to the reference layout even across quantization-free ties;
+//! * group tags and ciphertext lengths are varints (with a per-block
+//!   "uniform ciphertext length" fast path, since sealed payloads have one
+//!   fixed size in practice);
+//! * every block carries a **skip entry**: element count, first/last TRS and
+//!   per-group visible counts.
+//!
+//! The skip entries make `visible_total` and offset skip-scans `O(#blocks)`
+//! instead of `O(#elements)` — the engine-level fix for the group-filtered
+//! follow-up hot path — while point reads only decode the one or two blocks
+//! they actually touch.  Position-preserving inserts land in the mutable
+//! tail when their TRS sorts below every sealed element; interior inserts
+//! rebuild the one segment they hit (bounded by
+//! [`SegmentConfig::max_segment_elems`]).  When the tail outgrows
+//! [`SegmentConfig::tail_threshold`] it is sealed into a new segment and an
+//! insert-amortized compaction merges adjacent segments (pure block
+//! concatenation — no re-encode) to keep the stack shallow.
+//!
+//! Segments serialize to a validated byte format ([`Segment::to_bytes`] /
+//! [`Segment::from_bytes`]): like the posting codec, the decoder faces
+//! untrusted bytes and must reject every truncation or bit flip with an
+//! error, never a panic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use zerber_base::EncryptedElement;
+use zerber_corpus::GroupId;
+use zerber_index::compress::{
+    from_sortable_bits, read_bytes, read_varint, sortable_bits, write_bytes, write_varint,
+};
+use zerber_r::{OrderedElement, TRS_BYTES};
+
+use crate::error::StoreError;
+use crate::store::{is_visible, is_visible_group, OrderedList};
+
+/// Magic number heading every serialized segment ("ZSEG" little-endian).
+const SEGMENT_MAGIC: u64 = 0x4745_535a;
+/// Version of the segment wire format.
+const SEGMENT_VERSION: u64 = 1;
+
+/// Tuning knobs of the segment layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentConfig {
+    /// Elements per compressed block (the skip-entry granularity).
+    pub block_len: usize,
+    /// The tail is sealed into a segment once it grows past this.
+    pub tail_threshold: usize,
+    /// Compaction never merges beyond this many elements per segment, which
+    /// bounds the cost of an interior-insert rebuild.
+    pub max_segment_elems: usize,
+    /// Compaction runs while the stack is deeper than this.
+    pub max_segments: usize,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        SegmentConfig {
+            // Streaming decode stops as soon as a batch is full, so larger
+            // blocks do not slow point reads down — they amortize the skip
+            // entry across more elements.
+            block_len: 128,
+            tail_threshold: 128,
+            max_segment_elems: 4096,
+            max_segments: 8,
+        }
+    }
+}
+
+/// Skip entry of one compressed block.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct BlockMeta {
+    /// Byte offset of the block inside the segment payload.
+    offset: u32,
+    /// Encoded length of the block in bytes.
+    byte_len: u32,
+    /// Number of elements in the block.
+    elems: u32,
+    /// Sortable bits of the first (largest) TRS in the block.  This is the
+    /// authoritative value: the first element carries no TRS bytes in the
+    /// payload, later elements are deltas from it.
+    first: u64,
+    /// Sortable bits of the last (smallest) TRS in the block.
+    last: u64,
+    /// Per-group element counts, sorted by group id (exact-sized).
+    counts: Box<[(GroupId, u32)]>,
+}
+
+impl BlockMeta {
+    /// Elements of the block visible under `accessible`.
+    fn visible_under(&self, accessible: Option<&[GroupId]>) -> usize {
+        match accessible {
+            None => self.elems as usize,
+            Some(groups) => self
+                .counts
+                .iter()
+                .filter(|(g, _)| groups.contains(g))
+                .map(|&(_, n)| n as usize)
+                .sum(),
+        }
+    }
+
+    fn last_trs(&self) -> f64 {
+        from_sortable_bits(self.last)
+    }
+}
+
+/// One immutable compressed segment: concatenated encoded blocks plus their
+/// skip entries and pre-aggregated byte totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    payload: Vec<u8>,
+    blocks: Vec<BlockMeta>,
+    elems: usize,
+    stored_bytes: usize,
+    ciphertext_bytes: usize,
+}
+
+fn corrupt(reason: impl std::fmt::Display) -> StoreError {
+    StoreError::CorruptSegment(reason.to_string())
+}
+
+/// Encodes one block of ordered elements onto `out`, returning its skip
+/// entry.  The chunk must be non-empty and descending in TRS (the list
+/// invariant every engine maintains).  The first element's TRS lives only in
+/// the skip entry; the payload carries deltas from it.
+fn encode_block(chunk: &[OrderedElement], out: &mut Vec<u8>) -> BlockMeta {
+    let offset = out.len();
+    let uniform = chunk
+        .iter()
+        .all(|e| e.sealed.ciphertext.len() == chunk[0].sealed.ciphertext.len());
+    write_varint(
+        out,
+        if uniform {
+            chunk[0].sealed.ciphertext.len() as u64 + 1
+        } else {
+            0
+        },
+    );
+    let first = sortable_bits(chunk[0].trs);
+    let mut prev = first;
+    let mut counts: Vec<(GroupId, u32)> = Vec::new();
+    for (i, element) in chunk.iter().enumerate() {
+        let bits = sortable_bits(element.trs);
+        if i > 0 {
+            let delta = prev
+                .checked_sub(bits)
+                .expect("segment blocks encode TRS-descending elements");
+            write_varint(out, delta);
+        }
+        prev = bits;
+        let same = element.sealed.group == element.group;
+        write_varint(out, (u64::from(element.group.0) << 1) | u64::from(!same));
+        if !same {
+            write_varint(out, u64::from(element.sealed.group.0));
+        }
+        if uniform {
+            out.extend_from_slice(&element.sealed.ciphertext);
+        } else {
+            write_bytes(out, &element.sealed.ciphertext);
+        }
+        match counts.iter_mut().find(|(g, _)| *g == element.group) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((element.group, 1)),
+        }
+    }
+    counts.sort_by_key(|&(g, _)| g.0);
+    BlockMeta {
+        // Fail loudly instead of wrapping if a segment payload ever exceeds
+        // the u32 offset space (would need ~4 GiB of ciphertext per
+        // segment; max_segment_elems bounds elements, not bytes).
+        offset: u32::try_from(offset).expect("segment payload exceeds u32 offsets"),
+        byte_len: u32::try_from(out.len() - offset).expect("segment block exceeds u32 length"),
+        elems: chunk.len() as u32,
+        first,
+        last: prev,
+        counts: counts.into_boxed_slice(),
+    }
+}
+
+/// One element parsed from a block, borrowing its ciphertext from the
+/// payload.  Scans inspect `trs`/`group` without allocating and only
+/// [`RawElement::materialize`] the elements they actually return.
+pub(crate) struct RawElement<'a> {
+    trs: f64,
+    group: GroupId,
+    sealed_group: GroupId,
+    ciphertext: &'a [u8],
+}
+
+impl RawElement<'_> {
+    fn materialize(&self) -> OrderedElement {
+        OrderedElement {
+            trs: self.trs,
+            group: self.group,
+            sealed: EncryptedElement {
+                group: self.sealed_group,
+                ciphertext: self.ciphertext.to_vec(),
+            },
+        }
+    }
+}
+
+/// Streaming decoder over one block's payload: yields elements in order
+/// without materializing the ones the caller skips.
+pub(crate) struct BlockReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    uniform: u64,
+    prev: u64,
+    index: u32,
+    elems: u32,
+}
+
+impl<'a> BlockReader<'a> {
+    fn new(bytes: &'a [u8], elems: u32, first: u64) -> Result<Self, StoreError> {
+        let (uniform, pos) = read_varint(bytes, 0).map_err(corrupt)?;
+        Ok(BlockReader {
+            bytes,
+            pos,
+            uniform,
+            prev: first,
+            index: 0,
+            elems,
+        })
+    }
+
+    fn next_raw(&mut self) -> Result<RawElement<'a>, StoreError> {
+        debug_assert!(self.index < self.elems, "reader driven past the block");
+        let bits = if self.index == 0 {
+            self.prev
+        } else {
+            let (delta, p) = read_varint(self.bytes, self.pos).map_err(corrupt)?;
+            self.pos = p;
+            self.prev
+                .checked_sub(delta)
+                .ok_or_else(|| corrupt("TRS delta exceeds previous TRS"))?
+        };
+        let trs = from_sortable_bits(bits);
+        if trs.is_nan() {
+            return Err(corrupt("NaN TRS"));
+        }
+        self.prev = bits;
+        let (tag, p) = read_varint(self.bytes, self.pos).map_err(corrupt)?;
+        self.pos = p;
+        let group = tag >> 1;
+        if group > u64::from(u32::MAX) {
+            return Err(corrupt("group id out of range"));
+        }
+        let sealed_group = if tag & 1 == 1 {
+            let (g, p) = read_varint(self.bytes, self.pos).map_err(corrupt)?;
+            self.pos = p;
+            if g > u64::from(u32::MAX) {
+                return Err(corrupt("sealed group id out of range"));
+            }
+            g as u32
+        } else {
+            group as u32
+        };
+        let ciphertext = if self.uniform > 0 {
+            let len = (self.uniform - 1) as usize;
+            let end = self
+                .pos
+                .checked_add(len)
+                .ok_or_else(|| corrupt("ciphertext length overflow"))?;
+            let slice = self
+                .bytes
+                .get(self.pos..end)
+                .ok_or_else(|| corrupt("truncated ciphertext"))?;
+            self.pos = end;
+            slice
+        } else {
+            let (slice, p) = read_bytes(self.bytes, self.pos).map_err(corrupt)?;
+            self.pos = p;
+            slice
+        };
+        self.index += 1;
+        Ok(RawElement {
+            trs,
+            group: GroupId(group as u32),
+            sealed_group: GroupId(sealed_group),
+            ciphertext,
+        })
+    }
+
+    /// Internal (trusted) read: the payload was encoded by this module.
+    fn next_trusted(&mut self) -> RawElement<'a> {
+        self.next_raw().expect("self-encoded segment blocks decode")
+    }
+}
+
+/// Decodes and validates one block against its skip entry.  Every
+/// inconsistency is an error: the decoder also runs on untrusted bytes.
+fn decode_block_checked(
+    bytes: &[u8],
+    expected: &BlockMeta,
+) -> Result<Vec<OrderedElement>, StoreError> {
+    let mut reader = BlockReader::new(bytes, expected.elems, expected.first)?;
+    let elems = expected.elems as usize;
+    // Each element takes at least 1 payload byte, so a corrupt count cannot
+    // force a huge pre-allocation before validation fails.
+    let mut out: Vec<OrderedElement> = Vec::with_capacity(elems.min(bytes.len() + 1));
+    let mut counts: Vec<(GroupId, u32)> = Vec::new();
+    for _ in 0..elems {
+        let raw = reader.next_raw()?;
+        match counts.iter_mut().find(|(g, _)| *g == raw.group) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((raw.group, 1)),
+        }
+        out.push(raw.materialize());
+    }
+    if reader.pos != bytes.len() {
+        return Err(corrupt("trailing bytes after block"));
+    }
+    if reader.prev != expected.last {
+        return Err(corrupt("block TRS bounds disagree with skip entry"));
+    }
+    counts.sort_by_key(|&(g, _)| g.0);
+    if counts.as_slice() != expected.counts.as_ref() {
+        return Err(corrupt("block group counts disagree with skip entry"));
+    }
+    Ok(out)
+}
+
+impl Segment {
+    /// Encodes a non-empty TRS-descending slice into a segment of
+    /// `block_len`-element blocks.
+    pub(crate) fn from_elements(elements: &[OrderedElement], block_len: usize) -> Segment {
+        debug_assert!(!elements.is_empty(), "segments are never empty");
+        let mut payload = Vec::new();
+        let mut blocks = Vec::with_capacity(elements.len().div_ceil(block_len.max(1)));
+        for chunk in elements.chunks(block_len.max(1)) {
+            blocks.push(encode_block(chunk, &mut payload));
+        }
+        // Sealed segments are immutable: give the growth slack back.
+        payload.shrink_to_fit();
+        Segment {
+            payload,
+            blocks,
+            elems: elements.len(),
+            stored_bytes: elements
+                .iter()
+                .map(|e| e.sealed.stored_bytes() + TRS_BYTES)
+                .sum(),
+            ciphertext_bytes: elements.iter().map(|e| e.sealed.ciphertext.len()).sum(),
+        }
+    }
+
+    /// Number of elements held.
+    pub fn num_elements(&self) -> usize {
+        self.elems
+    }
+
+    /// Number of compressed blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The smallest TRS in the segment (its last element).
+    fn min_trs(&self) -> f64 {
+        self.blocks
+            .last()
+            .expect("segments are never empty")
+            .last_trs()
+    }
+
+    /// A streaming reader over block `index` (internal, trusted path: the
+    /// blocks were encoded by this module).
+    fn block_reader(&self, index: usize) -> BlockReader<'_> {
+        let meta = &self.blocks[index];
+        let range = meta.offset as usize..(meta.offset + meta.byte_len) as usize;
+        BlockReader::new(&self.payload[range], meta.elems, meta.first)
+            .expect("self-encoded segment blocks decode")
+    }
+
+    /// Decodes block `index` in full (internal, trusted path).
+    fn decode_block(&self, index: usize) -> Vec<OrderedElement> {
+        let meta = &self.blocks[index];
+        let mut reader = self.block_reader(index);
+        (0..meta.elems)
+            .map(|_| reader.next_trusted().materialize())
+            .collect()
+    }
+
+    /// Decodes the whole segment in order.
+    pub(crate) fn decode_all(&self) -> Vec<OrderedElement> {
+        let mut out = Vec::with_capacity(self.elems);
+        for i in 0..self.blocks.len() {
+            out.extend(self.decode_block(i));
+        }
+        out
+    }
+
+    /// Appends another segment (the positionally next one) onto this one:
+    /// pure block concatenation, no re-encode.
+    fn absorb(&mut self, other: Segment) {
+        let shift = u32::try_from(self.payload.len()).expect("segment payload exceeds u32 offsets");
+        self.payload.extend_from_slice(&other.payload);
+        self.payload.shrink_to_fit();
+        self.blocks.extend(other.blocks.into_iter().map(|mut b| {
+            b.offset = b
+                .offset
+                .checked_add(shift)
+                .expect("segment payload exceeds u32 offsets");
+            b
+        }));
+        self.elems += other.elems;
+        self.stored_bytes += other.stored_bytes;
+        self.ciphertext_bytes += other.ciphertext_bytes;
+    }
+
+    /// Estimated resident memory of the segment.
+    fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Segment>()
+            + self.payload.capacity()
+            + self.blocks.capacity() * std::mem::size_of::<BlockMeta>()
+            + self
+                .blocks
+                .iter()
+                .map(|b| b.counts.len() * std::mem::size_of::<(GroupId, u32)>())
+                .sum::<usize>()
+    }
+
+    /// Serializes the segment to its validated wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload.len() + self.blocks.len() * 24 + 16);
+        write_varint(&mut out, SEGMENT_MAGIC);
+        write_varint(&mut out, SEGMENT_VERSION);
+        write_varint(&mut out, self.elems as u64);
+        write_varint(&mut out, self.blocks.len() as u64);
+        for meta in &self.blocks {
+            write_varint(&mut out, u64::from(meta.elems));
+            write_varint(&mut out, meta.first);
+            write_varint(&mut out, meta.last);
+            write_varint(&mut out, meta.counts.len() as u64);
+            for &(group, count) in &meta.counts {
+                write_varint(&mut out, u64::from(group.0));
+                write_varint(&mut out, u64::from(count));
+            }
+            write_varint(&mut out, meta.byte_len as u64);
+        }
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses and fully validates a serialized segment.  Truncated,
+    /// bit-flipped or internally inconsistent bytes come back as
+    /// [`StoreError::CorruptSegment`]; the decoder never panics and never
+    /// trusts an untrusted count for allocation.
+    pub fn from_bytes(buf: &[u8]) -> Result<Segment, StoreError> {
+        let (magic, pos) = read_varint(buf, 0).map_err(corrupt)?;
+        if magic != SEGMENT_MAGIC {
+            return Err(corrupt("bad segment magic"));
+        }
+        let (version, pos) = read_varint(buf, pos).map_err(corrupt)?;
+        if version != SEGMENT_VERSION {
+            return Err(corrupt(format!("unsupported segment version {version}")));
+        }
+        let (total_elems, pos) = read_varint(buf, pos).map_err(corrupt)?;
+        let (num_blocks, mut pos) = read_varint(buf, pos).map_err(corrupt)?;
+        // Every block header takes at least 6 bytes.
+        if num_blocks as usize > buf.len() / 6 + 1 {
+            return Err(corrupt("implausible block count"));
+        }
+        let mut blocks = Vec::with_capacity(num_blocks as usize);
+        let mut offset = 0u32;
+        let mut elems_seen = 0u64;
+        for _ in 0..num_blocks {
+            let (elems, p) = read_varint(buf, pos).map_err(corrupt)?;
+            let (first, p) = read_varint(buf, p).map_err(corrupt)?;
+            let (last, p) = read_varint(buf, p).map_err(corrupt)?;
+            let (num_counts, mut p) = read_varint(buf, p).map_err(corrupt)?;
+            if elems == 0 || elems > u64::from(u32::MAX) {
+                return Err(corrupt("block element count out of range"));
+            }
+            if first < last {
+                return Err(corrupt("block TRS bounds out of order"));
+            }
+            if num_counts == 0 || num_counts > elems {
+                return Err(corrupt("implausible group-count entries"));
+            }
+            let mut counts: Vec<(GroupId, u32)> =
+                Vec::with_capacity((num_counts as usize).min(buf.len() / 2 + 1));
+            let mut count_sum = 0u64;
+            for _ in 0..num_counts {
+                let (group, q) = read_varint(buf, p).map_err(corrupt)?;
+                let (count, q) = read_varint(buf, q).map_err(corrupt)?;
+                p = q;
+                if group > u64::from(u32::MAX) || count == 0 || count > elems {
+                    return Err(corrupt("group count entry out of range"));
+                }
+                if let Some(&(prev, _)) = counts.last() {
+                    if GroupId(group as u32).0 <= prev.0 {
+                        return Err(corrupt("group count entries out of order"));
+                    }
+                }
+                counts.push((GroupId(group as u32), count as u32));
+                count_sum += count;
+            }
+            if count_sum != elems {
+                return Err(corrupt("group counts do not cover the block"));
+            }
+            let (byte_len, p) = read_varint(buf, p).map_err(corrupt)?;
+            pos = p;
+            let byte_len = u32::try_from(byte_len).map_err(|_| corrupt("block length overflow"))?;
+            blocks.push(BlockMeta {
+                offset,
+                byte_len,
+                elems: elems as u32,
+                first,
+                last,
+                counts: counts.into_boxed_slice(),
+            });
+            offset = offset
+                .checked_add(byte_len)
+                .ok_or_else(|| corrupt("block length overflow"))?;
+            elems_seen += elems;
+        }
+        if elems_seen != total_elems {
+            return Err(corrupt("block element counts do not sum to the header"));
+        }
+        let payload = buf
+            .get(pos..)
+            .ok_or_else(|| corrupt("truncated payload"))?
+            .to_vec();
+        if payload.len() != offset as usize {
+            return Err(corrupt("payload length disagrees with block lengths"));
+        }
+        // Validate every block against its skip entry and the cross-block
+        // ordering invariant, accumulating the byte totals.
+        let mut stored = 0usize;
+        let mut ciphertext = 0usize;
+        for (i, meta) in blocks.iter().enumerate() {
+            let decoded = decode_block_checked(
+                &payload[meta.offset as usize..(meta.offset + meta.byte_len) as usize],
+                meta,
+            )?;
+            stored += decoded
+                .iter()
+                .map(|e| e.sealed.stored_bytes() + TRS_BYTES)
+                .sum::<usize>();
+            ciphertext += decoded
+                .iter()
+                .map(|e| e.sealed.ciphertext.len())
+                .sum::<usize>();
+            if i > 0 && blocks[i - 1].last < meta.first {
+                return Err(corrupt("blocks out of TRS order"));
+            }
+        }
+        Ok(Segment {
+            payload,
+            blocks,
+            elems: total_elems as usize,
+            stored_bytes: stored,
+            ciphertext_bytes: ciphertext,
+        })
+    }
+}
+
+/// A merged list stored as a stack of compressed segments plus a mutable
+/// uncompressed tail.  The logical sequence is the concatenation
+/// `segments[0] ++ segments[1] ++ ... ++ tail`, descending in TRS —
+/// positionally identical to the reference `Vec` layout.
+#[derive(Debug)]
+pub struct SegmentList {
+    segments: Vec<Segment>,
+    tail: Vec<OrderedElement>,
+    config: SegmentConfig,
+    /// Cached sum of segment element counts (the tail adds `tail.len()`).
+    seg_elems: usize,
+}
+
+impl SegmentList {
+    /// Builds the list with an explicit configuration.
+    pub fn with_config(elements: Vec<OrderedElement>, config: SegmentConfig) -> Self {
+        let mut segments = Vec::new();
+        let seg_elems = elements.len();
+        for chunk in elements.chunks(config.max_segment_elems.max(1)) {
+            if !chunk.is_empty() {
+                segments.push(Segment::from_elements(chunk, config.block_len));
+            }
+        }
+        SegmentList {
+            segments,
+            tail: Vec::new(),
+            config,
+            seg_elems,
+        }
+    }
+
+    /// Current number of sealed segments (tests and size reports).
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Current tail length (elements not yet sealed).
+    pub fn tail_len(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// Seals the tail into a new segment and compacts the stack.
+    fn seal_tail(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        self.segments
+            .push(Segment::from_elements(&self.tail, self.config.block_len));
+        self.seg_elems += self.tail.len();
+        self.tail.clear();
+        self.compact();
+    }
+
+    /// Insert-amortized compaction: while the stack is deeper than
+    /// `max_segments`, merge the adjacent pair with the smallest combined
+    /// size (pure block concatenation), as long as the merged segment stays
+    /// under `max_segment_elems`.
+    fn compact(&mut self) {
+        while self.segments.len() > self.config.max_segments {
+            let mut best: Option<(usize, usize)> = None;
+            for i in 0..self.segments.len() - 1 {
+                let combined = self.segments[i].elems + self.segments[i + 1].elems;
+                if combined <= self.config.max_segment_elems
+                    && best.is_none_or(|(_, c)| combined < c)
+                {
+                    best = Some((i, combined));
+                }
+            }
+            match best {
+                Some((i, _)) => {
+                    let right = self.segments.remove(i + 1);
+                    self.segments[i].absorb(right);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Rebuilds segment `k` with `element` inserted at local position
+    /// `local` (interior inserts are rare; the cost is bounded by
+    /// `max_segment_elems`).  Oversized results split in half so rebuild
+    /// cost stays bounded as a list grows through its interior.
+    fn rebuild_segment_with(&mut self, k: usize, local: usize, element: OrderedElement) {
+        let mut decoded = self.segments[k].decode_all();
+        decoded.insert(local, element);
+        self.seg_elems += 1;
+        if decoded.len() > self.config.max_segment_elems {
+            let mid = decoded.len() / 2;
+            let right = Segment::from_elements(&decoded[mid..], self.config.block_len);
+            self.segments[k] = Segment::from_elements(&decoded[..mid], self.config.block_len);
+            self.segments.insert(k + 1, right);
+            // Splits deepen the stack just like tail seals do; compact here
+            // too so an interior-insert-only workload cannot grow the stack
+            // without bound.
+            self.compact();
+        } else {
+            self.segments[k] = Segment::from_elements(&decoded, self.config.block_len);
+        }
+    }
+}
+
+impl OrderedList for SegmentList {
+    fn from_elements(elements: Vec<OrderedElement>) -> Self {
+        SegmentList::with_config(elements, SegmentConfig::default())
+    }
+
+    fn len(&self) -> usize {
+        self.seg_elems + self.tail.len()
+    }
+
+    fn snapshot(&self) -> Vec<OrderedElement> {
+        let mut out = Vec::with_capacity(self.len());
+        for segment in &self.segments {
+            out.extend(segment.decode_all());
+        }
+        out.extend(self.tail.iter().cloned());
+        out
+    }
+
+    fn visible_total(&self, accessible: Option<&[GroupId]>, meter: &AtomicU64) -> usize {
+        match accessible {
+            None => self.len(),
+            Some(_) => {
+                // Skip entries answer for the sealed part; only the (small)
+                // tail is examined element by element.
+                meter.fetch_add(self.tail.len() as u64, Ordering::Relaxed);
+                let sealed: usize = self
+                    .segments
+                    .iter()
+                    .flat_map(|s| &s.blocks)
+                    .map(|b| b.visible_under(accessible))
+                    .sum();
+                sealed
+                    + self
+                        .tail
+                        .iter()
+                        .filter(|e| is_visible(e, accessible))
+                        .count()
+            }
+        }
+    }
+
+    fn scan(
+        &self,
+        start: usize,
+        skip: usize,
+        count: usize,
+        accessible: Option<&[GroupId]>,
+    ) -> (Vec<OrderedElement>, usize) {
+        let total = self.len();
+        let mut elements = Vec::with_capacity(count.min(total.saturating_sub(start)));
+        let mut skipped = 0usize;
+        let mut pos = 0usize;
+        for segment in &self.segments {
+            if pos + segment.elems <= start {
+                pos += segment.elems;
+                continue;
+            }
+            for (bi, meta) in segment.blocks.iter().enumerate() {
+                let block_end = pos + meta.elems as usize;
+                if block_end <= start {
+                    pos = block_end;
+                    continue;
+                }
+                // Wholesale visible-skip: the block lies fully past `start`
+                // and every visible element in it would be skipped anyway.
+                if pos >= start && skipped < skip {
+                    let visible = meta.visible_under(accessible);
+                    if skipped + visible <= skip {
+                        skipped += visible;
+                        pos = block_end;
+                        continue;
+                    }
+                }
+                // Stream the block: skipped or invisible elements are parsed
+                // without materializing their ciphertext, and the read stops
+                // as soon as the batch is full.
+                let mut reader = segment.block_reader(bi);
+                for j in 0..meta.elems as usize {
+                    let raw = reader.next_trusted();
+                    let idx = pos + j;
+                    if idx < start || !is_visible_group(raw.group, accessible) {
+                        continue;
+                    }
+                    if skipped < skip {
+                        skipped += 1;
+                        continue;
+                    }
+                    elements.push(raw.materialize());
+                    if elements.len() == count {
+                        return (elements, idx + 1);
+                    }
+                }
+                pos = block_end;
+            }
+        }
+        for (j, element) in self.tail.iter().enumerate() {
+            let idx = self.seg_elems + j;
+            if idx < start || !is_visible(element, accessible) {
+                continue;
+            }
+            if skipped < skip {
+                skipped += 1;
+                continue;
+            }
+            elements.push(element.clone());
+            if elements.len() == count {
+                return (elements, idx + 1);
+            }
+        }
+        (elements, total.max(start))
+    }
+
+    fn position_after_visible(&self, delivered: usize, accessible: Option<&[GroupId]>) -> usize {
+        let mut remaining = delivered;
+        let mut pos = 0usize;
+        for segment in &self.segments {
+            for (bi, meta) in segment.blocks.iter().enumerate() {
+                if remaining == 0 {
+                    return pos;
+                }
+                let visible = meta.visible_under(accessible);
+                if visible < remaining {
+                    remaining -= visible;
+                    pos += meta.elems as usize;
+                    continue;
+                }
+                // The boundary falls inside this block: stream just it,
+                // materializing nothing.
+                let mut reader = segment.block_reader(bi);
+                for j in 0..meta.elems as usize {
+                    if remaining == 0 {
+                        return pos + j;
+                    }
+                    if is_visible_group(reader.next_trusted().group, accessible) {
+                        remaining -= 1;
+                    }
+                }
+                pos += meta.elems as usize;
+            }
+        }
+        for (j, element) in self.tail.iter().enumerate() {
+            if remaining == 0 {
+                return self.seg_elems + j;
+            }
+            if is_visible(element, accessible) {
+                remaining -= 1;
+            }
+        }
+        self.len()
+    }
+
+    fn insert(&mut self, element: OrderedElement) -> usize {
+        let trs = element.trs;
+        let mut base = 0usize;
+        for k in 0..self.segments.len() {
+            if self.segments[k].min_trs() > trs {
+                // Every element of this segment sorts strictly before the
+                // new one: the partition point is further down.
+                base += self.segments[k].elems;
+                continue;
+            }
+            // The partition point lies inside this segment: locate the first
+            // block whose smallest element no longer exceeds `trs`.
+            let mut local = 0usize;
+            let mut block = 0usize;
+            for (bi, meta) in self.segments[k].blocks.iter().enumerate() {
+                if meta.last_trs() > trs {
+                    local += meta.elems as usize;
+                } else {
+                    block = bi;
+                    break;
+                }
+            }
+            let block_elems = self.segments[k].blocks[block].elems;
+            let mut reader = self.segments[k].block_reader(block);
+            let mut in_block = 0usize;
+            for _ in 0..block_elems {
+                if reader.next_trusted().trs > trs {
+                    in_block += 1;
+                } else {
+                    break;
+                }
+            }
+            let pos = base + local + in_block;
+            self.rebuild_segment_with(k, pos - base, element);
+            return pos;
+        }
+        // Every sealed element sorts strictly before the new one: the tail
+        // absorbs the insert.
+        let local = self.tail.partition_point(|e| e.trs > trs);
+        self.tail.insert(local, element);
+        let pos = base + local;
+        if self.tail.len() > self.config.tail_threshold {
+            self.seal_tail();
+        }
+        pos
+    }
+
+    fn stored_bytes(&self) -> usize {
+        self.segments.iter().map(|s| s.stored_bytes).sum::<usize>()
+            + self
+                .tail
+                .iter()
+                .map(|e| e.sealed.stored_bytes() + TRS_BYTES)
+                .sum::<usize>()
+    }
+
+    fn ciphertext_bytes(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| s.ciphertext_bytes)
+            .sum::<usize>()
+            + self
+                .tail
+                .iter()
+                .map(|e| e.sealed.ciphertext.len())
+                .sum::<usize>()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<SegmentList>()
+            + self
+                .segments
+                .iter()
+                .map(Segment::resident_bytes)
+                .sum::<usize>()
+            + self.tail.capacity() * std::mem::size_of::<OrderedElement>()
+            + self
+                .tail
+                .iter()
+                .map(|e| e.sealed.ciphertext.capacity())
+                .sum::<usize>()
+    }
+
+    fn ordering_ok(&self) -> bool {
+        self.snapshot().windows(2).all(|w| w[0].trs >= w[1].trs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::VecList;
+
+    fn element(trs: f64, group: u32, ct: &[u8]) -> OrderedElement {
+        OrderedElement {
+            trs,
+            group: GroupId(group),
+            sealed: EncryptedElement {
+                group: GroupId(group),
+                ciphertext: ct.to_vec(),
+            },
+        }
+    }
+
+    fn sorted_elements(n: usize) -> Vec<OrderedElement> {
+        (0..n)
+            .map(|i| {
+                element(
+                    1.0 - i as f64 / n as f64,
+                    (i % 3) as u32,
+                    &vec![i as u8; 8 + (i % 3)],
+                )
+            })
+            .collect()
+    }
+
+    fn small_config() -> SegmentConfig {
+        SegmentConfig {
+            block_len: 4,
+            tail_threshold: 3,
+            max_segment_elems: 16,
+            max_segments: 3,
+        }
+    }
+
+    #[test]
+    fn segment_roundtrips_through_bytes() {
+        let elements = sorted_elements(23);
+        let segment = Segment::from_elements(&elements, 5);
+        assert_eq!(segment.num_elements(), 23);
+        assert_eq!(segment.num_blocks(), 5);
+        assert_eq!(segment.decode_all(), elements);
+        let bytes = segment.to_bytes();
+        let back = Segment::from_bytes(&bytes).unwrap();
+        assert_eq!(back, segment);
+        assert_eq!(back.decode_all(), elements);
+    }
+
+    #[test]
+    fn mixed_ciphertext_lengths_and_split_group_tags_roundtrip() {
+        let mut elements = sorted_elements(9);
+        // One element whose sealed group differs from the routing group.
+        elements[4].sealed.group = GroupId(99);
+        let segment = Segment::from_elements(&elements, 4);
+        let back = Segment::from_bytes(&segment.to_bytes()).unwrap();
+        assert_eq!(back.decode_all(), elements);
+    }
+
+    #[test]
+    fn truncations_and_garbage_are_rejected() {
+        let bytes = Segment::from_elements(&sorted_elements(12), 4).to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Segment::from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        assert!(Segment::from_bytes(&[]).is_err());
+        assert!(Segment::from_bytes(b"not a segment at all").is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(Segment::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn segment_list_matches_the_vec_layout_on_scans() {
+        let elements = sorted_elements(37);
+        let seg = SegmentList::with_config(elements.clone(), small_config());
+        let vec = VecList::from_elements(elements);
+        assert_eq!(seg.len(), vec.len());
+        assert_eq!(seg.snapshot(), vec.snapshot());
+        let meter = AtomicU64::new(0);
+        let groups = [GroupId(0), GroupId(2)];
+        for accessible in [None, Some(&groups[..])] {
+            assert_eq!(
+                seg.visible_total(accessible, &meter),
+                vec.visible_total(accessible, &meter)
+            );
+            for start in [0usize, 3, 17, 36, 37, 40] {
+                for skip in [0usize, 1, 5, 30] {
+                    for count in [1usize, 4, 100] {
+                        assert_eq!(
+                            seg.scan(start, skip, count, accessible),
+                            vec.scan(start, skip, count, accessible),
+                            "start {start} skip {skip} count {count}"
+                        );
+                    }
+                }
+            }
+            for delivered in 0..40 {
+                assert_eq!(
+                    seg.position_after_visible(delivered, accessible),
+                    vec.position_after_visible(delivered, accessible)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inserts_match_the_vec_layout_and_seal_the_tail() {
+        let mut seg = SegmentList::with_config(sorted_elements(20), small_config());
+        let mut vec = VecList::from_elements(sorted_elements(20));
+        // Tail inserts (below every sealed element), interior inserts and
+        // head inserts, with ties.
+        let probes = [0.001, 0.002, 0.5, 0.925, 1.5, 0.5, 0.0015, 0.85, 0.0];
+        for (i, &trs) in probes.iter().enumerate() {
+            let e = element(trs, (i % 3) as u32, &[i as u8; 6]);
+            assert_eq!(seg.insert(e.clone()), vec.insert(e), "probe {trs}");
+            assert_eq!(seg.len(), vec.len());
+        }
+        assert_eq!(seg.snapshot(), vec.snapshot());
+        assert!(seg.ordering_ok());
+        // The tail stayed bounded by the threshold (sealing happened).
+        assert!(seg.tail_len() <= small_config().tail_threshold);
+    }
+
+    #[test]
+    fn compaction_keeps_the_stack_shallow() {
+        let config = small_config();
+        let mut seg = SegmentList::with_config(sorted_elements(16), config);
+        let mut vec = VecList::from_elements(sorted_elements(16));
+        // A long run of low-TRS inserts seals many tail segments.
+        for i in 0..40 {
+            let trs = 1e-6 * (40 - i) as f64;
+            let e = element(trs, (i % 3) as u32, &[7u8; 4]);
+            assert_eq!(seg.insert(e.clone()), vec.insert(e));
+        }
+        assert_eq!(seg.snapshot(), vec.snapshot());
+        // max_segments is a soft bound: compaction merges adjacent pairs as
+        // long as the merged segment respects max_segment_elems.
+        assert!(
+            seg.num_segments() <= config.max_segments + 1,
+            "stack depth {} after compaction",
+            seg.num_segments()
+        );
+        assert_eq!(seg.stored_bytes(), vec.stored_bytes());
+        assert_eq!(seg.ciphertext_bytes(), vec.ciphertext_bytes());
+    }
+
+    #[test]
+    fn compressed_lists_are_smaller_than_the_vec_layout() {
+        let elements: Vec<OrderedElement> = (0..512)
+            .map(|i| element(1.0 - i as f64 / 512.0, (i % 4) as u32, &[3u8; 44]))
+            .collect();
+        let seg = SegmentList::with_config(elements.clone(), SegmentConfig::default());
+        let vec = VecList::from_elements(elements);
+        let ratio = seg.resident_bytes() as f64 / vec.resident_bytes() as f64;
+        assert!(
+            ratio <= 0.60,
+            "segment layout should be <= 60% of the vec layout, got {ratio:.3}"
+        );
+    }
+
+    #[test]
+    fn empty_lists_behave() {
+        let mut seg = SegmentList::with_config(Vec::new(), small_config());
+        assert_eq!(seg.len(), 0);
+        assert!(seg.is_empty());
+        assert_eq!(seg.scan(0, 0, 5, None), (Vec::new(), 0));
+        assert_eq!(seg.position_after_visible(0, None), 0);
+        assert_eq!(seg.insert(element(0.5, 0, &[1])), 0);
+        assert_eq!(seg.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod fuzz {
+    //! Property-based round-trip and corrupt-input tests, mirroring the
+    //! posting-codec fuzz suite: the segment decoder faces untrusted bytes,
+    //! so every truncation must error and arbitrary input must never panic.
+
+    use proptest::prelude::*;
+
+    use super::*;
+
+    fn arbitrary_elements(items: Vec<(f64, u32, Vec<u8>)>) -> Vec<OrderedElement> {
+        let mut elements: Vec<OrderedElement> = items
+            .into_iter()
+            .map(|(trs, group, ct)| OrderedElement {
+                trs,
+                group: GroupId(group % 8),
+                sealed: EncryptedElement {
+                    group: GroupId(group % 8),
+                    ciphertext: ct,
+                },
+            })
+            .collect();
+        elements.sort_by(|a, b| b.trs.partial_cmp(&a.trs).expect("finite TRS"));
+        elements
+    }
+
+    fn element_strategy() -> impl Strategy<Value = (f64, u32, Vec<u8>)> {
+        (
+            0.0f64..1.0,
+            any::<u32>(),
+            proptest::collection::vec(any::<u8>(), 0..24),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn roundtrip_is_element_exact(
+            items in proptest::collection::vec(element_strategy(), 1..80),
+            block_len in 1usize..9
+        ) {
+            let elements = arbitrary_elements(items);
+            let segment = Segment::from_elements(&elements, block_len);
+            prop_assert_eq!(segment.decode_all(), elements.clone());
+            let back = Segment::from_bytes(&segment.to_bytes()).unwrap();
+            prop_assert_eq!(back.decode_all(), elements);
+        }
+
+        #[test]
+        fn every_truncation_is_rejected(
+            items in proptest::collection::vec(element_strategy(), 1..40),
+            cut in any::<usize>()
+        ) {
+            let bytes = Segment::from_elements(&arbitrary_elements(items), 4).to_bytes();
+            let cut = cut % bytes.len();
+            prop_assert!(Segment::from_bytes(&bytes[..cut]).is_err());
+        }
+
+        #[test]
+        fn arbitrary_bytes_never_panic_the_decoder(
+            bytes in proptest::collection::vec(any::<u8>(), 0..512)
+        ) {
+            if let Ok(segment) = Segment::from_bytes(&bytes) {
+                // If arbitrary bytes happen to decode, every claimed element
+                // was backed by real bytes.
+                prop_assert!(segment.num_elements() <= bytes.len());
+            }
+        }
+
+        #[test]
+        fn bit_flips_never_panic_the_decoder(
+            items in proptest::collection::vec(element_strategy(), 1..40),
+            flip in any::<(usize, u8)>()
+        ) {
+            let mut bytes = Segment::from_elements(&arbitrary_elements(items), 4).to_bytes();
+            let pos = flip.0 % bytes.len();
+            bytes[pos] ^= flip.1 | 1;
+            // Either a clean error or a differently-valued segment; the
+            // decoder must not panic or loop.
+            let _ = Segment::from_bytes(&bytes);
+        }
+    }
+}

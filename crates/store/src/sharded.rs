@@ -1,4 +1,4 @@
-//! The concurrent sharded store.
+//! The concurrent sharded store, generic over the physical list layout.
 //!
 //! Merged posting lists are partitioned across N shards by `MergedListId`
 //! (lists are dense `0..num_lists`, so `id % N` is a perfect hash).  Each
@@ -10,48 +10,74 @@
 //! position adjustment an insert must apply to open cursors happens under
 //! the same write lock as the insert itself — no separate session lock, no
 //! position races.
+//!
+//! [`ShardedCore`] carries all of that machinery once, generic over an
+//! [`OrderedList`]; the two public engines are instantiations:
+//!
+//! * [`ShardedStore`] — the reference `Vec<OrderedElement>` layout,
+//! * [`SegmentStore`] — the compressed segment layout of
+//!   [`crate::segment`].
+//!
+//! Because the session, generation and locking logic is shared, the engines
+//! answer element-for-element identically by construction; only the physical
+//! representation (and its byte footprint / scan cost) differs.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 use zerber_base::{MergePlan, MergedListId};
 use zerber_corpus::GroupId;
-use zerber_r::{OrderedElement, OrderedIndex, TRS_BYTES};
+use zerber_r::{OrderedElement, OrderedIndex};
 
 use crate::error::StoreError;
-use crate::store::{CursorId, ListStore, ListTable, RangedBatch, RangedFetch};
+use crate::segment::{SegmentConfig, SegmentList};
+use crate::store::{
+    CursorId, ListStore, ListTable, OrderedList, RangedBatch, RangedFetch, SessionStats, VecList,
+};
 
 /// Upper bound on shards: cursor ids embed the shard index in their low byte.
 pub const MAX_SHARDS: usize = 256;
 
-/// The sharded, concurrently accessible list store.
+/// The sharded, concurrently accessible store over an arbitrary physical
+/// list layout.
 #[derive(Debug)]
-pub struct ShardedStore {
-    shards: Vec<RwLock<ListTable>>,
+pub struct ShardedCore<L: OrderedList> {
+    shards: Vec<RwLock<ListTable<L>>>,
     plan: MergePlan,
     next_cursor: AtomicU64,
 }
 
-impl ShardedStore {
-    /// Builds a store from an ordered index with a shard count matched to the
-    /// machine (`available_parallelism`, clamped to `[1, 64]`).
-    pub fn new(index: OrderedIndex) -> Self {
-        let shards = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .clamp(1, 64);
-        Self::with_shards(index, shards)
-    }
+/// The sharded store over the reference `Vec<OrderedElement>` layout.
+pub type ShardedStore = ShardedCore<VecList>;
 
-    /// Builds a store partitioned across exactly `num_shards` shards.
-    pub fn with_shards(index: OrderedIndex, num_shards: usize) -> Self {
+/// The sharded store over the compressed segment layout: immutable
+/// block-encoded segments with per-block skip entries plus a mutable tail.
+pub type SegmentStore = ShardedCore<SegmentList>;
+
+/// The shard count matched to the machine (`available_parallelism`, clamped
+/// to `[1, 64]`).
+fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 64)
+}
+
+impl<L: OrderedList> ShardedCore<L> {
+    /// Builds a store partitioned across `num_shards` shards, materializing
+    /// each list through `make`.
+    fn build(
+        index: OrderedIndex,
+        num_shards: usize,
+        make: impl Fn(Vec<OrderedElement>) -> L,
+    ) -> Self {
         let num_shards = num_shards.clamp(1, MAX_SHARDS);
         let (lists, plan) = index.into_parts();
-        let mut shards: Vec<ListTable> = (0..num_shards).map(|_| ListTable::default()).collect();
+        let mut shards: Vec<ListTable<L>> = (0..num_shards).map(|_| ListTable::default()).collect();
         for (id, list) in lists.into_iter().enumerate() {
-            shards[id % num_shards].push_list(list);
+            shards[id % num_shards].push_list(make(list));
         }
-        ShardedStore {
+        ShardedCore {
             shards: shards.into_iter().map(RwLock::new).collect(),
             plan,
             next_cursor: AtomicU64::new(1),
@@ -81,7 +107,41 @@ impl ShardedStore {
     }
 }
 
-impl ListStore for ShardedStore {
+impl ShardedStore {
+    /// Builds a store from an ordered index with a machine-matched shard
+    /// count.
+    pub fn new(index: OrderedIndex) -> Self {
+        Self::with_shards(index, default_shards())
+    }
+
+    /// Builds a store partitioned across exactly `num_shards` shards.
+    pub fn with_shards(index: OrderedIndex, num_shards: usize) -> Self {
+        Self::build(index, num_shards, VecList::from_elements)
+    }
+}
+
+impl SegmentStore {
+    /// Builds a compressed-segment store with a machine-matched shard count.
+    pub fn new(index: OrderedIndex) -> Self {
+        Self::with_shards(index, default_shards())
+    }
+
+    /// Builds a compressed-segment store across exactly `num_shards` shards
+    /// with the default segment layout.
+    pub fn with_shards(index: OrderedIndex, num_shards: usize) -> Self {
+        Self::with_config(index, num_shards, SegmentConfig::default())
+    }
+
+    /// Builds a compressed-segment store with explicit layout tuning (block
+    /// length, tail threshold, compaction bounds).
+    pub fn with_config(index: OrderedIndex, num_shards: usize, config: SegmentConfig) -> Self {
+        Self::build(index, num_shards, move |list| {
+            SegmentList::with_config(list, config)
+        })
+    }
+}
+
+impl<L: OrderedList> ListStore for ShardedCore<L> {
     fn plan(&self) -> &MergePlan {
         &self.plan
     }
@@ -99,20 +159,18 @@ impl ListStore for ShardedStore {
     }
 
     fn stored_bytes(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| {
-                s.read()
-                    .sum_over_elements(|e| e.sealed.stored_bytes() + TRS_BYTES)
-            })
-            .sum()
+        self.shards.iter().map(|s| s.read().stored_bytes()).sum()
     }
 
     fn ciphertext_bytes(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().sum_over_elements(|e| e.sealed.ciphertext.len()))
+            .map(|s| s.read().ciphertext_bytes())
             .sum()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.read().resident_bytes()).sum()
     }
 
     fn list_len(&self, list: MergedListId) -> Result<usize, StoreError> {
@@ -126,15 +184,12 @@ impl ListStore for ShardedStore {
         accessible: Option<&[GroupId]>,
     ) -> Result<usize, StoreError> {
         let (shard, slot) = self.known(list)?;
-        Ok(crate::store::visible_count(
-            self.shards[shard].read().list(slot),
-            accessible,
-        ))
+        Ok(self.shards[shard].read().visible_total(slot, accessible))
     }
 
     fn snapshot_list(&self, list: MergedListId) -> Result<Vec<OrderedElement>, StoreError> {
         let (shard, slot) = self.known(list)?;
-        Ok(self.shards[shard].read().list(slot).to_vec())
+        Ok(self.shards[shard].read().list(slot).snapshot())
     }
 
     fn fetch_ranged(
@@ -217,6 +272,17 @@ impl ListStore for ShardedStore {
 
     fn open_cursors(&self) -> usize {
         self.shards.iter().map(|s| s.read().open_cursors()).sum()
+    }
+
+    fn session_stats(&self) -> SessionStats {
+        SessionStats::aggregate(self.shards.iter().map(|s| s.read().session_stats()))
+    }
+
+    fn visibility_scan_cost(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.read().visibility_scan_cost())
+            .sum()
     }
 
     fn insert(&self, list: MergedListId, element: OrderedElement) -> Result<usize, StoreError> {

@@ -12,15 +12,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::Mutex;
 use zerber_base::{MergePlan, MergedListId};
 use zerber_corpus::GroupId;
-use zerber_r::{OrderedElement, OrderedIndex, TRS_BYTES};
+use zerber_r::{OrderedElement, OrderedIndex};
 
 use crate::error::StoreError;
-use crate::store::{CursorId, ListStore, ListTable, RangedBatch, RangedFetch};
+use crate::store::{
+    CursorId, ListStore, ListTable, OrderedList, RangedBatch, RangedFetch, SessionStats, VecList,
+};
 
 /// A store serializing every operation on one global mutex.
 #[derive(Debug)]
 pub struct SingleMutexStore {
-    inner: Mutex<ListTable>,
+    inner: Mutex<ListTable<VecList>>,
     plan: MergePlan,
     next_cursor: AtomicU64,
 }
@@ -31,7 +33,7 @@ impl SingleMutexStore {
         let (lists, plan) = index.into_parts();
         let mut table = ListTable::default();
         for list in lists {
-            table.push_list(list);
+            table.push_list(VecList::from_elements(list));
         }
         SingleMutexStore {
             inner: Mutex::new(table),
@@ -68,15 +70,15 @@ impl ListStore for SingleMutexStore {
     }
 
     fn stored_bytes(&self) -> usize {
-        self.inner
-            .lock()
-            .sum_over_elements(|e| e.sealed.stored_bytes() + TRS_BYTES)
+        self.inner.lock().stored_bytes()
     }
 
     fn ciphertext_bytes(&self) -> usize {
-        self.inner
-            .lock()
-            .sum_over_elements(|e| e.sealed.ciphertext.len())
+        self.inner.lock().ciphertext_bytes()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.inner.lock().resident_bytes()
     }
 
     fn list_len(&self, list: MergedListId) -> Result<usize, StoreError> {
@@ -90,15 +92,12 @@ impl ListStore for SingleMutexStore {
         accessible: Option<&[GroupId]>,
     ) -> Result<usize, StoreError> {
         let slot = self.check(list)?;
-        Ok(crate::store::visible_count(
-            self.inner.lock().list(slot),
-            accessible,
-        ))
+        Ok(self.inner.lock().visible_total(slot, accessible))
     }
 
     fn snapshot_list(&self, list: MergedListId) -> Result<Vec<OrderedElement>, StoreError> {
         let slot = self.check(list)?;
-        Ok(self.inner.lock().list(slot).to_vec())
+        Ok(self.inner.lock().list(slot).snapshot())
     }
 
     fn fetch_ranged(
@@ -166,6 +165,14 @@ impl ListStore for SingleMutexStore {
 
     fn open_cursors(&self) -> usize {
         self.inner.lock().open_cursors()
+    }
+
+    fn session_stats(&self) -> SessionStats {
+        self.inner.lock().session_stats()
+    }
+
+    fn visibility_scan_cost(&self) -> u64 {
+        self.inner.lock().visibility_scan_cost()
     }
 
     fn insert(&self, list: MergedListId, element: OrderedElement) -> Result<usize, StoreError> {

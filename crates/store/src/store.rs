@@ -7,12 +7,18 @@
 //! merged lists are independent by construction — which is exactly what makes
 //! the index shardable.  This trait captures the contract; implementations
 //! decide the concurrency model ([`crate::ShardedStore`],
-//! [`crate::SingleMutexStore`]) and, in the future, the physical layout
-//! (compressed segments, on-disk shards).
+//! [`crate::SingleMutexStore`]) and the physical layout: the concurrency
+//! machinery in this module is generic over an [`OrderedList`] — the
+//! per-list physical representation — so the plain `Vec` layout
+//! ([`VecList`]) and the compressed segment layout
+//! ([`crate::segment::SegmentList`]) share one cursor-session, generation
+//! and locking implementation and cannot diverge behaviourally.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use zerber_base::{MergePlan, MergedListId};
 use zerber_corpus::GroupId;
-use zerber_r::OrderedElement;
+use zerber_r::{OrderedElement, TRS_BYTES};
 
 use crate::error::StoreError;
 
@@ -59,6 +65,44 @@ pub struct RangedBatch {
     pub generation: u64,
 }
 
+/// Counters of one session table (aggregated across shards by
+/// [`ListStore::session_stats`]): occupancy and eviction pressure of the
+/// cursor-session machinery under a query workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Sessions currently open.
+    pub open: usize,
+    /// Sessions opened since the store was built.
+    pub opened_total: u64,
+    /// Sessions evicted because the table hit [`MAX_CURSORS_PER_TABLE`].
+    pub capacity_evictions: u64,
+    /// Sessions expired because they sat idle for more than
+    /// [`SESSION_TTL_TICKS`] logical clock ticks.
+    pub ttl_evictions: u64,
+    /// Current logical clock (requests served by the table(s)).
+    pub clock: u64,
+}
+
+impl SessionStats {
+    fn absorb(&mut self, other: SessionStats) {
+        self.open += other.open;
+        self.opened_total += other.opened_total;
+        self.capacity_evictions += other.capacity_evictions;
+        self.ttl_evictions += other.ttl_evictions;
+        self.clock += other.clock;
+    }
+
+    /// Sums per-shard stats into one table-wide view (clocks add up, so the
+    /// aggregate clock counts requests across all shards).
+    pub fn aggregate(stats: impl IntoIterator<Item = SessionStats>) -> SessionStats {
+        let mut total = SessionStats::default();
+        for s in stats {
+            total.absorb(s);
+        }
+        total
+    }
+}
+
 /// Storage engine interface of the untrusted index server.
 ///
 /// All methods take `&self`: implementations provide interior mutability and
@@ -81,11 +125,17 @@ pub trait ListStore: Send + Sync + std::fmt::Debug {
     /// Total number of posting elements hosted.
     fn num_elements(&self) -> usize;
 
-    /// Total bytes stored for the index (sealed payloads + TRS).
+    /// Total bytes stored for the index (sealed payloads + TRS).  This is
+    /// the *logical* byte accounting of the experiments and is identical
+    /// across engines.
     fn stored_bytes(&self) -> usize;
 
     /// Total ciphertext bytes across all elements (for wire-size accounting).
     fn ciphertext_bytes(&self) -> usize;
+
+    /// Estimated bytes of memory the engine's physical representation
+    /// occupies — what the compressed-segment engine is measured against.
+    fn resident_bytes(&self) -> usize;
 
     /// Physical length of one merged list.
     fn list_len(&self, list: MergedListId) -> Result<usize, StoreError>;
@@ -155,6 +205,14 @@ pub trait ListStore: Send + Sync + std::fmt::Debug {
     /// Number of currently open cursors.
     fn open_cursors(&self) -> usize;
 
+    /// Occupancy and eviction pressure of the cursor-session tables.
+    fn session_stats(&self) -> SessionStats;
+
+    /// Elements individually examined for visibility accounting since the
+    /// store was built (the scan-cost assertions read this; cached cursor
+    /// follow-ups and block-counted segment lookups leave it untouched).
+    fn visibility_scan_cost(&self) -> u64;
+
     /// Inserts a sealed element at its TRS position, returning the physical
     /// insertion index.  Open cursors on the list positioned after the
     /// insertion point are shifted so they neither skip nor repeat elements.
@@ -164,55 +222,276 @@ pub trait ListStore: Send + Sync + std::fmt::Debug {
     fn verify_ordering(&self) -> bool;
 }
 
+/// The physical representation of one ordered merged list.
+///
+/// The cursor-session table ([`ListTable`]) and both concurrency wrappers
+/// are generic over this trait, so every layout inherits identical session,
+/// generation and eviction behaviour.  All positions are *physical* indices
+/// in the logical descending-TRS sequence; implementations must agree
+/// element-for-element with the reference `Vec` layout.
+pub trait OrderedList: Send + Sync + std::fmt::Debug {
+    /// Builds the list from its ordered (descending-TRS) elements.
+    fn from_elements(elements: Vec<OrderedElement>) -> Self
+    where
+        Self: Sized;
+
+    /// Number of elements held.
+    fn len(&self) -> usize;
+
+    /// Whether the list holds no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A full ordered copy of the list (audits and tests only).
+    fn snapshot(&self) -> Vec<OrderedElement>;
+
+    /// Number of elements visible under `accessible`.  `meter` counts the
+    /// elements *individually examined* to produce the answer — layouts with
+    /// aggregate visibility metadata (per-block group counts) answer without
+    /// touching elements and charge (almost) nothing.
+    fn visible_total(&self, accessible: Option<&[GroupId]>, meter: &AtomicU64) -> usize;
+
+    /// Scans from physical index `start`, skipping `skip` visible elements,
+    /// then collecting up to `count` visible elements.  Returns the
+    /// collected elements and the physical index just past the last scanned
+    /// element (`max(len, start)` if the scan ran off the end).
+    fn scan(
+        &self,
+        start: usize,
+        skip: usize,
+        count: usize,
+        accessible: Option<&[GroupId]>,
+    ) -> (Vec<OrderedElement>, usize);
+
+    /// The physical index just past the first `delivered` visible elements —
+    /// where a session that has received `delivered` elements resumes.
+    fn position_after_visible(&self, delivered: usize, accessible: Option<&[GroupId]>) -> usize;
+
+    /// Inserts an element at its TRS position (after strictly greater,
+    /// before equal), returning the physical insertion index.
+    fn insert(&mut self, element: OrderedElement) -> usize;
+
+    /// Logical bytes stored (sealed payloads + TRS) — identical across
+    /// layouts, used by the byte-budget experiments.
+    fn stored_bytes(&self) -> usize;
+
+    /// Total ciphertext bytes across the elements.
+    fn ciphertext_bytes(&self) -> usize;
+
+    /// Estimated bytes of memory the representation actually occupies
+    /// (structs, heap buffers, metadata) — what the compression experiments
+    /// compare across engines.
+    fn resident_bytes(&self) -> usize;
+
+    /// Checks the descending-TRS invariant.
+    fn ordering_ok(&self) -> bool;
+}
+
+/// The reference layout: one `Vec<OrderedElement>` per list, full in-memory
+/// width per element.
+#[derive(Debug, Default)]
+pub struct VecList(Vec<OrderedElement>);
+
+impl VecList {
+    /// Read access to the underlying ordered elements.
+    pub fn elements(&self) -> &[OrderedElement] {
+        &self.0
+    }
+}
+
+impl OrderedList for VecList {
+    fn from_elements(elements: Vec<OrderedElement>) -> Self {
+        VecList(elements)
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn snapshot(&self) -> Vec<OrderedElement> {
+        self.0.clone()
+    }
+
+    fn visible_total(&self, accessible: Option<&[GroupId]>, meter: &AtomicU64) -> usize {
+        match accessible {
+            None => self.0.len(),
+            Some(_) => {
+                // Group-filtered counts examine every element of the list.
+                meter.fetch_add(self.0.len() as u64, Ordering::Relaxed);
+                self.0.iter().filter(|e| is_visible(e, accessible)).count()
+            }
+        }
+    }
+
+    fn scan(
+        &self,
+        start: usize,
+        skip: usize,
+        count: usize,
+        accessible: Option<&[GroupId]>,
+    ) -> (Vec<OrderedElement>, usize) {
+        scan(&self.0, start, skip, count, accessible)
+    }
+
+    fn position_after_visible(&self, delivered: usize, accessible: Option<&[GroupId]>) -> usize {
+        position_after_visible(&self.0, delivered, accessible)
+    }
+
+    fn insert(&mut self, element: OrderedElement) -> usize {
+        let pos = insertion_point(&self.0, element.trs);
+        self.0.insert(pos, element);
+        pos
+    }
+
+    fn stored_bytes(&self) -> usize {
+        self.0
+            .iter()
+            .map(|e| e.sealed.stored_bytes() + TRS_BYTES)
+            .sum()
+    }
+
+    fn ciphertext_bytes(&self) -> usize {
+        self.0.iter().map(|e| e.sealed.ciphertext.len()).sum()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.0.capacity() * std::mem::size_of::<OrderedElement>()
+            + self
+                .0
+                .iter()
+                .map(|e| e.sealed.ciphertext.capacity())
+                .sum::<usize>()
+    }
+
+    fn ordering_ok(&self) -> bool {
+        self.0.windows(2).all(|w| w[0].trs >= w[1].trs)
+    }
+}
+
 /// Open cursors a session table holds before the oldest is evicted
 /// (abandoned sessions must not grow the table without bound).  Applied per
 /// shard by the sharded store and to the whole table by the single-mutex
 /// store.
 pub(crate) const MAX_CURSORS_PER_TABLE: usize = 1024;
 
-/// One cursor session: the local slot of its list and the physical position
-/// of the next element to scan.  The position is atomic so a follow-up can
-/// advance its own cursor under a shared read lock; inserts adjust positions
-/// under the exclusive lock.
+/// Idle sessions older than this many logical clock ticks (one tick per
+/// request the table serves) are expired the next time the session table is
+/// written.  Large enough that any live client walking a list keeps its
+/// session; small enough that a table of abandoned sessions drains under
+/// ongoing traffic instead of waiting for capacity pressure.
+pub const SESSION_TTL_TICKS: u64 = 1 << 14;
+
+/// One cursor session: the local slot of its list, the physical position of
+/// the next element to scan, and the cached visibility state of its owner.
+/// Position and cached count are atomic so a follow-up can read them under a
+/// shared read lock; inserts adjust both under the exclusive lock.
 #[derive(Debug)]
 struct Cursor {
     slot: usize,
     owner: u64,
-    position: std::sync::atomic::AtomicUsize,
+    position: AtomicUsize,
+    /// The group filter the session was opened with (`None` = unrestricted).
+    groups: Option<Box<[GroupId]>>,
+    /// Cached `visible_total` under `groups`, maintained by the insert path
+    /// under the same write lock — follow-ups answer without re-counting.
+    visible: AtomicUsize,
+    /// Logical clock value of the session's last use (for TTL expiry).
+    last_used: AtomicU64,
 }
 
 /// The storage state owned by one lock domain — a shard of the sharded
 /// store, or the whole single-mutex store: the ordered lists, their insert
 /// generations, and the cursor sessions bound to them.  Keeping cursors in
-/// the same lock domain as their lists means the position adjustment an
-/// insert must apply happens under the same exclusive lock as the insert.
-#[derive(Debug, Default)]
-pub(crate) struct ListTable {
-    lists: Vec<Vec<OrderedElement>>,
+/// the same lock domain as their lists means the position and visibility
+/// adjustments an insert must apply happen under the same exclusive lock as
+/// the insert.
+#[derive(Debug)]
+pub(crate) struct ListTable<L> {
+    lists: Vec<L>,
     generations: Vec<u64>,
     cursors: std::collections::HashMap<u64, Cursor>,
+    /// Logical clock: ticks once per request served by this table.
+    clock: AtomicU64,
+    /// Elements individually examined for visibility accounting (the
+    /// scan-cost assertion of the cursor cache reads this).
+    scan_meter: AtomicU64,
+    opened: u64,
+    capacity_evictions: u64,
+    ttl_evictions: u64,
 }
 
-impl ListTable {
+impl<L> Default for ListTable<L> {
+    fn default() -> Self {
+        ListTable {
+            lists: Vec::new(),
+            generations: Vec::new(),
+            cursors: std::collections::HashMap::new(),
+            clock: AtomicU64::new(0),
+            scan_meter: AtomicU64::new(0),
+            opened: 0,
+            capacity_evictions: 0,
+            ttl_evictions: 0,
+        }
+    }
+}
+
+impl<L: OrderedList> ListTable<L> {
     /// Appends one list (used while partitioning an index into tables).
-    pub fn push_list(&mut self, list: Vec<OrderedElement>) {
+    pub fn push_list(&mut self, list: L) {
         self.lists.push(list);
         self.generations.push(0);
     }
 
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     /// The list stored at a local slot.
-    pub fn list(&self, slot: usize) -> &[OrderedElement] {
+    pub fn list(&self, slot: usize) -> &L {
         &self.lists[slot]
     }
 
     /// Total elements across the table's lists.
     pub fn num_elements(&self) -> usize {
-        self.lists.iter().map(Vec::len).sum()
+        self.lists.iter().map(L::len).sum()
     }
 
-    /// Sum of `f` over every element of the table.
-    pub fn sum_over_elements(&self, f: impl Fn(&OrderedElement) -> usize) -> usize {
-        self.lists.iter().flat_map(|l| l.iter()).map(f).sum()
+    /// Logical stored bytes across the table's lists.
+    pub fn stored_bytes(&self) -> usize {
+        self.lists.iter().map(L::stored_bytes).sum()
+    }
+
+    /// Ciphertext bytes across the table's lists.
+    pub fn ciphertext_bytes(&self) -> usize {
+        self.lists.iter().map(L::ciphertext_bytes).sum()
+    }
+
+    /// Estimated resident bytes of the physical representation.
+    pub fn resident_bytes(&self) -> usize {
+        self.lists.iter().map(L::resident_bytes).sum()
+    }
+
+    /// Number of elements of a slot visible under `accessible`.
+    pub fn visible_total(&self, slot: usize, accessible: Option<&[GroupId]>) -> usize {
+        self.lists[slot].visible_total(accessible, &self.scan_meter)
+    }
+
+    /// Elements individually examined for visibility accounting so far.
+    pub fn visibility_scan_cost(&self) -> u64 {
+        self.scan_meter.load(Ordering::Relaxed)
+    }
+
+    /// Session-table pressure counters.
+    pub fn session_stats(&self) -> SessionStats {
+        SessionStats {
+            open: self.cursors.len(),
+            opened_total: self.opened,
+            capacity_evictions: self.capacity_evictions,
+            ttl_evictions: self.ttl_evictions,
+            clock: self.clock.load(Ordering::Relaxed),
+        }
     }
 
     /// Serves one ranged fetch against a slot.
@@ -223,20 +502,25 @@ impl ListTable {
         count: usize,
         accessible: Option<&[GroupId]>,
     ) -> RangedBatch {
-        batch_from_scan(
-            &self.lists[slot],
-            self.generations[slot],
-            0,
-            offset,
-            count,
-            accessible,
-        )
+        self.tick();
+        let list = &self.lists[slot];
+        let visible_total = list.visible_total(accessible, &self.scan_meter);
+        let (elements, next_physical) = list.scan(0, offset, count, accessible);
+        RangedBatch {
+            elements,
+            exhausted: next_physical >= list.len(),
+            next_physical,
+            visible_total,
+            generation: self.generations[slot],
+        }
     }
 
     /// Opens a cursor session with the caller-allocated id `raw`, continuing
     /// after `batch`.  If inserts moved the list since the batch was served
     /// (generation mismatch), the position is re-derived by skipping the
     /// `delivered` visible elements the session has already received.
+    /// Before inserting, idle sessions past [`SESSION_TTL_TICKS`] are
+    /// expired, then capacity pressure evicts the oldest session.
     pub fn open_cursor(
         &mut self,
         raw: u64,
@@ -246,24 +530,38 @@ impl ListTable {
         delivered: usize,
         accessible: Option<&[GroupId]>,
     ) {
+        let now = self.tick();
+        let before = self.cursors.len();
+        self.cursors.retain(|_, c| {
+            now.saturating_sub(c.last_used.load(Ordering::Relaxed)) <= SESSION_TTL_TICKS
+        });
+        self.ttl_evictions += (before - self.cursors.len()) as u64;
         if self.cursors.len() >= MAX_CURSORS_PER_TABLE {
             // Evict the oldest (smallest-id) abandoned session.
             if let Some(&oldest) = self.cursors.keys().min() {
                 self.cursors.remove(&oldest);
+                self.capacity_evictions += 1;
             }
         }
         let list = &self.lists[slot];
-        let position = if batch.generation == self.generations[slot] {
-            batch.next_physical.min(list.len())
+        let (position, visible) = if batch.generation == self.generations[slot] {
+            (batch.next_physical.min(list.len()), batch.visible_total)
         } else {
-            position_after_visible(list, delivered, accessible)
+            (
+                list.position_after_visible(delivered, accessible),
+                list.visible_total(accessible, &self.scan_meter),
+            )
         };
+        self.opened += 1;
         self.cursors.insert(
             raw,
             Cursor {
                 slot,
                 owner,
-                position: std::sync::atomic::AtomicUsize::new(position),
+                position: AtomicUsize::new(position),
+                groups: accessible.map(|g| g.to_vec().into_boxed_slice()),
+                visible: AtomicUsize::new(visible),
+                last_used: AtomicU64::new(now),
             },
         );
     }
@@ -272,7 +570,9 @@ impl ListTable {
     /// advances it past the scanned range.  A compare-exchange loop makes a
     /// concurrent fetch of the same cursor (a retried follow-up) re-scan
     /// from the freshly observed position instead of rewinding or
-    /// duplicating elements.
+    /// duplicating elements.  The visibility total comes from the session
+    /// cache when the caller presents the group filter the session was
+    /// opened with, so a follow-up never re-counts the list.
     pub fn cursor_fetch(
         &self,
         raw: u64,
@@ -280,24 +580,41 @@ impl ListTable {
         count: usize,
         accessible: Option<&[GroupId]>,
     ) -> Result<RangedBatch, StoreError> {
-        use std::sync::atomic::Ordering;
+        let now = self.tick();
         let cursor = self
             .cursors
             .get(&raw)
             .filter(|c| c.owner == owner)
             .ok_or(StoreError::UnknownCursor(raw))?;
+        cursor.last_used.store(now, Ordering::Relaxed);
         let list = &self.lists[cursor.slot];
         let generation = self.generations[cursor.slot];
+        let visible_total = if cursor.groups.as_deref() == accessible {
+            cursor.visible.load(Ordering::Relaxed)
+        } else {
+            // A follow-up under a different filter than the session was
+            // opened with (never produced by the protocol): stay correct by
+            // paying the full count.
+            list.visible_total(accessible, &self.scan_meter)
+        };
         let mut start = cursor.position.load(Ordering::Acquire);
         loop {
-            let batch = batch_from_scan(list, generation, start, 0, count, accessible);
+            let (elements, next_physical) = list.scan(start, 0, count, accessible);
             match cursor.position.compare_exchange(
                 start,
-                batch.next_physical,
+                next_physical,
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(_) => return Ok(batch),
+                Ok(_) => {
+                    return Ok(RangedBatch {
+                        elements,
+                        exhausted: next_physical >= list.len(),
+                        next_physical,
+                        visible_total,
+                        generation,
+                    })
+                }
                 Err(current) => start = current,
             }
         }
@@ -320,14 +637,25 @@ impl ListTable {
     /// shifts cursors that already scanned past the insertion point so they
     /// neither repeat the shifted element nor skip one.  A cursor exactly at
     /// the insertion point stays: the new element is its next in TRS order.
+    /// Cached visibility totals of sessions that can see the new element are
+    /// bumped under this same write lock.
     pub fn insert(&mut self, slot: usize, element: OrderedElement) -> usize {
-        use std::sync::atomic::Ordering;
-        let pos = insertion_point(&self.lists[slot], element.trs);
-        self.lists[slot].insert(pos, element);
+        let group = element.group;
+        let pos = self.lists[slot].insert(element);
         self.generations[slot] += 1;
         for cursor in self.cursors.values() {
-            if cursor.slot == slot && cursor.position.load(Ordering::Relaxed) > pos {
+            if cursor.slot != slot {
+                continue;
+            }
+            if cursor.position.load(Ordering::Relaxed) > pos {
                 cursor.position.fetch_add(1, Ordering::Relaxed);
+            }
+            let sees_it = match cursor.groups.as_deref() {
+                None => true,
+                Some(groups) => groups.contains(&group),
+            };
+            if sees_it {
+                cursor.visible.fetch_add(1, Ordering::Relaxed);
             }
         }
         pos
@@ -335,9 +663,7 @@ impl ListTable {
 
     /// Descending-TRS invariant over every list of the table.
     pub fn ordering_ok(&self) -> bool {
-        self.lists
-            .iter()
-            .all(|l| l.windows(2).all(|w| w[0].trs >= w[1].trs))
+        self.lists.iter().all(|l| l.ordering_ok())
     }
 }
 
@@ -362,17 +688,15 @@ fn position_after_visible(
 
 /// Whether an element is visible to a user restricted to `accessible` groups.
 pub(crate) fn is_visible(element: &OrderedElement, accessible: Option<&[GroupId]>) -> bool {
-    match accessible {
-        None => true,
-        Some(groups) => groups.contains(&element.group),
-    }
+    is_visible_group(element.group, accessible)
 }
 
-/// Counts the elements of `list` visible under `accessible`.
-pub(crate) fn visible_count(list: &[OrderedElement], accessible: Option<&[GroupId]>) -> usize {
+/// Group-level visibility check (for scan paths that have not materialized
+/// an element).
+pub(crate) fn is_visible_group(group: GroupId, accessible: Option<&[GroupId]>) -> bool {
     match accessible {
-        None => list.len(),
-        Some(_) => list.iter().filter(|e| is_visible(e, accessible)).count(),
+        None => true,
+        Some(groups) => groups.contains(&group),
     }
 }
 
@@ -405,27 +729,6 @@ pub(crate) fn scan(
         }
     }
     (elements, next)
-}
-
-/// Builds a [`RangedBatch`] for a scan over `list` at insert generation
-/// `generation`.
-pub(crate) fn batch_from_scan(
-    list: &[OrderedElement],
-    generation: u64,
-    start: usize,
-    skip: usize,
-    count: usize,
-    accessible: Option<&[GroupId]>,
-) -> RangedBatch {
-    let visible_total = visible_count(list, accessible);
-    let (elements, next_physical) = scan(list, start, skip, count, accessible);
-    RangedBatch {
-        elements,
-        exhausted: next_physical >= list.len(),
-        next_physical,
-        visible_total,
-        generation,
-    }
 }
 
 /// The TRS insertion position: after every element with a strictly larger
@@ -461,6 +764,12 @@ mod tests {
         ]
     }
 
+    fn table() -> ListTable<VecList> {
+        let mut table = ListTable::default();
+        table.push_list(VecList::from_elements(list()));
+        table
+    }
+
     #[test]
     fn scan_skips_visible_elements_only() {
         let l = list();
@@ -487,14 +796,14 @@ mod tests {
 
     #[test]
     fn batch_reports_visibility_and_exhaustion() {
-        let l = list();
+        let table = table();
         let only_g1 = [GroupId(1)];
-        let batch = batch_from_scan(&l, 7, 0, 0, 10, Some(&only_g1));
+        let batch = table.fetch(0, 0, 10, Some(&only_g1));
         assert_eq!(batch.visible_total, 2);
         assert_eq!(batch.elements.len(), 2);
         assert!(batch.exhausted);
-        assert_eq!(batch.generation, 7);
-        let partial = batch_from_scan(&l, 0, 0, 0, 2, None);
+        assert_eq!(batch.generation, 0);
+        let partial = table.fetch(0, 0, 2, None);
         assert!(!partial.exhausted);
         assert_eq!(partial.next_physical, 2);
     }
@@ -503,8 +812,7 @@ mod tests {
     fn stale_batches_rederive_the_cursor_position() {
         // A table with one list; serve a batch, then let an insert land
         // before the cursor is opened — the TOCTOU the generation guards.
-        let mut table = ListTable::default();
-        table.push_list(list());
+        let mut table = table();
         let batch = table.fetch(0, 0, 2, None);
         assert_eq!(batch.generation, 0);
         // Insert at the head (TRS 1.0): every physical index shifts by one.
@@ -551,6 +859,85 @@ mod tests {
         assert_eq!(insertion_point(&l, 0.7), 2);
         assert_eq!(insertion_point(&l, 0.95), 0);
         assert_eq!(insertion_point(&l, 0.1), 5);
+    }
+
+    #[test]
+    fn cursor_cache_answers_follow_ups_without_recounting() {
+        let mut table = table();
+        let only_g0 = [GroupId(0)];
+        let batch = table.fetch(0, 0, 1, Some(&only_g0));
+        assert_eq!(batch.visible_total, 3);
+        table.open_cursor(7, 0, 1, &batch, 1, Some(&only_g0));
+        let counted = table.visibility_scan_cost();
+        // Follow-ups under the session's own filter never re-count.
+        for _ in 0..3 {
+            let b = table.cursor_fetch(7, 1, 1, Some(&only_g0)).unwrap();
+            assert_eq!(b.visible_total, 3);
+        }
+        assert_eq!(table.visibility_scan_cost(), counted);
+        // The insert path maintains the cache under the same lock: a new
+        // group-0 element bumps the cached count, a group-1 one does not.
+        table.insert(0, element(0.95, 0));
+        table.insert(0, element(0.94, 1));
+        let b = table.cursor_fetch(7, 1, 1, Some(&only_g0)).unwrap();
+        assert_eq!(b.visible_total, 4);
+        assert_eq!(table.visibility_scan_cost(), counted);
+        assert_eq!(table.visible_total(0, Some(&only_g0)), 4);
+        // A mismatched filter pays the full count but stays correct.
+        let only_g1 = [GroupId(1)];
+        let b = table.cursor_fetch(7, 1, 1, Some(&only_g1)).unwrap();
+        assert_eq!(b.visible_total, 3);
+        assert!(table.visibility_scan_cost() > counted);
+    }
+
+    #[test]
+    fn idle_sessions_expire_after_the_ttl() {
+        let mut table = table();
+        let batch = table.fetch(0, 0, 1, None);
+        table.open_cursor(11, 0, 1, &batch, 1, None);
+        // Tick the logical clock past the TTL with plain requests.
+        for _ in 0..=SESSION_TTL_TICKS {
+            table.fetch(0, 0, 1, None);
+        }
+        // A session used recently survives the sweep; the idle one expires
+        // when the table is next written.
+        table.open_cursor(12, 0, 1, &batch, 1, None);
+        assert_eq!(table.open_cursors(), 1);
+        assert!(matches!(
+            table.cursor_fetch(11, 1, 1, None),
+            Err(StoreError::UnknownCursor(11))
+        ));
+        assert!(table.cursor_fetch(12, 1, 1, None).is_ok());
+        let stats = table.session_stats();
+        assert_eq!(stats.ttl_evictions, 1);
+        assert_eq!(stats.opened_total, 2);
+        assert_eq!(stats.open, 1);
+        assert_eq!(stats.capacity_evictions, 0);
+        assert!(stats.clock > SESSION_TTL_TICKS);
+    }
+
+    #[test]
+    fn session_stats_aggregate_across_tables() {
+        let a = SessionStats {
+            open: 1,
+            opened_total: 4,
+            capacity_evictions: 2,
+            ttl_evictions: 1,
+            clock: 10,
+        };
+        let b = SessionStats {
+            open: 2,
+            opened_total: 3,
+            capacity_evictions: 0,
+            ttl_evictions: 2,
+            clock: 5,
+        };
+        let total = SessionStats::aggregate([a, b]);
+        assert_eq!(total.open, 3);
+        assert_eq!(total.opened_total, 7);
+        assert_eq!(total.capacity_evictions, 2);
+        assert_eq!(total.ttl_evictions, 3);
+        assert_eq!(total.clock, 15);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use zerber_corpus::{
 };
 use zerber_crypto::{GroupKeys, MasterKey};
 use zerber_index::InvertedIndex;
-use zerber_protocol::{AccessControl, IndexServer};
+use zerber_protocol::{AccessControl, IndexServer, StoreEngine};
 use zerber_r::{retrieve_topk, GrowthPolicy, OrderedIndex, RetrievalConfig, RstfConfig, RstfModel};
 use zerber_store::ShardedStore;
 
@@ -168,6 +168,28 @@ impl TestBed {
         IndexServer::single_mutex(self.index.clone(), self.server_acl(num_users))
     }
 
+    /// Builds a server over the compressed segment engine, partitioned
+    /// across `num_shards` shards.
+    pub fn build_segment_server(&self, num_shards: usize, num_users: usize) -> IndexServer {
+        self.build_engine_server(StoreEngine::Segment, num_shards, num_users)
+    }
+
+    /// Builds a server over an explicitly selected storage engine — the
+    /// entry point the engine-comparison benchmarks drive.
+    pub fn build_engine_server(
+        &self,
+        engine: StoreEngine,
+        num_shards: usize,
+        num_users: usize,
+    ) -> IndexServer {
+        IndexServer::with_engine(
+            self.index.clone(),
+            self.server_acl(num_users),
+            engine,
+            num_shards,
+        )
+    }
+
     /// The names registered by [`TestBed::build_server`], ready to hand to
     /// the `netsim` load generator.
     pub fn server_users(num_users: usize) -> Vec<String> {
@@ -299,6 +321,13 @@ mod tests {
         // Both engines ship identical element counts for the same workload.
         assert_eq!(a.elements_sent, b.elements_sent);
         assert_eq!(sharded.open_cursors(), 0);
+        // The compressed segment engine serves the same workload with the
+        // same element counts from a smaller resident footprint.
+        let segmented = bed.build_segment_server(4, 2);
+        assert_eq!(segmented.num_elements(), bed.index.num_elements());
+        let c = zerber_protocol::drive_raw_queries(&segmented, &users, &lists, &config).unwrap();
+        assert_eq!(a.elements_sent, c.elements_sent);
+        assert!(segmented.store().resident_bytes() < sharded.store().resident_bytes());
     }
 
     #[test]

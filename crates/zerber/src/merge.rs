@@ -65,6 +65,28 @@ impl MergePlan {
         }
     }
 
+    /// Builds a plan directly from explicit per-list term assignments,
+    /// **without verifying the `1/r` mass requirement** — strictly for
+    /// synthetic fixtures and store-level tests that need a plan of a given
+    /// shape.  Production plans must come from the merge schemes, which are
+    /// the confidentiality-checked constructors; hidden from docs so the
+    /// escape hatch is not mistaken for API.
+    #[doc(hidden)]
+    pub fn from_term_lists(lists: Vec<Vec<TermId>>, scheme: &str, r: f64) -> Self {
+        let mut term_to_list = HashMap::new();
+        for (i, terms) in lists.iter().enumerate() {
+            for &t in terms {
+                term_to_list.insert(t, MergedListId(i as u64));
+            }
+        }
+        MergePlan {
+            lists,
+            term_to_list,
+            scheme: scheme.to_string(),
+            r,
+        }
+    }
+
     /// Number of merged posting lists.
     pub fn num_lists(&self) -> usize {
         self.lists.len()

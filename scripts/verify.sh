@@ -17,6 +17,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test --release (concurrency + cross-engine equivalence)"
+cargo test --release --test concurrent_server --test store_equivalence
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 

@@ -1,0 +1,246 @@
+//! Cross-engine equivalence property test: random interleavings of
+//! position-preserving inserts, ranged queries and cursor sessions must be
+//! answered element-for-element identically by every storage engine —
+//! `SingleMutexStore`, `ShardedStore` (plain `Vec` layout) and
+//! `SegmentStore` (compressed block-encoded segments with a mutable tail).
+//!
+//! The engines share one generic session table, so this test pins down the
+//! layer where they *can* diverge: the physical list representation (scan,
+//! visibility counting, block skipping, insert placement, tail sealing and
+//! compaction in the segment engine).
+
+use proptest::prelude::*;
+use zerber_suite::corpus::{GroupId, TermId};
+use zerber_suite::store::{
+    CursorId, ListStore, RangedFetch, SegmentConfig, SegmentStore, ShardedStore, SingleMutexStore,
+};
+use zerber_suite::zerber::{EncryptedElement, MergePlan, MergedListId};
+use zerber_suite::zerber_r::{OrderedElement, OrderedIndex};
+
+const NUM_GROUPS: u32 = 4;
+
+/// One step of the interleaved workload, applied to every engine.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert a sealed element at its TRS position.
+    Insert {
+        list: usize,
+        trs: f64,
+        group: u32,
+        ct: Vec<u8>,
+    },
+    /// A ranged fetch; when `open` is set, a cursor session is opened from
+    /// the returned batch (the follow-up path of the protocol).
+    Fetch {
+        list: usize,
+        offset: usize,
+        count: usize,
+        mask: u8,
+        open: bool,
+        owner: u64,
+    },
+    /// Resume one of the previously opened sessions.
+    CursorFetch { session: usize, count: usize },
+    /// Close one of the sessions — with the right or a foreign owner tag.
+    CursorClose { session: usize, foreign: bool },
+}
+
+fn groups_from_mask(mask: u8) -> Option<Vec<GroupId>> {
+    if mask == 0 {
+        return None;
+    }
+    Some(
+        (0..NUM_GROUPS)
+            .filter(|g| mask & (1 << g) != 0)
+            .map(GroupId)
+            .collect(),
+    )
+}
+
+fn element(trs: f64, group: u32, ct: Vec<u8>) -> OrderedElement {
+    let group = GroupId(group % NUM_GROUPS);
+    OrderedElement {
+        trs,
+        group,
+        sealed: EncryptedElement {
+            group,
+            ciphertext: ct,
+        },
+    }
+}
+
+/// Builds the three engines over identical fabricated indexes.
+fn engines(lists: &[Vec<OrderedElement>]) -> (SingleMutexStore, ShardedStore, SegmentStore) {
+    let plan = MergePlan::from_term_lists(
+        (0..lists.len()).map(|i| vec![TermId(i as u32)]).collect(),
+        "equivalence-fixture",
+        2.0,
+    );
+    let index = OrderedIndex::from_parts(lists.to_vec(), plan);
+    (
+        SingleMutexStore::new(index.clone()),
+        ShardedStore::with_shards(index.clone(), 2),
+        // Tiny blocks and tail so every case crosses block boundaries,
+        // seals the tail and compacts the segment stack.
+        SegmentStore::with_config(
+            index,
+            2,
+            SegmentConfig {
+                block_len: 3,
+                tail_threshold: 2,
+                max_segment_elems: 12,
+                max_segments: 2,
+            },
+        ),
+    )
+}
+
+/// A session as each engine sees it: the engine-local cursor id plus the
+/// shared (list, owner, groups) context it was opened with.
+struct Session {
+    cursors: [CursorId; 3],
+    owner: u64,
+    groups: Option<Vec<GroupId>>,
+}
+
+fn sorted(mut items: Vec<(f64, u32, Vec<u8>)>) -> Vec<OrderedElement> {
+    items.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite TRS"));
+    items
+        .into_iter()
+        .map(|(t, g, c)| element(t, g, c))
+        .collect()
+}
+
+fn trs_strategy() -> impl Strategy<Value = f64> {
+    // Coarse granularity produces plenty of exact TRS ties, which is where
+    // insert placement and order-exact decoding can silently diverge.
+    (0u32..64).prop_map(|q| q as f64 / 64.0)
+}
+
+fn op_strategy(num_lists: usize) -> impl Strategy<Value = Op> {
+    let ct = proptest::collection::vec(any::<u8>(), 0..10);
+    prop_oneof![
+        3 => (0..num_lists, trs_strategy(), 0..NUM_GROUPS, ct)
+            .prop_map(|(list, trs, group, ct)| Op::Insert { list, trs, group, ct }),
+        4 => (0..num_lists, 0usize..40, 1usize..8, any::<u8>(), any::<bool>(), 1u64..4)
+            .prop_map(|(list, offset, count, mask, open, owner)| Op::Fetch {
+                list, offset, count, mask, open, owner,
+            }),
+        3 => (any::<usize>(), 1usize..8)
+            .prop_map(|(session, count)| Op::CursorFetch { session, count }),
+        1 => (any::<usize>(), any::<bool>())
+            .prop_map(|(session, foreign)| Op::CursorClose { session, foreign }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engines_answer_interleaved_workloads_identically(
+        lists in proptest::collection::vec(
+            proptest::collection::vec(
+                (trs_strategy(), 0..NUM_GROUPS, proptest::collection::vec(any::<u8>(), 0..10)),
+                0..40,
+            ).prop_map(sorted),
+            1..4,
+        ),
+        ops in proptest::collection::vec(op_strategy(3), 1..50),
+    ) {
+        let (single, sharded, segmented) = engines(&lists);
+        let stores: [&dyn ListStore; 3] = [&single, &sharded, &segmented];
+        let mut sessions: Vec<Session> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert { list, trs, group, ct } => {
+                    let list = MergedListId((list % lists.len()) as u64);
+                    let positions: Vec<_> = stores
+                        .iter()
+                        .map(|s| s.insert(list, element(trs, group, ct.clone())).unwrap())
+                        .collect();
+                    prop_assert_eq!(positions[0], positions[1]);
+                    prop_assert_eq!(positions[0], positions[2]);
+                }
+                Op::Fetch { list, offset, count, mask, open, owner } => {
+                    let list = MergedListId((list % lists.len()) as u64);
+                    let groups = groups_from_mask(mask);
+                    let fetch = RangedFetch { list, offset, count };
+                    let batches: Vec<_> = stores
+                        .iter()
+                        .map(|s| s.fetch_ranged(&fetch, groups.as_deref()).unwrap())
+                        .collect();
+                    prop_assert_eq!(&batches[0], &batches[1]);
+                    prop_assert_eq!(&batches[0], &batches[2]);
+                    if open && !batches[0].exhausted {
+                        let delivered = offset + batches[0].elements.len();
+                        let mut cursors = [CursorId::NONE; 3];
+                        for (i, store) in stores.iter().enumerate() {
+                            cursors[i] = store
+                                .open_cursor(list, owner, &batches[i], delivered, groups.as_deref())
+                                .unwrap();
+                        }
+                        sessions.push(Session { cursors, owner, groups });
+                    }
+                }
+                Op::CursorFetch { session, count } => {
+                    if sessions.is_empty() {
+                        continue;
+                    }
+                    let session = &sessions[session % sessions.len()];
+                    let results: Vec<_> = stores
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| {
+                            s.cursor_fetch(
+                                session.cursors[i],
+                                session.owner,
+                                count,
+                                session.groups.as_deref(),
+                            )
+                        })
+                        .collect();
+                    // Error payloads carry engine-local cursor ids, so
+                    // compare outcomes, then batches.
+                    prop_assert_eq!(results[0].is_ok(), results[1].is_ok());
+                    prop_assert_eq!(results[0].is_ok(), results[2].is_ok());
+                    if let (Ok(a), Ok(b), Ok(c)) = (&results[0], &results[1], &results[2]) {
+                        prop_assert_eq!(a, b);
+                        prop_assert_eq!(a, c);
+                    }
+                }
+                Op::CursorClose { session, foreign } => {
+                    if sessions.is_empty() {
+                        continue;
+                    }
+                    let session = &sessions[session % sessions.len()];
+                    let owner = if foreign { session.owner ^ 0xdead } else { session.owner };
+                    for (i, store) in stores.iter().enumerate() {
+                        store.close_cursor(session.cursors[i], owner);
+                    }
+                }
+            }
+        }
+        // Terminal audit: identical logical state, sessions and sizes.
+        for l in 0..lists.len() as u64 {
+            let id = MergedListId(l);
+            let reference = single.snapshot_list(id).unwrap();
+            prop_assert_eq!(&sharded.snapshot_list(id).unwrap(), &reference);
+            prop_assert_eq!(&segmented.snapshot_list(id).unwrap(), &reference);
+            for mask in [0u8, 1, 5, 0b1111] {
+                let groups = groups_from_mask(mask);
+                let expected = single.visible_len(id, groups.as_deref()).unwrap();
+                prop_assert_eq!(sharded.visible_len(id, groups.as_deref()).unwrap(), expected);
+                prop_assert_eq!(segmented.visible_len(id, groups.as_deref()).unwrap(), expected);
+            }
+        }
+        prop_assert!(single.verify_ordering());
+        prop_assert!(sharded.verify_ordering());
+        prop_assert!(segmented.verify_ordering());
+        prop_assert_eq!(single.num_elements(), sharded.num_elements());
+        prop_assert_eq!(single.num_elements(), segmented.num_elements());
+        prop_assert_eq!(single.stored_bytes(), segmented.stored_bytes());
+        prop_assert_eq!(single.ciphertext_bytes(), segmented.ciphertext_bytes());
+        prop_assert_eq!(single.open_cursors(), sharded.open_cursors());
+        prop_assert_eq!(single.open_cursors(), segmented.open_cursors());
+    }
+}

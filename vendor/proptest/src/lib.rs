@@ -47,6 +47,75 @@ pub trait Strategy {
     type Value;
 
     fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// `proptest`'s `prop_map`: transform sampled values with `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map {
+            source: self,
+            map: f,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (self.map)(self.source.sample(rng))
+    }
+}
+
+/// The RNG type threaded through every strategy (referenced by the
+/// `prop_oneof!` expansion, which runs in downstream crates that do not
+/// depend on `rand` directly).
+pub type TestRng = StdRng;
+
+/// A boxed sampling closure, as produced by the `prop_oneof!` arms.
+pub type Sampler<T> = Box<dyn Fn(&mut StdRng) -> T>;
+
+/// Strategy behind `prop_oneof!`: samples one of several same-valued
+/// strategies with the given relative weights.
+pub struct WeightedUnion<T> {
+    options: Vec<(u32, Sampler<T>)>,
+}
+
+impl<T> WeightedUnion<T> {
+    pub fn new(options: Vec<(u32, Sampler<T>)>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        WeightedUnion { options }
+    }
+}
+
+impl<T> std::fmt::Debug for WeightedUnion<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WeightedUnion({} arms)", self.options.len())
+    }
+}
+
+impl<T> Strategy for WeightedUnion<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let total: u32 = self.options.iter().map(|(w, _)| *w).sum();
+        let mut pick = rng.gen_range(0..total.max(1));
+        for (weight, sampler) in &self.options {
+            if pick < *weight {
+                return sampler(rng);
+            }
+            pick -= weight;
+        }
+        (self.options.last().expect("non-empty").1)(rng)
+    }
 }
 
 /// Types with a canonical "anything goes" strategy (`any::<T>()`).
@@ -132,6 +201,8 @@ macro_rules! impl_strategy_tuple {
 impl_strategy_tuple!(A.0, B.1);
 impl_strategy_tuple!(A.0, B.1, C.2);
 impl_strategy_tuple!(A.0, B.1, C.2, D.3);
+impl_strategy_tuple!(A.0, B.1, C.2, D.3, E.4);
+impl_strategy_tuple!(A.0, B.1, C.2, D.3, E.4, F.5);
 
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
@@ -174,8 +245,29 @@ pub mod collection {
 /// Everything the property tests import with `use proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
-        Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// `proptest`'s `prop_oneof!`: weighted choice between strategies that
+/// produce the same value type (`weight => strategy` arms).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::WeightedUnion::new(vec![
+            $((
+                $weight as u32,
+                {
+                    let __s = $strategy;
+                    Box::new(move |rng: &mut $crate::TestRng| $crate::Strategy::sample(&__s, rng))
+                        as Box<dyn Fn(&mut $crate::TestRng) -> _>
+            },
+            )),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
     };
 }
 
