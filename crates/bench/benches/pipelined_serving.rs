@@ -1,0 +1,216 @@
+//! Pipelined serving throughput: queries/sec of the cross-user batched shard
+//! scheduler (`IndexServer::handle_query_stream` driven by
+//! `drive_pipelined_queries`) at batch sizes 1/4/16/64 across all three
+//! storage engines, against the per-query thread-pool driver as baseline.
+//!
+//! Besides the criterion timings, the bench writes a machine-readable
+//! `BENCH_pipelined_serving.json` to the repository root with, per
+//! (engine, batch-size) point, the measured queries/sec, plus the
+//! single-mutex raw-driver baseline at 1 thread and the ratio of every
+//! sharded batched point to it — the acceptance target is that batching
+//! erases the sharded engine's single-thread deficit (>= 1.0x at
+//! batch >= 16).  The bench asserts that batch=1 throughput stays within
+//! noise of the raw driver, so the unbatched fast path cannot regress
+//! silently.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zerber_corpus::DatasetProfile;
+use zerber_protocol::{
+    drive_pipelined_queries, drive_raw_queries, IndexServer, LoadConfig, PipelineConfig,
+    StoreEngine,
+};
+use zerber_workload::{QueryLogConfig, TestBed, TestBedConfig};
+
+const BATCH_SIZES: [usize; 4] = [1, 4, 16, 64];
+const ENGINES: [(&str, StoreEngine); 3] = [
+    ("sharded", StoreEngine::Sharded),
+    ("single_mutex", StoreEngine::SingleMutex),
+    ("segment", StoreEngine::Segment),
+];
+/// Queries per measured run.  Large enough that thread spawn/teardown of the
+/// drivers amortizes to noise at the measured >100k q/s rates.
+const TOTAL_QUERIES: usize = 4000;
+const WORKERS: usize = 4;
+const SHARDS: usize = 8;
+const USERS: usize = 8;
+/// Recorded points take the best of this many runs, damping scheduler noise
+/// on shared hardware.
+const RUNS: usize = 3;
+
+fn bed() -> TestBed {
+    TestBed::build(TestBedConfig {
+        scale: 0.02,
+        ..TestBedConfig::small(DatasetProfile::StudIp)
+    })
+    .expect("test bed builds")
+}
+
+/// The fig10-style query workload: merged lists of the query-log's most
+/// frequent terms (same workload as the store-engines bench).
+fn workload_lists(bed: &TestBed) -> Vec<u64> {
+    let log = bed
+        .query_log(&QueryLogConfig {
+            distinct_terms: 200,
+            total_queries: 100_000,
+            sample_queries: 0,
+            ..QueryLogConfig::default()
+        })
+        .expect("query log generates");
+    let mut lists = Vec::new();
+    for &(term, _freq) in log.term_frequencies() {
+        if let Ok(list) = bed.plan.list_of(term) {
+            if !lists.contains(&list.0) {
+                lists.push(list.0);
+            }
+        }
+    }
+    lists.truncate(32);
+    assert!(!lists.is_empty(), "workload must cover some merged lists");
+    lists
+}
+
+fn pipeline(batch_size: usize) -> PipelineConfig {
+    PipelineConfig {
+        workers: WORKERS,
+        queries_per_worker: TOTAL_QUERIES / WORKERS,
+        k: 10,
+        ..PipelineConfig::for_batch(batch_size)
+    }
+}
+
+fn measure_piped(server: &IndexServer, users: &[String], lists: &[u64], batch: usize) -> f64 {
+    drive_pipelined_queries(server, users, lists, &pipeline(batch))
+        .expect("pipelined run succeeds")
+        .queries_per_second
+}
+
+fn measure_raw(server: &IndexServer, users: &[String], lists: &[u64]) -> f64 {
+    drive_raw_queries(
+        server,
+        users,
+        lists,
+        &LoadConfig {
+            threads: 1,
+            queries_per_thread: TOTAL_QUERIES,
+            k: 10,
+        },
+    )
+    .expect("raw run succeeds")
+    .queries_per_second
+}
+
+fn best_of<F: FnMut() -> f64>(mut f: F) -> f64 {
+    (0..RUNS).map(|_| f()).fold(0.0, f64::max)
+}
+
+struct Point {
+    engine: &'static str,
+    batch_size: usize,
+    queries_per_second: f64,
+}
+
+fn bench_pipelined_serving(c: &mut Criterion) {
+    let bed = bed();
+    let users = TestBed::server_users(USERS);
+    let lists = workload_lists(&bed);
+    let servers: Vec<(&'static str, IndexServer)> = ENGINES
+        .iter()
+        .map(|&(name, engine)| (name, bed.build_engine_server(engine, SHARDS, USERS)))
+        .collect();
+
+    // Raw-driver baselines at 1 thread: the numbers the batched path is
+    // measured against (single-mutex is the paper baseline architecture).
+    let raw_sharded = best_of(|| measure_raw(&servers[0].1, &users, &lists));
+    let raw_single = best_of(|| measure_raw(&servers[1].1, &users, &lists));
+
+    let mut group = c.benchmark_group("pipelined_serving");
+    group.sample_size(10);
+    let mut points = Vec::new();
+    for &(name, _) in &ENGINES {
+        let server = &servers.iter().find(|(n, _)| *n == name).unwrap().1;
+        for &batch in &BATCH_SIZES {
+            group.bench_with_input(BenchmarkId::new(name, batch), &batch, |b, &batch| {
+                b.iter(|| measure_piped(server, &users, &lists, batch))
+            });
+            points.push(Point {
+                engine: name,
+                batch_size: batch,
+                queries_per_second: best_of(|| measure_piped(server, &users, &lists, batch)),
+            });
+        }
+    }
+    group.finish();
+
+    let of = |engine: &str, batch: usize| {
+        points
+            .iter()
+            .find(|p| p.engine == engine && p.batch_size == batch)
+            .map(|p| p.queries_per_second)
+            .expect("point was measured")
+    };
+    // Regression guard: an unbatched pipelined round must stay within noise
+    // of the per-query driver — the fast path cannot silently regress.
+    for (name, raw) in [("sharded", raw_sharded), ("single_mutex", raw_single)] {
+        let ratio = of(name, 1) / raw;
+        assert!(
+            ratio >= 0.75,
+            "{name} batch=1 pipelined throughput fell to {ratio:.2}x of the raw driver"
+        );
+    }
+
+    write_report(&points, raw_sharded, raw_single, lists.len());
+}
+
+fn write_report(points: &[Point], raw_sharded: f64, raw_single: f64, workload_lists: usize) {
+    let points_json = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"engine\":\"{}\",\"batch_size\":{},\"queries_per_second\":{:.1}}}",
+                p.engine, p.batch_size, p.queries_per_second
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let ratios = BATCH_SIZES
+        .iter()
+        .map(|&batch| {
+            let sharded = points
+                .iter()
+                .find(|p| p.engine == "sharded" && p.batch_size == batch)
+                .map(|p| p.queries_per_second)
+                .unwrap_or(0.0);
+            format!(
+                "{{\"batch_size\":{batch},\"sharded_batched_over_single_mutex_raw\":{:.3}}}",
+                if raw_single > 0.0 {
+                    sharded / raw_single
+                } else {
+                    0.0
+                }
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let json = format!(
+        "{{\n  \"bench\": \"pipelined_serving\",\n  \"workload\": \"fig10-style query-log lists\",\n  \
+         \"workload_lists\": {workload_lists},\n  \"total_queries_per_run\": {TOTAL_QUERIES},\n  \
+         \"workers\": {WORKERS},\n  \"hardware_threads\": {},\n  \
+         \"raw_driver_1thread\": {{\"sharded\": {raw_sharded:.1}, \"single_mutex\": {raw_single:.1}}},\n  \
+         \"points\": [{points_json}],\n  \"speedup_vs_raw_single_mutex\": [{ratios}]\n}}\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_pipelined_serving.json"
+    );
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, bench_pipelined_serving);
+criterion_main!(benches);

@@ -14,7 +14,7 @@ use zerber_crypto::HmacSha256;
 use crate::error::ProtocolError;
 
 /// An authentication token presented by a client.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AuthToken(pub [u8; 32]);
 
 /// Server-side user directory: who exists and which groups they belong to.

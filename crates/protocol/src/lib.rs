@@ -15,8 +15,11 @@
 //!   decrypts and filters, resumes the server-side cursor with doubling
 //!   follow-up requests, and inserts new documents using the published RSTF,
 //! * [`netsim`] — the 56 Kb/s-client / 100 Mb/s-server network model, the
-//!   snippet/competitor constants of Section 6.6, and the thread-pool load
-//!   generator for serving-engine throughput experiments.
+//!   snippet/competitor constants of Section 6.6, and the load generators
+//!   for the serving-engine throughput experiments: the per-query
+//!   thread-pool driver and the pipelined driver
+//!   ([`netsim::drive_pipelined_queries`]), whose workers enqueue into a
+//!   bounded submission queue drained in cross-user batched rounds.
 
 pub mod acl;
 pub mod client;
@@ -30,8 +33,8 @@ pub use client::{Client, ClientQueryOutcome};
 pub use error::ProtocolError;
 pub use message::{QueryRequest, QueryResponse, WireElement, ELEMENT_HEADER_BYTES};
 pub use netsim::{
-    drive_client_queries, drive_raw_queries, LoadConfig, NetworkModel, ResponseBreakdown,
-    ThroughputReport, ALTAVISTA_TOP10_BYTES, GOOGLE_TOP10_BYTES, PAPER_POSTING_BITS, SNIPPET_BYTES,
-    YAHOO_TOP10_BYTES,
+    drive_client_queries, drive_pipelined_queries, drive_raw_queries, LoadConfig, NetworkModel,
+    PipelineConfig, ResponseBreakdown, ThroughputReport, ALTAVISTA_TOP10_BYTES, GOOGLE_TOP10_BYTES,
+    PAPER_POSTING_BITS, SNIPPET_BYTES, YAHOO_TOP10_BYTES,
 };
 pub use server::{IndexServer, InsertRequest, ServerStats, StoreEngine};

@@ -8,7 +8,8 @@
 //! 250 B including XML formatting"; Google/Altavista/Yahoo top-10 responses
 //! are quoted at 15 KB / 37 KB / 59 KB for comparison.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
@@ -16,6 +17,7 @@ use zerber_corpus::{GroupId, TermId};
 use zerber_crypto::GroupKeys;
 use zerber_r::RetrievalConfig;
 
+use crate::acl::AuthToken;
 use crate::client::Client;
 use crate::error::ProtocolError;
 use crate::message::QueryRequest;
@@ -244,6 +246,175 @@ pub fn drive_raw_queries(
     let elapsed = start.elapsed().as_secs_f64();
     let elements = server.stats().elements_sent - elements_before;
     Ok(report(config.threads, queries, elapsed, elements))
+}
+
+/// Configuration of one pipelined load-generation run: worker threads
+/// enqueue initial requests into a bounded submission queue and a scheduler
+/// thread drains it in rounds of up to `batch_size` requests, serving each
+/// round through [`IndexServer::handle_query_stream`] — the cross-user
+/// batched scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Submitting worker threads.
+    pub workers: usize,
+    /// Queries each worker submits.
+    pub queries_per_worker: usize,
+    /// Maximum requests the scheduler drains per round (1 = no batching:
+    /// every request is its own round, reproducing the per-query path).
+    pub batch_size: usize,
+    /// Capacity of the bounded submission queue; workers block when full so
+    /// the scheduler can never fall arbitrarily behind.
+    pub queue_capacity: usize,
+    /// The `k` of every query (also the response size `b`).
+    pub k: usize,
+}
+
+impl PipelineConfig {
+    /// A 240-query pipelined load at the given batch size with paper-default
+    /// `k = b = 10`.  The queue holds several rounds so workers run ahead of
+    /// the scheduler instead of handing off once per request.
+    pub fn for_batch(batch_size: usize) -> Self {
+        let batch_size = batch_size.max(1);
+        PipelineConfig {
+            workers: 4,
+            queries_per_worker: 60,
+            batch_size,
+            queue_capacity: (4 * batch_size).max(64),
+            k: 10,
+        }
+    }
+}
+
+/// The bounded submission queue shared by the pipeline's workers and its
+/// scheduler thread.
+struct Submissions {
+    items: VecDeque<(QueryRequest, AuthToken)>,
+    /// Workers still producing; the scheduler drains until this hits zero
+    /// and the queue is empty.
+    producers: usize,
+    /// Set when the scheduler aborts on a serving error, so blocked workers
+    /// stop submitting into a queue nobody drains.
+    aborted: bool,
+}
+
+/// Drives raw ranged queries through the **pipelined** serving path: workers
+/// enqueue initial requests (rotating through `users` and `lists` exactly
+/// like [`drive_raw_queries`]) into a bounded submission queue; a scheduler
+/// thread drains the queue in rounds of up to `batch_size` requests and
+/// serves each round through [`IndexServer::handle_query_stream`], so locks,
+/// authentication and shard routing amortize across the whole cross-user
+/// request stream.  With `batch_size = 1` every request is its own round and
+/// the measurement degenerates to the per-query serving path.
+pub fn drive_pipelined_queries(
+    server: &IndexServer,
+    users: &[String],
+    lists: &[u64],
+    config: &PipelineConfig,
+) -> Result<ThroughputReport, ProtocolError> {
+    if users.is_empty() || lists.is_empty() {
+        return Err(ProtocolError::InvalidRequest(
+            "load generation needs at least one user and one list".into(),
+        ));
+    }
+    let workers = config.workers.max(1);
+    let batch_size = config.batch_size.max(1);
+    let capacity = config.queue_capacity.max(1);
+    let queue = Mutex::new(Submissions {
+        items: VecDeque::with_capacity(capacity),
+        producers: workers,
+        aborted: false,
+    });
+    let not_empty = Condvar::new();
+    let not_full = Condvar::new();
+    let elements_before = server.stats().elements_sent;
+    let start = Instant::now();
+    let served: u64 = std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queue = &queue;
+            let not_empty = &not_empty;
+            let not_full = &not_full;
+            scope.spawn(move || {
+                let user = &users[w % users.len()];
+                let token = server.acl().issue_token(user);
+                for i in 0..config.queries_per_worker {
+                    // Unit stride with a per-worker offset, matching the
+                    // raw driver's workload shape.
+                    let list = lists[(w.wrapping_mul(31) + i) % lists.len()];
+                    let request = QueryRequest {
+                        user: user.clone(),
+                        list,
+                        offset: 0,
+                        cursor: 0,
+                        count: config.k as u32,
+                        k: config.k as u32,
+                    };
+                    let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+                    while q.items.len() >= capacity && !q.aborted {
+                        q = not_full.wait(q).unwrap_or_else(|e| e.into_inner());
+                    }
+                    if q.aborted {
+                        break;
+                    }
+                    q.items.push_back((request, token.clone()));
+                    drop(q);
+                    not_empty.notify_one();
+                }
+                let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+                q.producers -= 1;
+                if q.producers == 0 {
+                    // Wake the scheduler so it can observe the shutdown.
+                    not_empty.notify_all();
+                }
+            });
+        }
+        let scheduler = scope.spawn(|| -> Result<u64, ProtocolError> {
+            let mut served = 0u64;
+            // The scheduler swaps the whole queue into a local backlog in
+            // one gulp (one lock + one wake-up per queue-full of requests,
+            // whatever the batch size) and slices the backlog into rounds
+            // of `batch_size` locally.
+            let mut backlog: VecDeque<(QueryRequest, AuthToken)> = VecDeque::new();
+            let mut round: Vec<(QueryRequest, AuthToken)> = Vec::with_capacity(batch_size);
+            loop {
+                if backlog.is_empty() {
+                    {
+                        let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+                        while q.items.is_empty() && q.producers > 0 {
+                            q = not_empty.wait(q).unwrap_or_else(|e| e.into_inner());
+                        }
+                        if q.items.is_empty() {
+                            return Ok(served);
+                        }
+                        std::mem::swap(&mut q.items, &mut backlog);
+                    }
+                    not_full.notify_all();
+                }
+                let take = backlog.len().min(batch_size);
+                round.extend(backlog.drain(..take));
+                let results = server.handle_query_stream(&round);
+                for (result, (request, _)) in results.into_iter().zip(&round) {
+                    match result {
+                        Ok(response) => {
+                            server.close_cursor(response.cursor, &request.user);
+                            served += 1;
+                        }
+                        Err(e) => {
+                            let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+                            q.aborted = true;
+                            drop(q);
+                            not_full.notify_all();
+                            return Err(e);
+                        }
+                    }
+                }
+                round.clear();
+            }
+        });
+        scheduler.join().expect("scheduler must not panic")
+    })?;
+    let elapsed = start.elapsed().as_secs_f64();
+    let elements = server.stats().elements_sent - elements_before;
+    Ok(report(workers, served, elapsed, elements))
 }
 
 /// Drives complete client-side retrievals (decryption included) from a pool

@@ -23,7 +23,14 @@
 //! * **Batched multi-term queries** — [`IndexServer::handle_query_batch`]
 //!   authenticates once and serves all sub-requests through
 //!   [`ListStore::fetch_ranged_many`], which visits each shard exactly once.
+//! * **Cross-user batched scheduler** — [`IndexServer::handle_query_stream`]
+//!   serves a whole round of requests from *different* users: each distinct
+//!   user authenticates once per round, all fetches are bucketed by shard,
+//!   and every shard bucket executes under a single lock acquisition
+//!   (`ListStore::execute_shard_batch`).  `ServerStats` meters `batches`,
+//!   `lock_acquisitions` and `auth_checks` so the amortization is visible.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use zerber_base::MergedListId;
@@ -31,7 +38,7 @@ use zerber_corpus::GroupId;
 use zerber_r::{OrderedElement, OrderedIndex};
 use zerber_store::{
     CursorId, ListStore, RangedBatch, RangedFetch, SegmentStore, ShardedStore, SingleMutexStore,
-    StoreError,
+    StoreError, StoreJob,
 };
 
 use crate::acl::{AccessControl, AuthToken};
@@ -51,6 +58,19 @@ pub struct ServerStats {
     pub bytes_out: u64,
     /// Number of insert operations accepted.
     pub inserts_accepted: u64,
+    /// Batch rounds served ([`IndexServer::handle_query_batch`] and
+    /// [`IndexServer::handle_query_stream`] calls).
+    pub batches: u64,
+    /// Shard-lock acquisitions the storage engine performed on the serving
+    /// paths (fetches, cursor operations, inserts and batch rounds); audit
+    /// accessors are not metered.  This is what batching amortizes: a
+    /// cross-user round takes one acquisition per touched shard instead of
+    /// one per request.
+    pub lock_acquisitions: u64,
+    /// Token verifications (HMAC checks) the ACL performed.  The batched
+    /// scheduler authenticates each distinct user once per round, so this
+    /// grows by at most #distinct-users per batch instead of per request.
+    pub auth_checks: u64,
 }
 
 /// Lock-free counters behind [`ServerStats`]: every worker thread bumps them
@@ -62,25 +82,37 @@ struct AtomicStats {
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
     inserts_accepted: AtomicU64,
+    batches: AtomicU64,
+    auth_checks: AtomicU64,
+    /// The store's lock meter at the last [`AtomicStats::reset`]; snapshots
+    /// report the delta so `reset_stats` zeroes the whole struct.
+    lock_baseline: AtomicU64,
 }
 
 impl AtomicStats {
-    fn snapshot(&self) -> ServerStats {
+    fn snapshot(&self, store_locks: u64) -> ServerStats {
         ServerStats {
             requests_served: self.requests_served.load(Ordering::Relaxed),
             elements_sent: self.elements_sent.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             inserts_accepted: self.inserts_accepted.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            lock_acquisitions: store_locks
+                .saturating_sub(self.lock_baseline.load(Ordering::Relaxed)),
+            auth_checks: self.auth_checks.load(Ordering::Relaxed),
         }
     }
 
-    fn reset(&self) {
+    fn reset(&self, store_locks: u64) {
         self.requests_served.store(0, Ordering::Relaxed);
         self.elements_sent.store(0, Ordering::Relaxed);
         self.bytes_in.store(0, Ordering::Relaxed);
         self.bytes_out.store(0, Ordering::Relaxed);
         self.inserts_accepted.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
+        self.auth_checks.store(0, Ordering::Relaxed);
+        self.lock_baseline.store(store_locks, Ordering::Relaxed);
     }
 
     fn record_query(&self, request: &QueryRequest, response: &QueryResponse) {
@@ -214,12 +246,20 @@ impl IndexServer {
 
     /// Snapshot of the traffic counters.
     pub fn stats(&self) -> ServerStats {
-        self.stats.snapshot()
+        self.stats.snapshot(self.store.lock_acquisitions())
     }
 
     /// Resets the traffic counters (used between experiment phases).
     pub fn reset_stats(&self) {
-        self.stats.reset();
+        self.stats.reset(self.store.lock_acquisitions());
+    }
+
+    /// Verifies a token through the ACL, metering the check: the batched
+    /// scheduler routes every authentication through here so `auth_checks`
+    /// counts actual HMAC verifications, not requests.
+    fn authenticate(&self, user: &str, token: &AuthToken) -> Result<Vec<GroupId>, ProtocolError> {
+        self.stats.auth_checks.fetch_add(1, Ordering::Relaxed);
+        self.acl.authenticate(user, token)
     }
 
     /// Number of merged posting lists hosted.
@@ -252,11 +292,15 @@ impl IndexServer {
     }
 
     /// Serves one validated, authenticated request against the store.
+    /// `try_resume` is false only on the stream scheduler's stale-cursor
+    /// fallback, where the shard round already proved the cursor dead —
+    /// retrying it here would pay a second lock for a guaranteed failure.
     fn serve(
         &self,
         request: &QueryRequest,
         groups: &[GroupId],
         prefetched: Option<RangedBatch>,
+        try_resume: bool,
     ) -> Result<QueryResponse, ProtocolError> {
         let list = MergedListId(request.list);
         let owner = owner_tag(&request.user);
@@ -264,7 +308,7 @@ impl IndexServer {
 
         // Resume the cursor session if the client presents a live one;
         // unknown / evicted / foreign cursors fall back to the offset scan.
-        let resumed = if request.cursor != 0 && prefetched.is_none() {
+        let resumed = if try_resume && request.cursor != 0 && prefetched.is_none() {
             self.store
                 .cursor_fetch(CursorId(request.cursor), owner, count, Some(groups))
                 .ok()
@@ -309,6 +353,18 @@ impl IndexServer {
             }
         };
 
+        Ok(self.finish(request, owner, batch, session))
+    }
+
+    /// Builds and meters the response for a served batch, closing the
+    /// session when the scan exhausted the list.
+    fn finish(
+        &self,
+        request: &QueryRequest,
+        owner: u64,
+        batch: RangedBatch,
+        session: CursorId,
+    ) -> QueryResponse {
         let cursor = if batch.exhausted {
             if session.is_some() {
                 self.store.close_cursor(session, owner);
@@ -328,7 +384,7 @@ impl IndexServer {
             cursor,
         };
         self.stats.record_query(request, &response);
-        Ok(response)
+        response
     }
 
     /// Handles one (initial or follow-up) query request.
@@ -343,8 +399,8 @@ impl IndexServer {
         token: &AuthToken,
     ) -> Result<QueryResponse, ProtocolError> {
         Self::validate(request)?;
-        let groups = self.acl.authenticate(&request.user, token)?;
-        self.serve(request, &groups, None)
+        let groups = self.authenticate(&request.user, token)?;
+        self.serve(request, &groups, None, true)
     }
 
     /// Handles a batch of query requests from one user (the initial round of
@@ -372,7 +428,8 @@ impl IndexServer {
                 ));
             }
         }
-        let groups = self.acl.authenticate(&first.user, token)?;
+        let groups = self.authenticate(&first.user, token)?;
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
         // Cursor-less requests go through the shard-batched path; resumptions
         // (unusual inside a batch) are served individually.
         let plain: Vec<usize> = (0..requests.len())
@@ -398,11 +455,120 @@ impl IndexServer {
             .iter()
             .zip(prefetched)
             .map(|(request, prefetched)| match prefetched {
-                Some(Ok(batch)) => self.serve(request, &groups, Some(batch)),
+                Some(Ok(batch)) => self.serve(request, &groups, Some(batch), true),
                 Some(Err(e)) => Err(map_store_error(e)),
-                None => self.serve(request, &groups, None),
+                None => self.serve(request, &groups, None, true),
             })
             .collect())
+    }
+
+    /// Serves a cross-user batch of requests — the batched shard scheduler.
+    ///
+    /// Unlike [`IndexServer::handle_query_batch`] (one user's multi-term
+    /// round), a stream round mixes requests from arbitrary users, so each
+    /// entry carries its own token.  The scheduler
+    ///
+    /// 1. authenticates each distinct `(user, token)` pair **once** per
+    ///    round instead of once per request,
+    /// 2. buckets all fetches — across users — by storage shard,
+    /// 3. executes each shard bucket under a **single** lock acquisition
+    ///    (`ListStore::execute_shard_batch`; the single-mutex engine
+    ///    degenerates to one lock for the whole round), and
+    /// 4. reassembles responses in input order with per-request error
+    ///    isolation: a stale cursor, failed authentication or unknown list
+    ///    degrades that request alone, never the batch.
+    ///
+    /// Live cursor sessions are resumed inside the shard round; a cursor the
+    /// store evicted falls back to the stateless offset scan, exactly like
+    /// [`IndexServer::handle_query`].  Responses and metering are
+    /// request-for-request identical to serving the stream sequentially.
+    pub fn handle_query_stream(
+        &self,
+        requests: &[(QueryRequest, AuthToken)],
+    ) -> Vec<Result<QueryResponse, ProtocolError>> {
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        // A round of one is the request itself: serve it on the per-query
+        // fast path so an unbatched stream costs exactly what
+        // `handle_query` costs.
+        if let [(request, token)] = requests {
+            return vec![Self::validate(request)
+                .and_then(|()| self.authenticate(&request.user, token))
+                .and_then(|groups| self.serve(request, &groups, None, true))];
+        }
+        // Authenticate each distinct (user, token) once.  `arena` owns the
+        // group sets so the shard jobs below can borrow them.
+        let mut arena: Vec<Vec<GroupId>> = Vec::new();
+        let mut cache: HashMap<(&str, &AuthToken), Result<usize, ProtocolError>> = HashMap::new();
+        let mut prepared: Vec<Result<usize, ProtocolError>> = Vec::with_capacity(requests.len());
+        for (request, token) in requests {
+            // Validate before authenticating, like the sequential path: a
+            // malformed request is rejected without paying an HMAC check.
+            prepared.push(Self::validate(request).and_then(|()| {
+                cache
+                    .entry((request.user.as_str(), token))
+                    .or_insert_with(|| {
+                        self.authenticate(&request.user, token).map(|groups| {
+                            arena.push(groups);
+                            arena.len() - 1
+                        })
+                    })
+                    .clone()
+            }));
+        }
+        // One shard job per authenticated request: live cursors resume
+        // inside the round, everything else is a fresh ranged fetch.
+        let jobs: Vec<StoreJob> = requests
+            .iter()
+            .zip(&prepared)
+            .filter_map(|((request, _), auth)| {
+                let groups = Some(arena[*auth.as_ref().ok()?].as_slice());
+                Some(if request.cursor != 0 {
+                    StoreJob::resume(
+                        CursorId(request.cursor),
+                        owner_tag(&request.user),
+                        request.count as usize,
+                        groups,
+                    )
+                } else {
+                    StoreJob::ranged(
+                        RangedFetch {
+                            list: MergedListId(request.list),
+                            offset: request.offset as usize,
+                            count: request.count as usize,
+                        },
+                        groups,
+                    )
+                })
+            })
+            .collect();
+        let mut outcomes = self.store.execute_shard_batch(&jobs).results.into_iter();
+        requests
+            .iter()
+            .zip(prepared)
+            .map(|((request, _), auth)| {
+                let groups = &arena[auth?];
+                match outcomes.next().expect("every prepared request has a job") {
+                    Ok(batch) if request.cursor != 0 => {
+                        // The round resumed a live session.
+                        Ok(self.finish(
+                            request,
+                            owner_tag(&request.user),
+                            batch,
+                            CursorId(request.cursor),
+                        ))
+                    }
+                    Ok(batch) => self.serve(request, groups, Some(batch), true),
+                    Err(StoreError::UnknownCursor(_)) if request.cursor != 0 => {
+                        // Evicted or foreign cursor: fall back to the
+                        // stateless offset scan, like the single-query path
+                        // (without retrying the resume the round just saw
+                        // fail).
+                        self.serve(request, groups, None, false)
+                    }
+                    Err(e) => Err(map_store_error(e)),
+                }
+            })
+            .collect()
     }
 
     /// Closes a cursor session early (a client that got its `k` results
@@ -423,6 +589,7 @@ impl IndexServer {
         request: &InsertRequest,
         token: &AuthToken,
     ) -> Result<(), ProtocolError> {
+        self.stats.auth_checks.fetch_add(1, Ordering::Relaxed);
         self.acl.check_member(&request.user, token, request.group)?;
         if !(0.0..=1.0).contains(&request.trs) || !request.trs.is_finite() {
             return Err(ProtocolError::InvalidRequest(format!(
@@ -693,7 +860,22 @@ mod tests {
             assert_eq!(a.elements, b.elements);
             assert_eq!(a.visible_total, b.visible_total);
         }
-        assert_eq!(batched_stats, server.stats());
+        // Traffic metering is identical; the amortization counters are where
+        // the batch is cheaper (one auth, at most one lock per shard).
+        let sequential_stats = server.stats();
+        assert_eq!(
+            batched_stats.requests_served,
+            sequential_stats.requests_served
+        );
+        assert_eq!(batched_stats.elements_sent, sequential_stats.elements_sent);
+        assert_eq!(batched_stats.bytes_in, sequential_stats.bytes_in);
+        assert_eq!(batched_stats.bytes_out, sequential_stats.bytes_out);
+        assert_eq!(batched_stats.batches, 1);
+        assert_eq!(sequential_stats.batches, 0);
+        assert_eq!(batched_stats.auth_checks, 1);
+        assert_eq!(sequential_stats.auth_checks, requests.len() as u64);
+        // At most one lock per touched shard, never more than sequential.
+        assert!(batched_stats.lock_acquisitions <= sequential_stats.lock_acquisitions);
         // Error paths: empty batches and mixed users are rejected outright.
         assert!(server.handle_query_batch(&[], &token).is_err());
         let mixed = vec![
@@ -709,6 +891,130 @@ mod tests {
         let results = server.handle_query_batch(&partial, &token).unwrap();
         assert!(results[0].is_ok());
         assert!(matches!(results[1], Err(ProtocolError::UnknownList(_))));
+    }
+
+    #[test]
+    fn stream_batch_takes_one_lock_and_one_auth_per_user() {
+        let c = corpus();
+        let stats = CorpusStats::compute(&c);
+        let split = sample_split(&c, SplitConfig::default()).unwrap();
+        let model = RstfModel::train(&c, &split, &RstfConfig::default()).unwrap();
+        let plan = BfmMerge
+            .plan(&stats, ConfidentialityParam::new(3.0).unwrap())
+            .unwrap();
+        let master = MasterKey::new([5u8; 32]);
+        let index = zerber_r::OrderedIndex::build(&c, plan, &model, &master, 7).unwrap();
+        let mut acl = AccessControl::new(b"srv");
+        let users: Vec<String> = (0..4).map(|i| format!("u{i}")).collect();
+        for u in &users {
+            acl.register_user(u, &[GroupId(0), GroupId(1)]);
+        }
+        for engine in [
+            StoreEngine::Sharded,
+            StoreEngine::SingleMutex,
+            StoreEngine::Segment,
+        ] {
+            let server = IndexServer::with_engine(index.clone(), acl.clone(), engine, 4);
+            let list = list_for(&c, &server, "imclone");
+            // 64 requests, 4 distinct users, all against one merged list —
+            // a single-shard round.
+            let round: Vec<(QueryRequest, AuthToken)> = (0..64)
+                .map(|i| {
+                    let user = &users[i % users.len()];
+                    (request(user, list, 0, 4, 4), server.acl().issue_token(user))
+                })
+                .collect();
+            server.reset_stats();
+            let results = server.handle_query_stream(&round);
+            assert!(results.iter().all(|r| r.is_ok()), "engine {engine:?}");
+            let stats = server.stats();
+            assert_eq!(stats.requests_served, 64);
+            assert_eq!(stats.batches, 1);
+            // One list => one shard => exactly one lock for all 64 requests.
+            assert_eq!(stats.lock_acquisitions, 1, "engine {engine:?}");
+            // One HMAC verification per distinct user, not per request.
+            assert_eq!(stats.auth_checks, users.len() as u64);
+        }
+    }
+
+    #[test]
+    fn stream_responses_match_sequential_queries_with_error_isolation() {
+        let (c, server, _, _) = server_fixture();
+        let list = list_for(&c, &server, "imclone");
+        let john = server.acl().issue_token("john");
+        let alice = server.acl().issue_token("alice");
+        // Open a live session for john, then resume it inside the round.
+        server
+            .handle_query(&request("john", list, 0, 2, 10), &john)
+            .unwrap();
+        let follow = server
+            .handle_query(&request("john", list, 2, 2, 10), &john)
+            .unwrap();
+        assert_ne!(follow.cursor, 0);
+        let round = vec![
+            (request("john", list, 0, 3, 10), john.clone()),
+            (request("alice", list, 0, 3, 10), alice.clone()),
+            (
+                QueryRequest {
+                    cursor: follow.cursor,
+                    ..request("john", list, 4, 2, 10)
+                },
+                john.clone(),
+            ),
+            (request("john", 99_999, 0, 3, 10), john.clone()),
+            (
+                QueryRequest {
+                    cursor: 0xdead_beef << 8,
+                    ..request("alice", list, 0, 2, 10)
+                },
+                alice.clone(),
+            ),
+            (request("john", list, 0, 3, 10), AuthToken([9u8; 32])),
+            (
+                QueryRequest {
+                    count: 0,
+                    ..request("alice", list, 0, 1, 1)
+                },
+                alice.clone(),
+            ),
+        ];
+        let results = server.handle_query_stream(&round);
+        assert_eq!(results.len(), round.len());
+        // Fresh ranged requests answer exactly like the sequential path,
+        // each under its own user's ACL view.
+        let expect_john = server
+            .handle_query(&request("john", list, 0, 3, 10), &john)
+            .unwrap();
+        let expect_alice = server
+            .handle_query(&request("alice", list, 0, 3, 10), &alice)
+            .unwrap();
+        let r0 = results[0].as_ref().unwrap();
+        assert_eq!(r0.elements, expect_john.elements);
+        assert_eq!(r0.visible_total, expect_john.visible_total);
+        let r1 = results[1].as_ref().unwrap();
+        assert_eq!(r1.elements, expect_alice.elements);
+        assert_eq!(r1.visible_total, expect_alice.visible_total);
+        // The live cursor resumed from its position (4 delivered elements).
+        let r2 = results[2].as_ref().unwrap();
+        let expect_resume = server
+            .handle_query(&request("john", list, 4, 2, 10), &john)
+            .unwrap();
+        assert_eq!(r2.elements, expect_resume.elements);
+        // Errors stay contained to their own request.
+        assert!(matches!(results[3], Err(ProtocolError::UnknownList(_))));
+        // A bogus cursor falls back to the stateless offset scan.
+        let r4 = results[4].as_ref().unwrap();
+        let expect_fallback = server
+            .handle_query(&request("alice", list, 0, 2, 10), &alice)
+            .unwrap();
+        assert_eq!(r4.elements, expect_fallback.elements);
+        assert!(matches!(
+            results[5],
+            Err(ProtocolError::AuthenticationFailed(_))
+        ));
+        assert!(matches!(results[6], Err(ProtocolError::InvalidRequest(_))));
+        // An empty round is a no-op, not an error.
+        assert!(server.handle_query_stream(&[]).is_empty());
     }
 
     #[test]

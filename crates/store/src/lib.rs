@@ -8,8 +8,11 @@
 //!
 //! * [`ListStore`] — the storage contract: ranged fetches in TRS order,
 //!   resumable cursor sessions for follow-up requests (Section 4.1/5.2),
-//!   position-preserving inserts.  The trait is the seam for future backends
-//!   (compressed segments, on-disk shards).
+//!   position-preserving inserts, and cross-user shard batches
+//!   ([`StoreJob`] / [`ListStore::execute_shard_batch`]: jobs from many
+//!   users, each with its own group filter, bucketed by shard and served
+//!   under a single lock acquisition per shard per round).  The trait is the
+//!   seam for future backends (compressed segments, on-disk shards).
 //! * [`ShardedStore`] — lists partitioned across N shards, each behind its
 //!   own `RwLock`; queries on different lists never contend and an insert
 //!   write-locks exactly one shard.
@@ -36,8 +39,8 @@ pub use segment::{Segment, SegmentConfig, SegmentList};
 pub use sharded::{SegmentStore, ShardedStore, MAX_SHARDS};
 pub use single::SingleMutexStore;
 pub use store::{
-    CursorId, ListStore, OrderedList, RangedBatch, RangedFetch, SessionStats, VecList,
-    SESSION_TTL_TICKS,
+    CursorId, ListStore, OrderedList, RangedBatch, RangedFetch, SessionStats, ShardBatchOutput,
+    StoreJob, VecList, SESSION_TTL_TICKS,
 };
 
 #[cfg(test)]
@@ -258,6 +261,110 @@ mod tests {
                 Err(e) => assert_eq!(result.as_ref().unwrap_err(), &e),
             }
         }
+    }
+
+    #[test]
+    fn shard_batches_serve_cross_user_jobs_under_one_lock_per_shard() {
+        let (sharded, single) = stores();
+        let list = busiest_list(&sharded);
+        let g0 = [GroupId(0)];
+        let g12 = [GroupId(1), GroupId(2)];
+        let head = sharded
+            .fetch_ranged(
+                &RangedFetch {
+                    list,
+                    offset: 0,
+                    count: 2,
+                },
+                Some(&g0),
+            )
+            .unwrap();
+        let delivered = head.elements.len();
+        let cursor = sharded
+            .open_cursor(list, 7, &head, delivered, Some(&g0))
+            .unwrap();
+        let jobs = [
+            // Two users with different group filters, one stale list, one
+            // live cursor and one bogus cursor — all in one round.
+            StoreJob::ranged(
+                RangedFetch {
+                    list,
+                    offset: 0,
+                    count: 3,
+                },
+                Some(&g12),
+            ),
+            StoreJob::ranged(
+                RangedFetch {
+                    list: MergedListId(999_999),
+                    offset: 0,
+                    count: 3,
+                },
+                None,
+            ),
+            StoreJob::resume(cursor, 7, 2, Some(&g0)),
+            StoreJob::resume(CursorId(0xfe), 9, 2, None),
+        ];
+        let before = sharded.lock_acquisitions();
+        let out = sharded.execute_shard_batch(&jobs);
+        // One list => one shard => one lock for the whole cross-user round.
+        assert_eq!(out.lock_acquisitions, 1);
+        assert_eq!(sharded.lock_acquisitions(), before + 1);
+        assert_eq!(
+            out.results[0].as_ref().unwrap(),
+            &sharded
+                .fetch_ranged(
+                    &RangedFetch {
+                        list,
+                        offset: 0,
+                        count: 3
+                    },
+                    Some(&g12)
+                )
+                .unwrap()
+        );
+        assert!(matches!(out.results[1], Err(StoreError::UnknownList(_))));
+        // The cursor job resumed user 7's session: same elements as a
+        // stateless offset scan under the session's own filter.
+        let expected = sharded
+            .fetch_ranged(
+                &RangedFetch {
+                    list,
+                    offset: delivered,
+                    count: 2,
+                },
+                Some(&g0),
+            )
+            .unwrap();
+        assert_eq!(out.results[2].as_ref().unwrap().elements, expected.elements);
+        // A bogus cursor errors alone, not the batch.
+        assert!(matches!(out.results[3], Err(StoreError::UnknownCursor(_))));
+
+        // The single-mutex engine serves any round under exactly one lock.
+        let before = single.lock_acquisitions();
+        let jobs = [
+            StoreJob::ranged(
+                RangedFetch {
+                    list,
+                    offset: 0,
+                    count: 3,
+                },
+                None,
+            ),
+            StoreJob::ranged(
+                RangedFetch {
+                    list: MergedListId(0),
+                    offset: 0,
+                    count: 1,
+                },
+                None,
+            ),
+        ];
+        let out = single.execute_shard_batch(&jobs);
+        assert_eq!(out.lock_acquisitions, 1);
+        assert_eq!(single.lock_acquisitions(), before + 1);
+        assert!(out.results.iter().all(|r| r.is_ok()));
+        assert_eq!(single.execute_shard_batch(&[]).lock_acquisitions, 0);
     }
 
     #[test]

@@ -32,7 +32,8 @@ use zerber_r::{OrderedElement, OrderedIndex};
 use crate::error::StoreError;
 use crate::segment::{SegmentConfig, SegmentList};
 use crate::store::{
-    CursorId, ListStore, ListTable, OrderedList, RangedBatch, RangedFetch, SessionStats, VecList,
+    CursorId, ListStore, ListTable, OrderedList, RangedBatch, RangedFetch, SessionStats,
+    ShardBatchOutput, StoreJob, VecList,
 };
 
 /// Upper bound on shards: cursor ids embed the shard index in their low byte.
@@ -45,6 +46,9 @@ pub struct ShardedCore<L: OrderedList> {
     shards: Vec<RwLock<ListTable<L>>>,
     plan: MergePlan,
     next_cursor: AtomicU64,
+    /// Shard-lock acquisitions by the serving paths (see
+    /// [`ListStore::lock_acquisitions`]).
+    lock_meter: AtomicU64,
 }
 
 /// The sharded store over the reference `Vec<OrderedElement>` layout.
@@ -81,7 +85,14 @@ impl<L: OrderedList> ShardedCore<L> {
             shards: shards.into_iter().map(RwLock::new).collect(),
             plan,
             next_cursor: AtomicU64::new(1),
+            lock_meter: AtomicU64::new(0),
         }
+    }
+
+    /// Meters one shard-lock acquisition (called just before a serving-path
+    /// `read()`/`write()`; audit accessors stay unmetered).
+    fn meter_lock(&self) {
+        self.lock_meter.fetch_add(1, Ordering::Relaxed);
     }
 
     fn slot(&self, list: MergedListId) -> (usize, usize) {
@@ -198,40 +209,58 @@ impl<L: OrderedList> ListStore for ShardedCore<L> {
         accessible: Option<&[GroupId]>,
     ) -> Result<RangedBatch, StoreError> {
         let (shard, slot) = self.known(fetch.list)?;
+        self.meter_lock();
         Ok(self.shards[shard]
             .read()
             .fetch(slot, fetch.offset, fetch.count, accessible))
     }
 
-    fn fetch_ranged_many(
-        &self,
-        fetches: &[RangedFetch],
-        accessible: Option<&[GroupId]>,
-    ) -> Vec<Result<RangedBatch, StoreError>> {
-        let mut results: Vec<Option<Result<RangedBatch, StoreError>>> = vec![None; fetches.len()];
-        // Group request indices by shard so every shard lock is taken once.
+    fn execute_shard_batch(&self, jobs: &[StoreJob]) -> ShardBatchOutput {
+        let mut results: Vec<Option<Result<RangedBatch, StoreError>>> = vec![None; jobs.len()];
+        // Group job indices by shard — ranged jobs route by list id, cursor
+        // jobs by the shard index embedded in the cursor — so every touched
+        // shard's lock is taken exactly once for the whole round.
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
-        for (i, fetch) in fetches.iter().enumerate() {
-            match self.known(fetch.list) {
-                Ok((shard, _)) => by_shard[shard].push(i),
+        for (i, job) in jobs.iter().enumerate() {
+            let routed = if job.cursor.is_some() {
+                self.cursor_shard(job.cursor)
+            } else {
+                self.known(job.fetch.list).map(|(shard, _)| shard)
+            };
+            match routed {
+                Ok(shard) => by_shard[shard].push(i),
                 Err(e) => results[i] = Some(Err(e)),
             }
         }
+        let mut lock_acquisitions = 0u64;
         for (shard, indices) in by_shard.into_iter().enumerate() {
             if indices.is_empty() {
                 continue;
             }
+            self.meter_lock();
+            lock_acquisitions += 1;
             let guard = self.shards[shard].read();
             for i in indices {
-                let fetch = &fetches[i];
-                let (_, slot) = self.slot(fetch.list);
-                results[i] = Some(Ok(guard.fetch(slot, fetch.offset, fetch.count, accessible)));
+                let job = &jobs[i];
+                results[i] = Some(if job.cursor.is_some() {
+                    guard.cursor_fetch(job.cursor.0, job.owner, job.fetch.count, job.accessible)
+                } else {
+                    let (_, slot) = self.slot(job.fetch.list);
+                    Ok(guard.fetch(slot, job.fetch.offset, job.fetch.count, job.accessible))
+                });
             }
         }
-        results
-            .into_iter()
-            .map(|r| r.expect("every fetch is answered"))
-            .collect()
+        ShardBatchOutput {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every job is answered"))
+                .collect(),
+            lock_acquisitions,
+        }
+    }
+
+    fn lock_acquisitions(&self) -> u64 {
+        self.lock_meter.load(Ordering::Relaxed)
     }
 
     fn open_cursor(
@@ -245,6 +274,7 @@ impl<L: OrderedList> ListStore for ShardedCore<L> {
         let (shard, slot) = self.known(list)?;
         let seq = self.next_cursor.fetch_add(1, Ordering::Relaxed);
         let raw = (seq << 8) | shard as u64;
+        self.meter_lock();
         self.shards[shard]
             .write()
             .open_cursor(raw, slot, owner, batch, delivered, accessible);
@@ -259,6 +289,7 @@ impl<L: OrderedList> ListStore for ShardedCore<L> {
         accessible: Option<&[GroupId]>,
     ) -> Result<RangedBatch, StoreError> {
         let shard = self.cursor_shard(cursor)?;
+        self.meter_lock();
         self.shards[shard]
             .read()
             .cursor_fetch(cursor.0, owner, count, accessible)
@@ -266,6 +297,7 @@ impl<L: OrderedList> ListStore for ShardedCore<L> {
 
     fn close_cursor(&self, cursor: CursorId, owner: u64) {
         if let Ok(shard) = self.cursor_shard(cursor) {
+            self.meter_lock();
             self.shards[shard].write().close_cursor(cursor.0, owner);
         }
     }
@@ -287,6 +319,7 @@ impl<L: OrderedList> ListStore for ShardedCore<L> {
 
     fn insert(&self, list: MergedListId, element: OrderedElement) -> Result<usize, StoreError> {
         let (shard, slot) = self.known(list)?;
+        self.meter_lock();
         Ok(self.shards[shard].write().insert(slot, element))
     }
 

@@ -16,7 +16,8 @@ use zerber_r::{OrderedElement, OrderedIndex};
 
 use crate::error::StoreError;
 use crate::store::{
-    CursorId, ListStore, ListTable, OrderedList, RangedBatch, RangedFetch, SessionStats, VecList,
+    CursorId, ListStore, ListTable, OrderedList, RangedBatch, RangedFetch, SessionStats,
+    ShardBatchOutput, StoreJob, VecList,
 };
 
 /// A store serializing every operation on one global mutex.
@@ -25,6 +26,9 @@ pub struct SingleMutexStore {
     inner: Mutex<ListTable<VecList>>,
     plan: MergePlan,
     next_cursor: AtomicU64,
+    /// Global-mutex acquisitions by the serving paths (see
+    /// [`ListStore::lock_acquisitions`]).
+    lock_meter: AtomicU64,
 }
 
 impl SingleMutexStore {
@@ -39,7 +43,14 @@ impl SingleMutexStore {
             inner: Mutex::new(table),
             plan,
             next_cursor: AtomicU64::new(1),
+            lock_meter: AtomicU64::new(0),
         }
+    }
+
+    /// Meters one mutex acquisition (called just before a serving-path
+    /// `lock()`; audit accessors stay unmetered).
+    fn meter_lock(&self) {
+        self.lock_meter.fetch_add(1, Ordering::Relaxed);
     }
 
     fn check(&self, list: MergedListId) -> Result<usize, StoreError> {
@@ -106,26 +117,42 @@ impl ListStore for SingleMutexStore {
         accessible: Option<&[GroupId]>,
     ) -> Result<RangedBatch, StoreError> {
         let slot = self.check(fetch.list)?;
+        self.meter_lock();
         Ok(self
             .inner
             .lock()
             .fetch(slot, fetch.offset, fetch.count, accessible))
     }
 
-    fn fetch_ranged_many(
-        &self,
-        fetches: &[RangedFetch],
-        accessible: Option<&[GroupId]>,
-    ) -> Vec<Result<RangedBatch, StoreError>> {
-        // One shard: take the lock once and serve the whole batch.
+    fn execute_shard_batch(&self, jobs: &[StoreJob]) -> ShardBatchOutput {
+        // One lock domain: the whole cross-user round degenerates to a
+        // single mutex acquisition, however many requests it carries.
+        if jobs.is_empty() {
+            return ShardBatchOutput {
+                results: Vec::new(),
+                lock_acquisitions: 0,
+            };
+        }
+        self.meter_lock();
         let guard = self.inner.lock();
-        fetches
-            .iter()
-            .map(|fetch| {
-                let slot = self.check(fetch.list)?;
-                Ok(guard.fetch(slot, fetch.offset, fetch.count, accessible))
-            })
-            .collect()
+        ShardBatchOutput {
+            results: jobs
+                .iter()
+                .map(|job| {
+                    if job.cursor.is_some() {
+                        guard.cursor_fetch(job.cursor.0, job.owner, job.fetch.count, job.accessible)
+                    } else {
+                        let slot = self.check(job.fetch.list)?;
+                        Ok(guard.fetch(slot, job.fetch.offset, job.fetch.count, job.accessible))
+                    }
+                })
+                .collect(),
+            lock_acquisitions: 1,
+        }
+    }
+
+    fn lock_acquisitions(&self) -> u64 {
+        self.lock_meter.load(Ordering::Relaxed)
     }
 
     fn open_cursor(
@@ -138,6 +165,7 @@ impl ListStore for SingleMutexStore {
     ) -> Result<CursorId, StoreError> {
         let slot = self.check(list)?;
         let raw = self.next_cursor.fetch_add(1, Ordering::Relaxed) << 8;
+        self.meter_lock();
         self.inner
             .lock()
             .open_cursor(raw, slot, owner, batch, delivered, accessible);
@@ -154,12 +182,14 @@ impl ListStore for SingleMutexStore {
         if !cursor.is_some() {
             return Err(StoreError::UnknownCursor(cursor.0));
         }
+        self.meter_lock();
         self.inner
             .lock()
             .cursor_fetch(cursor.0, owner, count, accessible)
     }
 
     fn close_cursor(&self, cursor: CursorId, owner: u64) {
+        self.meter_lock();
         self.inner.lock().close_cursor(cursor.0, owner);
     }
 
@@ -177,6 +207,7 @@ impl ListStore for SingleMutexStore {
 
     fn insert(&self, list: MergedListId, element: OrderedElement) -> Result<usize, StoreError> {
         let slot = self.check(list)?;
+        self.meter_lock();
         Ok(self.inner.lock().insert(slot, element))
     }
 

@@ -16,7 +16,7 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use zerber_base::{MergePlan, MergedListId};
+use zerber_base::{EncryptedElement, MergePlan, MergedListId};
 use zerber_corpus::GroupId;
 use zerber_r::{OrderedElement, TRS_BYTES};
 
@@ -63,6 +63,67 @@ pub struct RangedBatch {
     /// cursor from this batch compares generations: if an insert moved the
     /// list in between, the position is re-derived instead of trusted.
     pub generation: u64,
+}
+
+/// One request of a cross-user shard batch: either a fresh ranged fetch or a
+/// cursor resumption, tagged with the group filter of the user behind it.
+/// Unlike [`ListStore::fetch_ranged_many`] — which serves one user's
+/// multi-term round under a single filter — a job batch mixes requests from
+/// *different* users, so each job carries its own visibility context.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreJob<'a> {
+    /// The ranged fetch parameters.  For cursor jobs only `count` is used
+    /// (the session remembers its own list and position).
+    pub fetch: RangedFetch,
+    /// Cursor session to resume; [`CursorId::NONE`] serves `fetch` as a
+    /// fresh ranged scan instead.
+    pub cursor: CursorId,
+    /// Owner tag of the cursor session (ignored for ranged jobs).
+    pub owner: u64,
+    /// Groups visible to the requesting user (`None` = unrestricted).
+    pub accessible: Option<&'a [GroupId]>,
+}
+
+impl<'a> StoreJob<'a> {
+    /// A fresh ranged-fetch job.
+    pub fn ranged(fetch: RangedFetch, accessible: Option<&'a [GroupId]>) -> Self {
+        StoreJob {
+            fetch,
+            cursor: CursorId::NONE,
+            owner: 0,
+            accessible,
+        }
+    }
+
+    /// A cursor-resumption job.
+    pub fn resume(
+        cursor: CursorId,
+        owner: u64,
+        count: usize,
+        accessible: Option<&'a [GroupId]>,
+    ) -> Self {
+        StoreJob {
+            fetch: RangedFetch {
+                list: MergedListId(0),
+                offset: 0,
+                count,
+            },
+            cursor,
+            owner,
+            accessible,
+        }
+    }
+}
+
+/// Outcome of one [`ListStore::execute_shard_batch`] round.
+#[derive(Debug)]
+pub struct ShardBatchOutput {
+    /// Per-job results, aligned with the input order.
+    pub results: Vec<Result<RangedBatch, StoreError>>,
+    /// Shard-lock acquisitions the round needed: sharded engines take each
+    /// touched shard's lock once, the single-mutex engine takes one lock for
+    /// the whole round.
+    pub lock_acquisitions: u64,
 }
 
 /// Counters of one session table (aggregated across shards by
@@ -159,14 +220,36 @@ pub trait ListStore: Send + Sync + std::fmt::Debug {
         accessible: Option<&[GroupId]>,
     ) -> Result<RangedBatch, StoreError>;
 
-    /// Serves a batch of ranged fetches.  Implementations group the fetches
-    /// by shard and acquire each shard lock only once, so a multi-term query
-    /// visits each shard a single time.  Results align with the input order.
+    /// Serves a batch of ranged fetches on behalf of one user.
+    /// Implementations group the fetches by shard and acquire each shard
+    /// lock only once, so a multi-term query visits each shard a single
+    /// time.  Results align with the input order.
     fn fetch_ranged_many(
         &self,
         fetches: &[RangedFetch],
         accessible: Option<&[GroupId]>,
-    ) -> Vec<Result<RangedBatch, StoreError>>;
+    ) -> Vec<Result<RangedBatch, StoreError>> {
+        let jobs: Vec<StoreJob> = fetches
+            .iter()
+            .map(|&fetch| StoreJob::ranged(fetch, accessible))
+            .collect();
+        self.execute_shard_batch(&jobs).results
+    }
+
+    /// Executes a cross-user batch of fetch/cursor jobs, visiting each shard
+    /// under a **single** lock acquisition.  This is the storage half of the
+    /// batched scheduler: jobs from many users (each with its own group
+    /// filter) are bucketed by shard, every bucket is served under one read
+    /// lock, and results are reassembled in input order.  A job that fails
+    /// (unknown list, stale cursor) errors individually without disturbing
+    /// the rest of the batch.
+    fn execute_shard_batch(&self, jobs: &[StoreJob]) -> ShardBatchOutput;
+
+    /// Shard-lock acquisitions performed by the serving paths (fetches,
+    /// cursor operations, inserts and batch rounds) since the store was
+    /// built.  Audit accessors (element/byte totals, ordering checks) are
+    /// not metered, so the counter reflects request-serving lock traffic.
+    fn lock_acquisitions(&self) -> u64;
 
     /// Opens a cursor session continuing after `batch` (previously obtained
     /// from a ranged fetch on `list`).  `owner` is an opaque session tag;
@@ -288,38 +371,82 @@ pub trait OrderedList: Send + Sync + std::fmt::Debug {
     fn ordering_ok(&self) -> bool;
 }
 
-/// The reference layout: one `Vec<OrderedElement>` per list, full in-memory
-/// width per element.
+/// Per-element metadata of the arena layout: the fields scans inspect, plus
+/// the span of the element's ciphertext inside the list arena.
+#[derive(Debug, Clone, Copy)]
+struct ElemMeta {
+    trs: f64,
+    group: GroupId,
+    sealed_group: GroupId,
+    offset: usize,
+    len: u32,
+}
+
+/// The reference layout: per-element metadata in one dense vec plus a single
+/// bump arena holding every sealed ciphertext back to back.  The earlier
+/// one-heap-`Vec<u8>`-per-element representation paid allocator overhead per
+/// element, which made the resident-bytes comparison against the compressed
+/// segment engine unfair; one arena per list is what a production `Vec`
+/// engine would do anyway.
 #[derive(Debug, Default)]
-pub struct VecList(Vec<OrderedElement>);
+pub struct VecList {
+    meta: Vec<ElemMeta>,
+    arena: Vec<u8>,
+}
 
 impl VecList {
-    /// Read access to the underlying ordered elements.
-    pub fn elements(&self) -> &[OrderedElement] {
-        &self.0
+    /// Rebuilds the full `OrderedElement` at physical index `i`.
+    fn materialize(&self, i: usize) -> OrderedElement {
+        let m = &self.meta[i];
+        OrderedElement {
+            trs: m.trs,
+            group: m.group,
+            sealed: EncryptedElement {
+                group: m.sealed_group,
+                ciphertext: self.arena[m.offset..m.offset + m.len as usize].to_vec(),
+            },
+        }
     }
 }
 
 impl OrderedList for VecList {
     fn from_elements(elements: Vec<OrderedElement>) -> Self {
-        VecList(elements)
+        let total: usize = elements.iter().map(|e| e.sealed.ciphertext.len()).sum();
+        let mut arena = Vec::with_capacity(total);
+        let mut meta = Vec::with_capacity(elements.len());
+        for e in elements {
+            let offset = arena.len();
+            arena.extend_from_slice(&e.sealed.ciphertext);
+            meta.push(ElemMeta {
+                trs: e.trs,
+                group: e.group,
+                sealed_group: e.sealed.group,
+                offset,
+                len: u32::try_from(e.sealed.ciphertext.len())
+                    .expect("sealed ciphertext exceeds u32 length"),
+            });
+        }
+        VecList { meta, arena }
     }
 
     fn len(&self) -> usize {
-        self.0.len()
+        self.meta.len()
     }
 
     fn snapshot(&self) -> Vec<OrderedElement> {
-        self.0.clone()
+        (0..self.meta.len()).map(|i| self.materialize(i)).collect()
     }
 
     fn visible_total(&self, accessible: Option<&[GroupId]>, meter: &AtomicU64) -> usize {
         match accessible {
-            None => self.0.len(),
-            Some(_) => {
+            None => self.meta.len(),
+            Some(groups) => {
                 // Group-filtered counts examine every element of the list.
-                meter.fetch_add(self.0.len() as u64, Ordering::Relaxed);
-                self.0.iter().filter(|e| is_visible(e, accessible)).count()
+                meter.fetch_add(self.meta.len() as u64, Ordering::Relaxed);
+                self.meta
+                    .iter()
+                    .filter(|m| groups.contains(&m.group))
+                    .count()
             }
         }
     }
@@ -331,42 +458,84 @@ impl OrderedList for VecList {
         count: usize,
         accessible: Option<&[GroupId]>,
     ) -> (Vec<OrderedElement>, usize) {
-        scan(&self.0, start, skip, count, accessible)
+        let mut elements = Vec::with_capacity(count.min(self.meta.len().saturating_sub(start)));
+        let mut skipped = 0usize;
+        let mut next = self.meta.len().max(start);
+        for i in start..self.meta.len() {
+            if !is_visible_group(self.meta[i].group, accessible) {
+                continue;
+            }
+            if skipped < skip {
+                skipped += 1;
+                continue;
+            }
+            elements.push(self.materialize(i));
+            if elements.len() == count {
+                next = i + 1;
+                break;
+            }
+        }
+        (elements, next)
     }
 
     fn position_after_visible(&self, delivered: usize, accessible: Option<&[GroupId]>) -> usize {
-        position_after_visible(&self.0, delivered, accessible)
+        let mut seen = 0usize;
+        for (i, m) in self.meta.iter().enumerate() {
+            if seen == delivered {
+                return i;
+            }
+            if is_visible_group(m.group, accessible) {
+                seen += 1;
+            }
+        }
+        self.meta.len()
     }
 
     fn insert(&mut self, element: OrderedElement) -> usize {
-        let pos = insertion_point(&self.0, element.trs);
-        self.0.insert(pos, element);
+        // After every element with a strictly larger TRS, before equal ones
+        // (the binary search of Section 5, identical to
+        // `OrderedIndex::insert_sealed`).
+        let pos = self.meta.partition_point(|m| m.trs > element.trs);
+        let offset = self
+            .meta
+            .get(pos)
+            .map_or(self.arena.len(), |next| next.offset);
+        let len = u32::try_from(element.sealed.ciphertext.len())
+            .expect("sealed ciphertext exceeds u32 length");
+        self.arena.splice(offset..offset, element.sealed.ciphertext);
+        for m in &mut self.meta[pos..] {
+            m.offset += len as usize;
+        }
+        self.meta.insert(
+            pos,
+            ElemMeta {
+                trs: element.trs,
+                group: element.group,
+                sealed_group: element.sealed.group,
+                offset,
+                len,
+            },
+        );
         pos
     }
 
     fn stored_bytes(&self) -> usize {
-        self.0
-            .iter()
-            .map(|e| e.sealed.stored_bytes() + TRS_BYTES)
-            .sum()
+        // `EncryptedElement::stored_bytes` is ciphertext + 4-byte group tag.
+        self.arena.len() + self.meta.len() * (4 + TRS_BYTES)
     }
 
     fn ciphertext_bytes(&self) -> usize {
-        self.0.iter().map(|e| e.sealed.ciphertext.len()).sum()
+        self.arena.len()
     }
 
     fn resident_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
-            + self.0.capacity() * std::mem::size_of::<OrderedElement>()
-            + self
-                .0
-                .iter()
-                .map(|e| e.sealed.ciphertext.capacity())
-                .sum::<usize>()
+            + self.meta.capacity() * std::mem::size_of::<ElemMeta>()
+            + self.arena.capacity()
     }
 
     fn ordering_ok(&self) -> bool {
-        self.0.windows(2).all(|w| w[0].trs >= w[1].trs)
+        self.meta.windows(2).all(|w| w[0].trs >= w[1].trs)
     }
 }
 
@@ -667,25 +836,6 @@ impl<L: OrderedList> ListTable<L> {
     }
 }
 
-/// The physical index just past the first `delivered` visible elements —
-/// where a session that has received `delivered` elements resumes.
-fn position_after_visible(
-    list: &[OrderedElement],
-    delivered: usize,
-    accessible: Option<&[GroupId]>,
-) -> usize {
-    let mut seen = 0usize;
-    for (i, element) in list.iter().enumerate() {
-        if seen == delivered {
-            return i;
-        }
-        if is_visible(element, accessible) {
-            seen += 1;
-        }
-    }
-    list.len()
-}
-
 /// Whether an element is visible to a user restricted to `accessible` groups.
 pub(crate) fn is_visible(element: &OrderedElement, accessible: Option<&[GroupId]>) -> bool {
     is_visible_group(element.group, accessible)
@@ -698,44 +848,6 @@ pub(crate) fn is_visible_group(group: GroupId, accessible: Option<&[GroupId]>) -
         None => true,
         Some(groups) => groups.contains(&group),
     }
-}
-
-/// Scans `list` from physical index `start`, skipping `skip` visible
-/// elements, then collecting up to `count` visible elements.  Returns the
-/// collected elements and the physical index just past the last scanned
-/// element.
-pub(crate) fn scan(
-    list: &[OrderedElement],
-    start: usize,
-    skip: usize,
-    count: usize,
-    accessible: Option<&[GroupId]>,
-) -> (Vec<OrderedElement>, usize) {
-    let mut elements = Vec::with_capacity(count.min(list.len().saturating_sub(start)));
-    let mut skipped = 0usize;
-    let mut next = list.len().max(start);
-    for (i, element) in list.iter().enumerate().skip(start) {
-        if !is_visible(element, accessible) {
-            continue;
-        }
-        if skipped < skip {
-            skipped += 1;
-            continue;
-        }
-        elements.push(element.clone());
-        if elements.len() == count {
-            next = i + 1;
-            break;
-        }
-    }
-    (elements, next)
-}
-
-/// The TRS insertion position: after every element with a strictly larger
-/// TRS, before equal ones (the binary search of Section 5, identical to
-/// `OrderedIndex::insert_sealed`).
-pub(crate) fn insertion_point(list: &[OrderedElement], trs: f64) -> usize {
-    list.partition_point(|e| e.trs > trs)
 }
 
 #[cfg(test)]
@@ -772,9 +884,9 @@ mod tests {
 
     #[test]
     fn scan_skips_visible_elements_only() {
-        let l = list();
+        let l = VecList::from_elements(list());
         let only_g0 = [GroupId(0)];
-        let (elements, next) = scan(&l, 0, 1, 1, Some(&only_g0));
+        let (elements, next) = l.scan(0, 1, 1, Some(&only_g0));
         // Skips the first group-0 element (0.9), returns the second (0.7).
         assert_eq!(elements.len(), 1);
         assert!((elements[0].trs - 0.7).abs() < 1e-12);
@@ -783,15 +895,33 @@ mod tests {
 
     #[test]
     fn scan_from_start_resumes_mid_list() {
-        let l = list();
-        let (elements, next) = scan(&l, 2, 0, 2, None);
+        let l = VecList::from_elements(list());
+        let (elements, next) = l.scan(2, 0, 2, None);
         assert_eq!(elements.len(), 2);
         assert!((elements[0].trs - 0.7).abs() < 1e-12);
         assert_eq!(next, 4);
         // Past the end: empty batch, next clamps to the list length.
-        let (rest, end) = scan(&l, next, 0, 10, None);
+        let (rest, end) = l.scan(next, 0, 10, None);
         assert_eq!(rest.len(), 1);
         assert_eq!(end, l.len());
+    }
+
+    #[test]
+    fn arena_layout_round_trips_and_splices_inserts() {
+        let mut l = VecList::from_elements(list());
+        assert_eq!(l.snapshot(), list());
+        assert_eq!(l.ciphertext_bytes(), 5 * 4);
+        // An interior insert splices its ciphertext into the arena and
+        // shifts the spans of everything after it.
+        let e = element(0.65, 1);
+        assert_eq!(l.insert(e.clone()), 3);
+        let mut expected = list();
+        expected.insert(3, e);
+        assert_eq!(l.snapshot(), expected);
+        assert!(l.ordering_ok());
+        assert_eq!(l.ciphertext_bytes(), 6 * 4);
+        // Resident accounting covers exactly the meta vec and the arena.
+        assert!(l.resident_bytes() >= std::mem::size_of::<VecList>() + 6 * 4);
     }
 
     #[test]
@@ -841,24 +971,24 @@ mod tests {
 
     #[test]
     fn position_after_visible_respects_group_filters() {
-        let l = list();
+        let l = VecList::from_elements(list());
         let only_g0 = [GroupId(0)];
         // After 1 delivered group-0 element the session resumes at index 1
         // (the first index past the 0.9 element); after 2, at index 3.
-        assert_eq!(position_after_visible(&l, 0, Some(&only_g0)), 0);
-        assert_eq!(position_after_visible(&l, 1, Some(&only_g0)), 1);
-        assert_eq!(position_after_visible(&l, 2, Some(&only_g0)), 3);
-        assert_eq!(position_after_visible(&l, 3, Some(&only_g0)), 5);
-        assert_eq!(position_after_visible(&l, 99, None), 5);
+        assert_eq!(l.position_after_visible(0, Some(&only_g0)), 0);
+        assert_eq!(l.position_after_visible(1, Some(&only_g0)), 1);
+        assert_eq!(l.position_after_visible(2, Some(&only_g0)), 3);
+        assert_eq!(l.position_after_visible(3, Some(&only_g0)), 5);
+        assert_eq!(l.position_after_visible(99, None), 5);
     }
 
     #[test]
     fn insertion_point_is_stable_for_ties() {
-        let l = list();
         // Equal TRS inserts before the existing element.
-        assert_eq!(insertion_point(&l, 0.7), 2);
-        assert_eq!(insertion_point(&l, 0.95), 0);
-        assert_eq!(insertion_point(&l, 0.1), 5);
+        for (trs, want) in [(0.7, 2), (0.95, 0), (0.1, 5)] {
+            let mut l = VecList::from_elements(list());
+            assert_eq!(l.insert(element(trs, 0)), want, "trs {trs}");
+        }
     }
 
     #[test]

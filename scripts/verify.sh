@@ -17,7 +17,7 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> cargo test --release (concurrency + cross-engine equivalence)"
+echo "==> cargo test --release (concurrency + cross-engine + batched-vs-sequential equivalence)"
 cargo test --release --test concurrent_server --test store_equivalence
 
 echo "==> cargo bench --no-run"

@@ -11,6 +11,7 @@
 
 use proptest::prelude::*;
 use zerber_suite::corpus::{GroupId, TermId};
+use zerber_suite::protocol::{AccessControl, AuthToken, IndexServer, QueryRequest};
 use zerber_suite::store::{
     CursorId, ListStore, RangedFetch, SegmentConfig, SegmentStore, ShardedStore, SingleMutexStore,
 };
@@ -93,6 +94,25 @@ fn engines(lists: &[Vec<OrderedElement>]) -> (SingleMutexStore, ShardedStore, Se
             },
         ),
     )
+}
+
+/// Index servers over the three engines, sharing one user directory with
+/// deliberately different group views per user (so a cross-user round mixes
+/// visibility filters): `user-0` sees everything, `user-3` nothing, and
+/// `user-4` is never registered.
+fn servers(lists: &[Vec<OrderedElement>]) -> Vec<IndexServer> {
+    let (single, sharded, segmented) = engines(lists);
+    let mut acl = AccessControl::new(b"batch-oracle");
+    acl.register_user("user-0", &[GroupId(0), GroupId(1), GroupId(2), GroupId(3)]);
+    acl.register_user("user-1", &[GroupId(0), GroupId(1)]);
+    acl.register_user("user-2", &[GroupId(2)]);
+    acl.register_user("user-3", &[]);
+    let stores: [Box<dyn ListStore>; 3] =
+        [Box::new(single), Box::new(sharded), Box::new(segmented)];
+    stores
+        .into_iter()
+        .map(|store| IndexServer::with_store(store, acl.clone()))
+        .collect()
 }
 
 /// A session as each engine sees it: the engine-local cursor id plus the
@@ -242,5 +262,83 @@ proptest! {
         prop_assert_eq!(single.ciphertext_bytes(), segmented.ciphertext_bytes());
         prop_assert_eq!(single.open_cursors(), sharded.open_cursors());
         prop_assert_eq!(single.open_cursors(), segmented.open_cursors());
+    }
+
+    /// The batched-vs-sequential oracle: any `handle_query_stream` round —
+    /// requests from many users with different group views, unknown users,
+    /// forged tokens, stale cursors and unknown lists mixed in — must answer
+    /// element-for-element identically to the same requests issued one at a
+    /// time through `handle_query`, across all three engines.  A failing
+    /// request (denied user, unknown list) degrades alone; the rest of the
+    /// batch stays correct.
+    #[test]
+    fn stream_batches_equal_sequential_queries_across_engines(
+        lists in proptest::collection::vec(
+            proptest::collection::vec(
+                (trs_strategy(), 0..NUM_GROUPS, proptest::collection::vec(any::<u8>(), 0..10)),
+                0..40,
+            ).prop_map(sorted),
+            1..4,
+        ),
+        reqs in proptest::collection::vec(
+            // (user incl. one unknown, list incl. unknown ids, offset,
+            //  count, stale cursor?, forged token?)
+            (0usize..5, 0u64..5, 0u64..30, 1u32..8, any::<bool>(), any::<bool>()),
+            1..40,
+        ),
+    ) {
+        let servers = servers(&lists);
+        let mut per_engine: Vec<Vec<_>> = Vec::with_capacity(servers.len());
+        for server in &servers {
+            let round: Vec<(QueryRequest, AuthToken)> = reqs
+                .iter()
+                .map(|&(u, list, offset, count, stale, forged)| {
+                    let user = format!("user-{u}");
+                    let token = if forged {
+                        AuthToken([7u8; 32])
+                    } else {
+                        server.acl().issue_token(&user)
+                    };
+                    let request = QueryRequest {
+                        user,
+                        list,
+                        offset,
+                        // A cursor id no engine ever issued: the batch must
+                        // fall back to the stateless offset scan for this
+                        // request, exactly like the sequential path.
+                        cursor: if stale { 0x0bad_c0de << 8 } else { 0 },
+                        count,
+                        k: count,
+                    };
+                    (request, token)
+                })
+                .collect();
+            let batched = server.handle_query_stream(&round);
+            prop_assert_eq!(batched.len(), round.len());
+            for ((request, token), batch_result) in round.iter().zip(&batched) {
+                let sequential = server.handle_query(request, token);
+                match (batch_result, &sequential) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(&a.elements, &b.elements);
+                        prop_assert_eq!(a.visible_total, b.visible_total);
+                    }
+                    (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                    _ => prop_assert!(
+                        false,
+                        "batched and sequential disagree on outcome for {:?}",
+                        request
+                    ),
+                }
+            }
+            per_engine.push(
+                batched
+                    .into_iter()
+                    .map(|r| r.map(|resp| (resp.elements, resp.visible_total)))
+                    .collect(),
+            );
+        }
+        // And the three engines agree with each other, request for request.
+        prop_assert_eq!(&per_engine[0], &per_engine[1]);
+        prop_assert_eq!(&per_engine[0], &per_engine[2]);
     }
 }
