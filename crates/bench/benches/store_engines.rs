@@ -1,18 +1,22 @@
 //! Storage-engine comparison: resident memory and serving throughput of the
-//! compressed `SegmentStore` versus the plain-`Vec` `ShardedStore` on a
-//! fig10-style (query-log-weighted) workload.
+//! compressed `SegmentStore` and the on-disk `SpillStore` versus the
+//! plain-`Vec` `ShardedStore` on a fig10-style (query-log-weighted)
+//! workload.
 //!
 //! Besides the criterion timings, the bench writes a machine-readable
 //! `BENCH_store_engines.json` to the repository root recording, per engine,
-//! the resident bytes of the physical index representation and the measured
-//! queries/sec per thread count, plus the segment/sharded ratios the
-//! acceptance targets read: resident bytes <= 75% of the arena `Vec` layout
-//! (the fair baseline: one ciphertext arena per list, no per-element heap
-//! allocation) at queries/sec within 0.8x of `ShardedStore`.
+//! the resident bytes of the physical index representation (plus the spill
+//! engine's on-disk bytes and page-fault counters) and the measured
+//! queries/sec per thread count, with the ratios the acceptance targets
+//! read: segment resident <= 75% of the arena `Vec` layout, spill resident
+//! <= 50% of the segment engine at the stated q/s ratio, and
+//! `spilled + resident ~ segment resident` (the same encoded pages, cold
+//! ones on disk).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use zerber_corpus::DatasetProfile;
 use zerber_protocol::{drive_raw_queries, IndexServer, LoadConfig, StoreEngine};
+use zerber_store::{SegmentConfig, SpillConfig};
 use zerber_workload::{QueryLogConfig, TestBed, TestBedConfig};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
@@ -34,6 +38,23 @@ fn load(threads: usize) -> LoadConfig {
         queries_per_thread: TOTAL_QUERIES / threads,
         k: 10,
     }
+}
+
+/// The spill tuning of the bench: spill every sealed segment (budget 0),
+/// small segments so a list's hot head is one page, and a page cache sized
+/// to hold the workload's hot pages after warm-up.
+fn spill_tuning() -> (SpillConfig, SegmentConfig) {
+    (
+        SpillConfig {
+            resident_budget_bytes: 0,
+            page_cache_pages: 48,
+        },
+        SegmentConfig {
+            block_len: 64,
+            max_segment_elems: 256,
+            ..SegmentConfig::default()
+        },
+    )
 }
 
 /// The fig10-style query workload: merged lists of the query-log's most
@@ -72,15 +93,34 @@ struct EnginePoint {
     queries_per_second: f64,
 }
 
+struct SpillFootprint {
+    resident_bytes: usize,
+    spilled_bytes: usize,
+    page_faults: u64,
+    page_evictions: u64,
+}
+
 fn bench_store_engines(c: &mut Criterion) {
     let bed = bed();
     let users = TestBed::server_users(USERS);
     let sharded = bed.build_engine_server(StoreEngine::Sharded, SHARDS, USERS);
     let segment = bed.build_engine_server(StoreEngine::Segment, SHARDS, USERS);
+    let (spill_config, spill_segment) = spill_tuning();
+    let spill = bed.build_tuned_spill_server(SHARDS, USERS, spill_config, spill_segment);
     let lists = workload_lists(&bed);
 
     let sharded_resident = sharded.store().resident_bytes();
     let segment_resident = segment.store().resident_bytes();
+
+    // Warm the spill engine's page cache with one run, then freeze the
+    // steady-state footprint the acceptance ratio reads.
+    measure(&spill, &users, &lists, 1);
+    let spill_footprint = SpillFootprint {
+        resident_bytes: spill.store().resident_bytes(),
+        spilled_bytes: spill.store().spilled_bytes(),
+        page_faults: spill.store().page_faults(),
+        page_evictions: spill.store().page_evictions(),
+    };
 
     let mut group = c.benchmark_group("store_engines");
     group.sample_size(5);
@@ -96,6 +136,11 @@ fn bench_store_engines(c: &mut Criterion) {
             &threads,
             |b, &threads| b.iter(|| measure(&segment, &users, &lists, threads)),
         );
+        group.bench_with_input(
+            BenchmarkId::new("spill", threads),
+            &threads,
+            |b, &threads| b.iter(|| measure(&spill, &users, &lists, threads)),
+        );
         points.push(EnginePoint {
             engine: "sharded_vec",
             threads,
@@ -106,6 +151,11 @@ fn bench_store_engines(c: &mut Criterion) {
             threads,
             queries_per_second: measure(&segment, &users, &lists, threads),
         });
+        points.push(EnginePoint {
+            engine: "spill",
+            threads,
+            queries_per_second: measure(&spill, &users, &lists, threads),
+        });
     }
     group.finish();
 
@@ -113,6 +163,7 @@ fn bench_store_engines(c: &mut Criterion) {
         &points,
         sharded_resident,
         segment_resident,
+        &spill_footprint,
         sharded.stored_bytes(),
         sharded.num_elements(),
         lists.len(),
@@ -123,6 +174,7 @@ fn write_report(
     points: &[EnginePoint],
     sharded_resident: usize,
     segment_resident: usize,
+    spill: &SpillFootprint,
     stored_bytes: usize,
     elements: usize,
     workload_lists: usize,
@@ -147,13 +199,12 @@ fn write_report(
                     .map(|p| p.queries_per_second)
                     .unwrap_or(0.0)
             };
-            let sharded = of("sharded_vec");
-            let ratio = if sharded > 0.0 {
-                of("segment") / sharded
-            } else {
-                0.0
-            };
-            format!("{{\"threads\":{t},\"segment_over_sharded\":{ratio:.3}}}")
+            let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+            format!(
+                "{{\"threads\":{t},\"segment_over_sharded\":{:.3},\"spill_over_segment\":{:.3}}}",
+                ratio(of("segment"), of("sharded_vec")),
+                ratio(of("spill"), of("segment")),
+            )
         })
         .collect::<Vec<_>>()
         .join(",");
@@ -163,12 +214,20 @@ fn write_report(
          \"hardware_threads\": {},\n  \"elements\": {elements},\n  \
          \"stored_bytes_logical\": {stored_bytes},\n  \
          \"resident_bytes\": {{\"sharded_vec\": {sharded_resident}, \"segment\": {segment_resident}, \
-         \"segment_over_sharded\": {:.3}}},\n  \"points\": [{points_json}],\n  \
-         \"qps_ratio\": [{qps_ratio}]\n}}\n",
+         \"spill\": {}, \"segment_over_sharded\": {:.3}, \"spill_over_segment\": {:.3}}},\n  \
+         \"spill\": {{\"spilled_bytes\": {}, \"page_faults\": {}, \"page_evictions\": {}, \
+         \"resident_plus_spilled_over_segment_resident\": {:.3}}},\n  \
+         \"points\": [{points_json}],\n  \"qps_ratio\": [{qps_ratio}]\n}}\n",
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
+        spill.resident_bytes,
         segment_resident as f64 / sharded_resident as f64,
+        spill.resident_bytes as f64 / segment_resident as f64,
+        spill.spilled_bytes,
+        spill.page_faults,
+        spill.page_evictions,
+        (spill.resident_bytes + spill.spilled_bytes) as f64 / segment_resident as f64,
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),

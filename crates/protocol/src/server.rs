@@ -38,7 +38,7 @@ use zerber_corpus::GroupId;
 use zerber_r::{OrderedElement, OrderedIndex};
 use zerber_store::{
     CursorId, ListStore, RangedBatch, RangedFetch, SegmentStore, ShardedStore, SingleMutexStore,
-    StoreError, StoreJob,
+    SpillConfig, SpillStore, StoreError, StoreJob,
 };
 
 use crate::acl::{AccessControl, AuthToken};
@@ -71,6 +71,12 @@ pub struct ServerStats {
     /// scheduler authenticates each distinct user once per round, so this
     /// grows by at most #distinct-users per batch instead of per request.
     pub auth_checks: u64,
+    /// Pages the storage engine read back (and re-validated) from disk —
+    /// non-zero only for the spill engine, where it measures how often the
+    /// working set missed the resident budget and page cache.
+    pub page_faults: u64,
+    /// Pages the storage engine's page cache evicted.
+    pub page_evictions: u64,
 }
 
 /// Lock-free counters behind [`ServerStats`]: every worker thread bumps them
@@ -87,10 +93,14 @@ struct AtomicStats {
     /// The store's lock meter at the last [`AtomicStats::reset`]; snapshots
     /// report the delta so `reset_stats` zeroes the whole struct.
     lock_baseline: AtomicU64,
+    /// The store's page-fault meter at the last reset.
+    fault_baseline: AtomicU64,
+    /// The store's page-eviction meter at the last reset.
+    eviction_baseline: AtomicU64,
 }
 
 impl AtomicStats {
-    fn snapshot(&self, store_locks: u64) -> ServerStats {
+    fn snapshot(&self, store: &dyn ListStore) -> ServerStats {
         ServerStats {
             requests_served: self.requests_served.load(Ordering::Relaxed),
             elements_sent: self.elements_sent.load(Ordering::Relaxed),
@@ -98,13 +108,20 @@ impl AtomicStats {
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             inserts_accepted: self.inserts_accepted.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
-            lock_acquisitions: store_locks
+            lock_acquisitions: store
+                .lock_acquisitions()
                 .saturating_sub(self.lock_baseline.load(Ordering::Relaxed)),
             auth_checks: self.auth_checks.load(Ordering::Relaxed),
+            page_faults: store
+                .page_faults()
+                .saturating_sub(self.fault_baseline.load(Ordering::Relaxed)),
+            page_evictions: store
+                .page_evictions()
+                .saturating_sub(self.eviction_baseline.load(Ordering::Relaxed)),
         }
     }
 
-    fn reset(&self, store_locks: u64) {
+    fn reset(&self, store: &dyn ListStore) {
         self.requests_served.store(0, Ordering::Relaxed);
         self.elements_sent.store(0, Ordering::Relaxed);
         self.bytes_in.store(0, Ordering::Relaxed);
@@ -112,7 +129,12 @@ impl AtomicStats {
         self.inserts_accepted.store(0, Ordering::Relaxed);
         self.batches.store(0, Ordering::Relaxed);
         self.auth_checks.store(0, Ordering::Relaxed);
-        self.lock_baseline.store(store_locks, Ordering::Relaxed);
+        self.lock_baseline
+            .store(store.lock_acquisitions(), Ordering::Relaxed);
+        self.fault_baseline
+            .store(store.page_faults(), Ordering::Relaxed);
+        self.eviction_baseline
+            .store(store.page_evictions(), Ordering::Relaxed);
     }
 
     fn record_query(&self, request: &QueryRequest, response: &QueryResponse) {
@@ -165,6 +187,10 @@ pub enum StoreEngine {
     /// Sharded tables over compressed block-encoded segments with per-block
     /// skip entries (the memory-footprint engine).
     Segment,
+    /// Sharded segment tables whose cold sealed segments spill to per-shard
+    /// page files behind an LRU page cache (the beyond-RAM engine; page
+    /// files live in a fresh temp directory removed when the server drops).
+    Spill,
 }
 
 /// The index server.
@@ -209,24 +235,33 @@ impl IndexServer {
     }
 
     /// Creates a server over the compressed segment engine.
-    pub fn segmented(index: OrderedIndex, acl: AccessControl) -> Self {
-        Self::with_store(Box::new(SegmentStore::new(index)), acl)
+    pub fn segmented(index: OrderedIndex, acl: AccessControl) -> Result<Self, ProtocolError> {
+        let store = SegmentStore::new(index).map_err(map_store_error)?;
+        Ok(Self::with_store(Box::new(store), acl))
     }
 
     /// Creates a server over the selected engine, sharded across
     /// `num_shards` storage shards where the engine supports sharding.
+    /// Fails only when the engine itself cannot be built (a segment payload
+    /// overflow, or the spill engine's page files cannot be created).
     pub fn with_engine(
         index: OrderedIndex,
         acl: AccessControl,
         engine: StoreEngine,
         num_shards: usize,
-    ) -> Self {
+    ) -> Result<Self, ProtocolError> {
         let store: Box<dyn ListStore> = match engine {
             StoreEngine::Sharded => Box::new(ShardedStore::with_shards(index, num_shards)),
             StoreEngine::SingleMutex => Box::new(SingleMutexStore::new(index)),
-            StoreEngine::Segment => Box::new(SegmentStore::with_shards(index, num_shards)),
+            StoreEngine::Segment => {
+                Box::new(SegmentStore::with_shards(index, num_shards).map_err(map_store_error)?)
+            }
+            StoreEngine::Spill => Box::new(
+                SpillStore::in_temp_dir(index, num_shards, SpillConfig::default())
+                    .map_err(map_store_error)?,
+            ),
         };
-        Self::with_store(store, acl)
+        Ok(Self::with_store(store, acl))
     }
 
     /// The storage engine serving this server.
@@ -246,12 +281,12 @@ impl IndexServer {
 
     /// Snapshot of the traffic counters.
     pub fn stats(&self) -> ServerStats {
-        self.stats.snapshot(self.store.lock_acquisitions())
+        self.stats.snapshot(self.store.as_ref())
     }
 
     /// Resets the traffic counters (used between experiment phases).
     pub fn reset_stats(&self) {
-        self.stats.reset(self.store.lock_acquisitions());
+        self.stats.reset(self.store.as_ref());
     }
 
     /// Verifies a token through the ACL, metering the check: the batched
@@ -638,6 +673,10 @@ fn map_store_error(e: StoreError) -> ProtocolError {
         StoreError::CorruptSegment(reason) => {
             ProtocolError::Core(format!("corrupt segment: {reason}"))
         }
+        StoreError::SegmentOverflow => {
+            ProtocolError::Core("segment payload exceeds the u32 offset bound".into())
+        }
+        StoreError::Io(reason) => ProtocolError::Core(format!("spill storage I/O: {reason}")),
     }
 }
 
@@ -913,8 +952,9 @@ mod tests {
             StoreEngine::Sharded,
             StoreEngine::SingleMutex,
             StoreEngine::Segment,
+            StoreEngine::Spill,
         ] {
-            let server = IndexServer::with_engine(index.clone(), acl.clone(), engine, 4);
+            let server = IndexServer::with_engine(index.clone(), acl.clone(), engine, 4).unwrap();
             let list = list_for(&c, &server, "imclone");
             // 64 requests, 4 distinct users, all against one merged list —
             // a single-shard round.

@@ -12,6 +12,12 @@ pub enum StoreError {
     /// A serialized segment failed validation (truncated, bit-flipped or
     /// otherwise inconsistent bytes).
     CorruptSegment(String),
+    /// An encoded payload would exceed the u32 offset space of the segment
+    /// wire format (~4 GiB).  Oversized lists split automatically; this
+    /// error surfaces only when a single element cannot fit at all.
+    SegmentOverflow,
+    /// An operation against the on-disk spill state failed at the I/O layer.
+    Io(String),
 }
 
 impl fmt::Display for StoreError {
@@ -20,6 +26,10 @@ impl fmt::Display for StoreError {
             StoreError::UnknownList(id) => write!(f, "unknown merged posting list {id}"),
             StoreError::UnknownCursor(id) => write!(f, "unknown cursor {id}"),
             StoreError::CorruptSegment(reason) => write!(f, "corrupt segment: {reason}"),
+            StoreError::SegmentOverflow => {
+                write!(f, "segment payload exceeds the u32 offset bound")
+            }
+            StoreError::Io(reason) => write!(f, "spill storage I/O failure: {reason}"),
         }
     }
 }

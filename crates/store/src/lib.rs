@@ -20,6 +20,11 @@
 //!   compressed segment layout of [`segment`]: immutable block-encoded
 //!   segments with per-block skip entries (first/last TRS, element count,
 //!   per-group visible counts) plus a small mutable tail absorbing inserts.
+//! * [`SpillStore`] — the same sharded machinery over the on-disk spill
+//!   layout of [`spill`]: cold sealed segments live in per-shard page files
+//!   (the segment wire format is the page format) behind a byte-budgeted
+//!   LRU page cache, with only summaries, tails and the hot working set
+//!   resident.
 //! * [`SingleMutexStore`] — the pre-sharding architecture (one global mutex),
 //!   kept as the contention baseline for the throughput experiments.
 //!
@@ -32,12 +37,14 @@ pub mod error;
 pub mod segment;
 pub mod sharded;
 pub mod single;
+pub mod spill;
 pub mod store;
 
 pub use error::StoreError;
 pub use segment::{Segment, SegmentConfig, SegmentList};
 pub use sharded::{SegmentStore, ShardedStore, MAX_SHARDS};
 pub use single::SingleMutexStore;
+pub use spill::{SpillConfig, SpillList, SpillStore};
 pub use store::{
     CursorId, ListStore, OrderedList, RangedBatch, RangedFetch, SessionStats, ShardBatchOutput,
     StoreJob, VecList, SESSION_TTL_TICKS,
@@ -90,19 +97,35 @@ mod tests {
         )
     }
 
-    fn segment_store() -> SegmentStore {
-        // Small blocks/tail so the fixture exercises block and segment
+    fn small_segment_config() -> SegmentConfig {
+        // Small blocks/tail so the fixtures exercise block and segment
         // boundaries, sealing and compaction.
-        SegmentStore::with_config(
+        SegmentConfig {
+            block_len: 4,
+            tail_threshold: 3,
+            max_segment_elems: 64,
+            max_segments: 4,
+            max_payload_bytes: u32::MAX as usize,
+        }
+    }
+
+    fn segment_store() -> SegmentStore {
+        SegmentStore::with_config(index(), 4, small_segment_config()).unwrap()
+    }
+
+    fn spill_store() -> SpillStore {
+        // Budget 0: every sealed segment spills; a small page cache keeps
+        // reads honest about faulting.
+        SpillStore::in_temp_dir_with(
             index(),
             4,
-            SegmentConfig {
-                block_len: 4,
-                tail_threshold: 3,
-                max_segment_elems: 64,
-                max_segments: 4,
+            SpillConfig {
+                resident_budget_bytes: 0,
+                page_cache_pages: 4,
             },
+            small_segment_config(),
         )
+        .unwrap()
     }
 
     fn busiest_list(store: &dyn ListStore) -> MergedListId {
@@ -134,6 +157,7 @@ mod tests {
     fn all_stores_serve_identical_ranged_batches() {
         let (sharded, single) = stores();
         let segmented = segment_store();
+        let spilled = spill_store();
         let list = busiest_list(&sharded);
         let groups = [GroupId(0), GroupId(2)];
         for offset in [0usize, 3, 10] {
@@ -145,9 +169,13 @@ mod tests {
             let a = sharded.fetch_ranged(&fetch, Some(&groups)).unwrap();
             let b = single.fetch_ranged(&fetch, Some(&groups)).unwrap();
             let c = segmented.fetch_ranged(&fetch, Some(&groups)).unwrap();
+            let d = spilled.fetch_ranged(&fetch, Some(&groups)).unwrap();
             assert_eq!(a, b);
             assert_eq!(a, c);
+            assert_eq!(a, d);
         }
+        // The spill engine served from disk: cold pages were faulted in.
+        assert!(spilled.page_faults() > 0);
     }
 
     #[test]
@@ -480,11 +508,13 @@ mod tests {
     fn unknown_lists_error_on_every_accessor() {
         let (sharded, single) = stores();
         let segmented = segment_store();
+        let spilled = spill_store();
         let bad = MergedListId(10_000_000);
         for store in [
             &sharded as &dyn ListStore,
             &single as &dyn ListStore,
             &segmented as &dyn ListStore,
+            &spilled as &dyn ListStore,
         ] {
             assert!(store.list_len(bad).is_err());
             assert!(store.visible_len(bad, None).is_err());
@@ -531,5 +561,99 @@ mod tests {
         assert_eq!(sharded.ciphertext_bytes(), single.ciphertext_bytes());
         assert_eq!(sharded.num_lists(), single.num_lists());
         assert_eq!(single.num_shards(), 1);
+        // The in-memory engines never spill or fault.
+        assert_eq!(sharded.spilled_bytes(), 0);
+        assert_eq!(sharded.page_faults(), 0);
+        assert_eq!(sharded.page_evictions(), 0);
+    }
+
+    #[test]
+    fn spill_store_moves_cold_bytes_to_disk_and_keeps_answers_identical() {
+        let (sharded, _) = stores();
+        let segmented = segment_store();
+        let spilled = spill_store();
+        // Logical accounting is engine-independent.
+        assert_eq!(spilled.num_elements(), sharded.num_elements());
+        assert_eq!(spilled.stored_bytes(), sharded.stored_bytes());
+        assert_eq!(spilled.ciphertext_bytes(), sharded.ciphertext_bytes());
+        for l in 0..sharded.num_lists() as u64 {
+            let id = MergedListId(l);
+            assert_eq!(
+                sharded.snapshot_list(id).unwrap(),
+                spilled.snapshot_list(id).unwrap()
+            );
+            assert_eq!(
+                sharded.visible_len(id, Some(&[GroupId(1)])).unwrap(),
+                spilled.visible_len(id, Some(&[GroupId(1)])).unwrap()
+            );
+        }
+        assert!(spilled.verify_ordering());
+        // With a zero resident budget, the sealed payload lives on disk:
+        // spilled bytes are substantial and the resident footprint sits well
+        // under the fully in-memory segment engine (summaries + tails +
+        // whatever the small page cache holds).
+        assert!(spilled.spilled_bytes() > 0);
+        assert!(
+            spilled.resident_bytes() < segmented.resident_bytes(),
+            "resident {} vs segment {}",
+            spilled.resident_bytes(),
+            segmented.resident_bytes()
+        );
+        // The snapshot audit above faulted pages through the cache.
+        assert!(spilled.page_faults() > 0);
+    }
+
+    #[test]
+    fn spill_store_cleans_its_page_files_up_on_drop() {
+        let spilled = spill_store();
+        let paths = spilled.page_file_paths();
+        assert!(!paths.is_empty());
+        for path in &paths {
+            assert!(path.exists(), "page file {} must exist", path.display());
+        }
+        let dir = paths[0].parent().unwrap().to_path_buf();
+        drop(spilled);
+        for path in &paths {
+            assert!(!path.exists(), "stray page file {}", path.display());
+        }
+        assert!(!dir.exists(), "stray spill dir {}", dir.display());
+    }
+
+    #[test]
+    fn read_only_cursor_traffic_sweeps_idle_sessions() {
+        // Regression: TTL expiry used to run only on session-table writes,
+        // so a read-heavy workload with stable cursors never reclaimed idle
+        // sessions.  Cursor advances now upgrade to a sweep once per TTL
+        // window.
+        let (sharded, _) = stores();
+        let list = busiest_list(&sharded);
+        let head = sharded
+            .fetch_ranged(
+                &RangedFetch {
+                    list,
+                    offset: 0,
+                    count: 1,
+                },
+                None,
+            )
+            .unwrap();
+        let idle = sharded.open_cursor(list, 1, &head, 1, None).unwrap();
+        let active = sharded.open_cursor(list, 2, &head, 1, None).unwrap();
+        assert_eq!(sharded.open_cursors(), 2);
+        // Only cursor advances from here on — no fetches, no opens, no
+        // inserts.  The active session's follow-ups tick the logical clock
+        // past the TTL; the idle session must be reclaimed by the read-path
+        // sweep.
+        for _ in 0..=(SESSION_TTL_TICKS + 1) {
+            sharded.cursor_fetch(active, 2, 1, None).unwrap();
+        }
+        let stats = sharded.session_stats();
+        assert_eq!(stats.ttl_evictions, 1, "idle session must expire");
+        assert_eq!(stats.open, 1);
+        assert!(matches!(
+            sharded.cursor_fetch(idle, 1, 1, None),
+            Err(StoreError::UnknownCursor(_))
+        ));
+        assert!(sharded.cursor_fetch(active, 2, 1, None).is_ok());
     }
 }

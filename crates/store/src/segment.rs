@@ -64,6 +64,11 @@ pub struct SegmentConfig {
     pub max_segment_elems: usize,
     /// Compaction runs while the stack is deeper than this.
     pub max_segments: usize,
+    /// Upper bound on one segment's encoded payload in bytes (clamped to
+    /// the u32 offset space of the wire format).  Oversized encodes split
+    /// the segment instead of panicking; tests inject small bounds to
+    /// exercise the near-overflow paths without 4 GiB payloads.
+    pub max_payload_bytes: usize,
 }
 
 impl Default for SegmentConfig {
@@ -76,7 +81,24 @@ impl Default for SegmentConfig {
             tail_threshold: 128,
             max_segment_elems: 4096,
             max_segments: 8,
+            max_payload_bytes: u32::MAX as usize,
         }
+    }
+}
+
+impl SegmentConfig {
+    /// The effective payload bound: the configured maximum, never beyond
+    /// what u32 block offsets can address.
+    pub(crate) fn payload_bound(&self) -> usize {
+        self.max_payload_bytes.min(u32::MAX as usize)
+    }
+
+    /// Conservative ceiling on the encoded size of one element (ciphertext
+    /// plus varint headers and group tags).  An element whose ceiling
+    /// exceeds the payload bound cannot be stored at any split granularity
+    /// and is rejected upfront with [`StoreError::SegmentOverflow`].
+    pub(crate) fn element_fits(&self, element: &OrderedElement) -> bool {
+        element.sealed.ciphertext.len().saturating_add(64) <= self.payload_bound()
     }
 }
 
@@ -136,8 +158,10 @@ fn corrupt(reason: impl std::fmt::Display) -> StoreError {
 /// Encodes one block of ordered elements onto `out`, returning its skip
 /// entry.  The chunk must be non-empty and descending in TRS (the list
 /// invariant every engine maintains).  The first element's TRS lives only in
-/// the skip entry; the payload carries deltas from it.
-fn encode_block(chunk: &[OrderedElement], out: &mut Vec<u8>) -> BlockMeta {
+/// the skip entry; the payload carries deltas from it.  Fails with
+/// [`StoreError::SegmentOverflow`] — instead of panicking — if the block
+/// would push the payload past the u32 offset space.
+fn encode_block(chunk: &[OrderedElement], out: &mut Vec<u8>) -> Result<BlockMeta, StoreError> {
     let offset = out.len();
     let uniform = chunk
         .iter()
@@ -194,17 +218,17 @@ fn encode_block(chunk: &[OrderedElement], out: &mut Vec<u8>) -> BlockMeta {
         }
     }
     counts.sort_by_key(|&(g, _)| g.0);
-    BlockMeta {
-        // Fail loudly instead of wrapping if a segment payload ever exceeds
-        // the u32 offset space (would need ~4 GiB of ciphertext per
-        // segment; max_segment_elems bounds elements, not bytes).
-        offset: u32::try_from(offset).expect("segment payload exceeds u32 offsets"),
-        byte_len: u32::try_from(out.len() - offset).expect("segment block exceeds u32 length"),
+    // A payload past the u32 offset space (~4 GiB of ciphertext per
+    // segment; max_segment_elems bounds elements, not bytes) degrades to an
+    // error the caller answers with a segment split, never a panic.
+    Ok(BlockMeta {
+        offset: u32::try_from(offset).map_err(|_| StoreError::SegmentOverflow)?,
+        byte_len: u32::try_from(out.len() - offset).map_err(|_| StoreError::SegmentOverflow)?,
         elems: chunk.len() as u32,
         first,
         last: prev,
         counts: counts.into_boxed_slice(),
-    }
+    })
 }
 
 /// One element parsed from a block, borrowing its ciphertext from the
@@ -374,17 +398,28 @@ fn decode_block_checked(
 
 impl Segment {
     /// Encodes a non-empty TRS-descending slice into a segment of
-    /// `block_len`-element blocks.
-    pub(crate) fn from_elements(elements: &[OrderedElement], block_len: usize) -> Segment {
+    /// `block_len`-element blocks.  Fails with
+    /// [`StoreError::SegmentOverflow`] if the encoded payload would exceed
+    /// `max_payload` bytes (or the u32 offset space) — callers split the
+    /// slice and retry instead of crashing.
+    pub(crate) fn from_elements(
+        elements: &[OrderedElement],
+        block_len: usize,
+        max_payload: usize,
+    ) -> Result<Segment, StoreError> {
         debug_assert!(!elements.is_empty(), "segments are never empty");
+        let max_payload = max_payload.min(u32::MAX as usize);
         let mut payload = Vec::new();
         let mut blocks = Vec::with_capacity(elements.len().div_ceil(block_len.max(1)));
         for chunk in elements.chunks(block_len.max(1)) {
-            blocks.push(encode_block(chunk, &mut payload));
+            blocks.push(encode_block(chunk, &mut payload)?);
+            if payload.len() > max_payload {
+                return Err(StoreError::SegmentOverflow);
+            }
         }
         // Sealed segments are immutable: give the growth slack back.
         payload.shrink_to_fit();
-        Segment {
+        Ok(Segment {
             payload,
             blocks,
             elems: elements.len(),
@@ -393,7 +428,7 @@ impl Segment {
                 .map(|e| e.sealed.stored_bytes() + TRS_BYTES)
                 .sum(),
             ciphertext_bytes: elements.iter().map(|e| e.sealed.ciphertext.len()).sum(),
-        }
+        })
     }
 
     /// Number of elements held.
@@ -407,11 +442,174 @@ impl Segment {
     }
 
     /// The smallest TRS in the segment (its last element).
-    fn min_trs(&self) -> f64 {
+    pub(crate) fn min_trs(&self) -> f64 {
         self.blocks
             .last()
             .expect("segments are never empty")
             .last_trs()
+    }
+
+    /// Encoded payload length in bytes (compaction's byte-bound check).
+    pub(crate) fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Sortable bits of the last (smallest) TRS held.
+    pub(crate) fn last_bits(&self) -> u64 {
+        self.blocks.last().expect("segments are never empty").last
+    }
+
+    /// Logical stored bytes (sealed payloads + TRS) of the elements held.
+    pub(crate) fn stored_bytes(&self) -> usize {
+        self.stored_bytes
+    }
+
+    /// Ciphertext bytes across the elements held.
+    pub(crate) fn ciphertext_bytes(&self) -> usize {
+        self.ciphertext_bytes
+    }
+
+    /// Per-group element counts aggregated over the segment's blocks,
+    /// sorted by group id — the summary a spilled segment leaves behind so
+    /// visibility accounting never has to fault the page back in.
+    pub(crate) fn group_counts(&self) -> Vec<(GroupId, u32)> {
+        let mut counts: Vec<(GroupId, u32)> = Vec::new();
+        for meta in &self.blocks {
+            for &(group, n) in meta.counts.iter() {
+                match counts.iter_mut().find(|(g, _)| *g == group) {
+                    Some((_, total)) => *total += n,
+                    None => counts.push((group, n)),
+                }
+            }
+        }
+        counts.sort_by_key(|&(g, _)| g.0);
+        counts
+    }
+
+    /// Scans this segment's slice of the logical list.  `seg_base` is the
+    /// global physical index of the segment's first element; `skipped`
+    /// carries the visible-skip state across segments.  Visible elements
+    /// past the skip are appended to `out`; once `out` holds `count`
+    /// elements the global next-physical index is returned and the scan
+    /// stops.  Shared by the in-memory segment layout and the on-disk spill
+    /// layout so both serve bit-identical batches.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn scan_part(
+        &self,
+        seg_base: usize,
+        start: usize,
+        skip: usize,
+        skipped: &mut usize,
+        count: usize,
+        out: &mut Vec<OrderedElement>,
+        accessible: Option<&[GroupId]>,
+    ) -> Option<usize> {
+        let mut pos = seg_base;
+        for (bi, meta) in self.blocks.iter().enumerate() {
+            let block_end = pos + meta.elems as usize;
+            if block_end <= start {
+                pos = block_end;
+                continue;
+            }
+            // Wholesale visible-skip: the block lies fully past `start`
+            // and every visible element in it would be skipped anyway.
+            if pos >= start && *skipped < skip {
+                let visible = meta.visible_under(accessible);
+                if *skipped + visible <= skip {
+                    *skipped += visible;
+                    pos = block_end;
+                    continue;
+                }
+            }
+            // Stream the block: skipped or invisible elements are parsed
+            // without materializing their ciphertext, and the read stops
+            // as soon as the batch is full.
+            let mut reader = self.block_reader(bi);
+            for j in 0..meta.elems as usize {
+                let raw = reader.next_trusted();
+                let idx = pos + j;
+                if idx < start || !is_visible_group(raw.group, accessible) {
+                    continue;
+                }
+                if *skipped < skip {
+                    *skipped += 1;
+                    continue;
+                }
+                out.push(raw.materialize());
+                if out.len() == count {
+                    return Some(idx + 1);
+                }
+            }
+            pos = block_end;
+        }
+        None
+    }
+
+    /// Resolves the resume position inside this segment for a session that
+    /// still has `remaining` visible elements to account for.  Returns the
+    /// global physical index when the boundary falls inside the segment;
+    /// `None` (with `remaining` decremented) when it lies further down.
+    pub(crate) fn position_part(
+        &self,
+        seg_base: usize,
+        remaining: &mut usize,
+        accessible: Option<&[GroupId]>,
+    ) -> Option<usize> {
+        let mut pos = seg_base;
+        for (bi, meta) in self.blocks.iter().enumerate() {
+            if *remaining == 0 {
+                return Some(pos);
+            }
+            let visible = meta.visible_under(accessible);
+            if visible < *remaining {
+                *remaining -= visible;
+                pos += meta.elems as usize;
+                continue;
+            }
+            // The boundary falls inside this block: stream just it,
+            // materializing nothing.
+            let mut reader = self.block_reader(bi);
+            for j in 0..meta.elems as usize {
+                if *remaining == 0 {
+                    return Some(pos + j);
+                }
+                if is_visible_group(reader.next_trusted().group, accessible) {
+                    *remaining -= 1;
+                }
+            }
+            pos += meta.elems as usize;
+        }
+        None
+    }
+
+    /// The local insertion index for `trs` inside this segment (after
+    /// strictly greater elements, before equal ones).  The caller has
+    /// already established that the partition point lies in this segment
+    /// (`min_trs() <= trs`).
+    pub(crate) fn insert_pos(&self, trs: f64) -> usize {
+        // Locate the first block whose smallest element no longer exceeds
+        // `trs`, then stream just that block.
+        let mut local = 0usize;
+        let mut block = 0usize;
+        for (bi, meta) in self.blocks.iter().enumerate() {
+            if meta.last_trs() > trs {
+                local += meta.elems as usize;
+            } else {
+                block = bi;
+                break;
+            }
+        }
+        let block_elems = self.blocks[block].elems;
+        let mut reader = self.block_reader(block);
+        let mut in_block = 0usize;
+        for _ in 0..block_elems {
+            if reader.next_trusted().trs > trs {
+                in_block += 1;
+            } else {
+                break;
+            }
+        }
+        local + in_block
     }
 
     /// A streaming reader over block `index` (internal, trusted path: the
@@ -442,25 +640,35 @@ impl Segment {
     }
 
     /// Appends another segment (the positionally next one) onto this one:
-    /// pure block concatenation, no re-encode.
-    fn absorb(&mut self, other: Segment) {
-        let shift = u32::try_from(self.payload.len()).expect("segment payload exceeds u32 offsets");
+    /// pure block concatenation, no re-encode.  Refuses — before mutating
+    /// anything, handing `other` back untouched — a merge whose combined
+    /// payload would overflow the u32 offset space; compaction keeps the
+    /// pair separate instead of panicking.
+    pub(crate) fn absorb(&mut self, other: Segment) -> Result<(), Segment> {
+        if self
+            .payload
+            .len()
+            .checked_add(other.payload.len())
+            .is_none_or(|total| total > u32::MAX as usize)
+        {
+            return Err(other);
+        }
+        // In the u32 range by the check above.
+        let shift = self.payload.len() as u32;
         self.payload.extend_from_slice(&other.payload);
         self.payload.shrink_to_fit();
         self.blocks.extend(other.blocks.into_iter().map(|mut b| {
-            b.offset = b
-                .offset
-                .checked_add(shift)
-                .expect("segment payload exceeds u32 offsets");
+            b.offset += shift;
             b
         }));
         self.elems += other.elems;
         self.stored_bytes += other.stored_bytes;
         self.ciphertext_bytes += other.ciphertext_bytes;
+        Ok(())
     }
 
     /// Estimated resident memory of the segment.
-    fn resident_bytes(&self) -> usize {
+    pub(crate) fn resident_bytes(&self) -> usize {
         std::mem::size_of::<Segment>()
             + self.payload.capacity()
             + self.blocks.capacity() * std::mem::size_of::<BlockMeta>()
@@ -508,6 +716,12 @@ impl Segment {
         }
         let (total_elems, pos) = read_varint(buf, pos).map_err(corrupt)?;
         let (num_blocks, mut pos) = read_varint(buf, pos).map_err(corrupt)?;
+        // The encoder never produces more elements than u32 block offsets
+        // can index; a larger claim is corrupt, and capping here keeps the
+        // `as usize` conversions below lossless on every platform.
+        if total_elems > u64::from(u32::MAX) {
+            return Err(corrupt("implausible total element count"));
+        }
         // Every block header takes at least 6 bytes.
         if num_blocks as usize > buf.len() / 6 + 1 {
             return Err(corrupt("implausible block count"));
@@ -620,22 +834,80 @@ pub struct SegmentList {
     seg_elems: usize,
 }
 
+/// Encodes a TRS-descending chunk into one or more segments, splitting in
+/// half whenever the encoded payload would exceed the configured bound.  A
+/// single element that cannot fit at any granularity surfaces as
+/// [`StoreError::SegmentOverflow`] — the caller degrades instead of the
+/// server crashing on a ~4 GiB list.
+pub(crate) fn encode_chunk_split(
+    chunk: &[OrderedElement],
+    config: &SegmentConfig,
+    out: &mut Vec<Segment>,
+) -> Result<(), StoreError> {
+    if chunk.is_empty() {
+        return Ok(());
+    }
+    match Segment::from_elements(chunk, config.block_len, config.payload_bound()) {
+        Ok(segment) => {
+            out.push(segment);
+            Ok(())
+        }
+        Err(StoreError::SegmentOverflow) if chunk.len() > 1 => {
+            let mid = chunk.len() / 2;
+            encode_chunk_split(&chunk[..mid], config, out)?;
+            encode_chunk_split(&chunk[mid..], config, out)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Encodes a full ordered list into a segment stack respecting both the
+/// element and payload bounds of `config`.
+pub(crate) fn encode_segments(
+    elements: &[OrderedElement],
+    config: &SegmentConfig,
+) -> Result<Vec<Segment>, StoreError> {
+    let mut out = Vec::new();
+    for chunk in elements.chunks(config.max_segment_elems.max(1)) {
+        encode_chunk_split(chunk, config, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Re-encodes one rebuilt (post-insert) segment's elements, splitting in
+/// half when the element bound is exceeded so rebuild cost stays bounded as
+/// a list grows through its interior.  Shared by the in-memory segment
+/// layout and the on-disk spill layout so their split policy cannot
+/// diverge.
+pub(crate) fn encode_rebuilt(
+    decoded: &[OrderedElement],
+    config: &SegmentConfig,
+) -> Result<Vec<Segment>, StoreError> {
+    let mut rebuilt = Vec::new();
+    if decoded.len() > config.max_segment_elems {
+        let mid = decoded.len() / 2;
+        encode_chunk_split(&decoded[..mid], config, &mut rebuilt)?;
+        encode_chunk_split(&decoded[mid..], config, &mut rebuilt)?;
+    } else {
+        encode_chunk_split(decoded, config, &mut rebuilt)?;
+    }
+    Ok(rebuilt)
+}
+
 impl SegmentList {
     /// Builds the list with an explicit configuration.
-    pub fn with_config(elements: Vec<OrderedElement>, config: SegmentConfig) -> Self {
-        let mut segments = Vec::new();
+    pub fn with_config(
+        elements: Vec<OrderedElement>,
+        config: SegmentConfig,
+    ) -> Result<Self, StoreError> {
         let seg_elems = elements.len();
-        for chunk in elements.chunks(config.max_segment_elems.max(1)) {
-            if !chunk.is_empty() {
-                segments.push(Segment::from_elements(chunk, config.block_len));
-            }
-        }
-        SegmentList {
+        let segments = encode_segments(&elements, &config)?;
+        Ok(SegmentList {
             segments,
             tail: Vec::new(),
             config,
             seg_elems,
-        }
+        })
     }
 
     /// Current number of sealed segments (tests and size reports).
@@ -648,28 +920,36 @@ impl SegmentList {
         self.tail.len()
     }
 
-    /// Seals the tail into a new segment and compacts the stack.
-    fn seal_tail(&mut self) {
+    /// Seals the tail into new segment(s) and compacts the stack.  The tail
+    /// is only cleared once every segment encoded, so a failed seal leaves
+    /// the list untouched.
+    fn seal_tail(&mut self) -> Result<(), StoreError> {
         if self.tail.is_empty() {
-            return;
+            return Ok(());
         }
-        self.segments
-            .push(Segment::from_elements(&self.tail, self.config.block_len));
+        let mut sealed = Vec::new();
+        encode_chunk_split(&self.tail, &self.config, &mut sealed)?;
         self.seg_elems += self.tail.len();
+        self.segments.extend(sealed);
         self.tail.clear();
         self.compact();
+        Ok(())
     }
 
     /// Insert-amortized compaction: while the stack is deeper than
     /// `max_segments`, merge the adjacent pair with the smallest combined
     /// size (pure block concatenation), as long as the merged segment stays
-    /// under `max_segment_elems`.
+    /// under `max_segment_elems` elements and the configured payload bound.
     fn compact(&mut self) {
+        let byte_bound = self.config.payload_bound();
         while self.segments.len() > self.config.max_segments {
             let mut best: Option<(usize, usize)> = None;
             for i in 0..self.segments.len() - 1 {
                 let combined = self.segments[i].elems + self.segments[i + 1].elems;
+                let combined_bytes =
+                    self.segments[i].payload_len() + self.segments[i + 1].payload_len();
                 if combined <= self.config.max_segment_elems
+                    && combined_bytes <= byte_bound
                     && best.is_none_or(|(_, c)| combined < c)
                 {
                     best = Some((i, combined));
@@ -678,7 +958,12 @@ impl SegmentList {
             match best {
                 Some((i, _)) => {
                     let right = self.segments.remove(i + 1);
-                    self.segments[i].absorb(right);
+                    if let Err(right) = self.segments[i].absorb(right) {
+                        // Unreachable given the byte-bound pre-check, but if
+                        // the merge refuses, reattach and stop compacting.
+                        self.segments.insert(i + 1, right);
+                        break;
+                    }
                 }
                 None => break,
             }
@@ -687,43 +972,44 @@ impl SegmentList {
 
     /// Rebuilds segment `k` with `element` inserted at local position
     /// `local` (interior inserts are rare; the cost is bounded by
-    /// `max_segment_elems`).  Oversized results split in half so rebuild
-    /// cost stays bounded as a list grows through its interior.
-    fn rebuild_segment_with(&mut self, k: usize, local: usize, element: OrderedElement) {
+    /// `max_segment_elems`).  Oversized results split — by element count or
+    /// payload bytes — so rebuild cost stays bounded as a list grows through
+    /// its interior.  The stack is only replaced once every piece encoded,
+    /// so a failed rebuild leaves the list untouched.
+    fn rebuild_segment_with(
+        &mut self,
+        k: usize,
+        local: usize,
+        element: OrderedElement,
+    ) -> Result<(), StoreError> {
         let mut decoded = self.segments[k].decode_all();
         decoded.insert(local, element);
+        let rebuilt = encode_rebuilt(&decoded, &self.config)?;
         self.seg_elems += 1;
-        if decoded.len() > self.config.max_segment_elems {
-            let mid = decoded.len() / 2;
-            let right = Segment::from_elements(&decoded[mid..], self.config.block_len);
-            self.segments[k] = Segment::from_elements(&decoded[..mid], self.config.block_len);
-            self.segments.insert(k + 1, right);
+        let deepened = rebuilt.len() > 1;
+        self.segments.splice(k..=k, rebuilt);
+        if deepened {
             // Splits deepen the stack just like tail seals do; compact here
             // too so an interior-insert-only workload cannot grow the stack
             // without bound.
             self.compact();
-        } else {
-            self.segments[k] = Segment::from_elements(&decoded, self.config.block_len);
         }
+        Ok(())
     }
 }
 
 impl OrderedList for SegmentList {
-    fn from_elements(elements: Vec<OrderedElement>) -> Self {
-        SegmentList::with_config(elements, SegmentConfig::default())
-    }
-
     fn len(&self) -> usize {
         self.seg_elems + self.tail.len()
     }
 
-    fn snapshot(&self) -> Vec<OrderedElement> {
+    fn snapshot(&self) -> Result<Vec<OrderedElement>, StoreError> {
         let mut out = Vec::with_capacity(self.len());
         for segment in &self.segments {
             out.extend(segment.decode_all());
         }
         out.extend(self.tail.iter().cloned());
-        out
+        Ok(out)
     }
 
     fn visible_total(&self, accessible: Option<&[GroupId]>, meter: &AtomicU64) -> usize {
@@ -755,7 +1041,7 @@ impl OrderedList for SegmentList {
         skip: usize,
         count: usize,
         accessible: Option<&[GroupId]>,
-    ) -> (Vec<OrderedElement>, usize) {
+    ) -> Result<(Vec<OrderedElement>, usize), StoreError> {
         let total = self.len();
         let mut elements = Vec::with_capacity(count.min(total.saturating_sub(start)));
         let mut skipped = 0usize;
@@ -765,43 +1051,18 @@ impl OrderedList for SegmentList {
                 pos += segment.elems;
                 continue;
             }
-            for (bi, meta) in segment.blocks.iter().enumerate() {
-                let block_end = pos + meta.elems as usize;
-                if block_end <= start {
-                    pos = block_end;
-                    continue;
-                }
-                // Wholesale visible-skip: the block lies fully past `start`
-                // and every visible element in it would be skipped anyway.
-                if pos >= start && skipped < skip {
-                    let visible = meta.visible_under(accessible);
-                    if skipped + visible <= skip {
-                        skipped += visible;
-                        pos = block_end;
-                        continue;
-                    }
-                }
-                // Stream the block: skipped or invisible elements are parsed
-                // without materializing their ciphertext, and the read stops
-                // as soon as the batch is full.
-                let mut reader = segment.block_reader(bi);
-                for j in 0..meta.elems as usize {
-                    let raw = reader.next_trusted();
-                    let idx = pos + j;
-                    if idx < start || !is_visible_group(raw.group, accessible) {
-                        continue;
-                    }
-                    if skipped < skip {
-                        skipped += 1;
-                        continue;
-                    }
-                    elements.push(raw.materialize());
-                    if elements.len() == count {
-                        return (elements, idx + 1);
-                    }
-                }
-                pos = block_end;
+            if let Some(next) = segment.scan_part(
+                pos,
+                start,
+                skip,
+                &mut skipped,
+                count,
+                &mut elements,
+                accessible,
+            ) {
+                return Ok((elements, next));
             }
+            pos += segment.elems;
         }
         for (j, element) in self.tail.iter().enumerate() {
             let idx = self.seg_elems + j;
@@ -814,52 +1075,40 @@ impl OrderedList for SegmentList {
             }
             elements.push(element.clone());
             if elements.len() == count {
-                return (elements, idx + 1);
+                return Ok((elements, idx + 1));
             }
         }
-        (elements, total.max(start))
+        Ok((elements, total.max(start)))
     }
 
-    fn position_after_visible(&self, delivered: usize, accessible: Option<&[GroupId]>) -> usize {
+    fn position_after_visible(
+        &self,
+        delivered: usize,
+        accessible: Option<&[GroupId]>,
+    ) -> Result<usize, StoreError> {
         let mut remaining = delivered;
         let mut pos = 0usize;
         for segment in &self.segments {
-            for (bi, meta) in segment.blocks.iter().enumerate() {
-                if remaining == 0 {
-                    return pos;
-                }
-                let visible = meta.visible_under(accessible);
-                if visible < remaining {
-                    remaining -= visible;
-                    pos += meta.elems as usize;
-                    continue;
-                }
-                // The boundary falls inside this block: stream just it,
-                // materializing nothing.
-                let mut reader = segment.block_reader(bi);
-                for j in 0..meta.elems as usize {
-                    if remaining == 0 {
-                        return pos + j;
-                    }
-                    if is_visible_group(reader.next_trusted().group, accessible) {
-                        remaining -= 1;
-                    }
-                }
-                pos += meta.elems as usize;
+            if let Some(found) = segment.position_part(pos, &mut remaining, accessible) {
+                return Ok(found);
             }
+            pos += segment.elems;
         }
         for (j, element) in self.tail.iter().enumerate() {
             if remaining == 0 {
-                return self.seg_elems + j;
+                return Ok(self.seg_elems + j);
             }
             if is_visible(element, accessible) {
                 remaining -= 1;
             }
         }
-        self.len()
+        Ok(self.len())
     }
 
-    fn insert(&mut self, element: OrderedElement) -> usize {
+    fn insert(&mut self, element: OrderedElement) -> Result<usize, StoreError> {
+        if !self.config.element_fits(&element) {
+            return Err(StoreError::SegmentOverflow);
+        }
         let trs = element.trs;
         let mut base = 0usize;
         for k in 0..self.segments.len() {
@@ -869,31 +1118,11 @@ impl OrderedList for SegmentList {
                 base += self.segments[k].elems;
                 continue;
             }
-            // The partition point lies inside this segment: locate the first
-            // block whose smallest element no longer exceeds `trs`.
-            let mut local = 0usize;
-            let mut block = 0usize;
-            for (bi, meta) in self.segments[k].blocks.iter().enumerate() {
-                if meta.last_trs() > trs {
-                    local += meta.elems as usize;
-                } else {
-                    block = bi;
-                    break;
-                }
-            }
-            let block_elems = self.segments[k].blocks[block].elems;
-            let mut reader = self.segments[k].block_reader(block);
-            let mut in_block = 0usize;
-            for _ in 0..block_elems {
-                if reader.next_trusted().trs > trs {
-                    in_block += 1;
-                } else {
-                    break;
-                }
-            }
-            let pos = base + local + in_block;
-            self.rebuild_segment_with(k, pos - base, element);
-            return pos;
+            // The partition point lies inside this segment.
+            let local = self.segments[k].insert_pos(trs);
+            let pos = base + local;
+            self.rebuild_segment_with(k, local, element)?;
+            return Ok(pos);
         }
         // Every sealed element sorts strictly before the new one: the tail
         // absorbs the insert.
@@ -901,9 +1130,15 @@ impl OrderedList for SegmentList {
         self.tail.insert(local, element);
         let pos = base + local;
         if self.tail.len() > self.config.tail_threshold {
-            self.seal_tail();
+            if let Err(e) = self.seal_tail() {
+                // A failed seal leaves the tail intact: take the new element
+                // back out so an errored insert never half-applies (the
+                // caller skips the generation bump and cursor shifts).
+                self.tail.remove(local);
+                return Err(e);
+            }
         }
-        pos
+        Ok(pos)
     }
 
     fn stored_bytes(&self) -> usize {
@@ -943,7 +1178,9 @@ impl OrderedList for SegmentList {
     }
 
     fn ordering_ok(&self) -> bool {
-        self.snapshot().windows(2).all(|w| w[0].trs >= w[1].trs)
+        self.snapshot()
+            .map(|s| s.windows(2).all(|w| w[0].trs >= w[1].trs))
+            .unwrap_or(false)
     }
 }
 
@@ -981,13 +1218,14 @@ mod tests {
             tail_threshold: 3,
             max_segment_elems: 16,
             max_segments: 3,
+            max_payload_bytes: u32::MAX as usize,
         }
     }
 
     #[test]
     fn segment_roundtrips_through_bytes() {
         let elements = sorted_elements(23);
-        let segment = Segment::from_elements(&elements, 5);
+        let segment = Segment::from_elements(&elements, 5, u32::MAX as usize).unwrap();
         assert_eq!(segment.num_elements(), 23);
         assert_eq!(segment.num_blocks(), 5);
         assert_eq!(segment.decode_all(), elements);
@@ -1002,7 +1240,7 @@ mod tests {
         let mut elements = sorted_elements(9);
         // One element whose sealed group differs from the routing group.
         elements[4].sealed.group = GroupId(99);
-        let segment = Segment::from_elements(&elements, 4);
+        let segment = Segment::from_elements(&elements, 4, u32::MAX as usize).unwrap();
         let back = Segment::from_bytes(&segment.to_bytes()).unwrap();
         assert_eq!(back.decode_all(), elements);
     }
@@ -1018,8 +1256,8 @@ mod tests {
             e.group = g;
             e.sealed.group = g;
         }
-        let u = Segment::from_elements(&uniform, 8);
-        let m = Segment::from_elements(&mixed, 8);
+        let u = Segment::from_elements(&uniform, 8, u32::MAX as usize).unwrap();
+        let m = Segment::from_elements(&mixed, 8, u32::MAX as usize).unwrap();
         assert_eq!(u.decode_all(), uniform);
         assert_eq!(m.decode_all(), mixed);
         // Every element of the mixed encoding pays a 1-byte group tag; the
@@ -1029,7 +1267,7 @@ mod tests {
         // use the uniform mode, even if the routing groups agree.
         let mut split = uniform.clone();
         split[5].sealed.group = GroupId(99);
-        let s = Segment::from_elements(&split, 8);
+        let s = Segment::from_elements(&split, 8, u32::MAX as usize).unwrap();
         assert_eq!(s.decode_all(), split);
         assert!(s.payload.len() > u.payload.len());
         // And all three round-trip through the wire format.
@@ -1040,7 +1278,9 @@ mod tests {
 
     #[test]
     fn truncations_and_garbage_are_rejected() {
-        let bytes = Segment::from_elements(&sorted_elements(12), 4).to_bytes();
+        let bytes = Segment::from_elements(&sorted_elements(12), 4, u32::MAX as usize)
+            .unwrap()
+            .to_bytes();
         for cut in 0..bytes.len() {
             assert!(
                 Segment::from_bytes(&bytes[..cut]).is_err(),
@@ -1057,10 +1297,10 @@ mod tests {
     #[test]
     fn segment_list_matches_the_vec_layout_on_scans() {
         let elements = sorted_elements(37);
-        let seg = SegmentList::with_config(elements.clone(), small_config());
+        let seg = SegmentList::with_config(elements.clone(), small_config()).unwrap();
         let vec = VecList::from_elements(elements);
         assert_eq!(seg.len(), vec.len());
-        assert_eq!(seg.snapshot(), vec.snapshot());
+        assert_eq!(seg.snapshot().unwrap(), vec.snapshot().unwrap());
         let meter = AtomicU64::new(0);
         let groups = [GroupId(0), GroupId(2)];
         for accessible in [None, Some(&groups[..])] {
@@ -1072,8 +1312,8 @@ mod tests {
                 for skip in [0usize, 1, 5, 30] {
                     for count in [1usize, 4, 100] {
                         assert_eq!(
-                            seg.scan(start, skip, count, accessible),
-                            vec.scan(start, skip, count, accessible),
+                            seg.scan(start, skip, count, accessible).unwrap(),
+                            vec.scan(start, skip, count, accessible).unwrap(),
                             "start {start} skip {skip} count {count}"
                         );
                     }
@@ -1081,8 +1321,8 @@ mod tests {
             }
             for delivered in 0..40 {
                 assert_eq!(
-                    seg.position_after_visible(delivered, accessible),
-                    vec.position_after_visible(delivered, accessible)
+                    seg.position_after_visible(delivered, accessible).unwrap(),
+                    vec.position_after_visible(delivered, accessible).unwrap()
                 );
             }
         }
@@ -1090,17 +1330,21 @@ mod tests {
 
     #[test]
     fn inserts_match_the_vec_layout_and_seal_the_tail() {
-        let mut seg = SegmentList::with_config(sorted_elements(20), small_config());
+        let mut seg = SegmentList::with_config(sorted_elements(20), small_config()).unwrap();
         let mut vec = VecList::from_elements(sorted_elements(20));
         // Tail inserts (below every sealed element), interior inserts and
         // head inserts, with ties.
         let probes = [0.001, 0.002, 0.5, 0.925, 1.5, 0.5, 0.0015, 0.85, 0.0];
         for (i, &trs) in probes.iter().enumerate() {
             let e = element(trs, (i % 3) as u32, &[i as u8; 6]);
-            assert_eq!(seg.insert(e.clone()), vec.insert(e), "probe {trs}");
+            assert_eq!(
+                seg.insert(e.clone()).unwrap(),
+                vec.insert(e).unwrap(),
+                "probe {trs}"
+            );
             assert_eq!(seg.len(), vec.len());
         }
-        assert_eq!(seg.snapshot(), vec.snapshot());
+        assert_eq!(seg.snapshot().unwrap(), vec.snapshot().unwrap());
         assert!(seg.ordering_ok());
         // The tail stayed bounded by the threshold (sealing happened).
         assert!(seg.tail_len() <= small_config().tail_threshold);
@@ -1109,15 +1353,15 @@ mod tests {
     #[test]
     fn compaction_keeps_the_stack_shallow() {
         let config = small_config();
-        let mut seg = SegmentList::with_config(sorted_elements(16), config);
+        let mut seg = SegmentList::with_config(sorted_elements(16), config).unwrap();
         let mut vec = VecList::from_elements(sorted_elements(16));
         // A long run of low-TRS inserts seals many tail segments.
         for i in 0..40 {
             let trs = 1e-6 * (40 - i) as f64;
             let e = element(trs, (i % 3) as u32, &[7u8; 4]);
-            assert_eq!(seg.insert(e.clone()), vec.insert(e));
+            assert_eq!(seg.insert(e.clone()).unwrap(), vec.insert(e).unwrap());
         }
-        assert_eq!(seg.snapshot(), vec.snapshot());
+        assert_eq!(seg.snapshot().unwrap(), vec.snapshot().unwrap());
         // max_segments is a soft bound: compaction merges adjacent pairs as
         // long as the merged segment respects max_segment_elems.
         assert!(
@@ -1138,7 +1382,7 @@ mod tests {
         let elements: Vec<OrderedElement> = (0..512)
             .map(|i| element(1.0 - i as f64 / 512.0, (i % 4) as u32, &[3u8; 44]))
             .collect();
-        let seg = SegmentList::with_config(elements.clone(), SegmentConfig::default());
+        let seg = SegmentList::with_config(elements.clone(), SegmentConfig::default()).unwrap();
         let vec = VecList::from_elements(elements);
         let ratio = seg.resident_bytes() as f64 / vec.resident_bytes() as f64;
         assert!(
@@ -1150,7 +1394,7 @@ mod tests {
         let uniform: Vec<OrderedElement> = (0..512)
             .map(|i| element(1.0 - i as f64 / 512.0, 2, &[3u8; 44]))
             .collect();
-        let useg = SegmentList::with_config(uniform.clone(), SegmentConfig::default());
+        let useg = SegmentList::with_config(uniform.clone(), SegmentConfig::default()).unwrap();
         let uvec = VecList::from_elements(uniform);
         let uratio = useg.resident_bytes() as f64 / uvec.resident_bytes() as f64;
         assert!(
@@ -1161,13 +1405,143 @@ mod tests {
 
     #[test]
     fn empty_lists_behave() {
-        let mut seg = SegmentList::with_config(Vec::new(), small_config());
+        let mut seg = SegmentList::with_config(Vec::new(), small_config()).unwrap();
         assert_eq!(seg.len(), 0);
         assert!(seg.is_empty());
-        assert_eq!(seg.scan(0, 0, 5, None), (Vec::new(), 0));
-        assert_eq!(seg.position_after_visible(0, None), 0);
-        assert_eq!(seg.insert(element(0.5, 0, &[1])), 0);
+        assert_eq!(seg.scan(0, 0, 5, None).unwrap(), (Vec::new(), 0));
+        assert_eq!(seg.position_after_visible(0, None).unwrap(), 0);
+        assert_eq!(seg.insert(element(0.5, 0, &[1])).unwrap(), 0);
         assert_eq!(seg.len(), 1);
+    }
+
+    #[test]
+    fn near_overflow_payloads_split_instead_of_panicking() {
+        // Regression for the former
+        // `expect("segment payload exceeds u32 offsets")` panics: with a
+        // small injected payload bound, builds and inserts must degrade by
+        // splitting segments, never crash, and stay element-identical to
+        // the reference layout.
+        let config = SegmentConfig {
+            block_len: 2,
+            tail_threshold: 2,
+            max_segment_elems: 64,
+            max_segments: 3,
+            max_payload_bytes: 96,
+        };
+        let elements: Vec<OrderedElement> = (0..24)
+            .map(|i| element(1.0 - i as f64 / 24.0, (i % 2) as u32, &[i as u8; 20]))
+            .collect();
+        let mut seg = SegmentList::with_config(elements.clone(), config).unwrap();
+        let mut vec = VecList::from_elements(elements);
+        assert_eq!(seg.snapshot().unwrap(), vec.snapshot().unwrap());
+        // Every segment respects the byte bound, so the stack is forced
+        // deeper than max_segments would otherwise allow.
+        assert!(seg.num_segments() > config.max_segments);
+        // Inserts across the whole range (tail seals and interior rebuilds
+        // both re-encode under the bound).
+        for (i, trs) in [0.99, 0.5, 0.01, 0.5, 0.73].into_iter().enumerate() {
+            let e = element(trs, (i % 2) as u32, &[7u8; 20]);
+            assert_eq!(
+                seg.insert(e.clone()).unwrap(),
+                vec.insert(e).unwrap(),
+                "probe {trs}"
+            );
+        }
+        assert_eq!(seg.snapshot().unwrap(), vec.snapshot().unwrap());
+        assert!(seg.ordering_ok());
+    }
+
+    #[test]
+    fn oversized_single_elements_error_without_corrupting_the_list() {
+        let config = SegmentConfig {
+            max_payload_bytes: 128,
+            ..small_config()
+        };
+        let mut seg = SegmentList::with_config(sorted_elements(8), config).unwrap();
+        let before = seg.snapshot().unwrap();
+        // One element whose ciphertext alone cannot fit under the bound at
+        // any split granularity: a clean error, list untouched.
+        let huge = element(0.5, 0, &[9u8; 256]);
+        assert!(matches!(
+            seg.insert(huge.clone()),
+            Err(StoreError::SegmentOverflow)
+        ));
+        assert_eq!(seg.snapshot().unwrap(), before);
+        // The same element poisons a fresh build the same way.
+        let mut poisoned = sorted_elements(8);
+        poisoned.insert(4, huge);
+        assert!(matches!(
+            SegmentList::with_config(poisoned, config),
+            Err(StoreError::SegmentOverflow)
+        ));
+    }
+
+    /// Re-encodes `bytes` with varint field `index` replaced by `value`
+    /// (fields are the header varints in wire order; ciphertext payload is
+    /// carried over untouched, starting where the block headers end).
+    fn tamper_varint(bytes: &[u8], index: usize, value: u64, header_fields: usize) -> Vec<u8> {
+        let mut fields = Vec::new();
+        let mut pos = 0;
+        for _ in 0..header_fields {
+            let (v, p) = read_varint(bytes, pos).unwrap();
+            fields.push(v);
+            pos = p;
+        }
+        fields[index] = value;
+        let mut out = Vec::new();
+        for v in fields {
+            write_varint(&mut out, v);
+        }
+        out.extend_from_slice(&bytes[pos..]);
+        out
+    }
+
+    #[test]
+    fn varint_consistent_header_tampering_is_rejected_as_corrupt() {
+        // A single-block, single-group segment: header varints are
+        // [magic, version, total_elems, num_blocks,
+        //  elems, first, last, num_counts, group, count, byte_len].
+        let elements: Vec<OrderedElement> = (0..4)
+            .map(|i| element(1.0 - i as f64 / 8.0, 1, &[i as u8; 6]))
+            .collect();
+        let segment = Segment::from_elements(&elements, 8, u32::MAX as usize).unwrap();
+        let bytes = segment.to_bytes();
+        assert!(Segment::from_bytes(&bytes).is_ok());
+        const FIELDS: usize = 11;
+        // total_elems disagreeing with the per-block sum: rejected, not
+        // mis-indexed.
+        for bogus in [3u64, 5, 0, u64::from(u32::MAX) + 1] {
+            let tampered = tamper_varint(&bytes, 2, bogus, FIELDS);
+            assert!(
+                Segment::from_bytes(&tampered).is_err(),
+                "total_elems {bogus} must not decode"
+            );
+        }
+        // Block element count drifting from the group counts / payload.
+        for bogus in [3u64, 5] {
+            assert!(Segment::from_bytes(&tamper_varint(&bytes, 4, bogus, FIELDS)).is_err());
+        }
+        // Group count no longer covering the block.
+        assert!(Segment::from_bytes(&tamper_varint(&bytes, 9, 3, FIELDS)).is_err());
+        // byte_len disagreeing with the actual payload length: the
+        // truncated-but-varint-consistent page.
+        for delta in [-1i64, 1, 7] {
+            let (byte_len, _) = {
+                let mut pos = 0;
+                let mut value = 0;
+                for _ in 0..FIELDS {
+                    let (v, p) = read_varint(&bytes, pos).unwrap();
+                    value = v;
+                    pos = p;
+                }
+                (value, ())
+            };
+            let bogus = byte_len.checked_add_signed(delta).unwrap();
+            assert!(
+                Segment::from_bytes(&tamper_varint(&bytes, 10, bogus, FIELDS)).is_err(),
+                "byte_len {byte_len}{delta:+} must not decode"
+            );
+        }
     }
 }
 
@@ -1214,7 +1588,8 @@ mod fuzz {
             block_len in 1usize..9
         ) {
             let elements = arbitrary_elements(items);
-            let segment = Segment::from_elements(&elements, block_len);
+            let segment =
+                Segment::from_elements(&elements, block_len, u32::MAX as usize).unwrap();
             prop_assert_eq!(segment.decode_all(), elements.clone());
             let back = Segment::from_bytes(&segment.to_bytes()).unwrap();
             prop_assert_eq!(back.decode_all(), elements);
@@ -1235,7 +1610,8 @@ mod fuzz {
             let elements = arbitrary_elements(
                 items.into_iter().map(|(trs, ct)| (trs, group, ct)).collect(),
             );
-            let segment = Segment::from_elements(&elements, block_len);
+            let segment =
+                Segment::from_elements(&elements, block_len, u32::MAX as usize).unwrap();
             prop_assert_eq!(segment.decode_all(), elements.clone());
             let back = Segment::from_bytes(&segment.to_bytes()).unwrap();
             prop_assert_eq!(back.decode_all(), elements);
@@ -1246,7 +1622,7 @@ mod fuzz {
             items in proptest::collection::vec(element_strategy(), 1..40),
             cut in any::<usize>()
         ) {
-            let bytes = Segment::from_elements(&arbitrary_elements(items), 4).to_bytes();
+            let bytes = Segment::from_elements(&arbitrary_elements(items), 4, u32::MAX as usize).unwrap().to_bytes();
             let cut = cut % bytes.len();
             prop_assert!(Segment::from_bytes(&bytes[..cut]).is_err());
         }
@@ -1263,11 +1639,47 @@ mod fuzz {
         }
 
         #[test]
+        fn header_varint_tampering_never_panics_and_total_elems_is_validated(
+            items in proptest::collection::vec(element_strategy(), 1..40),
+            field in 2usize..4,
+            value in any::<u64>()
+        ) {
+            // Rewrite one of the top-level header varints (total_elems or
+            // num_blocks) with an arbitrary value while keeping the rest of
+            // the page varint-consistent: the decoder must reject any claim
+            // that disagrees with the per-block element counts / payload,
+            // and must never panic or over-allocate.
+            let bytes = Segment::from_elements(&arbitrary_elements(items), 4, u32::MAX as usize)
+                .unwrap()
+                .to_bytes();
+            let mut fields = Vec::new();
+            let mut pos = 0;
+            for _ in 0..4 {
+                let (v, p) = read_varint(&bytes, pos).unwrap();
+                fields.push(v);
+                pos = p;
+            }
+            let original = fields[field];
+            fields[field] = value;
+            let mut tampered = Vec::new();
+            for v in fields {
+                write_varint(&mut tampered, v);
+            }
+            tampered.extend_from_slice(&bytes[pos..]);
+            let decoded = Segment::from_bytes(&tampered);
+            if value != original {
+                prop_assert!(decoded.is_err(), "field {field} tampered to {value} must not decode");
+            } else {
+                prop_assert!(decoded.is_ok());
+            }
+        }
+
+        #[test]
         fn bit_flips_never_panic_the_decoder(
             items in proptest::collection::vec(element_strategy(), 1..40),
             flip in any::<(usize, u8)>()
         ) {
-            let mut bytes = Segment::from_elements(&arbitrary_elements(items), 4).to_bytes();
+            let mut bytes = Segment::from_elements(&arbitrary_elements(items), 4, u32::MAX as usize).unwrap().to_bytes();
             let pos = flip.0 % bytes.len();
             bytes[pos] ^= flip.1 | 1;
             // Either a clean error or a differently-valued segment; the

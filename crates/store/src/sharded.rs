@@ -60,7 +60,7 @@ pub type SegmentStore = ShardedCore<SegmentList>;
 
 /// The shard count matched to the machine (`available_parallelism`, clamped
 /// to `[1, 64]`).
-fn default_shards() -> usize {
+pub(crate) fn default_shards() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -69,24 +69,27 @@ fn default_shards() -> usize {
 
 impl<L: OrderedList> ShardedCore<L> {
     /// Builds a store partitioned across `num_shards` shards, materializing
-    /// each list through `make`.
-    fn build(
+    /// each list through `make` (which receives the shard index the list
+    /// lands in, so layouts with per-shard backing state — the on-disk spill
+    /// engine's page files — attach to the right shard).
+    pub(crate) fn build(
         index: OrderedIndex,
         num_shards: usize,
-        make: impl Fn(Vec<OrderedElement>) -> L,
-    ) -> Self {
+        mut make: impl FnMut(usize, Vec<OrderedElement>) -> Result<L, StoreError>,
+    ) -> Result<Self, StoreError> {
         let num_shards = num_shards.clamp(1, MAX_SHARDS);
         let (lists, plan) = index.into_parts();
         let mut shards: Vec<ListTable<L>> = (0..num_shards).map(|_| ListTable::default()).collect();
         for (id, list) in lists.into_iter().enumerate() {
-            shards[id % num_shards].push_list(make(list));
+            let shard = id % num_shards;
+            shards[shard].push_list(make(shard, list)?);
         }
-        ShardedCore {
+        Ok(ShardedCore {
             shards: shards.into_iter().map(RwLock::new).collect(),
             plan,
             next_cursor: AtomicU64::new(1),
             lock_meter: AtomicU64::new(0),
-        }
+        })
     }
 
     /// Meters one shard-lock acquisition (called just before a serving-path
@@ -127,26 +130,35 @@ impl ShardedStore {
 
     /// Builds a store partitioned across exactly `num_shards` shards.
     pub fn with_shards(index: OrderedIndex, num_shards: usize) -> Self {
-        Self::build(index, num_shards, VecList::from_elements)
+        Self::build(index, num_shards, |_, list| {
+            Ok(VecList::from_elements(list))
+        })
+        .expect("the Vec layout builds infallibly")
     }
 }
 
 impl SegmentStore {
     /// Builds a compressed-segment store with a machine-matched shard count.
-    pub fn new(index: OrderedIndex) -> Self {
+    pub fn new(index: OrderedIndex) -> Result<Self, StoreError> {
         Self::with_shards(index, default_shards())
     }
 
     /// Builds a compressed-segment store across exactly `num_shards` shards
     /// with the default segment layout.
-    pub fn with_shards(index: OrderedIndex, num_shards: usize) -> Self {
+    pub fn with_shards(index: OrderedIndex, num_shards: usize) -> Result<Self, StoreError> {
         Self::with_config(index, num_shards, SegmentConfig::default())
     }
 
     /// Builds a compressed-segment store with explicit layout tuning (block
-    /// length, tail threshold, compaction bounds).
-    pub fn with_config(index: OrderedIndex, num_shards: usize, config: SegmentConfig) -> Self {
-        Self::build(index, num_shards, move |list| {
+    /// length, tail threshold, compaction and payload bounds).  Fails with
+    /// [`StoreError::SegmentOverflow`] only if a single element cannot be
+    /// encoded under the payload bound.
+    pub fn with_config(
+        index: OrderedIndex,
+        num_shards: usize,
+        config: SegmentConfig,
+    ) -> Result<Self, StoreError> {
+        Self::build(index, num_shards, move |_, list| {
             SegmentList::with_config(list, config)
         })
     }
@@ -200,7 +212,7 @@ impl<L: OrderedList> ListStore for ShardedCore<L> {
 
     fn snapshot_list(&self, list: MergedListId) -> Result<Vec<OrderedElement>, StoreError> {
         let (shard, slot) = self.known(list)?;
-        Ok(self.shards[shard].read().list(slot).snapshot())
+        self.shards[shard].read().list(slot).snapshot()
     }
 
     fn fetch_ranged(
@@ -210,9 +222,9 @@ impl<L: OrderedList> ListStore for ShardedCore<L> {
     ) -> Result<RangedBatch, StoreError> {
         let (shard, slot) = self.known(fetch.list)?;
         self.meter_lock();
-        Ok(self.shards[shard]
+        self.shards[shard]
             .read()
-            .fetch(slot, fetch.offset, fetch.count, accessible))
+            .fetch(slot, fetch.offset, fetch.count, accessible)
     }
 
     fn execute_shard_batch(&self, jobs: &[StoreJob]) -> ShardBatchOutput {
@@ -233,21 +245,45 @@ impl<L: OrderedList> ListStore for ShardedCore<L> {
             }
         }
         let mut lock_acquisitions = 0u64;
-        for (shard, indices) in by_shard.into_iter().enumerate() {
+        for (shard, mut indices) in by_shard.into_iter().enumerate() {
             if indices.is_empty() {
                 continue;
             }
+            // Within the shard, serve ranged jobs grouped by list and
+            // cursor resumptions grouped by session (stable, so same-cursor
+            // resumptions keep their input order and answer exactly like a
+            // sequential run): a layout that pages cold state in from disk
+            // then faults each touched page at most once per round of
+            // ranged jobs, and same-session follow-ups share their faults
+            // too.  (A resume job's `fetch.list` is a placeholder — the
+            // session knows its own list — so cursors group by id, not
+            // list.)
+            indices.sort_by_key(|&i| {
+                let job = &jobs[i];
+                if job.cursor.is_some() {
+                    (1, job.cursor.0)
+                } else {
+                    (0, job.fetch.list.0)
+                }
+            });
             self.meter_lock();
             lock_acquisitions += 1;
-            let guard = self.shards[shard].read();
-            for i in indices {
-                let job = &jobs[i];
-                results[i] = Some(if job.cursor.is_some() {
-                    guard.cursor_fetch(job.cursor.0, job.owner, job.fetch.count, job.accessible)
-                } else {
-                    let (_, slot) = self.slot(job.fetch.list);
-                    Ok(guard.fetch(slot, job.fetch.offset, job.fetch.count, job.accessible))
-                });
+            let sweep_due = {
+                let guard = self.shards[shard].read();
+                for i in indices {
+                    let job = &jobs[i];
+                    results[i] = Some(if job.cursor.is_some() {
+                        guard.cursor_fetch(job.cursor.0, job.owner, job.fetch.count, job.accessible)
+                    } else {
+                        let (_, slot) = self.slot(job.fetch.list);
+                        guard.fetch(slot, job.fetch.offset, job.fetch.count, job.accessible)
+                    });
+                }
+                guard.ttl_sweep_due()
+            };
+            if sweep_due {
+                self.meter_lock();
+                self.shards[shard].write().sweep_expired();
             }
         }
         ShardBatchOutput {
@@ -277,7 +313,7 @@ impl<L: OrderedList> ListStore for ShardedCore<L> {
         self.meter_lock();
         self.shards[shard]
             .write()
-            .open_cursor(raw, slot, owner, batch, delivered, accessible);
+            .open_cursor(raw, slot, owner, batch, delivered, accessible)?;
         Ok(CursorId(raw))
     }
 
@@ -290,9 +326,19 @@ impl<L: OrderedList> ListStore for ShardedCore<L> {
     ) -> Result<RangedBatch, StoreError> {
         let shard = self.cursor_shard(cursor)?;
         self.meter_lock();
-        self.shards[shard]
-            .read()
-            .cursor_fetch(cursor.0, owner, count, accessible)
+        let (result, sweep_due) = {
+            let guard = self.shards[shard].read();
+            let result = guard.cursor_fetch(cursor.0, owner, count, accessible);
+            (result, guard.ttl_sweep_due())
+        };
+        if sweep_due {
+            // A TTL sweep is due (at most once per TTL window): upgrade to
+            // the write lock so a read-heavy workload with stable cursors
+            // still reclaims idle sessions.
+            self.meter_lock();
+            self.shards[shard].write().sweep_expired();
+        }
+        result
     }
 
     fn close_cursor(&self, cursor: CursorId, owner: u64) {
@@ -320,7 +366,7 @@ impl<L: OrderedList> ListStore for ShardedCore<L> {
     fn insert(&self, list: MergedListId, element: OrderedElement) -> Result<usize, StoreError> {
         let (shard, slot) = self.known(list)?;
         self.meter_lock();
-        Ok(self.shards[shard].write().insert(slot, element))
+        self.shards[shard].write().insert(slot, element)
     }
 
     fn verify_ordering(&self) -> bool {

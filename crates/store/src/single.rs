@@ -108,7 +108,7 @@ impl ListStore for SingleMutexStore {
 
     fn snapshot_list(&self, list: MergedListId) -> Result<Vec<OrderedElement>, StoreError> {
         let slot = self.check(list)?;
-        Ok(self.inner.lock().list(slot).snapshot())
+        self.inner.lock().list(slot).snapshot()
     }
 
     fn fetch_ranged(
@@ -118,10 +118,9 @@ impl ListStore for SingleMutexStore {
     ) -> Result<RangedBatch, StoreError> {
         let slot = self.check(fetch.list)?;
         self.meter_lock();
-        Ok(self
-            .inner
+        self.inner
             .lock()
-            .fetch(slot, fetch.offset, fetch.count, accessible))
+            .fetch(slot, fetch.offset, fetch.count, accessible)
     }
 
     fn execute_shard_batch(&self, jobs: &[StoreJob]) -> ShardBatchOutput {
@@ -134,8 +133,8 @@ impl ListStore for SingleMutexStore {
             };
         }
         self.meter_lock();
-        let guard = self.inner.lock();
-        ShardBatchOutput {
+        let mut guard = self.inner.lock();
+        let output = ShardBatchOutput {
             results: jobs
                 .iter()
                 .map(|job| {
@@ -143,12 +142,19 @@ impl ListStore for SingleMutexStore {
                         guard.cursor_fetch(job.cursor.0, job.owner, job.fetch.count, job.accessible)
                     } else {
                         let slot = self.check(job.fetch.list)?;
-                        Ok(guard.fetch(slot, job.fetch.offset, job.fetch.count, job.accessible))
+                        guard.fetch(slot, job.fetch.offset, job.fetch.count, job.accessible)
                     }
                 })
                 .collect(),
             lock_acquisitions: 1,
+        };
+        // Sweep AFTER serving, matching the sharded engine's ordering, so a
+        // session resumed in this very round refreshes its last_used before
+        // the TTL check can see it.
+        if guard.ttl_sweep_due() {
+            guard.sweep_expired();
         }
+        output
     }
 
     fn lock_acquisitions(&self) -> u64 {
@@ -168,7 +174,7 @@ impl ListStore for SingleMutexStore {
         self.meter_lock();
         self.inner
             .lock()
-            .open_cursor(raw, slot, owner, batch, delivered, accessible);
+            .open_cursor(raw, slot, owner, batch, delivered, accessible)?;
         Ok(CursorId(raw))
     }
 
@@ -183,9 +189,16 @@ impl ListStore for SingleMutexStore {
             return Err(StoreError::UnknownCursor(cursor.0));
         }
         self.meter_lock();
-        self.inner
-            .lock()
-            .cursor_fetch(cursor.0, owner, count, accessible)
+        let mut guard = self.inner.lock();
+        // The global mutex is already exclusive: sweep idle sessions inline
+        // when due, so read-heavy workloads reclaim them too — but only
+        // after serving, matching the sharded engine's ordering (a resumed
+        // session refreshes last_used before the sweep can expire it).
+        let result = guard.cursor_fetch(cursor.0, owner, count, accessible);
+        if guard.ttl_sweep_due() {
+            guard.sweep_expired();
+        }
+        result
     }
 
     fn close_cursor(&self, cursor: CursorId, owner: u64) {
@@ -208,7 +221,7 @@ impl ListStore for SingleMutexStore {
     fn insert(&self, list: MergedListId, element: OrderedElement) -> Result<usize, StoreError> {
         let slot = self.check(list)?;
         self.meter_lock();
-        Ok(self.inner.lock().insert(slot, element))
+        self.inner.lock().insert(slot, element)
     }
 
     fn verify_ordering(&self) -> bool {

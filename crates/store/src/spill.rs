@@ -1,0 +1,1497 @@
+//! The on-disk spill layout: cold sealed segments live in per-shard page
+//! files, hot state stays in memory.
+//!
+//! The paper's untrusted server must hold merged, sealed posting lists for
+//! millions of users — a footprint that does not fit in RAM.  Like the
+//! ontological-database systems that answer from a small hot working set
+//! while the bulk of the extensional data lives on secondary storage, the
+//! [`SpillStore`] keeps each merged list as a `SegmentStore`-style stack
+//! ([`crate::segment`]) whose **cold sealed segments** are serialized
+//! through the validated segment wire format ([`Segment::to_bytes`]) into a
+//! per-shard page file and dropped from memory.  What stays resident per
+//! spilled segment is a tiny summary (element count, TRS bounds, per-group
+//! visible counts, byte totals), so visibility accounting and deep-offset
+//! skip-scans never touch the disk at all.
+//!
+//! Reads that do need a cold segment pull the page back through the fully
+//! validating [`Segment::from_bytes`] — a torn, truncated or bit-flipped
+//! page surfaces as [`StoreError`] for that one request, never a panic and
+//! never a wrong answer — and park it in a per-shard LRU **page cache**
+//! ([`SpillConfig::page_cache_pages`]).  [`SpillConfig::resident_budget_bytes`]
+//! bounds the sealed bytes each shard keeps resident: segments charge the
+//! budget greedily in build order (within a list, hot end first) and spill
+//! once it is exhausted — so under a partial budget, lists built early keep
+//! more of themselves resident; workload-driven placement is a ROADMAP
+//! item.
+//! `ListStore::execute_shard_batch` groups a round's ranged jobs by list
+//! (and cursor resumptions by session) before serving them, so a batch of
+//! fresh fetches faults each page at most once per round.
+//!
+//! The page files are append-only: a rebuild of a spilled segment (interior
+//! insert) writes a fresh page and strands the old one as garbage until the
+//! file is compacted in the background (ROADMAP).  Files are ephemeral cache
+//! state, not durability — the store deletes them on drop.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use zerber_base::MergedListId;
+use zerber_corpus::GroupId;
+use zerber_index::compress::from_sortable_bits;
+use zerber_r::{OrderedElement, OrderedIndex};
+
+use crate::error::StoreError;
+use crate::segment::{encode_chunk_split, encode_rebuilt, encode_segments, Segment, SegmentConfig};
+use crate::sharded::{default_shards, ShardedCore, MAX_SHARDS};
+use crate::store::{
+    is_visible, CursorId, ListStore, OrderedList, RangedBatch, RangedFetch, SessionStats,
+    ShardBatchOutput, StoreJob,
+};
+
+/// Tuning knobs of the spill engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpillConfig {
+    /// Sealed-segment bytes each shard may keep resident; segments beyond
+    /// the budget are written to the shard's page file and dropped from
+    /// memory.  `0` spills every sealed segment (the tails and summaries
+    /// always stay resident).
+    pub resident_budget_bytes: usize,
+    /// Pages the per-shard LRU page cache retains after a fault.  `0`
+    /// disables caching: every cold read goes to disk.
+    pub page_cache_pages: usize,
+}
+
+impl Default for SpillConfig {
+    fn default() -> Self {
+        SpillConfig {
+            resident_budget_bytes: 8 << 20,
+            page_cache_pages: 64,
+        }
+    }
+}
+
+fn io_err(e: std::io::Error) -> StoreError {
+    StoreError::Io(e.to_string())
+}
+
+/// Location of one spilled page inside its shard's page file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PageId {
+    offset: u64,
+    len: u32,
+}
+
+/// The spill directory, removed (best effort) once the last pager drops.
+#[derive(Debug)]
+struct SpillRoot {
+    dir: PathBuf,
+}
+
+impl Drop for SpillRoot {
+    fn drop(&mut self) {
+        // Remove only this store's own unique directory.  The shared
+        // `zerber-spill` staging parent is deliberately left in place: a
+        // concurrent store may be between create_dir_all and opening its
+        // page files, and deleting the parent under it would fail that
+        // build spuriously.  An empty staging dir is harmless (the CI
+        // hygiene guard checks for stray *files*, not directories).
+        let _ = fs::remove_dir(&self.dir);
+    }
+}
+
+#[derive(Debug)]
+struct PageFile {
+    file: File,
+    append: u64,
+}
+
+#[derive(Debug)]
+struct CacheSlot {
+    segment: Arc<Segment>,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct PageCache {
+    entries: HashMap<u64, CacheSlot>,
+    clock: u64,
+    bytes: usize,
+}
+
+/// One shard's spill state: the append-only page file, the LRU page cache
+/// and the residency-budget accounting, shared by every list of the shard.
+#[derive(Debug)]
+struct Pager {
+    io: Mutex<PageFile>,
+    cache: Mutex<PageCache>,
+    cache_capacity: usize,
+    resident_budget: usize,
+    resident_charge: AtomicUsize,
+    spilled: AtomicUsize,
+    faults: AtomicU64,
+    evictions: AtomicU64,
+    path: PathBuf,
+    _root: Arc<SpillRoot>,
+}
+
+impl Drop for Pager {
+    fn drop(&mut self) {
+        // Page files are cache state, not durability: leave nothing behind.
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+impl Pager {
+    fn create(
+        dir: &Path,
+        shard: usize,
+        config: &SpillConfig,
+        root: Arc<SpillRoot>,
+    ) -> Result<Arc<Pager>, StoreError> {
+        let path = dir.join(format!("shard-{shard:03}.pages"));
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(io_err)?;
+        Ok(Arc::new(Pager {
+            io: Mutex::new(PageFile { file, append: 0 }),
+            cache: Mutex::new(PageCache::default()),
+            cache_capacity: config.page_cache_pages,
+            resident_budget: config.resident_budget_bytes,
+            resident_charge: AtomicUsize::new(0),
+            spilled: AtomicUsize::new(0),
+            faults: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            path,
+            _root: root,
+        }))
+    }
+
+    /// Charges `bytes` against the shard's resident budget; `false` (and no
+    /// charge) if the budget cannot cover them.
+    fn try_charge(&self, bytes: usize) -> bool {
+        let mut current = self.resident_charge.load(Ordering::Relaxed);
+        loop {
+            if current.saturating_add(bytes) > self.resident_budget {
+                return false;
+            }
+            match self.resident_charge.compare_exchange(
+                current,
+                current + bytes,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(now) => current = now,
+            }
+        }
+    }
+
+    /// Charges unconditionally (compaction's keep-resident fallback).
+    fn force_charge(&self, bytes: usize) {
+        self.resident_charge.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    fn uncharge(&self, bytes: usize) {
+        self.resident_charge.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Serializes a segment into the page file, returning its page id.
+    fn write_page(&self, segment: &Segment) -> Result<PageId, StoreError> {
+        let bytes = segment.to_bytes();
+        let len = u32::try_from(bytes.len()).map_err(|_| StoreError::SegmentOverflow)?;
+        let offset = {
+            let mut io = self.io.lock();
+            let offset = io.append;
+            io.file.seek(SeekFrom::Start(offset)).map_err(io_err)?;
+            io.file.write_all(&bytes).map_err(io_err)?;
+            io.append += u64::from(len);
+            offset
+        };
+        self.spilled.fetch_add(bytes.len(), Ordering::Relaxed);
+        Ok(PageId { offset, len })
+    }
+
+    /// Drops a page from the live-byte accounting and the cache (the bytes
+    /// in the file become garbage until background compaction).
+    fn release_page(&self, page: PageId) {
+        self.spilled.fetch_sub(page.len as usize, Ordering::Relaxed);
+        let mut cache = self.cache.lock();
+        if let Some(slot) = cache.entries.remove(&page.offset) {
+            cache.bytes -= slot.bytes;
+        }
+    }
+
+    /// Reads one page back, through the cache: a hit bumps recency, a miss
+    /// reads the file and re-validates the bytes with `Segment::from_bytes`
+    /// (counted as a page fault), inserting the decoded segment and
+    /// LRU-evicting past `cache_capacity`.  Concurrent misses on one page
+    /// single-flight: the file lock is held across read, decode and cache
+    /// insertion, and latecomers re-probe the cache under it instead of
+    /// reading the page a second time.  The lock is per shard, so this
+    /// also serializes cold misses on *different* pages of one shard — a
+    /// deliberate simplicity/accuracy tradeoff (faults are designed to be
+    /// rare once the cache holds the hot set); a per-page in-flight map
+    /// would restore miss parallelism if profiles ever show contention.
+    fn fetch(&self, page: PageId) -> Result<Arc<Segment>, StoreError> {
+        {
+            let mut cache = self.cache.lock();
+            cache.clock += 1;
+            let now = cache.clock;
+            if let Some(slot) = cache.entries.get_mut(&page.offset) {
+                slot.last_used = now;
+                return Ok(Arc::clone(&slot.segment));
+            }
+        }
+        let mut io = self.io.lock();
+        // Re-probe under the file lock: a racing fault may have populated
+        // the cache while this thread waited.
+        if self.cache_capacity > 0 {
+            let mut cache = self.cache.lock();
+            cache.clock += 1;
+            let now = cache.clock;
+            if let Some(slot) = cache.entries.get_mut(&page.offset) {
+                slot.last_used = now;
+                return Ok(Arc::clone(&slot.segment));
+            }
+        }
+        let mut buf = vec![0u8; page.len as usize];
+        io.file.seek(SeekFrom::Start(page.offset)).map_err(io_err)?;
+        io.file.read_exact(&mut buf).map_err(io_err)?;
+        // The page crossed a trust boundary (the disk): full validation, so
+        // a torn or tampered page is an error for this request, never a
+        // panic or a silently wrong answer.
+        let segment = Arc::new(Segment::from_bytes(&buf)?);
+        self.faults.fetch_add(1, Ordering::Relaxed);
+        if self.cache_capacity > 0 {
+            let bytes = segment.resident_bytes();
+            let mut cache = self.cache.lock();
+            cache.clock += 1;
+            let now = cache.clock;
+            while cache.entries.len() >= self.cache_capacity {
+                let Some((&oldest, _)) = cache.entries.iter().min_by_key(|(_, s)| s.last_used)
+                else {
+                    break;
+                };
+                if let Some(slot) = cache.entries.remove(&oldest) {
+                    cache.bytes -= slot.bytes;
+                }
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            cache.bytes += bytes;
+            cache.entries.insert(
+                page.offset,
+                CacheSlot {
+                    segment: Arc::clone(&segment),
+                    bytes,
+                    last_used: now,
+                },
+            );
+        }
+        drop(io);
+        Ok(segment)
+    }
+
+    fn cache_bytes(&self) -> usize {
+        self.cache.lock().bytes
+    }
+}
+
+/// Resident summary of one sealed segment — everything visibility
+/// accounting, skip-scans and insert routing need without touching the
+/// page file.
+#[derive(Debug)]
+struct SlotMeta {
+    elems: usize,
+    /// Sortable bits of the segment's smallest (last) TRS.
+    last_bits: u64,
+    /// Per-group element counts, sorted by group id.
+    counts: Vec<(GroupId, u32)>,
+    stored_bytes: usize,
+    ciphertext_bytes: usize,
+}
+
+impl SlotMeta {
+    fn of(segment: &Segment) -> SlotMeta {
+        SlotMeta {
+            elems: segment.num_elements(),
+            last_bits: segment.last_bits(),
+            counts: segment.group_counts(),
+            stored_bytes: segment.stored_bytes(),
+            ciphertext_bytes: segment.ciphertext_bytes(),
+        }
+    }
+
+    fn min_trs(&self) -> f64 {
+        from_sortable_bits(self.last_bits)
+    }
+
+    fn visible_under(&self, accessible: Option<&[GroupId]>) -> usize {
+        match accessible {
+            None => self.elems,
+            Some(groups) => self
+                .counts
+                .iter()
+                .filter(|(g, _)| groups.contains(g))
+                .map(|&(_, n)| n as usize)
+                .sum(),
+        }
+    }
+}
+
+/// Where a sealed segment's bytes currently live.
+#[derive(Debug)]
+enum Backing {
+    /// Hot: the decoded segment is held in memory and charged against the
+    /// shard's resident budget.
+    Resident { segment: Segment, charged: usize },
+    /// Cold: only the summary is resident; the encoded page lives in the
+    /// shard's page file.
+    Spilled { page: PageId },
+}
+
+#[derive(Debug)]
+struct Slot {
+    meta: SlotMeta,
+    backing: Backing,
+}
+
+/// A segment either borrowed from a resident slot or faulted in from disk.
+enum SegRef<'a> {
+    Resident(&'a Segment),
+    Paged(Arc<Segment>),
+}
+
+impl std::ops::Deref for SegRef<'_> {
+    type Target = Segment;
+
+    fn deref(&self) -> &Segment {
+        match self {
+            SegRef::Resident(segment) => segment,
+            SegRef::Paged(segment) => segment,
+        }
+    }
+}
+
+/// A merged list whose cold sealed segments live in the shard's page file.
+/// Logically identical to [`crate::segment::SegmentList`]: the sequence is
+/// `slots[0] ++ slots[1] ++ ... ++ tail`, descending in TRS.
+#[derive(Debug)]
+pub struct SpillList {
+    slots: Vec<Slot>,
+    tail: Vec<OrderedElement>,
+    config: SegmentConfig,
+    pager: Arc<Pager>,
+    /// Cached sum of slot element counts (the tail adds `tail.len()`).
+    seg_elems: usize,
+}
+
+impl SpillList {
+    fn build(
+        elements: Vec<OrderedElement>,
+        config: SegmentConfig,
+        pager: Arc<Pager>,
+    ) -> Result<Self, StoreError> {
+        let seg_elems = elements.len();
+        let segments = encode_segments(&elements, &config)?;
+        let mut list = SpillList {
+            slots: Vec::with_capacity(segments.len()),
+            tail: Vec::new(),
+            config,
+            pager,
+            seg_elems,
+        };
+        // Greedy budget charging in build order: within this list the hot
+        // end (what top-k queries touch) charges before the cold depths,
+        // but the shard budget is shared first-come across its lists — a
+        // partial budget favours lists built earlier.  Access-driven
+        // placement across lists is a ROADMAP item (spill-aware
+        // demotion/promotion).
+        let slots = list.place_segments(segments)?;
+        list.slots = slots;
+        Ok(list)
+    }
+
+    /// Number of sealed slots currently spilled to disk (tests, reports).
+    pub fn spilled_slots(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s.backing, Backing::Spilled { .. }))
+            .count()
+    }
+
+    /// Number of sealed slots (resident + spilled).
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Places freshly encoded segments: resident while the shard budget
+    /// covers them, spilled otherwise.  On any failure the pages written so
+    /// far are released, leaving the accounting consistent and the list
+    /// untouched.
+    fn place_segments(&self, segments: Vec<Segment>) -> Result<Vec<Slot>, StoreError> {
+        let mut slots = Vec::with_capacity(segments.len());
+        for segment in segments {
+            match self.place(segment) {
+                Ok(slot) => slots.push(slot),
+                Err(e) => {
+                    for slot in slots {
+                        self.release_slot(&slot.backing);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(slots)
+    }
+
+    fn place(&self, segment: Segment) -> Result<Slot, StoreError> {
+        let meta = SlotMeta::of(&segment);
+        let charge = segment.resident_bytes();
+        let backing = if self.pager.try_charge(charge) {
+            Backing::Resident {
+                segment,
+                charged: charge,
+            }
+        } else {
+            let page = self.pager.write_page(&segment)?;
+            Backing::Spilled { page }
+        };
+        Ok(Slot { meta, backing })
+    }
+
+    fn release_slot(&self, backing: &Backing) {
+        match backing {
+            Backing::Resident { charged, .. } => self.pager.uncharge(*charged),
+            Backing::Spilled { page } => self.pager.release_page(*page),
+        }
+    }
+
+    /// Resolves slot `k` to a readable segment, faulting its page in from
+    /// disk when spilled.
+    fn segment(&self, k: usize) -> Result<SegRef<'_>, StoreError> {
+        match &self.slots[k].backing {
+            Backing::Resident { segment, .. } => Ok(SegRef::Resident(segment)),
+            Backing::Spilled { page } => Ok(SegRef::Paged(self.pager.fetch(*page)?)),
+        }
+    }
+
+    /// Seals the tail into new slot(s) and compacts resident neighbours.
+    /// The tail is only cleared once every piece is placed, so a failed
+    /// seal leaves the list untouched.
+    fn seal_tail(&mut self) -> Result<(), StoreError> {
+        if self.tail.is_empty() {
+            return Ok(());
+        }
+        let mut sealed = Vec::new();
+        encode_chunk_split(&self.tail, &self.config, &mut sealed)?;
+        let slots = self.place_segments(sealed)?;
+        self.seg_elems += self.tail.len();
+        self.slots.extend(slots);
+        self.tail.clear();
+        self.compact();
+        Ok(())
+    }
+
+    /// Insert-amortized compaction over **resident** adjacent pairs only —
+    /// spilled segments are immutable cold storage and merging them would
+    /// mean paying page faults on the write path.  A stack held deep by
+    /// spilled slots is tolerated; background page-file compaction owns
+    /// that (ROADMAP).
+    fn compact(&mut self) {
+        let byte_bound = self.config.payload_bound();
+        while self.slots.len() > self.config.max_segments {
+            let mut best: Option<(usize, usize)> = None;
+            for i in 0..self.slots.len() - 1 {
+                let (Backing::Resident { segment: a, .. }, Backing::Resident { segment: b, .. }) =
+                    (&self.slots[i].backing, &self.slots[i + 1].backing)
+                else {
+                    continue;
+                };
+                let combined = self.slots[i].meta.elems + self.slots[i + 1].meta.elems;
+                if combined <= self.config.max_segment_elems
+                    && a.payload_len() + b.payload_len() <= byte_bound
+                    && best.is_none_or(|(_, c)| combined < c)
+                {
+                    best = Some((i, combined));
+                }
+            }
+            let Some((i, _)) = best else { break };
+            let right = self.slots.remove(i + 1);
+            let left = self.slots.remove(i);
+            let (
+                Backing::Resident {
+                    segment: mut merged,
+                    charged: charged_left,
+                },
+                Backing::Resident {
+                    segment: right_seg,
+                    charged: charged_right,
+                },
+            ) = (left.backing, right.backing)
+            else {
+                unreachable!("compaction only selects resident pairs");
+            };
+            match merged.absorb(right_seg) {
+                Ok(()) => {
+                    self.pager.uncharge(charged_left + charged_right);
+                    let charge = merged.resident_bytes();
+                    // The merged segment stays resident: compaction must not
+                    // turn a hot pair cold.  If the budget cannot cover the
+                    // (small) delta, charge it anyway; tail seals will spill
+                    // against the deficit.
+                    if !self.pager.try_charge(charge) {
+                        self.pager.force_charge(charge);
+                    }
+                    self.slots.insert(
+                        i,
+                        Slot {
+                            meta: SlotMeta::of(&merged),
+                            backing: Backing::Resident {
+                                segment: merged,
+                                charged: charge,
+                            },
+                        },
+                    );
+                }
+                Err(right_seg) => {
+                    // Unreachable given the byte-bound pre-check; reattach
+                    // both and stop compacting.
+                    self.slots.insert(
+                        i,
+                        Slot {
+                            meta: SlotMeta::of(&right_seg),
+                            backing: Backing::Resident {
+                                segment: right_seg,
+                                charged: charged_right,
+                            },
+                        },
+                    );
+                    self.slots.insert(
+                        i,
+                        Slot {
+                            meta: SlotMeta::of(&merged),
+                            backing: Backing::Resident {
+                                segment: merged,
+                                charged: charged_left,
+                            },
+                        },
+                    );
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Rebuilds slot `k` as `decoded` (already containing the inserted
+    /// element).  The old slot is only replaced after every new piece is
+    /// placed; a spilled slot's rebuild appends fresh pages and strands the
+    /// old page as file garbage.
+    fn rebuild_slot(&mut self, k: usize, decoded: Vec<OrderedElement>) -> Result<(), StoreError> {
+        let rebuilt = encode_rebuilt(&decoded, &self.config)?;
+        let was_spilled = matches!(self.slots[k].backing, Backing::Spilled { .. });
+        // Free the old slot's budget charge up front so the rebuilt
+        // segments compete for the bytes the slot itself was holding —
+        // otherwise a near-full budget would demote a hot resident head to
+        // disk on every interior insert.  Restored if placement fails.
+        let old_charge = match &self.slots[k].backing {
+            Backing::Resident { charged, .. } => *charged,
+            Backing::Spilled { .. } => 0,
+        };
+        self.pager.uncharge(old_charge);
+        let placed = if was_spilled {
+            // Stay cold: the segment was not worth resident bytes before the
+            // insert and one insert does not make it hot.
+            let mut slots = Vec::with_capacity(rebuilt.len());
+            let mut failure = None;
+            for segment in rebuilt {
+                let meta = SlotMeta::of(&segment);
+                match self.pager.write_page(&segment) {
+                    Ok(page) => slots.push(Slot {
+                        meta,
+                        backing: Backing::Spilled { page },
+                    }),
+                    Err(e) => {
+                        for slot in slots.drain(..) {
+                            self.release_slot(&slot.backing);
+                        }
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            match failure {
+                None => Ok(slots),
+                Some(e) => Err(e),
+            }
+        } else {
+            self.place_segments(rebuilt)
+        };
+        let new_slots = match placed {
+            Ok(slots) => slots,
+            Err(e) => {
+                self.pager.force_charge(old_charge);
+                return Err(e);
+            }
+        };
+        self.seg_elems += 1;
+        let old: Vec<Slot> = self.slots.splice(k..=k, new_slots).collect();
+        for slot in old {
+            match slot.backing {
+                // The budget charge was already released above.
+                Backing::Resident { .. } => {}
+                Backing::Spilled { page } => self.pager.release_page(page),
+            }
+        }
+        if self.slots.len() > self.config.max_segments {
+            self.compact();
+        }
+        Ok(())
+    }
+}
+
+impl OrderedList for SpillList {
+    fn len(&self) -> usize {
+        self.seg_elems + self.tail.len()
+    }
+
+    fn snapshot(&self) -> Result<Vec<OrderedElement>, StoreError> {
+        let mut out = Vec::with_capacity(self.len());
+        for k in 0..self.slots.len() {
+            out.extend(self.segment(k)?.decode_all());
+        }
+        out.extend(self.tail.iter().cloned());
+        Ok(out)
+    }
+
+    fn visible_total(&self, accessible: Option<&[GroupId]>, meter: &AtomicU64) -> usize {
+        match accessible {
+            None => self.len(),
+            Some(_) => {
+                // Slot summaries answer for the sealed part without faulting
+                // a single page; only the (small) tail is examined.
+                meter.fetch_add(self.tail.len() as u64, Ordering::Relaxed);
+                let sealed: usize = self
+                    .slots
+                    .iter()
+                    .map(|s| s.meta.visible_under(accessible))
+                    .sum();
+                sealed
+                    + self
+                        .tail
+                        .iter()
+                        .filter(|e| is_visible(e, accessible))
+                        .count()
+            }
+        }
+    }
+
+    fn scan(
+        &self,
+        start: usize,
+        skip: usize,
+        count: usize,
+        accessible: Option<&[GroupId]>,
+    ) -> Result<(Vec<OrderedElement>, usize), StoreError> {
+        let total = self.len();
+        let mut elements = Vec::with_capacity(count.min(total.saturating_sub(start)));
+        let mut skipped = 0usize;
+        let mut pos = 0usize;
+        for k in 0..self.slots.len() {
+            let elems = self.slots[k].meta.elems;
+            if pos + elems <= start {
+                pos += elems;
+                continue;
+            }
+            // Wholesale visible-skip from the summary: a slot whose visible
+            // elements would all be skipped is passed over without paying a
+            // page fault.
+            if pos >= start && skipped < skip {
+                let visible = self.slots[k].meta.visible_under(accessible);
+                if skipped + visible <= skip {
+                    skipped += visible;
+                    pos += elems;
+                    continue;
+                }
+            }
+            let segment = self.segment(k)?;
+            if let Some(next) = segment.scan_part(
+                pos,
+                start,
+                skip,
+                &mut skipped,
+                count,
+                &mut elements,
+                accessible,
+            ) {
+                return Ok((elements, next));
+            }
+            pos += elems;
+        }
+        for (j, element) in self.tail.iter().enumerate() {
+            let idx = self.seg_elems + j;
+            if idx < start || !is_visible(element, accessible) {
+                continue;
+            }
+            if skipped < skip {
+                skipped += 1;
+                continue;
+            }
+            elements.push(element.clone());
+            if elements.len() == count {
+                return Ok((elements, idx + 1));
+            }
+        }
+        Ok((elements, total.max(start)))
+    }
+
+    fn position_after_visible(
+        &self,
+        delivered: usize,
+        accessible: Option<&[GroupId]>,
+    ) -> Result<usize, StoreError> {
+        let mut remaining = delivered;
+        let mut pos = 0usize;
+        for k in 0..self.slots.len() {
+            if remaining == 0 {
+                return Ok(pos);
+            }
+            let visible = self.slots[k].meta.visible_under(accessible);
+            if visible < remaining {
+                // The whole slot is consumed: account for it from the
+                // summary alone, no page fault.
+                remaining -= visible;
+                pos += self.slots[k].meta.elems;
+                continue;
+            }
+            let segment = self.segment(k)?;
+            if let Some(found) = segment.position_part(pos, &mut remaining, accessible) {
+                return Ok(found);
+            }
+            pos += self.slots[k].meta.elems;
+        }
+        for (j, element) in self.tail.iter().enumerate() {
+            if remaining == 0 {
+                return Ok(self.seg_elems + j);
+            }
+            if is_visible(element, accessible) {
+                remaining -= 1;
+            }
+        }
+        Ok(self.len())
+    }
+
+    fn insert(&mut self, element: OrderedElement) -> Result<usize, StoreError> {
+        if !self.config.element_fits(&element) {
+            return Err(StoreError::SegmentOverflow);
+        }
+        let trs = element.trs;
+        let mut base = 0usize;
+        for k in 0..self.slots.len() {
+            if self.slots[k].meta.min_trs() > trs {
+                // Every element of this slot sorts strictly before the new
+                // one (summary-only check): the partition point is further
+                // down.
+                base += self.slots[k].meta.elems;
+                continue;
+            }
+            // The partition point lies inside this slot: fault it (if
+            // cold), locate the exact position and rebuild.
+            let (local, mut decoded) = {
+                let segment = self.segment(k)?;
+                (segment.insert_pos(trs), segment.decode_all())
+            };
+            decoded.insert(local, element);
+            let pos = base + local;
+            self.rebuild_slot(k, decoded)?;
+            return Ok(pos);
+        }
+        // Every sealed element sorts strictly before the new one: the tail
+        // absorbs the insert.
+        let local = self.tail.partition_point(|e| e.trs > trs);
+        self.tail.insert(local, element);
+        let pos = base + local;
+        if self.tail.len() > self.config.tail_threshold {
+            if let Err(e) = self.seal_tail() {
+                // A failed seal leaves the tail intact: take the new element
+                // back out so an errored insert never half-applies (the
+                // caller skips the generation bump and cursor shifts).
+                self.tail.remove(local);
+                return Err(e);
+            }
+        }
+        Ok(pos)
+    }
+
+    fn stored_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| s.meta.stored_bytes)
+            .sum::<usize>()
+            + self
+                .tail
+                .iter()
+                .map(|e| e.sealed.stored_bytes() + zerber_r::TRS_BYTES)
+                .sum::<usize>()
+    }
+
+    fn ciphertext_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| s.meta.ciphertext_bytes)
+            .sum::<usize>()
+            + self
+                .tail
+                .iter()
+                .map(|e| e.sealed.ciphertext.len())
+                .sum::<usize>()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .slots
+                .iter()
+                .map(|s| {
+                    std::mem::size_of::<Slot>()
+                        + s.meta.counts.capacity() * std::mem::size_of::<(GroupId, u32)>()
+                        + match &s.backing {
+                            Backing::Resident { segment, .. } => segment.resident_bytes(),
+                            Backing::Spilled { .. } => 0,
+                        }
+                })
+                .sum::<usize>()
+            + self.tail.capacity() * std::mem::size_of::<OrderedElement>()
+            + self
+                .tail
+                .iter()
+                .map(|e| e.sealed.ciphertext.capacity())
+                .sum::<usize>()
+    }
+
+    fn ordering_ok(&self) -> bool {
+        self.snapshot()
+            .map(|s| s.windows(2).all(|w| w[0].trs >= w[1].trs))
+            .unwrap_or(false)
+    }
+}
+
+/// Allocates a fresh unique directory under the shared temp staging root
+/// (`<tmp>/zerber-spill/<pid>-<n>`), removed again when the store drops.
+fn unique_temp_dir() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join("zerber-spill").join(format!(
+        "{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// The fourth storage engine: sharded spill-to-disk segment storage.
+///
+/// Built on the same [`ShardedCore`] concurrency machinery (and therefore
+/// the same cursor-session, generation and eviction behaviour) as the other
+/// engines; only the physical layout differs.  Cold sealed segments live in
+/// per-shard page files and come back through a byte-budgeted LRU page
+/// cache; `resident_bytes`, `spilled_bytes`, `page_faults` and
+/// `page_evictions` make the memory/disk split observable.
+#[derive(Debug)]
+pub struct SpillStore {
+    core: ShardedCore<SpillList>,
+    pagers: Vec<Arc<Pager>>,
+}
+
+impl SpillStore {
+    /// Builds a spill store rooted at `dir` with machine-matched shards and
+    /// default tuning.
+    pub fn new(index: OrderedIndex, dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        Self::with_config(index, default_shards(), dir, SpillConfig::default())
+    }
+
+    /// Builds a spill store with explicit shard count and spill tuning.
+    pub fn with_config(
+        index: OrderedIndex,
+        num_shards: usize,
+        dir: impl Into<PathBuf>,
+        config: SpillConfig,
+    ) -> Result<Self, StoreError> {
+        Self::with_configs(index, num_shards, dir, config, SegmentConfig::default())
+    }
+
+    /// Builds a spill store with explicit spill *and* segment-layout tuning
+    /// (tests use tiny blocks/segments to cross page boundaries cheaply).
+    pub fn with_configs(
+        index: OrderedIndex,
+        num_shards: usize,
+        dir: impl Into<PathBuf>,
+        config: SpillConfig,
+        segment: SegmentConfig,
+    ) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(io_err)?;
+        // Refuse a directory another store is already using: page files are
+        // opened with truncate and deleted on drop, so sharing a root would
+        // silently clobber the other store's cold data.
+        for entry in fs::read_dir(&dir).map_err(io_err)? {
+            let name = entry.map_err(io_err)?.file_name();
+            if name.to_string_lossy().ends_with(".pages") {
+                return Err(StoreError::Io(format!(
+                    "spill directory {} already holds page files ({}); \
+                     every store needs its own root",
+                    dir.display(),
+                    name.to_string_lossy(),
+                )));
+            }
+        }
+        let root = Arc::new(SpillRoot { dir: dir.clone() });
+        let num_shards = num_shards.clamp(1, MAX_SHARDS);
+        let pagers: Vec<Arc<Pager>> = (0..num_shards)
+            .map(|shard| Pager::create(&dir, shard, &config, Arc::clone(&root)))
+            .collect::<Result<_, _>>()?;
+        let core = ShardedCore::build(index, num_shards, |shard, list| {
+            SpillList::build(list, segment, Arc::clone(&pagers[shard]))
+        })?;
+        Ok(SpillStore { core, pagers })
+    }
+
+    /// Builds a spill store in a fresh unique directory under the system
+    /// temp dir (removed on drop) — the zero-configuration entry point the
+    /// server and test bed use.
+    pub fn in_temp_dir(
+        index: OrderedIndex,
+        num_shards: usize,
+        config: SpillConfig,
+    ) -> Result<Self, StoreError> {
+        Self::with_config(index, num_shards, unique_temp_dir(), config)
+    }
+
+    /// Like [`SpillStore::in_temp_dir`] with explicit segment tuning.
+    pub fn in_temp_dir_with(
+        index: OrderedIndex,
+        num_shards: usize,
+        config: SpillConfig,
+        segment: SegmentConfig,
+    ) -> Result<Self, StoreError> {
+        Self::with_configs(index, num_shards, unique_temp_dir(), config, segment)
+    }
+
+    /// The per-shard page files backing the spilled segments.
+    pub fn page_file_paths(&self) -> Vec<PathBuf> {
+        self.pagers.iter().map(|p| p.path.clone()).collect()
+    }
+
+    /// Bytes currently held by the LRU page caches (part of
+    /// [`ListStore::resident_bytes`]).
+    pub fn page_cache_bytes(&self) -> usize {
+        self.pagers.iter().map(|p| p.cache_bytes()).sum()
+    }
+
+    /// Bytes of sealed segments currently charged against the per-shard
+    /// resident budgets (the budget-side view of what stayed hot).
+    pub fn resident_charge_bytes(&self) -> usize {
+        self.pagers
+            .iter()
+            .map(|p| p.resident_charge.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl ListStore for SpillStore {
+    fn plan(&self) -> &zerber_base::MergePlan {
+        self.core.plan()
+    }
+
+    fn num_shards(&self) -> usize {
+        self.core.num_shards()
+    }
+
+    fn shard_of(&self, list: MergedListId) -> usize {
+        self.core.shard_of(list)
+    }
+
+    fn num_elements(&self) -> usize {
+        self.core.num_elements()
+    }
+
+    fn stored_bytes(&self) -> usize {
+        self.core.stored_bytes()
+    }
+
+    fn ciphertext_bytes(&self) -> usize {
+        self.core.ciphertext_bytes()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        // The shared page caches are shard state, not per-list state: add
+        // them on top of the per-list summaries/tails/resident segments.
+        self.core.resident_bytes() + self.page_cache_bytes()
+    }
+
+    fn spilled_bytes(&self) -> usize {
+        self.pagers
+            .iter()
+            .map(|p| p.spilled.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn page_faults(&self) -> u64 {
+        self.pagers
+            .iter()
+            .map(|p| p.faults.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn page_evictions(&self) -> u64 {
+        self.pagers
+            .iter()
+            .map(|p| p.evictions.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn list_len(&self, list: MergedListId) -> Result<usize, StoreError> {
+        self.core.list_len(list)
+    }
+
+    fn visible_len(
+        &self,
+        list: MergedListId,
+        accessible: Option<&[GroupId]>,
+    ) -> Result<usize, StoreError> {
+        self.core.visible_len(list, accessible)
+    }
+
+    fn snapshot_list(&self, list: MergedListId) -> Result<Vec<OrderedElement>, StoreError> {
+        self.core.snapshot_list(list)
+    }
+
+    fn fetch_ranged(
+        &self,
+        fetch: &RangedFetch,
+        accessible: Option<&[GroupId]>,
+    ) -> Result<RangedBatch, StoreError> {
+        self.core.fetch_ranged(fetch, accessible)
+    }
+
+    fn execute_shard_batch(&self, jobs: &[StoreJob]) -> ShardBatchOutput {
+        self.core.execute_shard_batch(jobs)
+    }
+
+    fn lock_acquisitions(&self) -> u64 {
+        self.core.lock_acquisitions()
+    }
+
+    fn open_cursor(
+        &self,
+        list: MergedListId,
+        owner: u64,
+        batch: &RangedBatch,
+        delivered: usize,
+        accessible: Option<&[GroupId]>,
+    ) -> Result<CursorId, StoreError> {
+        self.core
+            .open_cursor(list, owner, batch, delivered, accessible)
+    }
+
+    fn cursor_fetch(
+        &self,
+        cursor: CursorId,
+        owner: u64,
+        count: usize,
+        accessible: Option<&[GroupId]>,
+    ) -> Result<RangedBatch, StoreError> {
+        self.core.cursor_fetch(cursor, owner, count, accessible)
+    }
+
+    fn close_cursor(&self, cursor: CursorId, owner: u64) {
+        self.core.close_cursor(cursor, owner)
+    }
+
+    fn open_cursors(&self) -> usize {
+        self.core.open_cursors()
+    }
+
+    fn session_stats(&self) -> SessionStats {
+        self.core.session_stats()
+    }
+
+    fn visibility_scan_cost(&self) -> u64 {
+        self.core.visibility_scan_cost()
+    }
+
+    fn insert(&self, list: MergedListId, element: OrderedElement) -> Result<usize, StoreError> {
+        self.core.insert(list, element)
+    }
+
+    fn verify_ordering(&self) -> bool {
+        self.core.verify_ordering()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::VecList;
+    use zerber_base::{EncryptedElement, MergePlan};
+    use zerber_corpus::TermId;
+
+    fn element(trs: f64, group: u32, ct: &[u8]) -> OrderedElement {
+        OrderedElement {
+            trs,
+            group: GroupId(group),
+            sealed: EncryptedElement {
+                group: GroupId(group),
+                ciphertext: ct.to_vec(),
+            },
+        }
+    }
+
+    fn sorted_elements(n: usize, seed: u8) -> Vec<OrderedElement> {
+        (0..n)
+            .map(|i| {
+                element(
+                    1.0 - i as f64 / n as f64,
+                    (i % 3) as u32,
+                    &[seed.wrapping_add(i as u8); 8],
+                )
+            })
+            .collect()
+    }
+
+    fn index(lists: Vec<Vec<OrderedElement>>) -> OrderedIndex {
+        let plan = MergePlan::from_term_lists(
+            (0..lists.len()).map(|i| vec![TermId(i as u32)]).collect(),
+            "spill-fixture",
+            2.0,
+        );
+        OrderedIndex::from_parts(lists, plan)
+    }
+
+    fn small_segment_config() -> SegmentConfig {
+        SegmentConfig {
+            block_len: 4,
+            tail_threshold: 3,
+            max_segment_elems: 16,
+            max_segments: 3,
+            max_payload_bytes: u32::MAX as usize,
+        }
+    }
+
+    fn store_with(
+        lists: Vec<Vec<OrderedElement>>,
+        shards: usize,
+        config: SpillConfig,
+    ) -> SpillStore {
+        SpillStore::in_temp_dir_with(index(lists), shards, config, small_segment_config()).unwrap()
+    }
+
+    #[test]
+    fn spill_engine_matches_the_vec_layout_through_inserts_and_cursors() {
+        let elements = sorted_elements(30, 0);
+        let store = store_with(
+            vec![elements.clone()],
+            1,
+            SpillConfig {
+                resident_budget_bytes: 0,
+                page_cache_pages: 2,
+            },
+        );
+        let mut reference = VecList::from_elements(elements);
+        let list = MergedListId(0);
+        assert_eq!(
+            store.snapshot_list(list).unwrap(),
+            reference.snapshot().unwrap()
+        );
+        // Interleave inserts across the whole TRS range with fetches.
+        for (i, trs) in [0.95, 0.5, 0.005, 0.5, 0.31, 0.0].into_iter().enumerate() {
+            let e = element(trs, (i % 3) as u32, &[0xAB; 8]);
+            assert_eq!(
+                store.insert(list, e.clone()).unwrap(),
+                reference.insert(e).unwrap(),
+                "probe {trs}"
+            );
+            let groups = [GroupId(0), GroupId(2)];
+            for offset in [0usize, 5, 17] {
+                let fetch = RangedFetch {
+                    list,
+                    offset,
+                    count: 4,
+                };
+                let got = store.fetch_ranged(&fetch, Some(&groups)).unwrap();
+                let (expected, _) = reference.scan(0, offset, 4, Some(&groups)).unwrap();
+                assert_eq!(got.elements, expected);
+            }
+        }
+        assert_eq!(
+            store.snapshot_list(list).unwrap(),
+            reference.snapshot().unwrap()
+        );
+        assert!(store.verify_ordering());
+        // A cursor walk over the spilled list equals the reference order.
+        let head = store
+            .fetch_ranged(
+                &RangedFetch {
+                    list,
+                    offset: 0,
+                    count: 3,
+                },
+                None,
+            )
+            .unwrap();
+        let cursor = store.open_cursor(list, 5, &head, 3, None).unwrap();
+        let mut walked = head.elements.clone();
+        loop {
+            let batch = store.cursor_fetch(cursor, 5, 3, None).unwrap();
+            walked.extend(batch.elements.iter().cloned());
+            if batch.exhausted {
+                break;
+            }
+        }
+        assert_eq!(walked, reference.snapshot().unwrap());
+    }
+
+    #[test]
+    fn budgeted_heads_stay_resident_and_cold_depths_spill() {
+        // Two segments per list (32 elems / max 16): with a budget covering
+        // roughly one segment per list, the hot head stays resident and the
+        // cold depth spills.
+        let store = store_with(
+            vec![sorted_elements(32, 0)],
+            1,
+            SpillConfig {
+                resident_budget_bytes: 600,
+                page_cache_pages: 4,
+            },
+        );
+        assert!(store.spilled_bytes() > 0, "cold segments must spill");
+        let faults_before = store.page_faults();
+        // A top-of-list read is served from the resident head: no faults.
+        store
+            .fetch_ranged(
+                &RangedFetch {
+                    list: MergedListId(0),
+                    offset: 0,
+                    count: 4,
+                },
+                None,
+            )
+            .unwrap();
+        assert_eq!(store.page_faults(), faults_before);
+        // A deep read faults the cold page in.
+        store
+            .fetch_ranged(
+                &RangedFetch {
+                    list: MergedListId(0),
+                    offset: 28,
+                    count: 4,
+                },
+                None,
+            )
+            .unwrap();
+        assert!(store.page_faults() > faults_before);
+
+        // And with an unbounded budget nothing spills at all.
+        let all_hot = store_with(
+            vec![sorted_elements(32, 0)],
+            1,
+            SpillConfig {
+                resident_budget_bytes: usize::MAX,
+                page_cache_pages: 4,
+            },
+        );
+        assert_eq!(all_hot.spilled_bytes(), 0);
+        all_hot.snapshot_list(MergedListId(0)).unwrap();
+        assert_eq!(all_hot.page_faults(), 0);
+    }
+
+    #[test]
+    fn shard_batches_fault_each_page_at_most_once_per_round() {
+        // Two single-segment lists on one shard, a one-page cache: an
+        // interleaved round would fault 4 times served in input order; the
+        // batch groups jobs by list, so each page faults exactly once.
+        let store = store_with(
+            vec![sorted_elements(12, 0), sorted_elements(12, 100)],
+            1,
+            SpillConfig {
+                resident_budget_bytes: 0,
+                page_cache_pages: 1,
+            },
+        );
+        assert_eq!(store.page_faults(), 0);
+        let fetch = |l: u64| RangedFetch {
+            list: MergedListId(l),
+            offset: 0,
+            count: 12,
+        };
+        let jobs = [
+            StoreJob::ranged(fetch(0), None),
+            StoreJob::ranged(fetch(1), None),
+            StoreJob::ranged(fetch(0), None),
+            StoreJob::ranged(fetch(1), None),
+        ];
+        let out = store.execute_shard_batch(&jobs);
+        assert!(out.results.iter().all(|r| r.is_ok()));
+        assert_eq!(out.lock_acquisitions, 1);
+        assert_eq!(
+            store.page_faults(),
+            2,
+            "one fault per distinct page, not per job"
+        );
+        assert_eq!(store.page_evictions(), 1, "the one-page cache rotated once");
+        // Results are still reported in input order.
+        assert_eq!(
+            out.results[0].as_ref().unwrap(),
+            out.results[2].as_ref().unwrap()
+        );
+        assert_ne!(
+            out.results[0].as_ref().unwrap().elements,
+            out.results[1].as_ref().unwrap().elements
+        );
+    }
+
+    #[test]
+    fn corrupt_pages_error_per_request_and_spare_the_rest_of_the_shard() {
+        // No page cache: every cold read goes to the (corruptible) disk.
+        let store = store_with(
+            vec![sorted_elements(12, 0), sorted_elements(12, 100)],
+            1,
+            SpillConfig {
+                resident_budget_bytes: 0,
+                page_cache_pages: 0,
+            },
+        );
+        let paths = store.page_file_paths();
+        assert_eq!(paths.len(), 1);
+        let reference = store.snapshot_list(MergedListId(1)).unwrap();
+
+        // Flip bytes inside list 0's page (written first, at offset 0).
+        let mut bytes = fs::read(&paths[0]).unwrap();
+        for b in bytes.iter_mut().take(24) {
+            *b ^= 0x5A;
+        }
+        fs::write(&paths[0], &bytes).unwrap();
+        let fetch = |l: u64| RangedFetch {
+            list: MergedListId(l),
+            offset: 0,
+            count: 12,
+        };
+        // The corrupt page surfaces as a StoreError for list 0 alone...
+        assert!(matches!(
+            store.fetch_ranged(&fetch(0), None),
+            Err(StoreError::CorruptSegment(_) | StoreError::Io(_))
+        ));
+        // ...while the same shard keeps serving its other list, summaries
+        // included, and accepts writes.
+        let batch = store.fetch_ranged(&fetch(1), None).unwrap();
+        assert_eq!(batch.elements, reference);
+        assert_eq!(
+            store
+                .visible_len(MergedListId(0), Some(&[GroupId(0)]))
+                .unwrap(),
+            4,
+            "summaries answer without touching the corrupt page"
+        );
+        store
+            .insert(MergedListId(1), element(0.0001, 0, &[1, 2, 3]))
+            .unwrap();
+
+        // A cross-user shard round isolates the poisoned request the same
+        // way the stream scheduler isolates a stale cursor.
+        let jobs = [
+            StoreJob::ranged(fetch(0), None),
+            StoreJob::ranged(fetch(1), None),
+        ];
+        let out = store.execute_shard_batch(&jobs);
+        assert!(out.results[0].is_err());
+        assert!(out.results[1].is_ok());
+
+        // Truncation (a torn write) is surfaced too, as an I/O or
+        // validation error, never a panic.
+        fs::write(&paths[0], &bytes[..bytes.len() / 2]).unwrap();
+        assert!(store.fetch_ranged(&fetch(1), None).is_err());
+        assert!(store.fetch_ranged(&fetch(0), None).is_err());
+    }
+
+    #[test]
+    fn interior_inserts_keep_the_hot_head_resident_under_a_tight_budget() {
+        // Probe the fully-resident charge, then rebuild the store with that
+        // budget plus a sliver of headroom: everything fits, but there is
+        // far less spare room than one whole segment.  An interior insert
+        // must re-use the charge of the slot it rebuilds instead of
+        // competing for fresh budget — otherwise the hot head would be
+        // demoted to disk by its own rebuild.
+        let probe = store_with(
+            vec![sorted_elements(32, 0)],
+            1,
+            SpillConfig {
+                resident_budget_bytes: usize::MAX,
+                page_cache_pages: 0,
+            },
+        );
+        let charge = probe.resident_charge_bytes();
+        assert!(charge > 0);
+        drop(probe);
+        let store = store_with(
+            vec![sorted_elements(32, 0)],
+            1,
+            SpillConfig {
+                resident_budget_bytes: charge + 256,
+                page_cache_pages: 0,
+            },
+        );
+        assert_eq!(store.spilled_bytes(), 0, "everything starts resident");
+        // An interior insert near the top of the list rebuilds the head
+        // segment in place.
+        store
+            .insert(MergedListId(0), element(0.99, 0, &[7u8; 8]))
+            .unwrap();
+        assert_eq!(
+            store.spilled_bytes(),
+            0,
+            "the rebuilt head segment must stay resident"
+        );
+        let faults = store.page_faults();
+        store
+            .fetch_ranged(
+                &RangedFetch {
+                    list: MergedListId(0),
+                    offset: 0,
+                    count: 4,
+                },
+                None,
+            )
+            .unwrap();
+        assert_eq!(store.page_faults(), faults, "head reads stay fault-free");
+    }
+
+    #[test]
+    fn explicit_spill_roots_are_cleaned_up_too() {
+        let dir = unique_temp_dir();
+        let store = SpillStore::with_config(
+            index(vec![sorted_elements(8, 0)]),
+            2,
+            &dir,
+            SpillConfig {
+                resident_budget_bytes: 0,
+                page_cache_pages: 1,
+            },
+        )
+        .unwrap();
+        assert!(dir.exists());
+        assert_eq!(store.page_file_paths().len(), 2);
+        drop(store);
+        assert!(
+            !dir.exists(),
+            "spill root {} must be removed",
+            dir.display()
+        );
+    }
+}

@@ -198,6 +198,27 @@ pub trait ListStore: Send + Sync + std::fmt::Debug {
     /// occupies — what the compressed-segment engine is measured against.
     fn resident_bytes(&self) -> usize;
 
+    /// Bytes of index state spilled to secondary storage (0 for the
+    /// in-memory engines).  For the spill engine,
+    /// `spilled_bytes + resident_bytes` approximates the in-memory segment
+    /// engine's resident footprint: the same encoded pages, just cold ones
+    /// living on disk.
+    fn spilled_bytes(&self) -> usize {
+        0
+    }
+
+    /// Pages read back (and re-validated) from secondary storage since the
+    /// store was built (0 for the in-memory engines).
+    fn page_faults(&self) -> u64 {
+        0
+    }
+
+    /// Pages evicted from the page cache since the store was built (0 for
+    /// the in-memory engines).
+    fn page_evictions(&self) -> u64 {
+        0
+    }
+
     /// Physical length of one merged list.
     fn list_len(&self, list: MergedListId) -> Result<usize, StoreError>;
 
@@ -313,11 +334,6 @@ pub trait ListStore: Send + Sync + std::fmt::Debug {
 /// in the logical descending-TRS sequence; implementations must agree
 /// element-for-element with the reference `Vec` layout.
 pub trait OrderedList: Send + Sync + std::fmt::Debug {
-    /// Builds the list from its ordered (descending-TRS) elements.
-    fn from_elements(elements: Vec<OrderedElement>) -> Self
-    where
-        Self: Sized;
-
     /// Number of elements held.
     fn len(&self) -> usize;
 
@@ -326,8 +342,9 @@ pub trait OrderedList: Send + Sync + std::fmt::Debug {
         self.len() == 0
     }
 
-    /// A full ordered copy of the list (audits and tests only).
-    fn snapshot(&self) -> Vec<OrderedElement>;
+    /// A full ordered copy of the list (audits and tests only).  Layouts
+    /// backed by spilled pages may fail here if a page no longer decodes.
+    fn snapshot(&self) -> Result<Vec<OrderedElement>, StoreError>;
 
     /// Number of elements visible under `accessible`.  `meter` counts the
     /// elements *individually examined* to produce the answer — layouts with
@@ -338,22 +355,31 @@ pub trait OrderedList: Send + Sync + std::fmt::Debug {
     /// Scans from physical index `start`, skipping `skip` visible elements,
     /// then collecting up to `count` visible elements.  Returns the
     /// collected elements and the physical index just past the last scanned
-    /// element (`max(len, start)` if the scan ran off the end).
+    /// element (`max(len, start)` if the scan ran off the end).  Fallible:
+    /// a layout reading spilled pages surfaces corrupt or unreadable pages
+    /// as a [`StoreError`] instead of panicking.
     fn scan(
         &self,
         start: usize,
         skip: usize,
         count: usize,
         accessible: Option<&[GroupId]>,
-    ) -> (Vec<OrderedElement>, usize);
+    ) -> Result<(Vec<OrderedElement>, usize), StoreError>;
 
     /// The physical index just past the first `delivered` visible elements —
     /// where a session that has received `delivered` elements resumes.
-    fn position_after_visible(&self, delivered: usize, accessible: Option<&[GroupId]>) -> usize;
+    fn position_after_visible(
+        &self,
+        delivered: usize,
+        accessible: Option<&[GroupId]>,
+    ) -> Result<usize, StoreError>;
 
     /// Inserts an element at its TRS position (after strictly greater,
-    /// before equal), returning the physical insertion index.
-    fn insert(&mut self, element: OrderedElement) -> usize;
+    /// before equal), returning the physical insertion index.  Fails —
+    /// without corrupting the list — if the element cannot be encoded
+    /// ([`StoreError::SegmentOverflow`]) or a spilled page it must touch
+    /// cannot be read back.
+    fn insert(&mut self, element: OrderedElement) -> Result<usize, StoreError>;
 
     /// Logical bytes stored (sealed payloads + TRS) — identical across
     /// layouts, used by the byte-budget experiments.
@@ -395,22 +421,8 @@ pub struct VecList {
 }
 
 impl VecList {
-    /// Rebuilds the full `OrderedElement` at physical index `i`.
-    fn materialize(&self, i: usize) -> OrderedElement {
-        let m = &self.meta[i];
-        OrderedElement {
-            trs: m.trs,
-            group: m.group,
-            sealed: EncryptedElement {
-                group: m.sealed_group,
-                ciphertext: self.arena[m.offset..m.offset + m.len as usize].to_vec(),
-            },
-        }
-    }
-}
-
-impl OrderedList for VecList {
-    fn from_elements(elements: Vec<OrderedElement>) -> Self {
+    /// Builds the list from its ordered (descending-TRS) elements.
+    pub fn from_elements(elements: Vec<OrderedElement>) -> Self {
         let total: usize = elements.iter().map(|e| e.sealed.ciphertext.len()).sum();
         let mut arena = Vec::with_capacity(total);
         let mut meta = Vec::with_capacity(elements.len());
@@ -429,12 +441,27 @@ impl OrderedList for VecList {
         VecList { meta, arena }
     }
 
+    /// Rebuilds the full `OrderedElement` at physical index `i`.
+    fn materialize(&self, i: usize) -> OrderedElement {
+        let m = &self.meta[i];
+        OrderedElement {
+            trs: m.trs,
+            group: m.group,
+            sealed: EncryptedElement {
+                group: m.sealed_group,
+                ciphertext: self.arena[m.offset..m.offset + m.len as usize].to_vec(),
+            },
+        }
+    }
+}
+
+impl OrderedList for VecList {
     fn len(&self) -> usize {
         self.meta.len()
     }
 
-    fn snapshot(&self) -> Vec<OrderedElement> {
-        (0..self.meta.len()).map(|i| self.materialize(i)).collect()
+    fn snapshot(&self) -> Result<Vec<OrderedElement>, StoreError> {
+        Ok((0..self.meta.len()).map(|i| self.materialize(i)).collect())
     }
 
     fn visible_total(&self, accessible: Option<&[GroupId]>, meter: &AtomicU64) -> usize {
@@ -457,7 +484,7 @@ impl OrderedList for VecList {
         skip: usize,
         count: usize,
         accessible: Option<&[GroupId]>,
-    ) -> (Vec<OrderedElement>, usize) {
+    ) -> Result<(Vec<OrderedElement>, usize), StoreError> {
         let mut elements = Vec::with_capacity(count.min(self.meta.len().saturating_sub(start)));
         let mut skipped = 0usize;
         let mut next = self.meta.len().max(start);
@@ -475,23 +502,27 @@ impl OrderedList for VecList {
                 break;
             }
         }
-        (elements, next)
+        Ok((elements, next))
     }
 
-    fn position_after_visible(&self, delivered: usize, accessible: Option<&[GroupId]>) -> usize {
+    fn position_after_visible(
+        &self,
+        delivered: usize,
+        accessible: Option<&[GroupId]>,
+    ) -> Result<usize, StoreError> {
         let mut seen = 0usize;
         for (i, m) in self.meta.iter().enumerate() {
             if seen == delivered {
-                return i;
+                return Ok(i);
             }
             if is_visible_group(m.group, accessible) {
                 seen += 1;
             }
         }
-        self.meta.len()
+        Ok(self.meta.len())
     }
 
-    fn insert(&mut self, element: OrderedElement) -> usize {
+    fn insert(&mut self, element: OrderedElement) -> Result<usize, StoreError> {
         // After every element with a strictly larger TRS, before equal ones
         // (the binary search of Section 5, identical to
         // `OrderedIndex::insert_sealed`).
@@ -501,7 +532,7 @@ impl OrderedList for VecList {
             .get(pos)
             .map_or(self.arena.len(), |next| next.offset);
         let len = u32::try_from(element.sealed.ciphertext.len())
-            .expect("sealed ciphertext exceeds u32 length");
+            .map_err(|_| StoreError::SegmentOverflow)?;
         self.arena.splice(offset..offset, element.sealed.ciphertext);
         for m in &mut self.meta[pos..] {
             m.offset += len as usize;
@@ -516,7 +547,7 @@ impl OrderedList for VecList {
                 len,
             },
         );
-        pos
+        Ok(pos)
     }
 
     fn stored_bytes(&self) -> usize {
@@ -586,6 +617,10 @@ pub(crate) struct ListTable<L> {
     /// Elements individually examined for visibility accounting (the
     /// scan-cost assertion of the cursor cache reads this).
     scan_meter: AtomicU64,
+    /// Clock value of the last TTL sweep.  Read paths use it to decide when
+    /// a sweep is due, so a read-heavy workload still reclaims idle
+    /// sessions (writes always sweep).
+    last_sweep: AtomicU64,
     opened: u64,
     capacity_evictions: u64,
     ttl_evictions: u64,
@@ -599,6 +634,7 @@ impl<L> Default for ListTable<L> {
             cursors: std::collections::HashMap::new(),
             clock: AtomicU64::new(0),
             scan_meter: AtomicU64::new(0),
+            last_sweep: AtomicU64::new(0),
             opened: 0,
             capacity_evictions: 0,
             ttl_evictions: 0,
@@ -670,18 +706,43 @@ impl<L: OrderedList> ListTable<L> {
         offset: usize,
         count: usize,
         accessible: Option<&[GroupId]>,
-    ) -> RangedBatch {
+    ) -> Result<RangedBatch, StoreError> {
         self.tick();
         let list = &self.lists[slot];
         let visible_total = list.visible_total(accessible, &self.scan_meter);
-        let (elements, next_physical) = list.scan(0, offset, count, accessible);
-        RangedBatch {
+        let (elements, next_physical) = list.scan(0, offset, count, accessible)?;
+        Ok(RangedBatch {
             elements,
             exhausted: next_physical >= list.len(),
             next_physical,
             visible_total,
             generation: self.generations[slot],
-        }
+        })
+    }
+
+    /// Whether a TTL sweep is due: at most one sweep per
+    /// [`SESSION_TTL_TICKS`] window, and only while sessions exist.  Read
+    /// paths (cursor advances, shard batch rounds) check this under the
+    /// shared lock and upgrade to [`ListTable::sweep_expired`] when true, so
+    /// a read-only workload with stable cursors still drains idle sessions.
+    pub fn ttl_sweep_due(&self) -> bool {
+        !self.cursors.is_empty()
+            && self
+                .clock
+                .load(Ordering::Relaxed)
+                .saturating_sub(self.last_sweep.load(Ordering::Relaxed))
+                >= SESSION_TTL_TICKS
+    }
+
+    /// Expires every session idle for more than [`SESSION_TTL_TICKS`] ticks.
+    pub fn sweep_expired(&mut self) {
+        let now = self.clock.load(Ordering::Relaxed);
+        let before = self.cursors.len();
+        self.cursors.retain(|_, c| {
+            now.saturating_sub(c.last_used.load(Ordering::Relaxed)) <= SESSION_TTL_TICKS
+        });
+        self.ttl_evictions += (before - self.cursors.len()) as u64;
+        self.last_sweep.store(now, Ordering::Relaxed);
     }
 
     /// Opens a cursor session with the caller-allocated id `raw`, continuing
@@ -698,13 +759,9 @@ impl<L: OrderedList> ListTable<L> {
         batch: &RangedBatch,
         delivered: usize,
         accessible: Option<&[GroupId]>,
-    ) {
+    ) -> Result<(), StoreError> {
         let now = self.tick();
-        let before = self.cursors.len();
-        self.cursors.retain(|_, c| {
-            now.saturating_sub(c.last_used.load(Ordering::Relaxed)) <= SESSION_TTL_TICKS
-        });
-        self.ttl_evictions += (before - self.cursors.len()) as u64;
+        self.sweep_expired();
         if self.cursors.len() >= MAX_CURSORS_PER_TABLE {
             // Evict the oldest (smallest-id) abandoned session.
             if let Some(&oldest) = self.cursors.keys().min() {
@@ -717,7 +774,7 @@ impl<L: OrderedList> ListTable<L> {
             (batch.next_physical.min(list.len()), batch.visible_total)
         } else {
             (
-                list.position_after_visible(delivered, accessible),
+                list.position_after_visible(delivered, accessible)?,
                 list.visible_total(accessible, &self.scan_meter),
             )
         };
@@ -733,6 +790,7 @@ impl<L: OrderedList> ListTable<L> {
                 last_used: AtomicU64::new(now),
             },
         );
+        Ok(())
     }
 
     /// Resumes a cursor: scans from its stored physical position and
@@ -768,7 +826,7 @@ impl<L: OrderedList> ListTable<L> {
         };
         let mut start = cursor.position.load(Ordering::Acquire);
         loop {
-            let (elements, next_physical) = list.scan(start, 0, count, accessible);
+            let (elements, next_physical) = list.scan(start, 0, count, accessible)?;
             match cursor.position.compare_exchange(
                 start,
                 next_physical,
@@ -808,9 +866,9 @@ impl<L: OrderedList> ListTable<L> {
     /// the insertion point stays: the new element is its next in TRS order.
     /// Cached visibility totals of sessions that can see the new element are
     /// bumped under this same write lock.
-    pub fn insert(&mut self, slot: usize, element: OrderedElement) -> usize {
+    pub fn insert(&mut self, slot: usize, element: OrderedElement) -> Result<usize, StoreError> {
         let group = element.group;
-        let pos = self.lists[slot].insert(element);
+        let pos = self.lists[slot].insert(element)?;
         self.generations[slot] += 1;
         for cursor in self.cursors.values() {
             if cursor.slot != slot {
@@ -827,7 +885,7 @@ impl<L: OrderedList> ListTable<L> {
                 cursor.visible.fetch_add(1, Ordering::Relaxed);
             }
         }
-        pos
+        Ok(pos)
     }
 
     /// Descending-TRS invariant over every list of the table.
@@ -886,7 +944,7 @@ mod tests {
     fn scan_skips_visible_elements_only() {
         let l = VecList::from_elements(list());
         let only_g0 = [GroupId(0)];
-        let (elements, next) = l.scan(0, 1, 1, Some(&only_g0));
+        let (elements, next) = l.scan(0, 1, 1, Some(&only_g0)).unwrap();
         // Skips the first group-0 element (0.9), returns the second (0.7).
         assert_eq!(elements.len(), 1);
         assert!((elements[0].trs - 0.7).abs() < 1e-12);
@@ -896,12 +954,12 @@ mod tests {
     #[test]
     fn scan_from_start_resumes_mid_list() {
         let l = VecList::from_elements(list());
-        let (elements, next) = l.scan(2, 0, 2, None);
+        let (elements, next) = l.scan(2, 0, 2, None).unwrap();
         assert_eq!(elements.len(), 2);
         assert!((elements[0].trs - 0.7).abs() < 1e-12);
         assert_eq!(next, 4);
         // Past the end: empty batch, next clamps to the list length.
-        let (rest, end) = l.scan(next, 0, 10, None);
+        let (rest, end) = l.scan(next, 0, 10, None).unwrap();
         assert_eq!(rest.len(), 1);
         assert_eq!(end, l.len());
     }
@@ -909,15 +967,15 @@ mod tests {
     #[test]
     fn arena_layout_round_trips_and_splices_inserts() {
         let mut l = VecList::from_elements(list());
-        assert_eq!(l.snapshot(), list());
+        assert_eq!(l.snapshot().unwrap(), list());
         assert_eq!(l.ciphertext_bytes(), 5 * 4);
         // An interior insert splices its ciphertext into the arena and
         // shifts the spans of everything after it.
         let e = element(0.65, 1);
-        assert_eq!(l.insert(e.clone()), 3);
+        assert_eq!(l.insert(e.clone()).unwrap(), 3);
         let mut expected = list();
         expected.insert(3, e);
-        assert_eq!(l.snapshot(), expected);
+        assert_eq!(l.snapshot().unwrap(), expected);
         assert!(l.ordering_ok());
         assert_eq!(l.ciphertext_bytes(), 6 * 4);
         // Resident accounting covers exactly the meta vec and the arena.
@@ -928,12 +986,12 @@ mod tests {
     fn batch_reports_visibility_and_exhaustion() {
         let table = table();
         let only_g1 = [GroupId(1)];
-        let batch = table.fetch(0, 0, 10, Some(&only_g1));
+        let batch = table.fetch(0, 0, 10, Some(&only_g1)).unwrap();
         assert_eq!(batch.visible_total, 2);
         assert_eq!(batch.elements.len(), 2);
         assert!(batch.exhausted);
         assert_eq!(batch.generation, 0);
-        let partial = table.fetch(0, 0, 2, None);
+        let partial = table.fetch(0, 0, 2, None).unwrap();
         assert!(!partial.exhausted);
         assert_eq!(partial.next_physical, 2);
     }
@@ -943,21 +1001,21 @@ mod tests {
         // A table with one list; serve a batch, then let an insert land
         // before the cursor is opened — the TOCTOU the generation guards.
         let mut table = table();
-        let batch = table.fetch(0, 0, 2, None);
+        let batch = table.fetch(0, 0, 2, None).unwrap();
         assert_eq!(batch.generation, 0);
         // Insert at the head (TRS 1.0): every physical index shifts by one.
-        assert_eq!(table.insert(0, element(1.0, 0)), 0);
+        assert_eq!(table.insert(0, element(1.0, 0)).unwrap(), 0);
         // Opening from the stale batch re-derives offset semantics: with 2
         // elements delivered the session resumes after the first 2 visible
         // elements of the *current* list ([1.0, 0.9, 0.8, ...] -> index 2).
-        table.open_cursor(42, 0, 9, &batch, 2, None);
+        table.open_cursor(42, 0, 9, &batch, 2, None).unwrap();
         let resumed = table.cursor_fetch(42, 9, 1, None).unwrap();
         assert!((resumed.elements[0].trs - 0.8).abs() < 1e-12);
         // A fresh batch (matching generation) is trusted as-is: it delivered
         // [1.0, 0.9] and resumes exactly at 0.8.
-        let fresh = table.fetch(0, 0, 2, None);
+        let fresh = table.fetch(0, 0, 2, None).unwrap();
         assert_eq!(fresh.generation, 1);
-        table.open_cursor(43, 0, 9, &fresh, 2, None);
+        table.open_cursor(43, 0, 9, &fresh, 2, None).unwrap();
         let resumed = table.cursor_fetch(43, 9, 1, None).unwrap();
         assert!((resumed.elements[0].trs - 0.8).abs() < 1e-12);
         assert_eq!(table.open_cursors(), 2);
@@ -975,11 +1033,11 @@ mod tests {
         let only_g0 = [GroupId(0)];
         // After 1 delivered group-0 element the session resumes at index 1
         // (the first index past the 0.9 element); after 2, at index 3.
-        assert_eq!(l.position_after_visible(0, Some(&only_g0)), 0);
-        assert_eq!(l.position_after_visible(1, Some(&only_g0)), 1);
-        assert_eq!(l.position_after_visible(2, Some(&only_g0)), 3);
-        assert_eq!(l.position_after_visible(3, Some(&only_g0)), 5);
-        assert_eq!(l.position_after_visible(99, None), 5);
+        assert_eq!(l.position_after_visible(0, Some(&only_g0)).unwrap(), 0);
+        assert_eq!(l.position_after_visible(1, Some(&only_g0)).unwrap(), 1);
+        assert_eq!(l.position_after_visible(2, Some(&only_g0)).unwrap(), 3);
+        assert_eq!(l.position_after_visible(3, Some(&only_g0)).unwrap(), 5);
+        assert_eq!(l.position_after_visible(99, None).unwrap(), 5);
     }
 
     #[test]
@@ -987,7 +1045,7 @@ mod tests {
         // Equal TRS inserts before the existing element.
         for (trs, want) in [(0.7, 2), (0.95, 0), (0.1, 5)] {
             let mut l = VecList::from_elements(list());
-            assert_eq!(l.insert(element(trs, 0)), want, "trs {trs}");
+            assert_eq!(l.insert(element(trs, 0)).unwrap(), want, "trs {trs}");
         }
     }
 
@@ -995,9 +1053,11 @@ mod tests {
     fn cursor_cache_answers_follow_ups_without_recounting() {
         let mut table = table();
         let only_g0 = [GroupId(0)];
-        let batch = table.fetch(0, 0, 1, Some(&only_g0));
+        let batch = table.fetch(0, 0, 1, Some(&only_g0)).unwrap();
         assert_eq!(batch.visible_total, 3);
-        table.open_cursor(7, 0, 1, &batch, 1, Some(&only_g0));
+        table
+            .open_cursor(7, 0, 1, &batch, 1, Some(&only_g0))
+            .unwrap();
         let counted = table.visibility_scan_cost();
         // Follow-ups under the session's own filter never re-count.
         for _ in 0..3 {
@@ -1007,8 +1067,8 @@ mod tests {
         assert_eq!(table.visibility_scan_cost(), counted);
         // The insert path maintains the cache under the same lock: a new
         // group-0 element bumps the cached count, a group-1 one does not.
-        table.insert(0, element(0.95, 0));
-        table.insert(0, element(0.94, 1));
+        table.insert(0, element(0.95, 0)).unwrap();
+        table.insert(0, element(0.94, 1)).unwrap();
         let b = table.cursor_fetch(7, 1, 1, Some(&only_g0)).unwrap();
         assert_eq!(b.visible_total, 4);
         assert_eq!(table.visibility_scan_cost(), counted);
@@ -1023,15 +1083,15 @@ mod tests {
     #[test]
     fn idle_sessions_expire_after_the_ttl() {
         let mut table = table();
-        let batch = table.fetch(0, 0, 1, None);
-        table.open_cursor(11, 0, 1, &batch, 1, None);
+        let batch = table.fetch(0, 0, 1, None).unwrap();
+        table.open_cursor(11, 0, 1, &batch, 1, None).unwrap();
         // Tick the logical clock past the TTL with plain requests.
         for _ in 0..=SESSION_TTL_TICKS {
-            table.fetch(0, 0, 1, None);
+            table.fetch(0, 0, 1, None).unwrap();
         }
         // A session used recently survives the sweep; the idle one expires
         // when the table is next written.
-        table.open_cursor(12, 0, 1, &batch, 1, None);
+        table.open_cursor(12, 0, 1, &batch, 1, None).unwrap();
         assert_eq!(table.open_cursors(), 1);
         assert!(matches!(
             table.cursor_fetch(11, 1, 1, None),

@@ -174,6 +174,33 @@ impl TestBed {
         self.build_engine_server(StoreEngine::Segment, num_shards, num_users)
     }
 
+    /// Builds a server over the on-disk spill engine (page files in a fresh
+    /// temp directory, removed when the server drops), partitioned across
+    /// `num_shards` shards.
+    pub fn build_spill_server(&self, num_shards: usize, num_users: usize) -> IndexServer {
+        self.build_engine_server(StoreEngine::Spill, num_shards, num_users)
+    }
+
+    /// Builds a spill-engine server with explicit spill and segment tuning —
+    /// what the engine-comparison bench uses to pin the resident budget and
+    /// page-cache size instead of the roomy defaults.
+    pub fn build_tuned_spill_server(
+        &self,
+        num_shards: usize,
+        num_users: usize,
+        config: zerber_store::SpillConfig,
+        segment: zerber_store::SegmentConfig,
+    ) -> IndexServer {
+        let store = zerber_store::SpillStore::in_temp_dir_with(
+            self.index.clone(),
+            num_shards,
+            config,
+            segment,
+        )
+        .expect("spill store builds");
+        IndexServer::with_store(Box::new(store), self.server_acl(num_users))
+    }
+
     /// Builds a server over an explicitly selected storage engine — the
     /// entry point the engine-comparison benchmarks drive.
     pub fn build_engine_server(
@@ -188,6 +215,7 @@ impl TestBed {
             engine,
             num_shards,
         )
+        .expect("engine server builds")
     }
 
     /// The names registered by [`TestBed::build_server`], ready to hand to

@@ -2,11 +2,15 @@
 # Tier-1 verification gate for the Zerber+R workspace.
 #
 # Mirrors .github/workflows/ci.yml so the same checks run locally and in
-# CI: rustfmt, release build, full test suite, bench compilation, and
-# clippy with warnings denied.
+# CI: rustfmt, release build, full test suite (including the spill-engine
+# equivalence proptests, which write page files into a temp-dir spill
+# root), bench compilation, clippy with warnings denied, and a hygiene
+# guard asserting the tests left no stray on-disk page files behind.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+SPILL_STAGING="${TMPDIR:-/tmp}/zerber-spill"
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -17,8 +21,15 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> cargo test --release (concurrency + cross-engine + batched-vs-sequential equivalence)"
-cargo test --release --test concurrent_server --test store_equivalence
+echo "==> cargo test --release (concurrency + cross-engine + batched-vs-sequential + spill equivalence)"
+cargo test --release --test concurrent_server --test store_equivalence --test spill_store
+
+echo "==> spill hygiene: no stray page files after the test runs"
+if [ -d "$SPILL_STAGING" ] && [ -n "$(find "$SPILL_STAGING" -type f 2>/dev/null | head -1)" ]; then
+  echo "stray spill page files left behind under $SPILL_STAGING:" >&2
+  find "$SPILL_STAGING" -type f >&2
+  exit 1
+fi
 
 echo "==> cargo bench --no-run"
 cargo bench --no-run

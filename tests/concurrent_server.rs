@@ -135,6 +135,7 @@ fn pipelined_driver_matches_the_raw_driver_on_every_engine() {
         StoreEngine::Sharded,
         StoreEngine::SingleMutex,
         StoreEngine::Segment,
+        StoreEngine::Spill,
     ] {
         let server = bed.build_engine_server(engine, 4, 4);
         let raw = drive_raw_queries(

@@ -1,8 +1,10 @@
 //! Cross-engine equivalence property test: random interleavings of
 //! position-preserving inserts, ranged queries and cursor sessions must be
 //! answered element-for-element identically by every storage engine —
-//! `SingleMutexStore`, `ShardedStore` (plain `Vec` layout) and
-//! `SegmentStore` (compressed block-encoded segments with a mutable tail).
+//! `SingleMutexStore`, `ShardedStore` (plain `Vec` layout), `SegmentStore`
+//! (compressed block-encoded segments with a mutable tail) and `SpillStore`
+//! (the same segments with cold ones living in on-disk page files behind an
+//! LRU page cache).
 //!
 //! The engines share one generic session table, so this test pins down the
 //! layer where they *can* diverge: the physical list representation (scan,
@@ -14,6 +16,7 @@ use zerber_suite::corpus::{GroupId, TermId};
 use zerber_suite::protocol::{AccessControl, AuthToken, IndexServer, QueryRequest};
 use zerber_suite::store::{
     CursorId, ListStore, RangedFetch, SegmentConfig, SegmentStore, ShardedStore, SingleMutexStore,
+    SpillConfig, SpillStore,
 };
 use zerber_suite::zerber::{EncryptedElement, MergePlan, MergedListId};
 use zerber_suite::zerber_r::{OrderedElement, OrderedIndex};
@@ -70,29 +73,41 @@ fn element(trs: f64, group: u32, ct: Vec<u8>) -> OrderedElement {
     }
 }
 
-/// Builds the three engines over identical fabricated indexes.
-fn engines(lists: &[Vec<OrderedElement>]) -> (SingleMutexStore, ShardedStore, SegmentStore) {
+/// Builds the four engines over identical fabricated indexes.
+fn engines(
+    lists: &[Vec<OrderedElement>],
+) -> (SingleMutexStore, ShardedStore, SegmentStore, SpillStore) {
     let plan = MergePlan::from_term_lists(
         (0..lists.len()).map(|i| vec![TermId(i as u32)]).collect(),
         "equivalence-fixture",
         2.0,
     );
+    // Tiny blocks and tail so every case crosses block boundaries, seals
+    // the tail and compacts the segment stack.
+    let segment_config = SegmentConfig {
+        block_len: 3,
+        tail_threshold: 2,
+        max_segment_elems: 12,
+        max_segments: 2,
+        max_payload_bytes: u32::MAX as usize,
+    };
     let index = OrderedIndex::from_parts(lists.to_vec(), plan);
     (
         SingleMutexStore::new(index.clone()),
         ShardedStore::with_shards(index.clone(), 2),
-        // Tiny blocks and tail so every case crosses block boundaries,
-        // seals the tail and compacts the segment stack.
-        SegmentStore::with_config(
+        SegmentStore::with_config(index.clone(), 2, segment_config).unwrap(),
+        // Zero resident budget + a tiny page cache: every sealed segment
+        // round-trips through the on-disk page format under this workload.
+        SpillStore::in_temp_dir_with(
             index,
             2,
-            SegmentConfig {
-                block_len: 3,
-                tail_threshold: 2,
-                max_segment_elems: 12,
-                max_segments: 2,
+            SpillConfig {
+                resident_budget_bytes: 0,
+                page_cache_pages: 2,
             },
-        ),
+            segment_config,
+        )
+        .unwrap(),
     )
 }
 
@@ -101,14 +116,18 @@ fn engines(lists: &[Vec<OrderedElement>]) -> (SingleMutexStore, ShardedStore, Se
 /// visibility filters): `user-0` sees everything, `user-3` nothing, and
 /// `user-4` is never registered.
 fn servers(lists: &[Vec<OrderedElement>]) -> Vec<IndexServer> {
-    let (single, sharded, segmented) = engines(lists);
+    let (single, sharded, segmented, spilled) = engines(lists);
     let mut acl = AccessControl::new(b"batch-oracle");
     acl.register_user("user-0", &[GroupId(0), GroupId(1), GroupId(2), GroupId(3)]);
     acl.register_user("user-1", &[GroupId(0), GroupId(1)]);
     acl.register_user("user-2", &[GroupId(2)]);
     acl.register_user("user-3", &[]);
-    let stores: [Box<dyn ListStore>; 3] =
-        [Box::new(single), Box::new(sharded), Box::new(segmented)];
+    let stores: [Box<dyn ListStore>; 4] = [
+        Box::new(single),
+        Box::new(sharded),
+        Box::new(segmented),
+        Box::new(spilled),
+    ];
     stores
         .into_iter()
         .map(|store| IndexServer::with_store(store, acl.clone()))
@@ -118,7 +137,7 @@ fn servers(lists: &[Vec<OrderedElement>]) -> Vec<IndexServer> {
 /// A session as each engine sees it: the engine-local cursor id plus the
 /// shared (list, owner, groups) context it was opened with.
 struct Session {
-    cursors: [CursorId; 3],
+    cursors: [CursorId; 4],
     owner: u64,
     groups: Option<Vec<GroupId>>,
 }
@@ -167,8 +186,8 @@ proptest! {
         ),
         ops in proptest::collection::vec(op_strategy(3), 1..50),
     ) {
-        let (single, sharded, segmented) = engines(&lists);
-        let stores: [&dyn ListStore; 3] = [&single, &sharded, &segmented];
+        let (single, sharded, segmented, spilled) = engines(&lists);
+        let stores: [&dyn ListStore; 4] = [&single, &sharded, &segmented, &spilled];
         let mut sessions: Vec<Session> = Vec::new();
         for op in ops {
             match op {
@@ -180,6 +199,7 @@ proptest! {
                         .collect();
                     prop_assert_eq!(positions[0], positions[1]);
                     prop_assert_eq!(positions[0], positions[2]);
+                    prop_assert_eq!(positions[0], positions[3]);
                 }
                 Op::Fetch { list, offset, count, mask, open, owner } => {
                     let list = MergedListId((list % lists.len()) as u64);
@@ -191,9 +211,10 @@ proptest! {
                         .collect();
                     prop_assert_eq!(&batches[0], &batches[1]);
                     prop_assert_eq!(&batches[0], &batches[2]);
+                    prop_assert_eq!(&batches[0], &batches[3]);
                     if open && !batches[0].exhausted {
                         let delivered = offset + batches[0].elements.len();
-                        let mut cursors = [CursorId::NONE; 3];
+                        let mut cursors = [CursorId::NONE; 4];
                         for (i, store) in stores.iter().enumerate() {
                             cursors[i] = store
                                 .open_cursor(list, owner, &batches[i], delivered, groups.as_deref())
@@ -223,9 +244,13 @@ proptest! {
                     // compare outcomes, then batches.
                     prop_assert_eq!(results[0].is_ok(), results[1].is_ok());
                     prop_assert_eq!(results[0].is_ok(), results[2].is_ok());
-                    if let (Ok(a), Ok(b), Ok(c)) = (&results[0], &results[1], &results[2]) {
+                    prop_assert_eq!(results[0].is_ok(), results[3].is_ok());
+                    if let (Ok(a), Ok(b), Ok(c), Ok(d)) =
+                        (&results[0], &results[1], &results[2], &results[3])
+                    {
                         prop_assert_eq!(a, b);
                         prop_assert_eq!(a, c);
+                        prop_assert_eq!(a, d);
                     }
                 }
                 Op::CursorClose { session, foreign } => {
@@ -246,29 +271,36 @@ proptest! {
             let reference = single.snapshot_list(id).unwrap();
             prop_assert_eq!(&sharded.snapshot_list(id).unwrap(), &reference);
             prop_assert_eq!(&segmented.snapshot_list(id).unwrap(), &reference);
+            prop_assert_eq!(&spilled.snapshot_list(id).unwrap(), &reference);
             for mask in [0u8, 1, 5, 0b1111] {
                 let groups = groups_from_mask(mask);
                 let expected = single.visible_len(id, groups.as_deref()).unwrap();
                 prop_assert_eq!(sharded.visible_len(id, groups.as_deref()).unwrap(), expected);
                 prop_assert_eq!(segmented.visible_len(id, groups.as_deref()).unwrap(), expected);
+                prop_assert_eq!(spilled.visible_len(id, groups.as_deref()).unwrap(), expected);
             }
         }
         prop_assert!(single.verify_ordering());
         prop_assert!(sharded.verify_ordering());
         prop_assert!(segmented.verify_ordering());
+        prop_assert!(spilled.verify_ordering());
         prop_assert_eq!(single.num_elements(), sharded.num_elements());
         prop_assert_eq!(single.num_elements(), segmented.num_elements());
+        prop_assert_eq!(single.num_elements(), spilled.num_elements());
         prop_assert_eq!(single.stored_bytes(), segmented.stored_bytes());
+        prop_assert_eq!(single.stored_bytes(), spilled.stored_bytes());
         prop_assert_eq!(single.ciphertext_bytes(), segmented.ciphertext_bytes());
+        prop_assert_eq!(single.ciphertext_bytes(), spilled.ciphertext_bytes());
         prop_assert_eq!(single.open_cursors(), sharded.open_cursors());
         prop_assert_eq!(single.open_cursors(), segmented.open_cursors());
+        prop_assert_eq!(single.open_cursors(), spilled.open_cursors());
     }
 
     /// The batched-vs-sequential oracle: any `handle_query_stream` round —
     /// requests from many users with different group views, unknown users,
     /// forged tokens, stale cursors and unknown lists mixed in — must answer
     /// element-for-element identically to the same requests issued one at a
-    /// time through `handle_query`, across all three engines.  A failing
+    /// time through `handle_query`, across all four engines.  A failing
     /// request (denied user, unknown list) degrades alone; the rest of the
     /// batch stays correct.
     #[test]
@@ -337,8 +369,9 @@ proptest! {
                     .collect(),
             );
         }
-        // And the three engines agree with each other, request for request.
+        // And the four engines agree with each other, request for request.
         prop_assert_eq!(&per_engine[0], &per_engine[1]);
         prop_assert_eq!(&per_engine[0], &per_engine[2]);
+        prop_assert_eq!(&per_engine[0], &per_engine[3]);
     }
 }
