@@ -6,8 +6,10 @@
 //! Besides the criterion timings, the bench writes a machine-readable
 //! `BENCH_store_engines.json` to the repository root recording, per engine,
 //! the resident bytes of the physical index representation (plus the spill
-//! engine's on-disk bytes and page-fault counters) and the measured
-//! queries/sec per thread count, with the ratios the acceptance targets
+//! engine's on-disk bytes and page-fault counters), the measured
+//! queries/sec per thread count, and a pipelined shard-worker sweep
+//! (sequential scheduler vs 1/2/4/#cores pool workers at batch 64), with
+//! the ratios the acceptance targets
 //! read: segment resident <= 75% of the arena `Vec` layout, spill resident
 //! <= 50% of the segment engine at the stated q/s ratio, and
 //! `spilled + resident ~ segment resident` (the same encoded pages, cold
@@ -15,7 +17,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use zerber_corpus::DatasetProfile;
-use zerber_protocol::{drive_raw_queries, IndexServer, LoadConfig, StoreEngine};
+use zerber_protocol::{
+    drive_pipelined_queries, drive_raw_queries, IndexServer, LoadConfig, PipelineConfig,
+    StoreEngine,
+};
 use zerber_store::{SegmentConfig, SpillConfig};
 use zerber_workload::{QueryLogConfig, TestBed, TestBedConfig};
 
@@ -23,6 +28,21 @@ const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 const TOTAL_QUERIES: usize = 240;
 const SHARDS: usize = 8;
 const USERS: usize = 8;
+/// Batch size of the pipelined shard-worker sweep (the most amortized
+/// regime of the pipelined bench).
+const SWEEP_BATCH: usize = 64;
+
+/// Shard-worker counts of the pipelined sweep: the sequential scheduler
+/// (0), then 1, 2, 4 and the host's hardware threads, deduplicated.
+fn worker_counts() -> Vec<usize> {
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![0, 1, 2, 4, hardware];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
 
 fn bed() -> TestBed {
     TestBed::build(TestBedConfig {
@@ -87,9 +107,34 @@ fn measure(server: &IndexServer, users: &[String], lists: &[u64], threads: usize
     report.queries_per_second
 }
 
+/// Batched throughput through the pipelined scheduler with `workers` pool
+/// workers (0 = sequential in-thread rounds).
+fn measure_piped(server: &IndexServer, users: &[String], lists: &[u64], workers: usize) -> f64 {
+    let report = drive_pipelined_queries(
+        server,
+        users,
+        lists,
+        &PipelineConfig {
+            workers: 4,
+            queries_per_worker: TOTAL_QUERIES / 4,
+            k: 10,
+            parallelism: workers,
+            ..PipelineConfig::for_batch(SWEEP_BATCH)
+        },
+    )
+    .expect("pipelined run succeeds");
+    report.queries_per_second
+}
+
 struct EnginePoint {
     engine: &'static str,
     threads: usize,
+    queries_per_second: f64,
+}
+
+struct PipedPoint {
+    engine: &'static str,
+    workers: usize,
     queries_per_second: f64,
 }
 
@@ -159,8 +204,28 @@ fn bench_store_engines(c: &mut Criterion) {
     }
     group.finish();
 
+    // Pipelined shard-worker sweep: batched rounds through the sequential
+    // scheduler (workers = 0) and through persistent worker pools, per
+    // engine.  Worker counts above `hardware_threads` cannot help.
+    let mut piped_points = Vec::new();
+    for (name, server) in [
+        ("sharded_vec", &sharded),
+        ("segment", &segment),
+        ("spill", &spill),
+    ] {
+        for workers in worker_counts() {
+            piped_points.push(PipedPoint {
+                engine: name,
+                workers,
+                queries_per_second: measure_piped(server, &users, &lists, workers),
+            });
+        }
+        server.set_shard_workers(0);
+    }
+
     write_report(
         &points,
+        &piped_points,
         sharded_resident,
         segment_resident,
         &spill_footprint,
@@ -170,8 +235,10 @@ fn bench_store_engines(c: &mut Criterion) {
     );
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_report(
     points: &[EnginePoint],
+    piped_points: &[PipedPoint],
     sharded_resident: usize,
     segment_resident: usize,
     spill: &SpillFootprint,
@@ -185,6 +252,16 @@ fn write_report(
             format!(
                 "{{\"engine\":\"{}\",\"threads\":{},\"queries_per_second\":{:.1}}}",
                 p.engine, p.threads, p.queries_per_second
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let piped_json = piped_points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"engine\":\"{}\",\"workers\":{},\"queries_per_second\":{:.1}}}",
+                p.engine, p.workers, p.queries_per_second
             )
         })
         .collect::<Vec<_>>()
@@ -217,7 +294,9 @@ fn write_report(
          \"spill\": {}, \"segment_over_sharded\": {:.3}, \"spill_over_segment\": {:.3}}},\n  \
          \"spill\": {{\"spilled_bytes\": {}, \"page_faults\": {}, \"page_evictions\": {}, \
          \"resident_plus_spilled_over_segment_resident\": {:.3}}},\n  \
-         \"points\": [{points_json}],\n  \"qps_ratio\": [{qps_ratio}]\n}}\n",
+         \"points\": [{points_json}],\n  \
+         \"pipelined_worker_sweep\": {{\"batch_size\": {SWEEP_BATCH}, \"points\": [{piped_json}]}},\n  \
+         \"qps_ratio\": [{qps_ratio}]\n}}\n",
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),

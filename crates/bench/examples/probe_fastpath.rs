@@ -1,0 +1,89 @@
+//! Quick probe of the pipelined fast path and pool handoff overhead:
+//! prints raw-driver and pipelined queries/sec per configuration so the
+//! bench guards can be checked without a full criterion run.
+
+use zerber_corpus::DatasetProfile;
+use zerber_protocol::{
+    drive_pipelined_queries, drive_raw_queries, IndexServer, LoadConfig, PipelineConfig,
+    StoreEngine,
+};
+use zerber_workload::{QueryLogConfig, TestBed, TestBedConfig};
+
+const TOTAL_QUERIES: usize = 4000;
+
+fn workload_lists(bed: &TestBed) -> Vec<u64> {
+    let log = bed
+        .query_log(&QueryLogConfig {
+            distinct_terms: 200,
+            total_queries: 100_000,
+            sample_queries: 0,
+            ..QueryLogConfig::default()
+        })
+        .expect("query log generates");
+    let mut lists = Vec::new();
+    for &(term, _freq) in log.term_frequencies() {
+        if let Ok(list) = bed.plan.list_of(term) {
+            if !lists.contains(&list.0) {
+                lists.push(list.0);
+            }
+        }
+    }
+    lists.truncate(32);
+    lists
+}
+
+fn piped(server: &IndexServer, users: &[String], lists: &[u64], batch: usize, par: usize) -> f64 {
+    drive_pipelined_queries(
+        server,
+        users,
+        lists,
+        &PipelineConfig {
+            workers: 4,
+            queries_per_worker: TOTAL_QUERIES / 4,
+            k: 10,
+            parallelism: par,
+            ..PipelineConfig::for_batch(batch)
+        },
+    )
+    .expect("pipelined run succeeds")
+    .queries_per_second
+}
+
+fn raw(server: &IndexServer, users: &[String], lists: &[u64]) -> f64 {
+    drive_raw_queries(
+        server,
+        users,
+        lists,
+        &LoadConfig {
+            threads: 1,
+            queries_per_thread: TOTAL_QUERIES,
+            k: 10,
+        },
+    )
+    .expect("raw run succeeds")
+    .queries_per_second
+}
+
+fn main() {
+    let bed = TestBed::build(TestBedConfig {
+        scale: 0.02,
+        ..TestBedConfig::small(DatasetProfile::StudIp)
+    })
+    .expect("test bed builds");
+    let users = TestBed::server_users(8);
+    let lists = workload_lists(&bed);
+    let server = bed.build_engine_server(StoreEngine::Sharded, 8, 8);
+
+    for round in 0..5 {
+        let r = raw(&server, &users, &lists);
+        let b1 = piped(&server, &users, &lists, 1, 0);
+        let b64 = piped(&server, &users, &lists, 64, 0);
+        let b64w1 = piped(&server, &users, &lists, 64, 1);
+        server.set_shard_workers(0);
+        println!(
+            "round {round}: raw {r:9.0}  b1 {b1:9.0} ({:.2}x)  b64 {b64:9.0}  b64w1 {b64w1:9.0} ({:.2}x)",
+            b1 / r,
+            b64w1 / b64,
+        );
+    }
+}

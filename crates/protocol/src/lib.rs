@@ -14,6 +14,10 @@
 //! * [`client`] — the group member: issues the initial request of size `b`,
 //!   decrypts and filters, resumes the server-side cursor with doubling
 //!   follow-up requests, and inserts new documents using the published RSTF,
+//! * [`pool`] — the persistent [`pool::ShardWorkerPool`]: N shard workers
+//!   with affinity queues and work-stealing that execute a batched round's
+//!   shard buckets concurrently instead of sequentially on the scheduler
+//!   thread,
 //! * [`netsim`] — the 56 Kb/s-client / 100 Mb/s-server network model, the
 //!   snippet/competitor constants of Section 6.6, and the load generators
 //!   for the serving-engine throughput experiments: the per-query
@@ -26,6 +30,7 @@ pub mod client;
 pub mod error;
 pub mod message;
 pub mod netsim;
+pub mod pool;
 pub mod server;
 
 pub use acl::{AccessControl, AuthToken};
@@ -37,4 +42,5 @@ pub use netsim::{
     PipelineConfig, ResponseBreakdown, ThroughputReport, ALTAVISTA_TOP10_BYTES, GOOGLE_TOP10_BYTES,
     PAPER_POSTING_BITS, SNIPPET_BYTES, YAHOO_TOP10_BYTES,
 };
+pub use pool::{RoundStats, ShardWorkerPool};
 pub use server::{IndexServer, InsertRequest, ServerStats, StoreEngine};

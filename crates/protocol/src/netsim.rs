@@ -166,7 +166,14 @@ pub struct ThroughputReport {
     pub queries: u64,
     /// Wall-clock duration of the run in seconds.
     pub elapsed_seconds: f64,
-    /// Completed queries per wall-clock second.
+    /// Wall-clock seconds the scheduler spent blocked waiting for
+    /// submissions (0 for the per-query drivers, which have no scheduler).
+    /// Producer-bound pipelined runs rack this up without serving anything.
+    pub scheduler_wait_seconds: f64,
+    /// Completed queries per second of *serving* time — elapsed time minus
+    /// the scheduler's idle wait, so a pipelined measurement reports how
+    /// fast the server drains rounds, not how fast workers produce them.
+    /// For the per-query drivers this is plain wall-clock throughput.
     pub queries_per_second: f64,
     /// Posting elements shipped by the server during the run.
     pub elements_sent: u64,
@@ -176,14 +183,20 @@ fn report(
     threads: usize,
     queries: u64,
     elapsed_seconds: f64,
+    scheduler_wait_seconds: f64,
     elements_sent: u64,
 ) -> ThroughputReport {
+    // The wait is a sub-measurement of the same clock interval, so it can
+    // only exceed `elapsed` by timer noise; clamp rather than divide by a
+    // negative sliver.
+    let serving_seconds = (elapsed_seconds - scheduler_wait_seconds).max(0.0);
     ThroughputReport {
         threads,
         queries,
         elapsed_seconds,
-        queries_per_second: if elapsed_seconds > 0.0 {
-            queries as f64 / elapsed_seconds
+        scheduler_wait_seconds,
+        queries_per_second: if serving_seconds > 0.0 {
+            queries as f64 / serving_seconds
         } else {
             f64::INFINITY
         },
@@ -245,7 +258,7 @@ pub fn drive_raw_queries(
     })?;
     let elapsed = start.elapsed().as_secs_f64();
     let elements = server.stats().elements_sent - elements_before;
-    Ok(report(config.threads, queries, elapsed, elements))
+    Ok(report(config.threads, queries, elapsed, 0.0, elements))
 }
 
 /// Configuration of one pipelined load-generation run: worker threads
@@ -267,6 +280,11 @@ pub struct PipelineConfig {
     pub queue_capacity: usize,
     /// The `k` of every query (also the response size `b`).
     pub k: usize,
+    /// Shard workers executing each round's buckets: `0` (the default)
+    /// serves rounds sequentially on the scheduler thread, `n > 0` installs
+    /// a persistent [`crate::ShardWorkerPool`] of `n` workers on the server
+    /// for the duration of the run (and leaves it installed afterwards).
+    pub parallelism: usize,
 }
 
 impl PipelineConfig {
@@ -281,6 +299,7 @@ impl PipelineConfig {
             batch_size,
             queue_capacity: (4 * batch_size).max(64),
             k: 10,
+            parallelism: 0,
         }
     }
 }
@@ -295,6 +314,25 @@ struct Submissions {
     /// Set when the scheduler aborts on a serving error, so blocked workers
     /// stop submitting into a queue nobody drains.
     aborted: bool,
+}
+
+/// Decrements the producer count when a pipeline worker exits — including
+/// by panic — so the scheduler can never wait forever on a producer that
+/// died between submissions.
+struct ProducerExit<'a> {
+    queue: &'a Mutex<Submissions>,
+    not_empty: &'a Condvar,
+}
+
+impl Drop for ProducerExit<'_> {
+    fn drop(&mut self) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.producers -= 1;
+        if q.producers == 0 {
+            // Wake the scheduler so it can observe the shutdown.
+            self.not_empty.notify_all();
+        }
+    }
 }
 
 /// Drives raw ranged queries through the **pipelined** serving path: workers
@@ -319,6 +357,7 @@ pub fn drive_pipelined_queries(
     let workers = config.workers.max(1);
     let batch_size = config.batch_size.max(1);
     let capacity = config.queue_capacity.max(1);
+    server.set_shard_workers(config.parallelism);
     let queue = Mutex::new(Submissions {
         items: VecDeque::with_capacity(capacity),
         producers: workers,
@@ -328,12 +367,13 @@ pub fn drive_pipelined_queries(
     let not_full = Condvar::new();
     let elements_before = server.stats().elements_sent;
     let start = Instant::now();
-    let served: u64 = std::thread::scope(|scope| {
+    let served: (u64, f64) = std::thread::scope(|scope| {
         for w in 0..workers {
             let queue = &queue;
             let not_empty = &not_empty;
             let not_full = &not_full;
             scope.spawn(move || {
+                let _exit = ProducerExit { queue, not_empty };
                 let user = &users[w % users.len()];
                 let token = server.acl().issue_token(user);
                 for i in 0..config.queries_per_worker {
@@ -359,16 +399,11 @@ pub fn drive_pipelined_queries(
                     drop(q);
                     not_empty.notify_one();
                 }
-                let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
-                q.producers -= 1;
-                if q.producers == 0 {
-                    // Wake the scheduler so it can observe the shutdown.
-                    not_empty.notify_all();
-                }
             });
         }
-        let scheduler = scope.spawn(|| -> Result<u64, ProtocolError> {
+        let scheduler = scope.spawn(|| -> Result<(u64, f64), ProtocolError> {
             let mut served = 0u64;
+            let mut waited = std::time::Duration::ZERO;
             // The scheduler swaps the whole queue into a local backlog in
             // one gulp (one lock + one wake-up per queue-full of requests,
             // whatever the batch size) and slices the backlog into rounds
@@ -378,12 +413,17 @@ pub fn drive_pipelined_queries(
             loop {
                 if backlog.is_empty() {
                     {
+                        let refill = Instant::now();
                         let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
-                        while q.items.is_empty() && q.producers > 0 {
+                        // Also bail on `aborted`: if anything flags the run
+                        // as dead while we sit here, producers stop
+                        // submitting and this wait would never end.
+                        while q.items.is_empty() && q.producers > 0 && !q.aborted {
                             q = not_empty.wait(q).unwrap_or_else(|e| e.into_inner());
                         }
-                        if q.items.is_empty() {
-                            return Ok(served);
+                        waited += refill.elapsed();
+                        if q.aborted || q.items.is_empty() {
+                            return Ok((served, waited.as_secs_f64()));
                         }
                         std::mem::swap(&mut q.items, &mut backlog);
                     }
@@ -412,9 +452,10 @@ pub fn drive_pipelined_queries(
         });
         scheduler.join().expect("scheduler must not panic")
     })?;
+    let (served, waited) = served;
     let elapsed = start.elapsed().as_secs_f64();
     let elements = server.stats().elements_sent - elements_before;
-    Ok(report(workers, served, elapsed, elements))
+    Ok(report(workers, served, elapsed, waited, elements))
 }
 
 /// Drives complete client-side retrievals (decryption included) from a pool
@@ -461,7 +502,7 @@ pub fn drive_client_queries(
     })?;
     let elapsed = start.elapsed().as_secs_f64();
     let elements = server.stats().elements_sent - elements_before;
-    Ok(report(config.threads, queries, elapsed, elements))
+    Ok(report(config.threads, queries, elapsed, 0.0, elements))
 }
 
 #[cfg(test)]

@@ -32,7 +32,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use parking_lot::RwLock;
 use zerber_base::MergedListId;
 use zerber_corpus::GroupId;
 use zerber_r::{OrderedElement, OrderedIndex};
@@ -44,6 +46,7 @@ use zerber_store::{
 use crate::acl::{AccessControl, AuthToken};
 use crate::error::ProtocolError;
 use crate::message::{QueryRequest, QueryResponse, WireElement, ELEMENT_HEADER_BYTES};
+use crate::pool::{RoundStats, ShardWorkerPool};
 
 /// Cumulative traffic and request counters (a point-in-time snapshot).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -77,6 +80,35 @@ pub struct ServerStats {
     pub page_faults: u64,
     /// Pages the storage engine's page cache evicted.
     pub page_evictions: u64,
+    /// Batch rounds executed on the shard worker pool (0 when the server
+    /// runs the sequential in-thread scheduler).
+    pub worker_rounds: u64,
+    /// Pool buckets executed by a worker other than their home worker — how
+    /// often work-stealing rebalanced a skewed round.
+    pub stolen_buckets: u64,
+    /// Jobs routed into executable buckets across all pool rounds (the
+    /// numerator of [`ServerStats::mean_bucket_occupancy`]).
+    pub round_jobs: u64,
+    /// Buckets produced across all pool rounds (the denominator of
+    /// [`ServerStats::mean_bucket_occupancy`]).
+    pub round_buckets: u64,
+    /// Largest bucket any pool round produced: how skewed the worst round
+    /// was relative to the mean occupancy.
+    pub max_bucket_jobs: u64,
+}
+
+impl ServerStats {
+    /// Mean jobs per pool bucket across all worker rounds (0 when the pool
+    /// never ran).  Together with [`ServerStats::max_bucket_jobs`] this
+    /// describes round skew: a mean far below the max means most buckets
+    /// were small while one shard soaked up the round.
+    pub fn mean_bucket_occupancy(&self) -> f64 {
+        if self.round_buckets == 0 {
+            0.0
+        } else {
+            self.round_jobs as f64 / self.round_buckets as f64
+        }
+    }
 }
 
 /// Lock-free counters behind [`ServerStats`]: every worker thread bumps them
@@ -90,6 +122,11 @@ struct AtomicStats {
     inserts_accepted: AtomicU64,
     batches: AtomicU64,
     auth_checks: AtomicU64,
+    worker_rounds: AtomicU64,
+    stolen_buckets: AtomicU64,
+    round_jobs: AtomicU64,
+    round_buckets: AtomicU64,
+    max_bucket_jobs: AtomicU64,
     /// The store's lock meter at the last [`AtomicStats::reset`]; snapshots
     /// report the delta so `reset_stats` zeroes the whole struct.
     lock_baseline: AtomicU64,
@@ -118,6 +155,11 @@ impl AtomicStats {
             page_evictions: store
                 .page_evictions()
                 .saturating_sub(self.eviction_baseline.load(Ordering::Relaxed)),
+            worker_rounds: self.worker_rounds.load(Ordering::Relaxed),
+            stolen_buckets: self.stolen_buckets.load(Ordering::Relaxed),
+            round_jobs: self.round_jobs.load(Ordering::Relaxed),
+            round_buckets: self.round_buckets.load(Ordering::Relaxed),
+            max_bucket_jobs: self.max_bucket_jobs.load(Ordering::Relaxed),
         }
     }
 
@@ -129,12 +171,28 @@ impl AtomicStats {
         self.inserts_accepted.store(0, Ordering::Relaxed);
         self.batches.store(0, Ordering::Relaxed);
         self.auth_checks.store(0, Ordering::Relaxed);
+        self.worker_rounds.store(0, Ordering::Relaxed);
+        self.stolen_buckets.store(0, Ordering::Relaxed);
+        self.round_jobs.store(0, Ordering::Relaxed);
+        self.round_buckets.store(0, Ordering::Relaxed);
+        self.max_bucket_jobs.store(0, Ordering::Relaxed);
         self.lock_baseline
             .store(store.lock_acquisitions(), Ordering::Relaxed);
         self.fault_baseline
             .store(store.page_faults(), Ordering::Relaxed);
         self.eviction_baseline
             .store(store.page_evictions(), Ordering::Relaxed);
+    }
+
+    fn record_worker_round(&self, round: &RoundStats) {
+        self.worker_rounds.fetch_add(1, Ordering::Relaxed);
+        self.stolen_buckets
+            .fetch_add(round.stolen_buckets, Ordering::Relaxed);
+        self.round_jobs.fetch_add(round.jobs, Ordering::Relaxed);
+        self.round_buckets
+            .fetch_add(round.buckets, Ordering::Relaxed);
+        self.max_bucket_jobs
+            .fetch_max(round.max_bucket_jobs, Ordering::Relaxed);
     }
 
     fn record_query(&self, request: &QueryRequest, response: &QueryResponse) {
@@ -196,9 +254,15 @@ pub enum StoreEngine {
 /// The index server.
 #[derive(Debug)]
 pub struct IndexServer {
-    store: Box<dyn ListStore>,
+    /// `Arc` (not `Box`) so batch rounds can hand the engine to the
+    /// persistent shard workers without borrowing from the server.
+    store: Arc<dyn ListStore>,
     acl: AccessControl,
     stats: AtomicStats,
+    /// The shard worker pool executing batch rounds, when parallel serving
+    /// is enabled ([`IndexServer::set_shard_workers`]); `None` runs rounds
+    /// sequentially on the calling thread, exactly as before.
+    pool: RwLock<Option<ShardWorkerPool>>,
 }
 
 /// Opaque per-user session tag binding cursors to the user who opened them
@@ -222,10 +286,35 @@ impl IndexServer {
     /// Creates a server over an explicit storage engine.
     pub fn with_store(store: Box<dyn ListStore>, acl: AccessControl) -> Self {
         IndexServer {
-            store,
+            store: Arc::from(store),
             acl,
             stats: AtomicStats::default(),
+            pool: RwLock::new(None),
         }
+    }
+
+    /// Sets how many persistent shard workers execute batch rounds
+    /// ([`IndexServer::handle_query_stream`]): `0` disables the pool and
+    /// runs rounds sequentially on the calling thread (the default), `n > 0`
+    /// spawns a pool of `n` workers with shard-affine queues and
+    /// work-stealing.  Idempotent when the count is unchanged; otherwise the
+    /// old pool (if any) is shut down and joined before the call returns.
+    pub fn set_shard_workers(&self, workers: usize) {
+        let mut slot = self.pool.write();
+        match workers {
+            0 => *slot = None,
+            n if slot.as_ref().map(ShardWorkerPool::workers) == Some(n) => {}
+            n => *slot = Some(ShardWorkerPool::new(n)),
+        }
+    }
+
+    /// Number of shard workers batch rounds currently execute on (0 =
+    /// sequential in-thread scheduling).
+    pub fn shard_workers(&self) -> usize {
+        self.pool
+            .read()
+            .as_ref()
+            .map_or(0, ShardWorkerPool::workers)
     }
 
     /// Creates a server serializing every operation on one global mutex —
@@ -508,7 +597,10 @@ impl IndexServer {
     /// 2. buckets all fetches — across users — by storage shard,
     /// 3. executes each shard bucket under a **single** lock acquisition
     ///    (`ListStore::execute_shard_batch`; the single-mutex engine
-    ///    degenerates to one lock for the whole round), and
+    ///    degenerates to one lock for the whole round) — sequentially on
+    ///    the calling thread by default, or concurrently on the persistent
+    ///    shard worker pool when [`IndexServer::set_shard_workers`] enabled
+    ///    one — and
     /// 4. reassembles responses in input order with per-request error
     ///    isolation: a stale cursor, failed authentication or unknown list
     ///    degrades that request alone, never the batch.
@@ -531,8 +623,9 @@ impl IndexServer {
                 .and_then(|groups| self.serve(request, &groups, None, true))];
         }
         // Authenticate each distinct (user, token) once.  `arena` owns the
-        // group sets so the shard jobs below can borrow them.
-        let mut arena: Vec<Vec<GroupId>> = Vec::new();
+        // group sets behind `Arc`s so the shard jobs below can share them
+        // with the worker pool without copying per request.
+        let mut arena: Vec<Arc<[GroupId]>> = Vec::new();
         let mut cache: HashMap<(&str, &AuthToken), Result<usize, ProtocolError>> = HashMap::new();
         let mut prepared: Vec<Result<usize, ProtocolError>> = Vec::with_capacity(requests.len());
         for (request, token) in requests {
@@ -543,7 +636,7 @@ impl IndexServer {
                     .entry((request.user.as_str(), token))
                     .or_insert_with(|| {
                         self.authenticate(&request.user, token).map(|groups| {
-                            arena.push(groups);
+                            arena.push(Arc::from(groups));
                             arena.len() - 1
                         })
                     })
@@ -556,16 +649,16 @@ impl IndexServer {
             .iter()
             .zip(&prepared)
             .filter_map(|((request, _), auth)| {
-                let groups = Some(arena[*auth.as_ref().ok()?].as_slice());
+                let groups = Some(Arc::clone(&arena[*auth.as_ref().ok()?]));
                 Some(if request.cursor != 0 {
-                    StoreJob::resume(
+                    StoreJob::resume_shared(
                         CursorId(request.cursor),
                         owner_tag(&request.user),
                         request.count as usize,
                         groups,
                     )
                 } else {
-                    StoreJob::ranged(
+                    StoreJob::ranged_shared(
                         RangedFetch {
                             list: MergedListId(request.list),
                             offset: request.offset as usize,
@@ -576,7 +669,22 @@ impl IndexServer {
                 })
             })
             .collect();
-        let mut outcomes = self.store.execute_shard_batch(&jobs).results.into_iter();
+        // With a worker pool, the round's buckets execute concurrently on
+        // the persistent shard workers; without one, sequentially right
+        // here.  Either way results come back aligned with the job order
+        // and metering is identical.
+        let output = {
+            let pool = self.pool.read();
+            match pool.as_ref() {
+                Some(pool) => {
+                    let (output, round) = pool.execute(&self.store, jobs);
+                    self.stats.record_worker_round(&round);
+                    output
+                }
+                None => self.store.execute_shard_batch(&jobs),
+            }
+        };
+        let mut outcomes = output.results.into_iter();
         requests
             .iter()
             .zip(prepared)

@@ -47,7 +47,7 @@ pub use single::SingleMutexStore;
 pub use spill::{SpillConfig, SpillList, SpillStore};
 pub use store::{
     CursorId, ListStore, OrderedList, RangedBatch, RangedFetch, SessionStats, ShardBatchOutput,
-    StoreJob, VecList, SESSION_TTL_TICKS,
+    ShardBucketOutput, ShardJobBucket, ShardJobPlan, StoreJob, VecList, SESSION_TTL_TICKS,
 };
 
 #[cfg(test)]

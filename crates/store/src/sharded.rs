@@ -33,7 +33,7 @@ use crate::error::StoreError;
 use crate::segment::{SegmentConfig, SegmentList};
 use crate::store::{
     CursorId, ListStore, ListTable, OrderedList, RangedBatch, RangedFetch, SessionStats,
-    ShardBatchOutput, StoreJob, VecList,
+    ShardBucketOutput, ShardJobBucket, ShardJobPlan, StoreJob, VecList,
 };
 
 /// Upper bound on shards: cursor ids embed the shard index in their low byte.
@@ -227,12 +227,11 @@ impl<L: OrderedList> ListStore for ShardedCore<L> {
             .fetch(slot, fetch.offset, fetch.count, accessible)
     }
 
-    fn execute_shard_batch(&self, jobs: &[StoreJob]) -> ShardBatchOutput {
-        let mut results: Vec<Option<Result<RangedBatch, StoreError>>> = vec![None; jobs.len()];
+    fn plan_shard_batch(&self, jobs: &[StoreJob], max_bucket_jobs: usize) -> ShardJobPlan {
         // Group job indices by shard — ranged jobs route by list id, cursor
-        // jobs by the shard index embedded in the cursor — so every touched
-        // shard's lock is taken exactly once for the whole round.
+        // jobs by the shard index embedded in the cursor.
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        let mut unroutable = Vec::new();
         for (i, job) in jobs.iter().enumerate() {
             let routed = if job.cursor.is_some() {
                 self.cursor_shard(job.cursor)
@@ -241,10 +240,11 @@ impl<L: OrderedList> ListStore for ShardedCore<L> {
             };
             match routed {
                 Ok(shard) => by_shard[shard].push(i),
-                Err(e) => results[i] = Some(Err(e)),
+                Err(e) => unroutable.push((i, e)),
             }
         }
-        let mut lock_acquisitions = 0u64;
+        let max_bucket_jobs = max_bucket_jobs.max(1);
+        let mut buckets = Vec::new();
         for (shard, mut indices) in by_shard.into_iter().enumerate() {
             if indices.is_empty() {
                 continue;
@@ -258,40 +258,74 @@ impl<L: OrderedList> ListStore for ShardedCore<L> {
             // too.  (A resume job's `fetch.list` is a placeholder — the
             // session knows its own list — so cursors group by id, not
             // list.)
-            indices.sort_by_key(|&i| {
+            let key = |i: usize| {
                 let job = &jobs[i];
                 if job.cursor.is_some() {
-                    (1, job.cursor.0)
+                    (1u8, job.cursor.0)
                 } else {
-                    (0, job.fetch.list.0)
+                    (0u8, job.fetch.list.0)
                 }
-            });
-            self.meter_lock();
-            lock_acquisitions += 1;
-            let sweep_due = {
-                let guard = self.shards[shard].read();
-                for i in indices {
-                    let job = &jobs[i];
-                    results[i] = Some(if job.cursor.is_some() {
-                        guard.cursor_fetch(job.cursor.0, job.owner, job.fetch.count, job.accessible)
-                    } else {
-                        let (_, slot) = self.slot(job.fetch.list);
-                        guard.fetch(slot, job.fetch.offset, job.fetch.count, job.accessible)
-                    });
-                }
-                guard.ttl_sweep_due()
             };
-            if sweep_due {
-                self.meter_lock();
-                self.shards[shard].write().sweep_expired();
+            indices.sort_by_key(|&i| key(i));
+            // Slice into buckets of at most `max_bucket_jobs`, extending a
+            // bucket past the cap rather than splitting one list's / one
+            // cursor session's run of jobs across concurrently executable
+            // buckets (same-session order must match a sequential round).
+            let mut start = 0usize;
+            while start < indices.len() {
+                let mut end = (start + max_bucket_jobs).min(indices.len());
+                while end < indices.len() && key(indices[end]) == key(indices[end - 1]) {
+                    end += 1;
+                }
+                buckets.push(ShardJobBucket {
+                    shard,
+                    jobs: indices[start..end].to_vec(),
+                });
+                start = end;
             }
         }
-        ShardBatchOutput {
-            results: results
-                .into_iter()
-                .map(|r| r.expect("every job is answered"))
-                .collect(),
-            lock_acquisitions,
+        ShardJobPlan {
+            buckets,
+            unroutable,
+        }
+    }
+
+    fn execute_shard_bucket(
+        &self,
+        jobs: &[StoreJob],
+        bucket: &ShardJobBucket,
+    ) -> ShardBucketOutput {
+        let shard = bucket.shard;
+        self.meter_lock();
+        let (results, sweep_due) = {
+            let guard = self.shards[shard].read();
+            let results = bucket
+                .jobs
+                .iter()
+                .map(|&i| {
+                    let job = &jobs[i];
+                    if job.cursor.is_some() {
+                        guard.cursor_fetch(
+                            job.cursor.0,
+                            job.owner,
+                            job.fetch.count,
+                            job.accessible(),
+                        )
+                    } else {
+                        let (_, slot) = self.slot(job.fetch.list);
+                        guard.fetch(slot, job.fetch.offset, job.fetch.count, job.accessible())
+                    }
+                })
+                .collect();
+            (results, guard.ttl_sweep_due())
+        };
+        if sweep_due {
+            self.meter_lock();
+            self.shards[shard].write().sweep_expired();
+        }
+        ShardBucketOutput {
+            results,
+            lock_acquisitions: 1,
         }
     }
 

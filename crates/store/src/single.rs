@@ -17,7 +17,7 @@ use zerber_r::{OrderedElement, OrderedIndex};
 use crate::error::StoreError;
 use crate::store::{
     CursorId, ListStore, ListTable, OrderedList, RangedBatch, RangedFetch, SessionStats,
-    ShardBatchOutput, StoreJob, VecList,
+    ShardBucketOutput, ShardJobBucket, ShardJobPlan, StoreJob, VecList,
 };
 
 /// A store serializing every operation on one global mutex.
@@ -123,26 +123,48 @@ impl ListStore for SingleMutexStore {
             .fetch(slot, fetch.offset, fetch.count, accessible)
     }
 
-    fn execute_shard_batch(&self, jobs: &[StoreJob]) -> ShardBatchOutput {
-        // One lock domain: the whole cross-user round degenerates to a
-        // single mutex acquisition, however many requests it carries.
-        if jobs.is_empty() {
-            return ShardBatchOutput {
-                results: Vec::new(),
-                lock_acquisitions: 0,
-            };
+    fn plan_shard_batch(&self, jobs: &[StoreJob], _max_bucket_jobs: usize) -> ShardJobPlan {
+        // One lock domain: the whole cross-user round is a single unit of
+        // work under a single mutex acquisition, however many requests it
+        // carries — splitting it into cap-sized buckets would only multiply
+        // acquisitions of the very same mutex.  The worker pool degenerates
+        // to one worker, exactly like the pre-sharding architecture.
+        ShardJobPlan {
+            buckets: if jobs.is_empty() {
+                Vec::new()
+            } else {
+                vec![ShardJobBucket {
+                    shard: 0,
+                    jobs: (0..jobs.len()).collect(),
+                }]
+            },
+            unroutable: Vec::new(),
         }
+    }
+
+    fn execute_shard_bucket(
+        &self,
+        jobs: &[StoreJob],
+        bucket: &ShardJobBucket,
+    ) -> ShardBucketOutput {
         self.meter_lock();
         let mut guard = self.inner.lock();
-        let output = ShardBatchOutput {
-            results: jobs
+        let output = ShardBucketOutput {
+            results: bucket
+                .jobs
                 .iter()
-                .map(|job| {
+                .map(|&i| {
+                    let job = &jobs[i];
                     if job.cursor.is_some() {
-                        guard.cursor_fetch(job.cursor.0, job.owner, job.fetch.count, job.accessible)
+                        guard.cursor_fetch(
+                            job.cursor.0,
+                            job.owner,
+                            job.fetch.count,
+                            job.accessible(),
+                        )
                     } else {
                         let slot = self.check(job.fetch.list)?;
-                        guard.fetch(slot, job.fetch.offset, job.fetch.count, job.accessible)
+                        guard.fetch(slot, job.fetch.offset, job.fetch.count, job.accessible())
                     }
                 })
                 .collect(),

@@ -50,7 +50,7 @@ use crate::segment::{encode_chunk_split, encode_rebuilt, encode_segments, Segmen
 use crate::sharded::{default_shards, ShardedCore, MAX_SHARDS};
 use crate::store::{
     is_visible, CursorId, ListStore, OrderedList, RangedBatch, RangedFetch, SessionStats,
-    ShardBatchOutput, StoreJob,
+    ShardBatchOutput, ShardBucketOutput, ShardJobBucket, ShardJobPlan, StoreJob,
 };
 
 /// Tuning knobs of the spill engine.
@@ -1079,6 +1079,18 @@ impl ListStore for SpillStore {
         accessible: Option<&[GroupId]>,
     ) -> Result<RangedBatch, StoreError> {
         self.core.fetch_ranged(fetch, accessible)
+    }
+
+    fn plan_shard_batch(&self, jobs: &[StoreJob], max_bucket_jobs: usize) -> ShardJobPlan {
+        self.core.plan_shard_batch(jobs, max_bucket_jobs)
+    }
+
+    fn execute_shard_bucket(
+        &self,
+        jobs: &[StoreJob],
+        bucket: &ShardJobBucket,
+    ) -> ShardBucketOutput {
+        self.core.execute_shard_bucket(jobs, bucket)
     }
 
     fn execute_shard_batch(&self, jobs: &[StoreJob]) -> ShardBatchOutput {

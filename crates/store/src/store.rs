@@ -15,6 +15,7 @@
 //! and locking implementation and cannot diverge behaviourally.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use zerber_base::{EncryptedElement, MergePlan, MergedListId};
 use zerber_corpus::GroupId;
@@ -70,8 +71,12 @@ pub struct RangedBatch {
 /// Unlike [`ListStore::fetch_ranged_many`] — which serves one user's
 /// multi-term round under a single filter — a job batch mixes requests from
 /// *different* users, so each job carries its own visibility context.
-#[derive(Debug, Clone, Copy)]
-pub struct StoreJob<'a> {
+///
+/// The job *owns* its group filter (a shared `Arc` slice): a shard bucket of
+/// jobs is a `Send + 'static` unit of work, so a persistent shard worker can
+/// execute it without borrowing the scheduler's stack.
+#[derive(Debug, Clone)]
+pub struct StoreJob {
     /// The ranged fetch parameters.  For cursor jobs only `count` is used
     /// (the session remembers its own list and position).
     pub fetch: RangedFetch,
@@ -81,12 +86,20 @@ pub struct StoreJob<'a> {
     /// Owner tag of the cursor session (ignored for ranged jobs).
     pub owner: u64,
     /// Groups visible to the requesting user (`None` = unrestricted).
-    pub accessible: Option<&'a [GroupId]>,
+    /// Shared, not borrowed: many jobs of one round typically point at the
+    /// same authenticated user's group set.
+    pub accessible: Option<Arc<[GroupId]>>,
 }
 
-impl<'a> StoreJob<'a> {
-    /// A fresh ranged-fetch job.
-    pub fn ranged(fetch: RangedFetch, accessible: Option<&'a [GroupId]>) -> Self {
+impl StoreJob {
+    /// A fresh ranged-fetch job (copies the filter into a shared slice; use
+    /// [`StoreJob::ranged_shared`] to reuse one allocation across jobs).
+    pub fn ranged(fetch: RangedFetch, accessible: Option<&[GroupId]>) -> Self {
+        Self::ranged_shared(fetch, accessible.map(Arc::from))
+    }
+
+    /// A fresh ranged-fetch job over an already-shared group filter.
+    pub fn ranged_shared(fetch: RangedFetch, accessible: Option<Arc<[GroupId]>>) -> Self {
         StoreJob {
             fetch,
             cursor: CursorId::NONE,
@@ -95,12 +108,23 @@ impl<'a> StoreJob<'a> {
         }
     }
 
-    /// A cursor-resumption job.
+    /// A cursor-resumption job (copies the filter into a shared slice; use
+    /// [`StoreJob::resume_shared`] to reuse one allocation across jobs).
     pub fn resume(
         cursor: CursorId,
         owner: u64,
         count: usize,
-        accessible: Option<&'a [GroupId]>,
+        accessible: Option<&[GroupId]>,
+    ) -> Self {
+        Self::resume_shared(cursor, owner, count, accessible.map(Arc::from))
+    }
+
+    /// A cursor-resumption job over an already-shared group filter.
+    pub fn resume_shared(
+        cursor: CursorId,
+        owner: u64,
+        count: usize,
+        accessible: Option<Arc<[GroupId]>>,
     ) -> Self {
         StoreJob {
             fetch: RangedFetch {
@@ -113,6 +137,11 @@ impl<'a> StoreJob<'a> {
             accessible,
         }
     }
+
+    /// The job's group filter as a plain slice (`None` = unrestricted).
+    pub fn accessible(&self) -> Option<&[GroupId]> {
+        self.accessible.as_deref()
+    }
 }
 
 /// Outcome of one [`ListStore::execute_shard_batch`] round.
@@ -123,6 +152,56 @@ pub struct ShardBatchOutput {
     /// Shard-lock acquisitions the round needed: sharded engines take each
     /// touched shard's lock once, the single-mutex engine takes one lock for
     /// the whole round.
+    pub lock_acquisitions: u64,
+}
+
+/// One shard's unit of work inside a batch round: the indices (into the
+/// round's job slice) of the jobs this bucket serves, all routed to `shard`.
+///
+/// A bucket is the granularity a shard worker executes at: serving it takes
+/// only its own shard's lock, so buckets of *different* shards — and, because
+/// batch serving holds the shard lock shared, even buckets of the *same*
+/// shard — may run concurrently.  Within a bucket, jobs stay in the engine's
+/// serving order (grouped by list / cursor session), and a planner never
+/// splits jobs of one cursor session or one list across buckets, so
+/// same-session resumptions answer exactly like a sequential round.
+#[derive(Debug, Clone)]
+pub struct ShardJobBucket {
+    /// The shard every job of this bucket routes to.
+    pub shard: usize,
+    /// Indices into the round's job slice, in serving order.
+    pub jobs: Vec<usize>,
+}
+
+/// The routing plan of one batch round: executable buckets plus the jobs
+/// that could not be routed at all (unknown list, malformed cursor id) —
+/// those fail per-job without ever touching a shard.
+#[derive(Debug)]
+pub struct ShardJobPlan {
+    /// Executable buckets, ordered by shard (the sequential execution order).
+    pub buckets: Vec<ShardJobBucket>,
+    /// `(job index, error)` for jobs no shard can serve.
+    pub unroutable: Vec<(usize, StoreError)>,
+}
+
+impl ShardJobPlan {
+    /// Total jobs across all executable buckets.
+    pub fn routed_jobs(&self) -> usize {
+        self.buckets.iter().map(|b| b.jobs.len()).sum()
+    }
+
+    /// Size of the largest bucket (0 for an empty plan).
+    pub fn max_bucket_jobs(&self) -> usize {
+        self.buckets.iter().map(|b| b.jobs.len()).max().unwrap_or(0)
+    }
+}
+
+/// Outcome of executing one [`ShardJobBucket`].
+#[derive(Debug)]
+pub struct ShardBucketOutput {
+    /// Per-job results, aligned with the bucket's `jobs` order.
+    pub results: Vec<Result<RangedBatch, StoreError>>,
+    /// Shard-lock acquisitions serving the bucket needed.
     pub lock_acquisitions: u64,
 }
 
@@ -250,12 +329,30 @@ pub trait ListStore: Send + Sync + std::fmt::Debug {
         fetches: &[RangedFetch],
         accessible: Option<&[GroupId]>,
     ) -> Vec<Result<RangedBatch, StoreError>> {
+        // One shared filter allocation for the whole batch.
+        let shared: Option<Arc<[GroupId]>> = accessible.map(Arc::from);
         let jobs: Vec<StoreJob> = fetches
             .iter()
-            .map(|&fetch| StoreJob::ranged(fetch, accessible))
+            .map(|&fetch| StoreJob::ranged_shared(fetch, shared.clone()))
             .collect();
         self.execute_shard_batch(&jobs).results
     }
+
+    /// Routes a cross-user batch of fetch/cursor jobs into executable
+    /// per-shard buckets.  `max_bucket_jobs` caps the bucket size so a
+    /// worker pool can split one hot shard's work into several concurrently
+    /// executable (and stealable) units; jobs of one list or one cursor
+    /// session are never split across buckets, so same-session resumptions
+    /// keep their input order.  Engines whose natural serving unit is the
+    /// whole round (the single-mutex store) may ignore the cap.
+    fn plan_shard_batch(&self, jobs: &[StoreJob], max_bucket_jobs: usize) -> ShardJobPlan;
+
+    /// Executes one planned bucket, taking only that bucket's shard lock
+    /// (shared), so buckets may execute concurrently — on different shards
+    /// and even on the same shard.  Results align with the bucket's `jobs`
+    /// order; a job that fails (stale cursor) errors individually.
+    fn execute_shard_bucket(&self, jobs: &[StoreJob], bucket: &ShardJobBucket)
+        -> ShardBucketOutput;
 
     /// Executes a cross-user batch of fetch/cursor jobs, visiting each shard
     /// under a **single** lock acquisition.  This is the storage half of the
@@ -264,7 +361,33 @@ pub trait ListStore: Send + Sync + std::fmt::Debug {
     /// lock, and results are reassembled in input order.  A job that fails
     /// (unknown list, stale cursor) errors individually without disturbing
     /// the rest of the batch.
-    fn execute_shard_batch(&self, jobs: &[StoreJob]) -> ShardBatchOutput;
+    ///
+    /// Provided in terms of [`ListStore::plan_shard_batch`] (uncapped, one
+    /// bucket per touched shard) and [`ListStore::execute_shard_bucket`],
+    /// executed sequentially in shard order — the worker pool runs the same
+    /// plan/execute seam concurrently.
+    fn execute_shard_batch(&self, jobs: &[StoreJob]) -> ShardBatchOutput {
+        let plan = self.plan_shard_batch(jobs, usize::MAX);
+        let mut results: Vec<Option<Result<RangedBatch, StoreError>>> = vec![None; jobs.len()];
+        for (i, e) in plan.unroutable {
+            results[i] = Some(Err(e));
+        }
+        let mut lock_acquisitions = 0u64;
+        for bucket in &plan.buckets {
+            let out = self.execute_shard_bucket(jobs, bucket);
+            lock_acquisitions += out.lock_acquisitions;
+            for (&i, result) in bucket.jobs.iter().zip(out.results) {
+                results[i] = Some(result);
+            }
+        }
+        ShardBatchOutput {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every job is routed or unroutable"))
+                .collect(),
+            lock_acquisitions,
+        }
+    }
 
     /// Shard-lock acquisitions performed by the serving paths (fetches,
     /// cursor operations, inserts and batch rounds) since the store was

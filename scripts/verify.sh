@@ -4,8 +4,10 @@
 # Mirrors .github/workflows/ci.yml so the same checks run locally and in
 # CI: rustfmt, release build, full test suite (including the spill-engine
 # equivalence proptests, which write page files into a temp-dir spill
-# root), bench compilation, clippy with warnings denied, and a hygiene
-# guard asserting the tests left no stray on-disk page files behind.
+# root), a parallel-vs-sequential proptest with a 2-worker shard pool
+# forced, a repeated worker-pool shutdown stress loop, bench compilation,
+# clippy with warnings denied, and a hygiene guard asserting the tests
+# left no stray on-disk page files behind.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,6 +25,24 @@ cargo test -q
 
 echo "==> cargo test --release (concurrency + cross-engine + batched-vs-sequential + spill equivalence)"
 cargo test --release --test concurrent_server --test store_equivalence --test spill_store
+
+echo "==> parallel-vs-sequential proptest with a 2-worker pool forced (release)"
+# 1-CPU runners still exercise real cross-thread handoff: the pool's
+# workers are OS threads regardless of core count.
+ZERBER_TEST_SHARD_WORKERS=2 cargo test --release --test store_equivalence \
+  parallel_rounds_equal_sequential_rounds_across_engines
+
+echo "==> worker-pool shutdown stress (release, repeated)"
+for i in 1 2 3 4 5; do
+  cargo test --release --test concurrent_server \
+    pool_reconfiguration_and_shutdown_are_clean -- --exact \
+    > /dev/null 2>&1 || {
+      echo "pool shutdown stress failed on iteration $i" >&2
+      cargo test --release --test concurrent_server \
+        pool_reconfiguration_and_shutdown_are_clean -- --exact
+      exit 1
+    }
+done
 
 echo "==> spill hygiene: no stray page files after the test runs"
 if [ -d "$SPILL_STAGING" ] && [ -n "$(find "$SPILL_STAGING" -type f 2>/dev/null | head -1)" ]; then

@@ -374,4 +374,100 @@ proptest! {
         prop_assert_eq!(&per_engine[0], &per_engine[2]);
         prop_assert_eq!(&per_engine[0], &per_engine[3]);
     }
+
+    /// The parallel-round oracle: executing a stream round on the persistent
+    /// shard worker pool (2 workers, concurrent buckets, work-stealing) must
+    /// be output-deterministic — element-for-element identical to the same
+    /// round on the sequential in-thread scheduler AND to the requests
+    /// issued one at a time through `handle_query`, across all four engines,
+    /// with forged tokens, stale cursors and unknown lists mixed into the
+    /// parallel round.
+    #[test]
+    fn parallel_rounds_equal_sequential_rounds_across_engines(
+        lists in proptest::collection::vec(
+            proptest::collection::vec(
+                (trs_strategy(), 0..NUM_GROUPS, proptest::collection::vec(any::<u8>(), 0..10)),
+                0..40,
+            ).prop_map(sorted),
+            1..4,
+        ),
+        reqs in proptest::collection::vec(
+            (0usize..5, 0u64..5, 0u64..30, 1u32..8, any::<bool>(), any::<bool>()),
+            1..40,
+        ),
+    ) {
+        let sequential = servers(&lists);
+        let parallel = servers(&lists);
+        let workers = std::env::var("ZERBER_TEST_SHARD_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(2)
+            .max(1);
+        for server in &parallel {
+            server.set_shard_workers(workers);
+        }
+        let mut per_engine: Vec<Vec<_>> = Vec::with_capacity(parallel.len());
+        for (seq, par) in sequential.iter().zip(&parallel) {
+            // The ACL (and so every issued token) is shared across all
+            // servers; forged tokens and the unregistered user-4 exercise
+            // per-request failures inside the parallel round.
+            let round: Vec<(QueryRequest, AuthToken)> = reqs
+                .iter()
+                .map(|&(u, list, offset, count, stale, forged)| {
+                    let user = format!("user-{u}");
+                    let token = if forged {
+                        AuthToken([7u8; 32])
+                    } else {
+                        seq.acl().issue_token(&user)
+                    };
+                    let request = QueryRequest {
+                        user,
+                        list,
+                        offset,
+                        cursor: if stale { 0x0bad_c0de << 8 } else { 0 },
+                        count,
+                        k: count,
+                    };
+                    (request, token)
+                })
+                .collect();
+            let pooled = par.handle_query_stream(&round);
+            let inline = seq.handle_query_stream(&round);
+            prop_assert_eq!(pooled.len(), round.len());
+            for (((request, token), p), s) in round.iter().zip(&pooled).zip(&inline) {
+                let one_at_a_time = seq.handle_query(request, token);
+                for other in [s, &one_at_a_time] {
+                    match (p, other) {
+                        (Ok(a), Ok(b)) => {
+                            prop_assert_eq!(&a.elements, &b.elements);
+                            prop_assert_eq!(a.visible_total, b.visible_total);
+                        }
+                        (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                        _ => prop_assert!(
+                            false,
+                            "pooled and sequential disagree on outcome for {:?}",
+                            request
+                        ),
+                    }
+                }
+            }
+            // Rounds of more than one request must actually have gone
+            // through the pool (single requests take the per-query fast
+            // path on both schedulers).
+            if round.len() > 1 {
+                prop_assert!(par.stats().worker_rounds > 0);
+                prop_assert_eq!(seq.stats().worker_rounds, 0);
+            }
+            per_engine.push(
+                pooled
+                    .into_iter()
+                    .map(|r| r.map(|resp| (resp.elements, resp.visible_total)))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        // All four parallel engines agree with each other too.
+        prop_assert_eq!(&per_engine[0], &per_engine[1]);
+        prop_assert_eq!(&per_engine[0], &per_engine[2]);
+        prop_assert_eq!(&per_engine[0], &per_engine[3]);
+    }
 }
