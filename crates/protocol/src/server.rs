@@ -80,6 +80,20 @@ pub struct ServerStats {
     pub page_faults: u64,
     /// Pages the storage engine's page cache evicted.
     pub page_evictions: u64,
+    /// Page reads the storage engine's page cache absorbed (no disk read).
+    /// `page_cache_hits / (page_cache_hits + page_faults)` is the cache hit
+    /// rate over this stats window.
+    pub page_cache_hits: u64,
+    /// Page-file compaction passes the storage engine completed: each one
+    /// rewrote a shard's live pages into a fresh file and reclaimed the dead
+    /// bytes stranded by rebuilds.
+    pub compactions: u64,
+    /// Spilled segments the storage engine promoted back into the resident
+    /// tier because recent accesses earned them budget.
+    pub promotions: u64,
+    /// Resident segments the storage engine demoted to the page file because
+    /// hotter segments claimed their budget.
+    pub demotions: u64,
     /// Batch rounds executed on the shard worker pool (0 when the server
     /// runs the sequential in-thread scheduler).
     pub worker_rounds: u64,
@@ -134,6 +148,14 @@ struct AtomicStats {
     fault_baseline: AtomicU64,
     /// The store's page-eviction meter at the last reset.
     eviction_baseline: AtomicU64,
+    /// The store's page-cache-hit meter at the last reset.
+    hit_baseline: AtomicU64,
+    /// The store's compaction meter at the last reset.
+    compaction_baseline: AtomicU64,
+    /// The store's promotion meter at the last reset.
+    promotion_baseline: AtomicU64,
+    /// The store's demotion meter at the last reset.
+    demotion_baseline: AtomicU64,
 }
 
 impl AtomicStats {
@@ -155,6 +177,18 @@ impl AtomicStats {
             page_evictions: store
                 .page_evictions()
                 .saturating_sub(self.eviction_baseline.load(Ordering::Relaxed)),
+            page_cache_hits: store
+                .page_cache_hits()
+                .saturating_sub(self.hit_baseline.load(Ordering::Relaxed)),
+            compactions: store
+                .compactions()
+                .saturating_sub(self.compaction_baseline.load(Ordering::Relaxed)),
+            promotions: store
+                .promotions()
+                .saturating_sub(self.promotion_baseline.load(Ordering::Relaxed)),
+            demotions: store
+                .demotions()
+                .saturating_sub(self.demotion_baseline.load(Ordering::Relaxed)),
             worker_rounds: self.worker_rounds.load(Ordering::Relaxed),
             stolen_buckets: self.stolen_buckets.load(Ordering::Relaxed),
             round_jobs: self.round_jobs.load(Ordering::Relaxed),
@@ -182,6 +216,14 @@ impl AtomicStats {
             .store(store.page_faults(), Ordering::Relaxed);
         self.eviction_baseline
             .store(store.page_evictions(), Ordering::Relaxed);
+        self.hit_baseline
+            .store(store.page_cache_hits(), Ordering::Relaxed);
+        self.compaction_baseline
+            .store(store.compactions(), Ordering::Relaxed);
+        self.promotion_baseline
+            .store(store.promotions(), Ordering::Relaxed);
+        self.demotion_baseline
+            .store(store.demotions(), Ordering::Relaxed);
     }
 
     fn record_worker_round(&self, round: &RoundStats) {

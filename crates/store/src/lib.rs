@@ -122,6 +122,7 @@ mod tests {
             SpillConfig {
                 resident_budget_bytes: 0,
                 page_cache_pages: 4,
+                ..SpillConfig::default().without_tiering()
             },
             small_segment_config(),
         )

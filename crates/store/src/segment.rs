@@ -155,6 +155,11 @@ fn corrupt(reason: impl std::fmt::Display) -> StoreError {
     StoreError::CorruptSegment(reason.to_string())
 }
 
+/// Encoded length of one LEB128 varint (mirrors `write_varint`).
+fn varint_len(value: u64) -> usize {
+    (64 - value.max(1).leading_zeros() as usize).div_ceil(7)
+}
+
 /// Encodes one block of ordered elements onto `out`, returning its skip
 /// entry.  The chunk must be non-empty and descending in TRS (the list
 /// invariant every engine maintains).  The first element's TRS lives only in
@@ -677,6 +682,27 @@ impl Segment {
                 .iter()
                 .map(|b| b.counts.len() * std::mem::size_of::<(GroupId, u32)>())
                 .sum::<usize>()
+    }
+
+    /// Exact byte length of [`Segment::to_bytes`] without materializing the
+    /// buffer — the live-byte accounting the spill engine's compaction
+    /// planner reads when deciding whether a page file is worth rewriting.
+    pub fn encoded_len(&self) -> usize {
+        let mut len = varint_len(SEGMENT_MAGIC)
+            + varint_len(SEGMENT_VERSION)
+            + varint_len(self.elems as u64)
+            + varint_len(self.blocks.len() as u64);
+        for meta in &self.blocks {
+            len += varint_len(u64::from(meta.elems))
+                + varint_len(meta.first)
+                + varint_len(meta.last)
+                + varint_len(meta.counts.len() as u64)
+                + varint_len(u64::from(meta.byte_len));
+            for &(group, count) in &meta.counts {
+                len += varint_len(u64::from(group.0)) + varint_len(u64::from(count));
+            }
+        }
+        len + self.payload.len()
     }
 
     /// Serializes the segment to its validated wire format.

@@ -111,13 +111,28 @@ impl<L: OrderedList> ShardedCore<L> {
         }
     }
 
-    fn cursor_shard(&self, cursor: CursorId) -> Result<usize, StoreError> {
+    pub(crate) fn cursor_shard(&self, cursor: CursorId) -> Result<usize, StoreError> {
         let shard = (cursor.0 & 0xff) as usize;
         if cursor.is_some() && shard < self.shards.len() {
             Ok(shard)
         } else {
             Err(StoreError::UnknownCursor(cursor.0))
         }
+    }
+
+    /// Runs `f` under one shard's read lock (maintenance passes; unmetered —
+    /// the lock meter counts serving-path acquisitions only).
+    pub(crate) fn with_shard_read<R>(&self, shard: usize, f: impl FnOnce(&ListTable<L>) -> R) -> R {
+        f(&self.shards[shard].read())
+    }
+
+    /// Runs `f` under one shard's write lock (maintenance passes; unmetered).
+    pub(crate) fn with_shard_write<R>(
+        &self,
+        shard: usize,
+        f: impl FnOnce(&mut ListTable<L>) -> R,
+    ) -> R {
+        f(&mut self.shards[shard].write())
     }
 }
 

@@ -20,23 +20,39 @@
 //! ([`SpillConfig::page_cache_pages`]).  [`SpillConfig::resident_budget_bytes`]
 //! bounds the sealed bytes each shard keeps resident: segments charge the
 //! budget greedily in build order (within a list, hot end first) and spill
-//! once it is exhausted — so under a partial budget, lists built early keep
-//! more of themselves resident; workload-driven placement is a ROADMAP
-//! item.
+//! once it is exhausted.
 //! `ListStore::execute_shard_batch` groups a round's ranged jobs by list
 //! (and cursor resumptions by session) before serving them, so a batch of
 //! fresh fetches faults each page at most once per round.
 //!
-//! The page files are append-only: a rebuild of a spilled segment (interior
-//! insert) writes a fresh page and strands the old one as garbage until the
-//! file is compacted in the background (ROADMAP).  Files are ephemeral cache
-//! state, not durability — the store deletes them on drop.
+//! Two maintenance passes make the tiering **self-managing**:
+//!
+//! - **Access-driven retier** ([`SpillConfig::retier_interval`]): every
+//!   sealed slot carries an access-clock stamp, touched whenever a scan or
+//!   fault actually reads its segment.  Every `retier_interval` serving
+//!   operations on a shard, a pass re-grants the shard's resident budget to
+//!   the hottest slots — a segment that cooled demotes to disk, a cold list
+//!   that started seeing traffic promotes its touched slots, and the
+//!   seal-time placement is only the starting point, not a life sentence.
+//!   A never-touched slot is never promoted.
+//! - **Page-file compaction** ([`SpillConfig::compact_dead_percent`] /
+//!   [`SpillConfig::compact_min_dead_bytes`]): the page files are
+//!   append-only, so a rebuild of a spilled segment (interior insert), a
+//!   promotion, or a re-demotion strands the superseded page as dead bytes.
+//!   Once dead bytes clear both thresholds, the live pages are copied into
+//!   a fresh `.pages.compact` file and re-validated **off the shard lock**;
+//!   only the final swap (straggler copy, atomic rename, slot/cache remap)
+//!   runs under the shard write lock.  A failed or torn rewrite is
+//!   discarded and the old file keeps serving.
+//!
+//! Files are ephemeral cache state, not durability — the store deletes
+//! them on drop.
 
 use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read as _, Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -49,8 +65,8 @@ use crate::error::StoreError;
 use crate::segment::{encode_chunk_split, encode_rebuilt, encode_segments, Segment, SegmentConfig};
 use crate::sharded::{default_shards, ShardedCore, MAX_SHARDS};
 use crate::store::{
-    is_visible, CursorId, ListStore, OrderedList, RangedBatch, RangedFetch, SessionStats,
-    ShardBatchOutput, ShardBucketOutput, ShardJobBucket, ShardJobPlan, StoreJob,
+    is_visible, CursorId, ListStore, ListTable, OrderedList, RangedBatch, RangedFetch,
+    SessionStats, ShardBucketOutput, ShardJobBucket, ShardJobPlan, StoreJob,
 };
 
 /// Tuning knobs of the spill engine.
@@ -64,6 +80,18 @@ pub struct SpillConfig {
     /// Pages the per-shard LRU page cache retains after a fault.  `0`
     /// disables caching: every cold read goes to disk.
     pub page_cache_pages: usize,
+    /// Dead-byte share of a shard's page file (percent) above which the
+    /// file is compacted: live pages are rewritten into a fresh file and
+    /// swapped in.  `100` (with a large floor) effectively disables
+    /// compaction.
+    pub compact_dead_percent: u8,
+    /// Absolute dead-byte floor below which compaction never triggers, so
+    /// tiny files are not rewritten over a few stranded bytes.
+    pub compact_min_dead_bytes: usize,
+    /// Serving operations per shard between access-driven retier passes
+    /// (promotion/demotion of sealed slots by access recency).  `0`
+    /// disables retiering: residency stays as placed at seal time.
+    pub retier_interval: u64,
 }
 
 impl Default for SpillConfig {
@@ -71,6 +99,23 @@ impl Default for SpillConfig {
         SpillConfig {
             resident_budget_bytes: 8 << 20,
             page_cache_pages: 64,
+            compact_dead_percent: 40,
+            compact_min_dead_bytes: 64 << 10,
+            retier_interval: 1024,
+        }
+    }
+}
+
+impl SpillConfig {
+    /// Disables both maintenance passes (compaction and retiering): the
+    /// engine behaves like the static seal-time placement — the baseline
+    /// the tiering benchmarks compare against.
+    pub fn without_tiering(self) -> Self {
+        SpillConfig {
+            compact_dead_percent: 100,
+            compact_min_dead_bytes: usize::MAX,
+            retier_interval: 0,
+            ..self
         }
     }
 }
@@ -135,15 +180,34 @@ struct Pager {
     resident_charge: AtomicUsize,
     spilled: AtomicUsize,
     faults: AtomicU64,
+    hits: AtomicU64,
     evictions: AtomicU64,
+    /// Physical length of the page file — mirrors `io.append` so stats and
+    /// the compaction trigger never take the file lock.
+    file_len: AtomicU64,
+    compactions: AtomicU64,
+    promotions: AtomicU64,
+    demotions: AtomicU64,
+    /// Logical access clock, ticked on every sealed-slot read; slot
+    /// summaries stamp it so the retier pass can rank slots by recency.
+    access_clock: AtomicU64,
+    /// Serving operations since the last retier pass of this shard.
+    ops_since_retier: AtomicU64,
+    /// Single-flight guard: at most one compaction per shard at a time.
+    compacting: AtomicBool,
+    compact_dead_percent: u8,
+    compact_min_dead_bytes: usize,
+    retier_interval: u64,
     path: PathBuf,
     _root: Arc<SpillRoot>,
 }
 
 impl Drop for Pager {
     fn drop(&mut self) {
-        // Page files are cache state, not durability: leave nothing behind.
+        // Page files are cache state, not durability: leave nothing behind
+        // (including a fresh compaction file an aborted pass may have left).
         let _ = fs::remove_file(&self.path);
+        let _ = fs::remove_file(self.fresh_path());
     }
 }
 
@@ -170,7 +234,18 @@ impl Pager {
             resident_charge: AtomicUsize::new(0),
             spilled: AtomicUsize::new(0),
             faults: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            file_len: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+            demotions: AtomicU64::new(0),
+            access_clock: AtomicU64::new(0),
+            ops_since_retier: AtomicU64::new(0),
+            compacting: AtomicBool::new(false),
+            compact_dead_percent: config.compact_dead_percent,
+            compact_min_dead_bytes: config.compact_min_dead_bytes,
+            retier_interval: config.retier_interval,
             path,
             _root: root,
         }))
@@ -215,6 +290,7 @@ impl Pager {
             io.file.seek(SeekFrom::Start(offset)).map_err(io_err)?;
             io.file.write_all(&bytes).map_err(io_err)?;
             io.append += u64::from(len);
+            self.file_len.store(io.append, Ordering::Relaxed);
             offset
         };
         self.spilled.fetch_add(bytes.len(), Ordering::Relaxed);
@@ -249,6 +325,7 @@ impl Pager {
             let now = cache.clock;
             if let Some(slot) = cache.entries.get_mut(&page.offset) {
                 slot.last_used = now;
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(Arc::clone(&slot.segment));
             }
         }
@@ -261,6 +338,7 @@ impl Pager {
             let now = cache.clock;
             if let Some(slot) = cache.entries.get_mut(&page.offset) {
                 slot.last_used = now;
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(Arc::clone(&slot.segment));
             }
         }
@@ -304,6 +382,198 @@ impl Pager {
     fn cache_bytes(&self) -> usize {
         self.cache.lock().bytes
     }
+
+    /// Reads and validates one page without touching the cache or the fault
+    /// counter — the promotion path, which immediately owns the segment
+    /// instead of sharing a cached copy.
+    fn read_page_uncached(&self, page: PageId) -> Result<Segment, StoreError> {
+        let mut buf = vec![0u8; page.len as usize];
+        {
+            let mut io = self.io.lock();
+            io.file.seek(SeekFrom::Start(page.offset)).map_err(io_err)?;
+            io.file.read_exact(&mut buf).map_err(io_err)?;
+        }
+        Segment::from_bytes(&buf)
+    }
+
+    /// Next access-clock tick (stamped onto the slot a read touched).
+    fn touch_tick(&self) -> u64 {
+        self.access_clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Counts one serving operation; `true` when a retier pass is due (the
+    /// counter re-arms, so exactly one caller gets the `true`).
+    fn take_retier_due(&self) -> bool {
+        if self.retier_interval == 0 {
+            return false;
+        }
+        if self.ops_since_retier.fetch_add(1, Ordering::Relaxed) + 1 >= self.retier_interval {
+            self.ops_since_retier.store(0, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Bytes stranded in the page file by superseded pages.
+    fn dead_bytes(&self) -> usize {
+        (self.file_len.load(Ordering::Relaxed) as usize)
+            .saturating_sub(self.spilled.load(Ordering::Relaxed))
+    }
+
+    /// Whether the dead-byte share of the page file clears both compaction
+    /// thresholds (ratio and absolute floor).
+    fn compaction_due(&self) -> bool {
+        let dead = self.dead_bytes();
+        dead > 0
+            && dead >= self.compact_min_dead_bytes
+            && dead.saturating_mul(100)
+                >= (self.compact_dead_percent as usize)
+                    .saturating_mul(self.file_len.load(Ordering::Relaxed) as usize)
+    }
+
+    /// Path of the in-progress compaction file next to the page file.
+    fn fresh_path(&self) -> PathBuf {
+        self.path.with_extension("pages.compact")
+    }
+
+    /// Opens a fresh (truncated) compaction file for a page-file rewrite.
+    fn begin_rewrite(&self) -> Result<Rewrite, StoreError> {
+        let path = self.fresh_path();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(io_err)?;
+        Ok(Rewrite {
+            file,
+            path,
+            append: 0,
+            map: HashMap::new(),
+            committed: false,
+        })
+    }
+
+    /// Copies one live page of the main file onto the rewrite (raw bytes;
+    /// [`Pager::verify_rewrite`] validates the copies before they can ever
+    /// serve), recording the old → new offset remap.  Idempotent per page.
+    fn copy_page(&self, rw: &mut Rewrite, page: PageId) -> Result<(), StoreError> {
+        if rw.map.contains_key(&page.offset) {
+            return Ok(());
+        }
+        let mut buf = vec![0u8; page.len as usize];
+        {
+            let mut io = self.io.lock();
+            io.file.seek(SeekFrom::Start(page.offset)).map_err(io_err)?;
+            io.file.read_exact(&mut buf).map_err(io_err)?;
+        }
+        rw.file.seek(SeekFrom::Start(rw.append)).map_err(io_err)?;
+        rw.file.write_all(&buf).map_err(io_err)?;
+        rw.map.insert(
+            page.offset,
+            PageId {
+                offset: rw.append,
+                len: page.len,
+            },
+        );
+        rw.append += u64::from(page.len);
+        Ok(())
+    }
+
+    /// Like [`Pager::copy_page`] but validates the fresh copy immediately —
+    /// the straggler path, which runs under the shard write lock after the
+    /// bulk of the rewrite was already verified off-lock.
+    fn copy_page_verified(&self, rw: &mut Rewrite, page: PageId) -> Result<(), StoreError> {
+        self.copy_page(rw, page)?;
+        if let Some(new) = rw.map.get(&page.offset).copied() {
+            rw.read_back(new)?;
+        }
+        Ok(())
+    }
+
+    /// Re-validates every page copied onto the rewrite by reading it back
+    /// from the fresh file and decoding it through `Segment::from_bytes`.
+    /// A torn or bit-flipped rewrite fails here and never swaps in.
+    fn verify_rewrite(&self, rw: &mut Rewrite) -> Result<(), StoreError> {
+        let pages: Vec<PageId> = rw.map.values().copied().collect();
+        for page in pages {
+            rw.read_back(page)?;
+        }
+        Ok(())
+    }
+
+    /// Swaps a fully-copied rewrite in as the shard's page file: atomic
+    /// rename over the old file, the io handle and append cursor move to
+    /// the fresh file, and surviving cache entries are re-keyed through the
+    /// offset remap.  Must run under the shard write lock (the caller remaps
+    /// the slots with the returned map under the same lock).  On error the
+    /// rewrite is discarded and the old file keeps serving.
+    fn commit_rewrite(&self, mut rw: Rewrite) -> Result<HashMap<u64, PageId>, StoreError> {
+        fs::rename(&rw.path, &self.path).map_err(io_err)?;
+        rw.committed = true;
+        let map = std::mem::take(&mut rw.map);
+        {
+            let mut io = self.io.lock();
+            // Re-open rather than stealing `rw.file`: same inode after the
+            // rename, and `rw` keeps its Drop impl.
+            io.file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&self.path)
+                .map_err(io_err)?;
+            io.append = rw.append;
+            self.file_len.store(rw.append, Ordering::Relaxed);
+        }
+        let mut cache = self.cache.lock();
+        let old_entries = std::mem::take(&mut cache.entries);
+        cache.bytes = 0;
+        for (offset, slot) in old_entries {
+            if let Some(new) = map.get(&offset) {
+                cache.bytes += slot.bytes;
+                cache.entries.insert(new.offset, slot);
+            }
+        }
+        drop(cache);
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(map)
+    }
+}
+
+/// An in-progress page-file rewrite: live pages copied into a fresh
+/// `.pages.compact` file, swapped in atomically by
+/// [`Pager::commit_rewrite`].  Dropping an uncommitted rewrite removes the
+/// fresh file, so an aborted compaction leaves only the old file serving
+/// and no stray compaction files on disk.
+struct Rewrite {
+    file: File,
+    path: PathBuf,
+    append: u64,
+    /// Old page-file offset → page location in the fresh file.
+    map: HashMap<u64, PageId>,
+    committed: bool,
+}
+
+impl Rewrite {
+    /// Reads one copied page back from the fresh file and validates it.
+    fn read_back(&mut self, page: PageId) -> Result<(), StoreError> {
+        let mut buf = vec![0u8; page.len as usize];
+        self.file
+            .seek(SeekFrom::Start(page.offset))
+            .map_err(io_err)?;
+        self.file.read_exact(&mut buf).map_err(io_err)?;
+        Segment::from_bytes(&buf)?;
+        Ok(())
+    }
+}
+
+impl Drop for Rewrite {
+    fn drop(&mut self) {
+        if !self.committed {
+            let _ = fs::remove_file(&self.path);
+        }
+    }
 }
 
 /// Resident summary of one sealed segment — everything visibility
@@ -318,6 +588,14 @@ struct SlotMeta {
     counts: Vec<(GroupId, u32)>,
     stored_bytes: usize,
     ciphertext_bytes: usize,
+    /// Exact memory charge of the decoded segment — what residency costs
+    /// against the shard budget.  Updated on promotion (decoded capacities
+    /// can differ from the pre-spill encode).
+    resident_cost: usize,
+    /// Access-clock stamp of the last scan/fault that actually read this
+    /// slot's segment (0 = never read; summary-only answers don't stamp).
+    /// The retier pass ranks slots by it.
+    last_access: AtomicU64,
 }
 
 impl SlotMeta {
@@ -328,6 +606,8 @@ impl SlotMeta {
             counts: segment.group_counts(),
             stored_bytes: segment.stored_bytes(),
             ciphertext_bytes: segment.ciphertext_bytes(),
+            resident_cost: segment.resident_bytes(),
+            last_access: AtomicU64::new(0),
         }
     }
 
@@ -456,7 +736,10 @@ impl SpillList {
 
     fn place(&self, segment: Segment) -> Result<Slot, StoreError> {
         let meta = SlotMeta::of(&segment);
-        let charge = segment.resident_bytes();
+        // Charge exactly the slot's metered resident cost: the budget
+        // invariant (`resident_charge` == Σ charged == Σ exact resident
+        // bytes) holds by construction on every placement path.
+        let charge = meta.resident_cost;
         let backing = if self.pager.try_charge(charge) {
             Backing::Resident {
                 segment,
@@ -477,9 +760,16 @@ impl SpillList {
     }
 
     /// Resolves slot `k` to a readable segment, faulting its page in from
-    /// disk when spilled.
+    /// disk when spilled.  Stamps the slot's access clock: this is the one
+    /// place every actual segment read (scan, deep fetch, insert partition,
+    /// snapshot) funnels through, so recency here is recency of real use —
+    /// summary-only answers deliberately leave the stamp cold.
     fn segment(&self, k: usize) -> Result<SegRef<'_>, StoreError> {
-        match &self.slots[k].backing {
+        let slot = &self.slots[k];
+        slot.meta
+            .last_access
+            .store(self.pager.touch_tick(), Ordering::Relaxed);
+        match &slot.backing {
             Backing::Resident { segment, .. } => Ok(SegRef::Resident(segment)),
             Backing::Spilled { page } => Ok(SegRef::Paged(self.pager.fetch(*page)?)),
         }
@@ -544,18 +834,21 @@ impl SpillList {
             match merged.absorb(right_seg) {
                 Ok(()) => {
                     self.pager.uncharge(charged_left + charged_right);
-                    let charge = merged.resident_bytes();
+                    let meta = SlotMeta::of(&merged);
                     // The merged segment stays resident: compaction must not
                     // turn a hot pair cold.  If the budget cannot cover the
                     // (small) delta, charge it anyway; tail seals will spill
-                    // against the deficit.
+                    // against the deficit, and the next retier pass settles
+                    // it.  The charge is still the exact resident cost, so
+                    // the budget invariant never drifts.
+                    let charge = meta.resident_cost;
                     if !self.pager.try_charge(charge) {
                         self.pager.force_charge(charge);
                     }
                     self.slots.insert(
                         i,
                         Slot {
-                            meta: SlotMeta::of(&merged),
+                            meta,
                             backing: Backing::Resident {
                                 segment: merged,
                                 charged: charge,
@@ -643,6 +936,13 @@ impl SpillList {
                 return Err(e);
             }
         };
+        // The rebuilt slots inherit the old slot's access recency: an
+        // interior insert must not make a hot slot look cold to the next
+        // retier pass.
+        let heat = self.slots[k].meta.last_access.load(Ordering::Relaxed);
+        for slot in &new_slots {
+            slot.meta.last_access.store(heat, Ordering::Relaxed);
+        }
         self.seg_elems += 1;
         let old: Vec<Slot> = self.slots.splice(k..=k, new_slots).collect();
         for slot in old {
@@ -657,6 +957,118 @@ impl SpillList {
         }
         Ok(())
     }
+
+    /// Appends the live pages of the list's spilled slots onto `out` (the
+    /// compaction snapshot).
+    fn live_pages(&self, out: &mut Vec<PageId>) {
+        for slot in &self.slots {
+            if let Backing::Spilled { page } = slot.backing {
+                out.push(page);
+            }
+        }
+    }
+
+    /// Rewrites every spilled slot's page location through the compaction
+    /// offset map.  Runs under the shard write lock right after the swap;
+    /// the straggler pass under the same lock guarantees coverage.
+    fn remap_pages(&mut self, map: &HashMap<u64, PageId>) {
+        for slot in &mut self.slots {
+            if let Backing::Spilled { page } = &mut slot.backing {
+                *page = *map
+                    .get(&page.offset)
+                    .expect("compaction copied every live page before the swap");
+            }
+        }
+    }
+
+    /// Appends the list's sealed slots as retier candidates onto `out`.
+    fn tier_candidates(&self, list: usize, out: &mut Vec<TierSlot>) {
+        for (k, slot) in self.slots.iter().enumerate() {
+            let (resident, cost) = match &slot.backing {
+                Backing::Resident { charged, .. } => (true, *charged),
+                Backing::Spilled { .. } => (false, slot.meta.resident_cost),
+            };
+            out.push(TierSlot {
+                list,
+                slot: k,
+                heat: slot.meta.last_access.load(Ordering::Relaxed),
+                cost,
+                resident,
+            });
+        }
+    }
+
+    /// Demotes resident slot `k` to the shard's page file (no-op if it is
+    /// already spilled).  On write failure the slot stays resident.
+    fn demote_slot(&mut self, k: usize) -> Result<(), StoreError> {
+        let (page, charged) = {
+            let Backing::Resident { segment, charged } = &self.slots[k].backing else {
+                return Ok(());
+            };
+            (self.pager.write_page(segment)?, *charged)
+        };
+        self.slots[k].backing = Backing::Spilled { page };
+        self.pager.uncharge(charged);
+        self.pager.demotions.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Promotes spilled slot `k` back to the resident tier; `Ok(false)`
+    /// when the budget cannot cover its exact decoded size.  The old page
+    /// is released (stranding its file bytes for compaction).
+    fn promote_slot(&mut self, k: usize) -> Result<bool, StoreError> {
+        let Backing::Spilled { page } = self.slots[k].backing else {
+            return Ok(false);
+        };
+        let segment = self.pager.read_page_uncached(page)?;
+        // The decoded capacities can differ from the cost metered at the
+        // pre-spill encode: re-meter so the charge stays exact.
+        let charge = segment.resident_bytes();
+        if !self.pager.try_charge(charge) {
+            return Ok(false);
+        }
+        self.pager.release_page(page);
+        self.slots[k].meta.resident_cost = charge;
+        self.slots[k].backing = Backing::Resident {
+            segment,
+            charged: charge,
+        };
+        self.pager.promotions.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Sum of the budget charges of the list's resident slots.
+    fn charged_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|slot| match &slot.backing {
+                Backing::Resident { charged, .. } => *charged,
+                Backing::Spilled { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Whether every resident slot's charge equals both its segment's exact
+    /// resident bytes and its metered `resident_cost` (the per-slot half of
+    /// the budget invariant).
+    fn charges_exact(&self) -> bool {
+        self.slots.iter().all(|slot| match &slot.backing {
+            Backing::Resident { segment, charged } => {
+                *charged == segment.resident_bytes() && *charged == slot.meta.resident_cost
+            }
+            Backing::Spilled { .. } => true,
+        })
+    }
+}
+
+/// One sealed slot as the retier pass sees it: where it lives, what
+/// residency costs, and how recently it was actually read.
+struct TierSlot {
+    list: usize,
+    slot: usize,
+    heat: u64,
+    cost: usize,
+    resident: bool,
 }
 
 impl OrderedList for SpillList {
@@ -943,12 +1355,12 @@ impl SpillStore {
         // silently clobber the other store's cold data.
         for entry in fs::read_dir(&dir).map_err(io_err)? {
             let name = entry.map_err(io_err)?.file_name();
-            if name.to_string_lossy().ends_with(".pages") {
+            let name = name.to_string_lossy();
+            if name.ends_with(".pages") || name.ends_with(".pages.compact") {
                 return Err(StoreError::Io(format!(
-                    "spill directory {} already holds page files ({}); \
+                    "spill directory {} already holds page files ({name}); \
                      every store needs its own root",
                     dir.display(),
-                    name.to_string_lossy(),
                 )));
             }
         }
@@ -1003,6 +1415,170 @@ impl SpillStore {
             .map(|p| p.resident_charge.load(Ordering::Relaxed))
             .sum()
     }
+
+    /// Budget-accounting invariant: on every shard, the pager's
+    /// `resident_charge` equals the sum of the resident slots' charges, and
+    /// each charge equals that slot's exact resident bytes.  Debug builds
+    /// assert this after every maintenance pass; tests call it directly.
+    pub fn budget_accounting_is_exact(&self) -> bool {
+        (0..self.pagers.len()).all(|shard| {
+            self.core.with_shard_read(shard, |table| {
+                charges_consistent(table, &self.pagers[shard])
+            })
+        })
+    }
+
+    /// Compacts one shard's page file: snapshots the live pages under the
+    /// shard read lock, copies them into a fresh `.pages.compact` file and
+    /// re-validates every copy off the lock, then takes the shard write
+    /// lock only for the finish — copy the few straggler pages written
+    /// since the snapshot, atomically rename the fresh file in, remap the
+    /// slots and the page cache.  `Ok(false)` when another compaction of
+    /// the shard is already running; on any failure the fresh file is
+    /// removed and the old file keeps serving untouched.
+    pub fn compact_shard(&self, shard: usize) -> Result<bool, StoreError> {
+        let pager = &self.pagers[shard];
+        if pager.compacting.swap(true, Ordering::Acquire) {
+            return Ok(false);
+        }
+        let result = self
+            .start_compaction(shard)
+            .and_then(|rw| self.finish_compaction(shard, rw));
+        pager.compacting.store(false, Ordering::Release);
+        result.map(|()| true)
+    }
+
+    /// Phase 1 of a compaction: snapshot + bulk copy, entirely off the
+    /// shard write lock (serving continues against the old file).
+    fn start_compaction(&self, shard: usize) -> Result<Rewrite, StoreError> {
+        let pager = &self.pagers[shard];
+        let mut live = Vec::new();
+        self.core.with_shard_read(shard, |table| {
+            for list in table.lists() {
+                list.live_pages(&mut live);
+            }
+        });
+        let mut rw = pager.begin_rewrite()?;
+        for page in live {
+            pager.copy_page(&mut rw, page)?;
+        }
+        Ok(rw)
+    }
+
+    /// Phase 2 of a compaction: verify the rewrite (still off-lock — a
+    /// bit-flipped or torn fresh file rejects the swap here), then swap it
+    /// in under the shard write lock.
+    fn finish_compaction(&self, shard: usize, mut rw: Rewrite) -> Result<(), StoreError> {
+        let pager = &self.pagers[shard];
+        pager.verify_rewrite(&mut rw)?;
+        self.core.with_shard_write(shard, |table| {
+            // Stragglers: pages written between the snapshot and this lock
+            // (rebuilds, demotions).  Copied and validated here, so the map
+            // covers every live page before anything is remapped.
+            let mut pages = Vec::new();
+            for list in table.lists() {
+                list.live_pages(&mut pages);
+            }
+            for page in pages {
+                if !rw.map.contains_key(&page.offset) {
+                    pager.copy_page_verified(&mut rw, page)?;
+                }
+            }
+            let map = pager.commit_rewrite(rw)?;
+            for list in table.lists_mut() {
+                list.remap_pages(&map);
+            }
+            debug_assert!(charges_consistent(table, pager));
+            Ok(())
+        })
+    }
+
+    /// One access-driven retier pass over a shard: ranks every sealed slot
+    /// by access recency, re-grants the shard's resident budget hottest
+    /// first (a never-read slot keeps residency only while spare budget
+    /// lasts, and is never *promoted*), then demotes the losers and
+    /// promotes the winners.  Runs under the shard write lock with the
+    /// number of tier moves capped per pass, so the lock hold stays
+    /// bounded; the next pass continues where this one stopped.  Returns
+    /// `(promoted, demoted)`.
+    pub fn retier_shard(&self, shard: usize) -> Result<(usize, usize), StoreError> {
+        /// Tier moves (demotions + promotions) one pass may perform.
+        const MAX_TIER_MOVES: usize = 32;
+        let pager = &self.pagers[shard];
+        self.core.with_shard_write(shard, |table| {
+            let mut candidates = Vec::new();
+            for (list, l) in table.lists().iter().enumerate() {
+                l.tier_candidates(list, &mut candidates);
+            }
+            // Hottest first; equal heat prefers the current resident (no
+            // churn between equally-warm slots), then slot order.
+            candidates.sort_by(|a, b| {
+                b.heat
+                    .cmp(&a.heat)
+                    .then_with(|| b.resident.cmp(&a.resident))
+                    .then_with(|| (a.list, a.slot).cmp(&(b.list, b.slot)))
+            });
+            let mut spare = pager.resident_budget;
+            let desired: Vec<bool> = candidates
+                .iter()
+                .map(|c| {
+                    let granted = (c.heat > 0 || c.resident) && c.cost <= spare;
+                    if granted {
+                        spare -= c.cost;
+                    }
+                    granted
+                })
+                .collect();
+            let mut moves = 0usize;
+            let mut demoted = 0usize;
+            let mut promoted = 0usize;
+            // Demotions first: they free the budget the promotions charge.
+            for (c, &keep) in candidates.iter().zip(&desired) {
+                if c.resident && !keep && moves < MAX_TIER_MOVES {
+                    table.lists_mut()[c.list].demote_slot(c.slot)?;
+                    demoted += 1;
+                    moves += 1;
+                }
+            }
+            for (c, &keep) in candidates.iter().zip(&desired) {
+                if !c.resident && keep && moves < MAX_TIER_MOVES {
+                    if table.lists_mut()[c.list].promote_slot(c.slot)? {
+                        promoted += 1;
+                    }
+                    moves += 1;
+                }
+            }
+            debug_assert!(charges_consistent(table, pager));
+            Ok((promoted, demoted))
+        })
+    }
+
+    /// Post-serving maintenance hook, called off the serving lock after
+    /// every operation that touched `shard`: runs a due retier pass and/or
+    /// page-file compaction.  Failures are swallowed — the old state keeps
+    /// serving and the pass retries once its trigger re-arms.
+    fn tier_maintenance(&self, shard: usize) {
+        let pager = &self.pagers[shard];
+        if pager.take_retier_due() {
+            let _ = self.retier_shard(shard);
+        }
+        if pager.compaction_due() {
+            let _ = self.compact_shard(shard);
+        }
+    }
+}
+
+/// The shard-local budget invariant (see
+/// [`SpillStore::budget_accounting_is_exact`]), checkable while already
+/// holding the shard lock.
+fn charges_consistent(table: &ListTable<SpillList>, pager: &Pager) -> bool {
+    table.lists().iter().all(SpillList::charges_exact)
+        && table
+            .lists()
+            .iter()
+            .map(SpillList::charged_bytes)
+            .sum::<usize>()
+            == pager.resident_charge.load(Ordering::Relaxed)
 }
 
 impl ListStore for SpillStore {
@@ -1057,6 +1633,45 @@ impl ListStore for SpillStore {
             .sum()
     }
 
+    fn page_cache_hits(&self) -> u64 {
+        self.pagers
+            .iter()
+            .map(|p| p.hits.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn page_file_bytes(&self) -> usize {
+        self.pagers
+            .iter()
+            .map(|p| p.file_len.load(Ordering::Relaxed) as usize)
+            .sum()
+    }
+
+    fn dead_page_bytes(&self) -> usize {
+        self.pagers.iter().map(|p| p.dead_bytes()).sum()
+    }
+
+    fn compactions(&self) -> u64 {
+        self.pagers
+            .iter()
+            .map(|p| p.compactions.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn promotions(&self) -> u64 {
+        self.pagers
+            .iter()
+            .map(|p| p.promotions.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn demotions(&self) -> u64 {
+        self.pagers
+            .iter()
+            .map(|p| p.demotions.load(Ordering::Relaxed))
+            .sum()
+    }
+
     fn list_len(&self, list: MergedListId) -> Result<usize, StoreError> {
         self.core.list_len(list)
     }
@@ -1078,23 +1693,27 @@ impl ListStore for SpillStore {
         fetch: &RangedFetch,
         accessible: Option<&[GroupId]>,
     ) -> Result<RangedBatch, StoreError> {
-        self.core.fetch_ranged(fetch, accessible)
+        let out = self.core.fetch_ranged(fetch, accessible);
+        if out.is_ok() {
+            self.tier_maintenance(self.core.shard_of(fetch.list));
+        }
+        out
     }
 
     fn plan_shard_batch(&self, jobs: &[StoreJob], max_bucket_jobs: usize) -> ShardJobPlan {
         self.core.plan_shard_batch(jobs, max_bucket_jobs)
     }
 
+    // `execute_shard_batch` deliberately stays on the trait default so
+    // batches run through this bucket method and its maintenance hook.
     fn execute_shard_bucket(
         &self,
         jobs: &[StoreJob],
         bucket: &ShardJobBucket,
     ) -> ShardBucketOutput {
-        self.core.execute_shard_bucket(jobs, bucket)
-    }
-
-    fn execute_shard_batch(&self, jobs: &[StoreJob]) -> ShardBatchOutput {
-        self.core.execute_shard_batch(jobs)
+        let out = self.core.execute_shard_bucket(jobs, bucket);
+        self.tier_maintenance(bucket.shard);
+        out
     }
 
     fn lock_acquisitions(&self) -> u64 {
@@ -1120,7 +1739,13 @@ impl ListStore for SpillStore {
         count: usize,
         accessible: Option<&[GroupId]>,
     ) -> Result<RangedBatch, StoreError> {
-        self.core.cursor_fetch(cursor, owner, count, accessible)
+        let out = self.core.cursor_fetch(cursor, owner, count, accessible);
+        if out.is_ok() {
+            if let Ok(shard) = self.core.cursor_shard(cursor) {
+                self.tier_maintenance(shard);
+            }
+        }
+        out
     }
 
     fn close_cursor(&self, cursor: CursorId, owner: u64) {
@@ -1140,7 +1765,11 @@ impl ListStore for SpillStore {
     }
 
     fn insert(&self, list: MergedListId, element: OrderedElement) -> Result<usize, StoreError> {
-        self.core.insert(list, element)
+        let out = self.core.insert(list, element);
+        if out.is_ok() {
+            self.tier_maintenance(self.core.shard_of(list));
+        }
+        out
     }
 
     fn verify_ordering(&self) -> bool {
@@ -1214,6 +1843,7 @@ mod tests {
             SpillConfig {
                 resident_budget_bytes: 0,
                 page_cache_pages: 2,
+                ..SpillConfig::default().without_tiering()
             },
         );
         let mut reference = VecList::from_elements(elements);
@@ -1281,6 +1911,7 @@ mod tests {
             SpillConfig {
                 resident_budget_bytes: 600,
                 page_cache_pages: 4,
+                ..SpillConfig::default().without_tiering()
             },
         );
         assert!(store.spilled_bytes() > 0, "cold segments must spill");
@@ -1317,6 +1948,7 @@ mod tests {
             SpillConfig {
                 resident_budget_bytes: usize::MAX,
                 page_cache_pages: 4,
+                ..SpillConfig::default().without_tiering()
             },
         );
         assert_eq!(all_hot.spilled_bytes(), 0);
@@ -1335,6 +1967,7 @@ mod tests {
             SpillConfig {
                 resident_budget_bytes: 0,
                 page_cache_pages: 1,
+                ..SpillConfig::default().without_tiering()
             },
         );
         assert_eq!(store.page_faults(), 0);
@@ -1378,6 +2011,7 @@ mod tests {
             SpillConfig {
                 resident_budget_bytes: 0,
                 page_cache_pages: 0,
+                ..SpillConfig::default().without_tiering()
             },
         );
         let paths = store.page_file_paths();
@@ -1446,6 +2080,7 @@ mod tests {
             SpillConfig {
                 resident_budget_bytes: usize::MAX,
                 page_cache_pages: 0,
+                ..SpillConfig::default().without_tiering()
             },
         );
         let charge = probe.resident_charge_bytes();
@@ -1457,6 +2092,7 @@ mod tests {
             SpillConfig {
                 resident_budget_bytes: charge + 256,
                 page_cache_pages: 0,
+                ..SpillConfig::default().without_tiering()
             },
         );
         assert_eq!(store.spilled_bytes(), 0, "everything starts resident");
@@ -1485,6 +2121,276 @@ mod tests {
     }
 
     #[test]
+    fn compaction_reclaims_dead_bytes_and_preserves_answers() {
+        let store = store_with(
+            vec![sorted_elements(32, 0), sorted_elements(32, 50)],
+            1,
+            SpillConfig {
+                resident_budget_bytes: 0,
+                page_cache_pages: 2,
+                ..SpillConfig::default().without_tiering()
+            },
+        );
+        // Interior inserts rebuild spilled segments, stranding their old
+        // pages as dead bytes in the append-only file.
+        for i in 0..6u64 {
+            let trs = 0.4 + 0.05 * i as f64;
+            store
+                .insert(MergedListId(i % 2), element(trs, 0, &[9u8; 8]))
+                .unwrap();
+        }
+        assert!(store.dead_page_bytes() > 0, "rebuilds must strand bytes");
+        assert!(store.page_file_bytes() > store.spilled_bytes());
+        let reference: Vec<_> = (0..2u64)
+            .map(|l| store.snapshot_list(MergedListId(l)).unwrap())
+            .collect();
+        assert!(store.compact_shard(0).unwrap());
+        assert_eq!(store.compactions(), 1);
+        assert_eq!(store.dead_page_bytes(), 0, "compaction reclaims all dead");
+        assert_eq!(store.page_file_bytes(), store.spilled_bytes());
+        for (l, want) in reference.iter().enumerate() {
+            assert_eq!(
+                &store.snapshot_list(MergedListId(l as u64)).unwrap(),
+                want,
+                "list {l} must read identically from the compacted file"
+            );
+        }
+        assert!(store.budget_accounting_is_exact());
+        let fresh = store.page_file_paths()[0].with_extension("pages.compact");
+        assert!(!fresh.exists(), "no compaction file outlives the swap");
+    }
+
+    #[test]
+    fn aggressive_tiering_compacts_automatically_during_serving() {
+        let store = store_with(
+            vec![sorted_elements(32, 0)],
+            1,
+            SpillConfig {
+                resident_budget_bytes: 0,
+                page_cache_pages: 2,
+                compact_dead_percent: 1,
+                compact_min_dead_bytes: 1,
+                retier_interval: 0,
+            },
+        );
+        for i in 0..8u64 {
+            store
+                .insert(
+                    MergedListId(0),
+                    element(0.3 + 0.05 * i as f64, 0, &[3u8; 8]),
+                )
+                .unwrap();
+        }
+        assert!(
+            store.compactions() > 0,
+            "the maintenance hook must trigger compaction on its own"
+        );
+        assert_eq!(store.dead_page_bytes(), 0);
+        assert!(store.verify_ordering());
+    }
+
+    #[test]
+    fn torn_down_rewrite_leaves_the_old_file_serving_and_no_stray_file() {
+        let store = store_with(
+            vec![sorted_elements(24, 0)],
+            1,
+            SpillConfig {
+                resident_budget_bytes: 0,
+                page_cache_pages: 0,
+                ..SpillConfig::default().without_tiering()
+            },
+        );
+        store
+            .insert(MergedListId(0), element(0.5, 0, &[7u8; 8]))
+            .unwrap();
+        assert!(store.dead_page_bytes() > 0);
+        let reference = store.snapshot_list(MergedListId(0)).unwrap();
+        // Tear the compaction down mid-rewrite: live pages copied, swap
+        // never reached.
+        let rw = store.start_compaction(0).unwrap();
+        let fresh = rw.path.clone();
+        assert!(fresh.exists());
+        assert!(rw.append > 0);
+        drop(rw);
+        assert!(!fresh.exists(), "an aborted rewrite removes its fresh file");
+        assert_eq!(store.snapshot_list(MergedListId(0)).unwrap(), reference);
+        // A later, uninterrupted pass still reclaims the dead bytes.
+        assert!(store.compact_shard(0).unwrap());
+        assert_eq!(store.dead_page_bytes(), 0);
+        assert_eq!(store.snapshot_list(MergedListId(0)).unwrap(), reference);
+    }
+
+    #[test]
+    fn bit_flipped_rewrites_are_rejected_before_the_swap() {
+        let store = store_with(
+            vec![sorted_elements(24, 0)],
+            1,
+            SpillConfig {
+                resident_budget_bytes: 0,
+                page_cache_pages: 0,
+                ..SpillConfig::default().without_tiering()
+            },
+        );
+        store
+            .insert(MergedListId(0), element(0.5, 0, &[7u8; 8]))
+            .unwrap();
+        let reference = store.snapshot_list(MergedListId(0)).unwrap();
+        let rw = store.start_compaction(0).unwrap();
+        // Flip a header byte of the first copied page before the swap.
+        {
+            let mut f = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&rw.path)
+                .unwrap();
+            let mut b = [0u8; 1];
+            f.read_exact(&mut b).unwrap();
+            f.seek(SeekFrom::Start(0)).unwrap();
+            f.write_all(&[b[0] ^ 0x5A]).unwrap();
+        }
+        let fresh = rw.path.clone();
+        assert!(matches!(
+            store.finish_compaction(0, rw),
+            Err(StoreError::CorruptSegment(_) | StoreError::Io(_))
+        ));
+        assert!(!fresh.exists(), "a rejected rewrite removes its fresh file");
+        assert_eq!(
+            store.snapshot_list(MergedListId(0)).unwrap(),
+            reference,
+            "the old file keeps serving after a rejected swap"
+        );
+        // The corruption was confined to the discarded fresh file: a clean
+        // retry compacts successfully.
+        assert!(store.compact_shard(0).unwrap());
+        assert_eq!(store.dead_page_bytes(), 0);
+        assert_eq!(store.snapshot_list(MergedListId(0)).unwrap(), reference);
+    }
+
+    #[test]
+    fn retier_promotes_hot_cold_lists_and_demotes_cold_resident_ones() {
+        // Probe the fully-resident charge of one list, then give the shard
+        // a budget that covers roughly one list: build order hands it to
+        // list 0, while all the traffic goes to list 1.
+        let probe = store_with(
+            vec![sorted_elements(32, 0)],
+            1,
+            SpillConfig {
+                resident_budget_bytes: usize::MAX,
+                page_cache_pages: 0,
+                ..SpillConfig::default().without_tiering()
+            },
+        );
+        let charge = probe.resident_charge_bytes();
+        drop(probe);
+        let store = store_with(
+            vec![sorted_elements(32, 0), sorted_elements(32, 80)],
+            1,
+            SpillConfig {
+                resident_budget_bytes: charge + 64,
+                page_cache_pages: 0,
+                ..SpillConfig::default().without_tiering()
+            },
+        );
+        assert!(store.spilled_bytes() > 0, "list 1 must start cold");
+        let hot = |offset| RangedFetch {
+            list: MergedListId(1),
+            offset,
+            count: 4,
+        };
+        for _ in 0..4 {
+            for offset in [0usize, 12, 24] {
+                store.fetch_ranged(&hot(offset), None).unwrap();
+            }
+        }
+        let (promoted, demoted) = store.retier_shard(0).unwrap();
+        assert!(promoted > 0, "touched cold slots must promote");
+        assert!(demoted > 0, "never-read resident slots must yield budget");
+        assert_eq!(store.promotions(), promoted as u64);
+        assert_eq!(store.demotions(), demoted as u64);
+        assert!(store.budget_accounting_is_exact());
+        // The hot list now serves without faulting (no cache configured, so
+        // fault-free means resident).
+        let faults = store.page_faults();
+        for offset in [0usize, 12, 24] {
+            store.fetch_ranged(&hot(offset), None).unwrap();
+        }
+        assert_eq!(store.page_faults(), faults, "promoted slots serve hot");
+        // With unchanged traffic a second pass moves nothing: no ping-pong,
+        // and an untouched spilled slot is never promoted.
+        assert_eq!(store.retier_shard(0).unwrap(), (0, 0));
+        assert!(store.verify_ordering());
+    }
+
+    #[test]
+    fn resident_budget_charges_stay_exact_through_every_path() {
+        let store = store_with(
+            vec![sorted_elements(32, 0), sorted_elements(20, 40)],
+            2,
+            SpillConfig {
+                resident_budget_bytes: 2048,
+                page_cache_pages: 2,
+                compact_dead_percent: 1,
+                compact_min_dead_bytes: 1,
+                retier_interval: 4,
+            },
+        );
+        assert!(store.budget_accounting_is_exact());
+        for i in 0..24u64 {
+            let trs = (i as f64 * 0.37) % 1.0;
+            store
+                .insert(
+                    MergedListId(i % 2),
+                    element(trs, (i % 3) as u32, &[i as u8; 8]),
+                )
+                .unwrap();
+            assert!(store.budget_accounting_is_exact(), "after insert {i}");
+        }
+        for offset in [0usize, 8, 16] {
+            store
+                .fetch_ranged(
+                    &RangedFetch {
+                        list: MergedListId(0),
+                        offset,
+                        count: 4,
+                    },
+                    None,
+                )
+                .unwrap();
+        }
+        for shard in 0..2 {
+            store.retier_shard(shard).unwrap();
+            store.compact_shard(shard).unwrap();
+        }
+        assert!(store.budget_accounting_is_exact());
+        assert!(store.verify_ordering());
+    }
+
+    #[test]
+    fn page_cache_hits_are_counted() {
+        let store = store_with(
+            vec![sorted_elements(16, 0)],
+            1,
+            SpillConfig {
+                resident_budget_bytes: 0,
+                page_cache_pages: 2,
+                ..SpillConfig::default().without_tiering()
+            },
+        );
+        assert_eq!(store.page_cache_hits(), 0);
+        let fetch = RangedFetch {
+            list: MergedListId(0),
+            offset: 0,
+            count: 4,
+        };
+        store.fetch_ranged(&fetch, None).unwrap();
+        let faults = store.page_faults();
+        assert!(faults > 0);
+        store.fetch_ranged(&fetch, None).unwrap();
+        assert_eq!(store.page_faults(), faults, "the warm read hits the cache");
+        assert!(store.page_cache_hits() >= 1);
+    }
+
+    #[test]
     fn explicit_spill_roots_are_cleaned_up_too() {
         let dir = unique_temp_dir();
         let store = SpillStore::with_config(
@@ -1494,6 +2400,7 @@ mod tests {
             SpillConfig {
                 resident_budget_bytes: 0,
                 page_cache_pages: 1,
+                ..SpillConfig::default().without_tiering()
             },
         )
         .unwrap();

@@ -298,6 +298,43 @@ pub trait ListStore: Send + Sync + std::fmt::Debug {
         0
     }
 
+    /// Page-cache hits since the store was built (0 for the in-memory
+    /// engines).  `hits / (hits + faults)` is the cache hit rate of the
+    /// serving workload.
+    fn page_cache_hits(&self) -> u64 {
+        0
+    }
+
+    /// Physical length of the on-disk page files backing the spilled state
+    /// (0 for the in-memory engines).  Exceeds [`ListStore::spilled_bytes`]
+    /// by the dead bytes interior rebuilds strand in the append-only files.
+    fn page_file_bytes(&self) -> usize {
+        0
+    }
+
+    /// Dead (stranded) bytes in the on-disk page files: space held by pages
+    /// that were superseded by rebuilds and await compaction.
+    fn dead_page_bytes(&self) -> usize {
+        0
+    }
+
+    /// Page-file compactions completed since the store was built.
+    fn compactions(&self) -> u64 {
+        0
+    }
+
+    /// Sealed segments promoted from disk to the resident tier by the
+    /// access-driven retier pass since the store was built.
+    fn promotions(&self) -> u64 {
+        0
+    }
+
+    /// Sealed segments demoted from the resident tier to disk by the
+    /// access-driven retier pass since the store was built.
+    fn demotions(&self) -> u64 {
+        0
+    }
+
     /// Physical length of one merged list.
     fn list_len(&self, list: MergedListId) -> Result<usize, StoreError>;
 
@@ -779,6 +816,17 @@ impl<L: OrderedList> ListTable<L> {
     /// The list stored at a local slot.
     pub fn list(&self, slot: usize) -> &L {
         &self.lists[slot]
+    }
+
+    /// All lists of the table (tiering/compaction maintenance passes).
+    pub fn lists(&self) -> &[L] {
+        &self.lists
+    }
+
+    /// Mutable access to all lists of the table (tiering/compaction
+    /// maintenance passes run under the owning shard's write lock).
+    pub fn lists_mut(&mut self) -> &mut [L] {
+        &mut self.lists
     }
 
     /// Total elements across the table's lists.

@@ -5,9 +5,11 @@
 # CI: rustfmt, release build, full test suite (including the spill-engine
 # equivalence proptests, which write page files into a temp-dir spill
 # root), a parallel-vs-sequential proptest with a 2-worker shard pool
-# forced, a repeated worker-pool shutdown stress loop, bench compilation,
-# clippy with warnings denied, and a hygiene guard asserting the tests
-# left no stray on-disk page files behind.
+# forced, the tiering equivalence proptest and a repeated
+# compaction-under-load stress loop, a repeated worker-pool shutdown
+# stress loop, bench compilation, clippy with warnings denied, and a
+# hygiene guard asserting the tests left no stray on-disk page files —
+# including `.pages.compact` rewrite scratch files — behind.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,6 +34,22 @@ echo "==> parallel-vs-sequential proptest with a 2-worker pool forced (release)"
 ZERBER_TEST_SHARD_WORKERS=2 cargo test --release --test store_equivalence \
   parallel_rounds_equal_sequential_rounds_across_engines
 
+echo "==> tiering equivalence proptest (release, maintenance forced on every op)"
+cargo test --release --test store_equivalence \
+  engines_answer_interleaved_workloads_identically
+
+echo "==> compaction-under-load stress (release, repeated)"
+for i in 1 2 3 4 5; do
+  cargo test --release --test spill_store \
+    compaction_under_concurrent_load_never_tears_an_answer -- --exact \
+    > /dev/null 2>&1 || {
+      echo "compaction-under-load stress failed on iteration $i" >&2
+      cargo test --release --test spill_store \
+        compaction_under_concurrent_load_never_tears_an_answer -- --exact
+      exit 1
+    }
+done
+
 echo "==> worker-pool shutdown stress (release, repeated)"
 for i in 1 2 3 4 5; do
   cargo test --release --test concurrent_server \
@@ -44,9 +62,12 @@ for i in 1 2 3 4 5; do
     }
 done
 
-echo "==> spill hygiene: no stray page files after the test runs"
+echo "==> spill hygiene: no stray page files (or compaction scratch files) after the test runs"
+# Covers both live page files (*.pages) and compaction rewrite scratch
+# files (*.pages.compact): an aborted or committed compaction must never
+# leak its fresh file.
 if [ -d "$SPILL_STAGING" ] && [ -n "$(find "$SPILL_STAGING" -type f 2>/dev/null | head -1)" ]; then
-  echo "stray spill page files left behind under $SPILL_STAGING:" >&2
+  echo "stray spill files left behind under $SPILL_STAGING:" >&2
   find "$SPILL_STAGING" -type f >&2
   exit 1
 fi

@@ -4,11 +4,12 @@
 //! disk must degrade exactly one request — the same per-request error
 //! isolation contract the batched stream scheduler gives stale cursors.
 
-use zerber_suite::corpus::DatasetProfile;
+use zerber_suite::corpus::{DatasetProfile, GroupId};
 use zerber_suite::protocol::{IndexServer, ProtocolError, QueryRequest};
-use zerber_suite::store::{ListStore, SegmentConfig, SpillConfig, SpillStore};
+use zerber_suite::store::{ListStore, RangedFetch, SegmentConfig, SpillConfig, SpillStore};
 use zerber_suite::workload::{TestBed, TestBedConfig};
-use zerber_suite::zerber::MergedListId;
+use zerber_suite::zerber::{EncryptedElement, MergedListId};
+use zerber_suite::zerber_r::OrderedElement;
 
 fn request(user: &str, list: u64, count: u32) -> QueryRequest {
     QueryRequest {
@@ -60,6 +61,7 @@ fn corrupt_pages_degrade_one_request_and_the_stream_round_isolates_it() {
         SpillConfig {
             resident_budget_bytes: 0,
             page_cache_pages: 0,
+            ..SpillConfig::default().without_tiering()
         },
         SegmentConfig::default(),
     )
@@ -122,4 +124,111 @@ fn corrupt_pages_degrade_one_request_and_the_stream_round_isolates_it() {
     assert!(server
         .handle_query(&request("user-0", survivor, 5), &token)
         .is_ok());
+}
+
+/// Compaction-under-load stress: reader threads hammer every list while the
+/// writer interleaves interior inserts (which strand dead bytes) with
+/// explicit page-file compaction passes — on top of the aggressive
+/// automatic maintenance the tight tiering config already triggers.  Every
+/// read must keep succeeding (pages are validated on the way in, so a torn
+/// swap would surface as an error), and the final state must be ordered,
+/// exactly charged and fully compacted.
+#[test]
+fn compaction_under_concurrent_load_never_tears_an_answer() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let bed = TestBed::build(TestBedConfig::small(DatasetProfile::StudIp)).expect("bed builds");
+    const SHARDS: usize = 2;
+    let store = Arc::new(
+        SpillStore::in_temp_dir_with(
+            bed.index.clone(),
+            SHARDS,
+            SpillConfig {
+                resident_budget_bytes: 4096,
+                page_cache_pages: 2,
+                compact_dead_percent: 5,
+                compact_min_dead_bytes: 512,
+                retier_interval: 16,
+            },
+            SegmentConfig {
+                block_len: 8,
+                max_segment_elems: 32,
+                ..SegmentConfig::default()
+            },
+        )
+        .expect("spill store builds"),
+    );
+    let lists: Vec<u64> = (0..store.num_lists() as u64)
+        .filter(|&l| store.list_len(MergedListId(l)).unwrap() > 0)
+        .collect();
+    assert!(!lists.is_empty());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let lists = lists.clone();
+            std::thread::spawn(move || {
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for &l in &lists {
+                        let fetch = RangedFetch {
+                            list: MergedListId(l),
+                            offset: (reads % 7) as usize,
+                            count: 5,
+                        };
+                        store
+                            .fetch_ranged(&fetch, None)
+                            .expect("reads must survive concurrent compaction");
+                        reads += 1;
+                    }
+                }
+                reads
+            })
+        })
+        .collect();
+
+    for i in 0..60u64 {
+        let list = lists[i as usize % lists.len()];
+        let trs = (i.wrapping_mul(2_654_435_761) % 997) as f64 / 997.0;
+        let element = OrderedElement {
+            trs,
+            group: GroupId(0),
+            sealed: EncryptedElement {
+                group: GroupId(0),
+                ciphertext: vec![0xB7; 16],
+            },
+        };
+        store.insert(MergedListId(list), element).unwrap();
+        if i % 5 == 4 {
+            for shard in 0..SHARDS {
+                store.compact_shard(shard).unwrap();
+            }
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for reader in readers {
+        let reads = reader.join().expect("reader thread panicked");
+        assert!(reads > 0, "readers must have made progress");
+    }
+
+    assert!(store.verify_ordering());
+    assert!(store.budget_accounting_is_exact());
+    for shard in 0..SHARDS {
+        store.compact_shard(shard).unwrap();
+    }
+    assert_eq!(
+        store.dead_page_bytes(),
+        0,
+        "a final pass reclaims everything"
+    );
+    assert_eq!(store.page_file_bytes(), store.spilled_bytes());
+    for path in store.page_file_paths() {
+        assert!(
+            !path.with_extension("pages.compact").exists(),
+            "no compaction scratch file may outlive its pass"
+        );
+    }
 }

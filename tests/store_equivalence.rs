@@ -4,7 +4,9 @@
 //! `SingleMutexStore`, `ShardedStore` (plain `Vec` layout), `SegmentStore`
 //! (compressed block-encoded segments with a mutable tail) and `SpillStore`
 //! (the same segments with cold ones living in on-disk page files behind an
-//! LRU page cache).
+//! LRU page cache) — the latter both statically placed and tiering-tuned,
+//! with maintenance (promotion, demotion, page-file compaction) forced on
+//! every operation.
 //!
 //! The engines share one generic session table, so this test pins down the
 //! layer where they *can* diverge: the physical list representation (scan,
@@ -73,10 +75,16 @@ fn element(trs: f64, group: u32, ct: Vec<u8>) -> OrderedElement {
     }
 }
 
-/// Builds the four engines over identical fabricated indexes.
+/// Builds the five engines over identical fabricated indexes.
 fn engines(
     lists: &[Vec<OrderedElement>],
-) -> (SingleMutexStore, ShardedStore, SegmentStore, SpillStore) {
+) -> (
+    SingleMutexStore,
+    ShardedStore,
+    SegmentStore,
+    SpillStore,
+    SpillStore,
+) {
     let plan = MergePlan::from_term_lists(
         (0..lists.len()).map(|i| vec![TermId(i as u32)]).collect(),
         "equivalence-fixture",
@@ -99,11 +107,29 @@ fn engines(
         // Zero resident budget + a tiny page cache: every sealed segment
         // round-trips through the on-disk page format under this workload.
         SpillStore::in_temp_dir_with(
-            index,
+            index.clone(),
             2,
             SpillConfig {
                 resident_budget_bytes: 0,
                 page_cache_pages: 2,
+                ..SpillConfig::default().without_tiering()
+            },
+            segment_config,
+        )
+        .unwrap(),
+        // Tiering-tuned spill engine: a tiny nonzero budget plus the most
+        // aggressive maintenance knobs, so every operation can trigger a
+        // retier pass and a page-file compaction mid-workload.  Promotion,
+        // demotion and live-page rewrites must all stay answer-invisible.
+        SpillStore::in_temp_dir_with(
+            index,
+            2,
+            SpillConfig {
+                resident_budget_bytes: 512,
+                page_cache_pages: 1,
+                compact_dead_percent: 1,
+                compact_min_dead_bytes: 1,
+                retier_interval: 1,
             },
             segment_config,
         )
@@ -116,17 +142,18 @@ fn engines(
 /// visibility filters): `user-0` sees everything, `user-3` nothing, and
 /// `user-4` is never registered.
 fn servers(lists: &[Vec<OrderedElement>]) -> Vec<IndexServer> {
-    let (single, sharded, segmented, spilled) = engines(lists);
+    let (single, sharded, segmented, spilled, tiering) = engines(lists);
     let mut acl = AccessControl::new(b"batch-oracle");
     acl.register_user("user-0", &[GroupId(0), GroupId(1), GroupId(2), GroupId(3)]);
     acl.register_user("user-1", &[GroupId(0), GroupId(1)]);
     acl.register_user("user-2", &[GroupId(2)]);
     acl.register_user("user-3", &[]);
-    let stores: [Box<dyn ListStore>; 4] = [
+    let stores: [Box<dyn ListStore>; 5] = [
         Box::new(single),
         Box::new(sharded),
         Box::new(segmented),
         Box::new(spilled),
+        Box::new(tiering),
     ];
     stores
         .into_iter()
@@ -137,7 +164,7 @@ fn servers(lists: &[Vec<OrderedElement>]) -> Vec<IndexServer> {
 /// A session as each engine sees it: the engine-local cursor id plus the
 /// shared (list, owner, groups) context it was opened with.
 struct Session {
-    cursors: [CursorId; 4],
+    cursors: [CursorId; 5],
     owner: u64,
     groups: Option<Vec<GroupId>>,
 }
@@ -186,8 +213,8 @@ proptest! {
         ),
         ops in proptest::collection::vec(op_strategy(3), 1..50),
     ) {
-        let (single, sharded, segmented, spilled) = engines(&lists);
-        let stores: [&dyn ListStore; 4] = [&single, &sharded, &segmented, &spilled];
+        let (single, sharded, segmented, spilled, tiering) = engines(&lists);
+        let stores: [&dyn ListStore; 5] = [&single, &sharded, &segmented, &spilled, &tiering];
         let mut sessions: Vec<Session> = Vec::new();
         for op in ops {
             match op {
@@ -200,6 +227,7 @@ proptest! {
                     prop_assert_eq!(positions[0], positions[1]);
                     prop_assert_eq!(positions[0], positions[2]);
                     prop_assert_eq!(positions[0], positions[3]);
+                    prop_assert_eq!(positions[0], positions[4]);
                 }
                 Op::Fetch { list, offset, count, mask, open, owner } => {
                     let list = MergedListId((list % lists.len()) as u64);
@@ -212,9 +240,10 @@ proptest! {
                     prop_assert_eq!(&batches[0], &batches[1]);
                     prop_assert_eq!(&batches[0], &batches[2]);
                     prop_assert_eq!(&batches[0], &batches[3]);
+                    prop_assert_eq!(&batches[0], &batches[4]);
                     if open && !batches[0].exhausted {
                         let delivered = offset + batches[0].elements.len();
-                        let mut cursors = [CursorId::NONE; 4];
+                        let mut cursors = [CursorId::NONE; 5];
                         for (i, store) in stores.iter().enumerate() {
                             cursors[i] = store
                                 .open_cursor(list, owner, &batches[i], delivered, groups.as_deref())
@@ -245,12 +274,11 @@ proptest! {
                     prop_assert_eq!(results[0].is_ok(), results[1].is_ok());
                     prop_assert_eq!(results[0].is_ok(), results[2].is_ok());
                     prop_assert_eq!(results[0].is_ok(), results[3].is_ok());
-                    if let (Ok(a), Ok(b), Ok(c), Ok(d)) =
-                        (&results[0], &results[1], &results[2], &results[3])
-                    {
-                        prop_assert_eq!(a, b);
-                        prop_assert_eq!(a, c);
-                        prop_assert_eq!(a, d);
+                    prop_assert_eq!(results[0].is_ok(), results[4].is_ok());
+                    if let Ok(a) = &results[0] {
+                        for b in results[1..].iter().flatten() {
+                            prop_assert_eq!(a, b);
+                        }
                     }
                 }
                 Op::CursorClose { session, foreign } => {
@@ -272,28 +300,38 @@ proptest! {
             prop_assert_eq!(&sharded.snapshot_list(id).unwrap(), &reference);
             prop_assert_eq!(&segmented.snapshot_list(id).unwrap(), &reference);
             prop_assert_eq!(&spilled.snapshot_list(id).unwrap(), &reference);
+            prop_assert_eq!(&tiering.snapshot_list(id).unwrap(), &reference);
             for mask in [0u8, 1, 5, 0b1111] {
                 let groups = groups_from_mask(mask);
                 let expected = single.visible_len(id, groups.as_deref()).unwrap();
                 prop_assert_eq!(sharded.visible_len(id, groups.as_deref()).unwrap(), expected);
                 prop_assert_eq!(segmented.visible_len(id, groups.as_deref()).unwrap(), expected);
                 prop_assert_eq!(spilled.visible_len(id, groups.as_deref()).unwrap(), expected);
+                prop_assert_eq!(tiering.visible_len(id, groups.as_deref()).unwrap(), expected);
             }
         }
         prop_assert!(single.verify_ordering());
         prop_assert!(sharded.verify_ordering());
         prop_assert!(segmented.verify_ordering());
         prop_assert!(spilled.verify_ordering());
+        prop_assert!(tiering.verify_ordering());
+        // The self-managing engine's exact budget accounting must survive
+        // any interleaving of serving traffic with its maintenance passes.
+        prop_assert!(tiering.budget_accounting_is_exact());
         prop_assert_eq!(single.num_elements(), sharded.num_elements());
         prop_assert_eq!(single.num_elements(), segmented.num_elements());
         prop_assert_eq!(single.num_elements(), spilled.num_elements());
+        prop_assert_eq!(single.num_elements(), tiering.num_elements());
         prop_assert_eq!(single.stored_bytes(), segmented.stored_bytes());
         prop_assert_eq!(single.stored_bytes(), spilled.stored_bytes());
+        prop_assert_eq!(single.stored_bytes(), tiering.stored_bytes());
         prop_assert_eq!(single.ciphertext_bytes(), segmented.ciphertext_bytes());
         prop_assert_eq!(single.ciphertext_bytes(), spilled.ciphertext_bytes());
+        prop_assert_eq!(single.ciphertext_bytes(), tiering.ciphertext_bytes());
         prop_assert_eq!(single.open_cursors(), sharded.open_cursors());
         prop_assert_eq!(single.open_cursors(), segmented.open_cursors());
         prop_assert_eq!(single.open_cursors(), spilled.open_cursors());
+        prop_assert_eq!(single.open_cursors(), tiering.open_cursors());
     }
 
     /// The batched-vs-sequential oracle: any `handle_query_stream` round —
@@ -369,10 +407,11 @@ proptest! {
                     .collect(),
             );
         }
-        // And the four engines agree with each other, request for request.
+        // And the five engines agree with each other, request for request.
         prop_assert_eq!(&per_engine[0], &per_engine[1]);
         prop_assert_eq!(&per_engine[0], &per_engine[2]);
         prop_assert_eq!(&per_engine[0], &per_engine[3]);
+        prop_assert_eq!(&per_engine[0], &per_engine[4]);
     }
 
     /// The parallel-round oracle: executing a stream round on the persistent
@@ -465,9 +504,10 @@ proptest! {
                     .collect::<Vec<_>>(),
             );
         }
-        // All four parallel engines agree with each other too.
+        // All five parallel engines agree with each other too.
         prop_assert_eq!(&per_engine[0], &per_engine[1]);
         prop_assert_eq!(&per_engine[0], &per_engine[2]);
         prop_assert_eq!(&per_engine[0], &per_engine[3]);
+        prop_assert_eq!(&per_engine[0], &per_engine[4]);
     }
 }
