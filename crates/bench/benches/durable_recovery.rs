@@ -1,0 +1,147 @@
+//! Recovery-time bench for the durable `SpillStore`: how long
+//! `SpillStore::open` takes to bring a crashed store back to serving, for
+//! the two shapes recovery meets in practice —
+//!
+//! * **WAL-replay-heavy**: every insert since the last checkpoint sits in
+//!   the per-shard write-ahead logs and is re-applied through the insert
+//!   path (CRC check, decode, position-preserving insert);
+//! * **checkpointed**: the same data sealed into manifest-referenced page
+//!   files, loaded through checksum + full segment validation with only an
+//!   empty WAL tail to scan.
+//!
+//! Besides the criterion timings the bench writes
+//! `BENCH_durable_recovery.json` to the repository root with the median
+//! open latency and recovery throughput (elements/sec) of both shapes —
+//! the numbers quoted in the README's durability section.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zerber_base::{EncryptedElement, MergePlan, MergedListId};
+use zerber_corpus::{GroupId, TermId};
+use zerber_r::{OrderedElement, OrderedIndex};
+use zerber_store::{DurableConfig, ListStore, SpillConfig, SpillStore, SyncPolicy};
+
+const NUM_LISTS: usize = 8;
+const NUM_SHARDS: usize = 4;
+const INSERTS: usize = 8_192;
+
+fn bench_root(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("zerber-durable-bench")
+        .join(format!("{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spill_config() -> SpillConfig {
+    SpillConfig {
+        resident_budget_bytes: 0,
+        page_cache_pages: 8,
+        ..SpillConfig::default().without_tiering()
+    }
+}
+
+fn durable_config() -> DurableConfig {
+    DurableConfig {
+        sync: SyncPolicy::Never,
+        checkpoint_wal_bytes: 1 << 30,
+    }
+}
+
+/// Builds a durable store holding `INSERTS` elements and drops it; with
+/// `checkpoint` the data is sealed into pages, without it the data lives
+/// entirely in the write-ahead logs.
+fn build_fixture(dir: &PathBuf, checkpoint: bool) {
+    let plan = MergePlan::from_term_lists(
+        (0..NUM_LISTS).map(|i| vec![TermId(i as u32)]).collect(),
+        "durable-recovery-bench",
+        2.0,
+    );
+    let index = OrderedIndex::from_parts(vec![Vec::new(); NUM_LISTS], plan);
+    let store =
+        SpillStore::create_durable(index, dir, NUM_SHARDS, spill_config(), durable_config())
+            .expect("fixture store builds");
+    for i in 0..INSERTS {
+        let group = GroupId((i % 4) as u32);
+        // Descending TRS insertion order keeps each insert an append.
+        let element = OrderedElement {
+            trs: (INSERTS - i) as f64,
+            group,
+            sealed: EncryptedElement {
+                group,
+                ciphertext: vec![0xA5; 16],
+            },
+        };
+        store
+            .insert(MergedListId((i % NUM_LISTS) as u64), element)
+            .expect("fixture insert");
+    }
+    if checkpoint {
+        store.checkpoint().expect("fixture checkpoint");
+    }
+}
+
+/// One recovery: opens the fixture and touches it enough to prove it
+/// serves, returning the elapsed wall time.
+fn timed_open(dir: &PathBuf) -> Duration {
+    let start = Instant::now();
+    let store = SpillStore::open(dir, spill_config(), durable_config()).expect("recovery opens");
+    assert_eq!(store.num_elements(), INSERTS);
+    start.elapsed()
+}
+
+fn median_ms(dir: &PathBuf, runs: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| timed_open(dir).as_secs_f64() * 1e3)
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn bench_durable_recovery(c: &mut Criterion) {
+    let wal_dir = bench_root("wal-replay");
+    let page_dir = bench_root("checkpointed");
+    build_fixture(&wal_dir, false);
+    build_fixture(&page_dir, true);
+
+    let mut group = c.benchmark_group("durable_open");
+    group.sample_size(10);
+    group.bench_function(format!("wal_replay_{INSERTS}"), |b| {
+        b.iter(|| timed_open(&wal_dir))
+    });
+    group.bench_function(format!("checkpointed_{INSERTS}"), |b| {
+        b.iter(|| timed_open(&page_dir))
+    });
+    group.finish();
+
+    let wal_ms = median_ms(&wal_dir, 15);
+    let page_ms = median_ms(&page_dir, 15);
+    let json = format!(
+        "{{\n  \"bench\": \"durable_recovery\",\n  \"elements\": {INSERTS},\n  \
+         \"lists\": {NUM_LISTS},\n  \"shards\": {NUM_SHARDS},\n  \
+         \"wal_replay_open_ms\": {wal_ms:.3},\n  \
+         \"checkpointed_open_ms\": {page_ms:.3},\n  \
+         \"wal_replay_elements_per_sec\": {:.0},\n  \
+         \"checkpointed_elements_per_sec\": {:.0},\n  \
+         \"checkpoint_speedup\": {:.2}\n}}\n",
+        INSERTS as f64 / (wal_ms / 1e3),
+        INSERTS as f64 / (page_ms / 1e3),
+        wal_ms / page_ms,
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_durable_recovery.json"
+    );
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+
+    let _ = std::fs::remove_dir_all(wal_dir.parent().expect("bench root has a parent"));
+}
+
+criterion_group!(benches, bench_durable_recovery);
+criterion_main!(benches);

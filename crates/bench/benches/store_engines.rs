@@ -380,6 +380,7 @@ fn churn_phase(bed: &TestBed, users: &[String], lists: &[u64]) -> ChurnReport {
         compact_dead_percent: 5,
         compact_min_dead_bytes: 1024,
         retier_interval: 64,
+        heat_decay_window: 0,
     };
     let static_server =
         bed.build_tuned_spill_server(SHARDS, USERS, tiering_config.without_tiering(), segment);

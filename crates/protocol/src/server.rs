@@ -39,8 +39,8 @@ use zerber_base::MergedListId;
 use zerber_corpus::GroupId;
 use zerber_r::{OrderedElement, OrderedIndex};
 use zerber_store::{
-    CursorId, ListStore, RangedBatch, RangedFetch, SegmentStore, ShardedStore, SingleMutexStore,
-    SpillConfig, SpillStore, StoreError, StoreJob,
+    CursorId, DurableConfig, ListStore, RangedBatch, RangedFetch, SegmentStore, ShardedStore,
+    SingleMutexStore, SpillConfig, SpillStore, StoreError, StoreJob,
 };
 
 use crate::acl::{AccessControl, AuthToken};
@@ -94,6 +94,17 @@ pub struct ServerStats {
     /// Resident segments the storage engine demoted to the page file because
     /// hotter segments claimed their budget.
     pub demotions: u64,
+    /// Write-ahead-log records the durable engine appended for accepted
+    /// inserts (0 for non-durable engines).
+    pub wal_appends: u64,
+    /// Write-ahead-log bytes the durable engine appended.
+    pub wal_bytes: u64,
+    /// Checkpoint pages the durable engine read back, re-validated and
+    /// adopted when the store was recovered from disk.
+    pub recovered_pages: u64,
+    /// Torn or corrupt WAL tail records recovery discarded (the log was
+    /// truncated at the last valid record and the store kept serving).
+    pub truncated_wal_records: u64,
     /// Batch rounds executed on the shard worker pool (0 when the server
     /// runs the sequential in-thread scheduler).
     pub worker_rounds: u64,
@@ -156,6 +167,14 @@ struct AtomicStats {
     promotion_baseline: AtomicU64,
     /// The store's demotion meter at the last reset.
     demotion_baseline: AtomicU64,
+    /// The store's WAL-append meter at the last reset.
+    wal_append_baseline: AtomicU64,
+    /// The store's WAL-byte meter at the last reset.
+    wal_byte_baseline: AtomicU64,
+    /// The store's recovered-page meter at the last reset.
+    recovered_page_baseline: AtomicU64,
+    /// The store's truncated-WAL-record meter at the last reset.
+    truncated_wal_baseline: AtomicU64,
 }
 
 impl AtomicStats {
@@ -189,6 +208,18 @@ impl AtomicStats {
             demotions: store
                 .demotions()
                 .saturating_sub(self.demotion_baseline.load(Ordering::Relaxed)),
+            wal_appends: store
+                .wal_appends()
+                .saturating_sub(self.wal_append_baseline.load(Ordering::Relaxed)),
+            wal_bytes: store
+                .wal_bytes()
+                .saturating_sub(self.wal_byte_baseline.load(Ordering::Relaxed)),
+            recovered_pages: store
+                .recovered_pages()
+                .saturating_sub(self.recovered_page_baseline.load(Ordering::Relaxed)),
+            truncated_wal_records: store
+                .truncated_wal_records()
+                .saturating_sub(self.truncated_wal_baseline.load(Ordering::Relaxed)),
             worker_rounds: self.worker_rounds.load(Ordering::Relaxed),
             stolen_buckets: self.stolen_buckets.load(Ordering::Relaxed),
             round_jobs: self.round_jobs.load(Ordering::Relaxed),
@@ -224,6 +255,14 @@ impl AtomicStats {
             .store(store.promotions(), Ordering::Relaxed);
         self.demotion_baseline
             .store(store.demotions(), Ordering::Relaxed);
+        self.wal_append_baseline
+            .store(store.wal_appends(), Ordering::Relaxed);
+        self.wal_byte_baseline
+            .store(store.wal_bytes(), Ordering::Relaxed);
+        self.recovered_page_baseline
+            .store(store.recovered_pages(), Ordering::Relaxed);
+        self.truncated_wal_baseline
+            .store(store.truncated_wal_records(), Ordering::Relaxed);
     }
 
     fn record_worker_round(&self, round: &RoundStats) {
@@ -291,6 +330,13 @@ pub enum StoreEngine {
     /// page files behind an LRU page cache (the beyond-RAM engine; page
     /// files live in a fresh temp directory removed when the server drops).
     Spill,
+    /// The spill engine with the full durability machinery engaged:
+    /// checkpoint manifests, per-shard write-ahead logging of inserts and
+    /// crash recovery.  Rooted in a fresh temp directory (removed when the
+    /// server drops); long-lived deployments build their store with
+    /// [`SpillStore::create_durable`] and pass it to
+    /// [`IndexServer::with_store`].
+    Durable,
 }
 
 /// The index server.
@@ -390,6 +436,15 @@ impl IndexServer {
             StoreEngine::Spill => Box::new(
                 SpillStore::in_temp_dir(index, num_shards, SpillConfig::default())
                     .map_err(map_store_error)?,
+            ),
+            StoreEngine::Durable => Box::new(
+                SpillStore::durable_in_temp_dir(
+                    index,
+                    num_shards,
+                    SpillConfig::default(),
+                    DurableConfig::default(),
+                )
+                .map_err(map_store_error)?,
             ),
         };
         Ok(Self::with_store(store, acl))
@@ -827,6 +882,9 @@ fn map_store_error(e: StoreError) -> ProtocolError {
             ProtocolError::Core("segment payload exceeds the u32 offset bound".into())
         }
         StoreError::Io(reason) => ProtocolError::Core(format!("spill storage I/O: {reason}")),
+        StoreError::RecoveryFailed(reason) => {
+            ProtocolError::Core(format!("store recovery refused: {reason}"))
+        }
     }
 }
 
@@ -1103,6 +1161,7 @@ mod tests {
             StoreEngine::SingleMutex,
             StoreEngine::Segment,
             StoreEngine::Spill,
+            StoreEngine::Durable,
         ] {
             let server = IndexServer::with_engine(index.clone(), acl.clone(), engine, 4).unwrap();
             let list = list_for(&c, &server, "imclone");
@@ -1125,6 +1184,59 @@ mod tests {
             // One HMAC verification per distinct user, not per request.
             assert_eq!(stats.auth_checks, users.len() as u64);
         }
+    }
+
+    #[test]
+    fn durable_engine_meters_wal_activity_through_server_stats() {
+        let c = corpus();
+        let stats = CorpusStats::compute(&c);
+        let split = sample_split(&c, SplitConfig::default()).unwrap();
+        let model = RstfModel::train(&c, &split, &RstfConfig::default()).unwrap();
+        let plan = BfmMerge
+            .plan(&stats, ConfidentialityParam::new(3.0).unwrap())
+            .unwrap();
+        let master = MasterKey::new([5u8; 32]);
+        let index = zerber_r::OrderedIndex::build(&c, plan, &model, &master, 7).unwrap();
+        let mut acl = AccessControl::new(b"srv");
+        acl.register_user("alice", &[GroupId(1)]);
+        let server = IndexServer::with_engine(index, acl, StoreEngine::Durable, 2).unwrap();
+        assert_eq!(server.stats().wal_appends, 0);
+        assert_eq!(server.stats().truncated_wal_records, 0);
+        let term = c.dictionary().get("imclone").unwrap();
+        let list = list_for(&c, &server, "imclone");
+        let payload = PostingPayload {
+            term,
+            doc: zerber_corpus::DocId(7_000),
+            tf: 5,
+            doc_len: 10,
+        };
+        let keys: GroupKeys = master.group_keys(1);
+        let mut rng = DeterministicRng::from_u64(3);
+        let sealed = zerber_base::EncryptedElement::seal(
+            &payload,
+            GroupId(1),
+            &keys,
+            MergedListId(list),
+            &mut rng,
+        )
+        .unwrap();
+        let req = InsertRequest {
+            user: "alice".into(),
+            list,
+            group: GroupId(1),
+            trs: model.transform(term, payload.doc, payload.relevance()),
+            ciphertext: sealed.ciphertext,
+        };
+        let alice = server.acl().issue_token("alice");
+        server.handle_insert(&req, &alice).unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.inserts_accepted, 1);
+        assert_eq!(stats.wal_appends, 1, "each accepted insert is logged");
+        assert!(stats.wal_bytes > 0);
+        // Stats windows reset like every other storage meter.
+        server.reset_stats();
+        assert_eq!(server.stats().wal_appends, 0);
+        assert_eq!(server.stats().wal_bytes, 0);
     }
 
     #[test]

@@ -1,0 +1,1133 @@
+//! Durability primitives of the spill engine: the page/file IO abstraction
+//! (with a deterministic fault-injection shim), CRC32 framing, the per-shard
+//! write-ahead log codec, the checkpoint manifest codec and the store
+//! metadata codec.
+//!
+//! The layering mirrors classical recovery managers:
+//!
+//! * **Checkpoint manifest** — an atomically-renamed, checksummed file per
+//!   shard enumerating the sealed pages of every list (plus the small
+//!   mutable tails and the WAL sequence number the checkpoint covers).  The
+//!   page files it references are immutable checkpoint state, not cache.
+//! * **Write-ahead log** — length-delimited, CRC-framed insert records
+//!   (reusing the element wire encoding: 8-byte TRS, 4-byte group, 2-byte
+//!   ciphertext length, ciphertext).  Appends happen under the same shard
+//!   write lock as the insert they record, so file order equals apply
+//!   order; [`SyncPolicy`] governs how often the log is fsynced.
+//! * **Recovery** — [`crate::SpillStore::open`] loads the manifest pages
+//!   through the fully-validating `Segment::from_bytes` and replays the WAL
+//!   tail through the ordinary insert path.  A torn or corrupt tail
+//!   truncates at the last valid record and the store keeps serving; it
+//!   never panics and never applies a record out of order.
+//!
+//! Everything talks to the disk through [`PageIo`]/[`FileIo`], so the
+//! fault-injection shim ([`FaultIo`]) can kill writes after a byte budget,
+//! flip a byte, or drop fsyncs — deterministically — and the recovery tests
+//! can crash the store at every step of every protocol.
+
+use std::fs::OpenOptions;
+use std::io::{self, Read as _, Seek, SeekFrom, Write as _};
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use zerber_base::EncryptedElement;
+use zerber_corpus::GroupId;
+use zerber_r::OrderedElement;
+
+use crate::error::StoreError;
+
+pub(crate) fn io_err(e: io::Error) -> StoreError {
+    StoreError::Io(e.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE), table-driven.  Hand-rolled so the store crate stays free of
+// new dependencies; the WAL frames and both manifest codecs use it.
+// ---------------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC32 (IEEE 802.3) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Durability tuning.
+// ---------------------------------------------------------------------------
+
+/// How often WAL appends are fsynced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Fsync after every append: an acknowledged insert is on disk.
+    Always,
+    /// Fsync every N appends: a crash loses at most N-1 acknowledged
+    /// inserts (still a prefix of the history).
+    EveryN(u32),
+    /// Never fsync on the append path; the log reaches disk at the next
+    /// checkpoint (which always syncs) or when the OS flushes.
+    Never,
+}
+
+/// Tuning knobs of the durable mode.
+///
+/// Checkpoints (page-file fsync + manifest commit + WAL reset) always sync,
+/// regardless of [`DurableConfig::sync`] — the policy governs only the
+/// per-append WAL path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableConfig {
+    /// Fsync policy of the write-ahead log.
+    pub sync: SyncPolicy,
+    /// WAL bytes per shard above which the post-serving maintenance hook
+    /// checkpoints the shard.  `0` disables automatic checkpoints (explicit
+    /// [`crate::SpillStore::checkpoint`] calls still work).
+    pub checkpoint_wal_bytes: u64,
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        DurableConfig {
+            sync: SyncPolicy::EveryN(32),
+            checkpoint_wal_bytes: 1 << 20,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The IO abstraction: a page file handle and the directory-level operations
+// the pager, WAL and manifest writer need.  The real implementation is std
+// fs; the fault shim below wraps it.
+// ---------------------------------------------------------------------------
+
+/// One open file of the durable layer (page file, WAL or manifest).
+#[allow(clippy::len_without_is_empty)]
+pub trait FileIo: Send + std::fmt::Debug {
+    /// Reads exactly `buf.len()` bytes at `offset`.
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()>;
+    /// Writes all of `buf` at `offset`.
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> io::Result<()>;
+    /// Flushes the file to stable storage.
+    fn sync(&mut self) -> io::Result<()>;
+    /// Current length of the file in bytes.
+    fn len(&mut self) -> io::Result<u64>;
+    /// Truncates (or extends with zeroes) the file to `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+}
+
+/// Directory-level IO: opening, renaming and removing the files of a spill
+/// root.  `Arc<dyn PageIo>` is threaded through the pager, the WAL and the
+/// manifest writer, so a test can substitute [`FaultIo`] for all of them at
+/// once.
+pub trait PageIo: Send + Sync + std::fmt::Debug {
+    /// Opens (creating if missing) `path` for reading and writing,
+    /// truncating it first when `truncate` is set.
+    fn open(&self, path: &Path, truncate: bool) -> io::Result<Box<dyn FileIo>>;
+    /// Atomically renames `from` over `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes `path` (must exist).
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// Whether `path` exists.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The production IO: plain `std::fs`.
+#[derive(Debug, Default)]
+pub struct RealIo;
+
+impl RealIo {
+    /// A shared handle to the production IO.
+    pub fn shared() -> Arc<dyn PageIo> {
+        Arc::new(RealIo)
+    }
+}
+
+#[derive(Debug)]
+struct RealFile(std::fs::File);
+
+impl FileIo for RealFile {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        self.0.seek(SeekFrom::Start(offset))?;
+        self.0.read_exact(buf)
+    }
+
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        self.0.seek(SeekFrom::Start(offset))?;
+        self.0.write_all(buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        Ok(self.0.metadata()?.len())
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.0.set_len(len)
+    }
+}
+
+impl PageIo for RealIo {
+    fn open(&self, path: &Path, truncate: bool) -> io::Result<Box<dyn FileIo>> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(truncate)
+            .open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection.
+// ---------------------------------------------------------------------------
+
+/// What the fault shim does to the IO stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Write-through until `n` budget units are consumed (one unit per
+    /// written byte; renames, removes, truncations and syncs cost one unit
+    /// each), then the process is considered dead: every later write,
+    /// rename, remove, truncation and sync silently does nothing.  A write
+    /// straddling the budget persists only its prefix — a torn write.
+    KillAfter(u64),
+    /// Write-through, but the byte at global write offset `n` is XORed with
+    /// `0x5A` on its way to disk — a single deterministic bit-flip.
+    FlipByteAt(u64),
+    /// Buffer every write in memory; `sync` flushes the file's buffer to
+    /// disk.  Dropping the store without syncing models a power failure
+    /// that loses everything since the last fsync.
+    Buffered,
+    /// Like [`FaultMode::Buffered`], but `sync` is silently dropped too — a
+    /// lying fsync.  Nothing written through this shim ever reaches disk.
+    DropSyncs,
+}
+
+#[derive(Debug, Default)]
+struct FaultLedger {
+    /// Budget units consumed so far (bytes written + 1 per metadata op).
+    spent: u64,
+    /// Set once a [`FaultMode::KillAfter`] budget is exhausted.
+    crashed: bool,
+    /// Cumulative `spent` after each IO operation — the injection points a
+    /// kill-at-every-step loop iterates over.
+    boundaries: Vec<u64>,
+}
+
+/// The deterministic fault-injection IO shim: wraps [`RealIo`] over the real
+/// directory, so whatever "survives" the injected fault is exactly what a
+/// later [`crate::SpillStore::open`] with [`RealIo`] will find.
+#[derive(Debug)]
+pub struct FaultIo {
+    inner: Arc<dyn PageIo>,
+    mode: FaultMode,
+    ledger: Arc<Mutex<FaultLedger>>,
+}
+
+impl FaultIo {
+    /// A fault shim over the production IO.
+    pub fn new(mode: FaultMode) -> Arc<FaultIo> {
+        Arc::new(FaultIo {
+            inner: RealIo::shared(),
+            mode,
+            ledger: Arc::new(Mutex::new(FaultLedger::default())),
+        })
+    }
+
+    /// Budget units consumed so far (bytes written plus one per rename /
+    /// remove / truncate / sync).
+    pub fn spent(&self) -> u64 {
+        self.ledger.lock().spent
+    }
+
+    /// Whether a `KillAfter` budget has been exhausted.
+    pub fn crashed(&self) -> bool {
+        self.ledger.lock().crashed
+    }
+
+    /// The cumulative budget after each IO operation: every value (and its
+    /// ±1 neighbours) is a distinct crash point for a kill-at-every-step
+    /// recovery loop.
+    pub fn op_boundaries(&self) -> Vec<u64> {
+        self.ledger.lock().boundaries.clone()
+    }
+
+    /// Consumes one metadata-op unit; `true` if the op should proceed.
+    fn charge_op(&self) -> bool {
+        let mut ledger = self.ledger.lock();
+        match self.mode {
+            FaultMode::KillAfter(n) => {
+                if ledger.crashed {
+                    return false;
+                }
+                if ledger.spent >= n {
+                    ledger.crashed = true;
+                    return false;
+                }
+                ledger.spent += 1;
+                let spent = ledger.spent;
+                ledger.boundaries.push(spent);
+                true
+            }
+            _ => {
+                ledger.spent += 1;
+                let spent = ledger.spent;
+                ledger.boundaries.push(spent);
+                true
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FaultFile {
+    real: Box<dyn FileIo>,
+    mode: FaultMode,
+    ledger: Arc<Mutex<FaultLedger>>,
+    /// Full in-memory shadow of the file in the buffered modes; `sync`
+    /// flushes it (unless dropped).  The shadow is per handle: the durable
+    /// protocols sync before every rename/reopen, so a fresh handle always
+    /// sees flushed state.
+    shadow: Option<Vec<u8>>,
+}
+
+impl FileIo for FaultFile {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        match &self.shadow {
+            Some(shadow) => {
+                let start = usize::try_from(offset).unwrap_or(usize::MAX);
+                let end = start.saturating_add(buf.len());
+                if end > shadow.len() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "read past buffered length",
+                    ));
+                }
+                buf.copy_from_slice(&shadow[start..end]);
+                Ok(())
+            }
+            None => self.real.read_at(offset, buf),
+        }
+    }
+
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        if let Some(shadow) = &mut self.shadow {
+            let start = usize::try_from(offset).unwrap_or(usize::MAX);
+            let end = start.saturating_add(buf.len());
+            if shadow.len() < end {
+                shadow.resize(end, 0);
+            }
+            shadow[start..end].copy_from_slice(buf);
+            let mut ledger = self.ledger.lock();
+            ledger.spent += buf.len() as u64;
+            let spent = ledger.spent;
+            ledger.boundaries.push(spent);
+            return Ok(());
+        }
+        let (allow, flip) = {
+            let mut ledger = self.ledger.lock();
+            let start = ledger.spent;
+            ledger.spent += buf.len() as u64;
+            let spent = ledger.spent;
+            ledger.boundaries.push(spent);
+            match self.mode {
+                FaultMode::KillAfter(n) => {
+                    if ledger.crashed {
+                        (0usize, None)
+                    } else {
+                        let allow = usize::try_from(n.saturating_sub(start))
+                            .unwrap_or(usize::MAX)
+                            .min(buf.len());
+                        if allow < buf.len() {
+                            ledger.crashed = true;
+                        }
+                        (allow, None)
+                    }
+                }
+                FaultMode::FlipByteAt(n) => {
+                    let flip = (start..start + buf.len() as u64)
+                        .contains(&n)
+                        .then(|| usize::try_from(n - start).expect("offset fits"));
+                    (buf.len(), flip)
+                }
+                _ => (buf.len(), None),
+            }
+        };
+        match flip {
+            Some(i) => {
+                let mut copy = buf.to_vec();
+                copy[i] ^= 0x5A;
+                self.real.write_at(offset, &copy)
+            }
+            None if allow == buf.len() => self.real.write_at(offset, buf),
+            None if allow > 0 => self.real.write_at(offset, &buf[..allow]),
+            None => Ok(()),
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        match self.mode {
+            FaultMode::DropSyncs => Ok(()),
+            FaultMode::Buffered => {
+                let mut ledger = self.ledger.lock();
+                ledger.spent += 1;
+                let spent = ledger.spent;
+                ledger.boundaries.push(spent);
+                drop(ledger);
+                let shadow = self.shadow.clone().expect("buffered mode has a shadow");
+                self.real.write_at(0, &shadow)?;
+                self.real.set_len(shadow.len() as u64)?;
+                self.real.sync()
+            }
+            FaultMode::KillAfter(n) => {
+                let mut ledger = self.ledger.lock();
+                if ledger.crashed || ledger.spent >= n {
+                    ledger.crashed = true;
+                    return Ok(());
+                }
+                ledger.spent += 1;
+                let spent = ledger.spent;
+                ledger.boundaries.push(spent);
+                drop(ledger);
+                self.real.sync()
+            }
+            FaultMode::FlipByteAt(_) => self.real.sync(),
+        }
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        match &self.shadow {
+            Some(shadow) => Ok(shadow.len() as u64),
+            None => self.real.len(),
+        }
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        if let Some(shadow) = &mut self.shadow {
+            shadow.resize(usize::try_from(len).unwrap_or(usize::MAX), 0);
+            return Ok(());
+        }
+        match self.mode {
+            FaultMode::KillAfter(n) => {
+                let mut ledger = self.ledger.lock();
+                if ledger.crashed || ledger.spent >= n {
+                    ledger.crashed = true;
+                    return Ok(());
+                }
+                ledger.spent += 1;
+                let spent = ledger.spent;
+                ledger.boundaries.push(spent);
+                drop(ledger);
+                self.real.set_len(len)
+            }
+            _ => self.real.set_len(len),
+        }
+    }
+}
+
+impl PageIo for FaultIo {
+    fn open(&self, path: &Path, truncate: bool) -> io::Result<Box<dyn FileIo>> {
+        // Opening never tears: the interesting faults live in writes and the
+        // commit ops.  In the buffered modes truncation is deferred to the
+        // shadow, so an unflushed truncate is lost like any other write.
+        let buffered = matches!(self.mode, FaultMode::Buffered | FaultMode::DropSyncs);
+        let mut real = self.inner.open(path, truncate && !buffered)?;
+        let shadow = if buffered {
+            if truncate {
+                Some(Vec::new())
+            } else {
+                let len = usize::try_from(real.len()?).unwrap_or(usize::MAX);
+                let mut content = vec![0u8; len];
+                real.read_at(0, &mut content)?;
+                Some(content)
+            }
+        } else {
+            None
+        };
+        Ok(Box::new(FaultFile {
+            real,
+            mode: self.mode,
+            ledger: Arc::clone(&self.ledger),
+            shadow,
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        // Renames are atomic: they either happen or the crash dropped them.
+        // In the buffered modes the rename moves whatever the *disk* holds —
+        // renaming an unflushed file publishes its stale (possibly empty)
+        // on-disk content, exactly the hazard a missing fsync creates.
+        if matches!(self.mode, FaultMode::KillAfter(_)) && !self.charge_op() {
+            return Ok(());
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        if matches!(self.mode, FaultMode::KillAfter(_)) && !self.charge_op() {
+            return Ok(());
+        }
+        self.inner.remove(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Element codec: the wire layout queries already ship (8-byte TRS, 4-byte
+// group, 2-byte ciphertext length, ciphertext), reused for WAL records and
+// the manifest's tail section.
+// ---------------------------------------------------------------------------
+
+/// Bytes of the element header (TRS + group + ciphertext length).
+pub(crate) const ELEMENT_BYTES: usize = 14;
+
+pub(crate) fn encode_element(e: &OrderedElement, out: &mut Vec<u8>) -> Result<(), StoreError> {
+    let len = u16::try_from(e.sealed.ciphertext.len())
+        .map_err(|_| StoreError::Io("element ciphertext exceeds the u16 wire bound".to_string()))?;
+    out.extend_from_slice(&e.trs.to_le_bytes());
+    out.extend_from_slice(&e.group.0.to_le_bytes());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&e.sealed.ciphertext);
+    Ok(())
+}
+
+pub(crate) fn decode_element(buf: &[u8], pos: &mut usize) -> Result<OrderedElement, StoreError> {
+    let corrupt = || StoreError::CorruptSegment("truncated element record".to_string());
+    if buf.len() < *pos + ELEMENT_BYTES {
+        return Err(corrupt());
+    }
+    let trs = f64::from_le_bytes(buf[*pos..*pos + 8].try_into().expect("8 bytes"));
+    let group = GroupId(u32::from_le_bytes(
+        buf[*pos + 8..*pos + 12].try_into().expect("4 bytes"),
+    ));
+    let len = u16::from_le_bytes(buf[*pos + 12..*pos + 14].try_into().expect("2 bytes")) as usize;
+    *pos += ELEMENT_BYTES;
+    if buf.len() < *pos + len {
+        return Err(corrupt());
+    }
+    let ciphertext = buf[*pos..*pos + len].to_vec();
+    *pos += len;
+    if !trs.is_finite() {
+        return Err(StoreError::CorruptSegment(
+            "non-finite TRS in element record".to_string(),
+        ));
+    }
+    Ok(OrderedElement {
+        trs,
+        group,
+        sealed: EncryptedElement { group, ciphertext },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// WAL framing: `[payload_len: u32][crc32(payload): u32][payload]` where the
+// payload is `[seq: u64][list: u64][element]`.
+// ---------------------------------------------------------------------------
+
+/// Bytes of the frame header (length + CRC).
+pub(crate) const WAL_FRAME_HEADER: usize = 8;
+/// Smallest possible payload: sequence + list id + element header.
+const WAL_MIN_PAYLOAD: usize = 16 + ELEMENT_BYTES;
+/// Sanity bound: no insert record is remotely this large, so a length field
+/// beyond it is corruption, not data.
+const WAL_MAX_PAYLOAD: usize = 16 << 20;
+
+/// One decoded WAL record: the `seq`-th insert of its shard.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct WalRecord {
+    pub seq: u64,
+    pub list: u64,
+    pub element: OrderedElement,
+}
+
+/// Encodes one insert as a CRC-framed WAL record.
+pub(crate) fn encode_wal_frame(
+    seq: u64,
+    list: u64,
+    element: &OrderedElement,
+) -> Result<Vec<u8>, StoreError> {
+    let mut payload = Vec::with_capacity(16 + ELEMENT_BYTES + element.sealed.ciphertext.len());
+    payload.extend_from_slice(&seq.to_le_bytes());
+    payload.extend_from_slice(&list.to_le_bytes());
+    encode_element(element, &mut payload)?;
+    let mut frame = Vec::with_capacity(WAL_FRAME_HEADER + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    Ok(frame)
+}
+
+/// Result of scanning a WAL image: the records whose frames fully fit and
+/// validate, the byte length of that valid prefix, and whether anything
+/// (a torn tail, a CRC mismatch, garbage) followed it.
+#[derive(Debug)]
+pub(crate) struct WalScan {
+    pub records: Vec<WalRecord>,
+    pub valid_len: u64,
+    pub torn: bool,
+}
+
+/// Scans a WAL image front to back, stopping at the first frame that does
+/// not fully fit or fails its CRC.  Everything after the first invalid frame
+/// is untrusted (records must apply in order, so nothing beyond a gap can be
+/// used) and reported as torn.
+pub(crate) fn scan_wal(bytes: &[u8]) -> WalScan {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        if pos + WAL_FRAME_HEADER > bytes.len() {
+            return WalScan {
+                records,
+                valid_len: pos as u64,
+                torn: pos < bytes.len(),
+            };
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if !(WAL_MIN_PAYLOAD..=WAL_MAX_PAYLOAD).contains(&len)
+            || pos + WAL_FRAME_HEADER + len > bytes.len()
+        {
+            return WalScan {
+                records,
+                valid_len: pos as u64,
+                torn: true,
+            };
+        }
+        let payload = &bytes[pos + WAL_FRAME_HEADER..pos + WAL_FRAME_HEADER + len];
+        if crc32(payload) != crc {
+            return WalScan {
+                records,
+                valid_len: pos as u64,
+                torn: true,
+            };
+        }
+        let seq = u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
+        let list = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
+        let mut at = 16usize;
+        let element = match decode_element(payload, &mut at) {
+            Ok(e) if at == payload.len() => e,
+            _ => {
+                return WalScan {
+                    records,
+                    valid_len: pos as u64,
+                    torn: true,
+                };
+            }
+        };
+        records.push(WalRecord { seq, list, element });
+        pos += WAL_FRAME_HEADER + len;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint manifest codec.  One manifest per shard; committed via
+// write-tmp + fsync + atomic rename, validated end to end by a trailing
+// CRC32.
+// ---------------------------------------------------------------------------
+
+const MANIFEST_MAGIC: u64 = 0x4e41_4d5a; // "ZMAN"
+const MANIFEST_VERSION: u64 = 1;
+
+/// Checkpoint state of one list: the sealed pages (in stack order) and the
+/// mutable tail at checkpoint time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct ManifestList {
+    /// `(offset, len, crc32)` of each sealed page in the shard's page
+    /// file.  The CRC covers the page's encoded bytes, so recovery detects
+    /// payload corruption that segment structure validation alone cannot
+    /// (a flipped ciphertext byte decodes fine).
+    pub pages: Vec<(u64, u32, u32)>,
+    /// The tail elements (descending TRS), stored inline — small by
+    /// construction (bounded by the segment config's tail threshold).
+    pub tail: Vec<OrderedElement>,
+}
+
+/// Checkpoint state of one shard.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Manifest {
+    /// Generation of the page file the page offsets refer to
+    /// (`shard-NNN.g<generation>.pages`).
+    pub generation: u64,
+    /// Every WAL record with `seq <= applied_seq` is already folded into the
+    /// pages/tails above; replay skips them.
+    pub applied_seq: u64,
+    /// Per-list checkpoint state, in shard slot order.
+    pub lists: Vec<ManifestList>,
+}
+
+pub(crate) fn encode_manifest(m: &Manifest) -> Result<Vec<u8>, StoreError> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MANIFEST_MAGIC.to_le_bytes());
+    out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+    out.extend_from_slice(&m.generation.to_le_bytes());
+    out.extend_from_slice(&m.applied_seq.to_le_bytes());
+    out.extend_from_slice(&(m.lists.len() as u64).to_le_bytes());
+    for list in &m.lists {
+        out.extend_from_slice(&(list.pages.len() as u64).to_le_bytes());
+        for &(offset, len, crc) in &list.pages {
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&len.to_le_bytes());
+            out.extend_from_slice(&crc.to_le_bytes());
+        }
+        out.extend_from_slice(&(list.tail.len() as u64).to_le_bytes());
+        for element in &list.tail {
+            encode_element(element, &mut out)?;
+        }
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    Ok(out)
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn corrupt(what: &str) -> StoreError {
+        StoreError::CorruptSegment(format!("truncated {what}"))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, StoreError> {
+        if self.buf.len() < self.pos + 8 {
+            return Err(Self::corrupt(what));
+        }
+        let v = u64::from_le_bytes(
+            self.buf[self.pos..self.pos + 8]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        self.pos += 8;
+        Ok(v)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, StoreError> {
+        if self.buf.len() < self.pos + 4 {
+            return Err(Self::corrupt(what));
+        }
+        let v = u32::from_le_bytes(
+            self.buf[self.pos..self.pos + 4]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// Bounds a length field before it sizes an allocation: a corrupt count
+    /// cannot ask for more items than the remaining bytes could encode.
+    fn counted(&self, count: u64, min_item: usize, what: &str) -> Result<usize, StoreError> {
+        let count = usize::try_from(count).map_err(|_| Self::corrupt(what))?;
+        let remaining = self.buf.len() - self.pos;
+        if count.saturating_mul(min_item.max(1)) > remaining {
+            return Err(StoreError::CorruptSegment(format!(
+                "implausible {what} count {count}"
+            )));
+        }
+        Ok(count)
+    }
+}
+
+/// Validates the trailing CRC and splits it off, returning the covered body.
+fn checked_body<'a>(bytes: &'a [u8], what: &str) -> Result<&'a [u8], StoreError> {
+    if bytes.len() < 4 {
+        return Err(StoreError::CorruptSegment(format!("truncated {what}")));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let want = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if crc32(body) != want {
+        return Err(StoreError::CorruptSegment(format!("{what} CRC mismatch")));
+    }
+    Ok(body)
+}
+
+pub(crate) fn decode_manifest(bytes: &[u8]) -> Result<Manifest, StoreError> {
+    let body = checked_body(bytes, "manifest")?;
+    let mut r = Reader { buf: body, pos: 0 };
+    if r.u64("manifest magic")? != MANIFEST_MAGIC {
+        return Err(StoreError::CorruptSegment("bad manifest magic".to_string()));
+    }
+    let version = r.u64("manifest version")?;
+    if version != MANIFEST_VERSION {
+        return Err(StoreError::CorruptSegment(format!(
+            "unsupported manifest version {version}"
+        )));
+    }
+    let generation = r.u64("manifest generation")?;
+    let applied_seq = r.u64("manifest applied seq")?;
+    let num_lists = r.u64("manifest list count")?;
+    let num_lists = r.counted(num_lists, 16, "manifest list")?;
+    let mut lists = Vec::with_capacity(num_lists);
+    for _ in 0..num_lists {
+        let num_pages = r.u64("manifest page count")?;
+        let num_pages = r.counted(num_pages, 16, "manifest page")?;
+        let mut pages = Vec::with_capacity(num_pages);
+        for _ in 0..num_pages {
+            let offset = r.u64("manifest page offset")?;
+            let len = r.u32("manifest page length")?;
+            let crc = r.u32("manifest page checksum")?;
+            pages.push((offset, len, crc));
+        }
+        let num_tail = r.u64("manifest tail count")?;
+        let num_tail = r.counted(num_tail, ELEMENT_BYTES, "manifest tail element")?;
+        let mut tail = Vec::with_capacity(num_tail);
+        for _ in 0..num_tail {
+            tail.push(decode_element(body, &mut r.pos)?);
+        }
+        lists.push(ManifestList { pages, tail });
+    }
+    if r.pos != body.len() {
+        return Err(StoreError::CorruptSegment(
+            "trailing bytes after manifest".to_string(),
+        ));
+    }
+    Ok(Manifest {
+        generation,
+        applied_seq,
+        lists,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Store metadata codec (`store.meta`): everything `SpillStore::open` needs
+// to rebuild the store that `create_durable` wrote — shard count, segment
+// layout and the merge plan.  Written once at create time, never mutated.
+// ---------------------------------------------------------------------------
+
+const META_MAGIC: u64 = 0x4554_4d5a; // "ZMTE"
+const META_VERSION: u64 = 1;
+
+/// The immutable identity of a durable store.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct StoreMeta {
+    pub num_shards: u64,
+    /// Segment layout knobs, persisted so reopened lists split/seal exactly
+    /// like the original store (replay determinism).
+    pub segment: crate::segment::SegmentConfig,
+    /// Merge-plan scheme name.
+    pub scheme: String,
+    /// Merge-plan confidentiality parameter.
+    pub r: f64,
+    /// Terms of each merged list, in list order.
+    pub term_lists: Vec<Vec<u32>>,
+}
+
+pub(crate) fn encode_store_meta(meta: &StoreMeta) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&META_MAGIC.to_le_bytes());
+    out.extend_from_slice(&META_VERSION.to_le_bytes());
+    out.extend_from_slice(&meta.num_shards.to_le_bytes());
+    for knob in [
+        meta.segment.block_len,
+        meta.segment.tail_threshold,
+        meta.segment.max_segment_elems,
+        meta.segment.max_segments,
+        meta.segment.max_payload_bytes,
+    ] {
+        out.extend_from_slice(&(knob as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&meta.r.to_le_bytes());
+    out.extend_from_slice(&(meta.scheme.len() as u64).to_le_bytes());
+    out.extend_from_slice(meta.scheme.as_bytes());
+    out.extend_from_slice(&(meta.term_lists.len() as u64).to_le_bytes());
+    for terms in &meta.term_lists {
+        out.extend_from_slice(&(terms.len() as u64).to_le_bytes());
+        for &t in terms {
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+pub(crate) fn decode_store_meta(bytes: &[u8]) -> Result<StoreMeta, StoreError> {
+    let body = checked_body(bytes, "store metadata")?;
+    let mut r = Reader { buf: body, pos: 0 };
+    if r.u64("store metadata magic")? != META_MAGIC {
+        return Err(StoreError::CorruptSegment(
+            "bad store metadata magic".to_string(),
+        ));
+    }
+    let version = r.u64("store metadata version")?;
+    if version != META_VERSION {
+        return Err(StoreError::CorruptSegment(format!(
+            "unsupported store metadata version {version}"
+        )));
+    }
+    let num_shards = r.u64("shard count")?;
+    let mut knobs = [0u64; 5];
+    for knob in &mut knobs {
+        *knob = r.u64("segment knob")?;
+    }
+    let segment = crate::segment::SegmentConfig {
+        block_len: usize::try_from(knobs[0]).map_err(|_| Reader::corrupt("segment knob"))?,
+        tail_threshold: usize::try_from(knobs[1]).map_err(|_| Reader::corrupt("segment knob"))?,
+        max_segment_elems: usize::try_from(knobs[2])
+            .map_err(|_| Reader::corrupt("segment knob"))?,
+        max_segments: usize::try_from(knobs[3]).map_err(|_| Reader::corrupt("segment knob"))?,
+        max_payload_bytes: usize::try_from(knobs[4])
+            .map_err(|_| Reader::corrupt("segment knob"))?,
+    };
+    let r_param = f64::from_bits(r.u64("confidentiality parameter")?);
+    let scheme_len = r.u64("scheme length")?;
+    let scheme_len = r.counted(scheme_len, 1, "scheme byte")?;
+    if body.len() < r.pos + scheme_len {
+        return Err(Reader::corrupt("scheme name"));
+    }
+    let scheme = String::from_utf8(body[r.pos..r.pos + scheme_len].to_vec())
+        .map_err(|_| StoreError::CorruptSegment("scheme name is not UTF-8".to_string()))?;
+    r.pos += scheme_len;
+    let num_lists = r.u64("list count")?;
+    let num_lists = r.counted(num_lists, 8, "term list")?;
+    let mut term_lists = Vec::with_capacity(num_lists);
+    for _ in 0..num_lists {
+        let num_terms = r.u64("term count")?;
+        let num_terms = r.counted(num_terms, 4, "term")?;
+        let mut terms = Vec::with_capacity(num_terms);
+        for _ in 0..num_terms {
+            terms.push(r.u32("term id")?);
+        }
+        term_lists.push(terms);
+    }
+    if r.pos != body.len() {
+        return Err(StoreError::CorruptSegment(
+            "trailing bytes after store metadata".to_string(),
+        ));
+    }
+    Ok(StoreMeta {
+        num_shards,
+        segment,
+        scheme,
+        r: r_param,
+        term_lists,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::SegmentConfig;
+
+    fn element(trs: f64, group: u32, ct: &[u8]) -> OrderedElement {
+        OrderedElement {
+            trs,
+            group: GroupId(group),
+            sealed: EncryptedElement {
+                group: GroupId(group),
+                ciphertext: ct.to_vec(),
+            },
+        }
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn wal_frames_round_trip_and_reject_corruption() {
+        let e = element(0.75, 3, &[1, 2, 3, 4, 5]);
+        let frame = encode_wal_frame(9, 4, &e).unwrap();
+        let scan = scan_wal(&frame);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].seq, 9);
+        assert_eq!(scan.records[0].list, 4);
+        assert_eq!(scan.records[0].element, e);
+        assert_eq!(scan.valid_len, frame.len() as u64);
+        assert!(!scan.torn);
+
+        // Every strict prefix is torn and yields zero records.
+        for cut in 1..frame.len() {
+            let scan = scan_wal(&frame[..cut]);
+            assert!(scan.records.is_empty(), "cut {cut}");
+            assert_eq!(scan.valid_len, 0, "cut {cut}");
+            assert!(scan.torn, "cut {cut}");
+        }
+
+        // A flipped payload byte fails the CRC; a flipped length field fails
+        // the bounds check.  Neither panics, neither yields the record.
+        for flip in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[flip] ^= 0x40;
+            let scan = scan_wal(&bad);
+            assert!(scan.records.is_empty(), "flip {flip}");
+            assert!(scan.torn, "flip {flip}");
+        }
+    }
+
+    #[test]
+    fn wal_scans_stop_at_the_first_invalid_frame() {
+        let mut image = Vec::new();
+        for seq in 1..=3u64 {
+            image.extend_from_slice(
+                &encode_wal_frame(seq, 0, &element(0.5, 0, &[seq as u8; 4])).unwrap(),
+            );
+        }
+        let frame_len = image.len() / 3;
+        // Corrupt the middle frame: only the first survives (nothing beyond
+        // a gap may apply).
+        let mut bad = image.clone();
+        bad[frame_len + WAL_FRAME_HEADER + 2] ^= 0xFF;
+        let scan = scan_wal(&bad);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len, frame_len as u64);
+        assert!(scan.torn);
+    }
+
+    #[test]
+    fn manifests_round_trip_and_reject_any_flip() {
+        let m = Manifest {
+            generation: 7,
+            applied_seq: 42,
+            lists: vec![
+                ManifestList {
+                    pages: vec![(0, 128, 0xdead_beef), (128, 64, 0x0bad_f00d)],
+                    tail: vec![element(0.5, 1, &[9; 6]), element(0.25, 0, &[])],
+                },
+                ManifestList::default(),
+            ],
+        };
+        let bytes = encode_manifest(&m).unwrap();
+        assert_eq!(decode_manifest(&bytes).unwrap(), m);
+        for flip in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[flip] ^= 0x10;
+            assert!(decode_manifest(&bad).is_err(), "flip {flip} must fail CRC");
+        }
+        assert!(decode_manifest(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode_manifest(&[]).is_err());
+    }
+
+    #[test]
+    fn store_meta_round_trips() {
+        let meta = StoreMeta {
+            num_shards: 4,
+            segment: SegmentConfig {
+                block_len: 4,
+                tail_threshold: 3,
+                max_segment_elems: 16,
+                max_segments: 3,
+                max_payload_bytes: 1 << 20,
+            },
+            scheme: "test-scheme".to_string(),
+            r: 2.5,
+            term_lists: vec![vec![1, 2, 3], vec![], vec![7]],
+        };
+        let bytes = encode_store_meta(&meta);
+        assert_eq!(decode_store_meta(&bytes).unwrap(), meta);
+        let mut bad = bytes.clone();
+        bad[20] ^= 0x01;
+        assert!(decode_store_meta(&bad).is_err());
+    }
+
+    #[test]
+    fn kill_after_budget_tears_writes_and_drops_later_ops() {
+        let dir = std::env::temp_dir().join(format!("zerber-durable-ut-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("kill-a");
+        let b = dir.join("kill-b");
+        let io = FaultIo::new(FaultMode::KillAfter(6));
+        {
+            let mut f = io.open(&a, true).unwrap();
+            f.write_at(0, &[1, 2, 3, 4]).unwrap();
+            // This write straddles the budget: only 2 of 4 bytes land.
+            f.write_at(4, &[5, 6, 7, 8]).unwrap();
+        }
+        assert!(io.crashed());
+        // Post-crash ops silently do nothing.
+        io.rename(&a, &b).unwrap();
+        assert!(a.exists() && !b.exists());
+        assert_eq!(std::fs::read(&a).unwrap(), vec![1, 2, 3, 4, 5, 6]);
+        std::fs::remove_file(&a).unwrap();
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn buffered_mode_loses_unsynced_writes_and_keeps_synced_ones() {
+        let dir = std::env::temp_dir().join(format!("zerber-durable-ub-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("buffered");
+        {
+            let io = FaultIo::new(FaultMode::Buffered);
+            let mut f = io.open(&path, true).unwrap();
+            f.write_at(0, &[1, 2, 3]).unwrap();
+            f.sync().unwrap();
+            f.write_at(3, &[4, 5, 6]).unwrap();
+            // Reads see the buffered bytes (the live process view)...
+            let mut buf = [0u8; 6];
+            f.read_at(0, &mut buf).unwrap();
+            assert_eq!(buf, [1, 2, 3, 4, 5, 6]);
+            // ...but the crash (drop without sync) loses the unflushed tail.
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), vec![1, 2, 3]);
+        {
+            let io = FaultIo::new(FaultMode::DropSyncs);
+            let mut f = io.open(&path, false).unwrap();
+            f.write_at(3, &[9, 9]).unwrap();
+            f.sync().unwrap(); // dropped
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), vec![1, 2, 3]);
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn flip_byte_corrupts_exactly_one_byte() {
+        let dir = std::env::temp_dir().join(format!("zerber-durable-uf-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flip");
+        let io = FaultIo::new(FaultMode::FlipByteAt(2));
+        {
+            let mut f = io.open(&path, true).unwrap();
+            f.write_at(0, &[0u8; 5]).unwrap();
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), vec![0, 0, 0x5A, 0, 0]);
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

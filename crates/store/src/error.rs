@@ -18,6 +18,9 @@ pub enum StoreError {
     SegmentOverflow,
     /// An operation against the on-disk spill state failed at the I/O layer.
     Io(String),
+    /// A recovered durable store failed its post-recovery audit (budget
+    /// accounting, ordering, or visibility invariants) and was refused.
+    RecoveryFailed(String),
 }
 
 impl fmt::Display for StoreError {
@@ -30,6 +33,9 @@ impl fmt::Display for StoreError {
                 write!(f, "segment payload exceeds the u32 offset bound")
             }
             StoreError::Io(reason) => write!(f, "spill storage I/O failure: {reason}"),
+            StoreError::RecoveryFailed(reason) => {
+                write!(f, "recovered store failed its audit: {reason}")
+            }
         }
     }
 }
@@ -44,5 +50,8 @@ mod tests {
     fn display_names_the_id() {
         assert!(StoreError::UnknownList(7).to_string().contains('7'));
         assert!(StoreError::UnknownCursor(9).to_string().contains('9'));
+        assert!(StoreError::RecoveryFailed("budget drift".into())
+            .to_string()
+            .contains("budget drift"));
     }
 }

@@ -28,11 +28,20 @@
 //! * [`SingleMutexStore`] — the pre-sharding architecture (one global mutex),
 //!   kept as the contention baseline for the throughput experiments.
 //!
+//! [`SpillStore`] optionally runs *durable*: a persistent root directory
+//! holds a checksummed checkpoint manifest, immutable generation-named page
+//! files and a per-shard CRC-framed write-ahead log ([`durable`]), so
+//! [`SpillStore::open`] recovers the index after a crash — replaying pages
+//! through full segment validation and the WAL tail through the insert
+//! path, then re-auditing byte-exact budget accounting and visibility
+//! before serving.
+//!
 //! All engines share one generic cursor-session table
 //! ([`store::OrderedList`]), so sessions, insert generations, owner checks,
 //! TTL expiry and eviction behave identically and the engines answer
 //! element-for-element the same.
 
+pub mod durable;
 pub mod error;
 pub mod segment;
 pub mod sharded;
@@ -40,6 +49,7 @@ pub mod single;
 pub mod spill;
 pub mod store;
 
+pub use durable::{crc32, DurableConfig, FaultIo, FaultMode, FileIo, PageIo, RealIo, SyncPolicy};
 pub use error::StoreError;
 pub use segment::{Segment, SegmentConfig, SegmentList};
 pub use sharded::{SegmentStore, ShardedStore, MAX_SHARDS};

@@ -134,6 +134,61 @@ impl<L: OrderedList> ShardedCore<L> {
     ) -> R {
         f(&mut self.shards[shard].write())
     }
+
+    /// Resolves a list id to its `(shard, slot)` coordinates, rejecting
+    /// unknown lists (recovery replay routes WAL records through this).
+    pub(crate) fn locate(&self, list: MergedListId) -> Result<(usize, usize), StoreError> {
+        self.known(list)
+    }
+
+    /// Reassembles a store from already-materialized per-shard lists (the
+    /// durable recovery path).  `tables[s]` holds shard `s`'s lists in slot
+    /// order, i.e. `tables[s][j]` is merged list `j * num_shards + s` —
+    /// the same arrangement [`Self::build`] produces.
+    pub(crate) fn assemble(plan: MergePlan, tables: Vec<Vec<L>>) -> Result<Self, StoreError> {
+        let total: usize = tables.iter().map(Vec::len).sum();
+        if total != plan.num_lists() || tables.is_empty() || tables.len() > MAX_SHARDS {
+            return Err(StoreError::RecoveryFailed(format!(
+                "recovered {} lists across {} shards, plan expects {}",
+                total,
+                tables.len(),
+                plan.num_lists()
+            )));
+        }
+        let mut shards = Vec::with_capacity(tables.len());
+        for lists in tables {
+            let mut table = ListTable::default();
+            for list in lists {
+                table.push_list(list);
+            }
+            shards.push(RwLock::new(table));
+        }
+        Ok(ShardedCore {
+            shards,
+            plan,
+            next_cursor: AtomicU64::new(1),
+            lock_meter: AtomicU64::new(0),
+        })
+    }
+
+    /// Inserts like [`ListStore::insert`], additionally invoking `log` with
+    /// the element's shard *after* the in-memory apply but under the same
+    /// shard write lock — so the write-ahead log's record order is exactly
+    /// the apply order and an acknowledged insert is always logged.  A `log`
+    /// failure surfaces as the insert's error.
+    pub(crate) fn insert_logged(
+        &self,
+        list: MergedListId,
+        element: OrderedElement,
+        log: impl FnOnce(usize, &OrderedElement) -> Result<(), StoreError>,
+    ) -> Result<usize, StoreError> {
+        let (shard, slot) = self.known(list)?;
+        self.meter_lock();
+        let mut guard = self.shards[shard].write();
+        let pos = guard.insert(slot, element.clone())?;
+        log(shard, &element)?;
+        Ok(pos)
+    }
 }
 
 impl ShardedStore {

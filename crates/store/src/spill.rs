@@ -45,22 +45,37 @@
 //!   runs under the shard write lock.  A failed or torn rewrite is
 //!   discarded and the old file keeps serving.
 //!
-//! Files are ephemeral cache state, not durability — the store deletes
-//! them on drop.
+//! The store runs in one of two lifecycles:
+//!
+//! - **Ephemeral** (the default): files are cache state, deleted on drop.
+//! - **Durable** ([`SpillStore::create_durable`] / [`SpillStore::open`]):
+//!   the root directory is persistent state.  Page files are immutable
+//!   checkpoint pages referenced by an atomically-committed, checksummed
+//!   per-shard **manifest**; tail inserts append to a CRC-framed per-shard
+//!   **write-ahead log** ([`crate::durable`]); and [`SpillStore::open`]
+//!   recovers by replaying manifest pages through the fully validating
+//!   [`Segment::from_bytes`] and the WAL tail through the ordinary insert
+//!   path, truncating a torn or corrupt log at the last valid record.  A
+//!   recovered store is only accepted after `budget_accounting_is_exact`
+//!   and a full ordering/visibility audit pass.
 
 use std::collections::HashMap;
-use std::fs::{self, File, OpenOptions};
-use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use zerber_base::MergedListId;
-use zerber_corpus::GroupId;
+use zerber_corpus::{GroupId, TermId};
 use zerber_index::compress::from_sortable_bits;
 use zerber_r::{OrderedElement, OrderedIndex};
 
+use crate::durable::{
+    crc32, decode_manifest, decode_store_meta, encode_manifest, encode_store_meta,
+    encode_wal_frame, io_err, scan_wal, DurableConfig, FileIo, Manifest, ManifestList, PageIo,
+    RealIo, StoreMeta, SyncPolicy,
+};
 use crate::error::StoreError;
 use crate::segment::{encode_chunk_split, encode_rebuilt, encode_segments, Segment, SegmentConfig};
 use crate::sharded::{default_shards, ShardedCore, MAX_SHARDS};
@@ -92,6 +107,13 @@ pub struct SpillConfig {
     /// (promotion/demotion of sealed slots by access recency).  `0`
     /// disables retiering: residency stays as placed at seal time.
     pub retier_interval: u64,
+    /// Access-clock distance after which a slot's heat is considered
+    /// decayed: a slot last read more than this many ticks ago counts as
+    /// cold in the retier pass — it no longer outranks never-read slots and
+    /// its residency is up for grabs by currently-hot ones.  Closes the
+    /// "access clock is a high-water mark" gap: a burst a million ops ago
+    /// eventually cools.  `0` disables decay (heat never expires).
+    pub heat_decay_window: u64,
 }
 
 impl Default for SpillConfig {
@@ -102,6 +124,7 @@ impl Default for SpillConfig {
             compact_dead_percent: 40,
             compact_min_dead_bytes: 64 << 10,
             retier_interval: 1024,
+            heat_decay_window: 1 << 20,
         }
     }
 }
@@ -120,38 +143,57 @@ impl SpillConfig {
     }
 }
 
-fn io_err(e: std::io::Error) -> StoreError {
-    StoreError::Io(e.to_string())
-}
-
-/// Location of one spilled page inside its shard's page file.
+/// Location of one spilled page inside its shard's page file, plus the
+/// CRC32 of its encoded bytes.  Every read path re-checks the CRC before
+/// decoding: segment structure validation alone cannot notice a flipped
+/// ciphertext byte, the checksum can.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct PageId {
     offset: u64,
     len: u32,
+    crc: u32,
 }
 
-/// The spill directory, removed (best effort) once the last pager drops.
+/// Checks a page's bytes against the CRC recorded at write time.
+fn verify_page_crc(page: PageId, buf: &[u8]) -> Result<(), StoreError> {
+    if crc32(buf) != page.crc {
+        return Err(StoreError::CorruptSegment(format!(
+            "page at offset {} ({} bytes) fails its checksum",
+            page.offset, page.len
+        )));
+    }
+    Ok(())
+}
+
+/// The spill directory.  Ephemeral roots are removed (best effort) once the
+/// last pager drops; durable roots are persistent state and are **never**
+/// removed on drop — stray-scratch cleanup happens on [`SpillStore::open`]
+/// instead.
 #[derive(Debug)]
 struct SpillRoot {
     dir: PathBuf,
+    ephemeral: bool,
 }
 
 impl Drop for SpillRoot {
     fn drop(&mut self) {
+        if !self.ephemeral {
+            return;
+        }
         // Remove only this store's own unique directory.  The shared
-        // `zerber-spill` staging parent is deliberately left in place: a
-        // concurrent store may be between create_dir_all and opening its
-        // page files, and deleting the parent under it would fail that
-        // build spuriously.  An empty staging dir is harmless (the CI
-        // hygiene guard checks for stray *files*, not directories).
+        // staging parent (`zerber-spill` / `zerber-durable`) is deliberately
+        // left in place: a concurrent store may be between create_dir_all
+        // and opening its page files, and deleting the parent under it
+        // would fail that build spuriously.  An empty staging dir is
+        // harmless (the CI hygiene guard checks for stray *files*, not
+        // directories).
         let _ = fs::remove_dir(&self.dir);
     }
 }
 
 #[derive(Debug)]
 struct PageFile {
-    file: File,
+    file: Box<dyn FileIo>,
     append: u64,
 }
 
@@ -198,36 +240,63 @@ struct Pager {
     compact_dead_percent: u8,
     compact_min_dead_bytes: usize,
     retier_interval: u64,
-    path: PathBuf,
-    _root: Arc<SpillRoot>,
+    heat_decay_window: u64,
+    /// Generational page-file naming in durable mode
+    /// (`shard-NNN.g<generation>.pages`); ephemeral mode keeps a single
+    /// un-versioned file and always reads generation 0.
+    generation: AtomicU64,
+    /// Durable stores name their page files generationally and treat them
+    /// as checkpoint state; ephemeral stores treat them as cache.
+    durable: bool,
+    dir: PathBuf,
+    shard: usize,
+    backend: Arc<dyn PageIo>,
+    root: Arc<SpillRoot>,
 }
 
 impl Drop for Pager {
     fn drop(&mut self) {
-        // Page files are cache state, not durability: leave nothing behind
-        // (including a fresh compaction file an aborted pass may have left).
-        let _ = fs::remove_file(&self.path);
-        let _ = fs::remove_file(self.fresh_path());
+        // Ephemeral page files are cache state: leave nothing behind
+        // (including a fresh compaction file an aborted pass may have
+        // left).  Durable page files are checkpoint state referenced by the
+        // shard manifest — never removed on drop; a stray compaction file
+        // from an unclean shutdown is cleaned up by the next `open`.
+        if self.root.ephemeral {
+            let _ = fs::remove_file(self.current_path());
+            let _ = fs::remove_file(self.fresh_path());
+        }
     }
 }
 
 impl Pager {
+    #[allow(clippy::too_many_arguments)]
     fn create(
+        backend: Arc<dyn PageIo>,
         dir: &Path,
         shard: usize,
         config: &SpillConfig,
         root: Arc<SpillRoot>,
+        durable: bool,
+        generation: u64,
+        append: u64,
     ) -> Result<Arc<Pager>, StoreError> {
-        let path = dir.join(format!("shard-{shard:03}.pages"));
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&path)
-            .map_err(io_err)?;
-        Ok(Arc::new(Pager {
-            io: Mutex::new(PageFile { file, append: 0 }),
+        let path = if durable {
+            dir.join(format!("shard-{shard:03}.g{generation}.pages"))
+        } else {
+            dir.join(format!("shard-{shard:03}.pages"))
+        };
+        let fresh = append == 0;
+        let mut file = backend.open(&path, fresh).map_err(io_err)?;
+        if !fresh {
+            // Recovery adopts exactly the manifest-referenced prefix; any
+            // bytes past it (a torn page write mid-crash) are garbage and
+            // are trimmed away.  A file *shorter* than the manifest extent
+            // is zero-extended here and then rejected by the per-page
+            // validation — either way, never served.
+            file.set_len(append).map_err(io_err)?;
+        }
+        let pager = Pager {
+            io: Mutex::new(PageFile { file, append }),
             cache: Mutex::new(PageCache::default()),
             cache_capacity: config.page_cache_pages,
             resident_budget: config.resident_budget_bytes,
@@ -236,7 +305,7 @@ impl Pager {
             faults: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
-            file_len: AtomicU64::new(0),
+            file_len: AtomicU64::new(append),
             compactions: AtomicU64::new(0),
             promotions: AtomicU64::new(0),
             demotions: AtomicU64::new(0),
@@ -246,9 +315,36 @@ impl Pager {
             compact_dead_percent: config.compact_dead_percent,
             compact_min_dead_bytes: config.compact_min_dead_bytes,
             retier_interval: config.retier_interval,
-            path,
-            _root: root,
-        }))
+            heat_decay_window: config.heat_decay_window,
+            generation: AtomicU64::new(generation),
+            durable,
+            dir: dir.to_path_buf(),
+            shard,
+            backend,
+            root,
+        };
+        Ok(Arc::new(pager))
+    }
+
+    /// Page-file path of `generation` under this pager's naming scheme.
+    fn path_for(&self, generation: u64) -> PathBuf {
+        if self.durable {
+            self.dir
+                .join(format!("shard-{:03}.g{generation}.pages", self.shard))
+        } else {
+            self.dir.join(format!("shard-{:03}.pages", self.shard))
+        }
+    }
+
+    /// Path of the page file currently serving.
+    fn current_path(&self) -> PathBuf {
+        self.path_for(self.generation.load(Ordering::Relaxed))
+    }
+
+    /// Fsyncs the page file (checkpoints call this before committing a
+    /// manifest that references its pages).
+    fn sync_file(&self) -> Result<(), StoreError> {
+        self.io.lock().file.sync().map_err(io_err)
     }
 
     /// Charges `bytes` against the shard's resident budget; `false` (and no
@@ -284,17 +380,23 @@ impl Pager {
     fn write_page(&self, segment: &Segment) -> Result<PageId, StoreError> {
         let bytes = segment.to_bytes();
         let len = u32::try_from(bytes.len()).map_err(|_| StoreError::SegmentOverflow)?;
+        let crc = crc32(&bytes);
         let offset = {
             let mut io = self.io.lock();
             let offset = io.append;
-            io.file.seek(SeekFrom::Start(offset)).map_err(io_err)?;
-            io.file.write_all(&bytes).map_err(io_err)?;
+            io.file.write_at(offset, &bytes).map_err(io_err)?;
             io.append += u64::from(len);
             self.file_len.store(io.append, Ordering::Relaxed);
             offset
         };
         self.spilled.fetch_add(bytes.len(), Ordering::Relaxed);
-        Ok(PageId { offset, len })
+        Ok(PageId { offset, len, crc })
+    }
+
+    /// Adopts an existing page (recovery): counts its bytes as live without
+    /// writing anything.
+    fn note_live_page(&self, len: u32) {
+        self.spilled.fetch_add(len as usize, Ordering::Relaxed);
     }
 
     /// Drops a page from the live-byte accounting and the cache (the bytes
@@ -343,11 +445,11 @@ impl Pager {
             }
         }
         let mut buf = vec![0u8; page.len as usize];
-        io.file.seek(SeekFrom::Start(page.offset)).map_err(io_err)?;
-        io.file.read_exact(&mut buf).map_err(io_err)?;
-        // The page crossed a trust boundary (the disk): full validation, so
-        // a torn or tampered page is an error for this request, never a
-        // panic or a silently wrong answer.
+        io.file.read_at(page.offset, &mut buf).map_err(io_err)?;
+        // The page crossed a trust boundary (the disk): checksum plus full
+        // validation, so a torn or tampered page is an error for this
+        // request, never a panic or a silently wrong answer.
+        verify_page_crc(page, &buf)?;
         let segment = Arc::new(Segment::from_bytes(&buf)?);
         self.faults.fetch_add(1, Ordering::Relaxed);
         if self.cache_capacity > 0 {
@@ -388,11 +490,12 @@ impl Pager {
     /// instead of sharing a cached copy.
     fn read_page_uncached(&self, page: PageId) -> Result<Segment, StoreError> {
         let mut buf = vec![0u8; page.len as usize];
-        {
-            let mut io = self.io.lock();
-            io.file.seek(SeekFrom::Start(page.offset)).map_err(io_err)?;
-            io.file.read_exact(&mut buf).map_err(io_err)?;
-        }
+        self.io
+            .lock()
+            .file
+            .read_at(page.offset, &mut buf)
+            .map_err(io_err)?;
+        verify_page_crc(page, &buf)?;
         Segment::from_bytes(&buf)
     }
 
@@ -432,27 +535,34 @@ impl Pager {
                     .saturating_mul(self.file_len.load(Ordering::Relaxed) as usize)
     }
 
+    /// The page-file path a committed rewrite renames to: the same path in
+    /// ephemeral mode, the next generation in durable mode (the old
+    /// generation must survive until the manifest referencing the new one
+    /// commits — crash at any point recovers to old or new, never a mix).
+    fn commit_target(&self) -> PathBuf {
+        if self.durable {
+            self.path_for(self.generation.load(Ordering::Relaxed) + 1)
+        } else {
+            self.current_path()
+        }
+    }
+
     /// Path of the in-progress compaction file next to the page file.
     fn fresh_path(&self) -> PathBuf {
-        self.path.with_extension("pages.compact")
+        self.commit_target().with_extension("pages.compact")
     }
 
     /// Opens a fresh (truncated) compaction file for a page-file rewrite.
     fn begin_rewrite(&self) -> Result<Rewrite, StoreError> {
         let path = self.fresh_path();
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&path)
-            .map_err(io_err)?;
+        let file = self.backend.open(&path, true).map_err(io_err)?;
         Ok(Rewrite {
             file,
             path,
             append: 0,
             map: HashMap::new(),
             committed: false,
+            backend: Arc::clone(&self.backend),
         })
     }
 
@@ -464,18 +574,21 @@ impl Pager {
             return Ok(());
         }
         let mut buf = vec![0u8; page.len as usize];
-        {
-            let mut io = self.io.lock();
-            io.file.seek(SeekFrom::Start(page.offset)).map_err(io_err)?;
-            io.file.read_exact(&mut buf).map_err(io_err)?;
-        }
-        rw.file.seek(SeekFrom::Start(rw.append)).map_err(io_err)?;
-        rw.file.write_all(&buf).map_err(io_err)?;
+        self.io
+            .lock()
+            .file
+            .read_at(page.offset, &mut buf)
+            .map_err(io_err)?;
+        // Refuse to propagate corruption into the rewrite: the copied page
+        // must still match the checksum recorded when it was written.
+        verify_page_crc(page, &buf)?;
+        rw.file.write_at(rw.append, &buf).map_err(io_err)?;
         rw.map.insert(
             page.offset,
             PageId {
                 offset: rw.append,
                 len: page.len,
+                crc: page.crc,
             },
         );
         rw.append += u64::from(page.len);
@@ -511,20 +624,28 @@ impl Pager {
     /// the slots with the returned map under the same lock).  On error the
     /// rewrite is discarded and the old file keeps serving.
     fn commit_rewrite(&self, mut rw: Rewrite) -> Result<HashMap<u64, PageId>, StoreError> {
-        fs::rename(&rw.path, &self.path).map_err(io_err)?;
+        // Durable rewrites sync before publishing: once the rename lands (or
+        // the manifest references the new generation), the pages must be on
+        // disk, not in a write-back cache a crash could lose.
+        if self.durable {
+            rw.file.sync().map_err(io_err)?;
+        }
+        let target = self.commit_target();
+        self.backend.rename(&rw.path, &target).map_err(io_err)?;
         rw.committed = true;
         let map = std::mem::take(&mut rw.map);
         {
             let mut io = self.io.lock();
             // Re-open rather than stealing `rw.file`: same inode after the
             // rename, and `rw` keeps its Drop impl.
-            io.file = OpenOptions::new()
-                .read(true)
-                .write(true)
-                .open(&self.path)
-                .map_err(io_err)?;
+            io.file = self.backend.open(&target, false).map_err(io_err)?;
             io.append = rw.append;
             self.file_len.store(rw.append, Ordering::Relaxed);
+        }
+        if self.durable {
+            // The new generation is now current; the old file stays on disk
+            // until the caller commits a manifest referencing the new one.
+            self.generation.fetch_add(1, Ordering::Relaxed);
         }
         let mut cache = self.cache.lock();
         let old_entries = std::mem::take(&mut cache.entries);
@@ -547,22 +668,21 @@ impl Pager {
 /// fresh file, so an aborted compaction leaves only the old file serving
 /// and no stray compaction files on disk.
 struct Rewrite {
-    file: File,
+    file: Box<dyn FileIo>,
     path: PathBuf,
     append: u64,
     /// Old page-file offset → page location in the fresh file.
     map: HashMap<u64, PageId>,
     committed: bool,
+    backend: Arc<dyn PageIo>,
 }
 
 impl Rewrite {
     /// Reads one copied page back from the fresh file and validates it.
     fn read_back(&mut self, page: PageId) -> Result<(), StoreError> {
         let mut buf = vec![0u8; page.len as usize];
-        self.file
-            .seek(SeekFrom::Start(page.offset))
-            .map_err(io_err)?;
-        self.file.read_exact(&mut buf).map_err(io_err)?;
+        self.file.read_at(page.offset, &mut buf).map_err(io_err)?;
+        verify_page_crc(page, &buf)?;
         Segment::from_bytes(&buf)?;
         Ok(())
     }
@@ -571,7 +691,7 @@ impl Rewrite {
 impl Drop for Rewrite {
     fn drop(&mut self) {
         if !self.committed {
-            let _ = fs::remove_file(&self.path);
+            let _ = self.backend.remove(&self.path);
         }
     }
 }
@@ -628,21 +748,32 @@ impl SlotMeta {
     }
 }
 
-/// Where a sealed segment's bytes currently live.
+/// A decoded segment held in memory, with its budget charge.
 #[derive(Debug)]
-enum Backing {
-    /// Hot: the decoded segment is held in memory and charged against the
-    /// shard's resident budget.
-    Resident { segment: Segment, charged: usize },
-    /// Cold: only the summary is resident; the encoded page lives in the
-    /// shard's page file.
-    Spilled { page: PageId },
+struct ResidentSeg {
+    segment: Segment,
+    charged: usize,
 }
 
+/// One sealed segment of a list.  Residency and on-disk presence are
+/// independent: an ephemeral slot is either resident or paged; a durable
+/// slot can be both — promotion keeps the page (it is checkpoint state,
+/// still byte-identical to the segment), and a resident slot without a page
+/// gets one materialized at the next checkpoint.  At least one of the two
+/// is always present.
 #[derive(Debug)]
 struct Slot {
     meta: SlotMeta,
-    backing: Backing,
+    /// Hot copy, charged against the shard's resident budget.
+    resident: Option<ResidentSeg>,
+    /// Location of the sealed page in the shard's page file.
+    page: Option<PageId>,
+}
+
+impl Slot {
+    fn is_resident(&self) -> bool {
+        self.resident.is_some()
+    }
 }
 
 /// A segment either borrowed from a resident slot or faulted in from disk.
@@ -701,12 +832,9 @@ impl SpillList {
         Ok(list)
     }
 
-    /// Number of sealed slots currently spilled to disk (tests, reports).
+    /// Number of sealed slots currently cold (not resident; tests, reports).
     pub fn spilled_slots(&self) -> usize {
-        self.slots
-            .iter()
-            .filter(|s| matches!(s.backing, Backing::Spilled { .. }))
-            .count()
+        self.slots.iter().filter(|s| !s.is_resident()).count()
     }
 
     /// Number of sealed slots (resident + spilled).
@@ -725,7 +853,7 @@ impl SpillList {
                 Ok(slot) => slots.push(slot),
                 Err(e) => {
                     for slot in slots {
-                        self.release_slot(&slot.backing);
+                        self.release_slot(&slot);
                     }
                     return Err(e);
                 }
@@ -740,22 +868,33 @@ impl SpillList {
         // invariant (`resident_charge` == Σ charged == Σ exact resident
         // bytes) holds by construction on every placement path.
         let charge = meta.resident_cost;
-        let backing = if self.pager.try_charge(charge) {
-            Backing::Resident {
-                segment,
-                charged: charge,
-            }
+        if self.pager.try_charge(charge) {
+            // A durable resident slot has no page yet; the next checkpoint
+            // materializes it.  The WAL covers the window in between.
+            Ok(Slot {
+                meta,
+                resident: Some(ResidentSeg {
+                    segment,
+                    charged: charge,
+                }),
+                page: None,
+            })
         } else {
             let page = self.pager.write_page(&segment)?;
-            Backing::Spilled { page }
-        };
-        Ok(Slot { meta, backing })
+            Ok(Slot {
+                meta,
+                resident: None,
+                page: Some(page),
+            })
+        }
     }
 
-    fn release_slot(&self, backing: &Backing) {
-        match backing {
-            Backing::Resident { charged, .. } => self.pager.uncharge(*charged),
-            Backing::Spilled { page } => self.pager.release_page(*page),
+    fn release_slot(&self, slot: &Slot) {
+        if let Some(resident) = &slot.resident {
+            self.pager.uncharge(resident.charged);
+        }
+        if let Some(page) = slot.page {
+            self.pager.release_page(page);
         }
     }
 
@@ -769,9 +908,10 @@ impl SpillList {
         slot.meta
             .last_access
             .store(self.pager.touch_tick(), Ordering::Relaxed);
-        match &slot.backing {
-            Backing::Resident { segment, .. } => Ok(SegRef::Resident(segment)),
-            Backing::Spilled { page } => Ok(SegRef::Paged(self.pager.fetch(*page)?)),
+        match (&slot.resident, slot.page) {
+            (Some(resident), _) => Ok(SegRef::Resident(&resident.segment)),
+            (None, Some(page)) => Ok(SegRef::Paged(self.pager.fetch(page)?)),
+            (None, None) => unreachable!("a slot is resident or paged"),
         }
     }
 
@@ -802,14 +942,13 @@ impl SpillList {
         while self.slots.len() > self.config.max_segments {
             let mut best: Option<(usize, usize)> = None;
             for i in 0..self.slots.len() - 1 {
-                let (Backing::Resident { segment: a, .. }, Backing::Resident { segment: b, .. }) =
-                    (&self.slots[i].backing, &self.slots[i + 1].backing)
+                let (Some(a), Some(b)) = (&self.slots[i].resident, &self.slots[i + 1].resident)
                 else {
                     continue;
                 };
                 let combined = self.slots[i].meta.elems + self.slots[i + 1].meta.elems;
                 if combined <= self.config.max_segment_elems
-                    && a.payload_len() + b.payload_len() <= byte_bound
+                    && a.segment.payload_len() + b.segment.payload_len() <= byte_bound
                     && best.is_none_or(|(_, c)| combined < c)
                 {
                     best = Some((i, combined));
@@ -818,22 +957,19 @@ impl SpillList {
             let Some((i, _)) = best else { break };
             let right = self.slots.remove(i + 1);
             let left = self.slots.remove(i);
-            let (
-                Backing::Resident {
-                    segment: mut merged,
-                    charged: charged_left,
-                },
-                Backing::Resident {
-                    segment: right_seg,
-                    charged: charged_right,
-                },
-            ) = (left.backing, right.backing)
-            else {
+            let (Some(left_res), Some(right_res)) = (left.resident, right.resident) else {
                 unreachable!("compaction only selects resident pairs");
             };
-            match merged.absorb(right_seg) {
+            let mut merged = left_res.segment;
+            match merged.absorb(right_res.segment) {
                 Ok(()) => {
-                    self.pager.uncharge(charged_left + charged_right);
+                    self.pager.uncharge(left_res.charged + right_res.charged);
+                    // The merged segment supersedes both slots' checkpoint
+                    // pages (if any): release them, the next checkpoint
+                    // writes the merged page.
+                    for page in [left.page, right.page].into_iter().flatten() {
+                        self.pager.release_page(page);
+                    }
                     let meta = SlotMeta::of(&merged);
                     // The merged segment stays resident: compaction must not
                     // turn a hot pair cold.  If the budget cannot cover the
@@ -849,10 +985,11 @@ impl SpillList {
                         i,
                         Slot {
                             meta,
-                            backing: Backing::Resident {
+                            resident: Some(ResidentSeg {
                                 segment: merged,
                                 charged: charge,
-                            },
+                            }),
+                            page: None,
                         },
                     );
                 }
@@ -863,20 +1000,22 @@ impl SpillList {
                         i,
                         Slot {
                             meta: SlotMeta::of(&right_seg),
-                            backing: Backing::Resident {
+                            resident: Some(ResidentSeg {
                                 segment: right_seg,
-                                charged: charged_right,
-                            },
+                                charged: right_res.charged,
+                            }),
+                            page: right.page,
                         },
                     );
                     self.slots.insert(
                         i,
                         Slot {
                             meta: SlotMeta::of(&merged),
-                            backing: Backing::Resident {
+                            resident: Some(ResidentSeg {
                                 segment: merged,
-                                charged: charged_left,
-                            },
+                                charged: left_res.charged,
+                            }),
+                            page: left.page,
                         },
                     );
                     break;
@@ -891,17 +1030,17 @@ impl SpillList {
     /// old page as file garbage.
     fn rebuild_slot(&mut self, k: usize, decoded: Vec<OrderedElement>) -> Result<(), StoreError> {
         let rebuilt = encode_rebuilt(&decoded, &self.config)?;
-        let was_spilled = matches!(self.slots[k].backing, Backing::Spilled { .. });
+        let was_cold = !self.slots[k].is_resident();
         // Free the old slot's budget charge up front so the rebuilt
         // segments compete for the bytes the slot itself was holding —
         // otherwise a near-full budget would demote a hot resident head to
         // disk on every interior insert.  Restored if placement fails.
-        let old_charge = match &self.slots[k].backing {
-            Backing::Resident { charged, .. } => *charged,
-            Backing::Spilled { .. } => 0,
-        };
+        let old_charge = self.slots[k]
+            .resident
+            .as_ref()
+            .map_or(0, |resident| resident.charged);
         self.pager.uncharge(old_charge);
-        let placed = if was_spilled {
+        let placed = if was_cold {
             // Stay cold: the segment was not worth resident bytes before the
             // insert and one insert does not make it hot.
             let mut slots = Vec::with_capacity(rebuilt.len());
@@ -911,11 +1050,12 @@ impl SpillList {
                 match self.pager.write_page(&segment) {
                     Ok(page) => slots.push(Slot {
                         meta,
-                        backing: Backing::Spilled { page },
+                        resident: None,
+                        page: Some(page),
                     }),
                     Err(e) => {
                         for slot in slots.drain(..) {
-                            self.release_slot(&slot.backing);
+                            self.release_slot(&slot);
                         }
                         failure = Some(e);
                         break;
@@ -946,10 +1086,10 @@ impl SpillList {
         self.seg_elems += 1;
         let old: Vec<Slot> = self.slots.splice(k..=k, new_slots).collect();
         for slot in old {
-            match slot.backing {
-                // The budget charge was already released above.
-                Backing::Resident { .. } => {}
-                Backing::Spilled { page } => self.pager.release_page(page),
+            // The budget charge was already released above; only the
+            // superseded page (now file garbage) remains to account for.
+            if let Some(page) = slot.page {
+                self.pager.release_page(page);
             }
         }
         if self.slots.len() > self.config.max_segments {
@@ -958,22 +1098,23 @@ impl SpillList {
         Ok(())
     }
 
-    /// Appends the live pages of the list's spilled slots onto `out` (the
-    /// compaction snapshot).
+    /// Appends the live pages of the list's slots onto `out` (the
+    /// compaction snapshot).  In durable mode this includes the checkpoint
+    /// pages of resident slots.
     fn live_pages(&self, out: &mut Vec<PageId>) {
         for slot in &self.slots {
-            if let Backing::Spilled { page } = slot.backing {
+            if let Some(page) = slot.page {
                 out.push(page);
             }
         }
     }
 
-    /// Rewrites every spilled slot's page location through the compaction
+    /// Rewrites every paged slot's page location through the compaction
     /// offset map.  Runs under the shard write lock right after the swap;
     /// the straggler pass under the same lock guarantees coverage.
     fn remap_pages(&mut self, map: &HashMap<u64, PageId>) {
         for slot in &mut self.slots {
-            if let Backing::Spilled { page } = &mut slot.backing {
+            if let Some(page) = &mut slot.page {
                 *page = *map
                     .get(&page.offset)
                     .expect("compaction copied every live page before the swap");
@@ -981,12 +1122,81 @@ impl SpillList {
         }
     }
 
+    /// Ensures slot `k` has an on-disk page (checkpoint materialization for
+    /// resident slots placed since the last checkpoint), returning it.
+    fn ensure_page(&mut self, k: usize) -> Result<PageId, StoreError> {
+        if let Some(page) = self.slots[k].page {
+            return Ok(page);
+        }
+        let resident = self.slots[k]
+            .resident
+            .as_ref()
+            .expect("a pageless slot is resident");
+        let page = self.pager.write_page(&resident.segment)?;
+        self.slots[k].page = Some(page);
+        Ok(page)
+    }
+
+    /// Checkpoint view of this list: every sealed slot's page (materialized
+    /// on demand) plus the current tail.  Runs under the shard write lock.
+    fn manifest_list(&mut self) -> Result<ManifestList, StoreError> {
+        let mut pages = Vec::with_capacity(self.slots.len());
+        for k in 0..self.slots.len() {
+            let page = self.ensure_page(k)?;
+            pages.push((page.offset, page.len, page.crc));
+        }
+        Ok(ManifestList {
+            pages,
+            tail: self.tail.clone(),
+        })
+    }
+
+    /// Rebuilds a list from checkpoint state: every manifest page is read
+    /// and fully validated (`Segment::from_bytes`), kept resident while the
+    /// shard budget lasts (the page is retained either way — it is
+    /// checkpoint state), and the manifest's tail is adopted as the mutable
+    /// tail.  Returns the list and the number of pages recovered.
+    fn from_recovered(
+        manifest: &ManifestList,
+        config: SegmentConfig,
+        pager: Arc<Pager>,
+    ) -> Result<(Self, u64), StoreError> {
+        let mut slots = Vec::with_capacity(manifest.pages.len());
+        let mut seg_elems = 0usize;
+        for &(offset, len, crc) in &manifest.pages {
+            let page = PageId { offset, len, crc };
+            let segment = pager.read_page_uncached(page)?;
+            let meta = SlotMeta::of(&segment);
+            seg_elems += meta.elems;
+            let charge = meta.resident_cost;
+            let resident = pager.try_charge(charge).then_some(ResidentSeg {
+                segment,
+                charged: charge,
+            });
+            pager.note_live_page(len);
+            slots.push(Slot {
+                meta,
+                resident,
+                page: Some(page),
+            });
+        }
+        let recovered = manifest.pages.len() as u64;
+        let list = SpillList {
+            slots,
+            tail: manifest.tail.clone(),
+            config,
+            pager,
+            seg_elems,
+        };
+        Ok((list, recovered))
+    }
+
     /// Appends the list's sealed slots as retier candidates onto `out`.
     fn tier_candidates(&self, list: usize, out: &mut Vec<TierSlot>) {
         for (k, slot) in self.slots.iter().enumerate() {
-            let (resident, cost) = match &slot.backing {
-                Backing::Resident { charged, .. } => (true, *charged),
-                Backing::Spilled { .. } => (false, slot.meta.resident_cost),
+            let (resident, cost) = match &slot.resident {
+                Some(res) => (true, res.charged),
+                None => (false, slot.meta.resident_cost),
             };
             out.push(TierSlot {
                 list,
@@ -994,32 +1204,40 @@ impl SpillList {
                 heat: slot.meta.last_access.load(Ordering::Relaxed),
                 cost,
                 resident,
+                decayed: false,
             });
         }
     }
 
     /// Demotes resident slot `k` to the shard's page file (no-op if it is
-    /// already spilled).  On write failure the slot stays resident.
+    /// already cold).  A durable slot that still carries its checkpoint
+    /// page skips the write — the page is already byte-identical.  On write
+    /// failure the slot stays resident.
     fn demote_slot(&mut self, k: usize) -> Result<(), StoreError> {
-        let (page, charged) = {
-            let Backing::Resident { segment, charged } = &self.slots[k].backing else {
-                return Ok(());
-            };
-            (self.pager.write_page(segment)?, *charged)
-        };
-        self.slots[k].backing = Backing::Spilled { page };
-        self.pager.uncharge(charged);
+        if !self.slots[k].is_resident() {
+            return Ok(());
+        }
+        if self.slots[k].page.is_none() {
+            let resident = self.slots[k].resident.as_ref().expect("checked resident");
+            let page = self.pager.write_page(&resident.segment)?;
+            self.slots[k].page = Some(page);
+        }
+        let resident = self.slots[k].resident.take().expect("checked resident");
+        self.pager.uncharge(resident.charged);
         self.pager.demotions.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
-    /// Promotes spilled slot `k` back to the resident tier; `Ok(false)`
-    /// when the budget cannot cover its exact decoded size.  The old page
-    /// is released (stranding its file bytes for compaction).
+    /// Promotes cold slot `k` back to the resident tier; `Ok(false)` when
+    /// the budget cannot cover its exact decoded size.  Ephemeral mode
+    /// releases the page (stranding its file bytes for compaction); durable
+    /// mode keeps it — the page is checkpoint state and still matches the
+    /// segment byte for byte.
     fn promote_slot(&mut self, k: usize) -> Result<bool, StoreError> {
-        let Backing::Spilled { page } = self.slots[k].backing else {
+        if self.slots[k].is_resident() {
             return Ok(false);
-        };
+        }
+        let page = self.slots[k].page.expect("a cold slot has a page");
         let segment = self.pager.read_page_uncached(page)?;
         // The decoded capacities can differ from the cost metered at the
         // pre-spill encode: re-meter so the charge stays exact.
@@ -1027,12 +1245,15 @@ impl SpillList {
         if !self.pager.try_charge(charge) {
             return Ok(false);
         }
-        self.pager.release_page(page);
+        if !self.pager.durable {
+            self.pager.release_page(page);
+            self.slots[k].page = None;
+        }
         self.slots[k].meta.resident_cost = charge;
-        self.slots[k].backing = Backing::Resident {
+        self.slots[k].resident = Some(ResidentSeg {
             segment,
             charged: charge,
-        };
+        });
         self.pager.promotions.fetch_add(1, Ordering::Relaxed);
         Ok(true)
     }
@@ -1041,10 +1262,7 @@ impl SpillList {
     fn charged_bytes(&self) -> usize {
         self.slots
             .iter()
-            .map(|slot| match &slot.backing {
-                Backing::Resident { charged, .. } => *charged,
-                Backing::Spilled { .. } => 0,
-            })
+            .filter_map(|slot| slot.resident.as_ref().map(|res| res.charged))
             .sum()
     }
 
@@ -1052,11 +1270,12 @@ impl SpillList {
     /// resident bytes and its metered `resident_cost` (the per-slot half of
     /// the budget invariant).
     fn charges_exact(&self) -> bool {
-        self.slots.iter().all(|slot| match &slot.backing {
-            Backing::Resident { segment, charged } => {
-                *charged == segment.resident_bytes() && *charged == slot.meta.resident_cost
+        self.slots.iter().all(|slot| match &slot.resident {
+            Some(res) => {
+                res.charged == res.segment.resident_bytes()
+                    && res.charged == slot.meta.resident_cost
             }
-            Backing::Spilled { .. } => true,
+            None => true,
         })
     }
 }
@@ -1069,6 +1288,9 @@ struct TierSlot {
     heat: u64,
     cost: usize,
     resident: bool,
+    /// Set by the retier pass when the slot's heat fell outside the decay
+    /// window: treated as never-read, including for the resident-keep rule.
+    decayed: bool,
 }
 
 impl OrderedList for SpillList {
@@ -1276,10 +1498,9 @@ impl OrderedList for SpillList {
                 .map(|s| {
                     std::mem::size_of::<Slot>()
                         + s.meta.counts.capacity() * std::mem::size_of::<(GroupId, u32)>()
-                        + match &s.backing {
-                            Backing::Resident { segment, .. } => segment.resident_bytes(),
-                            Backing::Spilled { .. } => 0,
-                        }
+                        + s.resident
+                            .as_ref()
+                            .map_or(0, |res| res.segment.resident_bytes())
                 })
                 .sum::<usize>()
             + self.tail.capacity() * std::mem::size_of::<OrderedElement>()
@@ -1308,6 +1529,163 @@ fn unique_temp_dir() -> PathBuf {
     ))
 }
 
+/// Like [`unique_temp_dir`] but under `zerber-durable`: the staging root for
+/// *ephemeral-durable* stores (full WAL/manifest machinery, temp-dir
+/// lifetime) the server's `StoreEngine::Durable` and the equivalence suite
+/// use.
+fn unique_durable_temp_dir() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join("zerber-durable").join(format!(
+        "{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Per-shard write-ahead-log handle.
+#[derive(Debug)]
+struct WalFile {
+    file: Box<dyn FileIo>,
+    /// Current log length (the append cursor).
+    len: u64,
+    /// Sequence number the next append will take (per-shard, monotonic,
+    /// survives WAL resets).
+    next_seq: u64,
+    /// Appends since the last fsync (the `EveryN` policy counter).
+    appends_since_sync: u32,
+}
+
+/// The durability side of a [`SpillStore`]: per-shard WALs, manifest
+/// commits, and the durability meters.
+#[derive(Debug)]
+struct DurableState {
+    backend: Arc<dyn PageIo>,
+    dir: PathBuf,
+    config: DurableConfig,
+    wals: Vec<Mutex<WalFile>>,
+    wal_appends: AtomicU64,
+    wal_bytes: AtomicU64,
+    recovered_pages: AtomicU64,
+    truncated_wal: AtomicU64,
+    root: Arc<SpillRoot>,
+}
+
+impl Drop for DurableState {
+    fn drop(&mut self) {
+        // Durable roots persist; only the ephemeral-durable flavour (temp
+        // dir lifetime) cleans its files up so the staging root stays free
+        // of strays.
+        if !self.root.ephemeral {
+            return;
+        }
+        for shard in 0..self.wals.len() {
+            let _ = fs::remove_file(self.wal_path(shard));
+            let _ = fs::remove_file(self.manifest_path(shard));
+            let _ = fs::remove_file(manifest_tmp_path(&self.manifest_path(shard)));
+            let _ = fs::remove_file(manifest_prev_path(&self.manifest_path(shard)));
+        }
+        let _ = fs::remove_file(self.dir.join(STORE_META_NAME));
+    }
+}
+
+const STORE_META_NAME: &str = "store.meta";
+
+fn manifest_tmp_path(manifest: &Path) -> PathBuf {
+    manifest.with_extension("manifest.tmp")
+}
+
+fn manifest_prev_path(manifest: &Path) -> PathBuf {
+    manifest.with_extension("manifest.prev")
+}
+
+impl DurableState {
+    fn wal_path(&self, shard: usize) -> PathBuf {
+        self.dir.join(format!("shard-{shard:03}.wal"))
+    }
+
+    fn manifest_path(&self, shard: usize) -> PathBuf {
+        self.dir.join(format!("shard-{shard:03}.manifest"))
+    }
+
+    /// Appends one insert to the shard's WAL, applying the configured fsync
+    /// policy.  Called under the shard write lock, immediately after the
+    /// in-memory apply — log order is apply order.
+    fn append(&self, shard: usize, list: u64, element: &OrderedElement) -> Result<(), StoreError> {
+        let mut wal = self.wals[shard].lock();
+        let frame = encode_wal_frame(wal.next_seq, list, element)?;
+        let at = wal.len;
+        wal.file.write_at(at, &frame).map_err(io_err)?;
+        wal.len += frame.len() as u64;
+        wal.next_seq += 1;
+        self.wal_appends.fetch_add(1, Ordering::Relaxed);
+        self.wal_bytes
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        match self.config.sync {
+            SyncPolicy::Always => wal.file.sync().map_err(io_err)?,
+            SyncPolicy::EveryN(n) => {
+                wal.appends_since_sync += 1;
+                if n > 0 && wal.appends_since_sync >= n {
+                    wal.file.sync().map_err(io_err)?;
+                    wal.appends_since_sync = 0;
+                }
+            }
+            SyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Sequence number of the last record applied (and logged) on `shard`.
+    /// Stable while the shard write lock is held.
+    fn applied_seq(&self, shard: usize) -> u64 {
+        self.wals[shard].lock().next_seq - 1
+    }
+
+    /// Whether the shard's WAL has grown past the checkpoint threshold.
+    fn checkpoint_due(&self, shard: usize) -> bool {
+        self.config.checkpoint_wal_bytes > 0
+            && self.wals[shard].lock().len >= self.config.checkpoint_wal_bytes
+    }
+
+    /// Commits `manifest` for `shard`: write tmp, fsync, atomic rename.
+    /// Crash before the rename leaves the old manifest authoritative; the
+    /// tmp file is swept by the next `open`.
+    fn commit_manifest(&self, shard: usize, manifest: &Manifest) -> Result<(), StoreError> {
+        let bytes = encode_manifest(manifest)?;
+        let path = self.manifest_path(shard);
+        let tmp = manifest_tmp_path(&path);
+        {
+            let mut file = self.backend.open(&tmp, true).map_err(io_err)?;
+            file.write_at(0, &bytes).map_err(io_err)?;
+            file.sync().map_err(io_err)?;
+        }
+        // Demote the live manifest to the fallback slot before renaming the
+        // fresh one in.  Recovery prefers the current manifest and falls
+        // back to `.manifest.prev`, so a crash between the renames — or a
+        // lying fsync publishing a half-written current manifest — still
+        // leaves a valid checkpoint to recover from (the WAL it covers is
+        // only truncated after this commit returns).
+        if self.backend.exists(&path) {
+            self.backend
+                .rename(&path, &manifest_prev_path(&path))
+                .map_err(io_err)?;
+        }
+        self.backend.rename(&tmp, &path).map_err(io_err)
+    }
+
+    /// Truncates the shard's WAL after a successful checkpoint.  The
+    /// sequence counter keeps running — manifests record the applied
+    /// sequence, so a crash between the manifest rename and this truncate
+    /// merely leaves stale records the next replay skips.
+    fn reset_wal(&self, shard: usize) -> Result<(), StoreError> {
+        let mut wal = self.wals[shard].lock();
+        wal.file.set_len(0).map_err(io_err)?;
+        wal.file.sync().map_err(io_err)?;
+        wal.len = 0;
+        wal.appends_since_sync = 0;
+        Ok(())
+    }
+}
+
 /// The fourth storage engine: sharded spill-to-disk segment storage.
 ///
 /// Built on the same [`ShardedCore`] concurrency machinery (and therefore
@@ -1320,6 +1698,8 @@ fn unique_temp_dir() -> PathBuf {
 pub struct SpillStore {
     core: ShardedCore<SpillList>,
     pagers: Vec<Arc<Pager>>,
+    /// WAL/manifest machinery; `None` for ephemeral (cache-only) stores.
+    durable: Option<DurableState>,
 }
 
 impl SpillStore {
@@ -1353,26 +1733,35 @@ impl SpillStore {
         // Refuse a directory another store is already using: page files are
         // opened with truncate and deleted on drop, so sharing a root would
         // silently clobber the other store's cold data.
-        for entry in fs::read_dir(&dir).map_err(io_err)? {
-            let name = entry.map_err(io_err)?.file_name();
-            let name = name.to_string_lossy();
-            if name.ends_with(".pages") || name.ends_with(".pages.compact") {
-                return Err(StoreError::Io(format!(
-                    "spill directory {} already holds page files ({name}); \
-                     every store needs its own root",
-                    dir.display(),
-                )));
-            }
-        }
-        let root = Arc::new(SpillRoot { dir: dir.clone() });
+        refuse_occupied_root(&dir)?;
+        let root = Arc::new(SpillRoot {
+            dir: dir.clone(),
+            ephemeral: true,
+        });
         let num_shards = num_shards.clamp(1, MAX_SHARDS);
+        let backend = RealIo::shared();
         let pagers: Vec<Arc<Pager>> = (0..num_shards)
-            .map(|shard| Pager::create(&dir, shard, &config, Arc::clone(&root)))
+            .map(|shard| {
+                Pager::create(
+                    Arc::clone(&backend),
+                    &dir,
+                    shard,
+                    &config,
+                    Arc::clone(&root),
+                    false,
+                    0,
+                    0,
+                )
+            })
             .collect::<Result<_, _>>()?;
         let core = ShardedCore::build(index, num_shards, |shard, list| {
             SpillList::build(list, segment, Arc::clone(&pagers[shard]))
         })?;
-        Ok(SpillStore { core, pagers })
+        Ok(SpillStore {
+            core,
+            pagers,
+            durable: None,
+        })
     }
 
     /// Builds a spill store in a fresh unique directory under the system
@@ -1396,9 +1785,471 @@ impl SpillStore {
         Self::with_configs(index, num_shards, unique_temp_dir(), config, segment)
     }
 
+    /// Creates a **durable** store rooted at `dir` with default segment
+    /// tuning: page files become checkpoint state, tail inserts are
+    /// write-ahead logged, and the directory survives drop —
+    /// [`SpillStore::open`] brings the store back.
+    pub fn create_durable(
+        index: OrderedIndex,
+        dir: impl Into<PathBuf>,
+        num_shards: usize,
+        config: SpillConfig,
+        durable: DurableConfig,
+    ) -> Result<Self, StoreError> {
+        Self::create_durable_with(
+            index,
+            dir,
+            num_shards,
+            config,
+            SegmentConfig::default(),
+            durable,
+            RealIo::shared(),
+            false,
+        )
+    }
+
+    /// Full-control durable creation: explicit segment tuning, IO backend
+    /// (the fault-injection tests substitute [`crate::durable::FaultIo`])
+    /// and lifecycle (`ephemeral` roots are temp-dir stores that clean up
+    /// on drop but still run the full durability machinery).
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_durable_with(
+        index: OrderedIndex,
+        dir: impl Into<PathBuf>,
+        num_shards: usize,
+        config: SpillConfig,
+        segment: SegmentConfig,
+        durable: DurableConfig,
+        backend: Arc<dyn PageIo>,
+        ephemeral: bool,
+    ) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(io_err)?;
+        if backend.exists(&dir.join(STORE_META_NAME)) {
+            return Err(StoreError::Io(format!(
+                "directory {} already holds a durable store; open it instead of re-creating",
+                dir.display(),
+            )));
+        }
+        refuse_occupied_root(&dir)?;
+        let root = Arc::new(SpillRoot {
+            dir: dir.clone(),
+            ephemeral,
+        });
+        let num_shards = num_shards.clamp(1, MAX_SHARDS);
+        // Persist the store's identity first: shard count, segment layout
+        // and the merge plan, everything `open` needs before it can touch a
+        // shard.  Committed via tmp + fsync + rename like the manifests.
+        let plan = index.plan().clone();
+        let meta = StoreMeta {
+            num_shards: num_shards as u64,
+            segment,
+            scheme: plan.scheme().to_string(),
+            r: plan.r(),
+            term_lists: (0..plan.num_lists())
+                .map(|l| {
+                    plan.list_terms(zerber_base::MergedListId(l as u64))
+                        .map(|terms| terms.iter().map(|t| t.0).collect())
+                })
+                .collect::<Result<Vec<Vec<u32>>, _>>()
+                .map_err(|_| StoreError::Io("merge plan enumeration failed".to_string()))?,
+        };
+        let meta_path = dir.join(STORE_META_NAME);
+        let meta_tmp = dir.join("store.meta.tmp");
+        {
+            let mut file = backend.open(&meta_tmp, true).map_err(io_err)?;
+            file.write_at(0, &encode_store_meta(&meta))
+                .map_err(io_err)?;
+            file.sync().map_err(io_err)?;
+        }
+        backend.rename(&meta_tmp, &meta_path).map_err(io_err)?;
+        let pagers: Vec<Arc<Pager>> = (0..num_shards)
+            .map(|shard| {
+                Pager::create(
+                    Arc::clone(&backend),
+                    &dir,
+                    shard,
+                    &config,
+                    Arc::clone(&root),
+                    true,
+                    0,
+                    0,
+                )
+            })
+            .collect::<Result<_, _>>()?;
+        let core = ShardedCore::build(index, num_shards, |shard, list| {
+            SpillList::build(list, segment, Arc::clone(&pagers[shard]))
+        })?;
+        let wals = (0..num_shards)
+            .map(|shard| {
+                let path = dir.join(format!("shard-{shard:03}.wal"));
+                let file = backend.open(&path, true).map_err(io_err)?;
+                Ok(Mutex::new(WalFile {
+                    file,
+                    len: 0,
+                    next_seq: 1,
+                    appends_since_sync: 0,
+                }))
+            })
+            .collect::<Result<Vec<_>, StoreError>>()?;
+        let store = SpillStore {
+            core,
+            pagers,
+            durable: Some(DurableState {
+                backend,
+                dir,
+                config: durable,
+                wals,
+                wal_appends: AtomicU64::new(0),
+                wal_bytes: AtomicU64::new(0),
+                recovered_pages: AtomicU64::new(0),
+                truncated_wal: AtomicU64::new(0),
+                root,
+            }),
+        };
+        // The initial checkpoint makes the store openable from the first
+        // moment: every shard gets a manifest covering the built state.
+        store.checkpoint()?;
+        Ok(store)
+    }
+
+    /// Builds an ephemeral-durable store in a fresh temp directory: full
+    /// WAL/checkpoint machinery, temp-dir lifetime (files removed on drop).
+    /// The `StoreEngine::Durable` entry point.
+    pub fn durable_in_temp_dir(
+        index: OrderedIndex,
+        num_shards: usize,
+        config: SpillConfig,
+        durable: DurableConfig,
+    ) -> Result<Self, StoreError> {
+        Self::create_durable_with(
+            index,
+            unique_durable_temp_dir(),
+            num_shards,
+            config,
+            SegmentConfig::default(),
+            durable,
+            RealIo::shared(),
+            true,
+        )
+    }
+
+    /// Like [`SpillStore::durable_in_temp_dir`] with explicit segment
+    /// tuning (the equivalence suite uses tiny segments).
+    pub fn durable_in_temp_dir_with(
+        index: OrderedIndex,
+        num_shards: usize,
+        config: SpillConfig,
+        segment: SegmentConfig,
+        durable: DurableConfig,
+    ) -> Result<Self, StoreError> {
+        Self::create_durable_with(
+            index,
+            unique_durable_temp_dir(),
+            num_shards,
+            config,
+            segment,
+            durable,
+            RealIo::shared(),
+            true,
+        )
+    }
+
+    /// Recovers a durable store from `dir` (production IO): reads the
+    /// checkpoint manifests, replays the WAL tails, truncates torn logs and
+    /// audits the result.  See [`SpillStore::open_with_io`].
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        config: SpillConfig,
+        durable: DurableConfig,
+    ) -> Result<Self, StoreError> {
+        Self::open_with_io(dir, config, durable, RealIo::shared())
+    }
+
+    /// Crash recovery.  For every shard: load + CRC-validate the manifest,
+    /// adopt exactly the pages it references (each decoded through the
+    /// fully validating `Segment::from_bytes`), sweep stray scratch files
+    /// (compaction leftovers, superseded page-file generations, manifest
+    /// temp files), then replay the WAL tail through the ordinary insert
+    /// path — a torn or corrupt tail truncates at the last valid record and
+    /// the store keeps serving.  Before the store is returned it must pass
+    /// `budget_accounting_is_exact` plus a full ordering/visibility audit;
+    /// a store that cannot satisfy its own invariants is refused, never
+    /// served.
+    pub fn open_with_io(
+        dir: impl Into<PathBuf>,
+        config: SpillConfig,
+        durable: DurableConfig,
+        backend: Arc<dyn PageIo>,
+    ) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        let meta_bytes = read_all(&*backend, &dir.join(STORE_META_NAME))?;
+        let meta = decode_store_meta(&meta_bytes)?;
+        let num_shards = usize::try_from(meta.num_shards)
+            .ok()
+            .filter(|&n| (1..=MAX_SHARDS).contains(&n))
+            .ok_or_else(|| {
+                StoreError::CorruptSegment("implausible shard count in store metadata".to_string())
+            })?;
+        let plan = zerber_base::MergePlan::from_term_lists(
+            meta.term_lists
+                .iter()
+                .map(|terms| terms.iter().map(|&t| TermId(t)).collect())
+                .collect(),
+            &meta.scheme,
+            meta.r,
+        );
+        let root = Arc::new(SpillRoot {
+            dir: dir.clone(),
+            ephemeral: false,
+        });
+        let mut manifests = Vec::with_capacity(num_shards);
+        let mut pagers = Vec::with_capacity(num_shards);
+        for shard in 0..num_shards {
+            let manifest_path = dir.join(format!("shard-{shard:03}.manifest"));
+            // Prefer the current manifest; if it is missing or corrupt (a
+            // crash between the commit renames, or a lying fsync that
+            // published a hollow file) fall back to the previous one.  The
+            // WAL covering the previous checkpoint is only truncated after
+            // the new manifest commits, so the fallback plus replay still
+            // reconstructs a consistent prefix of history.
+            let manifest = match read_all(&*backend, &manifest_path)
+                .and_then(|bytes| decode_manifest(&bytes))
+            {
+                Ok(manifest) => manifest,
+                Err(primary) => {
+                    let prev_path = manifest_prev_path(&manifest_path);
+                    match read_all(&*backend, &prev_path).and_then(|bytes| decode_manifest(&bytes))
+                    {
+                        Ok(manifest) => {
+                            // Promote the fallback back into the current
+                            // slot so a later checkpoint cannot demote the
+                            // corrupt current manifest over it.
+                            backend.rename(&prev_path, &manifest_path).map_err(io_err)?;
+                            manifest
+                        }
+                        Err(_) => return Err(primary),
+                    }
+                }
+            };
+            // The append cursor resumes exactly past the manifest extent;
+            // anything beyond it in the file is a torn page write.
+            let append = manifest
+                .lists
+                .iter()
+                .flat_map(|l| l.pages.iter())
+                .map(|&(offset, len, _crc)| offset + u64::from(len))
+                .max()
+                .unwrap_or(0);
+            pagers.push(Pager::create(
+                Arc::clone(&backend),
+                &dir,
+                shard,
+                &config,
+                Arc::clone(&root),
+                true,
+                manifest.generation,
+                append,
+            )?);
+            manifests.push(manifest);
+        }
+        sweep_stray_files(&*backend, &dir, num_shards, &manifests);
+        let mut recovered_pages = 0u64;
+        let mut tables = Vec::with_capacity(num_shards);
+        for (shard, manifest) in manifests.iter().enumerate() {
+            let mut lists = Vec::with_capacity(manifest.lists.len());
+            for manifest_list in &manifest.lists {
+                let (list, recovered) = SpillList::from_recovered(
+                    manifest_list,
+                    meta.segment,
+                    Arc::clone(&pagers[shard]),
+                )?;
+                recovered_pages += recovered;
+                lists.push(list);
+            }
+            tables.push(lists);
+        }
+        let core = ShardedCore::assemble(plan, tables)?;
+        // WAL tails: scan, truncate at the last valid record, remember what
+        // must replay.
+        let mut wals = Vec::with_capacity(num_shards);
+        let mut replays = Vec::with_capacity(num_shards);
+        let mut truncated = 0u64;
+        for (shard, manifest) in manifests.iter().enumerate() {
+            let path = dir.join(format!("shard-{shard:03}.wal"));
+            let image = if backend.exists(&path) {
+                read_all(&*backend, &path)?
+            } else {
+                Vec::new()
+            };
+            let scan = scan_wal(&image);
+            let mut file = backend.open(&path, false).map_err(io_err)?;
+            if scan.torn {
+                // Keep-serving truncation: everything after the last valid
+                // frame is discarded, on disk and in memory.
+                file.set_len(scan.valid_len).map_err(io_err)?;
+                file.sync().map_err(io_err)?;
+                truncated += 1;
+            }
+            let last_seq = scan.records.last().map_or(0, |r| r.seq);
+            wals.push(Mutex::new(WalFile {
+                file,
+                len: scan.valid_len,
+                next_seq: last_seq.max(manifest.applied_seq) + 1,
+                appends_since_sync: 0,
+            }));
+            // A crash between a manifest commit and its WAL reset leaves
+            // records the checkpoint already folded in: skip them.
+            replays.push(
+                scan.records
+                    .into_iter()
+                    .filter(|r| r.seq > manifest.applied_seq)
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let store = SpillStore {
+            core,
+            pagers,
+            durable: Some(DurableState {
+                backend,
+                dir,
+                config: durable,
+                wals,
+                wal_appends: AtomicU64::new(0),
+                wal_bytes: AtomicU64::new(0),
+                recovered_pages: AtomicU64::new(recovered_pages),
+                truncated_wal: AtomicU64::new(truncated),
+                root,
+            }),
+        };
+        for (shard, records) in replays.into_iter().enumerate() {
+            for record in records {
+                store.replay_insert(shard, record.list, record.element)?;
+            }
+        }
+        store.recovery_audit()?;
+        Ok(store)
+    }
+
+    /// Applies one WAL record through the ordinary list insert path —
+    /// without re-logging and without maintenance (recovery wants the
+    /// checkpoint state plus exactly the logged tail, nothing else).
+    fn replay_insert(
+        &self,
+        shard: usize,
+        list: u64,
+        element: OrderedElement,
+    ) -> Result<(), StoreError> {
+        let list = zerber_base::MergedListId(list);
+        let (record_shard, slot) = self.core.locate(list)?;
+        if record_shard != shard {
+            return Err(StoreError::CorruptSegment(format!(
+                "WAL record for list {} landed in shard {shard}, expected {record_shard}",
+                list.0
+            )));
+        }
+        self.core
+            .with_shard_write(shard, |table| table.insert(slot, element))
+            .map(|_| ())
+    }
+
+    /// Post-recovery acceptance audit: the byte-exact budget invariant, the
+    /// descending-TRS ordering of every list, and a full visibility audit
+    /// (per-group summary counts must agree with a brute-force recount of
+    /// the decoded elements).  A recovered state is *checked against the
+    /// store's invariants, not trusted*.
+    fn recovery_audit(&self) -> Result<(), StoreError> {
+        if !self.budget_accounting_is_exact() {
+            return Err(StoreError::RecoveryFailed(
+                "budget accounting inconsistent after recovery".to_string(),
+            ));
+        }
+        let plan = self.core.plan().clone();
+        for l in 0..plan.num_lists() {
+            let list = zerber_base::MergedListId(l as u64);
+            let elements = self.core.snapshot_list(list)?;
+            if elements.windows(2).any(|w| w[0].trs < w[1].trs) {
+                return Err(StoreError::RecoveryFailed(format!(
+                    "list {l} violates descending-TRS order after recovery"
+                )));
+            }
+            if self.core.list_len(list)? != elements.len() {
+                return Err(StoreError::RecoveryFailed(format!(
+                    "list {l} length disagrees with its snapshot after recovery"
+                )));
+            }
+            let mut groups: Vec<GroupId> = elements.iter().map(|e| e.group).collect();
+            groups.sort_unstable_by_key(|g| g.0);
+            groups.dedup();
+            for group in groups {
+                let expect = elements.iter().filter(|e| e.group == group).count();
+                let got = self.core.visible_len(list, Some(&[group]))?;
+                if got != expect {
+                    return Err(StoreError::RecoveryFailed(format!(
+                        "list {l} visibility for group {} is {got}, recount says {expect}",
+                        group.0
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checkpoints every shard: page-file fsync, manifest commit, WAL
+    /// reset.  No-op on an ephemeral store.
+    pub fn checkpoint(&self) -> Result<(), StoreError> {
+        for shard in 0..self.pagers.len() {
+            self.checkpoint_shard(shard)?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoints one shard under its write lock: materializes pages for
+    /// resident slots sealed since the last checkpoint, fsyncs the page
+    /// file, commits a manifest enumerating every sealed page plus the
+    /// in-memory tails, then truncates the WAL.  Crash-safe at every step:
+    /// until the manifest rename lands, the old checkpoint plus the old WAL
+    /// stay authoritative.  `Ok(false)` on an ephemeral store.
+    pub fn checkpoint_shard(&self, shard: usize) -> Result<bool, StoreError> {
+        let Some(durable) = &self.durable else {
+            return Ok(false);
+        };
+        let pager = &self.pagers[shard];
+        self.core.with_shard_write(shard, |table| {
+            let mut lists = Vec::new();
+            for list in table.lists_mut() {
+                lists.push(list.manifest_list()?);
+            }
+            let manifest = Manifest {
+                generation: pager.generation.load(Ordering::Relaxed),
+                applied_seq: durable.applied_seq(shard),
+                lists,
+            };
+            pager.sync_file()?;
+            durable.commit_manifest(shard, &manifest)?;
+            durable.reset_wal(shard)?;
+            debug_assert!(charges_consistent(table, pager));
+            Ok(true)
+        })
+    }
+
+    /// Whether this store persists across drops (durable, non-ephemeral
+    /// root).
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The per-shard WAL paths (tests and tooling).
+    pub fn wal_paths(&self) -> Vec<PathBuf> {
+        match &self.durable {
+            Some(d) => (0..self.pagers.len()).map(|s| d.wal_path(s)).collect(),
+            None => Vec::new(),
+        }
+    }
+
     /// The per-shard page files backing the spilled segments.
     pub fn page_file_paths(&self) -> Vec<PathBuf> {
-        self.pagers.iter().map(|p| p.path.clone()).collect()
+        self.pagers.iter().map(|p| p.current_path()).collect()
     }
 
     /// Bytes currently held by the LRU page caches (part of
@@ -1484,9 +2335,34 @@ impl SpillStore {
                     pager.copy_page_verified(&mut rw, page)?;
                 }
             }
+            let old_path = pager.current_path();
             let map = pager.commit_rewrite(rw)?;
             for list in table.lists_mut() {
                 list.remap_pages(&map);
+            }
+            if let Some(durable) = &self.durable {
+                // The manifest rename is the durable commit point of the
+                // swap: until it lands, the old generation (still on disk —
+                // the rename targeted a new name) plus the old manifest
+                // stay authoritative, so a crash at any step recovers to
+                // entirely-old or entirely-new, never a mix.  The rewrite
+                // folded in every applied insert, so this doubles as a full
+                // checkpoint (WAL resets too).
+                let mut lists = Vec::new();
+                for list in table.lists_mut() {
+                    lists.push(list.manifest_list()?);
+                }
+                let manifest = Manifest {
+                    generation: pager.generation.load(Ordering::Relaxed),
+                    applied_seq: durable.applied_seq(shard),
+                    lists,
+                };
+                pager.sync_file()?;
+                durable.commit_manifest(shard, &manifest)?;
+                durable.reset_wal(shard)?;
+                // Only now is the old generation unreferenced; a failure to
+                // remove it leaves a stray the next `open` sweeps.
+                let _ = durable.backend.remove(&old_path);
             }
             debug_assert!(charges_consistent(table, pager));
             Ok(())
@@ -1510,6 +2386,18 @@ impl SpillStore {
             for (list, l) in table.lists().iter().enumerate() {
                 l.tier_candidates(list, &mut candidates);
             }
+            // Heat decay: a stamp further than the decay window behind the
+            // current access clock is treated as cold — the access clock is
+            // otherwise a high-water mark, and a burst long ago would hold
+            // residency forever against currently-warm slots.
+            let now = pager.access_clock.load(Ordering::Relaxed);
+            let window = pager.heat_decay_window;
+            for c in &mut candidates {
+                if window > 0 && c.heat > 0 && now.saturating_sub(c.heat) >= window {
+                    c.heat = 0;
+                    c.decayed = true;
+                }
+            }
             // Hottest first; equal heat prefers the current resident (no
             // churn between equally-warm slots), then slot order.
             candidates.sort_by(|a, b| {
@@ -1522,7 +2410,11 @@ impl SpillStore {
             let desired: Vec<bool> = candidates
                 .iter()
                 .map(|c| {
-                    let granted = (c.heat > 0 || c.resident) && c.cost <= spare;
+                    // A decayed slot relinquishes residency outright: unlike
+                    // a never-read resident (kept while spare budget lasts),
+                    // its stale burst no longer buys anything — the freed
+                    // budget goes to currently-warm slots or stays spare.
+                    let granted = (c.heat > 0 || (c.resident && !c.decayed)) && c.cost <= spare;
                     if granted {
                         spare -= c.cost;
                     }
@@ -1564,6 +2456,62 @@ impl SpillStore {
         }
         if pager.compaction_due() {
             let _ = self.compact_shard(shard);
+        }
+        if let Some(durable) = &self.durable {
+            if durable.checkpoint_due(shard) {
+                let _ = self.checkpoint_shard(shard);
+            }
+        }
+    }
+}
+
+/// Refuses to root a new store in a directory already holding page files.
+fn refuse_occupied_root(dir: &Path) -> Result<(), StoreError> {
+    for entry in fs::read_dir(dir).map_err(io_err)? {
+        let name = entry.map_err(io_err)?.file_name();
+        let name = name.to_string_lossy();
+        if name.ends_with(".pages") || name.ends_with(".pages.compact") {
+            return Err(StoreError::Io(format!(
+                "spill directory {} already holds page files ({name}); \
+                 every store needs its own root",
+                dir.display(),
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Reads a whole file through the IO backend.
+fn read_all(backend: &dyn PageIo, path: &Path) -> Result<Vec<u8>, StoreError> {
+    let mut file = backend.open(path, false).map_err(io_err)?;
+    let len = usize::try_from(file.len().map_err(io_err)?)
+        .map_err(|_| StoreError::Io(format!("{} is too large to read", path.display())))?;
+    let mut buf = vec![0u8; len];
+    file.read_at(0, &mut buf).map_err(io_err)?;
+    Ok(buf)
+}
+
+/// Open-time stray-scratch sweep: removes every file in a durable root that
+/// the recovered state does not reference — compaction scratch
+/// (`*.pages.compact`), superseded page-file generations, manifest/meta
+/// temp files, and anything else an unclean shutdown left behind.  Failures
+/// are ignored (a stray file is a hygiene matter, not a correctness one).
+fn sweep_stray_files(backend: &dyn PageIo, dir: &Path, num_shards: usize, manifests: &[Manifest]) {
+    let mut keep: Vec<PathBuf> = vec![dir.join(STORE_META_NAME)];
+    for (shard, manifest) in manifests.iter().enumerate().take(num_shards) {
+        let manifest_path = dir.join(format!("shard-{shard:03}.manifest"));
+        keep.push(dir.join(format!("shard-{shard:03}.wal")));
+        keep.push(manifest_prev_path(&manifest_path));
+        keep.push(manifest_path);
+        keep.push(dir.join(format!("shard-{shard:03}.g{}.pages", manifest.generation)));
+    }
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_file() && !keep.contains(&path) {
+            let _ = backend.remove(&path);
         }
     }
 }
@@ -1765,7 +2713,15 @@ impl ListStore for SpillStore {
     }
 
     fn insert(&self, list: MergedListId, element: OrderedElement) -> Result<usize, StoreError> {
-        let out = self.core.insert(list, element);
+        let out = match &self.durable {
+            None => self.core.insert(list, element),
+            // Apply, then log, under the same shard write lock: log order
+            // is apply order, and an insert is only acknowledged once its
+            // WAL record is written (and fsynced per the policy).
+            Some(durable) => self.core.insert_logged(list, element, |shard, element| {
+                durable.append(shard, list.0, element)
+            }),
+        };
         if out.is_ok() {
             self.tier_maintenance(self.core.shard_of(list));
         }
@@ -1774,6 +2730,30 @@ impl ListStore for SpillStore {
 
     fn verify_ordering(&self) -> bool {
         self.core.verify_ordering()
+    }
+
+    fn wal_appends(&self) -> u64 {
+        self.durable
+            .as_ref()
+            .map_or(0, |d| d.wal_appends.load(Ordering::Relaxed))
+    }
+
+    fn wal_bytes(&self) -> u64 {
+        self.durable
+            .as_ref()
+            .map_or(0, |d| d.wal_bytes.load(Ordering::Relaxed))
+    }
+
+    fn recovered_pages(&self) -> u64 {
+        self.durable
+            .as_ref()
+            .map_or(0, |d| d.recovered_pages.load(Ordering::Relaxed))
+    }
+
+    fn truncated_wal_records(&self) -> u64 {
+        self.durable
+            .as_ref()
+            .map_or(0, |d| d.truncated_wal.load(Ordering::Relaxed))
     }
 }
 
@@ -2171,6 +3151,7 @@ mod tests {
                 compact_dead_percent: 1,
                 compact_min_dead_bytes: 1,
                 retier_interval: 0,
+                heat_decay_window: 0,
             },
         );
         for i in 0..8u64 {
@@ -2238,7 +3219,8 @@ mod tests {
         let rw = store.start_compaction(0).unwrap();
         // Flip a header byte of the first copied page before the swap.
         {
-            let mut f = OpenOptions::new()
+            use std::io::{Read, Seek, SeekFrom, Write};
+            let mut f = std::fs::OpenOptions::new()
                 .read(true)
                 .write(true)
                 .open(&rw.path)
@@ -2332,6 +3314,7 @@ mod tests {
                 compact_dead_percent: 1,
                 compact_min_dead_bytes: 1,
                 retier_interval: 4,
+                heat_decay_window: 0,
             },
         );
         assert!(store.budget_accounting_is_exact());
@@ -2412,5 +3395,198 @@ mod tests {
             "spill root {} must be removed",
             dir.display()
         );
+    }
+
+    fn durable_store_at(
+        dir: &Path,
+        lists: Vec<Vec<OrderedElement>>,
+        shards: usize,
+        config: SpillConfig,
+        durable: DurableConfig,
+    ) -> SpillStore {
+        SpillStore::create_durable_with(
+            index(lists),
+            dir,
+            shards,
+            config,
+            small_segment_config(),
+            durable,
+            RealIo::shared(),
+            false,
+        )
+        .unwrap()
+    }
+
+    fn snapshot_all(store: &SpillStore) -> Vec<Vec<OrderedElement>> {
+        (0..store.num_lists() as u64)
+            .map(|l| store.snapshot_list(MergedListId(l)).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn durable_store_round_trips_through_drop_and_open() {
+        let dir = unique_temp_dir();
+        let spill_config = SpillConfig {
+            resident_budget_bytes: 0,
+            page_cache_pages: 2,
+            ..SpillConfig::default().without_tiering()
+        };
+        let store = durable_store_at(
+            &dir,
+            vec![sorted_elements(24, 0), sorted_elements(16, 90)],
+            2,
+            spill_config,
+            DurableConfig::default(),
+        );
+        assert!(store.is_durable());
+        for (i, trs) in [0.95, 0.41, 0.03].into_iter().enumerate() {
+            store
+                .insert(MergedListId((i % 2) as u64), element(trs, 1, &[9u8; 8]))
+                .unwrap();
+        }
+        assert!(store.wal_appends() >= 3);
+        assert!(store.wal_bytes() > 0);
+        let want = snapshot_all(&store);
+        let pages = store.page_file_paths();
+        drop(store);
+        for page in &pages {
+            assert!(
+                page.exists(),
+                "durable page {} survives drop",
+                page.display()
+            );
+        }
+        let reopened = SpillStore::open(&dir, spill_config, DurableConfig::default()).unwrap();
+        assert_eq!(snapshot_all(&reopened), want);
+        assert!(reopened.recovered_pages() > 0, "checkpoint pages re-read");
+        assert_eq!(reopened.truncated_wal_records(), 0);
+        assert!(reopened.budget_accounting_is_exact());
+        assert!(reopened.verify_ordering());
+        // A second generation of inserts keeps round-tripping.
+        reopened
+            .insert(MergedListId(1), element(0.77, 2, &[4u8; 8]))
+            .unwrap();
+        let want = snapshot_all(&reopened);
+        drop(reopened);
+        let again = SpillStore::open(&dir, spill_config, DurableConfig::default()).unwrap();
+        assert_eq!(snapshot_all(&again), want);
+        drop(again);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn creating_over_an_existing_durable_store_is_refused() {
+        let dir = unique_temp_dir();
+        let config = SpillConfig::default().without_tiering();
+        let store = durable_store_at(
+            &dir,
+            vec![sorted_elements(8, 0)],
+            1,
+            config,
+            DurableConfig::default(),
+        );
+        drop(store);
+        assert!(matches!(
+            SpillStore::create_durable(
+                index(vec![sorted_elements(8, 0)]),
+                &dir,
+                1,
+                config,
+                DurableConfig::default(),
+            ),
+            Err(StoreError::Io(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_sweeps_stray_scratch_files_left_by_an_unclean_drop() {
+        let dir = unique_temp_dir();
+        let spill_config = SpillConfig {
+            resident_budget_bytes: 0,
+            page_cache_pages: 1,
+            ..SpillConfig::default().without_tiering()
+        };
+        let store = durable_store_at(
+            &dir,
+            vec![sorted_elements(16, 0)],
+            1,
+            spill_config,
+            DurableConfig::default(),
+        );
+        let want = snapshot_all(&store);
+        drop(store);
+        // Plant the scratch an unclean shutdown could leave behind: a
+        // half-written compaction rewrite, a manifest temp file and a page
+        // file from a superseded generation.
+        let strays = [
+            dir.join("shard-000.g1.pages.compact"),
+            dir.join("shard-000.manifest.tmp"),
+            dir.join("shard-000.g9.pages"),
+        ];
+        for stray in &strays {
+            fs::write(stray, b"scratch").unwrap();
+        }
+        let reopened = SpillStore::open(&dir, spill_config, DurableConfig::default()).unwrap();
+        for stray in &strays {
+            assert!(!stray.exists(), "stray {} must be swept", stray.display());
+        }
+        assert_eq!(snapshot_all(&reopened), want);
+        drop(reopened);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn heat_decay_demotes_an_old_burst_in_favour_of_current_traffic() {
+        let build = || vec![sorted_elements(32, 0), sorted_elements(32, 80)];
+        let fetch = |l: u64, offset: usize| RangedFetch {
+            list: MergedListId(l),
+            offset,
+            count: 4,
+        };
+        // Both lists fit the budget; manual retier passes only.
+        let config = |window: u64| SpillConfig {
+            resident_budget_bytes: usize::MAX,
+            page_cache_pages: 0,
+            heat_decay_window: window,
+            ..SpillConfig::default().without_tiering()
+        };
+        let run = |window: u64| {
+            let store = store_with(build(), 1, config(window));
+            assert_eq!(store.spilled_bytes(), 0, "everything starts resident");
+            // An old burst on list 0...
+            for offset in [0usize, 12, 24] {
+                store.fetch_ranged(&fetch(0, offset), None).unwrap();
+            }
+            // ...then sustained traffic on list 1 only, pushing the access
+            // clock well past the burst.
+            for _ in 0..16 {
+                for offset in [0usize, 12, 24] {
+                    store.fetch_ranged(&fetch(1, offset), None).unwrap();
+                }
+            }
+            let moves = store.retier_shard(0).unwrap();
+            assert!(store.budget_accounting_is_exact());
+            assert!(store.verify_ordering());
+            (store, moves)
+        };
+        // Decay on: the burst decayed, list 0 loses residency to disk even
+        // though the budget could hold it — its heat no longer buys
+        // anything.  List 1, currently hot, stays resident and fault-free.
+        let (store, (promoted, demoted)) = run(4);
+        assert_eq!(promoted, 0);
+        assert!(demoted > 0, "the old burst must cool and demote");
+        assert!(store.spilled_bytes() > 0);
+        let faults = store.page_faults();
+        for offset in [0usize, 12, 24] {
+            store.fetch_ranged(&fetch(1, offset), None).unwrap();
+        }
+        assert_eq!(store.page_faults(), faults, "current traffic stays hot");
+        store.fetch_ranged(&fetch(0, 12), None).unwrap();
+        assert!(store.page_faults() > faults, "the demoted burst faults");
+        // Control: decay off (window 0), identical traffic — the burst's
+        // high-water stamp holds residency forever.
+        let (_store, moves) = run(0);
+        assert_eq!(moves, (0, 0), "without decay the old burst keeps its seat");
     }
 }

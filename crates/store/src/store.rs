@@ -335,6 +335,30 @@ pub trait ListStore: Send + Sync + std::fmt::Debug {
         0
     }
 
+    /// Write-ahead-log records appended since the store was built or opened
+    /// (0 for non-durable engines).
+    fn wal_appends(&self) -> u64 {
+        0
+    }
+
+    /// Write-ahead-log bytes appended since the store was built or opened
+    /// (0 for non-durable engines).
+    fn wal_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Checkpoint pages read back, validated and adopted during recovery
+    /// (0 for non-durable engines and freshly created stores).
+    fn recovered_pages(&self) -> u64 {
+        0
+    }
+
+    /// Torn or corrupt WAL tail records discarded during recovery — the log
+    /// was truncated at the last valid record (0 for non-durable engines).
+    fn truncated_wal_records(&self) -> u64 {
+        0
+    }
+
     /// Physical length of one merged list.
     fn list_len(&self, list: MergedListId) -> Result<usize, StoreError>;
 

@@ -5,16 +5,21 @@
 # CI: rustfmt, release build, full test suite (including the spill-engine
 # equivalence proptests, which write page files into a temp-dir spill
 # root), a parallel-vs-sequential proptest with a 2-worker shard pool
-# forced, the tiering equivalence proptest and a repeated
-# compaction-under-load stress loop, a repeated worker-pool shutdown
-# stress loop, bench compilation, clippy with warnings denied, and a
-# hygiene guard asserting the tests left no stray on-disk page files —
-# including `.pages.compact` rewrite scratch files — behind.
+# forced, the tiering equivalence proptest (whose engine set includes a
+# live-WAL durable spill engine) and a repeated compaction-under-load
+# stress loop, a repeated worker-pool shutdown stress loop, the
+# fault-injected durable recovery suite plus a repeated
+# kill-at-every-injection-point crash stress loop, bench compilation,
+# clippy with warnings denied, and a hygiene guard asserting the tests
+# left no stray on-disk files — page files, `.pages.compact` rewrite
+# scratch, WALs, manifests or `.manifest.tmp`/`.manifest.prev`
+# checkpoint scratch — behind.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SPILL_STAGING="${TMPDIR:-/tmp}/zerber-spill"
+DURABLE_STAGING="${TMPDIR:-/tmp}/zerber-durable"
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -62,6 +67,21 @@ for i in 1 2 3 4 5; do
     }
 done
 
+echo "==> durable recovery suite (release: fault injection, bit flips, WAL truncation property)"
+cargo test --release --test durable_recovery
+
+echo "==> crash-injection stress (release, repeated kill-at-every-injection-point loop)"
+for i in 1 2 3 4 5; do
+  cargo test --release --test durable_recovery \
+    kill_at_every_injection_point_recovers_a_prefix_of_history -- --exact \
+    > /dev/null 2>&1 || {
+      echo "crash-injection stress failed on iteration $i" >&2
+      cargo test --release --test durable_recovery \
+        kill_at_every_injection_point_recovers_a_prefix_of_history -- --exact
+      exit 1
+    }
+done
+
 echo "==> spill hygiene: no stray page files (or compaction scratch files) after the test runs"
 # Covers both live page files (*.pages) and compaction rewrite scratch
 # files (*.pages.compact): an aborted or committed compaction must never
@@ -69,6 +89,16 @@ echo "==> spill hygiene: no stray page files (or compaction scratch files) after
 if [ -d "$SPILL_STAGING" ] && [ -n "$(find "$SPILL_STAGING" -type f 2>/dev/null | head -1)" ]; then
   echo "stray spill files left behind under $SPILL_STAGING:" >&2
   find "$SPILL_STAGING" -type f >&2
+  exit 1
+fi
+
+echo "==> durable hygiene: ephemeral durable roots leave no WALs, manifests or checkpoint scratch behind"
+# Temp-dir durable stores (the equivalence proptest engine, unit tests)
+# clean their whole root on drop: any leftover *.wal, *.manifest,
+# *.manifest.tmp, *.manifest.prev, store.meta or page file is a leak.
+if [ -d "$DURABLE_STAGING" ] && [ -n "$(find "$DURABLE_STAGING" -type f 2>/dev/null | head -1)" ]; then
+  echo "stray durable-store files left behind under $DURABLE_STAGING:" >&2
+  find "$DURABLE_STAGING" -type f >&2
   exit 1
 fi
 

@@ -4,9 +4,10 @@
 //! `SingleMutexStore`, `ShardedStore` (plain `Vec` layout), `SegmentStore`
 //! (compressed block-encoded segments with a mutable tail) and `SpillStore`
 //! (the same segments with cold ones living in on-disk page files behind an
-//! LRU page cache) — the latter both statically placed and tiering-tuned,
-//! with maintenance (promotion, demotion, page-file compaction) forced on
-//! every operation.
+//! LRU page cache) — the latter statically placed, tiering-tuned (with
+//! maintenance — promotion, demotion, page-file compaction — forced on
+//! every operation) and durable (write-ahead logging plus aggressive
+//! checkpointing live during the workload).
 //!
 //! The engines share one generic session table, so this test pins down the
 //! layer where they *can* diverge: the physical list representation (scan,
@@ -17,8 +18,8 @@ use proptest::prelude::*;
 use zerber_suite::corpus::{GroupId, TermId};
 use zerber_suite::protocol::{AccessControl, AuthToken, IndexServer, QueryRequest};
 use zerber_suite::store::{
-    CursorId, ListStore, RangedFetch, SegmentConfig, SegmentStore, ShardedStore, SingleMutexStore,
-    SpillConfig, SpillStore,
+    CursorId, DurableConfig, ListStore, RangedFetch, SegmentConfig, SegmentStore, ShardedStore,
+    SingleMutexStore, SpillConfig, SpillStore, SyncPolicy,
 };
 use zerber_suite::zerber::{EncryptedElement, MergePlan, MergedListId};
 use zerber_suite::zerber_r::{OrderedElement, OrderedIndex};
@@ -75,13 +76,14 @@ fn element(trs: f64, group: u32, ct: Vec<u8>) -> OrderedElement {
     }
 }
 
-/// Builds the five engines over identical fabricated indexes.
+/// Builds the six engines over identical fabricated indexes.
 fn engines(
     lists: &[Vec<OrderedElement>],
 ) -> (
     SingleMutexStore,
     ShardedStore,
     SegmentStore,
+    SpillStore,
     SpillStore,
     SpillStore,
 ) {
@@ -122,7 +124,7 @@ fn engines(
         // retier pass and a page-file compaction mid-workload.  Promotion,
         // demotion and live-page rewrites must all stay answer-invisible.
         SpillStore::in_temp_dir_with(
-            index,
+            index.clone(),
             2,
             SpillConfig {
                 resident_budget_bytes: 512,
@@ -130,8 +132,28 @@ fn engines(
                 compact_dead_percent: 1,
                 compact_min_dead_bytes: 1,
                 retier_interval: 1,
+                heat_decay_window: 16,
             },
             segment_config,
+        )
+        .unwrap(),
+        // The durable engine with the full WAL/checkpoint machinery live:
+        // every insert is write-ahead logged, a tiny checkpoint threshold
+        // forces manifest commits and WAL resets mid-workload, and none of
+        // it may be visible in any answer.
+        SpillStore::durable_in_temp_dir_with(
+            index,
+            2,
+            SpillConfig {
+                resident_budget_bytes: 0,
+                page_cache_pages: 2,
+                ..SpillConfig::default().without_tiering()
+            },
+            segment_config,
+            DurableConfig {
+                sync: SyncPolicy::Never,
+                checkpoint_wal_bytes: 256,
+            },
         )
         .unwrap(),
     )
@@ -142,18 +164,19 @@ fn engines(
 /// visibility filters): `user-0` sees everything, `user-3` nothing, and
 /// `user-4` is never registered.
 fn servers(lists: &[Vec<OrderedElement>]) -> Vec<IndexServer> {
-    let (single, sharded, segmented, spilled, tiering) = engines(lists);
+    let (single, sharded, segmented, spilled, tiering, durable) = engines(lists);
     let mut acl = AccessControl::new(b"batch-oracle");
     acl.register_user("user-0", &[GroupId(0), GroupId(1), GroupId(2), GroupId(3)]);
     acl.register_user("user-1", &[GroupId(0), GroupId(1)]);
     acl.register_user("user-2", &[GroupId(2)]);
     acl.register_user("user-3", &[]);
-    let stores: [Box<dyn ListStore>; 5] = [
+    let stores: [Box<dyn ListStore>; 6] = [
         Box::new(single),
         Box::new(sharded),
         Box::new(segmented),
         Box::new(spilled),
         Box::new(tiering),
+        Box::new(durable),
     ];
     stores
         .into_iter()
@@ -164,7 +187,7 @@ fn servers(lists: &[Vec<OrderedElement>]) -> Vec<IndexServer> {
 /// A session as each engine sees it: the engine-local cursor id plus the
 /// shared (list, owner, groups) context it was opened with.
 struct Session {
-    cursors: [CursorId; 5],
+    cursors: [CursorId; 6],
     owner: u64,
     groups: Option<Vec<GroupId>>,
 }
@@ -213,8 +236,9 @@ proptest! {
         ),
         ops in proptest::collection::vec(op_strategy(3), 1..50),
     ) {
-        let (single, sharded, segmented, spilled, tiering) = engines(&lists);
-        let stores: [&dyn ListStore; 5] = [&single, &sharded, &segmented, &spilled, &tiering];
+        let (single, sharded, segmented, spilled, tiering, durable) = engines(&lists);
+        let stores: [&dyn ListStore; 6] =
+            [&single, &sharded, &segmented, &spilled, &tiering, &durable];
         let mut sessions: Vec<Session> = Vec::new();
         for op in ops {
             match op {
@@ -228,6 +252,7 @@ proptest! {
                     prop_assert_eq!(positions[0], positions[2]);
                     prop_assert_eq!(positions[0], positions[3]);
                     prop_assert_eq!(positions[0], positions[4]);
+                    prop_assert_eq!(positions[0], positions[5]);
                 }
                 Op::Fetch { list, offset, count, mask, open, owner } => {
                     let list = MergedListId((list % lists.len()) as u64);
@@ -241,9 +266,10 @@ proptest! {
                     prop_assert_eq!(&batches[0], &batches[2]);
                     prop_assert_eq!(&batches[0], &batches[3]);
                     prop_assert_eq!(&batches[0], &batches[4]);
+                    prop_assert_eq!(&batches[0], &batches[5]);
                     if open && !batches[0].exhausted {
                         let delivered = offset + batches[0].elements.len();
-                        let mut cursors = [CursorId::NONE; 5];
+                        let mut cursors = [CursorId::NONE; 6];
                         for (i, store) in stores.iter().enumerate() {
                             cursors[i] = store
                                 .open_cursor(list, owner, &batches[i], delivered, groups.as_deref())
@@ -275,6 +301,7 @@ proptest! {
                     prop_assert_eq!(results[0].is_ok(), results[2].is_ok());
                     prop_assert_eq!(results[0].is_ok(), results[3].is_ok());
                     prop_assert_eq!(results[0].is_ok(), results[4].is_ok());
+                    prop_assert_eq!(results[0].is_ok(), results[5].is_ok());
                     if let Ok(a) = &results[0] {
                         for b in results[1..].iter().flatten() {
                             prop_assert_eq!(a, b);
@@ -301,6 +328,7 @@ proptest! {
             prop_assert_eq!(&segmented.snapshot_list(id).unwrap(), &reference);
             prop_assert_eq!(&spilled.snapshot_list(id).unwrap(), &reference);
             prop_assert_eq!(&tiering.snapshot_list(id).unwrap(), &reference);
+            prop_assert_eq!(&durable.snapshot_list(id).unwrap(), &reference);
             for mask in [0u8, 1, 5, 0b1111] {
                 let groups = groups_from_mask(mask);
                 let expected = single.visible_len(id, groups.as_deref()).unwrap();
@@ -308,6 +336,7 @@ proptest! {
                 prop_assert_eq!(segmented.visible_len(id, groups.as_deref()).unwrap(), expected);
                 prop_assert_eq!(spilled.visible_len(id, groups.as_deref()).unwrap(), expected);
                 prop_assert_eq!(tiering.visible_len(id, groups.as_deref()).unwrap(), expected);
+                prop_assert_eq!(durable.visible_len(id, groups.as_deref()).unwrap(), expected);
             }
         }
         prop_assert!(single.verify_ordering());
@@ -315,23 +344,30 @@ proptest! {
         prop_assert!(segmented.verify_ordering());
         prop_assert!(spilled.verify_ordering());
         prop_assert!(tiering.verify_ordering());
+        prop_assert!(durable.verify_ordering());
         // The self-managing engine's exact budget accounting must survive
         // any interleaving of serving traffic with its maintenance passes.
         prop_assert!(tiering.budget_accounting_is_exact());
+        // Same invariant through WAL appends, checkpoints and WAL resets.
+        prop_assert!(durable.budget_accounting_is_exact());
         prop_assert_eq!(single.num_elements(), sharded.num_elements());
         prop_assert_eq!(single.num_elements(), segmented.num_elements());
         prop_assert_eq!(single.num_elements(), spilled.num_elements());
         prop_assert_eq!(single.num_elements(), tiering.num_elements());
+        prop_assert_eq!(single.num_elements(), durable.num_elements());
         prop_assert_eq!(single.stored_bytes(), segmented.stored_bytes());
         prop_assert_eq!(single.stored_bytes(), spilled.stored_bytes());
         prop_assert_eq!(single.stored_bytes(), tiering.stored_bytes());
+        prop_assert_eq!(single.stored_bytes(), durable.stored_bytes());
         prop_assert_eq!(single.ciphertext_bytes(), segmented.ciphertext_bytes());
         prop_assert_eq!(single.ciphertext_bytes(), spilled.ciphertext_bytes());
         prop_assert_eq!(single.ciphertext_bytes(), tiering.ciphertext_bytes());
+        prop_assert_eq!(single.ciphertext_bytes(), durable.ciphertext_bytes());
         prop_assert_eq!(single.open_cursors(), sharded.open_cursors());
         prop_assert_eq!(single.open_cursors(), segmented.open_cursors());
         prop_assert_eq!(single.open_cursors(), spilled.open_cursors());
         prop_assert_eq!(single.open_cursors(), tiering.open_cursors());
+        prop_assert_eq!(single.open_cursors(), durable.open_cursors());
     }
 
     /// The batched-vs-sequential oracle: any `handle_query_stream` round —
@@ -407,11 +443,12 @@ proptest! {
                     .collect(),
             );
         }
-        // And the five engines agree with each other, request for request.
+        // And the six engines agree with each other, request for request.
         prop_assert_eq!(&per_engine[0], &per_engine[1]);
         prop_assert_eq!(&per_engine[0], &per_engine[2]);
         prop_assert_eq!(&per_engine[0], &per_engine[3]);
         prop_assert_eq!(&per_engine[0], &per_engine[4]);
+        prop_assert_eq!(&per_engine[0], &per_engine[5]);
     }
 
     /// The parallel-round oracle: executing a stream round on the persistent
@@ -504,10 +541,11 @@ proptest! {
                     .collect::<Vec<_>>(),
             );
         }
-        // All five parallel engines agree with each other too.
+        // All six parallel engines agree with each other too.
         prop_assert_eq!(&per_engine[0], &per_engine[1]);
         prop_assert_eq!(&per_engine[0], &per_engine[2]);
         prop_assert_eq!(&per_engine[0], &per_engine[3]);
         prop_assert_eq!(&per_engine[0], &per_engine[4]);
+        prop_assert_eq!(&per_engine[0], &per_engine[5]);
     }
 }
