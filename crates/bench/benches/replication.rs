@@ -1,0 +1,330 @@
+//! Replication bench: what the primary→replica stream costs and what it
+//! buys.  Three measurements, written to `BENCH_replication.json`:
+//!
+//! * **catch-up throughput** — bringing a fresh replica to the primary's
+//!   head via the two transport shapes: a checkpointed snapshot (page
+//!   files + manifest over the wire, recovery-validated on install) vs a
+//!   WAL-tail replay (every insert streamed as a frame and re-applied
+//!   through the logged insert path);
+//! * **steady-state lag** — a fig10-style mixed workload: the primary
+//!   absorbs bursts of inserts while the replica pumps between bursts and
+//!   serves reads; the per-pump lag is recorded;
+//! * **read scale-out** — queries/sec of 1, 2 and 4 caught-up replicas
+//!   (one thread hammering each) against the single primary baseline,
+//!   with the guard that a lag-free replica serves at least 0.9× the
+//!   primary's single-threaded rate: the staleness check must be noise.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zerber_base::{EncryptedElement, MergePlan, MergedListId};
+use zerber_corpus::{GroupId, TermId};
+use zerber_r::{OrderedElement, OrderedIndex};
+use zerber_store::{
+    DurableConfig, InProcessTransport, ListStore, RangedFetch, Replica, ReplicaConfig,
+    ReplicaTransport, ReplicationSource, SpillConfig, SpillStore, SyncPolicy,
+};
+
+const NUM_LISTS: usize = 8;
+const NUM_SHARDS: usize = 4;
+const INSERTS: usize = 8_192;
+const QUERIES: usize = 32_768;
+
+fn bench_root(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("zerber-replica-bench")
+        .join(format!("{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spill_config() -> SpillConfig {
+    SpillConfig {
+        resident_budget_bytes: 0,
+        page_cache_pages: 8,
+        ..SpillConfig::default().without_tiering()
+    }
+}
+
+fn durable_config() -> DurableConfig {
+    DurableConfig {
+        sync: SyncPolicy::Never,
+        checkpoint_wal_bytes: 1 << 30,
+    }
+}
+
+fn replica_config() -> ReplicaConfig {
+    ReplicaConfig {
+        spill: spill_config(),
+        durable: durable_config(),
+        batch_frames: 512,
+        backoff_base: Duration::ZERO,
+        backoff_cap: Duration::ZERO,
+        ..ReplicaConfig::default()
+    }
+}
+
+fn sealed(i: usize, trs: f64) -> OrderedElement {
+    let group = GroupId((i % 4) as u32);
+    OrderedElement {
+        trs,
+        group,
+        sealed: EncryptedElement {
+            group,
+            ciphertext: vec![0xA5; 16],
+        },
+    }
+}
+
+/// A fresh durable primary holding `preloaded` inserts (checkpointed when
+/// asked, so the data ships as pages instead of WAL frames).
+fn build_primary(dir: &PathBuf, preloaded: usize, checkpoint: bool) -> Arc<SpillStore> {
+    let plan = MergePlan::from_term_lists(
+        (0..NUM_LISTS).map(|i| vec![TermId(i as u32)]).collect(),
+        "replication-bench",
+        2.0,
+    );
+    let index = OrderedIndex::from_parts(vec![Vec::new(); NUM_LISTS], plan);
+    let store = Arc::new(
+        SpillStore::create_durable(index, dir, NUM_SHARDS, spill_config(), durable_config())
+            .expect("primary builds"),
+    );
+    for i in 0..preloaded {
+        store
+            .insert(
+                MergedListId((i % NUM_LISTS) as u64),
+                sealed(i, (INSERTS - i) as f64),
+            )
+            .expect("preload insert");
+    }
+    if checkpoint {
+        store.checkpoint().expect("primary checkpoint");
+    }
+    store
+}
+
+/// Full catch-up from empty replica to a checkpointed primary's head: the
+/// data ships as a snapshot (page files + manifest) and installs through
+/// the validating recovery path.
+fn timed_snapshot_catch_up(root: &PathBuf) -> Duration {
+    let _ = std::fs::remove_dir_all(root);
+    let primary = build_primary(&root.join("primary"), INSERTS, true);
+    let source = ReplicationSource::new(Arc::clone(&primary)).expect("durable source");
+    let transport = InProcessTransport::new(source);
+    let start = Instant::now();
+    let mut replica = Replica::bootstrap(
+        transport as Arc<dyn ReplicaTransport>,
+        root.join("replica"),
+        replica_config(),
+    )
+    .expect("replica bootstraps");
+    replica.catch_up(10_000).expect("replica catches up");
+    let elapsed = start.elapsed();
+    assert_eq!(replica.store().num_elements(), INSERTS);
+    elapsed
+}
+
+/// The WAL-tail shape with a live stream: bootstrap first, then the
+/// primary writes `INSERTS` elements which the replica pulls as frames.
+fn timed_tail_replay(root: &PathBuf) -> Duration {
+    let _ = std::fs::remove_dir_all(root);
+    let primary = build_primary(&root.join("primary"), 0, true);
+    let source = ReplicationSource::new(Arc::clone(&primary)).expect("durable source");
+    let transport = InProcessTransport::new(source);
+    let mut replica = Replica::bootstrap(
+        transport as Arc<dyn ReplicaTransport>,
+        root.join("replica"),
+        replica_config(),
+    )
+    .expect("replica bootstraps");
+    for i in 0..INSERTS {
+        primary
+            .insert(
+                MergedListId((i % NUM_LISTS) as u64),
+                sealed(i, (INSERTS - i) as f64),
+            )
+            .expect("stream insert");
+    }
+    let start = Instant::now();
+    replica.catch_up(10_000).expect("replica catches up");
+    let elapsed = start.elapsed();
+    assert_eq!(replica.store().num_elements(), INSERTS);
+    assert_eq!(replica.stats().frames_streamed, INSERTS as u64);
+    elapsed
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Single-threaded queries/sec of one store: `QUERIES` ranged fetches
+/// cycling lists and offsets.
+fn qps(store: &dyn ListStore) -> f64 {
+    let start = Instant::now();
+    for q in 0..QUERIES {
+        let fetch = RangedFetch {
+            list: MergedListId((q % NUM_LISTS) as u64),
+            offset: (q * 7) % 64,
+            count: 10,
+        };
+        let batch = store.fetch_ranged(&fetch, None).expect("query serves");
+        assert!(batch.visible_total > 0);
+    }
+    QUERIES as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Aggregate queries/sec of `replicas` caught-up replicas, one thread each.
+fn fleet_qps(replicas: &[Replica]) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = replicas
+            .iter()
+            .map(|r| {
+                let serving = r.serving_store();
+                scope.spawn(move || qps(&serving))
+            })
+            .collect();
+        handles.into_iter().for_each(|h| {
+            h.join().expect("reader thread");
+        });
+    });
+    (QUERIES * replicas.len()) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn bench_replication(c: &mut Criterion) {
+    let snap_root = bench_root("catchup-snapshot");
+    let wal_root = bench_root("catchup-wal");
+    let mut group = c.benchmark_group("replication_catch_up");
+    group.sample_size(10);
+    group.bench_function(format!("snapshot_{INSERTS}"), |b| {
+        b.iter(|| timed_snapshot_catch_up(&snap_root))
+    });
+    group.bench_function(format!("wal_tail_{INSERTS}"), |b| {
+        b.iter(|| timed_tail_replay(&wal_root))
+    });
+    group.finish();
+
+    let snapshot_ms = median(
+        (0..5)
+            .map(|_| timed_snapshot_catch_up(&snap_root).as_secs_f64() * 1e3)
+            .collect(),
+    );
+    let tail_ms = median(
+        (0..5)
+            .map(|_| timed_tail_replay(&wal_root).as_secs_f64() * 1e3)
+            .collect(),
+    );
+
+    // Steady-state lag under a write+query mix: bursts of inserts against
+    // one pump per burst, reads served from the replica throughout.
+    let mix_root = bench_root("steady-state");
+    let primary = build_primary(&mix_root.join("primary"), 256, true);
+    let source = ReplicationSource::new(Arc::clone(&primary)).expect("durable source");
+    let transport = InProcessTransport::new(source);
+    let mut replica = Replica::bootstrap(
+        transport as Arc<dyn ReplicaTransport>,
+        mix_root.join("replica"),
+        replica_config(),
+    )
+    .expect("replica bootstraps");
+    let serving = replica.serving_store();
+    let (mut lag_sum, mut lag_max, rounds) = (0u64, 0u64, 64usize);
+    for round in 0..rounds {
+        for i in 0..64usize {
+            let n = 256 + round * 64 + i;
+            primary
+                .insert(
+                    MergedListId((n % NUM_LISTS) as u64),
+                    sealed(n, 1.0 / (n + 1) as f64),
+                )
+                .expect("mix insert");
+        }
+        replica.pump().expect("pump survives");
+        for q in 0..16usize {
+            let fetch = RangedFetch {
+                list: MergedListId((q % NUM_LISTS) as u64),
+                offset: 0,
+                count: 10,
+            };
+            serving
+                .fetch_ranged(&fetch, None)
+                .expect("mixed read serves");
+        }
+        let lag = replica.lag();
+        lag_sum += lag;
+        lag_max = lag_max.max(lag);
+    }
+    let lag_mean = lag_sum as f64 / rounds as f64;
+    replica.catch_up(10_000).expect("final catch-up");
+
+    // Read scale-out: primary baseline, then 1/2/4 caught-up replicas.
+    let scale_root = bench_root("scale-out");
+    let primary = build_primary(&scale_root.join("primary"), INSERTS, true);
+    let source = ReplicationSource::new(Arc::clone(&primary)).expect("durable source");
+    let primary_qps = median((0..5).map(|_| qps(&*primary)).collect());
+    let replicas: Vec<Replica> = (0..4)
+        .map(|i| {
+            let transport = InProcessTransport::new(Arc::clone(&source));
+            let mut r = Replica::bootstrap(
+                transport as Arc<dyn ReplicaTransport>,
+                scale_root.join(format!("replica-{i}")),
+                replica_config(),
+            )
+            .expect("fleet replica bootstraps");
+            r.catch_up(10_000).expect("fleet replica catches up");
+            assert_eq!(r.lag(), 0);
+            r
+        })
+        .collect();
+    // The 1-replica number uses the same single-threaded harness as the
+    // primary baseline, so the guard compares serving paths, not thread
+    // spawn overhead.
+    let solo = replicas[0].serving_store();
+    let replica_qps_1 = median((0..5).map(|_| qps(&solo)).collect());
+    let replica_qps_2 = fleet_qps(&replicas[..2]);
+    let replica_qps_4 = fleet_qps(&replicas[..4]);
+    // The staleness guard must be noise: a lag-free replica serves at
+    // least 0.9x the primary's single-threaded rate.
+    assert!(
+        replica_qps_1 >= 0.9 * primary_qps,
+        "lag-free replica too slow: {replica_qps_1:.0} q/s vs primary {primary_qps:.0} q/s"
+    );
+
+    let hardware_threads = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"replication\",\n  \"elements\": {INSERTS},\n  \
+         \"lists\": {NUM_LISTS},\n  \"shards\": {NUM_SHARDS},\n  \
+         \"hardware_threads\": {hardware_threads},\n  \
+         \"snapshot_catchup_ms\": {snapshot_ms:.3},\n  \
+         \"wal_tail_catchup_ms\": {tail_ms:.3},\n  \
+         \"snapshot_elements_per_sec\": {:.0},\n  \
+         \"wal_tail_frames_per_sec\": {:.0},\n  \
+         \"steady_state_mean_lag_frames\": {lag_mean:.2},\n  \
+         \"steady_state_max_lag_frames\": {lag_max},\n  \
+         \"primary_read_qps\": {primary_qps:.0},\n  \
+         \"replica_read_qps_1\": {replica_qps_1:.0},\n  \
+         \"replica_read_qps_2\": {replica_qps_2:.0},\n  \
+         \"replica_read_qps_4\": {replica_qps_4:.0},\n  \
+         \"replica_over_primary_qps\": {:.3}\n}}\n",
+        INSERTS as f64 / (snapshot_ms / 1e3),
+        INSERTS as f64 / (tail_ms / 1e3),
+        replica_qps_1 / primary_qps,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replication.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+
+    for root in [&snap_root, &wal_root, &mix_root, &scale_root] {
+        let _ = std::fs::remove_dir_all(root);
+    }
+    let _ = std::fs::remove_dir_all(snap_root.parent().expect("bench root has a parent"));
+}
+
+criterion_group!(benches, bench_replication);
+criterion_main!(benches);

@@ -17,6 +17,10 @@ pub enum ProtocolError {
     Core(String),
     /// A message could not be decoded.
     Codec(String),
+    /// The replica that received the request is lagging the primary past
+    /// its bounded-staleness guard; the client should retry on the primary
+    /// instead of accepting stale results.
+    Degraded { lag: u64, max_lag: u64 },
 }
 
 impl fmt::Display for ProtocolError {
@@ -32,6 +36,10 @@ impl fmt::Display for ProtocolError {
             ProtocolError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             ProtocolError::Core(msg) => write!(f, "core error: {msg}"),
             ProtocolError::Codec(msg) => write!(f, "message codec error: {msg}"),
+            ProtocolError::Degraded { lag, max_lag } => write!(
+                f,
+                "replica lag {lag} exceeds the staleness bound {max_lag}; retry on the primary"
+            ),
         }
     }
 }

@@ -14,6 +14,10 @@
 //! * [`client`] — the group member: issues the initial request of size `b`,
 //!   decrypts and filters, resumes the server-side cursor with doubling
 //!   follow-up requests, and inserts new documents using the published RSTF,
+//! * [`replication`] — the framed wire format of the primary→replica
+//!   replication stream (snapshot fetch + WAL tail polls), CRC-guarded so
+//!   a socket transport can replace the in-process seam without touching
+//!   the replication logic,
 //! * [`pool`] — the persistent [`pool::ShardWorkerPool`]: N shard workers
 //!   with affinity queues and work-stealing that execute a batched round's
 //!   shard buckets concurrently instead of sequentially on the scheduler
@@ -31,6 +35,7 @@ pub mod error;
 pub mod message;
 pub mod netsim;
 pub mod pool;
+pub mod replication;
 pub mod server;
 
 pub use acl::{AccessControl, AuthToken};
@@ -43,4 +48,5 @@ pub use netsim::{
     PAPER_POSTING_BITS, SNIPPET_BYTES, YAHOO_TOP10_BYTES,
 };
 pub use pool::{RoundStats, ShardWorkerPool};
+pub use replication::{ReplicationRequest, ReplicationResponse};
 pub use server::{IndexServer, InsertRequest, ServerStats, StoreEngine};

@@ -120,6 +120,22 @@ pub struct ServerStats {
     /// Largest bucket any pool round produced: how skewed the worst round
     /// was relative to the mean occupancy.
     pub max_bucket_jobs: u64,
+    /// Replication frames the store received and applied (non-zero only
+    /// when the server fronts a replica).
+    pub frames_streamed: u64,
+    /// Replication frames the replica's idempotent apply skipped as already
+    /// applied — duplicates and post-reconnect retransmissions.
+    pub frames_skipped: u64,
+    /// Full snapshot re-bootstraps the replica performed because the WAL
+    /// tail it needed was checkpointed away on the primary.
+    pub resnapshots: u64,
+    /// Transport reconnects the replica's catch-up loop performed (each one
+    /// resumed from the last applied sequence after a backoff delay).
+    pub reconnects: u64,
+    /// Current replication lag in sequence numbers — the largest per-shard
+    /// gap between the primary's last known head and the replica's applied
+    /// sequence.  A gauge (point-in-time), not a delta-windowed counter.
+    pub replica_lag: u64,
 }
 
 impl ServerStats {
@@ -175,6 +191,14 @@ struct AtomicStats {
     recovered_page_baseline: AtomicU64,
     /// The store's truncated-WAL-record meter at the last reset.
     truncated_wal_baseline: AtomicU64,
+    /// The store's streamed-frame meter at the last reset.
+    frames_streamed_baseline: AtomicU64,
+    /// The store's skipped-frame meter at the last reset.
+    frames_skipped_baseline: AtomicU64,
+    /// The store's re-snapshot meter at the last reset.
+    resnapshot_baseline: AtomicU64,
+    /// The store's reconnect meter at the last reset.
+    reconnect_baseline: AtomicU64,
 }
 
 impl AtomicStats {
@@ -225,6 +249,21 @@ impl AtomicStats {
             round_jobs: self.round_jobs.load(Ordering::Relaxed),
             round_buckets: self.round_buckets.load(Ordering::Relaxed),
             max_bucket_jobs: self.max_bucket_jobs.load(Ordering::Relaxed),
+            frames_streamed: store
+                .frames_streamed()
+                .saturating_sub(self.frames_streamed_baseline.load(Ordering::Relaxed)),
+            frames_skipped: store
+                .frames_skipped()
+                .saturating_sub(self.frames_skipped_baseline.load(Ordering::Relaxed)),
+            resnapshots: store
+                .resnapshots()
+                .saturating_sub(self.resnapshot_baseline.load(Ordering::Relaxed)),
+            reconnects: store
+                .reconnects()
+                .saturating_sub(self.reconnect_baseline.load(Ordering::Relaxed)),
+            // Lag is a gauge: report the live value, not a reset-windowed
+            // delta.
+            replica_lag: store.replica_lag(),
         }
     }
 
@@ -263,6 +302,14 @@ impl AtomicStats {
             .store(store.recovered_pages(), Ordering::Relaxed);
         self.truncated_wal_baseline
             .store(store.truncated_wal_records(), Ordering::Relaxed);
+        self.frames_streamed_baseline
+            .store(store.frames_streamed(), Ordering::Relaxed);
+        self.frames_skipped_baseline
+            .store(store.frames_skipped(), Ordering::Relaxed);
+        self.resnapshot_baseline
+            .store(store.resnapshots(), Ordering::Relaxed);
+        self.reconnect_baseline
+            .store(store.reconnects(), Ordering::Relaxed);
     }
 
     fn record_worker_round(&self, round: &RoundStats) {
@@ -885,6 +932,9 @@ fn map_store_error(e: StoreError) -> ProtocolError {
         StoreError::RecoveryFailed(reason) => {
             ProtocolError::Core(format!("store recovery refused: {reason}"))
         }
+        // The typed retry-on-primary signal: a replica past its staleness
+        // bound degrades the request instead of serving stale data.
+        StoreError::Degraded { lag, max_lag } => ProtocolError::Degraded { lag, max_lag },
     }
 }
 

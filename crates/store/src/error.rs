@@ -21,6 +21,10 @@ pub enum StoreError {
     /// A recovered durable store failed its post-recovery audit (budget
     /// accounting, ordering, or visibility invariants) and was refused.
     RecoveryFailed(String),
+    /// A replica refused to serve a read because its replication lag
+    /// exceeds the configured staleness bound.  The client should retry on
+    /// the primary (or another replica) rather than accept stale data.
+    Degraded { lag: u64, max_lag: u64 },
 }
 
 impl fmt::Display for StoreError {
@@ -36,6 +40,11 @@ impl fmt::Display for StoreError {
             StoreError::RecoveryFailed(reason) => {
                 write!(f, "recovered store failed its audit: {reason}")
             }
+            StoreError::Degraded { lag, max_lag } => write!(
+                f,
+                "replica degraded: replication lag {lag} exceeds the staleness bound {max_lag}; \
+                 retry on the primary"
+            ),
         }
     }
 }

@@ -36,6 +36,12 @@
 //! path, then re-auditing byte-exact budget accounting and visibility
 //! before serving.
 //!
+//! The durable layout doubles as the replication substrate ([`replication`]):
+//! a [`ReplicationSource`] streams checkpoint snapshots and the live WAL
+//! tail to [`Replica`]s, which bootstrap through the same validating
+//! recovery path, apply frames through the normal logged-insert path and
+//! serve bounded-staleness reads behind a [`ReplicaReadStore`].
+//!
 //! All engines share one generic cursor-session table
 //! ([`store::OrderedList`]), so sessions, insert generations, owner checks,
 //! TTL expiry and eviction behave identically and the engines answer
@@ -43,6 +49,7 @@
 
 pub mod durable;
 pub mod error;
+pub mod replication;
 pub mod segment;
 pub mod sharded;
 pub mod single;
@@ -51,6 +58,11 @@ pub mod store;
 
 pub use durable::{crc32, DurableConfig, FaultIo, FaultMode, FileIo, PageIo, RealIo, SyncPolicy};
 pub use error::StoreError;
+pub use replication::{
+    Backoff, FaultPlan, FaultTransport, FrameBatch, InProcessTransport, PumpOutcome, Replica,
+    ReplicaConfig, ReplicaReadStore, ReplicaStats, ReplicaTransport, ReplicationSource,
+    SnapshotFile, SnapshotPayload, TransportError, WireFrame,
+};
 pub use segment::{Segment, SegmentConfig, SegmentList};
 pub use sharded::{SegmentStore, ShardedStore, MAX_SHARDS};
 pub use single::SingleMutexStore;

@@ -1572,6 +1572,15 @@ struct DurableState {
 
 impl Drop for DurableState {
     fn drop(&mut self) {
+        // Graceful-shutdown durability: under `SyncPolicy::EveryN` (or
+        // `Never`) up to N-1 acknowledged appends can sit in the WAL tail
+        // without an fsync.  A clean drop flushes them, so only a real
+        // crash or power loss can lose acknowledged work.  Best-effort: a
+        // crashed fault backend swallows the sync, which *is* the crash
+        // the recovery suite models.
+        for wal in &self.wals {
+            let _ = wal.lock().file.sync();
+        }
         // Durable roots persist; only the ephemeral-durable flavour (temp
         // dir lifetime) cleans its files up so the staging root stays free
         // of strays.
@@ -2239,6 +2248,119 @@ impl SpillStore {
         self.durable.is_some()
     }
 
+    /// Flushes and fsyncs every shard's WAL tail — the graceful-shutdown
+    /// sync `Drop` also performs, exposed for explicit shutdown paths that
+    /// want the error instead of best-effort.  No-op on ephemeral stores.
+    pub fn flush_wals(&self) -> Result<(), StoreError> {
+        if let Some(durable) = &self.durable {
+            for wal in &durable.wals {
+                wal.lock().file.sync().map_err(io_err)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The serialized `store.meta` identity block.  Replication snapshots
+    /// ship it first: a replica can open nothing without it.
+    pub(crate) fn replication_meta(&self) -> Result<Vec<u8>, StoreError> {
+        let durable = self.replication_durable()?;
+        read_all(&*durable.backend, &durable.dir.join(STORE_META_NAME))
+    }
+
+    /// One shard's snapshot file set — `(file name, bytes)` for the current
+    /// manifest, the page file of the generation it references, and the live
+    /// WAL tail — read under the shard read lock so no checkpoint,
+    /// compaction or insert can shear the set.  A replica that writes these
+    /// files into an empty root and runs [`SpillStore::open`] lands on
+    /// exactly this shard's state, fully re-validated (manifest CRC,
+    /// per-page CRC, WAL frame CRCs).
+    pub(crate) fn shard_snapshot_files(
+        &self,
+        shard: usize,
+    ) -> Result<Vec<(String, Vec<u8>)>, StoreError> {
+        let durable = self.replication_durable()?;
+        self.core.with_shard_read(shard, |_table| {
+            let manifest_name = format!("shard-{shard:03}.manifest");
+            let manifest_bytes = read_all(&*durable.backend, &durable.dir.join(&manifest_name))?;
+            let manifest = decode_manifest(&manifest_bytes)?;
+            let pages_name = format!("shard-{shard:03}.g{}.pages", manifest.generation);
+            let pages_path = durable.dir.join(&pages_name);
+            let pages_bytes = if durable.backend.exists(&pages_path) {
+                read_all(&*durable.backend, &pages_path)?
+            } else {
+                Vec::new()
+            };
+            let wal_name = format!("shard-{shard:03}.wal");
+            let wal_bytes = {
+                let mut wal = durable.wals[shard].lock();
+                let len = usize::try_from(wal.len)
+                    .map_err(|_| StoreError::Io("WAL too large to snapshot".to_string()))?;
+                let mut buf = vec![0u8; len];
+                wal.file.read_at(0, &mut buf).map_err(io_err)?;
+                buf
+            };
+            Ok(vec![
+                (manifest_name, manifest_bytes),
+                (pages_name, pages_bytes),
+                (wal_name, wal_bytes),
+            ])
+        })
+    }
+
+    /// The live WAL tail of one shard past `from`, as wire-ready frames.
+    /// Returns [`WalTail::Gap`] when a checkpoint already reset the records
+    /// the subscriber needs — the caller must re-snapshot rather than
+    /// silently diverge.
+    pub(crate) fn wal_frames_after(
+        &self,
+        shard: usize,
+        from: u64,
+        max: usize,
+    ) -> Result<WalTail, StoreError> {
+        let durable = self.replication_durable()?;
+        let image = {
+            let mut wal = durable.wals[shard].lock();
+            let len = usize::try_from(wal.len)
+                .map_err(|_| StoreError::Io("WAL too large to stream".to_string()))?;
+            let mut buf = vec![0u8; len];
+            wal.file.read_at(0, &mut buf).map_err(io_err)?;
+            buf
+        };
+        let head = durable.applied_seq(shard);
+        // The image is read under the append mutex against the
+        // acknowledged length, so it scans clean — every frame in it is
+        // complete and CRC-valid.
+        let scan = scan_wal(&image);
+        match scan.records.first() {
+            Some(first) if from + 1 < first.seq => return Ok(WalTail::Gap { head }),
+            None if from < head => return Ok(WalTail::Gap { head }),
+            _ => {}
+        }
+        let mut frames = Vec::new();
+        for record in scan.records.into_iter().filter(|r| r.seq > from) {
+            if frames.len() >= max {
+                break;
+            }
+            frames.push(encode_wal_frame(record.seq, record.list, &record.element)?);
+        }
+        Ok(WalTail::Frames { frames, head })
+    }
+
+    /// Per-shard applied (last logged) sequence numbers; empty for
+    /// non-durable stores.
+    pub(crate) fn wal_applied_seqs(&self) -> Vec<u64> {
+        match &self.durable {
+            Some(d) => (0..self.pagers.len()).map(|s| d.applied_seq(s)).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn replication_durable(&self) -> Result<&DurableState, StoreError> {
+        self.durable
+            .as_ref()
+            .ok_or_else(|| StoreError::Io("replication requires a durable store".to_string()))
+    }
+
     /// The per-shard WAL paths (tests and tooling).
     pub fn wal_paths(&self) -> Vec<PathBuf> {
         match &self.durable {
@@ -2463,6 +2585,19 @@ impl SpillStore {
             }
         }
     }
+}
+
+/// What one [`SpillStore::wal_frames_after`] poll of a shard's WAL tail
+/// yields: the frames past the subscriber's position, or the fact that a
+/// checkpoint already discarded them.
+#[derive(Debug)]
+pub(crate) enum WalTail {
+    /// Frames with `seq > from`, re-encoded in the WAL wire format, plus
+    /// the shard's current head (last applied) sequence.
+    Frames { frames: Vec<Vec<u8>>, head: u64 },
+    /// The records past `from` were folded into a checkpoint and reset out
+    /// of the WAL — the subscriber must re-snapshot.
+    Gap { head: u64 },
 }
 
 /// Refuses to root a new store in a directory already holding page files.

@@ -359,6 +359,37 @@ pub trait ListStore: Send + Sync + std::fmt::Debug {
         0
     }
 
+    /// Replication frames received and applied by this store (0 for
+    /// anything that is not a replica).
+    fn frames_streamed(&self) -> u64 {
+        0
+    }
+
+    /// Replication frames skipped as already applied — duplicates and
+    /// retransmissions the idempotent apply discarded (0 for non-replicas).
+    fn frames_skipped(&self) -> u64 {
+        0
+    }
+
+    /// Full snapshot re-bootstraps a replica performed because the WAL tail
+    /// it needed was no longer available (0 for non-replicas).
+    fn resnapshots(&self) -> u64 {
+        0
+    }
+
+    /// Transport reconnects the replica's catch-up loop performed (0 for
+    /// non-replicas).
+    fn reconnects(&self) -> u64 {
+        0
+    }
+
+    /// Current replication lag in sequence numbers — the largest per-shard
+    /// gap between the primary's last known head and this store's applied
+    /// sequence (0 for non-replicas; a gauge, not a counter).
+    fn replica_lag(&self) -> u64 {
+        0
+    }
+
     /// Physical length of one merged list.
     fn list_len(&self, list: MergedListId) -> Result<usize, StoreError>;
 

@@ -9,17 +9,19 @@
 # live-WAL durable spill engine) and a repeated compaction-under-load
 # stress loop, a repeated worker-pool shutdown stress loop, the
 # fault-injected durable recovery suite plus a repeated
-# kill-at-every-injection-point crash stress loop, bench compilation,
-# clippy with warnings denied, and a hygiene guard asserting the tests
-# left no stray on-disk files — page files, `.pages.compact` rewrite
-# scratch, WALs, manifests or `.manifest.tmp`/`.manifest.prev`
-# checkpoint scratch — behind.
+# kill-at-every-injection-point crash stress loop, the fault-injected
+# replication suite plus a repeated disconnect-storm stress loop, bench
+# compilation, clippy with warnings denied, and hygiene guards asserting
+# the tests left no stray on-disk files — page files, `.pages.compact`
+# rewrite scratch, WALs, manifests, `.manifest.tmp`/`.manifest.prev`
+# checkpoint scratch or replica generation directories — behind.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SPILL_STAGING="${TMPDIR:-/tmp}/zerber-spill"
 DURABLE_STAGING="${TMPDIR:-/tmp}/zerber-durable"
+REPLICA_STAGING="${TMPDIR:-/tmp}/zerber-replica"
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -82,6 +84,21 @@ for i in 1 2 3 4 5; do
     }
 done
 
+echo "==> replication suite (release: fault matrix, resnapshot, degraded reads, kill-at-every-boundary)"
+cargo test --release --test replication
+
+echo "==> disconnect-storm replication stress (release, repeated)"
+for i in 1 2 3 4 5; do
+  cargo test --release --test replication \
+    disconnect_storm_replication_converges -- --exact \
+    > /dev/null 2>&1 || {
+      echo "disconnect-storm stress failed on iteration $i" >&2
+      cargo test --release --test replication \
+        disconnect_storm_replication_converges -- --exact
+      exit 1
+    }
+done
+
 echo "==> spill hygiene: no stray page files (or compaction scratch files) after the test runs"
 # Covers both live page files (*.pages) and compaction rewrite scratch
 # files (*.pages.compact): an aborted or committed compaction must never
@@ -99,6 +116,16 @@ echo "==> durable hygiene: ephemeral durable roots leave no WALs, manifests or c
 if [ -d "$DURABLE_STAGING" ] && [ -n "$(find "$DURABLE_STAGING" -type f 2>/dev/null | head -1)" ]; then
   echo "stray durable-store files left behind under $DURABLE_STAGING:" >&2
   find "$DURABLE_STAGING" -type f >&2
+  exit 1
+fi
+
+echo "==> replica hygiene: replication tests remove their primary and replica roots"
+# Replica roots hold full durable stores (generation dirs with pages,
+# WALs and manifests) for both ends of the stream: every test and the
+# equivalence proptest must remove its whole root on the way out.
+if [ -d "$REPLICA_STAGING" ] && [ -n "$(find "$REPLICA_STAGING" -type f 2>/dev/null | head -1)" ]; then
+  echo "stray replica files left behind under $REPLICA_STAGING:" >&2
+  find "$REPLICA_STAGING" -type f >&2
   exit 1
 fi
 

@@ -437,6 +437,49 @@ fn buffered_power_loss_keeps_every_acknowledged_insert() {
     let _ = fs::remove_dir_all(&root);
 }
 
+/// Under `SyncPolicy::EveryN` a *clean* shutdown must still keep every
+/// acknowledged insert: batched fsync is allowed to lose the unsynced tail
+/// on a crash, never on an orderly drop.  The drop path flushes and syncs
+/// the WAL tails; the `Buffered` shim (which discards whatever was never
+/// synced) proves it — without the drop-time sync, up to N-1 acknowledged
+/// appends would evaporate here.
+#[test]
+fn clean_drop_under_batched_sync_keeps_every_acknowledged_insert() {
+    let index = fixture_index(NUM_LISTS, true);
+    let root = test_root("buffered-everyn-drop");
+    let dir = root.join("store");
+    let durable = durable_config(SyncPolicy::EveryN(1000));
+    drop(
+        SpillStore::create_durable(index.clone(), &dir, NUM_SHARDS, spill_config(), durable)
+            .unwrap(),
+    );
+
+    let store = SpillStore::open_with_io(
+        &dir,
+        spill_config(),
+        durable,
+        FaultIo::new(FaultMode::Buffered) as Arc<dyn PageIo>,
+    )
+    .unwrap();
+    for (list, el) in insert_history() {
+        store.insert(MergedListId(list as u64), el).unwrap();
+    }
+    // With N = 1000 nothing hit the sync threshold: only the drop-path
+    // flush stands between the acknowledged inserts and the bit bucket.
+    drop(store);
+
+    let oracle = oracle_states(&index);
+    let recovered = SpillStore::open(&dir, spill_config(), durable).unwrap();
+    for (l, list_states) in oracle.iter().enumerate() {
+        assert_eq!(
+            &recovered.snapshot_list(MergedListId(l as u64)).unwrap(),
+            list_states.last().unwrap(),
+            "list {l} lost acknowledged inserts across a clean shutdown"
+        );
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
 /// A bit-flip inside the WAL truncates the log at the corrupt frame and
 /// keeps serving everything before it — corruption never panics and never
 /// bricks the store.

@@ -549,3 +549,147 @@ proptest! {
         prop_assert_eq!(&per_engine[0], &per_engine[5]);
     }
 }
+
+/// Unique on-disk root per proptest case for the replica equivalence
+/// property, under the staging tree the hygiene guard sweeps.
+fn replica_case_root() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join("zerber-replica").join(format!(
+        "{}-equivalence-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A caught-up read replica is just another engine: bootstrapped from a
+    /// durable primary's snapshot and fed its WAL tail, it must answer
+    /// every ranged fetch and visibility count element-for-element
+    /// identically to the in-memory oracle — across offsets, counts and
+    /// group-mask filters — while refusing writes.
+    #[test]
+    fn replica_reads_match_the_oracle(
+        lists in proptest::collection::vec(
+            proptest::collection::vec(
+                (trs_strategy(), 0..NUM_GROUPS, proptest::collection::vec(any::<u8>(), 0..6)),
+                0..24,
+            ).prop_map(sorted),
+            1..4,
+        ),
+        streamed in proptest::collection::vec(
+            (0usize..4, trs_strategy(), 0..NUM_GROUPS, proptest::collection::vec(any::<u8>(), 0..6)),
+            1..24,
+        ),
+        fetches in proptest::collection::vec(
+            (0usize..4, 0usize..30, 1usize..8, any::<u8>()),
+            1..16,
+        ),
+    ) {
+        use std::sync::Arc;
+        use zerber_suite::store::{
+            InProcessTransport, RealIo, Replica, ReplicaConfig, ReplicaTransport,
+            ReplicationSource,
+        };
+
+        let plan = MergePlan::from_term_lists(
+            (0..lists.len()).map(|i| vec![TermId(i as u32)]).collect(),
+            "replica-equivalence-fixture",
+            2.0,
+        );
+        let segment_config = SegmentConfig {
+            block_len: 3,
+            tail_threshold: 2,
+            max_segment_elems: 12,
+            max_segments: 2,
+            max_payload_bytes: u32::MAX as usize,
+        };
+        let spill_config = SpillConfig {
+            resident_budget_bytes: 0,
+            page_cache_pages: 2,
+            ..SpillConfig::default().without_tiering()
+        };
+        let durable_config = DurableConfig {
+            sync: SyncPolicy::Never,
+            checkpoint_wal_bytes: 1 << 30,
+        };
+        let index = OrderedIndex::from_parts(lists.to_vec(), plan);
+        let oracle = SingleMutexStore::new(index.clone());
+        let root = replica_case_root();
+        let primary = Arc::new(
+            SpillStore::create_durable_with(
+                index,
+                root.join("primary"),
+                2,
+                spill_config,
+                segment_config,
+                durable_config,
+                RealIo::shared(),
+                false,
+            )
+            .unwrap(),
+        );
+
+        let source = ReplicationSource::new(Arc::clone(&primary)).unwrap();
+        let transport = InProcessTransport::new(source);
+        let mut replica = Replica::bootstrap(
+            transport as Arc<dyn ReplicaTransport>,
+            root.join("replica"),
+            ReplicaConfig {
+                spill: spill_config,
+                durable: durable_config,
+                batch_frames: 4,
+                backoff_base: std::time::Duration::ZERO,
+                backoff_cap: std::time::Duration::ZERO,
+                ..ReplicaConfig::default()
+            },
+        )
+        .unwrap();
+
+        // The streamed phase: primary and oracle advance together, the
+        // replica follows over the wire.
+        let num_lists = lists.len();
+        for (list, trs, group, ct) in streamed {
+            let id = MergedListId((list % num_lists) as u64);
+            let el = element(trs, group, ct);
+            oracle.insert(id, el.clone()).unwrap();
+            primary.insert(id, el).unwrap();
+        }
+        replica.catch_up(500).unwrap();
+        prop_assert_eq!(replica.lag(), 0);
+
+        let serving = replica.serving_store();
+        for (list, offset, count, mask) in fetches {
+            let fetch = RangedFetch {
+                list: MergedListId((list % num_lists) as u64),
+                offset,
+                count,
+            };
+            let groups = groups_from_mask(mask);
+            let want = oracle.fetch_ranged(&fetch, groups.as_deref());
+            let got = serving.fetch_ranged(&fetch, groups.as_deref());
+            match (want, got) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(&a.elements, &b.elements);
+                    prop_assert_eq!(a.visible_total, b.visible_total);
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => prop_assert!(false, "oracle and replica disagree: {:?} vs {:?}", a, b),
+            }
+            prop_assert_eq!(
+                oracle.visible_len(fetch.list, groups.as_deref()).unwrap(),
+                serving.visible_len(fetch.list, groups.as_deref()).unwrap()
+            );
+        }
+        // Reads only: inserts are routed to the primary.
+        prop_assert!(serving.insert(MergedListId(0), element(0.5, 0, b"w".to_vec())).is_err());
+        drop(replica);
+        drop(serving);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
