@@ -1,0 +1,334 @@
+//! A minimal Rust lexer: just enough to walk token trees reliably.
+//!
+//! The analyzer never needs types or full syntax — only a faithful token
+//! stream where comments, strings (including raw and byte strings), char
+//! literals and lifetimes cannot masquerade as code.  Each token carries the
+//! 1-based line it starts on so diagnostics point at real source lines.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based source line the token starts on.
+    pub line: usize,
+    /// What the token is.
+    pub kind: Kind,
+}
+
+/// Token classes the rules care about.  Operators are kept as single
+/// punctuation characters; the rules match short sequences where needed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `unwrap`, `as`, ...).
+    Ident(String),
+    /// Single punctuation character (`.`, `[`, `{`, `!`, ...).
+    Punct(char),
+    /// String, char, byte or numeric literal (content discarded).
+    Literal,
+    /// A lifetime such as `'a` (distinct from a char literal).
+    Lifetime,
+}
+
+impl Tok {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            Kind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is(&self, c: char) -> bool {
+        self.kind == Kind::Punct(c)
+    }
+}
+
+/// Lexes `src` into a token stream, discarding comments and whitespace.
+///
+/// The lexer is intentionally forgiving: an unterminated string or comment
+/// consumes to end of input rather than erroring, so a half-edited file
+/// still produces diagnostics for everything before the damage.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment (incl. doc comments): skip to newline.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, nesting like Rust's.
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start = line;
+                i = skip_string(bytes, i, &mut line);
+                toks.push(Tok {
+                    line: start,
+                    kind: Kind::Literal,
+                });
+            }
+            'r' | 'b' if starts_raw_or_byte_string(bytes, i) => {
+                let start = line;
+                i = skip_raw_or_byte_string(bytes, i, &mut line);
+                toks.push(Tok {
+                    line: start,
+                    kind: Kind::Literal,
+                });
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let mut j = i + 1;
+                if bytes.get(j) == Some(&b'\\') {
+                    // Escaped char literal.
+                    i = skip_char_literal(bytes, i);
+                    toks.push(Tok {
+                        line,
+                        kind: Kind::Literal,
+                    });
+                } else {
+                    while j < bytes.len() && is_ident_char(bytes[j]) {
+                        j += 1;
+                    }
+                    if j > i + 1 && bytes.get(j) != Some(&b'\'') {
+                        // `'ident` not closed by a quote: lifetime.
+                        toks.push(Tok {
+                            line,
+                            kind: Kind::Lifetime,
+                        });
+                        i = j;
+                    } else {
+                        i = skip_char_literal(bytes, i);
+                        toks.push(Tok {
+                            line,
+                            kind: Kind::Literal,
+                        });
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                // Numeric literal: digits, `_`, type suffixes, hex/bin, and a
+                // fractional part — but stop before `..` so ranges survive.
+                let mut j = i + 1;
+                while j < bytes.len() && (is_ident_char(bytes[j]) || bytes[j] == b'.') {
+                    if bytes[j] == b'.' {
+                        if bytes.get(j + 1) == Some(&b'.') {
+                            break; // `0..n` range, the dots are punctuation
+                        }
+                        if !bytes
+                            .get(j + 1)
+                            .is_some_and(|b| b.is_ascii_digit() || is_ident_char(*b))
+                        {
+                            j += 1; // trailing `1.`
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                toks.push(Tok {
+                    line,
+                    kind: Kind::Literal,
+                });
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < bytes.len() && is_ident_char(bytes[j]) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    line,
+                    kind: Kind::Ident(src[i..j].to_string()),
+                });
+                i = j;
+            }
+            c => {
+                toks.push(Tok {
+                    line,
+                    kind: Kind::Punct(c),
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// True when position `i` (at `r` or `b`) starts a raw string (`r"`, `r#`),
+/// byte string (`b"`), or raw byte string (`br"`, `br#`).
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+    }
+    // Must land on a quote AND have consumed at least one prefix char, and
+    // the prefix must not be part of a longer identifier (`radius"...` is
+    // not a raw string — but a lone `r`/`b` directly before `"` is).
+    j > i && bytes.get(j) == Some(&b'"')
+}
+
+/// Skips a `"..."` string with escapes, tracking newlines.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    i += 1; // opening quote
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips `r"..."` / `r#"..."#` / `b"..."` / `br##"..."##`.
+fn skip_raw_or_byte_string(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    let mut raw = false;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'r') {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'\\' if !raw => i += 2,
+            b'"' => {
+                let mut j = i + 1;
+                let mut seen = 0usize;
+                while seen < hashes && bytes.get(j) == Some(&b'#') {
+                    seen += 1;
+                    j += 1;
+                }
+                if seen == hashes {
+                    return j;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips `'x'` or `'\n'` (called only when the content is a char literal).
+fn skip_char_literal(bytes: &[u8], mut i: usize) -> usize {
+    i += 1; // opening quote
+    if bytes.get(i) == Some(&b'\\') {
+        i += 2;
+    } else {
+        i += 1;
+    }
+    while i < bytes.len() && bytes[i] != b'\'' {
+        i += 1; // unicode escapes `\u{1F600}`
+    }
+    i + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Kind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r###"
+            // unwrap() in a comment
+            /* panic! in /* nested */ block */
+            let a = "unwrap() in a string";
+            let b = r#"expect( in a raw string"#;
+            let c = b"unwrap";
+            real_ident();
+        "###;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; }");
+        let lifetimes = toks.iter().filter(|t| t.kind == Kind::Lifetime).count();
+        let literals = toks.iter().filter(|t| t.kind == Kind::Literal).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(literals, 2);
+    }
+
+    #[test]
+    fn ranges_survive_numeric_literals() {
+        let toks = lex("&buf[0..4]");
+        let dots = toks.iter().filter(|t| t.is('.')).count();
+        assert_eq!(dots, 2, "0..4 must lex as literal, dot, dot, literal");
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "a\n/*\n\n*/\nb \"x\ny\" c";
+        let toks = lex(src);
+        let a = toks.iter().find(|t| t.ident() == Some("a")).unwrap();
+        let b = toks.iter().find(|t| t.ident() == Some("b")).unwrap();
+        let c = toks.iter().find(|t| t.ident() == Some("c")).unwrap();
+        assert_eq!((a.line, b.line, c.line), (1, 5, 6));
+    }
+}

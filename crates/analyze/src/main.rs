@@ -1,0 +1,39 @@
+//! The `zerber-analyze` bin: scans every `crates/*/src/**.rs` file of the
+//! workspace, prints the report, writes `ANALYZE_REPORT.json` at the repo
+//! root, and exits non-zero when violations remain.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // The bin lives at crates/analyze, the workspace root two levels up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = root.canonicalize().unwrap_or(root);
+
+    let inputs = match zerber_analyze::collect_workspace(&root) {
+        Ok(inputs) => inputs,
+        Err(e) => {
+            eprintln!("zerber-analyze: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let analysis = zerber_analyze::analyze_files(&inputs);
+    print!("{}", zerber_analyze::report::render_text(&analysis));
+
+    let json = zerber_analyze::report::render_json(&analysis);
+    let report_path = root.join("ANALYZE_REPORT.json");
+    if let Err(e) = std::fs::write(&report_path, json) {
+        eprintln!(
+            "zerber-analyze: cannot write {}: {e}",
+            report_path.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    if analysis.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

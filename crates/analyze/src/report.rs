@@ -1,0 +1,130 @@
+//! Report rendering: human-readable text and machine-readable JSON.
+//!
+//! The JSON (`ANALYZE_REPORT.json`) is hand-rolled like the bench reports —
+//! the workspace has no serde_json — and is stable enough to trend the
+//! allow-count across PRs.
+
+use crate::Analysis;
+use std::fmt::Write as _;
+
+/// Renders the human-readable report (what the bin prints).
+pub fn render_text(a: &Analysis) -> String {
+    let mut out = String::new();
+    for v in &a.violations {
+        let _ = writeln!(out, "{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        if !v.snippet.is_empty() {
+            let _ = writeln!(out, "    {}", v.snippet);
+        }
+    }
+    if !a.allows.is_empty() {
+        let _ = writeln!(out, "allows in effect ({}):", a.allows.len());
+        for al in &a.allows {
+            let _ = writeln!(
+                out,
+                "  {}:{}: allow({}) x{} — {}",
+                al.file, al.line, al.rule, al.suppressed, al.reason
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "zerber-analyze: {} file(s) scanned, {} violation(s), {} allow(s)",
+        a.files_scanned,
+        a.violations.len(),
+        a.allows.len()
+    );
+    out
+}
+
+/// Renders `ANALYZE_REPORT.json`.
+pub fn render_json(a: &Analysis) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"files_scanned\": {},", a.files_scanned);
+    out.push_str("  \"violations\": [\n");
+    for (i, v) in a.violations.iter().enumerate() {
+        let comma = if i + 1 < a.violations.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"snippet\": {}, \
+             \"message\": {}}}{comma}",
+            json_str(v.rule),
+            json_str(&v.file),
+            v.line,
+            json_str(&v.snippet),
+            json_str(&v.message)
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"allows\": [\n");
+    for (i, al) in a.allows.iter().enumerate() {
+        let comma = if i + 1 < a.allows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"suppressed\": {}, \
+             \"reason\": {}}}{comma}",
+            json_str(&al.rule),
+            json_str(&al.file),
+            al.line,
+            al.suppressed,
+            json_str(&al.reason)
+        );
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze_files;
+
+    #[test]
+    fn json_report_is_well_formed_and_escaped() {
+        let src = "fn f() { x.expect(\"quote \\\" and tab\\there\"); }";
+        let a = analyze_files(&[("crates/store/src/a.rs".to_string(), src.to_string())]);
+        assert_eq!(a.violations.len(), 1);
+        let json = render_json(&a);
+        assert!(json.contains("\"violations\""));
+        assert!(json.contains("\\\""), "quotes in snippets must be escaped");
+        // Crude balance check: equal numbers of braces and brackets.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn text_report_carries_file_line_and_snippet() {
+        let src = "fn f() { x.unwrap(); }";
+        let a = analyze_files(&[("crates/store/src/a.rs".to_string(), src.to_string())]);
+        let text = render_text(&a);
+        assert!(text.contains("crates/store/src/a.rs:1: [panic]"), "{text}");
+        assert!(text.contains("x.unwrap();"));
+        assert!(text.contains("1 violation(s)"));
+    }
+}

@@ -1,0 +1,7 @@
+// virtual: crates/store/src/fixture.rs
+// An allow that suppresses nothing must itself be flagged, so exemptions
+// cannot outlive the code they excused.
+fn safe() -> u64 {
+    // analyze::allow(panic): nothing here actually panics
+    42
+}

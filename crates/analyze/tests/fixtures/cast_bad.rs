@@ -1,0 +1,6 @@
+// virtual: crates/store/src/spill.rs
+// A bare narrowing cast in a codec file silently truncates oversized
+// input.  The cast rule must fire exactly once.
+fn page_id(raw: u64) -> u32 {
+    raw as u32
+}

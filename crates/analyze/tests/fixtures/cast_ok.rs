@@ -1,0 +1,6 @@
+// virtual: crates/store/src/spill.rs
+// The clean twin: `try_from` types the truncation as a corrupt-input
+// error instead of wrapping silently.
+fn page_id(raw: u64) -> Result<u32, StoreError> {
+    u32::try_from(raw).map_err(|_| StoreError::CorruptSegment("page id out of range"))
+}

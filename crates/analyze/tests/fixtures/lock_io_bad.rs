@@ -1,0 +1,10 @@
+// virtual: crates/store/src/fixture.rs
+// Durable IO inside a live shard write guard: every insert on this shard
+// stalls behind the disk.  The lock rule must fire exactly once.
+impl Core {
+    fn checkpoint(&self, shard: usize) {
+        let mut guard = self.shards[shard].write();
+        guard.flush_pages();
+        self.io.sync_all();
+    }
+}

@@ -1,0 +1,13 @@
+// virtual: crates/store/src/fixture.rs
+// The clean twin: the dirty pages are taken under the guard, the fsync
+// happens after it dies with its block (the off-lock IO contract).
+impl Core {
+    fn checkpoint(&self, shard: usize) {
+        let pages = {
+            let mut guard = self.shards[shard].write();
+            guard.take_dirty_pages()
+        };
+        self.io.sync_all();
+        self.publish(pages);
+    }
+}

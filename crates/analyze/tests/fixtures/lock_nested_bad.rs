@@ -1,0 +1,11 @@
+// virtual: crates/store/src/fixture.rs
+// A second shard-lock acquisition while the first guard is live: two
+// threads rebalancing opposite directions deadlock.  The lock rule must
+// fire exactly once.
+impl Core {
+    fn rebalance(&self, from: usize, to: usize) {
+        let src = self.shards[from].write();
+        let dst = self.shards[to].write();
+        dst.absorb(src.drain());
+    }
+}

@@ -1,0 +1,12 @@
+// virtual: crates/store/src/fixture.rs
+// The clean twin: the first guard dies with its block before the second
+// shard is locked, so the acquisitions are sequential, never nested.
+impl Core {
+    fn rebalance(&self, from: usize, to: usize) {
+        let moved = {
+            let mut src = self.shards[from].write();
+            src.drain()
+        };
+        self.shards[to].write().absorb(moved);
+    }
+}

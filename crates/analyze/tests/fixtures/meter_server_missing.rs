@@ -1,0 +1,6 @@
+// virtual: crates/protocol/src/server.rs
+// Exports only one of the two getters: paired with `meter_store.rs`, the
+// meter rule must fire exactly once (for `orphan_stat`).
+fn snapshot(store: &dyn ListStore) -> u64 {
+    store.lock_acquisitions()
+}

@@ -1,0 +1,5 @@
+// virtual: crates/protocol/src/server.rs
+// The clean twin: every getter of `meter_store.rs` is surfaced.
+fn snapshot(store: &dyn ListStore) -> (u64, u64) {
+    (store.lock_acquisitions(), store.orphan_stat())
+}

@@ -1,0 +1,7 @@
+// virtual: crates/store/src/store.rs
+// Two stat getters; whether the meter rule fires depends on which server
+// fixture this file is paired with.
+pub trait ListStore {
+    fn lock_acquisitions(&self) -> u64;
+    fn orphan_stat(&self) -> u64;
+}

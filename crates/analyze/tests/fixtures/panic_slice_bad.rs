@@ -1,0 +1,6 @@
+// virtual: crates/store/src/durable.rs
+// Range-slicing an untrusted buffer in a codec file: a short read panics
+// here, so the panic rule must fire exactly once.
+fn header(buf: &[u8]) -> &[u8] {
+    &buf[4..12]
+}

@@ -1,0 +1,5 @@
+// virtual: crates/store/src/durable.rs
+// The clean twin: `.get(..)` turns a short read into a typed error.
+fn header(buf: &[u8]) -> Result<&[u8], StoreError> {
+    buf.get(4..12).ok_or(StoreError::CorruptSegment("truncated header"))
+}

@@ -1,0 +1,5 @@
+// virtual: crates/store/src/fixture.rs
+// A serving-path unwrap: the panic rule must fire exactly once.
+fn serve(slot: Option<u64>) -> u64 {
+    slot.unwrap()
+}

@@ -1,0 +1,5 @@
+// virtual: crates/store/src/fixture.rs
+// The clean twin: the same lookup surfaces a typed error instead.
+fn serve(slot: Option<u64>) -> Result<u64, StoreError> {
+    slot.ok_or(StoreError::UnknownList(0))
+}

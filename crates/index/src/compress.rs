@@ -21,9 +21,18 @@ use crate::posting::{Posting, PostingList};
 /// digits, which is far below the ranking granularity the experiments need.
 const SCORE_SCALE: f64 = 1_000_000.0;
 
+/// Widens a length or count to the varint domain.  Infallible: `usize` is
+/// at most 64 bits on every supported target.
+fn len_u64(n: usize) -> u64 {
+    // analyze::allow(cast): provably widening — usize is at most 64 bits
+    n as u64
+}
+
 /// Appends `value` in variable-byte (LEB128) encoding.
 pub fn write_varint(out: &mut Vec<u8>, mut value: u64) {
     loop {
+        // analyze::allow(cast): masked to the low 7 bits, so the narrowing
+        // to u8 cannot truncate
         let byte = (value & 0x7f) as u8;
         value >>= 7;
         if value == 0 {
@@ -56,6 +65,8 @@ pub fn read_varint(buf: &[u8], mut pos: usize) -> Result<(u64, usize), IndexErro
 
 /// Quantizes a score to the fixed-point wire representation.
 fn quantize(score: f64) -> u64 {
+    // analyze::allow(cast): clamped into [0, u32::MAX] before the cast, and
+    // float-to-int casts saturate (NaN maps to 0) — no truncation possible
     (score.clamp(0.0, u32::MAX as f64 / SCORE_SCALE) * SCORE_SCALE).round() as u64
 }
 
@@ -86,7 +97,7 @@ pub fn from_sortable_bits(bits: u64) -> f64 {
 
 /// Appends a byte slice with a varint length prefix.
 pub fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
-    write_varint(out, bytes.len() as u64);
+    write_varint(out, len_u64(bytes.len()));
     out.extend_from_slice(bytes);
 }
 
@@ -115,7 +126,7 @@ pub fn read_bytes(buf: &[u8], pos: usize) -> Result<(&[u8], usize), IndexError> 
 pub fn encode_posting_list(list: &PostingList) -> Vec<u8> {
     let postings = list.postings();
     let mut out = Vec::with_capacity(postings.len() * 4 + 4);
-    write_varint(&mut out, postings.len() as u64);
+    write_varint(&mut out, len_u64(postings.len()));
     let mut prev_q: Option<u64> = None;
     for p in postings {
         write_varint(&mut out, u64::from(p.doc.0));
@@ -137,7 +148,9 @@ pub fn decode_posting_list(buf: &[u8]) -> Result<PostingList, IndexError> {
     // Don't trust the untrusted count for allocation: every posting takes at
     // least 3 bytes, so a corrupt header can't trigger a huge pre-allocation
     // before validation fails on the truncated body.
-    let plausible = (count as usize).min(buf.len() / 3 + 1);
+    let plausible = usize::try_from(count)
+        .unwrap_or(usize::MAX)
+        .min(buf.len() / 3 + 1);
     let mut postings = Vec::with_capacity(plausible);
     let mut prev_q: Option<u64> = None;
     for _ in 0..count {
@@ -145,9 +158,10 @@ pub fn decode_posting_list(buf: &[u8]) -> Result<PostingList, IndexError> {
         let (tf, p2) = read_varint(buf, p1)?;
         let (raw, p3) = read_varint(buf, p2)?;
         pos = p3;
-        if doc > u64::from(u32::MAX) || tf > u64::from(u32::MAX) {
-            return Err(IndexError::CorruptPostings("value out of range".into()));
-        }
+        let doc = u32::try_from(doc)
+            .map_err(|_| IndexError::CorruptPostings("value out of range".into()))?;
+        let tf = u32::try_from(tf)
+            .map_err(|_| IndexError::CorruptPostings("value out of range".into()))?;
         let q = match prev_q {
             None => raw,
             Some(prev) => prev.checked_sub(raw).ok_or_else(|| {
@@ -155,11 +169,7 @@ pub fn decode_posting_list(buf: &[u8]) -> Result<PostingList, IndexError> {
             })?,
         };
         prev_q = Some(q);
-        postings.push(Posting::new(
-            DocId(doc as u32),
-            tf as u32,
-            q as f64 / SCORE_SCALE,
-        ));
+        postings.push(Posting::new(DocId(doc), tf, q as f64 / SCORE_SCALE));
     }
     if pos != buf.len() {
         return Err(IndexError::CorruptPostings(format!(

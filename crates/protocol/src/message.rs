@@ -116,6 +116,15 @@ impl QueryResponse {
 
     /// Decodes a buffer produced by [`QueryResponse::encode`].
     pub fn decode(buf: &[u8]) -> Result<Self, ProtocolError> {
+        // Borrows exactly `N` bytes at `pos` as an array, or reports a
+        // truncated buffer — fixed-width fields decode through this so a
+        // short response surfaces as a codec error, never a panic.
+        fn take<const N: usize>(buf: &[u8], pos: usize) -> Result<[u8; N], ProtocolError> {
+            pos.checked_add(N)
+                .and_then(|end| buf.get(pos..end))
+                .and_then(|s| <[u8; N]>::try_from(s).ok())
+                .ok_or_else(|| ProtocolError::Codec("truncated response".into()))
+        }
         let need = |cond: bool| {
             if cond {
                 Ok(())
@@ -124,9 +133,9 @@ impl QueryResponse {
             }
         };
         need(buf.len() >= 20)?;
-        let count = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
-        let visible_total = u64::from_le_bytes(buf[4..12].try_into().unwrap());
-        let cursor = u64::from_le_bytes(buf[12..20].try_into().unwrap());
+        let count = u32::from_le_bytes(take(buf, 0)?) as usize;
+        let visible_total = u64::from_le_bytes(take(buf, 4)?);
+        let cursor = u64::from_le_bytes(take(buf, 12)?);
         let mut pos = 20usize;
         // Don't trust the untrusted count for allocation: every element
         // takes at least 14 header bytes, so a corrupt count can't trigger a
@@ -135,9 +144,9 @@ impl QueryResponse {
         let mut elements = Vec::with_capacity(plausible);
         for _ in 0..count {
             need(buf.len() >= pos + 14)?;
-            let trs = f64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
-            let group = u32::from_le_bytes(buf[pos + 8..pos + 12].try_into().unwrap());
-            let len = u16::from_le_bytes(buf[pos + 12..pos + 14].try_into().unwrap()) as usize;
+            let trs = f64::from_le_bytes(take(buf, pos)?);
+            let group = u32::from_le_bytes(take(buf, pos + 8)?);
+            let len = u16::from_le_bytes(take(buf, pos + 12)?) as usize;
             pos += 14;
             need(buf.len() >= pos + len)?;
             let ciphertext = buf[pos..pos + len].to_vec();

@@ -253,6 +253,9 @@ pub fn drive_raw_queries(
             .collect();
         workers
             .into_iter()
+            // analyze::allow(panic): join fails only if the worker already
+            // panicked; re-panicking the load harness preserves that bug
+            // instead of reporting a bogus throughput number
             .map(|w| w.join().expect("load worker must not panic"))
             .sum::<Result<u64, ProtocolError>>()
     })?;
@@ -450,6 +453,8 @@ pub fn drive_pipelined_queries(
                 round.clear();
             }
         });
+        // analyze::allow(panic): join fails only if the scheduler already
+        // panicked; re-panicking the load harness preserves that bug
         scheduler.join().expect("scheduler must not panic")
     })?;
     let (served, waited) = served;
@@ -497,6 +502,9 @@ pub fn drive_client_queries(
             .collect();
         workers
             .into_iter()
+            // analyze::allow(panic): join fails only if the worker already
+            // panicked; re-panicking the load harness preserves that bug
+            // instead of reporting a bogus throughput number
             .map(|w| w.join().expect("load worker must not panic"))
             .sum::<Result<u64, ProtocolError>>()
     })?;

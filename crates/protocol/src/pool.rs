@@ -46,7 +46,15 @@ const BUCKETS_PER_WORKER: usize = 4;
 /// Locks a mutex, shrugging off poisoning: a worker that panicked inside a
 /// bucket already converted the damage into per-job errors, and every
 /// structure behind these mutexes stays consistent across unwind points.
+///
+/// Pool mutexes rank *below* every store and shard lock (see
+/// `zerber_store::lockrank`): scheduling state must never be taken while a
+/// shard is held, or a stalled worker could wedge the whole round.  The
+/// check is transient (not held for the guard's lifetime) because these
+/// guards are handed raw to `Condvar::wait`; pool mutexes never nest among
+/// themselves, so a held-rank entry would add nothing.
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    zerber_store::lockrank::check(zerber_store::LockClass::Pool, 0);
     mutex
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -133,6 +141,9 @@ impl ShardWorkerPool {
                 std::thread::Builder::new()
                     .name(format!("shard-worker-{me}"))
                     .spawn(move || worker_loop(&shared, me))
+                    // analyze::allow(panic): pool construction runs at server
+                    // startup, not on a serving path — failing to spawn OS
+                    // threads leaves nothing to degrade to
                     .expect("spawning a shard worker thread")
             })
             .collect();
@@ -237,7 +248,11 @@ fn assemble(
     ShardBatchOutput {
         results: slots
             .into_iter()
-            .map(|slot| slot.expect("every job is routed, unroutable, or bucket-filled"))
+            .map(|slot| {
+                slot.unwrap_or(Err(StoreError::Invariant(
+                    "every job is routed, unroutable, or bucket-filled",
+                )))
+            })
             .collect(),
         lock_acquisitions,
     }
@@ -254,10 +269,10 @@ fn worker_loop(shared: &PoolShared, me: usize) {
                 let victim = (0..state.queues.len())
                     .filter(|&w| w != me && !state.queues[w].is_empty())
                     .max_by_key(|&w| state.queues[w].len());
-                if let Some(victim) = victim {
-                    let task = state.queues[victim]
-                        .pop_back()
-                        .expect("victim queue checked non-empty under the same lock");
+                // The victim was checked non-empty under this same lock, so
+                // the pop yields a task; if it somehow did not, fall through
+                // and re-scan instead of panicking.
+                if let Some(task) = victim.and_then(|v| state.queues[v].pop_back()) {
                     break (task, true);
                 }
                 // Only exit once every queue is drained, so a shutdown

@@ -67,12 +67,21 @@ fn frame_message(tag: u8, body: &[u8]) -> Vec<u8> {
 
 /// Splits a framed message into its tag and body after validating length
 /// and CRC.
+/// Reads a little-endian `u32` at `pos`, or reports a truncated message.
+fn le_u32(buf: &[u8], pos: usize) -> Result<u32, ProtocolError> {
+    pos.checked_add(4)
+        .and_then(|end| buf.get(pos..end))
+        .and_then(|s| <[u8; 4]>::try_from(s).ok())
+        .map(u32::from_le_bytes)
+        .ok_or_else(|| ProtocolError::Codec("truncated replication message".into()))
+}
+
 fn open_message(buf: &[u8]) -> Result<(u8, &[u8]), ProtocolError> {
     if buf.len() < 9 {
         return Err(ProtocolError::Codec("truncated replication message".into()));
     }
-    let body_len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
-    let carried = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    let body_len = le_u32(buf, 0)? as usize;
+    let carried = le_u32(buf, 4)?;
     let payload = &buf[8..];
     if payload.len() != body_len + 1 {
         return Err(ProtocolError::Codec(
@@ -113,15 +122,21 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, ProtocolError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        let bytes = <[u8; 2]>::try_from(self.take(2)?)
+            .map_err(|_| ProtocolError::Codec("truncated replication body".into()))?;
+        Ok(u16::from_le_bytes(bytes))
     }
 
     fn u32(&mut self) -> Result<u32, ProtocolError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let bytes = <[u8; 4]>::try_from(self.take(4)?)
+            .map_err(|_| ProtocolError::Codec("truncated replication body".into()))?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     fn u64(&mut self) -> Result<u64, ProtocolError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let bytes = <[u8; 8]>::try_from(self.take(8)?)
+            .map_err(|_| ProtocolError::Codec("truncated replication body".into()))?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     /// A count field off the wire: bounded by what the remaining bytes

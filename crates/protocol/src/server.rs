@@ -136,6 +136,22 @@ pub struct ServerStats {
     /// gap between the primary's last known head and the replica's applied
     /// sequence.  A gauge (point-in-time), not a delta-windowed counter.
     pub replica_lag: u64,
+    /// Elements the storage engine individually examined for visibility
+    /// accounting — the r-confidentiality filter work the scan-cost
+    /// assertions bound (cached cursor follow-ups leave it untouched).
+    pub visibility_scan_cost: u64,
+    /// Estimated bytes of the engine's in-memory physical representation.
+    /// A gauge (point-in-time), like the other byte footprints below.
+    pub resident_bytes: u64,
+    /// Bytes of index state spilled to secondary storage (0 for the
+    /// in-memory engines).  A gauge.
+    pub spilled_bytes: u64,
+    /// Physical length of the on-disk page files backing the spilled state;
+    /// exceeds [`ServerStats::spilled_bytes`] by the dead bytes interior
+    /// rebuilds strand in the append-only files.  A gauge.
+    pub page_file_bytes: u64,
+    /// Dead (stranded) page-file bytes awaiting compaction.  A gauge.
+    pub dead_page_bytes: u64,
 }
 
 impl ServerStats {
@@ -199,6 +215,8 @@ struct AtomicStats {
     resnapshot_baseline: AtomicU64,
     /// The store's reconnect meter at the last reset.
     reconnect_baseline: AtomicU64,
+    /// The store's visibility-scan meter at the last reset.
+    visibility_scan_baseline: AtomicU64,
 }
 
 impl AtomicStats {
@@ -264,6 +282,14 @@ impl AtomicStats {
             // Lag is a gauge: report the live value, not a reset-windowed
             // delta.
             replica_lag: store.replica_lag(),
+            visibility_scan_cost: store
+                .visibility_scan_cost()
+                .saturating_sub(self.visibility_scan_baseline.load(Ordering::Relaxed)),
+            // Byte footprints are gauges too: live values, never windowed.
+            resident_bytes: store.resident_bytes() as u64,
+            spilled_bytes: store.spilled_bytes() as u64,
+            page_file_bytes: store.page_file_bytes() as u64,
+            dead_page_bytes: store.dead_page_bytes() as u64,
         }
     }
 
@@ -310,6 +336,8 @@ impl AtomicStats {
             .store(store.resnapshots(), Ordering::Relaxed);
         self.reconnect_baseline
             .store(store.reconnects(), Ordering::Relaxed);
+        self.visibility_scan_baseline
+            .store(store.visibility_scan_cost(), Ordering::Relaxed);
     }
 
     fn record_worker_round(&self, round: &RoundStats) {
@@ -834,7 +862,12 @@ impl IndexServer {
             .zip(prepared)
             .map(|((request, _), auth)| {
                 let groups = &arena[auth?];
-                match outcomes.next().expect("every prepared request has a job") {
+                let outcome = outcomes.next().ok_or_else(|| {
+                    ProtocolError::Core(
+                        "internal invariant: every prepared request has a job".into(),
+                    )
+                })?;
+                match outcome {
                     Ok(batch) if request.cursor != 0 => {
                         // The round resumed a live session.
                         Ok(self.finish(
@@ -931,6 +964,11 @@ fn map_store_error(e: StoreError) -> ProtocolError {
         StoreError::Io(reason) => ProtocolError::Core(format!("spill storage I/O: {reason}")),
         StoreError::RecoveryFailed(reason) => {
             ProtocolError::Core(format!("store recovery refused: {reason}"))
+        }
+        // A broken internal invariant degrades the one request instead of
+        // the whole process.
+        StoreError::Invariant(what) => {
+            ProtocolError::Core(format!("internal invariant violated: {what}"))
         }
         // The typed retry-on-primary signal: a replica past its staleness
         // bound degrades the request instead of serving stale data.
@@ -1488,7 +1526,18 @@ mod tests {
             .unwrap();
         assert!(server.stats().bytes_out > 0);
         server.reset_stats();
-        assert_eq!(server.stats(), ServerStats::default());
+        // Counters rewind to zero; the byte-footprint gauges keep reporting
+        // the live store state and are exempt from the window reset.
+        let after = server.stats();
+        let gauges = ServerStats {
+            resident_bytes: after.resident_bytes,
+            spilled_bytes: after.spilled_bytes,
+            page_file_bytes: after.page_file_bytes,
+            dead_page_bytes: after.dead_page_bytes,
+            ..ServerStats::default()
+        };
+        assert_eq!(after, gauges);
+        assert!(after.resident_bytes > 0, "live footprint survives reset");
         assert!(server.num_lists() > 0);
         assert!(server.stored_bytes() > 0);
         assert!(server.avg_wire_element_bytes() > 40.0);

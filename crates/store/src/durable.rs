@@ -35,6 +35,9 @@ use zerber_base::EncryptedElement;
 use zerber_corpus::GroupId;
 use zerber_r::OrderedElement;
 
+use crate::convert::{
+    read_bytes, read_f64, read_u16, read_u32, read_u64, try_u32, u64_of, usize_of,
+};
 use crate::error::StoreError;
 
 pub(crate) fn io_err(e: io::Error) -> StoreError {
@@ -50,6 +53,7 @@ const fn crc_table() -> [u32; 256] {
     let mut table = [0u32; 256];
     let mut i = 0usize;
     while i < 256 {
+        // analyze::allow(cast): const context (try_from is not const); the loop bound keeps i < 256
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
@@ -72,7 +76,7 @@ static CRC_TABLE: [u32; 256] = crc_table();
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in bytes {
-        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+        c = CRC_TABLE[usize_of((c ^ u32::from(b)) & 0xFF)] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
 }
@@ -336,13 +340,13 @@ impl FileIo for FaultFile {
             Some(shadow) => {
                 let start = usize::try_from(offset).unwrap_or(usize::MAX);
                 let end = start.saturating_add(buf.len());
-                if end > shadow.len() {
+                let Some(src) = shadow.get(start..end) else {
                     return Err(io::Error::new(
                         io::ErrorKind::UnexpectedEof,
                         "read past buffered length",
                     ));
-                }
-                buf.copy_from_slice(&shadow[start..end]);
+                };
+                buf.copy_from_slice(src);
                 Ok(())
             }
             None => self.real.read_at(offset, buf),
@@ -356,9 +360,10 @@ impl FileIo for FaultFile {
             if shadow.len() < end {
                 shadow.resize(end, 0);
             }
+            // analyze::allow(panic): the resize above guarantees start..end is in bounds
             shadow[start..end].copy_from_slice(buf);
             let mut ledger = self.ledger.lock();
-            ledger.spent += buf.len() as u64;
+            ledger.spent += u64_of(buf.len());
             let spent = ledger.spent;
             ledger.boundaries.push(spent);
             return Ok(());
@@ -366,7 +371,7 @@ impl FileIo for FaultFile {
         let (allow, flip) = {
             let mut ledger = self.ledger.lock();
             let start = ledger.spent;
-            ledger.spent += buf.len() as u64;
+            ledger.spent += u64_of(buf.len());
             let spent = ledger.spent;
             ledger.boundaries.push(spent);
             match self.mode {
@@ -384,9 +389,11 @@ impl FileIo for FaultFile {
                     }
                 }
                 FaultMode::FlipByteAt(n) => {
-                    let flip = (start..start + buf.len() as u64)
+                    let flip = (start..start + u64_of(buf.len()))
                         .contains(&n)
-                        .then(|| usize::try_from(n - start).expect("offset fits"));
+                        .then(|| usize::try_from(n - start).ok())
+                        .flatten()
+                        .filter(|&i| i < buf.len());
                     (buf.len(), flip)
                 }
                 _ => (buf.len(), None),
@@ -399,6 +406,7 @@ impl FileIo for FaultFile {
                 self.real.write_at(offset, &copy)
             }
             None if allow == buf.len() => self.real.write_at(offset, buf),
+            // analyze::allow(panic): allow is clamped to buf.len() by the min above
             None if allow > 0 => self.real.write_at(offset, &buf[..allow]),
             None => Ok(()),
         }
@@ -413,9 +421,13 @@ impl FileIo for FaultFile {
                 let spent = ledger.spent;
                 ledger.boundaries.push(spent);
                 drop(ledger);
-                let shadow = self.shadow.clone().expect("buffered mode has a shadow");
+                // Buffered mode always carries a shadow; a missing one is a
+                // harness misconfiguration, degraded to a plain sync.
+                let Some(shadow) = self.shadow.clone() else {
+                    return self.real.sync();
+                };
                 self.real.write_at(0, &shadow)?;
-                self.real.set_len(shadow.len() as u64)?;
+                self.real.set_len(u64_of(shadow.len()))?;
                 self.real.sync()
             }
             FaultMode::KillAfter(n) => {
@@ -436,7 +448,7 @@ impl FileIo for FaultFile {
 
     fn len(&mut self) -> io::Result<u64> {
         match &self.shadow {
-            Some(shadow) => Ok(shadow.len() as u64),
+            Some(shadow) => Ok(u64_of(shadow.len())),
             None => self.real.len(),
         }
     }
@@ -534,20 +546,11 @@ pub(crate) fn encode_element(e: &OrderedElement, out: &mut Vec<u8>) -> Result<()
 }
 
 pub(crate) fn decode_element(buf: &[u8], pos: &mut usize) -> Result<OrderedElement, StoreError> {
-    let corrupt = || StoreError::CorruptSegment("truncated element record".to_string());
-    if buf.len() < *pos + ELEMENT_BYTES {
-        return Err(corrupt());
-    }
-    let trs = f64::from_le_bytes(buf[*pos..*pos + 8].try_into().expect("8 bytes"));
-    let group = GroupId(u32::from_le_bytes(
-        buf[*pos + 8..*pos + 12].try_into().expect("4 bytes"),
-    ));
-    let len = u16::from_le_bytes(buf[*pos + 12..*pos + 14].try_into().expect("2 bytes")) as usize;
+    let trs = read_f64(buf, *pos)?;
+    let group = GroupId(read_u32(buf, *pos + 8)?);
+    let len = usize::from(read_u16(buf, *pos + 12)?);
     *pos += ELEMENT_BYTES;
-    if buf.len() < *pos + len {
-        return Err(corrupt());
-    }
-    let ciphertext = buf[*pos..*pos + len].to_vec();
+    let ciphertext = read_bytes(buf, *pos, len)?.to_vec();
     *pos += len;
     if !trs.is_finite() {
         return Err(StoreError::CorruptSegment(
@@ -593,7 +596,7 @@ pub(crate) fn encode_wal_frame(
     payload.extend_from_slice(&list.to_le_bytes());
     encode_element(element, &mut payload)?;
     let mut frame = Vec::with_capacity(WAL_FRAME_HEADER + payload.len());
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&try_u32(payload.len())?.to_le_bytes());
     frame.extend_from_slice(&crc32(&payload).to_le_bytes());
     frame.extend_from_slice(&payload);
     Ok(frame)
@@ -620,41 +623,35 @@ pub(crate) fn scan_wal(bytes: &[u8]) -> WalScan {
         if pos + WAL_FRAME_HEADER > bytes.len() {
             return WalScan {
                 records,
-                valid_len: pos as u64,
+                valid_len: u64_of(pos),
                 torn: pos < bytes.len(),
             };
         }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
-        if !(WAL_MIN_PAYLOAD..=WAL_MAX_PAYLOAD).contains(&len)
-            || pos + WAL_FRAME_HEADER + len > bytes.len()
-        {
-            return WalScan {
-                records,
-                valid_len: pos as u64,
-                torn: true,
-            };
+        let torn = |records| WalScan {
+            records,
+            valid_len: u64_of(pos),
+            torn: true,
+        };
+        let (Ok(len), Ok(crc)) = (read_u32(bytes, pos), read_u32(bytes, pos + 4)) else {
+            return torn(records);
+        };
+        let len = usize_of(len);
+        if !(WAL_MIN_PAYLOAD..=WAL_MAX_PAYLOAD).contains(&len) {
+            return torn(records);
         }
-        let payload = &bytes[pos + WAL_FRAME_HEADER..pos + WAL_FRAME_HEADER + len];
+        let Ok(payload) = read_bytes(bytes, pos + WAL_FRAME_HEADER, len) else {
+            return torn(records);
+        };
         if crc32(payload) != crc {
-            return WalScan {
-                records,
-                valid_len: pos as u64,
-                torn: true,
-            };
+            return torn(records);
         }
-        let seq = u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
-        let list = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
+        let (Ok(seq), Ok(list)) = (read_u64(payload, 0), read_u64(payload, 8)) else {
+            return torn(records);
+        };
         let mut at = 16usize;
         let element = match decode_element(payload, &mut at) {
             Ok(e) if at == payload.len() => e,
-            _ => {
-                return WalScan {
-                    records,
-                    valid_len: pos as u64,
-                    torn: true,
-                };
-            }
+            _ => return torn(records),
         };
         records.push(WalRecord { seq, list, element });
         pos += WAL_FRAME_HEADER + len;
@@ -703,15 +700,15 @@ pub(crate) fn encode_manifest(m: &Manifest) -> Result<Vec<u8>, StoreError> {
     out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
     out.extend_from_slice(&m.generation.to_le_bytes());
     out.extend_from_slice(&m.applied_seq.to_le_bytes());
-    out.extend_from_slice(&(m.lists.len() as u64).to_le_bytes());
+    out.extend_from_slice(&u64_of(m.lists.len()).to_le_bytes());
     for list in &m.lists {
-        out.extend_from_slice(&(list.pages.len() as u64).to_le_bytes());
+        out.extend_from_slice(&u64_of(list.pages.len()).to_le_bytes());
         for &(offset, len, crc) in &list.pages {
             out.extend_from_slice(&offset.to_le_bytes());
             out.extend_from_slice(&len.to_le_bytes());
             out.extend_from_slice(&crc.to_le_bytes());
         }
-        out.extend_from_slice(&(list.tail.len() as u64).to_le_bytes());
+        out.extend_from_slice(&u64_of(list.tail.len()).to_le_bytes());
         for element in &list.tail {
             encode_element(element, &mut out)?;
         }
@@ -732,27 +729,13 @@ impl<'a> Reader<'a> {
     }
 
     fn u64(&mut self, what: &str) -> Result<u64, StoreError> {
-        if self.buf.len() < self.pos + 8 {
-            return Err(Self::corrupt(what));
-        }
-        let v = u64::from_le_bytes(
-            self.buf[self.pos..self.pos + 8]
-                .try_into()
-                .expect("8 bytes"),
-        );
+        let v = read_u64(self.buf, self.pos).map_err(|_| Self::corrupt(what))?;
         self.pos += 8;
         Ok(v)
     }
 
     fn u32(&mut self, what: &str) -> Result<u32, StoreError> {
-        if self.buf.len() < self.pos + 4 {
-            return Err(Self::corrupt(what));
-        }
-        let v = u32::from_le_bytes(
-            self.buf[self.pos..self.pos + 4]
-                .try_into()
-                .expect("4 bytes"),
-        );
+        let v = read_u32(self.buf, self.pos).map_err(|_| Self::corrupt(what))?;
         self.pos += 4;
         Ok(v)
     }
@@ -777,7 +760,7 @@ fn checked_body<'a>(bytes: &'a [u8], what: &str) -> Result<&'a [u8], StoreError>
         return Err(StoreError::CorruptSegment(format!("truncated {what}")));
     }
     let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
-    let want = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    let want = read_u32(crc_bytes, 0)?;
     if crc32(body) != want {
         return Err(StoreError::CorruptSegment(format!("{what} CRC mismatch")));
     }
@@ -867,14 +850,14 @@ pub(crate) fn encode_store_meta(meta: &StoreMeta) -> Vec<u8> {
         meta.segment.max_segments,
         meta.segment.max_payload_bytes,
     ] {
-        out.extend_from_slice(&(knob as u64).to_le_bytes());
+        out.extend_from_slice(&u64_of(knob).to_le_bytes());
     }
     out.extend_from_slice(&meta.r.to_le_bytes());
-    out.extend_from_slice(&(meta.scheme.len() as u64).to_le_bytes());
+    out.extend_from_slice(&u64_of(meta.scheme.len()).to_le_bytes());
     out.extend_from_slice(meta.scheme.as_bytes());
-    out.extend_from_slice(&(meta.term_lists.len() as u64).to_le_bytes());
+    out.extend_from_slice(&u64_of(meta.term_lists.len()).to_le_bytes());
     for terms in &meta.term_lists {
-        out.extend_from_slice(&(terms.len() as u64).to_le_bytes());
+        out.extend_from_slice(&u64_of(terms.len()).to_le_bytes());
         for &t in terms {
             out.extend_from_slice(&t.to_le_bytes());
         }
@@ -915,10 +898,9 @@ pub(crate) fn decode_store_meta(bytes: &[u8]) -> Result<StoreMeta, StoreError> {
     let r_param = f64::from_bits(r.u64("confidentiality parameter")?);
     let scheme_len = r.u64("scheme length")?;
     let scheme_len = r.counted(scheme_len, 1, "scheme byte")?;
-    if body.len() < r.pos + scheme_len {
-        return Err(Reader::corrupt("scheme name"));
-    }
-    let scheme = String::from_utf8(body[r.pos..r.pos + scheme_len].to_vec())
+    let scheme_bytes =
+        read_bytes(body, r.pos, scheme_len).map_err(|_| Reader::corrupt("scheme name"))?;
+    let scheme = String::from_utf8(scheme_bytes.to_vec())
         .map_err(|_| StoreError::CorruptSegment("scheme name is not UTF-8".to_string()))?;
     r.pos += scheme_len;
     let num_lists = r.u64("list count")?;

@@ -21,6 +21,10 @@ pub enum StoreError {
     /// A recovered durable store failed its post-recovery audit (budget
     /// accounting, ordering, or visibility invariants) and was refused.
     RecoveryFailed(String),
+    /// An internal invariant did not hold.  Never expected in correct
+    /// operation; surfaced as an error instead of a panic so a serving
+    /// process degrades (fails the one request) instead of dying.
+    Invariant(&'static str),
     /// A replica refused to serve a read because its replication lag
     /// exceeds the configured staleness bound.  The client should retry on
     /// the primary (or another replica) rather than accept stale data.
@@ -40,6 +44,7 @@ impl fmt::Display for StoreError {
             StoreError::RecoveryFailed(reason) => {
                 write!(f, "recovered store failed its audit: {reason}")
             }
+            StoreError::Invariant(what) => write!(f, "internal invariant violated: {what}"),
             StoreError::Degraded { lag, max_lag } => write!(
                 f,
                 "replica degraded: replication lag {lag} exceeds the staleness bound {max_lag}; \

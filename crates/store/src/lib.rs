@@ -47,8 +47,10 @@
 //! TTL expiry and eviction behave identically and the engines answer
 //! element-for-element the same.
 
+pub mod convert;
 pub mod durable;
 pub mod error;
+pub mod lockrank;
 pub mod replication;
 pub mod segment;
 pub mod sharded;
@@ -58,6 +60,7 @@ pub mod store;
 
 pub use durable::{crc32, DurableConfig, FaultIo, FaultMode, FileIo, PageIo, RealIo, SyncPolicy};
 pub use error::StoreError;
+pub use lockrank::{LockClass, RankGuard};
 pub use replication::{
     Backoff, FaultPlan, FaultTransport, FrameBatch, InProcessTransport, PumpOutcome, Replica,
     ReplicaConfig, ReplicaReadStore, ReplicaStats, ReplicaTransport, ReplicationSource,

@@ -48,8 +48,10 @@ use zerber_base::{MergePlan, MergedListId};
 use zerber_corpus::GroupId;
 use zerber_r::OrderedElement;
 
+use crate::convert::{u64_of, usize_of};
 use crate::durable::{crc32, io_err, scan_wal, PageIo, RealIo, WalRecord};
 use crate::error::StoreError;
+use crate::lockrank::{self, LockClass};
 use crate::spill::{SpillStore, WalTail};
 use crate::store::{
     CursorId, ListStore, RangedBatch, RangedFetch, SessionStats, ShardBucketOutput, ShardJobBucket,
@@ -115,7 +117,9 @@ impl Backoff {
             return full;
         }
         let draw = self.next_rand() as u128 % (jitter_nanos + 1);
-        half + Duration::from_nanos(draw as u64)
+        // Saturating narrow: a draw past u64 nanoseconds (itself centuries)
+        // can only shorten the jitter, never panic or wrap.
+        half + Duration::from_nanos(u64::try_from(draw).unwrap_or(u64::MAX))
     }
 
     /// Reconnect attempts since the last reset.
@@ -265,13 +269,15 @@ impl ReplicationSource {
         let mut batch = FrameBatch::default();
         let mut budget = max_frames.max(1);
         for (shard, &pos) in from.iter().enumerate() {
+            let wire_shard = u32::try_from(shard)
+                .map_err(|_| StoreError::Invariant("shard index exceeds the u32 wire field"))?;
             match self.primary.wal_frames_after(shard, pos, budget)? {
                 WalTail::Frames { frames, head } => {
                     budget = budget.saturating_sub(frames.len());
                     batch
                         .frames
                         .extend(frames.into_iter().map(|bytes| WireFrame {
-                            shard: shard as u32,
+                            shard: wire_shard,
                             bytes,
                         }));
                     batch.heads.push(head);
@@ -439,10 +445,13 @@ impl ReplicaTransport for FaultTransport {
         let mut state = self.state.lock();
         if Self::hits(state.snapshots, self.plan.corrupt_snapshot_every) {
             // Flip one byte of one file; the CRC check must reject it.
-            let file = (Self::next_rand(&mut state) as usize) % payload.files.len().max(1);
+            let file =
+                usize::try_from(Self::next_rand(&mut state) % u64_of(payload.files.len().max(1)))
+                    .unwrap_or(0);
             if let Some(f) = payload.files.get_mut(file) {
                 if !f.bytes.is_empty() {
-                    let at = (Self::next_rand(&mut state) as usize) % f.bytes.len();
+                    let at = usize::try_from(Self::next_rand(&mut state) % u64_of(f.bytes.len()))
+                        .unwrap_or(0);
                     f.bytes[at] ^= 0x5A;
                 }
             }
@@ -479,7 +488,9 @@ impl ReplicaTransport for FaultTransport {
             if Self::hits(n, self.plan.tear_every) {
                 delivered.bytes.truncate(delivered.bytes.len() / 2);
             } else if Self::hits(n, self.plan.flip_every) && !delivered.bytes.is_empty() {
-                let at = (Self::next_rand(&mut state) as usize) % delivered.bytes.len();
+                let at =
+                    usize::try_from(Self::next_rand(&mut state) % u64_of(delivered.bytes.len()))
+                        .unwrap_or(0);
                 delivered.bytes[at] ^= 0x5A;
             }
             frames.push(delivered);
@@ -573,10 +584,67 @@ impl ReplicaShared {
 
     fn adopt(&self, store: Arc<SpillStore>) {
         let seqs = store.wal_applied_seqs();
-        *self.store.write() = store;
+        *self.store_write() = store;
         for (atomic, seq) in self.applied.iter().zip(seqs) {
             atomic.store(seq, Ordering::Relaxed);
         }
+    }
+
+    /// Acquires the store-slot read lock under the lock-rank discipline:
+    /// the slot ranks *above* pool state and *below* every shard lock, so a
+    /// serving path may hold the slot guard across the store calls it makes
+    /// (see [`crate::lockrank`]).
+    fn store_read(&self) -> StoreSlotRead<'_> {
+        let rank = lockrank::acquire(LockClass::Store, 0);
+        StoreSlotRead {
+            guard: self.store.read(),
+            _rank: rank,
+        }
+    }
+
+    /// Acquires the store-slot write lock (re-snapshot swap only); same
+    /// rank as [`Self::store_read`].
+    fn store_write(&self) -> StoreSlotWrite<'_> {
+        let rank = lockrank::acquire(LockClass::Store, 0);
+        StoreSlotWrite {
+            guard: self.store.write(),
+            _rank: rank,
+        }
+    }
+}
+
+/// Ranked read guard over the replica's store slot (lock guard declared
+/// first so it drops before the rank pops).
+struct StoreSlotRead<'a> {
+    guard: parking_lot::RwLockReadGuard<'a, Arc<SpillStore>>,
+    _rank: lockrank::RankGuard,
+}
+
+impl std::ops::Deref for StoreSlotRead<'_> {
+    type Target = Arc<SpillStore>;
+
+    fn deref(&self) -> &Arc<SpillStore> {
+        &self.guard
+    }
+}
+
+/// Ranked write guard over the replica's store slot; see [`StoreSlotRead`].
+struct StoreSlotWrite<'a> {
+    guard: parking_lot::RwLockWriteGuard<'a, Arc<SpillStore>>,
+    _rank: lockrank::RankGuard,
+}
+
+impl std::ops::Deref for StoreSlotWrite<'_> {
+    type Target = Arc<SpillStore>;
+
+    fn deref(&self) -> &Arc<SpillStore> {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for StoreSlotWrite<'_> {
+    fn deref_mut(&mut self) -> &mut Arc<SpillStore> {
+        &mut self.guard
     }
 }
 
@@ -757,7 +825,7 @@ impl Replica {
     /// The replica's current store (tests and audits; serving goes through
     /// [`Replica::serving_store`]).
     pub fn store(&self) -> Arc<SpillStore> {
-        self.shared.store.read().clone()
+        self.shared.store_read().clone()
     }
 
     /// The replica root directory.
@@ -796,7 +864,7 @@ impl Replica {
     pub fn serving_store(&self) -> ReplicaReadStore {
         ReplicaReadStore {
             shared: Arc::clone(&self.shared),
-            plan: self.shared.store.read().plan().clone(),
+            plan: self.shared.store_read().plan().clone(),
             max_lag: self.config.max_lag,
         }
     }
@@ -834,7 +902,7 @@ impl Replica {
         let mut records: Vec<(usize, WalRecord)> = Vec::with_capacity(batch.frames.len());
         let mut corrupt = 0usize;
         for frame in &batch.frames {
-            let shard = frame.shard as usize;
+            let shard = usize_of(frame.shard);
             match decode_wire_frame(frame) {
                 Some(record) if shard < num_shards => records.push((shard, record)),
                 _ => corrupt += 1,
@@ -953,7 +1021,7 @@ fn store_heads(shared: &ReplicaShared, heads: &[u64]) {
 /// trailing-garbage bytes.
 fn decode_wire_frame(frame: &WireFrame) -> Option<WalRecord> {
     let scan = scan_wal(&frame.bytes);
-    if scan.torn || scan.records.len() != 1 || scan.valid_len != frame.bytes.len() as u64 {
+    if scan.torn || scan.records.len() != 1 || scan.valid_len != u64_of(frame.bytes.len()) {
         return None;
     }
     scan.records.into_iter().next()
@@ -1071,7 +1139,7 @@ impl ReplicaReadStore {
     /// per-query overhead to a single uncontended lock acquisition; the
     /// write side only appears on a re-snapshot swap.
     fn store(&self) -> impl std::ops::Deref<Target = Arc<SpillStore>> + '_ {
-        self.shared.store.read()
+        self.shared.store_read()
     }
 
     /// The staleness guard: refuse to serve rather than answer from a

@@ -43,6 +43,7 @@ use zerber_index::compress::{
 };
 use zerber_r::{OrderedElement, TRS_BYTES};
 
+use crate::convert::{read_bytes as payload_slice, try_u32, try_usize, u64_of, usize_of};
 use crate::error::StoreError;
 use crate::store::{is_visible, is_visible_group, OrderedList};
 
@@ -81,7 +82,7 @@ impl Default for SegmentConfig {
             tail_threshold: 128,
             max_segment_elems: 4096,
             max_segments: 8,
-            max_payload_bytes: u32::MAX as usize,
+            max_payload_bytes: usize_of(u32::MAX),
         }
     }
 }
@@ -90,7 +91,7 @@ impl SegmentConfig {
     /// The effective payload bound: the configured maximum, never beyond
     /// what u32 block offsets can address.
     pub(crate) fn payload_bound(&self) -> usize {
-        self.max_payload_bytes.min(u32::MAX as usize)
+        self.max_payload_bytes.min(usize_of(u32::MAX))
     }
 
     /// Conservative ceiling on the encoded size of one element (ciphertext
@@ -125,12 +126,12 @@ impl BlockMeta {
     /// Elements of the block visible under `accessible`.
     fn visible_under(&self, accessible: Option<&[GroupId]>) -> usize {
         match accessible {
-            None => self.elems as usize,
+            None => usize_of(self.elems),
             Some(groups) => self
                 .counts
                 .iter()
                 .filter(|(g, _)| groups.contains(g))
-                .map(|&(_, n)| n as usize)
+                .map(|&(_, n)| usize_of(n))
                 .sum(),
         }
     }
@@ -157,7 +158,7 @@ fn corrupt(reason: impl std::fmt::Display) -> StoreError {
 
 /// Encoded length of one LEB128 varint (mirrors `write_varint`).
 fn varint_len(value: u64) -> usize {
-    (64 - value.max(1).leading_zeros() as usize).div_ceil(7)
+    (64 - usize_of(value.max(1).leading_zeros())).div_ceil(7)
 }
 
 /// Encodes one block of ordered elements onto `out`, returning its skip
@@ -174,7 +175,7 @@ fn encode_block(chunk: &[OrderedElement], out: &mut Vec<u8>) -> Result<BlockMeta
     write_varint(
         out,
         if uniform {
-            chunk[0].sealed.ciphertext.len() as u64 + 1
+            u64_of(chunk[0].sealed.ciphertext.len()) + 1
         } else {
             0
         },
@@ -199,9 +200,9 @@ fn encode_block(chunk: &[OrderedElement], out: &mut Vec<u8>) -> Result<BlockMeta
     for (i, element) in chunk.iter().enumerate() {
         let bits = sortable_bits(element.trs);
         if i > 0 {
-            let delta = prev
-                .checked_sub(bits)
-                .expect("segment blocks encode TRS-descending elements");
+            let delta = prev.checked_sub(bits).ok_or(StoreError::Invariant(
+                "segment blocks encode TRS-descending elements",
+            ))?;
             write_varint(out, delta);
         }
         prev = bits;
@@ -229,7 +230,7 @@ fn encode_block(chunk: &[OrderedElement], out: &mut Vec<u8>) -> Result<BlockMeta
     Ok(BlockMeta {
         offset: u32::try_from(offset).map_err(|_| StoreError::SegmentOverflow)?,
         byte_len: u32::try_from(out.len() - offset).map_err(|_| StoreError::SegmentOverflow)?,
-        elems: chunk.len() as u32,
+        elems: try_u32(chunk.len())?,
         first,
         last: prev,
         counts: counts.into_boxed_slice(),
@@ -280,11 +281,9 @@ impl<'a> BlockReader<'a> {
         let uniform_group = if group_mode == 0 {
             None
         } else {
-            let g = group_mode - 1;
-            if g > u64::from(u32::MAX) {
-                return Err(corrupt("uniform group id out of range"));
-            }
-            Some(GroupId(g as u32))
+            let g = u32::try_from(group_mode - 1)
+                .map_err(|_| corrupt("uniform group id out of range"))?;
+            Some(GroupId(g))
         };
         Ok(BlockReader {
             bytes,
@@ -319,25 +318,20 @@ impl<'a> BlockReader<'a> {
             None => {
                 let (tag, p) = read_varint(self.bytes, self.pos).map_err(corrupt)?;
                 self.pos = p;
-                let group = tag >> 1;
-                if group > u64::from(u32::MAX) {
-                    return Err(corrupt("group id out of range"));
-                }
+                let group =
+                    u32::try_from(tag >> 1).map_err(|_| corrupt("group id out of range"))?;
                 let sealed_group = if tag & 1 == 1 {
                     let (g, p) = read_varint(self.bytes, self.pos).map_err(corrupt)?;
                     self.pos = p;
-                    if g > u64::from(u32::MAX) {
-                        return Err(corrupt("sealed group id out of range"));
-                    }
-                    g as u32
+                    u32::try_from(g).map_err(|_| corrupt("sealed group id out of range"))?
                 } else {
-                    group as u32
+                    group
                 };
-                (group as u32, sealed_group)
+                (group, sealed_group)
             }
         };
         let ciphertext = if self.uniform > 0 {
-            let len = (self.uniform - 1) as usize;
+            let len = try_usize(self.uniform - 1)?;
             let end = self
                 .pos
                 .checked_add(len)
@@ -364,6 +358,8 @@ impl<'a> BlockReader<'a> {
 
     /// Internal (trusted) read: the payload was encoded by this module.
     fn next_trusted(&mut self) -> RawElement<'a> {
+        // analyze::allow(panic): trusted path — the payload was encoded by
+        // this module, so a decode failure is a codec bug, not bad input
         self.next_raw().expect("self-encoded segment blocks decode")
     }
 }
@@ -375,7 +371,7 @@ fn decode_block_checked(
     expected: &BlockMeta,
 ) -> Result<Vec<OrderedElement>, StoreError> {
     let mut reader = BlockReader::new(bytes, expected.elems, expected.first)?;
-    let elems = expected.elems as usize;
+    let elems = usize_of(expected.elems);
     // Each element takes at least 1 payload byte, so a corrupt count cannot
     // force a huge pre-allocation before validation fails.
     let mut out: Vec<OrderedElement> = Vec::with_capacity(elems.min(bytes.len() + 1));
@@ -413,7 +409,7 @@ impl Segment {
         max_payload: usize,
     ) -> Result<Segment, StoreError> {
         debug_assert!(!elements.is_empty(), "segments are never empty");
-        let max_payload = max_payload.min(u32::MAX as usize);
+        let max_payload = max_payload.min(usize_of(u32::MAX));
         let mut payload = Vec::new();
         let mut blocks = Vec::with_capacity(elements.len().div_ceil(block_len.max(1)));
         for chunk in elements.chunks(block_len.max(1)) {
@@ -450,6 +446,8 @@ impl Segment {
     pub(crate) fn min_trs(&self) -> f64 {
         self.blocks
             .last()
+            // analyze::allow(panic): encode_chunk_split never emits an empty
+            // segment, so the block list is non-empty by construction
             .expect("segments are never empty")
             .last_trs()
     }
@@ -461,6 +459,8 @@ impl Segment {
 
     /// Sortable bits of the last (smallest) TRS held.
     pub(crate) fn last_bits(&self) -> u64 {
+        // analyze::allow(panic): encode_chunk_split never emits an empty
+        // segment, so the block list is non-empty by construction
         self.blocks.last().expect("segments are never empty").last
     }
 
@@ -511,7 +511,7 @@ impl Segment {
     ) -> Option<usize> {
         let mut pos = seg_base;
         for (bi, meta) in self.blocks.iter().enumerate() {
-            let block_end = pos + meta.elems as usize;
+            let block_end = pos + usize_of(meta.elems);
             if block_end <= start {
                 pos = block_end;
                 continue;
@@ -530,7 +530,7 @@ impl Segment {
             // without materializing their ciphertext, and the read stops
             // as soon as the batch is full.
             let mut reader = self.block_reader(bi);
-            for j in 0..meta.elems as usize {
+            for j in 0..usize_of(meta.elems) {
                 let raw = reader.next_trusted();
                 let idx = pos + j;
                 if idx < start || !is_visible_group(raw.group, accessible) {
@@ -568,13 +568,13 @@ impl Segment {
             let visible = meta.visible_under(accessible);
             if visible < *remaining {
                 *remaining -= visible;
-                pos += meta.elems as usize;
+                pos += usize_of(meta.elems);
                 continue;
             }
             // The boundary falls inside this block: stream just it,
             // materializing nothing.
             let mut reader = self.block_reader(bi);
-            for j in 0..meta.elems as usize {
+            for j in 0..usize_of(meta.elems) {
                 if *remaining == 0 {
                     return Some(pos + j);
                 }
@@ -582,7 +582,7 @@ impl Segment {
                     *remaining -= 1;
                 }
             }
-            pos += meta.elems as usize;
+            pos += usize_of(meta.elems);
         }
         None
     }
@@ -598,7 +598,7 @@ impl Segment {
         let mut block = 0usize;
         for (bi, meta) in self.blocks.iter().enumerate() {
             if meta.last_trs() > trs {
-                local += meta.elems as usize;
+                local += usize_of(meta.elems);
             } else {
                 block = bi;
                 break;
@@ -621,8 +621,17 @@ impl Segment {
     /// blocks were encoded by this module).
     fn block_reader(&self, index: usize) -> BlockReader<'_> {
         let meta = &self.blocks[index];
-        let range = meta.offset as usize..(meta.offset + meta.byte_len) as usize;
-        BlockReader::new(&self.payload[range], meta.elems, meta.first)
+        let bytes = payload_slice(
+            &self.payload,
+            usize_of(meta.offset),
+            usize_of(meta.byte_len),
+        )
+        // analyze::allow(panic): trusted path — the block offsets were
+        // computed by this module's encoder against this same payload
+        .expect("self-encoded block offsets are in bounds");
+        BlockReader::new(bytes, meta.elems, meta.first)
+            // analyze::allow(panic): trusted path — the payload was encoded
+            // by this module, so a decode failure is a codec bug
             .expect("self-encoded segment blocks decode")
     }
 
@@ -654,12 +663,14 @@ impl Segment {
             .payload
             .len()
             .checked_add(other.payload.len())
-            .is_none_or(|total| total > u32::MAX as usize)
+            .is_none_or(|total| total > usize_of(u32::MAX))
         {
             return Err(other);
         }
         // In the u32 range by the check above.
-        let shift = self.payload.len() as u32;
+        let Ok(shift) = try_u32(self.payload.len()) else {
+            return Err(other);
+        };
         self.payload.extend_from_slice(&other.payload);
         self.payload.shrink_to_fit();
         self.blocks.extend(other.blocks.into_iter().map(|mut b| {
@@ -690,13 +701,13 @@ impl Segment {
     pub fn encoded_len(&self) -> usize {
         let mut len = varint_len(SEGMENT_MAGIC)
             + varint_len(SEGMENT_VERSION)
-            + varint_len(self.elems as u64)
-            + varint_len(self.blocks.len() as u64);
+            + varint_len(u64_of(self.elems))
+            + varint_len(u64_of(self.blocks.len()));
         for meta in &self.blocks {
             len += varint_len(u64::from(meta.elems))
                 + varint_len(meta.first)
                 + varint_len(meta.last)
-                + varint_len(meta.counts.len() as u64)
+                + varint_len(u64_of(meta.counts.len()))
                 + varint_len(u64::from(meta.byte_len));
             for &(group, count) in &meta.counts {
                 len += varint_len(u64::from(group.0)) + varint_len(u64::from(count));
@@ -710,18 +721,18 @@ impl Segment {
         let mut out = Vec::with_capacity(self.payload.len() + self.blocks.len() * 24 + 16);
         write_varint(&mut out, SEGMENT_MAGIC);
         write_varint(&mut out, SEGMENT_VERSION);
-        write_varint(&mut out, self.elems as u64);
-        write_varint(&mut out, self.blocks.len() as u64);
+        write_varint(&mut out, u64_of(self.elems));
+        write_varint(&mut out, u64_of(self.blocks.len()));
         for meta in &self.blocks {
             write_varint(&mut out, u64::from(meta.elems));
             write_varint(&mut out, meta.first);
             write_varint(&mut out, meta.last);
-            write_varint(&mut out, meta.counts.len() as u64);
+            write_varint(&mut out, u64_of(meta.counts.len()));
             for &(group, count) in &meta.counts {
                 write_varint(&mut out, u64::from(group.0));
                 write_varint(&mut out, u64::from(count));
             }
-            write_varint(&mut out, meta.byte_len as u64);
+            write_varint(&mut out, u64::from(meta.byte_len));
         }
         out.extend_from_slice(&self.payload);
         out
@@ -749,10 +760,11 @@ impl Segment {
             return Err(corrupt("implausible total element count"));
         }
         // Every block header takes at least 6 bytes.
-        if num_blocks as usize > buf.len() / 6 + 1 {
+        if num_blocks > u64_of(buf.len() / 6 + 1) {
             return Err(corrupt("implausible block count"));
         }
-        let mut blocks = Vec::with_capacity(num_blocks as usize);
+        let num_blocks = try_usize(num_blocks)?;
+        let mut blocks = Vec::with_capacity(num_blocks);
         let mut offset = 0u32;
         let mut elems_seen = 0u64;
         for _ in 0..num_blocks {
@@ -770,21 +782,27 @@ impl Segment {
                 return Err(corrupt("implausible group-count entries"));
             }
             let mut counts: Vec<(GroupId, u32)> =
-                Vec::with_capacity((num_counts as usize).min(buf.len() / 2 + 1));
+                Vec::with_capacity(try_usize(num_counts)?.min(buf.len() / 2 + 1));
             let mut count_sum = 0u64;
             for _ in 0..num_counts {
                 let (group, q) = read_varint(buf, p).map_err(corrupt)?;
                 let (count, q) = read_varint(buf, q).map_err(corrupt)?;
                 p = q;
-                if group > u64::from(u32::MAX) || count == 0 || count > elems {
+                if count == 0 || count > elems {
                     return Err(corrupt("group count entry out of range"));
                 }
+                let group =
+                    u32::try_from(group).map_err(|_| corrupt("group count entry out of range"))?;
+                // In the u32 range: count <= elems, and elems was range
+                // checked above.
+                let count32 =
+                    u32::try_from(count).map_err(|_| corrupt("group count entry out of range"))?;
                 if let Some(&(prev, _)) = counts.last() {
-                    if GroupId(group as u32).0 <= prev.0 {
+                    if group <= prev.0 {
                         return Err(corrupt("group count entries out of order"));
                     }
                 }
-                counts.push((GroupId(group as u32), count as u32));
+                counts.push((GroupId(group), count32));
                 count_sum += count;
             }
             if count_sum != elems {
@@ -796,7 +814,8 @@ impl Segment {
             blocks.push(BlockMeta {
                 offset,
                 byte_len,
-                elems: elems as u32,
+                elems: u32::try_from(elems)
+                    .map_err(|_| corrupt("block element count out of range"))?,
                 first,
                 last,
                 counts: counts.into_boxed_slice(),
@@ -813,7 +832,7 @@ impl Segment {
             .get(pos..)
             .ok_or_else(|| corrupt("truncated payload"))?
             .to_vec();
-        if payload.len() != offset as usize {
+        if payload.len() != usize_of(offset) {
             return Err(corrupt("payload length disagrees with block lengths"));
         }
         // Validate every block against its skip entry and the cross-block
@@ -821,10 +840,9 @@ impl Segment {
         let mut stored = 0usize;
         let mut ciphertext = 0usize;
         for (i, meta) in blocks.iter().enumerate() {
-            let decoded = decode_block_checked(
-                &payload[meta.offset as usize..(meta.offset + meta.byte_len) as usize],
-                meta,
-            )?;
+            let block_bytes =
+                payload_slice(&payload, usize_of(meta.offset), usize_of(meta.byte_len))?;
+            let decoded = decode_block_checked(block_bytes, meta)?;
             stored += decoded
                 .iter()
                 .map(|e| e.sealed.stored_bytes() + TRS_BYTES)
@@ -840,7 +858,7 @@ impl Segment {
         Ok(Segment {
             payload,
             blocks,
-            elems: total_elems as usize,
+            elems: try_usize(total_elems)?,
             stored_bytes: stored,
             ciphertext_bytes: ciphertext,
         })
@@ -879,9 +897,9 @@ pub(crate) fn encode_chunk_split(
             Ok(())
         }
         Err(StoreError::SegmentOverflow) if chunk.len() > 1 => {
-            let mid = chunk.len() / 2;
-            encode_chunk_split(&chunk[..mid], config, out)?;
-            encode_chunk_split(&chunk[mid..], config, out)
+            let (lo, hi) = chunk.split_at(chunk.len() / 2);
+            encode_chunk_split(lo, config, out)?;
+            encode_chunk_split(hi, config, out)
         }
         Err(e) => Err(e),
     }
@@ -911,9 +929,9 @@ pub(crate) fn encode_rebuilt(
 ) -> Result<Vec<Segment>, StoreError> {
     let mut rebuilt = Vec::new();
     if decoded.len() > config.max_segment_elems {
-        let mid = decoded.len() / 2;
-        encode_chunk_split(&decoded[..mid], config, &mut rebuilt)?;
-        encode_chunk_split(&decoded[mid..], config, &mut rebuilt)?;
+        let (lo, hi) = decoded.split_at(decoded.len() / 2);
+        encode_chunk_split(lo, config, &mut rebuilt)?;
+        encode_chunk_split(hi, config, &mut rebuilt)?;
     } else {
         encode_chunk_split(decoded, config, &mut rebuilt)?;
     }
@@ -1044,7 +1062,7 @@ impl OrderedList for SegmentList {
             Some(_) => {
                 // Skip entries answer for the sealed part; only the (small)
                 // tail is examined element by element.
-                meter.fetch_add(self.tail.len() as u64, Ordering::Relaxed);
+                meter.fetch_add(u64_of(self.tail.len()), Ordering::Relaxed);
                 let sealed: usize = self
                     .segments
                     .iter()

@@ -22,14 +22,16 @@
 //! answer element-for-element identically by construction; only the physical
 //! representation (and its byte footprint / scan cost) differs.
 
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use zerber_base::{MergePlan, MergedListId};
 use zerber_corpus::GroupId;
 use zerber_r::{OrderedElement, OrderedIndex};
 
 use crate::error::StoreError;
+use crate::lockrank::{self, LockClass};
 use crate::segment::{SegmentConfig, SegmentList};
 use crate::store::{
     CursorId, ListStore, ListTable, OrderedList, RangedBatch, RangedFetch, SessionStats,
@@ -57,6 +59,42 @@ pub type ShardedStore = ShardedCore<VecList>;
 /// The sharded store over the compressed segment layout: immutable
 /// block-encoded segments with per-block skip entries plus a mutable tail.
 pub type SegmentStore = ShardedCore<SegmentList>;
+
+/// A ranked shard read guard: the lock rank is registered *before* blocking
+/// on the lock and released after the guard drops (field order: the lock
+/// guard is declared first, so it drops before the rank pops).
+pub(crate) struct ShardRead<'a, L: OrderedList> {
+    guard: RwLockReadGuard<'a, ListTable<L>>,
+    _rank: lockrank::RankGuard,
+}
+
+impl<L: OrderedList> Deref for ShardRead<'_, L> {
+    type Target = ListTable<L>;
+
+    fn deref(&self) -> &ListTable<L> {
+        &self.guard
+    }
+}
+
+/// A ranked shard write guard; see [`ShardRead`].
+pub(crate) struct ShardWrite<'a, L: OrderedList> {
+    guard: RwLockWriteGuard<'a, ListTable<L>>,
+    _rank: lockrank::RankGuard,
+}
+
+impl<L: OrderedList> Deref for ShardWrite<'_, L> {
+    type Target = ListTable<L>;
+
+    fn deref(&self) -> &ListTable<L> {
+        &self.guard
+    }
+}
+
+impl<L: OrderedList> DerefMut for ShardWrite<'_, L> {
+    fn deref_mut(&mut self) -> &mut ListTable<L> {
+        &mut self.guard
+    }
+}
 
 /// The shard count matched to the machine (`available_parallelism`, clamped
 /// to `[1, 64]`).
@@ -120,10 +158,38 @@ impl<L: OrderedList> ShardedCore<L> {
         }
     }
 
+    /// Acquires one shard's read lock under the lock-rank discipline.
+    ///
+    /// **Lock order** (enforced at runtime in debug builds by
+    /// [`crate::lockrank`]): worker-pool state, then a replica's store-slot
+    /// lock, then shard locks in *ascending shard-index* order.  Cursor
+    /// sessions live inside the shard that owns their list, so there is no
+    /// separate session lock to order — the store slot always ranks before
+    /// any shard ("store before session").  Every shard acquisition in this
+    /// module funnels through here or [`Self::shard_write`].
+    pub(crate) fn shard_read(&self, shard: usize) -> ShardRead<'_, L> {
+        let rank = lockrank::acquire(LockClass::Shard, shard);
+        ShardRead {
+            guard: self.shards[shard].read(),
+            _rank: rank,
+        }
+    }
+
+    /// Acquires one shard's write lock under the lock-rank discipline; see
+    /// [`Self::shard_read`] for the global order.
+    pub(crate) fn shard_write(&self, shard: usize) -> ShardWrite<'_, L> {
+        let rank = lockrank::acquire(LockClass::Shard, shard);
+        ShardWrite {
+            guard: self.shards[shard].write(),
+            _rank: rank,
+        }
+    }
+
     /// Runs `f` under one shard's read lock (maintenance passes; unmetered —
     /// the lock meter counts serving-path acquisitions only).
     pub(crate) fn with_shard_read<R>(&self, shard: usize, f: impl FnOnce(&ListTable<L>) -> R) -> R {
-        f(&self.shards[shard].read())
+        let guard = self.shard_read(shard);
+        f(&guard)
     }
 
     /// Runs `f` under one shard's write lock (maintenance passes; unmetered).
@@ -132,7 +198,8 @@ impl<L: OrderedList> ShardedCore<L> {
         shard: usize,
         f: impl FnOnce(&mut ListTable<L>) -> R,
     ) -> R {
-        f(&mut self.shards[shard].write())
+        let mut guard = self.shard_write(shard);
+        f(&mut guard)
     }
 
     /// Resolves a list id to its `(shard, slot)` coordinates, rejecting
@@ -184,7 +251,7 @@ impl<L: OrderedList> ShardedCore<L> {
     ) -> Result<usize, StoreError> {
         let (shard, slot) = self.known(list)?;
         self.meter_lock();
-        let mut guard = self.shards[shard].write();
+        let mut guard = self.shard_write(shard);
         let pos = guard.insert(slot, element.clone())?;
         log(shard, &element)?;
         Ok(pos)
@@ -203,6 +270,8 @@ impl ShardedStore {
         Self::build(index, num_shards, |_, list| {
             Ok(VecList::from_elements(list))
         })
+        // analyze::allow(panic): build only fails when the builder closure
+        // does, and this closure always returns Ok
         .expect("the Vec layout builds infallibly")
     }
 }
@@ -248,27 +317,32 @@ impl<L: OrderedList> ListStore for ShardedCore<L> {
     }
 
     fn num_elements(&self) -> usize {
-        self.shards.iter().map(|s| s.read().num_elements()).sum()
+        (0..self.shards.len())
+            .map(|s| self.shard_read(s).num_elements())
+            .sum()
     }
 
     fn stored_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.read().stored_bytes()).sum()
+        (0..self.shards.len())
+            .map(|s| self.shard_read(s).stored_bytes())
+            .sum()
     }
 
     fn ciphertext_bytes(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().ciphertext_bytes())
+        (0..self.shards.len())
+            .map(|s| self.shard_read(s).ciphertext_bytes())
             .sum()
     }
 
     fn resident_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.read().resident_bytes()).sum()
+        (0..self.shards.len())
+            .map(|s| self.shard_read(s).resident_bytes())
+            .sum()
     }
 
     fn list_len(&self, list: MergedListId) -> Result<usize, StoreError> {
         let (shard, slot) = self.known(list)?;
-        Ok(self.shards[shard].read().list(slot).len())
+        Ok(self.shard_read(shard).list(slot).len())
     }
 
     fn visible_len(
@@ -277,12 +351,12 @@ impl<L: OrderedList> ListStore for ShardedCore<L> {
         accessible: Option<&[GroupId]>,
     ) -> Result<usize, StoreError> {
         let (shard, slot) = self.known(list)?;
-        Ok(self.shards[shard].read().visible_total(slot, accessible))
+        Ok(self.shard_read(shard).visible_total(slot, accessible))
     }
 
     fn snapshot_list(&self, list: MergedListId) -> Result<Vec<OrderedElement>, StoreError> {
         let (shard, slot) = self.known(list)?;
-        self.shards[shard].read().list(slot).snapshot()
+        self.shard_read(shard).list(slot).snapshot()
     }
 
     fn fetch_ranged(
@@ -292,8 +366,7 @@ impl<L: OrderedList> ListStore for ShardedCore<L> {
     ) -> Result<RangedBatch, StoreError> {
         let (shard, slot) = self.known(fetch.list)?;
         self.meter_lock();
-        self.shards[shard]
-            .read()
+        self.shard_read(shard)
             .fetch(slot, fetch.offset, fetch.count, accessible)
     }
 
@@ -368,7 +441,7 @@ impl<L: OrderedList> ListStore for ShardedCore<L> {
         let shard = bucket.shard;
         self.meter_lock();
         let (results, sweep_due) = {
-            let guard = self.shards[shard].read();
+            let guard = self.shard_read(shard);
             let results = bucket
                 .jobs
                 .iter()
@@ -391,7 +464,7 @@ impl<L: OrderedList> ListStore for ShardedCore<L> {
         };
         if sweep_due {
             self.meter_lock();
-            self.shards[shard].write().sweep_expired();
+            self.shard_write(shard).sweep_expired();
         }
         ShardBucketOutput {
             results,
@@ -415,8 +488,7 @@ impl<L: OrderedList> ListStore for ShardedCore<L> {
         let seq = self.next_cursor.fetch_add(1, Ordering::Relaxed);
         let raw = (seq << 8) | shard as u64;
         self.meter_lock();
-        self.shards[shard]
-            .write()
+        self.shard_write(shard)
             .open_cursor(raw, slot, owner, batch, delivered, accessible)?;
         Ok(CursorId(raw))
     }
@@ -431,7 +503,7 @@ impl<L: OrderedList> ListStore for ShardedCore<L> {
         let shard = self.cursor_shard(cursor)?;
         self.meter_lock();
         let (result, sweep_due) = {
-            let guard = self.shards[shard].read();
+            let guard = self.shard_read(shard);
             let result = guard.cursor_fetch(cursor.0, owner, count, accessible);
             (result, guard.ttl_sweep_due())
         };
@@ -440,7 +512,7 @@ impl<L: OrderedList> ListStore for ShardedCore<L> {
             // the write lock so a read-heavy workload with stable cursors
             // still reclaims idle sessions.
             self.meter_lock();
-            self.shards[shard].write().sweep_expired();
+            self.shard_write(shard).sweep_expired();
         }
         result
     }
@@ -448,32 +520,33 @@ impl<L: OrderedList> ListStore for ShardedCore<L> {
     fn close_cursor(&self, cursor: CursorId, owner: u64) {
         if let Ok(shard) = self.cursor_shard(cursor) {
             self.meter_lock();
-            self.shards[shard].write().close_cursor(cursor.0, owner);
+            self.shard_write(shard).close_cursor(cursor.0, owner);
         }
     }
 
     fn open_cursors(&self) -> usize {
-        self.shards.iter().map(|s| s.read().open_cursors()).sum()
+        (0..self.shards.len())
+            .map(|s| self.shard_read(s).open_cursors())
+            .sum()
     }
 
     fn session_stats(&self) -> SessionStats {
-        SessionStats::aggregate(self.shards.iter().map(|s| s.read().session_stats()))
+        SessionStats::aggregate((0..self.shards.len()).map(|s| self.shard_read(s).session_stats()))
     }
 
     fn visibility_scan_cost(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.read().visibility_scan_cost())
+        (0..self.shards.len())
+            .map(|s| self.shard_read(s).visibility_scan_cost())
             .sum()
     }
 
     fn insert(&self, list: MergedListId, element: OrderedElement) -> Result<usize, StoreError> {
         let (shard, slot) = self.known(list)?;
         self.meter_lock();
-        self.shards[shard].write().insert(slot, element)
+        self.shard_write(shard).insert(slot, element)
     }
 
     fn verify_ordering(&self) -> bool {
-        self.shards.iter().all(|s| s.read().ordering_ok())
+        (0..self.shards.len()).all(|s| self.shard_read(s).ordering_ok())
     }
 }

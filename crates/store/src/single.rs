@@ -9,12 +9,13 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use zerber_base::{MergePlan, MergedListId};
 use zerber_corpus::GroupId;
 use zerber_r::{OrderedElement, OrderedIndex};
 
 use crate::error::StoreError;
+use crate::lockrank::{self, LockClass};
 use crate::store::{
     CursorId, ListStore, ListTable, OrderedList, RangedBatch, RangedFetch, SessionStats,
     ShardBucketOutput, ShardJobBucket, ShardJobPlan, StoreJob, VecList,
@@ -53,6 +54,17 @@ impl SingleMutexStore {
         self.lock_meter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Acquires the global mutex under the lock-rank discipline.  The
+    /// single-mutex engine is one lock domain, ranked like shard 0 of a
+    /// sharded core (see [`crate::lockrank`] for the global order).
+    fn locked(&self) -> LockedTable<'_> {
+        let rank = lockrank::acquire(LockClass::Shard, 0);
+        LockedTable {
+            guard: self.inner.lock(),
+            _rank: rank,
+        }
+    }
+
     fn check(&self, list: MergedListId) -> Result<usize, StoreError> {
         let slot = list.0 as usize;
         if slot < self.plan.num_lists() {
@@ -60,6 +72,27 @@ impl SingleMutexStore {
         } else {
             Err(StoreError::UnknownList(list.0))
         }
+    }
+}
+
+/// The ranked guard over the global table mutex (lock guard declared first
+/// so it drops before the rank pops).
+struct LockedTable<'a> {
+    guard: MutexGuard<'a, ListTable<VecList>>,
+    _rank: lockrank::RankGuard,
+}
+
+impl std::ops::Deref for LockedTable<'_> {
+    type Target = ListTable<VecList>;
+
+    fn deref(&self) -> &ListTable<VecList> {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for LockedTable<'_> {
+    fn deref_mut(&mut self) -> &mut ListTable<VecList> {
+        &mut self.guard
     }
 }
 
@@ -77,24 +110,24 @@ impl ListStore for SingleMutexStore {
     }
 
     fn num_elements(&self) -> usize {
-        self.inner.lock().num_elements()
+        self.locked().num_elements()
     }
 
     fn stored_bytes(&self) -> usize {
-        self.inner.lock().stored_bytes()
+        self.locked().stored_bytes()
     }
 
     fn ciphertext_bytes(&self) -> usize {
-        self.inner.lock().ciphertext_bytes()
+        self.locked().ciphertext_bytes()
     }
 
     fn resident_bytes(&self) -> usize {
-        self.inner.lock().resident_bytes()
+        self.locked().resident_bytes()
     }
 
     fn list_len(&self, list: MergedListId) -> Result<usize, StoreError> {
         let slot = self.check(list)?;
-        Ok(self.inner.lock().list(slot).len())
+        Ok(self.locked().list(slot).len())
     }
 
     fn visible_len(
@@ -103,12 +136,12 @@ impl ListStore for SingleMutexStore {
         accessible: Option<&[GroupId]>,
     ) -> Result<usize, StoreError> {
         let slot = self.check(list)?;
-        Ok(self.inner.lock().visible_total(slot, accessible))
+        Ok(self.locked().visible_total(slot, accessible))
     }
 
     fn snapshot_list(&self, list: MergedListId) -> Result<Vec<OrderedElement>, StoreError> {
         let slot = self.check(list)?;
-        self.inner.lock().list(slot).snapshot()
+        self.locked().list(slot).snapshot()
     }
 
     fn fetch_ranged(
@@ -118,8 +151,7 @@ impl ListStore for SingleMutexStore {
     ) -> Result<RangedBatch, StoreError> {
         let slot = self.check(fetch.list)?;
         self.meter_lock();
-        self.inner
-            .lock()
+        self.locked()
             .fetch(slot, fetch.offset, fetch.count, accessible)
     }
 
@@ -148,7 +180,7 @@ impl ListStore for SingleMutexStore {
         bucket: &ShardJobBucket,
     ) -> ShardBucketOutput {
         self.meter_lock();
-        let mut guard = self.inner.lock();
+        let mut guard = self.locked();
         let output = ShardBucketOutput {
             results: bucket
                 .jobs
@@ -194,8 +226,7 @@ impl ListStore for SingleMutexStore {
         let slot = self.check(list)?;
         let raw = self.next_cursor.fetch_add(1, Ordering::Relaxed) << 8;
         self.meter_lock();
-        self.inner
-            .lock()
+        self.locked()
             .open_cursor(raw, slot, owner, batch, delivered, accessible)?;
         Ok(CursorId(raw))
     }
@@ -211,7 +242,7 @@ impl ListStore for SingleMutexStore {
             return Err(StoreError::UnknownCursor(cursor.0));
         }
         self.meter_lock();
-        let mut guard = self.inner.lock();
+        let mut guard = self.locked();
         // The global mutex is already exclusive: sweep idle sessions inline
         // when due, so read-heavy workloads reclaim them too — but only
         // after serving, matching the sharded engine's ordering (a resumed
@@ -225,28 +256,28 @@ impl ListStore for SingleMutexStore {
 
     fn close_cursor(&self, cursor: CursorId, owner: u64) {
         self.meter_lock();
-        self.inner.lock().close_cursor(cursor.0, owner);
+        self.locked().close_cursor(cursor.0, owner);
     }
 
     fn open_cursors(&self) -> usize {
-        self.inner.lock().open_cursors()
+        self.locked().open_cursors()
     }
 
     fn session_stats(&self) -> SessionStats {
-        self.inner.lock().session_stats()
+        self.locked().session_stats()
     }
 
     fn visibility_scan_cost(&self) -> u64 {
-        self.inner.lock().visibility_scan_cost()
+        self.locked().visibility_scan_cost()
     }
 
     fn insert(&self, list: MergedListId, element: OrderedElement) -> Result<usize, StoreError> {
         let slot = self.check(list)?;
         self.meter_lock();
-        self.inner.lock().insert(slot, element)
+        self.locked().insert(slot, element)
     }
 
     fn verify_ordering(&self) -> bool {
-        self.inner.lock().ordering_ok()
+        self.locked().ordering_ok()
     }
 }

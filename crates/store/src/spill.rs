@@ -71,6 +71,7 @@ use zerber_corpus::{GroupId, TermId};
 use zerber_index::compress::from_sortable_bits;
 use zerber_r::{OrderedElement, OrderedIndex};
 
+use crate::convert::{u64_of, usize_of};
 use crate::durable::{
     crc32, decode_manifest, decode_store_meta, encode_manifest, encode_store_meta,
     encode_wal_frame, io_err, scan_wal, DurableConfig, FileIo, Manifest, ManifestList, PageIo,
@@ -396,13 +397,14 @@ impl Pager {
     /// Adopts an existing page (recovery): counts its bytes as live without
     /// writing anything.
     fn note_live_page(&self, len: u32) {
-        self.spilled.fetch_add(len as usize, Ordering::Relaxed);
+        self.spilled.fetch_add(usize_of(len), Ordering::Relaxed);
     }
 
     /// Drops a page from the live-byte accounting and the cache (the bytes
     /// in the file become garbage until background compaction).
     fn release_page(&self, page: PageId) {
-        self.spilled.fetch_sub(page.len as usize, Ordering::Relaxed);
+        self.spilled
+            .fetch_sub(usize_of(page.len), Ordering::Relaxed);
         let mut cache = self.cache.lock();
         if let Some(slot) = cache.entries.remove(&page.offset) {
             cache.bytes -= slot.bytes;
@@ -444,7 +446,7 @@ impl Pager {
                 return Ok(Arc::clone(&slot.segment));
             }
         }
-        let mut buf = vec![0u8; page.len as usize];
+        let mut buf = vec![0u8; usize_of(page.len)];
         io.file.read_at(page.offset, &mut buf).map_err(io_err)?;
         // The page crossed a trust boundary (the disk): checksum plus full
         // validation, so a torn or tampered page is an error for this
@@ -489,7 +491,7 @@ impl Pager {
     /// counter — the promotion path, which immediately owns the segment
     /// instead of sharing a cached copy.
     fn read_page_uncached(&self, page: PageId) -> Result<Segment, StoreError> {
-        let mut buf = vec![0u8; page.len as usize];
+        let mut buf = vec![0u8; usize_of(page.len)];
         self.io
             .lock()
             .file
@@ -520,7 +522,8 @@ impl Pager {
 
     /// Bytes stranded in the page file by superseded pages.
     fn dead_bytes(&self) -> usize {
-        (self.file_len.load(Ordering::Relaxed) as usize)
+        usize::try_from(self.file_len.load(Ordering::Relaxed))
+            .unwrap_or(usize::MAX)
             .saturating_sub(self.spilled.load(Ordering::Relaxed))
     }
 
@@ -531,8 +534,9 @@ impl Pager {
         dead > 0
             && dead >= self.compact_min_dead_bytes
             && dead.saturating_mul(100)
-                >= (self.compact_dead_percent as usize)
-                    .saturating_mul(self.file_len.load(Ordering::Relaxed) as usize)
+                >= usize::from(self.compact_dead_percent).saturating_mul(
+                    usize::try_from(self.file_len.load(Ordering::Relaxed)).unwrap_or(usize::MAX),
+                )
     }
 
     /// The page-file path a committed rewrite renames to: the same path in
@@ -573,7 +577,7 @@ impl Pager {
         if rw.map.contains_key(&page.offset) {
             return Ok(());
         }
-        let mut buf = vec![0u8; page.len as usize];
+        let mut buf = vec![0u8; usize_of(page.len)];
         self.io
             .lock()
             .file
@@ -680,7 +684,7 @@ struct Rewrite {
 impl Rewrite {
     /// Reads one copied page back from the fresh file and validates it.
     fn read_back(&mut self, page: PageId) -> Result<(), StoreError> {
-        let mut buf = vec![0u8; page.len as usize];
+        let mut buf = vec![0u8; usize_of(page.len)];
         self.file.read_at(page.offset, &mut buf).map_err(io_err)?;
         verify_page_crc(page, &buf)?;
         Segment::from_bytes(&buf)?;
@@ -742,7 +746,7 @@ impl SlotMeta {
                 .counts
                 .iter()
                 .filter(|(g, _)| groups.contains(g))
-                .map(|&(_, n)| n as usize)
+                .map(|&(_, n)| usize_of(n))
                 .sum(),
         }
     }
@@ -911,7 +915,7 @@ impl SpillList {
         match (&slot.resident, slot.page) {
             (Some(resident), _) => Ok(SegRef::Resident(&resident.segment)),
             (None, Some(page)) => Ok(SegRef::Paged(self.pager.fetch(page)?)),
-            (None, None) => unreachable!("a slot is resident or paged"),
+            (None, None) => Err(StoreError::Invariant("a slot is resident or paged")),
         }
     }
 
@@ -928,7 +932,7 @@ impl SpillList {
         self.seg_elems += self.tail.len();
         self.slots.extend(slots);
         self.tail.clear();
-        self.compact();
+        self.compact()?;
         Ok(())
     }
 
@@ -937,7 +941,7 @@ impl SpillList {
     /// mean paying page faults on the write path.  A stack held deep by
     /// spilled slots is tolerated; background page-file compaction owns
     /// that (ROADMAP).
-    fn compact(&mut self) {
+    fn compact(&mut self) -> Result<(), StoreError> {
         let byte_bound = self.config.payload_bound();
         while self.slots.len() > self.config.max_segments {
             let mut best: Option<(usize, usize)> = None;
@@ -958,7 +962,9 @@ impl SpillList {
             let right = self.slots.remove(i + 1);
             let left = self.slots.remove(i);
             let (Some(left_res), Some(right_res)) = (left.resident, right.resident) else {
-                unreachable!("compaction only selects resident pairs");
+                return Err(StoreError::Invariant(
+                    "compaction only selects resident pairs",
+                ));
             };
             let mut merged = left_res.segment;
             match merged.absorb(right_res.segment) {
@@ -1022,6 +1028,7 @@ impl SpillList {
                 }
             }
         }
+        Ok(())
     }
 
     /// Rebuilds slot `k` as `decoded` (already containing the inserted
@@ -1093,7 +1100,7 @@ impl SpillList {
             }
         }
         if self.slots.len() > self.config.max_segments {
-            self.compact();
+            self.compact()?;
         }
         Ok(())
     }
@@ -1112,14 +1119,15 @@ impl SpillList {
     /// Rewrites every paged slot's page location through the compaction
     /// offset map.  Runs under the shard write lock right after the swap;
     /// the straggler pass under the same lock guarantees coverage.
-    fn remap_pages(&mut self, map: &HashMap<u64, PageId>) {
+    fn remap_pages(&mut self, map: &HashMap<u64, PageId>) -> Result<(), StoreError> {
         for slot in &mut self.slots {
             if let Some(page) = &mut slot.page {
-                *page = *map
-                    .get(&page.offset)
-                    .expect("compaction copied every live page before the swap");
+                *page = *map.get(&page.offset).ok_or(StoreError::Invariant(
+                    "compaction copied every live page before the swap",
+                ))?;
             }
         }
+        Ok(())
     }
 
     /// Ensures slot `k` has an on-disk page (checkpoint materialization for
@@ -1131,7 +1139,7 @@ impl SpillList {
         let resident = self.slots[k]
             .resident
             .as_ref()
-            .expect("a pageless slot is resident");
+            .ok_or(StoreError::Invariant("a pageless slot is resident"))?;
         let page = self.pager.write_page(&resident.segment)?;
         self.slots[k].page = Some(page);
         Ok(page)
@@ -1180,7 +1188,7 @@ impl SpillList {
                 page: Some(page),
             });
         }
-        let recovered = manifest.pages.len() as u64;
+        let recovered = u64_of(manifest.pages.len());
         let list = SpillList {
             slots,
             tail: manifest.tail.clone(),
@@ -1218,11 +1226,17 @@ impl SpillList {
             return Ok(());
         }
         if self.slots[k].page.is_none() {
-            let resident = self.slots[k].resident.as_ref().expect("checked resident");
+            let resident = self.slots[k]
+                .resident
+                .as_ref()
+                .ok_or(StoreError::Invariant("demotion checked the slot resident"))?;
             let page = self.pager.write_page(&resident.segment)?;
             self.slots[k].page = Some(page);
         }
-        let resident = self.slots[k].resident.take().expect("checked resident");
+        let resident = self.slots[k]
+            .resident
+            .take()
+            .ok_or(StoreError::Invariant("demotion checked the slot resident"))?;
         self.pager.uncharge(resident.charged);
         self.pager.demotions.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -1237,7 +1251,9 @@ impl SpillList {
         if self.slots[k].is_resident() {
             return Ok(false);
         }
-        let page = self.slots[k].page.expect("a cold slot has a page");
+        let page = self.slots[k]
+            .page
+            .ok_or(StoreError::Invariant("a cold slot has a page"))?;
         let segment = self.pager.read_page_uncached(page)?;
         // The decoded capacities can differ from the cost metered at the
         // pre-spill encode: re-meter so the charge stays exact.
@@ -1313,7 +1329,7 @@ impl OrderedList for SpillList {
             Some(_) => {
                 // Slot summaries answer for the sealed part without faulting
                 // a single page; only the (small) tail is examined.
-                meter.fetch_add(self.tail.len() as u64, Ordering::Relaxed);
+                meter.fetch_add(u64_of(self.tail.len()), Ordering::Relaxed);
                 let sealed: usize = self
                     .slots
                     .iter()
@@ -1624,11 +1640,11 @@ impl DurableState {
         let frame = encode_wal_frame(wal.next_seq, list, element)?;
         let at = wal.len;
         wal.file.write_at(at, &frame).map_err(io_err)?;
-        wal.len += frame.len() as u64;
+        wal.len += u64_of(frame.len());
         wal.next_seq += 1;
         self.wal_appends.fetch_add(1, Ordering::Relaxed);
         self.wal_bytes
-            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+            .fetch_add(u64_of(frame.len()), Ordering::Relaxed);
         match self.config.sync {
             SyncPolicy::Always => wal.file.sync().map_err(io_err)?,
             SyncPolicy::EveryN(n) => {
@@ -1851,13 +1867,13 @@ impl SpillStore {
         // shard.  Committed via tmp + fsync + rename like the manifests.
         let plan = index.plan().clone();
         let meta = StoreMeta {
-            num_shards: num_shards as u64,
+            num_shards: u64_of(num_shards),
             segment,
             scheme: plan.scheme().to_string(),
             r: plan.r(),
             term_lists: (0..plan.num_lists())
                 .map(|l| {
-                    plan.list_terms(zerber_base::MergedListId(l as u64))
+                    plan.list_terms(zerber_base::MergedListId(u64_of(l)))
                         .map(|terms| terms.iter().map(|t| t.0).collect())
                 })
                 .collect::<Result<Vec<Vec<u32>>, _>>()
@@ -2175,7 +2191,7 @@ impl SpillStore {
         }
         let plan = self.core.plan().clone();
         for l in 0..plan.num_lists() {
-            let list = zerber_base::MergedListId(l as u64);
+            let list = zerber_base::MergedListId(u64_of(l));
             let elements = self.core.snapshot_list(list)?;
             if elements.windows(2).any(|w| w[0].trs < w[1].trs) {
                 return Err(StoreError::RecoveryFailed(format!(
@@ -2234,8 +2250,11 @@ impl SpillStore {
                 applied_seq: durable.applied_seq(shard),
                 lists,
             };
+            // analyze::allow(lock): checkpoint commit is the one sanctioned under-lock IO — the manifest must match the locked shard state exactly
             pager.sync_file()?;
+            // analyze::allow(lock): the manifest rename is the checkpoint's atomic commit point; it must happen before inserts resume
             durable.commit_manifest(shard, &manifest)?;
+            // analyze::allow(lock): the WAL reset must not race an insert appending under the same shard lock
             durable.reset_wal(shard)?;
             debug_assert!(charges_consistent(table, pager));
             Ok(true)
@@ -2460,7 +2479,7 @@ impl SpillStore {
             let old_path = pager.current_path();
             let map = pager.commit_rewrite(rw)?;
             for list in table.lists_mut() {
-                list.remap_pages(&map);
+                list.remap_pages(&map)?;
             }
             if let Some(durable) = &self.durable {
                 // The manifest rename is the durable commit point of the
@@ -2479,8 +2498,11 @@ impl SpillStore {
                     applied_seq: durable.applied_seq(shard),
                     lists,
                 };
+                // analyze::allow(lock): the swap's durable commit must cover exactly the locked state (pages + stragglers)
                 pager.sync_file()?;
+                // analyze::allow(lock): the rename is the swap's atomic commit point — crash before it recovers entirely-old
                 durable.commit_manifest(shard, &manifest)?;
+                // analyze::allow(lock): the WAL reset must not race an insert appending under the same shard lock
                 durable.reset_wal(shard)?;
                 // Only now is the old generation unreferenced; a failure to
                 // remove it leaves a stray the next `open` sweeps.
@@ -2726,7 +2748,7 @@ impl ListStore for SpillStore {
     fn page_file_bytes(&self) -> usize {
         self.pagers
             .iter()
-            .map(|p| p.file_len.load(Ordering::Relaxed) as usize)
+            .map(|p| usize::try_from(p.file_len.load(Ordering::Relaxed)).unwrap_or(usize::MAX))
             .sum()
     }
 

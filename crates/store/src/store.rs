@@ -475,7 +475,11 @@ pub trait ListStore: Send + Sync + std::fmt::Debug {
         ShardBatchOutput {
             results: results
                 .into_iter()
-                .map(|r| r.expect("every job is routed or unroutable"))
+                .map(|r| {
+                    r.unwrap_or(Err(StoreError::Invariant(
+                        "every job is routed or unroutable",
+                    )))
+                })
                 .collect(),
             lock_acquisitions,
         }
@@ -650,6 +654,7 @@ impl VecList {
                 sealed_group: e.sealed.group,
                 offset,
                 len: u32::try_from(e.sealed.ciphertext.len())
+                    // analyze::allow(panic): oversized ciphertexts are rejected upstream by element_fits and the insert bounds; this constructor is also the test-fixture path
                     .expect("sealed ciphertext exceeds u32 length"),
             });
         }

@@ -67,7 +67,9 @@ fn read_f64(buf: &[u8], pos: &mut usize) -> Result<f64, ZerberRError> {
         .get(*pos..end)
         .ok_or_else(|| ZerberRError::InvalidParameter("truncated model data".into()))?;
     *pos = end;
-    Ok(f64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    let bytes = <[u8; 8]>::try_from(bytes)
+        .map_err(|_| ZerberRError::InvalidParameter("truncated model data".into()))?;
+    Ok(f64::from_le_bytes(bytes))
 }
 
 fn kernel_tag(kernel: RstfKernel) -> u8 {

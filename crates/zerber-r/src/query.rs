@@ -137,9 +137,9 @@ pub fn retrieve_topk(
         requests += 1;
         transferred += batch.len();
         for element in &batch {
-            let keys = memberships
-                .get(&element.group)
-                .expect("server only returns accessible groups");
+            let keys = memberships.get(&element.group).ok_or_else(|| {
+                ZerberRError::Base("server returned an element from an inaccessible group".into())
+            })?;
             let payload = element.sealed.open(keys, list_id)?;
             if payload.term == term {
                 results.push((payload.doc, payload.relevance()));

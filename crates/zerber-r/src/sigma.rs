@@ -104,7 +104,7 @@ pub fn cross_validate(
             best = Some(point);
         }
     }
-    let best = best.expect("grid is non-empty");
+    let best = best.ok_or_else(|| ZerberRError::InvalidSigmaSearch("empty sigma grid".into()))?;
     Ok(SigmaSelection {
         best_sigma: best.sigma,
         best_variance: best.variance,

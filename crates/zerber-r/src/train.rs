@@ -244,7 +244,7 @@ impl RstfModel {
                     .partial_cmp(&b.variance)
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
-            .expect("grid is non-empty");
+            .ok_or_else(|| ZerberRError::InvalidSigmaSearch("empty sigma grid".into()))?;
         Ok(SigmaSelection {
             best_sigma: best.sigma,
             best_variance: best.variance,
@@ -323,6 +323,7 @@ impl RstfModel {
         data[8..12].copy_from_slice(&term.0.to_le_bytes());
         data[12..16].copy_from_slice(&doc.0.to_le_bytes());
         let digest = Sha256::digest(&data);
+        // analyze::allow(panic): SHA-256 digests are exactly 32 bytes, so the 8-byte prefix always converts
         let v = u64::from_le_bytes(digest[..8].try_into().expect("8 bytes"));
         // Map to [0, 1) with 53-bit precision.
         (v >> 11) as f64 / (1u64 << 53) as f64

@@ -4,7 +4,9 @@
 # Mirrors .github/workflows/ci.yml so the same checks run locally and in
 # CI: rustfmt, release build, full test suite (including the spill-engine
 # equivalence proptests, which write page files into a temp-dir spill
-# root), a parallel-vs-sequential proptest with a 2-worker shard pool
+# root), the zerber-analyze invariant linter, a debug-assertions parallel
+# proptest plus pool-shutdown pass that exercises the lock-rank runtime
+# checker, a parallel-vs-sequential proptest with a 2-worker shard pool
 # forced, the tiering equivalence proptest (whose engine set includes a
 # live-WAL durable spill engine) and a repeated compaction-under-load
 # stress loop, a repeated worker-pool shutdown stress loop, the
@@ -31,6 +33,18 @@ cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> zerber-analyze (workspace invariant linter)"
+cargo run -p zerber-analyze --release
+
+echo "==> lock-rank checker under load (debug assertions: parallel proptest + pool shutdown)"
+# Debug builds arm the lock-rank deadlock detector; the 2-worker parallel
+# proptest and the shutdown pass drive real cross-thread shard/pool lock
+# traffic through it, so an ordering regression fires deterministically.
+ZERBER_TEST_SHARD_WORKERS=2 cargo test --test store_equivalence \
+  parallel_rounds_equal_sequential_rounds_across_engines
+cargo test --test concurrent_server \
+  pool_reconfiguration_and_shutdown_are_clean -- --exact
 
 echo "==> cargo test --release (concurrency + cross-engine + batched-vs-sequential + spill equivalence)"
 cargo test --release --test concurrent_server --test store_equivalence --test spill_store

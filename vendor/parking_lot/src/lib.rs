@@ -5,7 +5,8 @@
 //! fatal and re-panics, which matches parking_lot's "no poisoning" model
 //! closely enough for tests and benches.
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync;
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
